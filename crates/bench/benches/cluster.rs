@@ -1,0 +1,58 @@
+//! Criterion benchmarks of whole-deployment simulation: how much wall time
+//! one virtual millisecond of each protocol configuration costs, and the
+//! per-op-class costs on a small deployment. These guard the simulator's
+//! own performance (the figure harnesses run minutes of virtual time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kite::{ProtocolMode, SimCluster};
+use kite_common::ClusterConfig;
+use kite_simnet::SimCfg;
+use kite_workloads::MixCfg;
+
+fn cfg() -> ClusterConfig {
+    ClusterConfig::default().nodes(5).workers_per_node(1).sessions_per_worker(4).keys(1 << 12)
+}
+
+fn bench_virtual_ms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_virtual_ms");
+    for (name, mode, mix) in [
+        ("es_reads", ProtocolMode::EsOnly, MixCfg::plain(0.0, 1 << 12)),
+        ("es_writes", ProtocolMode::EsOnly, MixCfg::plain(1.0, 1 << 12)),
+        ("abd_writes", ProtocolMode::AbdOnly, MixCfg::plain(1.0, 1 << 12)),
+        ("paxos_rmws", ProtocolMode::PaxosOnly, MixCfg::plain(1.0, 1 << 12)),
+        ("kite_typical_20w", ProtocolMode::Kite, MixCfg::typical(0.2, 1 << 12)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let c = cfg();
+                    let spn = c.sessions_per_node();
+                    SimCluster::build(
+                        c,
+                        mode,
+                        SimCfg { seed: 7, ..Default::default() },
+                        |sid| {
+                            kite::SessionDriver::Script(Box::new(
+                                mix.generator(sid.global_idx(spn) as u64 + 1),
+                            ))
+                        },
+                        None,
+                    )
+                },
+                |mut sc| {
+                    sc.run_for(1_000_000); // 1 virtual ms
+                    sc.total_completed()
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = cluster;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_virtual_ms
+}
+criterion_main!(cluster);

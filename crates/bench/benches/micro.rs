@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the substrate hot paths: the per-key
+//! seqlock store (§6.2), Lamport clocks (§3.1), node sets / quorum math,
+//! value representation, and outbox batching (§6.3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kite_common::{Epoch, Key, Lc, NodeId, NodeSet, Val};
+use kite_kvs::{SeqLock, Store};
+use kite_simnet::Outbox;
+
+fn bench_lc(c: &mut Criterion) {
+    let a = Lc::new(41, NodeId(3));
+    let b = Lc::new(41, NodeId(4));
+    c.bench_function("lc/compare", |bench| bench.iter(|| black_box(a) > black_box(b)));
+    c.bench_function("lc/succ", |bench| bench.iter(|| black_box(a).succ(NodeId(1))));
+}
+
+fn bench_seqlock(c: &mut Criterion) {
+    let lock = SeqLock::new();
+    c.bench_function("seqlock/uncontended_read", |bench| {
+        bench.iter(|| {
+            let s = lock.read_begin();
+            black_box(s);
+            lock.read_validate(s)
+        })
+    });
+    c.bench_function("seqlock/uncontended_write", |bench| {
+        bench.iter(|| {
+            let _g = lock.write_lock();
+        })
+    });
+}
+
+fn bench_store(c: &mut Criterion) {
+    let store = Store::new(1 << 16);
+    let val = Val::from_bytes(&[7u8; 32]);
+    // preload
+    for k in 0..(1u64 << 14) {
+        store.fast_write(Key(k), &val, NodeId(0), Epoch::ZERO);
+    }
+    let mut k = 0u64;
+    c.bench_function("store/view_32B", |bench| {
+        bench.iter(|| {
+            k = (k + 1) & ((1 << 14) - 1);
+            black_box(store.view(Key(k)))
+        })
+    });
+    c.bench_function("store/fast_write_32B", |bench| {
+        bench.iter(|| {
+            k = (k + 1) & ((1 << 14) - 1);
+            store.fast_write(Key(k), &val, NodeId(0), Epoch::ZERO)
+        })
+    });
+    let lc_hi = Lc::new(u32::MAX as u64, NodeId(1));
+    c.bench_function("store/apply_max_reject", |bench| {
+        // apply_max with a losing clock: the remote-write path when the
+        // local value is already fresher.
+        store.apply_max(Key(1), &val, lc_hi);
+        bench.iter(|| store.apply_max(Key(1), &val, Lc::new(1, NodeId(0))))
+    });
+    c.bench_function("store/read_lc", |bench| {
+        bench.iter(|| {
+            k = (k + 1) & ((1 << 14) - 1);
+            black_box(store.read_lc(Key(k)))
+        })
+    });
+}
+
+fn bench_nodeset(c: &mut Criterion) {
+    c.bench_function("nodeset/quorum_check", |bench| {
+        let mut s = NodeSet::EMPTY;
+        s.insert(NodeId(0));
+        s.insert(NodeId(2));
+        s.insert(NodeId(4));
+        bench.iter(|| black_box(s).is_quorum(5))
+    });
+    c.bench_function("nodeset/dm_set_minus", |bench| {
+        let acked: NodeSet = [NodeId(0), NodeId(1), NodeId(3)].into_iter().collect();
+        bench.iter(|| NodeSet::all(5).minus(black_box(acked)))
+    });
+}
+
+fn bench_value(c: &mut Criterion) {
+    let small = [5u8; 32];
+    let big = [5u8; 48];
+    c.bench_function("val/inline_32B", |bench| bench.iter(|| Val::from_bytes(black_box(&small))));
+    c.bench_function("val/heap_48B", |bench| bench.iter(|| Val::from_bytes(black_box(&big))));
+}
+
+fn bench_outbox(c: &mut Criterion) {
+    c.bench_function("outbox/broadcast_flush_5n", |bench| {
+        let mut ob: Outbox<u64> = Outbox::new(5);
+        bench.iter(|| {
+            ob.broadcast(NodeId(0), 42u64);
+            let mut n = 0;
+            ob.flush(|_, batch| n += batch.len());
+            n
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_lc, bench_seqlock, bench_store, bench_nodeset, bench_value, bench_outbox
+}
+criterion_main!(micro);

@@ -1,0 +1,163 @@
+//! Lamport logical clocks and epoch identifiers (paper §3.1, §4.2).
+//!
+//! An LLC is a pair `<version, machine-id>` with a total order: compare
+//! versions, break ties on machine id. All three protocols in Kite use
+//! per-key LLCs to serialize writes without centralized ordering points:
+//! ES stamps relaxed writes, ABD stamps releases and read write-backs, and
+//! Paxos uses LLCs as ballots.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+
+/// A Lamport logical clock value (`<v, mid>` in the paper, §3.1).
+///
+/// `Lc::ZERO` is the initial clock of every key. A machine generates a fresh
+/// clock dominating an observed clock `c` with [`Lc::succ`], which is
+/// globally unique because it embeds the machine id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Lc {
+    /// Monotonically increasing version number.
+    pub version: u64,
+    /// Id of the machine that created this clock — the tie-breaker.
+    pub mid: u8,
+}
+
+impl Lc {
+    /// The initial clock: smaller than every clock ever generated.
+    pub const ZERO: Lc = Lc { version: 0, mid: 0 };
+
+    #[inline]
+    /// Build a clock from a version and the creating machine's id.
+    pub fn new(version: u64, mid: NodeId) -> Self {
+        Lc { version, mid: mid.0 }
+    }
+
+    /// The smallest clock owned by `mid` that dominates `self`.
+    ///
+    /// This is the write-serialization step of ES and ABD: read the key's
+    /// current (or quorum-max) clock, then stamp the new write with
+    /// `max_seen.succ(my_id)`.
+    #[inline]
+    pub fn succ(self, mid: NodeId) -> Lc {
+        Lc { version: self.version + 1, mid: mid.0 }
+    }
+
+    /// Owner of this clock.
+    #[inline]
+    pub fn owner(self) -> NodeId {
+        NodeId(self.mid)
+    }
+
+    /// `true` iff this clock orders strictly after `other`.
+    #[inline]
+    pub fn beats(self, other: Lc) -> bool {
+        self > other
+    }
+}
+
+impl PartialOrd for Lc {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Lc {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.version, self.mid).cmp(&(other.version, other.mid))
+    }
+}
+
+impl std::fmt::Display for Lc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.version, self.mid)
+    }
+}
+
+/// A machine or per-key epoch identifier (paper §4.2).
+///
+/// Every machine holds one monotonically increasing *machine epoch-id*;
+/// every key stores a *per-key epoch-id*. A key is **in-epoch** (fast path,
+/// local ES access) iff its epoch equals the machine epoch; otherwise it is
+/// **out-of-epoch** and must be refreshed through the slow path. Epochs of
+/// different machines are not interrelated.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// Epoch 0 — the initial epoch everywhere.
+    pub const ZERO: Epoch = Epoch(0);
+
+    #[inline]
+    /// The next epoch.
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for Epoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_minimum() {
+        assert!(Lc::ZERO <= Lc::new(0, NodeId(0)));
+        assert!(Lc::ZERO < Lc::new(0, NodeId(1)));
+        assert!(Lc::ZERO < Lc::new(1, NodeId(0)));
+    }
+
+    #[test]
+    fn version_dominates_mid() {
+        // A bigger version always wins regardless of machine id.
+        assert!(Lc::new(2, NodeId(0)) > Lc::new(1, NodeId(9)));
+    }
+
+    #[test]
+    fn mid_breaks_ties() {
+        assert!(Lc::new(3, NodeId(2)) > Lc::new(3, NodeId(1)));
+        assert_eq!(Lc::new(3, NodeId(2)), Lc::new(3, NodeId(2)));
+    }
+
+    #[test]
+    fn succ_dominates_and_is_unique_per_machine() {
+        let base = Lc::new(7, NodeId(4));
+        let a = base.succ(NodeId(1));
+        let b = base.succ(NodeId(2));
+        assert!(a > base && b > base);
+        assert_ne!(a, b);
+        assert!(b > a); // same version, machine id breaks the tie
+    }
+
+    #[test]
+    fn succ_of_concurrent_clocks_converges() {
+        // Two machines that both observed version 5 produce distinct,
+        // totally ordered successors — no coordination needed (§3.1).
+        let seen = Lc::new(5, NodeId(0));
+        let w1 = seen.succ(NodeId(1));
+        let w2 = seen.succ(NodeId(2));
+        assert!(w1 != w2 && (w1 < w2 || w2 < w1));
+    }
+
+    #[test]
+    fn epoch_next_monotone() {
+        let e = Epoch::ZERO;
+        assert!(e.next() > e);
+        assert_eq!(e.next().next(), Epoch(2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Lc::new(4, NodeId(2)).to_string(), "4.2");
+        assert_eq!(Epoch(3).to_string(), "e3");
+    }
+}

@@ -1,0 +1,64 @@
+//! Error handling for the Kite workspace.
+
+/// Errors surfaced by the public Kite / baseline APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KiteError {
+    /// The cluster (or this node/worker) is shutting down.
+    Shutdown,
+    /// A session slot was requested twice or out of range.
+    SessionUnavailable(String),
+    /// A request referenced a key outside the preallocated key space.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u64,
+        /// The configured key-space size.
+        keys: usize,
+    },
+    /// Configuration failed validation.
+    BadConfig(String),
+    /// The operation could not complete because a quorum of replicas is
+    /// unreachable. Kite is available as long as a majority is alive (§2.1);
+    /// this surfaces only when that assumption is violated.
+    NoQuorum,
+    /// Operation timed out at the client boundary (used by tests that bound
+    /// how long they will wait; protocol-internal timeouts never surface).
+    Timeout,
+}
+
+impl std::fmt::Display for KiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KiteError::Shutdown => write!(f, "cluster is shutting down"),
+            KiteError::SessionUnavailable(s) => write!(f, "session unavailable: {s}"),
+            KiteError::KeyOutOfRange { key, keys } => {
+                write!(f, "key {key} outside preallocated key space of {keys}")
+            }
+            KiteError::BadConfig(s) => write!(f, "bad configuration: {s}"),
+            KiteError::NoQuorum => write!(f, "majority of replicas unreachable"),
+            KiteError::Timeout => write!(f, "client-side timeout"),
+        }
+    }
+}
+
+impl std::error::Error for KiteError {}
+
+/// Convenience result alias over [`KiteError`].
+pub type Result<T> = std::result::Result<T, KiteError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = KiteError::KeyOutOfRange { key: 99, keys: 10 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&KiteError::NoQuorum);
+    }
+}

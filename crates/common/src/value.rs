@@ -1,0 +1,218 @@
+//! Compact value representation.
+//!
+//! The paper's evaluation stores 32-byte values (§7). Values at or below
+//! [`Val::INLINE_CAP`] bytes live inline in the `Val` itself — no heap
+//! allocation on the hot path of reads, writes, or message construction.
+//! Larger values (used by the lock-free data structures for multi-field
+//! objects) spill to a boxed slice.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of bytes stored inline.
+const INLINE_CAP: usize = 32;
+
+/// A value of the store: inline up to 32 bytes, heap-allocated beyond.
+#[derive(Clone)]
+pub enum Val {
+    /// Small value stored inline: `(len, buffer)`.
+    Inline(u8, [u8; INLINE_CAP]),
+    /// Large value on the heap.
+    Heap(Box<[u8]>),
+}
+
+impl Val {
+    /// Capacity of the inline representation (32 bytes, matching the paper's
+    /// value size).
+    pub const INLINE_CAP: usize = INLINE_CAP;
+
+    /// The empty value — what a read of a never-written key returns.
+    pub const EMPTY: Val = Val::Inline(0, [0u8; INLINE_CAP]);
+
+    /// Build a value from raw bytes, choosing the representation by size.
+    #[inline]
+    pub fn from_bytes(bytes: &[u8]) -> Val {
+        if bytes.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Val::Inline(bytes.len() as u8, buf)
+        } else {
+            Val::Heap(bytes.into())
+        }
+    }
+
+    /// Encode a `u64` (little-endian); the RMW engine uses this for
+    /// fetch-and-add counters.
+    #[inline]
+    pub fn from_u64(v: u64) -> Val {
+        Val::from_bytes(&v.to_le_bytes())
+    }
+
+    /// Decode a `u64` from the first 8 bytes (zero-padded if shorter).
+    #[inline]
+    pub fn as_u64(&self) -> u64 {
+        let b = self.as_bytes();
+        let mut buf = [0u8; 8];
+        let n = b.len().min(8);
+        buf[..n].copy_from_slice(&b[..n]);
+        u64::from_le_bytes(buf)
+    }
+
+    #[inline]
+    /// The value's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Val::Inline(len, buf) => &buf[..*len as usize],
+            Val::Heap(b) => b,
+        }
+    }
+
+    #[inline]
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        match self {
+            Val::Inline(len, _) => *len as usize,
+            Val::Heap(b) => b.len(),
+        }
+    }
+
+    #[inline]
+    /// Whether the value is the empty (never-written) value.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` iff the value is stored inline (no heap allocation).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self, Val::Inline(..))
+    }
+}
+
+impl Default for Val {
+    #[inline]
+    fn default() -> Self {
+        Val::EMPTY
+    }
+}
+
+impl PartialEq for Val {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Val {}
+
+impl std::hash::Hash for Val {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Val {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let b = self.as_bytes();
+        if b.len() <= 8 {
+            write!(f, "Val({b:02x?})")
+        } else {
+            write!(f, "Val(len={}, {:02x?}…)", b.len(), &b[..8])
+        }
+    }
+}
+
+impl From<&[u8]> for Val {
+    #[inline]
+    fn from(b: &[u8]) -> Self {
+        Val::from_bytes(b)
+    }
+}
+
+impl From<u64> for Val {
+    #[inline]
+    fn from(v: u64) -> Self {
+        Val::from_u64(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Val {
+    #[inline]
+    fn from(b: &[u8; N]) -> Self {
+        Val::from_bytes(b)
+    }
+}
+
+impl Serialize for Val {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(self.as_bytes())
+    }
+}
+
+impl<'de> Deserialize<'de> for Val {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let bytes = <Vec<u8>>::deserialize(d)?;
+        Ok(Val::from_bytes(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_inline() {
+        let v = Val::from_bytes(b"hello");
+        assert!(v.is_inline());
+        assert_eq!(v.as_bytes(), b"hello");
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn boundary_32_bytes_is_inline() {
+        let v = Val::from_bytes(&[7u8; 32]);
+        assert!(v.is_inline());
+        assert_eq!(v.len(), 32);
+    }
+
+    #[test]
+    fn boundary_33_bytes_spills_to_heap() {
+        let v = Val::from_bytes(&[7u8; 33]);
+        assert!(!v.is_inline());
+        assert_eq!(v.len(), 33);
+        assert_eq!(v.as_bytes(), &[7u8; 33][..]);
+    }
+
+    #[test]
+    fn equality_crosses_representations() {
+        // A heap value and an inline value with the same bytes are equal;
+        // equality is over contents, not representation.
+        let inline = Val::from_bytes(&[1u8; 16]);
+        let heap = Val::Heap(vec![1u8; 16].into_boxed_slice());
+        assert_eq!(inline, heap);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 41, u64::MAX, 1 << 40] {
+            assert_eq!(Val::from_u64(v).as_u64(), v);
+        }
+    }
+
+    #[test]
+    fn as_u64_of_short_value_zero_pads() {
+        assert_eq!(Val::from_bytes(&[1]).as_u64(), 1);
+        assert_eq!(Val::EMPTY.as_u64(), 0);
+    }
+
+    #[test]
+    fn empty_default() {
+        assert!(Val::default().is_empty());
+        assert_eq!(Val::default(), Val::EMPTY);
+    }
+
+    #[test]
+    fn debug_is_truncated_for_large_values() {
+        let d = format!("{:?}", Val::from_bytes(&[0xAB; 100]));
+        assert!(d.contains("len=100"));
+    }
+}

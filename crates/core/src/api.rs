@@ -1,0 +1,190 @@
+//! The Kite client API (§6.1): relaxed reads/writes, release-writes,
+//! acquire-reads, Fetch-&-Add, and weak/strong Compare-&-Swap.
+
+use kite_common::{Key, OpId, Val};
+
+/// One operation submitted by a client session. The RC ordering each kind
+/// obeys is Table 1 of the paper:
+///
+/// | kind          | ordering                 | protocol     |
+/// |---------------|--------------------------|--------------|
+/// | `Read`/`Write`| none (relaxed)           | Eventual Store |
+/// | `Release`     | all ⇒ release            | ABD          |
+/// | `Acquire`     | acquire ⇒ all            | ABD          |
+/// | `Faa`/`Cas*`  | all ⇒ RMW ⇒ all          | per-key Paxos |
+#[derive(Clone, Debug)]
+pub enum Op {
+    /// Relaxed read.
+    Read {
+        /// Key to read.
+        key: Key,
+    },
+    /// Relaxed write.
+    Write {
+        /// Key to write.
+        key: Key,
+        /// New value.
+        val: Val,
+    },
+    /// Release write: one-way barrier for everything earlier in the session.
+    Release {
+        /// Key to write.
+        key: Key,
+        /// New value.
+        val: Val,
+    },
+    /// Acquire read: one-way barrier for everything later in the session.
+    Acquire {
+        /// Key to read.
+        key: Key,
+    },
+    /// Fetch-and-add on a little-endian `u64` value; returns the old value.
+    Faa {
+        /// Key holding the counter.
+        key: Key,
+        /// The addend.
+        delta: u64,
+    },
+    /// Compare-and-swap, weak flavor (§6.1): if the comparison fails
+    /// *locally*, the operation completes locally with failure — no network
+    /// round. Used by the lock-free data structures to absorb conflict
+    /// retries cheaply (§8.3).
+    CasWeak {
+        /// Key to swap.
+        key: Key,
+        /// Expected current value.
+        expect: Val,
+        /// Replacement value.
+        new: Val,
+    },
+    /// Compare-and-swap, strong flavor: always checks remote replicas.
+    CasStrong {
+        /// Key to swap.
+        key: Key,
+        /// Expected current value.
+        expect: Val,
+        /// Replacement value.
+        new: Val,
+    },
+}
+
+impl Op {
+    /// The key the operation targets.
+    pub fn key(&self) -> Key {
+        match self {
+            Op::Read { key }
+            | Op::Write { key, .. }
+            | Op::Release { key, .. }
+            | Op::Acquire { key }
+            | Op::Faa { key, .. }
+            | Op::CasWeak { key, .. }
+            | Op::CasStrong { key, .. } => *key,
+        }
+    }
+
+    /// Does this op have release-barrier semantics (wait for prior writes)?
+    pub fn is_release_like(&self) -> bool {
+        matches!(
+            self,
+            Op::Release { .. } | Op::Faa { .. } | Op::CasWeak { .. } | Op::CasStrong { .. }
+        )
+    }
+
+    /// Does this op have acquire-barrier semantics (delinquency probe)?
+    pub fn is_acquire_like(&self) -> bool {
+        matches!(
+            self,
+            Op::Acquire { .. } | Op::Faa { .. } | Op::CasWeak { .. } | Op::CasStrong { .. }
+        )
+    }
+
+    /// Is this an RMW (consensus-backed)?
+    pub fn is_rmw(&self) -> bool {
+        matches!(self, Op::Faa { .. } | Op::CasWeak { .. } | Op::CasStrong { .. })
+    }
+}
+
+/// Result of a completed operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpOutput {
+    /// Write or release completed.
+    Done,
+    /// Read or acquire: the observed value.
+    Value(Val),
+    /// FAA: the previous value.
+    Faa(u64),
+    /// CAS: whether it swapped, plus the value observed.
+    Cas {
+        /// Whether the swap happened.
+        ok: bool,
+        /// The value the comparison ran against.
+        observed: Val,
+    },
+}
+
+impl OpOutput {
+    /// The observed value for read-like outputs.
+    pub fn value(&self) -> Option<&Val> {
+        match self {
+            OpOutput::Value(v) => Some(v),
+            OpOutput::Cas { observed, .. } => Some(observed),
+            _ => None,
+        }
+    }
+}
+
+/// A completed operation, as delivered to completion hooks and client
+/// handles. Timestamps are scheduler-clock nanoseconds.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The completed operation's id.
+    pub op_id: OpId,
+    /// The operation as submitted.
+    pub op: Op,
+    /// Its result.
+    pub output: OpOutput,
+    /// Invocation timestamp.
+    pub invoked_at: u64,
+    /// Completion timestamp.
+    pub completed_at: u64,
+}
+
+/// Callback invoked by workers when an operation completes. Used by the
+/// history recorders in tests and by the measurement harnesses.
+pub type CompletionHook = std::sync::Arc<dyn Fn(&Completion) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let k = Key(1);
+        assert!(!Op::Read { key: k }.is_release_like());
+        assert!(!Op::Write { key: k, val: Val::EMPTY }.is_release_like());
+        assert!(Op::Release { key: k, val: Val::EMPTY }.is_release_like());
+        assert!(!Op::Release { key: k, val: Val::EMPTY }.is_acquire_like());
+        assert!(Op::Acquire { key: k }.is_acquire_like());
+        assert!(!Op::Acquire { key: k }.is_rmw());
+        for rmw in [
+            Op::Faa { key: k, delta: 1 },
+            Op::CasWeak { key: k, expect: Val::EMPTY, new: Val::EMPTY },
+            Op::CasStrong { key: k, expect: Val::EMPTY, new: Val::EMPTY },
+        ] {
+            assert!(rmw.is_rmw() && rmw.is_release_like() && rmw.is_acquire_like());
+        }
+    }
+
+    #[test]
+    fn key_extraction() {
+        assert_eq!(Op::Faa { key: Key(9), delta: 1 }.key(), Key(9));
+        assert_eq!(Op::Read { key: Key(3) }.key(), Key(3));
+    }
+
+    #[test]
+    fn output_value() {
+        assert_eq!(OpOutput::Value(Val::from_u64(5)).value().unwrap().as_u64(), 5);
+        assert_eq!(OpOutput::Done.value(), None);
+        assert!(OpOutput::Cas { ok: false, observed: Val::from_u64(2) }.value().is_some());
+    }
+}

@@ -1,0 +1,289 @@
+//! The threaded in-process deployment: real worker threads, channel NICs,
+//! and a blocking client API.
+//!
+//! This is the shape of a real Kite deployment (§2.1) scaled into one
+//! process: `nodes × workers_per_node` busy-polling worker threads, each
+//! serving `sessions_per_worker` sessions. Clients claim sessions and issue
+//! operations through [`SessionHandle`]; synchronous calls block until the
+//! completion arrives (the Kite API offers sync and async flavors, §6.1 —
+//! both are provided here).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kite_common::stats::ProtoCounters;
+use kite_common::{ClusterConfig, Key, KiteError, NodeId, Result, SessionId, Val};
+use kite_simnet::{spawn_workers, FaultPlane, StopHandle, ThreadedNet, WorkerIo};
+use parking_lot::Mutex;
+
+use crate::api::{Completion, CompletionHook, Op, OpOutput};
+use crate::msg::Msg;
+use crate::nodestate::NodeShared;
+use crate::session::{ProtocolMode, Session, SessionDriver};
+use crate::worker::Worker;
+
+/// How long synchronous client calls wait before reporting
+/// [`KiteError::Timeout`] (generous: operations either complete in
+/// microseconds or the cluster has lost its majority).
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+type SessionPlumbing = (Sender<Op>, Receiver<Completion>);
+
+/// A running in-process Kite deployment.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    mode: ProtocolMode,
+    net: ThreadedNet<Msg>,
+    stop: Option<StopHandle>,
+    shared: Vec<Arc<NodeShared>>,
+    /// Unclaimed session plumbing, indexed `[node][slot]`.
+    slots: Mutex<Vec<Vec<Option<SessionPlumbing>>>>,
+}
+
+impl Cluster {
+    /// Build and start a cluster in the given protocol mode.
+    pub fn launch(cfg: ClusterConfig, mode: ProtocolMode) -> Result<Cluster> {
+        Self::launch_with(cfg, mode, None)
+    }
+
+    /// As [`Cluster::launch`], with a completion hook observing every
+    /// completed operation cluster-wide (history recording in tests).
+    pub fn launch_with(
+        cfg: ClusterConfig,
+        mode: ProtocolMode,
+        hook: Option<CompletionHook>,
+    ) -> Result<Cluster> {
+        cfg.validate().map_err(KiteError::BadConfig)?;
+        let (net, ios) = ThreadedNet::<Msg>::build(cfg.nodes, cfg.workers_per_node, 0xC0FFEE);
+
+        let shared: Vec<Arc<NodeShared>> = (0..cfg.nodes)
+            .map(|n| {
+                NodeShared::new(NodeId(n as u8), cfg.clone(), Arc::clone(&net.counters[n]))
+            })
+            .collect();
+
+        let mut slots: Vec<Vec<Option<SessionPlumbing>>> =
+            (0..cfg.nodes).map(|_| Vec::new()).collect();
+
+        let mut rigs: Vec<(Worker, WorkerIo<Msg>)> = Vec::new();
+        for (n, per_node) in ios.into_iter().enumerate() {
+            for (w, io) in per_node.into_iter().enumerate() {
+                let mut sessions = Vec::with_capacity(cfg.sessions_per_worker);
+                for i in 0..cfg.sessions_per_worker {
+                    let slot = (w * cfg.sessions_per_worker + i) as u32;
+                    let sid = SessionId::new(NodeId(n as u8), slot);
+                    let (op_tx, op_rx) = unbounded();
+                    let (done_tx, done_rx) = unbounded();
+                    let mut sess = Session::new(sid);
+                    sess.driver = SessionDriver::External { rx: op_rx, tx: done_tx };
+                    sessions.push(sess);
+                    slots[n].push(Some((op_tx, done_rx)));
+                }
+                let worker = Worker::new(w, Arc::clone(&shared[n]), mode, sessions, hook.clone());
+                rigs.push((worker, io));
+            }
+        }
+
+        let stop = spawn_workers(rigs, &net);
+        Ok(Cluster { cfg, mode, net, stop: Some(stop), shared, slots: Mutex::new(slots) })
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The protocol stack this deployment runs.
+    pub fn mode(&self) -> ProtocolMode {
+        self.mode
+    }
+
+    /// Claim a session on `node`. `slot` ranges over
+    /// `0..cfg.sessions_per_node()`; each slot can be claimed once.
+    pub fn session(&self, node: NodeId, slot: u32) -> Result<SessionHandle> {
+        let mut slots = self.slots.lock();
+        let per_node = slots
+            .get_mut(node.idx())
+            .ok_or_else(|| KiteError::SessionUnavailable(format!("no node {node}")))?;
+        let entry = per_node
+            .get_mut(slot as usize)
+            .ok_or_else(|| KiteError::SessionUnavailable(format!("no slot {slot} on {node}")))?;
+        let (tx, rx) = entry
+            .take()
+            .ok_or_else(|| KiteError::SessionUnavailable(format!("{node} slot {slot} taken")))?;
+        Ok(SessionHandle { id: SessionId::new(node, slot), tx, rx, outstanding: 0 })
+    }
+
+    /// Per-node shared state (store, epoch, delinquency) — for tests and
+    /// diagnostics.
+    pub fn shared(&self, node: NodeId) -> &Arc<NodeShared> {
+        &self.shared[node.idx()]
+    }
+
+    /// Per-node protocol counters.
+    pub fn counters(&self, node: NodeId) -> &ProtoCounters {
+        &self.net.counters[node.idx()]
+    }
+
+    /// The fault-injection plane (drops, delays, partitions, crashes).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.net.faults
+    }
+
+    /// Cluster clock (ns since launch).
+    pub fn now(&self) -> u64 {
+        use kite_simnet::Clock;
+        self.net.clock.now()
+    }
+
+    /// Put a node to sleep for `dur` (the §8.4 failure experiment): its
+    /// workers stop processing; traffic to it buffers.
+    pub fn sleep_node(&self, node: NodeId, dur: Duration) {
+        self.net.faults.sleep_node_until(node, self.now() + dur.as_nanos() as u64);
+    }
+
+    /// Crash a node permanently (crash-stop, §2.1).
+    pub fn crash_node(&self, node: NodeId) {
+        self.net.faults.crash(node);
+    }
+
+    /// Stop all workers and tear down.
+    pub fn shutdown(mut self) {
+        if let Some(stop) = self.stop.take() {
+            stop.stop_and_join();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            stop.stop_and_join();
+        }
+    }
+}
+
+/// A claimed client session: sync and async operation submission. Not
+/// `Clone` — a session is a single program-order stream (§2.1).
+pub struct SessionHandle {
+    id: SessionId,
+    tx: Sender<Op>,
+    rx: Receiver<Completion>,
+    outstanding: usize,
+}
+
+impl SessionHandle {
+    /// This session's id (node + slot).
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    // ---- async API (§6.1) ------------------------------------------------
+
+    /// Submit without waiting. Completions arrive in session order via
+    /// [`SessionHandle::next_completion`].
+    pub fn submit(&mut self, op: Op) -> Result<()> {
+        self.tx.send(op).map_err(|_| KiteError::Shutdown)?;
+        self.outstanding += 1;
+        Ok(())
+    }
+
+    /// Number of submitted-but-unretired operations.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Wait for the next completion (session order).
+    pub fn next_completion(&mut self) -> Result<Completion> {
+        let c = self
+            .rx
+            .recv_timeout(CLIENT_TIMEOUT)
+            .map_err(|_| KiteError::Timeout)?;
+        self.outstanding -= 1;
+        Ok(c)
+    }
+
+    /// Drain all currently available completions.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        let mut v = Vec::new();
+        while let Ok(c) = self.rx.try_recv() {
+            self.outstanding -= 1;
+            v.push(c);
+        }
+        v
+    }
+
+    // ---- sync API ----------------------------------------------------------
+
+    fn call(&mut self, op: Op) -> Result<Completion> {
+        // Sync calls require a quiet pipeline so the next completion is ours.
+        while self.outstanding > 0 {
+            self.next_completion()?;
+        }
+        self.submit(op)?;
+        self.next_completion()
+    }
+
+    /// Relaxed read (ES fast path when in-epoch).
+    pub fn read(&mut self, key: Key) -> Result<Val> {
+        match self.call(Op::Read { key })?.output {
+            OpOutput::Value(v) => Ok(v),
+            other => unreachable!("read completed with {other:?}"),
+        }
+    }
+
+    /// Relaxed write.
+    pub fn write(&mut self, key: Key, val: impl Into<Val>) -> Result<()> {
+        self.call(Op::Write { key, val: val.into() })?;
+        Ok(())
+    }
+
+    /// Release write (all ⇒ release ordering).
+    pub fn release(&mut self, key: Key, val: impl Into<Val>) -> Result<()> {
+        self.call(Op::Release { key, val: val.into() })?;
+        Ok(())
+    }
+
+    /// Acquire read (acquire ⇒ all ordering).
+    pub fn acquire(&mut self, key: Key) -> Result<Val> {
+        match self.call(Op::Acquire { key })?.output {
+            OpOutput::Value(v) => Ok(v),
+            other => unreachable!("acquire completed with {other:?}"),
+        }
+    }
+
+    /// Fetch-and-add; returns the previous value.
+    pub fn fetch_add(&mut self, key: Key, delta: u64) -> Result<u64> {
+        match self.call(Op::Faa { key, delta })?.output {
+            OpOutput::Faa(old) => Ok(old),
+            other => unreachable!("faa completed with {other:?}"),
+        }
+    }
+
+    /// Weak CAS (may fail locally, §6.1). Returns `(swapped, observed)`.
+    pub fn cas_weak(
+        &mut self,
+        key: Key,
+        expect: impl Into<Val>,
+        new: impl Into<Val>,
+    ) -> Result<(bool, Val)> {
+        match self.call(Op::CasWeak { key, expect: expect.into(), new: new.into() })?.output {
+            OpOutput::Cas { ok, observed } => Ok((ok, observed)),
+            other => unreachable!("cas completed with {other:?}"),
+        }
+    }
+
+    /// Strong CAS (always checks remote replicas, §6.1).
+    pub fn cas_strong(
+        &mut self,
+        key: Key,
+        expect: impl Into<Val>,
+        new: impl Into<Val>,
+    ) -> Result<(bool, Val)> {
+        match self.call(Op::CasStrong { key, expect: expect.into(), new: new.into() })?.output {
+            OpOutput::Cas { ok, observed } => Ok((ok, observed)),
+            other => unreachable!("cas completed with {other:?}"),
+        }
+    }
+}

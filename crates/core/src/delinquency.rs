@@ -1,0 +1,233 @@
+//! The delinquency bit-vector and its transition rules (§4.2.1).
+//!
+//! Each node keeps one bit of state per machine in the deployment (including
+//! itself — a node can learn of its own delinquency from a slow-release it
+//! receives, which only speeds up discovery). The state machine is exactly
+//! Figure 3 of the paper plus the `Transient` bookkeeping of Lemma 5.7:
+//!
+//! * `SlowRelease{DM}`   → bit ← **Set** for every member of DM,
+//!   unconditionally (clears any transient tags).
+//! * Acquire probe from machine *B* when *B*'s bit is Set/Transient →
+//!   answer "delinquent", move to **Transient** and record the acquire's
+//!   unique id (one outstanding acquire per session ⇒ the tag set is
+//!   bounded by *B*'s session count; we cap it defensively — see below).
+//! * `ResetBit{acq}` from *B* → **Clear**, iff still Transient *and* `acq`
+//!   is among the recorded tags (the reset must come from an acquire that
+//!   observed the bit; an interleaved slow-release wins).
+//!
+//! Losing a reset (or refusing one because the tag cap was hit) is safe:
+//! the bit stays set, later acquires take one more redundant slow-path
+//! transition (§5.5: "resetting delinquency bits is a best-effort approach").
+
+use kite_common::{NodeId, NodeSet, OpId};
+use parking_lot::Mutex;
+
+/// Cap on transient tags kept per bit. The paper bounds the set by the
+/// number of sessions per machine; we bound it explicitly and drop excess
+/// tags (safe, see module docs).
+const MAX_TAGS: usize = 64;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum BitState {
+    Clear,
+    Set,
+    /// Observed by these acquires; the next matching reset clears it.
+    Transient(Vec<OpId>),
+}
+
+/// The per-node delinquency table. Shared by all workers of a node; each
+/// bit is independently locked (accesses are short and rare — only sync
+/// operations and slow-releases touch it).
+pub struct DelinquencyTable {
+    bits: Vec<Mutex<BitState>>,
+}
+
+impl DelinquencyTable {
+    /// A table with one clear bit per node in the deployment.
+    pub fn new(nodes: usize) -> Self {
+        DelinquencyTable { bits: (0..nodes).map(|_| Mutex::new(BitState::Clear)).collect() }
+    }
+
+    /// A slow-release declared `dm` delinquent: set their bits
+    /// unconditionally (Figure 3, transition ①; Lemma 5.7's "set wins").
+    pub fn mark_delinquent(&self, dm: NodeSet) {
+        for node in dm {
+            *self.bits[node.idx()].lock() = BitState::Set;
+        }
+    }
+
+    /// An acquire-type probe from `machine`, tagged `acq`: returns whether
+    /// that machine is currently deemed delinquent, and performs the
+    /// Set→Transient transition recording the tag (Figure 3, transition ②).
+    ///
+    /// A session has at most one outstanding acquire (§4.2.1 remark), so a
+    /// newer acquire from the same session *replaces* that session's tag:
+    /// the older acquire is complete (or abandoned) and its reset can never
+    /// arrive. Accumulating dead tags instead would fill the list and
+    /// permanently block resets — the bit would stay transient forever and
+    /// every later acquire from the machine would needlessly re-enter the
+    /// slow path.
+    pub fn probe(&self, machine: NodeId, acq: OpId) -> bool {
+        let mut bit = self.bits[machine.idx()].lock();
+        match &mut *bit {
+            BitState::Clear => false,
+            BitState::Set => {
+                *bit = BitState::Transient(vec![acq]);
+                true
+            }
+            BitState::Transient(tags) => {
+                if let Some(t) = tags.iter_mut().find(|t| t.session == acq.session) {
+                    if acq.seq > t.seq {
+                        *t = acq;
+                    }
+                } else if tags.len() < MAX_TAGS {
+                    tags.push(acq);
+                }
+                true
+            }
+        }
+    }
+
+    /// A reset-bit from `machine` tagged `acq` (Figure 3, transition ③):
+    /// clears iff still transient with a matching tag. Returns whether the
+    /// bit was cleared.
+    pub fn reset(&self, machine: NodeId, acq: OpId) -> bool {
+        let mut bit = self.bits[machine.idx()].lock();
+        match &*bit {
+            BitState::Transient(tags) if tags.contains(&acq) => {
+                *bit = BitState::Clear;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Is `machine` currently marked (Set or Transient)? Test/diagnostics.
+    pub fn is_marked(&self, machine: NodeId) -> bool {
+        !matches!(*self.bits[machine.idx()].lock(), BitState::Clear)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_common::SessionId;
+
+    fn acq(n: u8, seq: u64) -> OpId {
+        OpId::new(SessionId::new(NodeId(n), 0), seq)
+    }
+
+    fn dm(nodes: &[u8]) -> NodeSet {
+        nodes.iter().map(|&n| NodeId(n)).collect()
+    }
+
+    #[test]
+    fn clear_by_default() {
+        let t = DelinquencyTable::new(5);
+        assert!(!t.probe(NodeId(1), acq(1, 0)));
+        assert!(!t.is_marked(NodeId(1)));
+    }
+
+    #[test]
+    fn figure3_happy_path() {
+        // ① slow-release marks B; ② acquire from B observes and tags;
+        // ③ reset from that acquire clears.
+        let t = DelinquencyTable::new(3);
+        t.mark_delinquent(dm(&[1]));
+        assert!(t.is_marked(NodeId(1)));
+        let a = acq(1, 7);
+        assert!(t.probe(NodeId(1), a), "B must learn it is delinquent");
+        assert!(t.reset(NodeId(1), a), "matching reset clears");
+        assert!(!t.is_marked(NodeId(1)));
+        // subsequent acquires see a clear bit — no repeated slow paths
+        assert!(!t.probe(NodeId(1), acq(1, 8)));
+    }
+
+    #[test]
+    fn reset_with_wrong_tag_is_ignored() {
+        let t = DelinquencyTable::new(3);
+        t.mark_delinquent(dm(&[1]));
+        assert!(t.probe(NodeId(1), acq(1, 1)));
+        assert!(!t.reset(NodeId(1), acq(1, 99)), "unknown tag must not clear");
+        assert!(t.is_marked(NodeId(1)));
+    }
+
+    #[test]
+    fn racing_slow_release_wins_over_reset() {
+        // Lemma 5.7: a slow-release between the probe and the reset makes
+        // the reset a no-op.
+        let t = DelinquencyTable::new(3);
+        t.mark_delinquent(dm(&[1]));
+        let a = acq(1, 1);
+        assert!(t.probe(NodeId(1), a));
+        t.mark_delinquent(dm(&[1])); // racing slow-release: back to Set
+        assert!(!t.reset(NodeId(1), a), "reset must lose the race");
+        assert!(t.is_marked(NodeId(1)));
+    }
+
+    #[test]
+    fn multiple_concurrent_acquires_all_tagged() {
+        // Two sessions of B acquire concurrently; either reset clears.
+        let t = DelinquencyTable::new(3);
+        t.mark_delinquent(dm(&[1]));
+        let a1 = acq(1, 1);
+        let a2 = OpId::new(SessionId::new(NodeId(1), 1), 5);
+        assert!(t.probe(NodeId(1), a1));
+        assert!(t.probe(NodeId(1), a2));
+        assert!(t.reset(NodeId(1), a2));
+        assert!(!t.is_marked(NodeId(1)));
+        // the other (now stale) reset is a harmless no-op
+        assert!(!t.reset(NodeId(1), a1));
+    }
+
+    #[test]
+    fn reset_without_probe_is_ignored() {
+        // A reset may arrive for a bit that is plainly Set (e.g. the probe's
+        // reply was lost and a newer slow-release re-set the bit).
+        let t = DelinquencyTable::new(3);
+        t.mark_delinquent(dm(&[2]));
+        assert!(!t.reset(NodeId(2), acq(2, 0)));
+        assert!(t.is_marked(NodeId(2)));
+    }
+
+    #[test]
+    fn bits_are_independent() {
+        let t = DelinquencyTable::new(5);
+        t.mark_delinquent(dm(&[1, 3]));
+        assert!(t.is_marked(NodeId(1)));
+        assert!(!t.is_marked(NodeId(2)));
+        assert!(t.is_marked(NodeId(3)));
+        let a = acq(1, 0);
+        assert!(t.probe(NodeId(1), a));
+        t.reset(NodeId(1), a);
+        assert!(!t.is_marked(NodeId(1)));
+        assert!(t.is_marked(NodeId(3)), "other bits untouched");
+    }
+
+    #[test]
+    fn same_session_tags_replace_not_accumulate() {
+        // Repeated acquires from one session must not pile up dead tags:
+        // only the newest acquire's reset is expected (older ones completed
+        // without discovering, or their verdicts were superseded).
+        let t = DelinquencyTable::new(2);
+        t.mark_delinquent(dm(&[1]));
+        for i in 0..(MAX_TAGS as u64 + 10) {
+            assert!(t.probe(NodeId(1), acq(1, i)), "probe always reports delinquency");
+        }
+        // stale tags from the same session no longer reset…
+        assert!(!t.reset(NodeId(1), acq(1, 0)));
+        // …but the newest does.
+        assert!(t.reset(NodeId(1), acq(1, MAX_TAGS as u64 + 9)));
+        assert!(!t.is_marked(NodeId(1)));
+    }
+
+    #[test]
+    fn stale_probe_does_not_displace_newer_tag() {
+        let t = DelinquencyTable::new(2);
+        t.mark_delinquent(dm(&[1]));
+        assert!(t.probe(NodeId(1), acq(1, 5)));
+        assert!(t.probe(NodeId(1), acq(1, 3))); // reordered older probe
+        assert!(!t.reset(NodeId(1), acq(1, 3)), "older acquire cannot reset");
+        assert!(t.reset(NodeId(1), acq(1, 5)));
+    }
+}

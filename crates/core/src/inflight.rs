@@ -1,0 +1,390 @@
+//! In-flight operation state: one entry per outstanding protocol operation,
+//! keyed by the worker-local request id (`rid`).
+
+use kite_common::{Epoch, Key, Lc, NodeSet, OpId, Val};
+
+use crate::api::Op;
+use crate::msg::Cmd;
+
+/// A commit broadcast kept for retransmission: `(slot, val, lc, ring-meta)`.
+pub type CommitBcast = Box<(u64, Val, Lc, Option<(OpId, Val)>)>;
+
+/// Common fields shared by all in-flight entries.
+#[derive(Clone, Debug)]
+pub struct Meta {
+    /// Owning session's local index within the worker.
+    pub sess: usize,
+    /// Globally unique operation id (session id + session sequence).
+    pub op_id: OpId,
+    /// Key the operation targets.
+    pub key: Key,
+    /// The originating API operation (returned in the completion record).
+    pub op: Op,
+    /// When the op was invoked (for completions and timeouts).
+    pub invoked_at: u64,
+    /// Last (re)transmission time — drives retransmission.
+    pub last_sent: u64,
+}
+
+/// A relaxed write whose `EsWrite` broadcast is gathering acks (§3.2). It
+/// completed from the client's perspective when issued; the entry exists so
+/// the next release knows which machines acked (§4.2).
+#[derive(Clone, Debug)]
+pub struct EsWriteState {
+    /// Common in-flight fields.
+    pub meta: Meta,
+    /// The written value (kept for retransmission).
+    pub val: Val,
+    /// The write's stamp.
+    pub lc: Lc,
+    /// Machines that acknowledged (includes self).
+    pub acked: NodeSet,
+}
+
+/// Slow-path relaxed read (§4.1 "On a relaxed access"): one quorum round,
+/// then restore the key in-epoch. With `stripped_slow_path` off (ablation),
+/// a full-ABD write-back round runs when the freshest value was not already
+/// held by a quorum.
+#[derive(Clone, Debug)]
+pub struct SlowReadState {
+    /// Common in-flight fields.
+    pub meta: Meta,
+    /// Machine-epoch snapshot taken at op start (§4.2 fine print).
+    pub snapshot: Epoch,
+    /// Freshest value seen so far.
+    pub best_val: Val,
+    /// Its clock.
+    pub best_lc: Lc,
+    /// Replicas that answered round 1 (includes self).
+    pub reps: NodeSet,
+    /// Replicas that reported the current best value (ablation only: the
+    /// stripped slow path never needs a write-back, §4.3).
+    pub holders: NodeSet,
+    /// Write-back round progress; `None` until started (ablation only).
+    pub w2: Option<NodeSet>,
+}
+
+/// Slow-path relaxed write (§4.3): one LLC-read quorum round so the fresh
+/// write dominates anything missed, then an ES-style value broadcast that
+/// completes without waiting for acks. With `stripped_slow_path` off
+/// (ablation), completion instead waits for a quorum of value-round acks,
+/// as a full ABD write would.
+#[derive(Clone, Debug)]
+pub struct SlowWriteState {
+    /// Common in-flight fields.
+    pub meta: Meta,
+    /// Machine-epoch snapshot taken at op start.
+    pub snapshot: Epoch,
+    /// The value to write.
+    pub val: Val,
+    /// Highest clock seen in the stamp round.
+    pub max_lc: Lc,
+    /// Replicas that answered the stamp round (includes self).
+    pub reps: NodeSet,
+    /// Value-round `(stamp, acks)` progress; `None` until started
+    /// (ablation only).
+    pub w2: Option<(Lc, NodeSet)>,
+}
+
+/// The slow-path release barrier sub-round (§4.2): DM-set broadcast.
+#[derive(Clone, Debug)]
+pub struct SlowReleaseSub {
+    /// The published DM-set.
+    pub dm: NodeSet,
+    /// Machines that acked the DM broadcast (includes self).
+    pub acked: NodeSet,
+}
+
+/// Release barrier progress, shared by releases and RMWs (§4.2 "RMWs").
+#[derive(Clone, Debug)]
+pub struct Barrier {
+    /// rids of the session's relaxed writes outstanding when the barrier
+    /// started (the "writes before the release in session order").
+    pub writes: Vec<u64>,
+    /// Slow-path sub-round, if the timeout fired.
+    pub slow: Option<SlowReleaseSub>,
+    /// Barrier resolved: either all writes acked by all machines (fast
+    /// path) or quorum-acked writes + quorum-acked DM broadcast (slow path).
+    pub done: bool,
+}
+
+impl Barrier {
+    /// A barrier over the given outstanding write rids (resolved
+    /// immediately when there are none).
+    pub fn new(writes: Vec<u64>) -> Self {
+        let done = writes.is_empty();
+        Barrier { writes, slow: None, done }
+    }
+
+    /// A pre-resolved barrier (modes without barrier semantics).
+    pub fn resolved() -> Self {
+        Barrier { writes: Vec::new(), slow: None, done: true }
+    }
+}
+
+/// A release in flight: overlapped barrier + ABD write (§4.3 optimization:
+/// the LLC-read round runs while waiting for acks).
+#[derive(Clone, Debug)]
+pub struct ReleaseState {
+    /// Common in-flight fields.
+    pub meta: Meta,
+    /// The released value.
+    pub val: Val,
+    /// Barrier progress over the session's prior writes (§4.2).
+    pub barrier: Barrier,
+    /// Whether the LLC-read round has been broadcast. Always true with
+    /// `overlap_release` (the §4.3 default); with the ablation the round
+    /// is deferred until the barrier resolves.
+    pub rts_sent: bool,
+    /// Round 1 (read-the-stamps) progress.
+    pub rts_reps: NodeSet,
+    /// Highest stamp seen in round 1.
+    pub rts_max: Lc,
+    /// Round 2 (value broadcast) progress; `None` until started.
+    pub w2: Option<(Lc, NodeSet)>,
+}
+
+/// An acquire in flight: ABD read + delinquency discovery (§4.2).
+#[derive(Clone, Debug)]
+pub struct AcquireState {
+    /// Common in-flight fields.
+    pub meta: Meta,
+    /// Replicas that answered round 1 (includes self).
+    pub reps: NodeSet,
+    /// Freshest value seen so far.
+    pub best_val: Val,
+    /// Its clock.
+    pub best_lc: Lc,
+    /// Replicas that reported the current best value (write-back needed if
+    /// they don't reach a quorum).
+    pub holders: NodeSet,
+    /// OR of delinquency verdicts across rounds.
+    pub delinquent: bool,
+    /// Write-back round progress.
+    pub w2: Option<NodeSet>,
+    /// True once round 1 has acted (quorum reached) — late replies ignored.
+    pub decided: bool,
+}
+
+/// What an RMW computes, once its base value is known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmwKind {
+    /// fetch-and-add on a LE u64.
+    Faa {
+        /// The addend.
+        delta: u64,
+    },
+    /// compare-and-swap (weak already passed its local check).
+    Cas {
+        /// `true` for the strong flavor (§6.1); the weak flavor reaching
+        /// here has already passed its local comparison.
+        strong: bool,
+    },
+    /// unconditional consensus write (the PaxosOnly mode's write).
+    Put,
+}
+
+/// Paxos proposer phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RmwPhase {
+    /// Nothing broadcast yet: waiting for the release barrier before even
+    /// proposing (the `overlap_release = false` ablation; the §4.3 default
+    /// overlaps the propose phase with the barrier wait).
+    WaitBarrierPropose,
+    /// Phase 1 in progress.
+    Propose,
+    /// Phase 1 done, waiting for the release barrier before accepting.
+    WaitBarrier,
+    /// Phase 2 in progress.
+    Accept,
+    /// Decided; commit broadcast gathering a visibility quorum (the third
+    /// broadcast round of §3.4).
+    Commit,
+}
+
+/// An RMW in flight (§3.4): per-key leaderless Basic Paxos with the
+/// release/acquire barrier semantics of §4.2.
+#[derive(Clone, Debug)]
+pub struct RmwState {
+    /// Common in-flight fields.
+    pub meta: Meta,
+    /// What the RMW computes (FAA / CAS / unconditional put).
+    pub kind: RmwKind,
+    /// CAS expect (unused for FAA/Put).
+    pub expect: Val,
+    /// CAS/Put new value (unused for FAA).
+    pub new: Val,
+    /// Release-barrier progress (§4.2 "RMWs").
+    pub barrier: Barrier,
+    /// Proposer phase for the current round.
+    pub phase: RmwPhase,
+    /// Slot the current round proposes for.
+    pub slot: u64,
+    /// Ballot of the current round.
+    pub ballot: Lc,
+    /// Phase-1 promises gathered (includes self).
+    pub promises: NodeSet,
+    /// Highest accepted command seen in phase 1 (to adopt).
+    pub best_accepted: Option<(Lc, Cmd)>,
+    /// The command being accepted in phase 2.
+    pub cmd: Option<Cmd>,
+    /// True if `cmd` belongs to another proposer (helping): on commit we
+    /// restart our own RMW instead of completing.
+    pub helping: bool,
+    /// Phase-2 accepts gathered (includes self).
+    pub accepts: NodeSet,
+    /// Commit-round visibility acks.
+    pub commits: NodeSet,
+    /// The commit being broadcast: `(slot, val, lc, ring-meta)` — kept for
+    /// retransmission and completion.
+    pub commit_bcast: Option<CommitBcast>,
+    /// Output to deliver when the commit round completes (None while
+    /// helping: a new round starts instead).
+    pub pending_output: Option<crate::api::OpOutput>,
+    /// OR of delinquency verdicts (acquire semantics, §4.2 "RMWs").
+    pub delinquent: bool,
+    /// Earliest time a nacked round may retry (0 = no retry scheduled).
+    pub retry_at: u64,
+    /// Consecutive nacked rounds (drives exponential backoff).
+    pub backoff_exp: u8,
+    /// Lower bound for the next round's ballot version (from nacks).
+    pub ballot_floor: u64,
+}
+
+/// Write-window relief (see `initiator.rs`): when a session's write window
+/// fills with writes that only unresponsive replicas haven't acked, the
+/// worker publishes their delinquency to a quorum (a value-less slow
+/// release) and then retires the quorum-acked writes — the session resumes
+/// instead of stalling for the whole outage. Ordering matters: the DM-set
+/// reaches a quorum *before* tracking is dropped, so the §4.2 release
+/// invariant is preserved for every later release.
+#[derive(Clone, Debug)]
+pub struct WindowReliefState {
+    /// Common in-flight fields (synthetic op id; no completion).
+    pub meta: Meta,
+    /// The published DM-set.
+    pub dm: NodeSet,
+    /// Machines that acked the DM broadcast (includes self).
+    pub acked: NodeSet,
+    /// The window snapshot this relief covers.
+    pub writes: Vec<u64>,
+}
+
+/// The in-flight table entry.
+///
+/// Variant sizes differ (an `RmwState` carries Paxos round state) but the
+/// table holds few entries per session, so boxing would cost more in
+/// indirection than it saves in padding.
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum InFlight {
+    /// Tracked relaxed write gathering acks (§3.2 / §4.2).
+    EsWrite(EsWriteState),
+    /// Slow-path relaxed read (§4.1).
+    SlowRead(SlowReadState),
+    /// Slow-path relaxed write (§4.3).
+    SlowWrite(SlowWriteState),
+    /// Release: barrier + ABD write (§4.2).
+    Release(ReleaseState),
+    /// Acquire: ABD read + delinquency discovery (§4.2).
+    Acquire(AcquireState),
+    /// RMW: per-key Paxos round (§3.4).
+    Rmw(RmwState),
+    /// Write-window relief round (see `initiator.rs`).
+    WindowRelief(WindowReliefState),
+}
+
+impl InFlight {
+    /// The entry's common fields.
+    pub fn meta(&self) -> &Meta {
+        match self {
+            InFlight::EsWrite(s) => &s.meta,
+            InFlight::SlowRead(s) => &s.meta,
+            InFlight::SlowWrite(s) => &s.meta,
+            InFlight::Release(s) => &s.meta,
+            InFlight::Acquire(s) => &s.meta,
+            InFlight::Rmw(s) => &s.meta,
+            InFlight::WindowRelief(s) => &s.meta,
+        }
+    }
+
+    /// Mutable access to the entry's common fields.
+    pub fn meta_mut(&mut self) -> &mut Meta {
+        match self {
+            InFlight::EsWrite(s) => &mut s.meta,
+            InFlight::SlowRead(s) => &mut s.meta,
+            InFlight::SlowWrite(s) => &mut s.meta,
+            InFlight::Release(s) => &mut s.meta,
+            InFlight::Acquire(s) => &mut s.meta,
+            InFlight::Rmw(s) => &mut s.meta,
+            InFlight::WindowRelief(s) => &mut s.meta,
+        }
+    }
+
+    /// Does this entry block its session?
+    pub fn blocks_session(&self) -> bool {
+        !matches!(self, InFlight::EsWrite(_) | InFlight::WindowRelief(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_common::{NodeId, SessionId};
+
+    fn meta() -> Meta {
+        Meta {
+            sess: 0,
+            op_id: OpId::new(SessionId::new(NodeId(0), 0), 0),
+            key: Key(1),
+            op: Op::Read { key: Key(1) },
+            invoked_at: 0,
+            last_sent: 0,
+        }
+    }
+
+    #[test]
+    fn barrier_with_no_writes_is_immediately_done() {
+        assert!(Barrier::new(vec![]).done);
+        assert!(!Barrier::new(vec![1, 2]).done);
+        assert!(Barrier::resolved().done);
+    }
+
+    #[test]
+    fn blocking_classification() {
+        let es = InFlight::EsWrite(EsWriteState {
+            meta: meta(),
+            val: Val::EMPTY,
+            lc: Lc::ZERO,
+            acked: NodeSet::EMPTY,
+        });
+        assert!(!es.blocks_session(), "relaxed writes don't block (§3.2)");
+        let acq = InFlight::Acquire(AcquireState {
+            meta: meta(),
+            reps: NodeSet::EMPTY,
+            best_val: Val::EMPTY,
+            best_lc: Lc::ZERO,
+            holders: NodeSet::EMPTY,
+            delinquent: false,
+            w2: None,
+            decided: false,
+        });
+        assert!(acq.blocks_session(), "acquires block the session (§4.2)");
+    }
+
+    #[test]
+    fn meta_accessors() {
+        let mut e = InFlight::SlowRead(SlowReadState {
+            meta: meta(),
+            snapshot: Epoch(0),
+            best_val: Val::EMPTY,
+            best_lc: Lc::ZERO,
+            reps: NodeSet::EMPTY,
+            holders: NodeSet::EMPTY,
+            w2: None,
+        });
+        assert_eq!(e.meta().key, Key(1));
+        e.meta_mut().last_sent = 99;
+        assert_eq!(e.meta().last_sent, 99);
+    }
+}

@@ -1,0 +1,1685 @@
+//! Initiator-side protocol logic: starting client operations, folding
+//! replies, the release barrier (§4.2), and the Paxos proposer (§3.4).
+//!
+//! All handlers use a remove-operate-reinsert pattern on the in-flight
+//! table; replies for unknown rids (stale rounds, duplicated acks) are
+//! silently discarded — every protocol step is idempotent at the replicas.
+
+#![allow(clippy::too_many_arguments)] // protocol handlers thread (now, cfg, outbox, ...) explicitly
+
+use kite_common::{Key, Lc, NodeSet, OpId, Val};
+use kite_kvs::paxos_meta::{AcceptedCmd, RmwCommit};
+use kite_simnet::Outbox;
+
+use crate::api::{Op, OpOutput};
+use crate::inflight::{
+    AcquireState, Barrier, EsWriteState, InFlight, Meta, ReleaseState, RmwKind, RmwPhase,
+    RmwState, SlowReadState, SlowReleaseSub, SlowWriteState, WindowReliefState,
+};
+use crate::msg::{Cmd, Msg, PromiseOutcome};
+use crate::session::ProtocolMode;
+use crate::worker::{StartResult, Worker};
+
+/// Base backoff before retrying a nacked Paxos round (dueling proposers):
+/// roughly one commit latency, so the loser's next round usually lands on
+/// the freshly advanced slot instead of re-dueling. Jittered per request id
+/// to break symmetry deterministically.
+const RMW_BACKOFF_NS: u64 = 10_000;
+
+#[inline]
+fn rmw_backoff(rid: u64, exp: u8) -> u64 {
+    (RMW_BACKOFF_NS << exp.min(5)) + (rid % 8) * 2_500
+}
+
+impl Worker {
+    fn meta(&self, si: usize, op_id: OpId, key: Key, op: Op, now: u64) -> Meta {
+        Meta { sess: si, op_id, key, op, invoked_at: now, last_sent: now }
+    }
+
+    // =====================================================================
+    // Operation start
+    // =====================================================================
+
+    pub(crate) fn start_op(
+        &mut self,
+        si: usize,
+        op_id: OpId,
+        op: Op,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) -> StartResult {
+        use ProtocolMode::*;
+        match op.clone() {
+            Op::Read { key } => match self.mode {
+                Kite | EsOnly => self.start_relaxed_read(si, op_id, key, op, now, out),
+                AbdOnly | PaxosOnly => self.start_acquire(si, op_id, key, op, now, out, false),
+            },
+            Op::Write { key, val } => match self.mode {
+                Kite | EsOnly => self.start_relaxed_write(si, op_id, key, val, op, now, out),
+                AbdOnly => self.start_release(si, op_id, key, val, op, now, out, false),
+                PaxosOnly => {
+                    self.start_rmw(si, op_id, key, RmwKind::Put, Val::EMPTY, val, op, now, out, false)
+                }
+            },
+            Op::Release { key, val } => match self.mode {
+                Kite => self.start_release(si, op_id, key, val, op, now, out, true),
+                EsOnly => self.start_relaxed_write(si, op_id, key, val, op, now, out),
+                AbdOnly => self.start_release(si, op_id, key, val, op, now, out, false),
+                PaxosOnly => {
+                    self.start_rmw(si, op_id, key, RmwKind::Put, Val::EMPTY, val, op, now, out, false)
+                }
+            },
+            Op::Acquire { key } => match self.mode {
+                Kite => self.start_acquire(si, op_id, key, op, now, out, true),
+                EsOnly => self.start_relaxed_read(si, op_id, key, op, now, out),
+                AbdOnly | PaxosOnly => self.start_acquire(si, op_id, key, op, now, out, false),
+            },
+            Op::Faa { key, delta } => {
+                let sync = self.mode.has_barriers();
+                self.start_rmw(si, op_id, key, RmwKind::Faa { delta }, Val::EMPTY, Val::EMPTY, op, now, out, sync)
+            }
+            Op::CasWeak { key, expect, new } => {
+                // Weak CAS (§6.1): a comparison that fails *locally* completes
+                // locally — this is what absorbs data-structure conflicts
+                // cheaply in §8.3.
+                let local = self.shared.store.view(key).val;
+                if local != expect {
+                    self.complete(si, op_id, op, OpOutput::Cas { ok: false, observed: local }, now, now);
+                    return StartResult::Inline;
+                }
+                let sync = self.mode.has_barriers();
+                self.start_rmw(si, op_id, key, RmwKind::Cas { strong: false }, expect, new, op, now, out, sync)
+            }
+            Op::CasStrong { key, expect, new } => {
+                let sync = self.mode.has_barriers();
+                self.start_rmw(si, op_id, key, RmwKind::Cas { strong: true }, expect, new, op, now, out, sync)
+            }
+        }
+    }
+
+    /// Relaxed read (§3.2): local if the key is in-epoch, slow-path quorum
+    /// read otherwise (§4.1).
+    fn start_relaxed_read(
+        &mut self,
+        si: usize,
+        op_id: OpId,
+        key: Key,
+        op: Op,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) -> StartResult {
+        let snapshot = self.shared.epoch();
+        let view = self.shared.store.view(key);
+        if view.epoch == snapshot {
+            self.shared.counters.local_reads.incr();
+            self.complete(si, op_id, op, OpOutput::Value(view.val), now, now);
+            return StartResult::Inline;
+        }
+        // Out-of-epoch: one quorum round, no write-back (§4.3).
+        self.shared.counters.slow_path_accesses.incr();
+        let rid = self.rid();
+        let state = SlowReadState {
+            meta: self.meta(si, op_id, key, op, now),
+            snapshot,
+            best_val: view.val,
+            best_lc: view.lc,
+            reps: NodeSet::singleton(self.me),
+            holders: NodeSet::singleton(self.me),
+            w2: None,
+        };
+        self.inflight.insert(rid, InFlight::SlowRead(state));
+        out.broadcast(self.me, Msg::ReadReq { rid, key, acq: None });
+        StartResult::Blocked(rid)
+    }
+
+    /// Relaxed write (§3.2): stamp with the key's next clock, apply locally,
+    /// broadcast; completes immediately. Out-of-epoch keys take the §4.3
+    /// slow path (LLC quorum round first).
+    fn start_relaxed_write(
+        &mut self,
+        si: usize,
+        op_id: OpId,
+        key: Key,
+        val: Val,
+        op: Op,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) -> StartResult {
+        let track = self.mode.has_barriers();
+        if track && self.sessions[si].write_window.len() >= self.window_cap {
+            return StartResult::Stall(op);
+        }
+        let snapshot = self.shared.epoch();
+        match self.shared.store.fast_write(key, &val, self.me, snapshot) {
+            Some(lc) => {
+                let rid = self.rid();
+                out.broadcast(self.me, Msg::EsWrite { rid, key, val: val.clone(), lc });
+                if track {
+                    let state = EsWriteState {
+                        meta: self.meta(si, op_id, key, op.clone(), now),
+                        val,
+                        lc,
+                        acked: NodeSet::singleton(self.me),
+                    };
+                    self.inflight.insert(rid, InFlight::EsWrite(state));
+                    self.sessions[si].write_window.push_back(rid);
+                }
+                self.complete(si, op_id, op, OpOutput::Done, now, now);
+                StartResult::Inline
+            }
+            None => {
+                // Out-of-epoch (Kite only): read LLCs from a quorum so the new
+                // write dominates anything this machine may have missed (§4.3).
+                self.shared.counters.slow_path_accesses.incr();
+                let rid = self.rid();
+                let state = SlowWriteState {
+                    meta: self.meta(si, op_id, key, op, now),
+                    snapshot,
+                    val,
+                    max_lc: self.shared.store.read_lc(key),
+                    reps: NodeSet::singleton(self.me),
+                    w2: None,
+                };
+                self.inflight.insert(rid, InFlight::SlowWrite(state));
+                out.broadcast(self.me, Msg::RtsReq { rid, key });
+                StartResult::Blocked(rid)
+            }
+        }
+    }
+
+    /// Release (§4.2): the barrier (gather acks for all prior session
+    /// writes) overlapped with ABD write round 1 (§4.3 optimization).
+    fn start_release(
+        &mut self,
+        si: usize,
+        op_id: OpId,
+        key: Key,
+        val: Val,
+        op: Op,
+        now: u64,
+        out: &mut Outbox<Msg>,
+        with_barrier: bool,
+    ) -> StartResult {
+        let rid = self.rid();
+        let writes: Vec<u64> =
+            if with_barrier { self.sessions[si].write_window.iter().copied().collect() } else { Vec::new() };
+        let barrier = Barrier::new(writes);
+        if !barrier.done {
+            self.barrier_waiters.push(rid);
+        }
+        // §4.3 optimization: the LLC-read round is benign (it does not make
+        // the release visible), so it normally overlaps the barrier wait.
+        // The ablation defers it until the barrier resolves.
+        let rts_sent = self.overlap_release || barrier.done;
+        let state = ReleaseState {
+            meta: self.meta(si, op_id, key, op, now),
+            val,
+            barrier,
+            rts_sent,
+            rts_reps: NodeSet::singleton(self.me),
+            rts_max: self.shared.store.read_lc(key),
+            w2: None,
+        };
+        self.inflight.insert(rid, InFlight::Release(state));
+        if rts_sent {
+            out.broadcast(self.me, Msg::RtsReq { rid, key });
+        }
+        StartResult::Blocked(rid)
+    }
+
+    /// Acquire (§4.2): ABD read with delinquency discovery piggybacked on
+    /// both rounds; blocks the session until complete.
+    fn start_acquire(
+        &mut self,
+        si: usize,
+        op_id: OpId,
+        key: Key,
+        op: Op,
+        now: u64,
+        out: &mut Outbox<Msg>,
+        sync: bool,
+    ) -> StartResult {
+        let rid = self.rid();
+        let view = self.shared.store.view(key);
+        // The local replica participates in the quorum; probe our own table
+        // too (a slow-release may have told *us* that we are delinquent).
+        let delinquent = if sync { self.shared.delinquency.probe(self.me, op_id) } else { false };
+        let state = AcquireState {
+            meta: self.meta(si, op_id, key, op, now),
+            reps: NodeSet::singleton(self.me),
+            best_val: view.val,
+            best_lc: view.lc,
+            holders: NodeSet::singleton(self.me),
+            delinquent,
+            w2: None,
+            decided: false,
+        };
+        self.inflight.insert(rid, InFlight::Acquire(state));
+        out.broadcast(self.me, Msg::ReadReq { rid, key, acq: sync.then_some(op_id) });
+        StartResult::Blocked(rid)
+    }
+
+    /// RMW (§3.4): leaderless per-key Paxos, with release-barrier semantics
+    /// (accept gated on the barrier) and acquire semantics (delinquency
+    /// piggybacked on phase replies).
+    #[allow(clippy::too_many_arguments)]
+    fn start_rmw(
+        &mut self,
+        si: usize,
+        op_id: OpId,
+        key: Key,
+        kind: RmwKind,
+        expect: Val,
+        new: Val,
+        op: Op,
+        now: u64,
+        out: &mut Outbox<Msg>,
+        with_barrier: bool,
+    ) -> StartResult {
+        let rid = self.rid();
+        let writes: Vec<u64> =
+            if with_barrier { self.sessions[si].write_window.iter().copied().collect() } else { Vec::new() };
+        let barrier = Barrier::new(writes);
+        if !barrier.done {
+            self.barrier_waiters.push(rid);
+        }
+        let mut state = RmwState {
+            meta: self.meta(si, op_id, key, op, now),
+            kind,
+            expect,
+            new,
+            barrier,
+            phase: RmwPhase::Propose,
+            slot: 0,
+            ballot: Lc::ZERO,
+            promises: NodeSet::EMPTY,
+            best_accepted: None,
+            cmd: None,
+            helping: false,
+            accepts: NodeSet::EMPTY,
+            commits: NodeSet::EMPTY,
+            commit_bcast: None,
+            pending_output: None,
+            delinquent: false,
+            retry_at: 0,
+            backoff_exp: 0,
+            ballot_floor: 0,
+        };
+        // §4.3 optimization: the propose phase carries no value, so it
+        // normally overlaps the barrier wait (like the release's LLC-read
+        // round). The ablation holds the whole Paxos exchange back until
+        // the barrier resolves.
+        if !self.overlap_release && !state.barrier.done {
+            state.phase = RmwPhase::WaitBarrierPropose;
+            self.inflight.insert(rid, InFlight::Rmw(state));
+            return StartResult::Blocked(rid);
+        }
+        if let Some(output) = self.rmw_new_round(rid, &mut state, out) {
+            self.rmw_finish(&mut state, output, now, out);
+            return StartResult::Inline;
+        }
+        self.inflight.insert(rid, InFlight::Rmw(state));
+        StartResult::Blocked(rid)
+    }
+
+    /// Begin a fresh proposal round: self-promise under the key's Paxos
+    /// lock, then broadcast `Propose`.
+    ///
+    /// Returns `Some(output)` if the operation's command turns out to have
+    /// already committed (another proposer *helped* it while we were backing
+    /// off — the commit's ring entry proves it). The caller must then finish
+    /// the op with that output instead of proposing: re-proposing would
+    /// execute the RMW a second time.
+    #[must_use]
+    fn rmw_new_round(
+        &mut self,
+        rid: u64,
+        state: &mut RmwState,
+        out: &mut Outbox<Msg>,
+    ) -> Option<OpOutput> {
+        let key = state.meta.key;
+        let (slot, ballot, accepted) = {
+            let pax = self.shared.store.paxos(key);
+            let mut pax = pax.lock();
+            if let Some(done) = pax.committed.find(state.meta.op_id) {
+                return Some(rmw_output(state.kind, &done.result));
+            }
+            let version = pax.promised.version.max(state.ballot_floor) + 1;
+            let ballot = Lc::new(version, self.me);
+            pax.promised = ballot;
+            let accepted = pax.accepted.as_ref().map(|a| {
+                (
+                    a.ballot,
+                    Cmd { op: a.op, new_val: a.new_val.clone(), result: a.result.clone(), lc: a.lc },
+                )
+            });
+            (pax.slot, ballot, accepted)
+        };
+        state.slot = slot;
+        state.ballot = ballot;
+        state.phase = RmwPhase::Propose;
+        state.promises = NodeSet::singleton(self.me);
+        state.best_accepted = accepted;
+        state.cmd = None;
+        state.helping = false;
+        state.accepts = NodeSet::EMPTY;
+        state.commits = NodeSet::EMPTY;
+        state.commit_bcast = None;
+        state.pending_output = None;
+        state.retry_at = 0;
+        out.broadcast(self.me, Msg::Propose { rid, key, slot, ballot, op: state.meta.op_id });
+        None
+    }
+
+    // =====================================================================
+    // Reply handlers
+    // =====================================================================
+
+    /// Ack for a tracked relaxed write: when *all* machines acked, the write
+    /// stops being a barrier obligation (§4.2 fast path).
+    pub(crate) fn on_es_ack(&mut self, src: kite_common::NodeId, rid: u64, _now: u64) {
+        let Some(InFlight::EsWrite(state)) = self.inflight.get_mut(&rid) else { return };
+        state.acked.insert(src);
+        if state.acked.is_all(self.nodes) {
+            let si = state.meta.sess;
+            self.inflight.remove(&rid);
+            self.remove_from_window(si, rid);
+        }
+    }
+
+    pub(crate) fn on_rts_rep(
+        &mut self,
+        src: kite_common::NodeId,
+        rid: u64,
+        lc: Lc,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(mut entry) = self.inflight.remove(&rid) else { return };
+        match &mut entry {
+            InFlight::Release(state) => {
+                state.rts_reps.insert(src);
+                state.rts_max = state.rts_max.max(lc);
+                let advanced = self.try_advance_release(rid, state, out);
+                let _ = advanced;
+                self.inflight.insert(rid, entry);
+            }
+            InFlight::SlowWrite(state) => {
+                if state.w2.is_some() {
+                    // Value round already started (full-ABD ablation); this
+                    // is a late stamp reply.
+                    self.inflight.insert(rid, entry);
+                    return;
+                }
+                state.reps.insert(src);
+                state.max_lc = state.max_lc.max(lc);
+                if state.reps.len() >= self.quorum {
+                    // Quorum of stamps: the write now dominates anything this
+                    // machine missed. Apply + restore in-epoch.
+                    let wlc = state.max_lc.succ(self.me);
+                    self.shared.store.apply_max_restore(
+                        state.meta.key,
+                        &state.val,
+                        wlc,
+                        state.snapshot,
+                    );
+                    if !self.stripped_slow {
+                        // Full-ABD ablation: the value round must be
+                        // quorum-acked before the write completes.
+                        state.w2 = Some((wlc, NodeSet::singleton(self.me)));
+                        state.meta.last_sent = now;
+                        out.broadcast(
+                            self.me,
+                            Msg::WriteMsg {
+                                rid,
+                                key: state.meta.key,
+                                val: state.val.clone(),
+                                lc: wlc,
+                                acq: None,
+                            },
+                        );
+                        self.inflight.insert(rid, entry);
+                        return;
+                    }
+                    // §4.3 default: broadcast the value ES-style; completion
+                    // does not wait for acks — the next release in session
+                    // order is responsible for quorum visibility.
+                    let wrid = self.rid();
+                    out.broadcast(
+                        self.me,
+                        Msg::EsWrite { rid: wrid, key: state.meta.key, val: state.val.clone(), lc: wlc },
+                    );
+                    let si = state.meta.sess;
+                    if self.mode.has_barriers() {
+                        let es = EsWriteState {
+                            meta: self.meta(si, state.meta.op_id, state.meta.key, state.meta.op.clone(), now),
+                            val: state.val.clone(),
+                            lc: wlc,
+                            acked: NodeSet::singleton(self.me),
+                        };
+                        self.inflight.insert(wrid, InFlight::EsWrite(es));
+                        self.sessions[si].write_window.push_back(wrid);
+                    }
+                    self.complete(
+                        si,
+                        state.meta.op_id,
+                        state.meta.op.clone(),
+                        OpOutput::Done,
+                        state.meta.invoked_at,
+                        now,
+                    );
+                    // entry dropped (slow write finished)
+                } else {
+                    self.inflight.insert(rid, entry);
+                }
+            }
+            _ => {
+                self.inflight.insert(rid, entry);
+            }
+        }
+    }
+
+    pub(crate) fn on_read_rep(
+        &mut self,
+        src: kite_common::NodeId,
+        rid: u64,
+        val: Val,
+        lc: Lc,
+        delinquent: bool,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(mut entry) = self.inflight.remove(&rid) else { return };
+        match &mut entry {
+            InFlight::SlowRead(state) => {
+                if state.w2.is_some() {
+                    // Write-back round already started (full-ABD ablation);
+                    // this is a late round-1 reply.
+                    self.inflight.insert(rid, entry);
+                    return;
+                }
+                state.reps.insert(src);
+                if lc > state.best_lc {
+                    state.best_lc = lc;
+                    state.best_val = val;
+                    state.holders = NodeSet::singleton(src);
+                } else if lc == state.best_lc {
+                    state.holders.insert(src);
+                }
+                if state.reps.len() >= self.quorum {
+                    // Freshest of a quorum; restore the key in-epoch at the
+                    // snapshot taken when the access started (§4.2).
+                    self.shared.store.apply_max_restore(
+                        state.meta.key,
+                        &state.best_val,
+                        state.best_lc,
+                        state.snapshot,
+                    );
+                    state.holders.insert(self.me);
+                    if !self.stripped_slow && state.holders.len() < self.quorum {
+                        // Full-ABD ablation: make the value quorum-visible
+                        // before returning it (the §4.3 default skips this —
+                        // RC only needs the read to observe missed writes).
+                        state.w2 = Some(NodeSet::singleton(self.me));
+                        state.meta.last_sent = now;
+                        out.broadcast(
+                            self.me,
+                            Msg::WriteMsg {
+                                rid,
+                                key: state.meta.key,
+                                val: state.best_val.clone(),
+                                lc: state.best_lc,
+                                acq: None,
+                            },
+                        );
+                        self.inflight.insert(rid, entry);
+                        return;
+                    }
+                    self.complete(
+                        state.meta.sess,
+                        state.meta.op_id,
+                        state.meta.op.clone(),
+                        OpOutput::Value(state.best_val.clone()),
+                        state.meta.invoked_at,
+                        now,
+                    );
+                } else {
+                    self.inflight.insert(rid, entry);
+                }
+            }
+            InFlight::Acquire(state) => {
+                state.delinquent |= delinquent;
+                if state.decided {
+                    // Round 1 already acted; this is a late replica.
+                    self.inflight.insert(rid, entry);
+                    return;
+                }
+                state.reps.insert(src);
+                if lc > state.best_lc {
+                    state.best_lc = lc;
+                    state.best_val = val;
+                    state.holders = NodeSet::singleton(src);
+                } else if lc == state.best_lc {
+                    state.holders.insert(src);
+                }
+                if state.reps.len() >= self.quorum {
+                    state.decided = true;
+                    // Apply the freshest value locally either way.
+                    self.shared.store.apply_max(state.meta.key, &state.best_val, state.best_lc);
+                    if state.holders.len() >= self.quorum {
+                        self.finish_acquire(state, now, out);
+                        return; // entry dropped: acquire complete
+                    }
+                    // Write-back round (§3.3): make the value quorum-visible
+                    // before returning it. Carries the acquire tag so its
+                    // quorum also performs delinquency discovery (Lemma 5.3).
+                    let acq_tag = match state.meta.op {
+                        Op::Acquire { .. } if self.mode.has_barriers() => Some(state.meta.op_id),
+                        _ => None,
+                    };
+                    state.w2 = Some(NodeSet::singleton(self.me));
+                    out.broadcast(
+                        self.me,
+                        Msg::WriteMsg {
+                            rid,
+                            key: state.meta.key,
+                            val: state.best_val.clone(),
+                            lc: state.best_lc,
+                            acq: acq_tag,
+                        },
+                    );
+                }
+                self.inflight.insert(rid, entry);
+            }
+            _ => {
+                self.inflight.insert(rid, entry);
+            }
+        }
+    }
+
+    pub(crate) fn on_write_ack(
+        &mut self,
+        src: kite_common::NodeId,
+        rid: u64,
+        delinquent: bool,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(mut entry) = self.inflight.remove(&rid) else { return };
+        match &mut entry {
+            InFlight::Release(state) => {
+                let finished = if let Some((_, acked)) = &mut state.w2 {
+                    acked.insert(src);
+                    acked.len() >= self.quorum
+                } else {
+                    false
+                };
+                if finished {
+                    if state.barrier.slow.is_some() {
+                        self.shared.counters.slow_releases.incr();
+                    } else {
+                        self.shared.counters.fast_releases.incr();
+                    }
+                    self.complete(
+                        state.meta.sess,
+                        state.meta.op_id,
+                        state.meta.op.clone(),
+                        OpOutput::Done,
+                        state.meta.invoked_at,
+                        now,
+                    );
+                } else {
+                    self.inflight.insert(rid, entry);
+                }
+            }
+            InFlight::Acquire(state) => {
+                state.delinquent |= delinquent;
+                let finished = if let Some(acked) = &mut state.w2 {
+                    acked.insert(src);
+                    acked.len() >= self.quorum
+                } else {
+                    false
+                };
+                if finished {
+                    self.finish_acquire(state, now, out);
+                    return; // entry dropped
+                }
+                self.inflight.insert(rid, entry);
+            }
+            InFlight::SlowRead(state) => {
+                // Write-back round of the full-ABD ablation.
+                let finished = if let Some(acked) = &mut state.w2 {
+                    acked.insert(src);
+                    acked.len() >= self.quorum
+                } else {
+                    false
+                };
+                if finished {
+                    self.complete(
+                        state.meta.sess,
+                        state.meta.op_id,
+                        state.meta.op.clone(),
+                        OpOutput::Value(state.best_val.clone()),
+                        state.meta.invoked_at,
+                        now,
+                    );
+                    return; // entry dropped
+                }
+                self.inflight.insert(rid, entry);
+            }
+            InFlight::SlowWrite(state) => {
+                // Value round of the full-ABD ablation: complete at a
+                // quorum, then keep the entry alive as a tracked relaxed
+                // write so later release barriers see its remaining acks.
+                let finished = if let Some((_, acked)) = &mut state.w2 {
+                    acked.insert(src);
+                    acked.len() >= self.quorum
+                } else {
+                    false
+                };
+                if finished {
+                    let (wlc, acked) = state.w2.expect("checked above");
+                    let si = state.meta.sess;
+                    self.complete(
+                        si,
+                        state.meta.op_id,
+                        state.meta.op.clone(),
+                        OpOutput::Done,
+                        state.meta.invoked_at,
+                        now,
+                    );
+                    if self.mode.has_barriers() && !acked.is_all(self.nodes) {
+                        if let InFlight::SlowWrite(state) = entry {
+                            let es = EsWriteState {
+                                meta: self.meta(si, state.meta.op_id, state.meta.key, state.meta.op, now),
+                                val: state.val,
+                                lc: wlc,
+                                acked,
+                            };
+                            self.inflight.insert(rid, InFlight::EsWrite(es));
+                            self.sessions[si].write_window.push_back(rid);
+                        }
+                    }
+                    return;
+                }
+                self.inflight.insert(rid, entry);
+            }
+            InFlight::EsWrite(state) => {
+                // A converted slow write's replica can answer the original
+                // WriteMsg after conversion; the ack still counts.
+                state.acked.insert(src);
+                if state.acked.is_all(self.nodes) {
+                    let si = state.meta.sess;
+                    self.remove_from_window(si, rid);
+                } else {
+                    self.inflight.insert(rid, entry);
+                }
+            }
+            _ => {
+                self.inflight.insert(rid, entry);
+            }
+        }
+    }
+
+    /// Complete an acquire: barrier transition if deemed delinquent (§4.2),
+    /// then return the value.
+    fn finish_acquire(&mut self, state: &mut AcquireState, now: u64, out: &mut Outbox<Msg>) {
+        if state.delinquent && self.mode.has_barriers() {
+            // Transition to the slow path *before* completing the acquire:
+            // bump the machine epoch (all keys fall out-of-epoch), then
+            // broadcast the reset so later acquires are not re-notified
+            // (§4.2.1; Lemmas 5.4, 5.6). The bump is elided if a concurrent
+            // acquire already bumped after this one began.
+            self.shared.bump_epoch_once(state.meta.invoked_at, now);
+            self.shared.delinquency.reset(self.me, state.meta.op_id);
+            out.broadcast(self.me, Msg::ResetBit { acq: state.meta.op_id });
+        }
+        self.complete(
+            state.meta.sess,
+            state.meta.op_id,
+            state.meta.op.clone(),
+            OpOutput::Value(state.best_val.clone()),
+            state.meta.invoked_at,
+            now,
+        );
+    }
+
+    pub(crate) fn on_slow_release_ack(
+        &mut self,
+        src: kite_common::NodeId,
+        rid: u64,
+        _now: u64,
+        _out: &mut Outbox<Msg>,
+    ) {
+        let mut relief_done = false;
+        if let Some(entry) = self.inflight.get_mut(&rid) {
+            match entry {
+                InFlight::Release(s) => {
+                    if let Some(sub) = &mut s.barrier.slow {
+                        sub.acked.insert(src);
+                    }
+                }
+                InFlight::Rmw(s) => {
+                    if let Some(sub) = &mut s.barrier.slow {
+                        sub.acked.insert(src);
+                    }
+                }
+                InFlight::WindowRelief(s) => {
+                    s.acked.insert(src);
+                    relief_done = s.acked.len() >= self.quorum;
+                }
+                _ => {}
+            }
+        }
+        if relief_done {
+            if let Some(InFlight::WindowRelief(state)) = self.inflight.remove(&rid) {
+                self.finish_window_relief(rid, state);
+            }
+        }
+        // Release/RMW barrier resolution is evaluated by `check_barriers`.
+    }
+
+    // =====================================================================
+    // Release progression
+    // =====================================================================
+
+    /// Start the release's value round once the barrier is resolved and a
+    /// quorum of stamps has been read. Returns true if round 2 started.
+    fn try_advance_release(
+        &mut self,
+        rid: u64,
+        state: &mut ReleaseState,
+        out: &mut Outbox<Msg>,
+    ) -> bool {
+        if !state.barrier.done || state.w2.is_some() || state.rts_reps.len() < self.quorum {
+            return false;
+        }
+        let lc = state.rts_max.succ(self.me);
+        self.shared.store.apply_max(state.meta.key, &state.val, lc);
+        state.w2 = Some((lc, NodeSet::singleton(self.me)));
+        out.broadcast(
+            self.me,
+            Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc, acq: None },
+        );
+        true
+    }
+
+    // =====================================================================
+    // Barrier machinery (§4.2)
+    // =====================================================================
+
+    /// Evaluate all unresolved barriers: fast-path resolution, timeout →
+    /// slow-release, slow-path resolution.
+    pub(crate) fn check_barriers(&mut self, now: u64, out: &mut Outbox<Msg>) {
+        if self.barrier_waiters.is_empty() {
+            return;
+        }
+        let waiters: Vec<u64> = self.barrier_waiters.clone();
+        let mut resolved: Vec<u64> = Vec::new();
+        for rid in waiters {
+            let Some(mut entry) = self.inflight.remove(&rid) else {
+                resolved.push(rid);
+                continue;
+            };
+            let done = {
+                let (meta_invoked, barrier) = match &mut entry {
+                    InFlight::Release(s) => (s.meta.invoked_at, &mut s.barrier),
+                    InFlight::Rmw(s) => (s.meta.invoked_at, &mut s.barrier),
+                    _ => unreachable!("barrier waiter must be release or rmw"),
+                };
+                self.evaluate_barrier(rid, meta_invoked, barrier, now, out)
+            };
+            if done {
+                resolved.push(rid);
+                // Slow-path resolution subsumes the writes: delinquency is
+                // published, so tracking (and retransmitting) them can stop.
+                let subsumed: Vec<u64> = match &entry {
+                    InFlight::Release(s) if s.barrier.slow.is_some() => s.barrier.writes.clone(),
+                    InFlight::Rmw(s) if s.barrier.slow.is_some() => s.barrier.writes.clone(),
+                    _ => Vec::new(),
+                };
+                for wrid in subsumed {
+                    if let Some(InFlight::EsWrite(w)) = self.inflight.remove(&wrid) {
+                        self.remove_from_window(w.meta.sess, wrid);
+                    }
+                }
+                let mut consumed = false;
+                match &mut entry {
+                    InFlight::Release(state) => {
+                        if !state.rts_sent {
+                            // Deferred LLC-read round (overlap ablation).
+                            state.rts_sent = true;
+                            state.meta.last_sent = now;
+                            out.broadcast(self.me, Msg::RtsReq { rid, key: state.meta.key });
+                        }
+                        self.try_advance_release(rid, state, out);
+                    }
+                    InFlight::Rmw(state) => match state.phase {
+                        RmwPhase::WaitBarrier => {
+                            if let Some(output) = self.rmw_enter_accept(rid, state, out) {
+                                self.rmw_finish(state, output, now, out);
+                                consumed = true;
+                            }
+                        }
+                        RmwPhase::WaitBarrierPropose => {
+                            // Deferred propose phase (overlap ablation).
+                            state.meta.last_sent = now;
+                            if let Some(output) = self.rmw_new_round(rid, state, out) {
+                                self.rmw_finish(state, output, now, out);
+                                consumed = true;
+                            }
+                        }
+                        _ => {}
+                    },
+                    _ => {}
+                }
+                if consumed {
+                    continue;
+                }
+            }
+            self.inflight.insert(rid, entry);
+        }
+        if !resolved.is_empty() {
+            self.barrier_waiters.retain(|r| !resolved.contains(r));
+        }
+    }
+
+    /// One barrier's state transition. Returns whether it is now resolved.
+    /// `rid` is the owning release/RMW's request id — the slow-release
+    /// broadcast reuses it (message types disambiguate the replies).
+    fn evaluate_barrier(
+        &mut self,
+        rid: u64,
+        invoked_at: u64,
+        barrier: &mut Barrier,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) -> bool {
+        if barrier.done {
+            return true;
+        }
+        // Fast path: every prior write acked by all machines — its in-flight
+        // entry is removed on the final ack, so "gone" means "acked by all".
+        let all_gone = barrier.writes.iter().all(|w| !self.inflight.contains_key(w));
+        if all_gone && barrier.slow.is_none() {
+            barrier.done = true;
+            return true;
+        }
+        // Who is past due? A node joins the DM-set only for writes that
+        // have waited out the timeout (counted from the *write's* issue —
+        // a release behind a long-stuck write goes slow immediately instead
+        // of re-paying the timeout; the §8.4 timeline depends on this) or
+        // whose missing ackers are all already suspected. Acks merely in
+        // flight for young writes must NOT mark healthy replicas delinquent
+        // — that would cascade needless epoch bumps across the cluster.
+        let dm_due = self.barrier_overdue_missing(&barrier.writes, now, invoked_at);
+        match &mut barrier.slow {
+            None => {
+                if dm_due.is_empty() {
+                    return false; // keep waiting for (young) acks
+                }
+                // §4.2 slow-path release: publish the DM-set, retransmit
+                // the writes so they reach a quorum under loss.
+                for n in dm_due {
+                    self.shared.suspect(n);
+                }
+                let retrans: Vec<u64> = barrier.writes.clone();
+                for w in retrans {
+                    self.retransmit_es_write(w, now, out);
+                }
+                self.shared.delinquency.mark_delinquent(dm_due);
+                barrier.slow =
+                    Some(SlowReleaseSub { dm: dm_due, acked: NodeSet::singleton(self.me) });
+                self.shared.counters.slow_releases.incr();
+                out.broadcast(self.me, Msg::SlowRelease { rid, dm: dm_due });
+                false
+            }
+            Some(sub) => {
+                // More writes may have aged out since the DM broadcast:
+                // extend it (the published set must cover every machine that
+                // may miss a barrier write — Lemma 5.2).
+                let extra = dm_due.minus(sub.dm);
+                if !extra.is_empty() {
+                    sub.dm = sub.dm.union(extra);
+                    sub.acked = NodeSet::singleton(self.me);
+                    self.shared.delinquency.mark_delinquent(extra);
+                    out.broadcast(self.me, Msg::SlowRelease { rid, dm: sub.dm });
+                    return false;
+                }
+                // Slow path resolves when the DM broadcast is quorum-acked
+                // and every prior write is quorum-acked with its remaining
+                // non-ackers covered by the published DM (invariants 1+2 of
+                // §4.2).
+                let dm_ok = sub.acked.len() >= self.quorum;
+                let dm = sub.dm;
+                let all = NodeSet::all(self.nodes);
+                let writes_ok = barrier.writes.iter().all(|w| match self.inflight.get(w) {
+                    None => true,
+                    Some(InFlight::EsWrite(es)) => {
+                        es.acked.len() >= self.quorum
+                            && all.minus(es.acked).minus(dm).is_empty()
+                    }
+                    Some(_) => true,
+                });
+                if dm_ok && writes_ok {
+                    barrier.done = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Nodes missing acks for barrier writes that are past due: the write
+    /// (or the barrier itself) aged beyond the release timeout, or everyone
+    /// the write is missing is already suspected.
+    fn barrier_overdue_missing(&self, writes: &[u64], now: u64, barrier_invoked: u64) -> NodeSet {
+        let all = NodeSet::all(self.nodes);
+        let suspected = self.shared.suspected();
+        let barrier_overdue = now.saturating_sub(barrier_invoked) >= self.release_timeout;
+        let mut dm = NodeSet::EMPTY;
+        for w in writes {
+            if let Some(InFlight::EsWrite(es)) = self.inflight.get(w) {
+                let missing = all.minus(es.acked);
+                if missing.is_empty() {
+                    continue;
+                }
+                let overdue = barrier_overdue
+                    || now.saturating_sub(es.meta.invoked_at) >= self.release_timeout
+                    || missing.minus(suspected).is_empty();
+                if overdue {
+                    dm = dm.union(missing);
+                }
+            }
+        }
+        dm
+    }
+
+    /// Start a write-window relief round for session `si` if its window is
+    /// stuck: publish the missing ackers' delinquency to a quorum, then
+    /// retire quorum-acked writes (see `WindowReliefState`). At most one
+    /// relief per session.
+    pub(crate) fn maybe_window_relief(&mut self, si: usize, now: u64, out: &mut Outbox<Msg>) {
+        if !self.mode.has_barriers() || self.sessions[si].relief.is_some() {
+            return;
+        }
+        let writes: Vec<u64> = self.sessions[si].write_window.iter().copied().collect();
+        // Only *overdue* missing ackers are published — acks in flight for
+        // young writes are not delinquency.
+        let dm = self.barrier_overdue_missing(&writes, now, now);
+        if dm.is_empty() {
+            return; // acks are simply in flight; retry next tick
+        }
+        for n in dm {
+            self.shared.suspect(n);
+        }
+        self.shared.delinquency.mark_delinquent(dm);
+        self.shared.counters.slow_releases.incr();
+        let rid = self.rid();
+        let op_id = OpId::new(self.sessions[si].id, u64::MAX); // synthetic
+        let meta = Meta {
+            sess: si,
+            op_id,
+            key: Key(0),
+            op: Op::Read { key: Key(0) },
+            invoked_at: now,
+            last_sent: now,
+        };
+        self.inflight.insert(
+            rid,
+            InFlight::WindowRelief(WindowReliefState {
+                meta,
+                dm,
+                acked: NodeSet::singleton(self.me),
+                writes,
+            }),
+        );
+        self.sessions[si].relief = Some(rid);
+        out.broadcast(self.me, Msg::SlowRelease { rid, dm });
+    }
+
+    /// Relief's DM broadcast is quorum-acked: retire every covered write
+    /// that reached a quorum; the session's window drains and it resumes.
+    fn finish_window_relief(&mut self, rid: u64, state: WindowReliefState) {
+        for w in &state.writes {
+            let retire = match self.inflight.get(w) {
+                Some(InFlight::EsWrite(es)) => {
+                    es.acked.len() >= self.quorum
+                        && NodeSet::all(self.nodes).minus(es.acked).minus(state.dm).is_empty()
+                }
+                _ => false,
+            };
+            if retire {
+                if let Some(InFlight::EsWrite(es)) = self.inflight.remove(w) {
+                    self.remove_from_window(es.meta.sess, *w);
+                }
+            }
+        }
+        self.sessions[state.meta.sess].relief = None;
+        let _ = rid;
+    }
+
+    fn retransmit_es_write(&mut self, rid: u64, now: u64, out: &mut Outbox<Msg>) {
+        let me = self.me;
+        let nodes = self.nodes;
+        if let Some(InFlight::EsWrite(es)) = self.inflight.get_mut(&rid) {
+            es.meta.last_sent = now;
+            let missing = NodeSet::all(nodes).minus(es.acked);
+            let msg = Msg::EsWrite { rid, key: es.meta.key, val: es.val.clone(), lc: es.lc };
+            out.multicast(me, missing, msg);
+        }
+    }
+
+    // =====================================================================
+    // Paxos proposer (§3.4)
+    // =====================================================================
+
+    pub(crate) fn on_promise_rep(
+        &mut self,
+        src: kite_common::NodeId,
+        rid: u64,
+        ballot: Lc,
+        outcome: PromiseOutcome,
+        delinquent: bool,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(mut entry) = self.inflight.remove(&rid) else { return };
+        let InFlight::Rmw(state) = &mut entry else {
+            self.inflight.insert(rid, entry);
+            return;
+        };
+        state.delinquent |= delinquent;
+        if state.phase != RmwPhase::Propose || ballot != state.ballot {
+            self.inflight.insert(rid, entry); // stale round
+            return;
+        }
+        match outcome {
+            PromiseOutcome::Promised { accepted } => {
+                state.promises.insert(src);
+                if let Some((b, cmd)) = accepted {
+                    if state.best_accepted.as_ref().is_none_or(|(bb, _)| b > *bb) {
+                        state.best_accepted = Some((b, cmd));
+                    }
+                }
+                if state.promises.len() >= self.quorum
+                    && self.rmw_decide(rid, state, now, out) {
+                        // completed inline (failed CAS / helped)
+                        return;
+                    }
+                self.inflight.insert(rid, entry);
+            }
+            PromiseOutcome::NackBallot { promised } => {
+                state.ballot_floor = state.ballot_floor.max(promised.version);
+                if state.retry_at == 0 {
+                    state.retry_at = now + rmw_backoff(rid, state.backoff_exp);
+                    state.backoff_exp = state.backoff_exp.saturating_add(1);
+                    self.rmw_retries.push((rid, state.retry_at));
+                }
+                self.inflight.insert(rid, entry);
+            }
+            PromiseOutcome::AlreadyCommitted { slot, cur_val, cur_lc, done } => {
+                // Catch up to the decided prefix.
+                self.shared.store.apply_max(state.meta.key, &cur_val, cur_lc);
+                {
+                    let pax = self.shared.store.paxos(state.meta.key);
+                    let mut pax = pax.lock();
+                    if slot > 0 {
+                        pax.advance_past(slot - 1);
+                    }
+                }
+                if let Some(result) = done {
+                    // Our command was helped to commit by another proposer:
+                    // complete exactly once with its recorded result — after
+                    // making the caught-up value (which subsumes our commit)
+                    // quorum-visible.
+                    state.pending_output = Some(rmw_output(state.kind, &result));
+                    self.rmw_start_commit_round(
+                        rid,
+                        state,
+                        slot.saturating_sub(1),
+                        cur_val,
+                        cur_lc,
+                        None,
+                        out,
+                    );
+                    self.inflight.insert(rid, entry);
+                    return;
+                }
+                // Retry at the new slot with a fresh evaluation.
+                if let Some(output) = self.rmw_new_round(rid, state, out) {
+                    self.rmw_finish(state, output, now, out);
+                    return; // entry dropped
+                }
+                self.inflight.insert(rid, entry);
+            }
+            PromiseOutcome::Lagging { slot: _ } => {
+                // The replica missed a commit: fill it with the decided
+                // prefix (the key's current value summarizes it) and let the
+                // retransmission logic re-propose.
+                debug_assert!(state.slot > 0, "Lagging implies the proposer is ahead");
+                let view = self.shared.store.view(state.meta.key);
+                out.send(
+                    src,
+                    Msg::Commit {
+                        rid: 0, // fill: the ack is discarded
+                        key: state.meta.key,
+                        slot: state.slot - 1,
+                        val: view.val,
+                        lc: view.lc,
+                        meta: None,
+                    },
+                );
+                self.inflight.insert(rid, entry);
+            }
+        }
+    }
+
+    /// Phase-1 quorum reached: pick the command (adopt the highest accepted,
+    /// else evaluate our own RMW on the local base value) and move to the
+    /// accept phase, gated on the release barrier (§4.2 "RMWs"). Returns
+    /// true if the operation completed inline (entry consumed).
+    fn rmw_decide(
+        &mut self,
+        rid: u64,
+        state: &mut RmwState,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) -> bool {
+        if let Some((_, cmd)) = state.best_accepted.take() {
+            state.helping = cmd.op != state.meta.op_id;
+            state.cmd = Some(cmd);
+        } else {
+            let base = self.shared.store.view(state.meta.key).val;
+            // The commit stamp is fixed here, at decide time, and travels
+            // with the command (msg::Cmd::lc): it must rise above everything
+            // this proposer has seen — in particular the previous slot's
+            // commit, which it applied before advancing — so commit clocks
+            // grow monotonically along each key's slot chain at *every*
+            // committer, owner or helper.
+            let clc = self.shared.store.read_lc(state.meta.key).succ(self.me);
+            let cmd = match state.kind {
+                RmwKind::Faa { delta } => Cmd {
+                    op: state.meta.op_id,
+                    new_val: Val::from_u64(base.as_u64().wrapping_add(delta)),
+                    result: base,
+                    lc: clc,
+                },
+                RmwKind::Cas { .. } => {
+                    if base == state.expect {
+                        Cmd { op: state.meta.op_id, new_val: state.new.clone(), result: base, lc: clc }
+                    } else {
+                        // Comparison failed against a quorum-fresh base: the
+                        // CAS completes without consensus (it writes nothing).
+                        let output = OpOutput::Cas { ok: false, observed: base };
+                        self.rmw_finish(state, output, now, out);
+                        return true;
+                    }
+                }
+                RmwKind::Put => Cmd {
+                    op: state.meta.op_id,
+                    new_val: state.new.clone(),
+                    result: base,
+                    lc: clc,
+                },
+            };
+            state.helping = false;
+            state.cmd = Some(cmd);
+        }
+        if state.barrier.done {
+            if let Some(output) = self.rmw_enter_accept(rid, state, out) {
+                self.rmw_finish(state, output, now, out);
+                return true;
+            }
+        } else {
+            state.phase = RmwPhase::WaitBarrier;
+        }
+        false
+    }
+
+    /// Start phase 2: self-accept under the key's Paxos lock, broadcast.
+    /// Restarts the round if the slot moved or a higher ballot intervened;
+    /// propagates an already-committed result exactly like `rmw_new_round`.
+    #[must_use]
+    pub(crate) fn rmw_enter_accept(
+        &mut self,
+        rid: u64,
+        state: &mut RmwState,
+        out: &mut Outbox<Msg>,
+    ) -> Option<OpOutput> {
+        let cmd = state.cmd.clone().expect("accept without command");
+        let ok = {
+            let pax = self.shared.store.paxos(state.meta.key);
+            let mut pax = pax.lock();
+            if pax.slot == state.slot && state.ballot >= pax.promised {
+                pax.promised = state.ballot;
+                pax.accepted = Some(AcceptedCmd {
+                    op: cmd.op,
+                    ballot: state.ballot,
+                    new_val: cmd.new_val.clone(),
+                    result: cmd.result.clone(),
+                    lc: cmd.lc,
+                });
+                true
+            } else {
+                false
+            }
+        };
+        if !ok {
+            return self.rmw_new_round(rid, state, out);
+        }
+        state.phase = RmwPhase::Accept;
+        state.retry_at = 0;
+        state.backoff_exp = 0;
+        state.accepts = NodeSet::singleton(self.me);
+        out.broadcast(
+            self.me,
+            Msg::Accept { rid, key: state.meta.key, slot: state.slot, ballot: state.ballot, cmd },
+        );
+        None
+    }
+
+    pub(crate) fn on_accept_rep(
+        &mut self,
+        src: kite_common::NodeId,
+        rid: u64,
+        ballot: Lc,
+        ok: bool,
+        promised: Lc,
+        delinquent: bool,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(mut entry) = self.inflight.remove(&rid) else { return };
+        let InFlight::Rmw(state) = &mut entry else {
+            self.inflight.insert(rid, entry);
+            return;
+        };
+        state.delinquent |= delinquent;
+        if state.phase != RmwPhase::Accept || ballot != state.ballot {
+            self.inflight.insert(rid, entry);
+            return;
+        }
+        if ok {
+            state.accepts.insert(src);
+            if state.accepts.len() >= self.quorum
+                && self.rmw_commit(rid, state, now, out) {
+                    return; // completed, entry dropped
+                }
+        } else {
+            state.ballot_floor = state.ballot_floor.max(promised.version);
+            if state.retry_at == 0 {
+                state.retry_at = now + rmw_backoff(rid, state.backoff_exp);
+                state.backoff_exp = state.backoff_exp.saturating_add(1);
+                self.rmw_retries.push((rid, state.retry_at));
+            }
+        }
+        self.inflight.insert(rid, entry);
+    }
+
+    /// Phase-2 quorum: the command is decided. Apply, record, learn, then
+    /// run the commit round — the RMW completes (or, when helping, our own
+    /// round restarts) only once the commit is visible at a quorum (§3.4's
+    /// third broadcast round). Returns true if the entry was consumed.
+    fn rmw_commit(
+        &mut self,
+        rid: u64,
+        state: &mut RmwState,
+        _now: u64,
+        out: &mut Outbox<Msg>,
+    ) -> bool {
+        let cmd = state.cmd.clone().expect("commit without command");
+        let key = state.meta.key;
+        // The committed value is stamped with the clock fixed at decide
+        // time (cmd.lc) — identical for every committer of this slot, so
+        // the per-key commit-clock chain is unique (see msg::Cmd::lc).
+        let lc = cmd.lc;
+        self.shared.store.apply_max(key, &cmd.new_val, lc);
+        {
+            let pax = self.shared.store.paxos(key);
+            let mut pax = pax.lock();
+            if pax.committed.find(cmd.op).is_none() {
+                pax.committed.push(RmwCommit { op: cmd.op, slot: state.slot, result: cmd.result.clone() });
+            }
+            pax.advance_past(state.slot);
+        }
+        state.pending_output =
+            (!state.helping).then(|| rmw_output(state.kind, &cmd.result));
+        let slot = state.slot;
+        let meta = Some((cmd.op, cmd.result.clone()));
+        let val = cmd.new_val.clone();
+        self.rmw_start_commit_round(rid, state, slot, val, lc, meta, out);
+        false
+    }
+
+    /// Broadcast the commit and wait for a visibility quorum.
+    #[allow(clippy::too_many_arguments)]
+    fn rmw_start_commit_round(
+        &mut self,
+        rid: u64,
+        state: &mut RmwState,
+        slot: u64,
+        val: Val,
+        lc: Lc,
+        meta: Option<(OpId, Val)>,
+        out: &mut Outbox<Msg>,
+    ) {
+        self.shared.store.apply_max(state.meta.key, &val, lc);
+        state.phase = RmwPhase::Commit;
+        state.retry_at = 0;
+        state.commits = NodeSet::singleton(self.me);
+        state.commit_bcast = Some(Box::new((slot, val.clone(), lc, meta.clone())));
+        out.broadcast(
+            self.me,
+            Msg::Commit { rid, key: state.meta.key, slot, val, lc, meta },
+        );
+    }
+
+    /// Commit visibility acks: when a quorum holds the committed value, the
+    /// RMW completes (or, when helping, our own command goes again).
+    pub(crate) fn on_commit_ack(
+        &mut self,
+        src: kite_common::NodeId,
+        rid: u64,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let Some(mut entry) = self.inflight.remove(&rid) else { return };
+        let InFlight::Rmw(state) = &mut entry else {
+            self.inflight.insert(rid, entry);
+            return;
+        };
+        if state.phase != RmwPhase::Commit {
+            self.inflight.insert(rid, entry);
+            return;
+        }
+        state.commits.insert(src);
+        if state.commits.len() >= self.quorum {
+            match state.pending_output.take() {
+                Some(output) => {
+                    self.rmw_finish(state, output, now, out);
+                    return; // entry consumed
+                }
+                None => {
+                    // we were helping: now run our own command
+                    if let Some(output) = self.rmw_new_round(rid, state, out) {
+                        self.rmw_finish(state, output, now, out);
+                        return;
+                    }
+                }
+            }
+        }
+        self.inflight.insert(rid, entry);
+    }
+
+    /// Complete an RMW: acquire-side barrier transition (§4.2 "RMWs"), then
+    /// deliver the result. (A stale entry in `barrier_waiters` is cleaned up
+    /// by the next `check_barriers` pass.)
+    fn rmw_finish(&mut self, state: &mut RmwState, output: OpOutput, now: u64, out: &mut Outbox<Msg>) {
+        if state.delinquent && self.mode.has_barriers() {
+            self.shared.bump_epoch_once(state.meta.invoked_at, now);
+            self.shared.delinquency.reset(self.me, state.meta.op_id);
+            out.broadcast(self.me, Msg::ResetBit { acq: state.meta.op_id });
+        }
+        self.complete(
+            state.meta.sess,
+            state.meta.op_id,
+            state.meta.op.clone(),
+            output,
+            state.meta.invoked_at,
+            now,
+        );
+    }
+
+    // =====================================================================
+    // Retransmission / timers
+    // =====================================================================
+
+    /// Periodic scan: retransmit quorum-seeking requests to non-responders,
+    /// fire Paxos retry backoffs.
+    pub(crate) fn scan_retransmits(&mut self, now: u64, out: &mut Outbox<Msg>) {
+        let me = self.me;
+        let all = NodeSet::all(self.nodes);
+        let retransmit = self.retransmit;
+        // Deterministic scan order: the simulator's reproducibility depends
+        // on identical retransmission interleavings for identical seeds.
+        let mut rids: Vec<u64> = self.inflight.keys().copied().collect();
+        rids.sort_unstable();
+        for rid in rids {
+            let Some(entry) = self.inflight.get_mut(&rid) else { continue };
+            let due = now.saturating_sub(entry.meta().last_sent) >= retransmit;
+            match entry {
+                InFlight::EsWrite(es) => {
+                    // Retransmit to non-ackers, but never chase *suspected*
+                    // replicas once a quorum holds the write: recovery for
+                    // those is the delinquency mechanism's job, and blind
+                    // retransmission toward a dead node is a traffic storm.
+                    if due && !es.acked.is_all(self.nodes) {
+                        let missing = all.minus(es.acked);
+                        let targets = if es.acked.len() < self.quorum {
+                            missing
+                        } else {
+                            missing.minus(self.shared.suspected())
+                        };
+                        if !targets.is_empty() {
+                            es.meta.last_sent = now;
+                            let msg = Msg::EsWrite {
+                                rid,
+                                key: es.meta.key,
+                                val: es.val.clone(),
+                                lc: es.lc,
+                            };
+                            out.multicast(me, targets, msg);
+                        } else {
+                            es.meta.last_sent = now;
+                        }
+                    }
+                }
+                InFlight::SlowRead(s) => {
+                    if due {
+                        s.meta.last_sent = now;
+                        match &s.w2 {
+                            Some(acked) => out.multicast(
+                                me,
+                                all.minus(*acked),
+                                Msg::WriteMsg {
+                                    rid,
+                                    key: s.meta.key,
+                                    val: s.best_val.clone(),
+                                    lc: s.best_lc,
+                                    acq: None,
+                                },
+                            ),
+                            None => out.multicast(
+                                me,
+                                all.minus(s.reps),
+                                Msg::ReadReq { rid, key: s.meta.key, acq: None },
+                            ),
+                        }
+                    }
+                }
+                InFlight::SlowWrite(s) => {
+                    if due {
+                        s.meta.last_sent = now;
+                        match &s.w2 {
+                            Some((lc, acked)) => out.multicast(
+                                me,
+                                all.minus(*acked),
+                                Msg::WriteMsg {
+                                    rid,
+                                    key: s.meta.key,
+                                    val: s.val.clone(),
+                                    lc: *lc,
+                                    acq: None,
+                                },
+                            ),
+                            None => out.multicast(
+                                me,
+                                all.minus(s.reps),
+                                Msg::RtsReq { rid, key: s.meta.key },
+                            ),
+                        }
+                    }
+                }
+                InFlight::Release(s) => {
+                    if due {
+                        s.meta.last_sent = now;
+                        if let (Some(sub), false) = (&s.barrier.slow, s.barrier.done) {
+                            out.multicast(
+                                me,
+                                all.minus(sub.acked),
+                                Msg::SlowRelease { rid, dm: sub.dm },
+                            );
+                        }
+                        match &s.w2 {
+                            Some((lc, acked)) => out.multicast(
+                                me,
+                                all.minus(*acked),
+                                Msg::WriteMsg { rid, key: s.meta.key, val: s.val.clone(), lc: *lc, acq: None },
+                            ),
+                            None if s.rts_sent => out.multicast(
+                                me,
+                                all.minus(s.rts_reps),
+                                Msg::RtsReq { rid, key: s.meta.key },
+                            ),
+                            None => {} // deferred round 1: nothing sent yet
+                        }
+                    }
+                }
+                InFlight::Acquire(s) => {
+                    if due {
+                        s.meta.last_sent = now;
+                        let acq_tag = match s.meta.op {
+                            Op::Acquire { .. } if self.mode.has_barriers() => Some(s.meta.op_id),
+                            _ => None,
+                        };
+                        match &s.w2 {
+                            Some(acked) => out.multicast(
+                                me,
+                                all.minus(*acked),
+                                Msg::WriteMsg {
+                                    rid,
+                                    key: s.meta.key,
+                                    val: s.best_val.clone(),
+                                    lc: s.best_lc,
+                                    acq: acq_tag,
+                                },
+                            ),
+                            None => out.multicast(
+                                me,
+                                all.minus(s.reps),
+                                Msg::ReadReq { rid, key: s.meta.key, acq: acq_tag },
+                            ),
+                        }
+                    }
+                }
+                InFlight::WindowRelief(s) => {
+                    if due {
+                        s.meta.last_sent = now;
+                        out.multicast(me, all.minus(s.acked), Msg::SlowRelease { rid, dm: s.dm });
+                    }
+                }
+                InFlight::Rmw(s) => {
+                    if due {
+                        s.meta.last_sent = now;
+                        if let (Some(sub), false) = (&s.barrier.slow, s.barrier.done) {
+                            out.multicast(
+                                me,
+                                all.minus(sub.acked),
+                                Msg::SlowRelease { rid, dm: sub.dm },
+                            );
+                        }
+                        match s.phase {
+                            RmwPhase::Propose => out.multicast(
+                                me,
+                                all.minus(s.promises),
+                                Msg::Propose {
+                                    rid,
+                                    key: s.meta.key,
+                                    slot: s.slot,
+                                    ballot: s.ballot,
+                                    op: s.meta.op_id,
+                                },
+                            ),
+                            RmwPhase::Accept => {
+                                if let Some(cmd) = &s.cmd {
+                                    out.multicast(
+                                        me,
+                                        all.minus(s.accepts),
+                                        Msg::Accept {
+                                            rid,
+                                            key: s.meta.key,
+                                            slot: s.slot,
+                                            ballot: s.ballot,
+                                            cmd: cmd.clone(),
+                                        },
+                                    );
+                                }
+                            }
+                            RmwPhase::Commit => {
+                                if let Some(cb) = &s.commit_bcast {
+                                    let (slot, val, lc, meta) = (**cb).clone();
+                                    out.multicast(
+                                        me,
+                                        all.minus(s.commits),
+                                        Msg::Commit {
+                                            rid,
+                                            key: s.meta.key,
+                                            slot,
+                                            val,
+                                            lc,
+                                            meta,
+                                        },
+                                    );
+                                }
+                            }
+                            RmwPhase::WaitBarrier | RmwPhase::WaitBarrierPropose => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fire due RMW conflict backoffs (called every tick).
+    pub(crate) fn fire_rmw_retries(&mut self, now: u64, out: &mut Outbox<Msg>) {
+        if self.rmw_retries.is_empty() {
+            return;
+        }
+        let due: Vec<u64> = self
+            .rmw_retries
+            .iter()
+            .filter(|&&(_, at)| now >= at)
+            .map(|&(rid, _)| rid)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        self.rmw_retries.retain(|&(_, at)| now < at);
+        for rid in due {
+            let Some(mut entry) = self.inflight.remove(&rid) else { continue };
+            if let InFlight::Rmw(state) = &mut entry {
+                // Only restart if the round is still stuck (a quorum may
+                // have arrived after the nack; phase transitions clear
+                // retry_at).
+                if state.retry_at != 0 && now >= state.retry_at {
+                    if let Some(output) = self.rmw_new_round(rid, state, out) {
+                        self.rmw_finish(state, output, now, out);
+                        continue; // entry consumed
+                    }
+                }
+            }
+            self.inflight.insert(rid, entry);
+        }
+    }
+}
+
+/// Map an RMW result value to its API output.
+fn rmw_output(kind: RmwKind, result: &Val) -> OpOutput {
+    match kind {
+        RmwKind::Faa { .. } => OpOutput::Faa(result.as_u64()),
+        RmwKind::Cas { .. } => OpOutput::Cas { ok: true, observed: result.clone() },
+        RmwKind::Put => OpOutput::Done,
+    }
+}

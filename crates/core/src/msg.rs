@@ -1,0 +1,368 @@
+//! The wire protocol: every message exchanged by Kite workers.
+//!
+//! One enum carries all three protocols (ES §3.2, ABD §3.3, per-key Paxos
+//! §3.4) plus the barrier-mechanism messages (§4.2): slow-release, reset-bit.
+//! Batching works *across* protocols (§6.3) because envelopes are just
+//! `Vec<Msg>`.
+//!
+//! Request/response pairs are matched by `rid`, a worker-local request id —
+//! replies always return to the issuing worker because workers are peered
+//! one-to-one across nodes (§6.3).
+
+use kite_common::{Key, Lc, NodeSet, OpId, Val};
+
+/// A Paxos command: everything an acceptor stores for an accepted RMW and a
+/// committer needs to finish it (§3.4; DESIGN.md §3.4 for the dedup scheme).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cmd {
+    /// Owning operation (used for helping + exactly-once completion).
+    pub op: OpId,
+    /// The value written if this command commits.
+    pub new_val: Val,
+    /// The RMW's return value (base value observed), carried so helpers can
+    /// complete the owner's op with the right result.
+    pub result: Val,
+    /// The clock the committed value will be stamped with, fixed when the
+    /// command is created and carried through accepts and helping, so that
+    /// *every* committer of a slot broadcasts the same `(value, lc)` pair.
+    /// If the owner and a helper each stamped their own clock instead, a
+    /// successor slot's commit built on the lower-clock branch could lose
+    /// the `apply_max` race at a replica holding the higher stamp of an
+    /// *older* slot's value — that replica would advance its slot with a
+    /// stale store and the next RMW would decide from a stale base (lost
+    /// FAA increment; caught by `tests/chaos.rs` seed 8).
+    pub lc: Lc,
+}
+
+/// Acceptor's answer to a `Propose`.
+#[derive(Clone, Debug)]
+pub enum PromiseOutcome {
+    /// Promised: will not accept lower ballots for this slot. Carries the
+    /// previously accepted command, if any (the proposer must adopt the
+    /// highest-ballot one — classic Paxos phase 1).
+    Promised {
+        /// `(ballot, cmd)` previously accepted for this slot.
+        accepted: Option<(Lc, Cmd)>,
+    },
+    /// A higher ballot was already promised.
+    NackBallot {
+        /// The ballot the acceptor has promised instead.
+        promised: Lc,
+    },
+    /// The acceptor has already moved past the proposer's slot: the slot is
+    /// decided. Carries the acceptor's current slot, the key's current
+    /// value/clock for catch-up, and — if the proposer's own command is in
+    /// the committed ring — its recorded result (the op was helped).
+    AlreadyCommitted {
+        /// The acceptor's current (next undecided) slot.
+        slot: u64,
+        /// The key's current value at the acceptor (summarizes the decided
+        /// prefix).
+        cur_val: Val,
+        /// Its clock.
+        cur_lc: Lc,
+        /// The proposer's own command's recorded result, if it was helped
+        /// to commit.
+        done: Option<Val>,
+    },
+    /// The acceptor is *behind* the proposer's slot (missed a commit); the
+    /// proposer answers with a `Commit` fill.
+    Lagging {
+        /// The acceptor's (stale) slot.
+        slot: u64,
+    },
+}
+
+/// Protocol messages. `rid` is the sender's request id; replies echo it.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    // ------------------------------------------------------------------ ES
+    /// Relaxed-write propagation (§3.2): apply iff `lc` beats the stored
+    /// clock; always acknowledged (the release barrier counts acks).
+    EsWrite {
+        /// Sender's request id; the ack echoes it.
+        rid: u64,
+        /// Key being written.
+        key: Key,
+        /// New value.
+        val: Val,
+        /// The write's Lamport stamp (LLC-max apply rule).
+        lc: Lc,
+    },
+    /// Ack for `EsWrite`.
+    EsAck {
+        /// Echoed request id.
+        rid: u64,
+    },
+
+    // ----------------------------------------------------------- ABD rounds
+    /// Read-the-stamp: fetch the key's current LLC (ABD write round 1;
+    /// also the slow-path relaxed write's first round, §4.3).
+    RtsReq {
+        /// Sender's request id.
+        rid: u64,
+        /// Key whose clock is requested.
+        key: Key,
+    },
+    /// Reply to [`Msg::RtsReq`].
+    RtsRep {
+        /// Echoed request id.
+        rid: u64,
+        /// The key's current clock at the replying replica.
+        lc: Lc,
+    },
+
+    /// ABD read round 1 (acquires and slow-path relaxed reads). When `acq`
+    /// is set this probe performs the delinquency check for the sender's
+    /// machine and the Set→Transient transition (§4.2.1), tagged by the
+    /// acquire's unique `op` id.
+    ReadReq {
+        /// Sender's request id.
+        rid: u64,
+        /// Key being read.
+        key: Key,
+        /// `Some(op)` iff this is an acquire's round: probe delinquency.
+        acq: Option<OpId>,
+    },
+    /// Reply to [`Msg::ReadReq`].
+    ReadRep {
+        /// Echoed request id.
+        rid: u64,
+        /// The key's value at the replying replica.
+        val: Val,
+        /// Its clock (the reader keeps the highest).
+        lc: Lc,
+        /// Delinquency verdict for the *sender's* machine (§4.2).
+        delinquent: bool,
+    },
+
+    /// ABD value broadcast: release round 2, or an acquire's read
+    /// write-back round. Applied under the LLC-max rule; always acked.
+    /// Acquire write-backs carry `acq` so the second round also collects
+    /// delinquency verdicts (§5 Lemma 5.3 case a-2 relies on the second
+    /// round's quorum intersecting the DM-set quorum).
+    WriteMsg {
+        /// Sender's request id.
+        rid: u64,
+        /// Key being written.
+        key: Key,
+        /// Value to apply.
+        val: Val,
+        /// Stamp to apply it under (LLC-max rule).
+        lc: Lc,
+        /// `Some(op)` iff this is an acquire's write-back round.
+        acq: Option<OpId>,
+    },
+    /// Ack for [`Msg::WriteMsg`].
+    WriteAck {
+        /// Echoed request id.
+        rid: u64,
+        /// Delinquency verdict for the sender's machine.
+        delinquent: bool,
+    },
+
+    // ------------------------------------------------------------- barrier
+    /// Slow-path release barrier (§4.2): "these machines are delinquent".
+    /// The release executes only after a quorum acks this.
+    SlowRelease {
+        /// The owning release/RMW's request id.
+        rid: u64,
+        /// The DM-set: machines suspected to have missed barrier writes.
+        dm: NodeSet,
+    },
+    /// Ack for [`Msg::SlowRelease`].
+    SlowReleaseAck {
+        /// Echoed request id.
+        rid: u64,
+    },
+    /// Best-effort delinquency reset, sent *after* the acquirer incremented
+    /// its machine epoch (§4.2.1, Lemma 5.6). Fire-and-forget.
+    ResetBit {
+        /// The acquire whose probe transitioned the bit to Transient.
+        acq: OpId,
+    },
+
+    // --------------------------------------------------------------- Paxos
+    /// Phase-1 propose for `(key, slot)` at `ballot`. Carries the
+    /// proposer's op id (ring lookup for helped commands) and performs the
+    /// acquire-side delinquency probe (RMWs have acquire semantics, §4.2).
+    Propose {
+        /// Proposer's request id.
+        rid: u64,
+        /// Key whose per-key Paxos instance this round belongs to.
+        key: Key,
+        /// Slot (index in the key's commit sequence) being proposed for.
+        slot: u64,
+        /// Proposal ballot (an LLC: unique, totally ordered).
+        ballot: Lc,
+        /// The proposer's RMW op id (committed-ring dedup lookup).
+        op: OpId,
+    },
+    /// Reply to `Propose`. Echoes the ballot so replies from a superseded
+    /// proposal round are recognized and discarded by the proposer.
+    PromiseRep {
+        /// Echoed request id.
+        rid: u64,
+        /// Echoed ballot (stale-round filter).
+        ballot: Lc,
+        /// Promise / nack / already-committed / lagging (see
+        /// [`PromiseOutcome`]).
+        outcome: PromiseOutcome,
+        /// Delinquency verdict for the proposer's machine.
+        delinquent: bool,
+    },
+
+    /// Phase-2 accept.
+    Accept {
+        /// Proposer's request id.
+        rid: u64,
+        /// Key of the per-key instance.
+        key: Key,
+        /// Slot being decided.
+        slot: u64,
+        /// Ballot this accept runs under.
+        ballot: Lc,
+        /// The command to accept (op id + value + result + commit stamp).
+        cmd: Cmd,
+    },
+    /// Reply to `Accept` (ballot echoed, as in `PromiseRep`).
+    AcceptRep {
+        /// Echoed request id.
+        rid: u64,
+        /// Echoed ballot (stale-round filter).
+        ballot: Lc,
+        /// Whether the acceptor accepted.
+        ok: bool,
+        /// On a nack: the higher ballot the acceptor has promised.
+        promised: Lc,
+        /// Delinquency verdict for the proposer's machine.
+        delinquent: bool,
+    },
+
+    /// Commit/learn broadcast (also used as catch-up fill for lagging
+    /// replicas). `meta` is `Some((op, result))` for real commits — recorded
+    /// in the key's committed ring — and `None` for fills. Idempotent.
+    /// Acked: an RMW completes only once its commit is visible at a quorum
+    /// of stores (the third of the paper's "three broadcast rounds", §3.4 —
+    /// without it a linearizable read could miss a completed RMW).
+    Commit {
+        /// Committer's request id (`0` for fills: the ack is discarded).
+        rid: u64,
+        /// Key of the per-key instance.
+        key: Key,
+        /// Slot this commit decides (receivers advance past it).
+        slot: u64,
+        /// The committed value.
+        val: Val,
+        /// The decide-time commit stamp (see [`Cmd::lc`]).
+        lc: Lc,
+        /// `Some((op, result))` for real commits (ring entry); `None` for
+        /// catch-up fills.
+        meta: Option<(OpId, Val)>,
+    },
+    /// Ack for [`Msg::Commit`] (visibility quorum).
+    CommitAck {
+        /// Echoed request id.
+        rid: u64,
+    },
+}
+
+impl Msg {
+    /// Short tag for trace/debug output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::EsWrite { .. } => "es-write",
+            Msg::EsAck { .. } => "es-ack",
+            Msg::RtsReq { .. } => "rts-req",
+            Msg::RtsRep { .. } => "rts-rep",
+            Msg::ReadReq { .. } => "read-req",
+            Msg::ReadRep { .. } => "read-rep",
+            Msg::WriteMsg { .. } => "write",
+            Msg::WriteAck { .. } => "write-ack",
+            Msg::SlowRelease { .. } => "slow-release",
+            Msg::SlowReleaseAck { .. } => "slow-release-ack",
+            Msg::ResetBit { .. } => "reset-bit",
+            Msg::Propose { .. } => "propose",
+            Msg::PromiseRep { .. } => "promise",
+            Msg::Accept { .. } => "accept",
+            Msg::AcceptRep { .. } => "accept-rep",
+            Msg::Commit { .. } => "commit",
+            Msg::CommitAck { .. } => "commit-ack",
+        }
+    }
+
+    /// Is this a reply message (routed by rid at the receiver)?
+    pub fn is_reply(&self) -> bool {
+        matches!(
+            self,
+            Msg::EsAck { .. }
+                | Msg::RtsRep { .. }
+                | Msg::ReadRep { .. }
+                | Msg::WriteAck { .. }
+                | Msg::SlowReleaseAck { .. }
+                | Msg::PromiseRep { .. }
+                | Msg::AcceptRep { .. }
+                | Msg::CommitAck { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_common::{NodeId, SessionId};
+
+    #[test]
+    fn tags_cover_all_variants() {
+        let op = OpId::new(SessionId::new(NodeId(0), 0), 0);
+        let msgs = vec![
+            Msg::EsWrite { rid: 0, key: Key(1), val: Val::EMPTY, lc: Lc::ZERO },
+            Msg::EsAck { rid: 0 },
+            Msg::RtsReq { rid: 0, key: Key(1) },
+            Msg::RtsRep { rid: 0, lc: Lc::ZERO },
+            Msg::ReadReq { rid: 0, key: Key(1), acq: Some(op) },
+            Msg::ReadRep { rid: 0, val: Val::EMPTY, lc: Lc::ZERO, delinquent: false },
+            Msg::WriteMsg { rid: 0, key: Key(1), val: Val::EMPTY, lc: Lc::ZERO, acq: None },
+            Msg::WriteAck { rid: 0, delinquent: false },
+            Msg::SlowRelease { rid: 0, dm: NodeSet::EMPTY },
+            Msg::SlowReleaseAck { rid: 0 },
+            Msg::ResetBit { acq: op },
+            Msg::Propose { rid: 0, key: Key(1), slot: 0, ballot: Lc::ZERO, op },
+            Msg::PromiseRep {
+                rid: 0,
+                ballot: Lc::ZERO,
+                outcome: PromiseOutcome::Promised { accepted: None },
+                delinquent: false,
+            },
+            Msg::Accept {
+                rid: 0,
+                key: Key(1),
+                slot: 0,
+                ballot: Lc::ZERO,
+                cmd: Cmd { op, new_val: Val::EMPTY, result: Val::EMPTY, lc: Lc::ZERO },
+            },
+            Msg::AcceptRep { rid: 0, ballot: Lc::ZERO, ok: true, promised: Lc::ZERO, delinquent: false },
+            Msg::Commit { rid: 0, key: Key(1), slot: 0, val: Val::EMPTY, lc: Lc::ZERO, meta: None },
+            Msg::CommitAck { rid: 0 },
+        ];
+        let tags: std::collections::HashSet<_> = msgs.iter().map(|m| m.tag()).collect();
+        assert_eq!(tags.len(), msgs.len(), "tags must be distinct");
+    }
+
+    #[test]
+    fn reply_classification() {
+        assert!(Msg::EsAck { rid: 1 }.is_reply());
+        assert!(!Msg::EsWrite { rid: 1, key: Key(0), val: Val::EMPTY, lc: Lc::ZERO }.is_reply());
+        assert!(!Msg::ResetBit { acq: OpId::new(SessionId::new(NodeId(0), 0), 0) }.is_reply());
+        assert!(!Msg::Commit {
+            rid: 0,
+            key: Key(0),
+            slot: 0,
+            val: Val::EMPTY,
+            lc: Lc::ZERO,
+            meta: None
+        }
+        .is_reply());
+        assert!(Msg::CommitAck { rid: 0 }.is_reply());
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-node shared state: everything a Kite machine's workers share.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use kite_common::stats::ProtoCounters;
+use kite_common::{ClusterConfig, Epoch, NodeId, NodeSet};
+use kite_kvs::Store;
+
+use crate::delinquency::DelinquencyTable;
+
+/// One Kite machine's shared state (Figure 2 of the paper): the KVS
+/// replica, the machine epoch-id, and the delinquency bit-vector.
+pub struct NodeShared {
+    /// This node's id.
+    pub me: NodeId,
+    /// The deployment configuration.
+    pub cfg: ClusterConfig,
+    /// The node's replica of the entire KVS (§2.1: every machine holds the
+    /// whole store in memory).
+    pub store: Store,
+    /// Machine epoch-id (§4.2): bumped when an acquire discovers this
+    /// machine is delinquent; keys whose epoch lags are out-of-epoch.
+    epoch: AtomicU64,
+    /// Scheduler-clock time of the last epoch bump (see
+    /// [`NodeShared::bump_epoch_once`]).
+    last_bump: AtomicU64,
+    /// Delinquency bits for every machine in the deployment (§4.2.1).
+    pub delinquency: DelinquencyTable,
+    /// Locally *suspected* replicas: a release timed out waiting for their
+    /// acks recently and no message has arrived from them since. While a
+    /// replica is suspected, releases take the slow-path barrier
+    /// immediately instead of re-paying the ack timeout per release — this
+    /// is what keeps the survivors' throughput up during the §8.4 sleep
+    /// (the paper's Figure 9 shows per-node throughput *rising* while a
+    /// replica sleeps, which is only possible if releases stop waiting for
+    /// it). Suspicion is a performance hint only: the slow path is always
+    /// the conservative, correct path.
+    suspects: Vec<AtomicBool>,
+    /// Protocol/throughput counters (merged with the fabric's counts).
+    pub counters: Arc<ProtoCounters>,
+}
+
+impl NodeShared {
+    /// Build the shared state for node `me` (preallocates the KVS).
+    pub fn new(me: NodeId, cfg: ClusterConfig, counters: Arc<ProtoCounters>) -> Arc<Self> {
+        Arc::new(NodeShared {
+            me,
+            store: Store::new(cfg.keys),
+            epoch: AtomicU64::new(0),
+            last_bump: AtomicU64::new(0),
+            delinquency: DelinquencyTable::new(cfg.nodes),
+            suspects: (0..cfg.nodes).map(|_| AtomicBool::new(false)).collect(),
+            counters,
+            cfg,
+        })
+    }
+
+    /// Mark a replica suspected (a release barrier timed out on it).
+    #[inline]
+    pub fn suspect(&self, node: NodeId) {
+        self.suspects[node.idx()].store(true, Ordering::Relaxed);
+    }
+
+    /// Any message from a replica proves it alive: clear its suspicion.
+    #[inline]
+    pub fn clear_suspect(&self, node: NodeId) {
+        if self.suspects[node.idx()].load(Ordering::Relaxed) {
+            self.suspects[node.idx()].store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// The currently suspected set.
+    #[inline]
+    pub fn suspected(&self) -> NodeSet {
+        let mut s = NodeSet::EMPTY;
+        for (i, b) in self.suspects.iter().enumerate() {
+            if b.load(Ordering::Relaxed) {
+                s.insert(NodeId(i as u8));
+            }
+        }
+        s
+    }
+
+    /// Current machine epoch.
+    #[inline]
+    pub fn epoch(&self) -> Epoch {
+        Epoch(self.epoch.load(Ordering::Acquire))
+    }
+
+    /// Increment the machine epoch (transition to the slow path, §4.2):
+    /// every locally stored key becomes out-of-epoch at once. Returns the
+    /// new epoch.
+    #[inline]
+    pub fn bump_epoch(&self) -> Epoch {
+        let new = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.counters.epoch_bumps.incr();
+        Epoch(new)
+    }
+
+    /// Epoch bump for an acquire that *started* at `invoked_at` (scheduler
+    /// clock): skipped if another acquire already bumped the epoch after
+    /// this one began — that bump invalidated every key and thus already
+    /// discharges this acquire's slow-path obligation (Lemma 5.4). Without
+    /// this, a burst of concurrent acquires on a waking replica bumps the
+    /// epoch hundreds of times, forcing each key through the slow path
+    /// once *per bump* instead of once per outage.
+    #[inline]
+    pub fn bump_epoch_once(&self, invoked_at: u64, now: u64) -> bool {
+        let last = self.last_bump.load(Ordering::Acquire);
+        if last > invoked_at {
+            return false;
+        }
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        self.last_bump.store(now, Ordering::Release);
+        self.counters.epoch_bumps.incr();
+        true
+    }
+
+    /// Quorum size of the deployment.
+    #[inline]
+    pub fn quorum(&self) -> usize {
+        self.cfg.quorum()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared() -> Arc<NodeShared> {
+        NodeShared::new(
+            NodeId(0),
+            ClusterConfig::small(),
+            Arc::new(ProtoCounters::default()),
+        )
+    }
+
+    #[test]
+    fn epoch_starts_at_zero_and_bumps() {
+        let s = shared();
+        assert_eq!(s.epoch(), Epoch(0));
+        assert_eq!(s.bump_epoch(), Epoch(1));
+        assert_eq!(s.epoch(), Epoch(1));
+        assert_eq!(s.counters.epoch_bumps.get(), 1);
+    }
+
+    #[test]
+    fn keys_fall_out_of_epoch_on_bump() {
+        use kite_common::{Key, Val};
+        let s = shared();
+        // in-epoch write succeeds at epoch 0
+        assert!(s.store.fast_write(Key(1), &Val::from_u64(1), s.me, s.epoch()).is_some());
+        s.bump_epoch();
+        // the key's epoch (0) now lags the machine epoch (1): fast path refused
+        assert!(s.store.fast_write(Key(1), &Val::from_u64(2), s.me, s.epoch()).is_none());
+        // restoring brings it back
+        s.store.restore_epoch(Key(1), s.epoch());
+        assert!(s.store.fast_write(Key(1), &Val::from_u64(2), s.me, s.epoch()).is_some());
+    }
+
+    #[test]
+    fn quorum_matches_config() {
+        let s = shared();
+        assert_eq!(s.quorum(), 2); // 3-node small config
+        assert_eq!(s.nodes(), 3);
+    }
+}

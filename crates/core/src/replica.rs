@@ -1,0 +1,223 @@
+//! Replica-side protocol handlers: how a Kite node reacts to requests from
+//! peers. These are the passive halves of ES (§3.2), ABD (§3.3), Paxos
+//! (§3.4) and the barrier machinery (§4.2).
+
+#![allow(clippy::too_many_arguments)] // protocol handlers thread (now, cfg, outbox, ...) explicitly
+
+use kite_common::{Key, Lc, NodeId, NodeSet, OpId, Val};
+use kite_kvs::paxos_meta::AcceptedCmd;
+use kite_simnet::Outbox;
+
+use crate::msg::{Cmd, Msg, PromiseOutcome};
+use crate::worker::Worker;
+
+impl Worker {
+    /// Delinquency probe on behalf of an acquire-type request from machine
+    /// `src` (§4.2.1): reports whether `src` is deemed delinquent and
+    /// performs the Set→Transient transition tagged with the acquire id.
+    /// Disabled outside full-Kite mode.
+    #[inline]
+    fn probe(&self, src: NodeId, acq: Option<OpId>) -> bool {
+        match acq {
+            Some(op) if self.mode.has_barriers() => self.shared.delinquency.probe(src, op),
+            _ => false,
+        }
+    }
+
+    /// ES write propagation (§3.2): apply iff the clock wins; ack always —
+    /// the sender's release barrier counts acks, not applications. In
+    /// ES-only mode no one tracks acks, so none are sent.
+    pub(crate) fn on_es_write(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        key: Key,
+        val: Val,
+        lc: Lc,
+        out: &mut Outbox<Msg>,
+    ) {
+        self.shared.store.apply_max(key, &val, lc);
+        if self.mode.has_barriers() {
+            out.send(src, Msg::EsAck { rid });
+        }
+    }
+
+    /// ABD write round 1: read the key's clock (§3.3).
+    pub(crate) fn on_rts_req(&mut self, src: NodeId, rid: u64, key: Key, out: &mut Outbox<Msg>) {
+        out.send(src, Msg::RtsRep { rid, lc: self.shared.store.read_lc(key) });
+    }
+
+    /// ABD read round 1 (§3.3) + the acquire's delinquency discovery (§4.2).
+    pub(crate) fn on_read_req(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        key: Key,
+        acq: Option<OpId>,
+        out: &mut Outbox<Msg>,
+    ) {
+        let delinquent = self.probe(src, acq);
+        let view = self.shared.store.view(key);
+        out.send(src, Msg::ReadRep { rid, val: view.val, lc: view.lc, delinquent });
+    }
+
+    /// ABD value broadcast (release round 2 or acquire write-back): apply
+    /// under the LLC-max rule and ack. Acquire write-backs probe too —
+    /// Lemma 5.3 needs the *second* round's quorum to intersect the DM-set
+    /// quorum when the value was seen by fewer than a quorum in round 1.
+    pub(crate) fn on_write_msg(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        key: Key,
+        val: Val,
+        lc: Lc,
+        acq: Option<OpId>,
+        out: &mut Outbox<Msg>,
+    ) {
+        let delinquent = self.probe(src, acq);
+        self.shared.store.apply_max(key, &val, lc);
+        out.send(src, Msg::WriteAck { rid, delinquent });
+    }
+
+    /// Slow-release (§4.2): record the DM-set, ack. The release at `src`
+    /// executes only once a quorum has acked.
+    pub(crate) fn on_slow_release(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        dm: NodeSet,
+        out: &mut Outbox<Msg>,
+    ) {
+        self.shared.delinquency.mark_delinquent(dm);
+        out.send(src, Msg::SlowReleaseAck { rid });
+    }
+
+    /// Best-effort delinquency reset (§4.2.1): clears iff the bit is still
+    /// transient under this acquire's tag.
+    pub(crate) fn on_reset_bit(&mut self, acq: OpId) {
+        self.shared.delinquency.reset(acq.session.node, acq);
+    }
+
+    /// Paxos phase 1 (acceptor): promise, nack, or redirect (§3.4). Also
+    /// the acquire-side delinquency probe for RMWs (§4.2 "RMWs").
+    pub(crate) fn on_propose(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        key: Key,
+        slot: u64,
+        ballot: Lc,
+        op: OpId,
+        out: &mut Outbox<Msg>,
+    ) {
+        let delinquent = self.probe(src, Some(op));
+        let outcome = {
+            let meta = self.shared.store.paxos(key);
+            let mut meta = meta.lock();
+            if let Some(c) = meta.committed.find(op) {
+                // The proposer's command already committed and we saw it.
+                // Surfacing this on *every* propose — not only on slot
+                // mismatches — is what makes RMWs exactly-once: the commit
+                // reached a quorum of rings, every promise quorum intersects
+                // that quorum, and replicas answering this way also deny the
+                // proposer a plain promise quorum — so a completed command
+                // can never be re-decided at a fresh slot.
+                let result = c.result.clone();
+                let view = self.shared.store.view(key);
+                PromiseOutcome::AlreadyCommitted {
+                    slot: meta.slot,
+                    cur_val: view.val,
+                    cur_lc: view.lc,
+                    done: Some(result),
+                }
+            } else if slot < meta.slot {
+                // Slot already decided here: help the proposer catch up.
+                let view = self.shared.store.view(key);
+                PromiseOutcome::AlreadyCommitted {
+                    slot: meta.slot,
+                    cur_val: view.val,
+                    cur_lc: view.lc,
+                    done: None,
+                }
+            } else if slot > meta.slot {
+                // We missed a commit; the proposer will send a fill.
+                PromiseOutcome::Lagging { slot: meta.slot }
+            } else if ballot >= meta.promised {
+                // `>=` admits retransmissions of the same proposer's ballot
+                // (ballots embed the machine id, so equality ⇒ same proposer).
+                meta.promised = ballot;
+                let accepted = meta.accepted.as_ref().map(|a| {
+                    (
+                        a.ballot,
+                        Cmd { op: a.op, new_val: a.new_val.clone(), result: a.result.clone(), lc: a.lc },
+                    )
+                });
+                PromiseOutcome::Promised { accepted }
+            } else {
+                PromiseOutcome::NackBallot { promised: meta.promised }
+            }
+        };
+        out.send(src, Msg::PromiseRep { rid, ballot, outcome, delinquent });
+    }
+
+    /// Paxos phase 2 (acceptor): accept iff nothing higher was promised for
+    /// the same live slot.
+    pub(crate) fn on_accept(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        key: Key,
+        slot: u64,
+        ballot: Lc,
+        cmd: Cmd,
+        out: &mut Outbox<Msg>,
+    ) {
+        let delinquent = self.probe(src, Some(cmd.op));
+        let (ok, promised) = {
+            let meta = self.shared.store.paxos(key);
+            let mut meta = meta.lock();
+            if slot == meta.slot && ballot >= meta.promised {
+                meta.promised = ballot;
+                meta.accepted = Some(AcceptedCmd {
+                    op: cmd.op,
+                    ballot,
+                    new_val: cmd.new_val,
+                    result: cmd.result,
+                    lc: cmd.lc,
+                });
+                (true, ballot)
+            } else {
+                (false, meta.promised)
+            }
+        };
+        out.send(src, Msg::AcceptRep { rid, ballot, ok, promised, delinquent });
+    }
+
+    /// Commit/learn (§3.4): apply the decided value (LLC-max keeps this
+    /// idempotent and correctly ordered against relaxed writes), record the
+    /// command for dedup, advance the slot. Also used as the catch-up fill
+    /// for lagging replicas (`meta == None`).
+    pub(crate) fn on_commit(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        key: Key,
+        slot: u64,
+        val: Val,
+        lc: Lc,
+        meta: Option<(OpId, Val)>,
+        out: &mut Outbox<Msg>,
+    ) {
+        out.send(src, Msg::CommitAck { rid });
+        self.shared.store.apply_max(key, &val, lc);
+        let pax = self.shared.store.paxos(key);
+        let mut pax = pax.lock();
+        if let Some((op, result)) = meta {
+            if pax.committed.find(op).is_none() {
+                pax.committed.push(kite_kvs::paxos_meta::RmwCommit { op, slot, result });
+            }
+        }
+        pax.advance_past(slot);
+    }
+}

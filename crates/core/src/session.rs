@@ -1,0 +1,268 @@
+//! Client sessions: the unit of program order (§2.1, §6.1).
+//!
+//! A session is bound to exactly one worker; the worker executes its
+//! operations in session order. Relaxed operations complete without
+//! blocking; synchronization operations (releases, acquires, RMWs) and
+//! slow-path accesses block *only their session* — the worker keeps serving
+//! its other sessions, which is where Kite's throughput under
+//! synchronization comes from.
+
+use std::collections::VecDeque;
+
+use crossbeam::channel::{Receiver, Sender};
+use kite_common::SessionId;
+
+use crate::api::{Completion, Op};
+
+/// A closed-loop client: its next operation may depend on earlier results
+/// (lock-free data structures are the canonical case — a CAS retry loop
+/// needs the observed value). Drives a session in the simulator the same
+/// way a blocking client drives a [`crate::SessionHandle`] thread-side.
+pub trait ClientSm: Send {
+    /// The session is free: produce the next operation, or `None` if the
+    /// client has nothing to issue right now.
+    fn next_op(&mut self, seq: u64) -> Option<Op>;
+    /// An operation completed (called in session order).
+    fn on_completion(&mut self, c: &Completion);
+    /// `true` once the client will never issue again (quiescence).
+    fn finished(&self) -> bool;
+}
+
+/// Where a session's operations come from.
+pub enum SessionDriver {
+    /// No client attached.
+    Idle,
+    /// Closure-driven (benchmarks, deterministic tests): called with the
+    /// next op sequence number whenever the session can start a new op;
+    /// `None` means the script is exhausted.
+    Script(Box<dyn FnMut(u64) -> Option<Op> + Send>),
+    /// Closed-loop state-machine client (sees completions).
+    Interactive(Box<dyn ClientSm>),
+    /// External client connected through channels (the public
+    /// `SessionHandle` API).
+    External {
+        /// Operations submitted by the client.
+        rx: Receiver<Op>,
+        /// Completions returned to the client.
+        tx: Sender<Completion>,
+    },
+}
+
+impl std::fmt::Debug for SessionDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionDriver::Idle => write!(f, "Idle"),
+            SessionDriver::Script(_) => write!(f, "Script"),
+            SessionDriver::Interactive(_) => write!(f, "Interactive"),
+            SessionDriver::External { .. } => write!(f, "External"),
+        }
+    }
+}
+
+/// Which protocol stack the worker runs. Kite is the full system; the other
+/// modes expose the constituent protocols as standalone baselines, exactly
+/// the configurations Figure 5 compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolMode {
+    /// Full Kite: ES for relaxed ops, ABD for releases/acquires, Paxos for
+    /// RMWs, fast/slow-path barrier machinery.
+    Kite,
+    /// Eventual Store alone (per-key SC): reads local, writes broadcast; no
+    /// barriers, no ack tracking.
+    EsOnly,
+    /// multi-writer ABD alone (linearizable reads and writes): every read
+    /// is a quorum read, every write a two-round quorum write.
+    AbdOnly,
+    /// Per-key Paxos for writes (RMW-strength) with ABD quorum reads —
+    /// Figure 5's "Paxos" configuration.
+    PaxosOnly,
+}
+
+impl ProtocolMode {
+    /// Does this mode run the RC barrier machinery (epochs, delinquency)?
+    pub fn has_barriers(self) -> bool {
+        matches!(self, ProtocolMode::Kite)
+    }
+}
+
+/// Per-session bookkeeping inside a worker.
+pub struct Session {
+    /// Globally unique session id (node + slot).
+    pub id: SessionId,
+    /// Where this session's operations come from.
+    pub driver: SessionDriver,
+    /// Next op sequence number (program order).
+    pub seq: u64,
+    /// The rid of the operation currently blocking this session, if any.
+    pub blocked_on: Option<u64>,
+    /// rids of relaxed writes whose acks are still outstanding, in issue
+    /// order — the release barrier's "writes before me in session order".
+    pub write_window: VecDeque<u64>,
+    /// An op pulled from the driver but not yet started (stalled on a full
+    /// write window).
+    pub staged: Option<Op>,
+    /// rid of an in-flight write-window relief (at most one per session).
+    pub relief: Option<u64>,
+    /// Script driver returned `None` — the session is finished.
+    pub script_done: bool,
+}
+
+impl Session {
+    /// An idle session with the given id.
+    pub fn new(id: SessionId) -> Self {
+        Session {
+            id,
+            driver: SessionDriver::Idle,
+            seq: 0,
+            blocked_on: None,
+            write_window: VecDeque::new(),
+            staged: None,
+            relief: None,
+            script_done: false,
+        }
+    }
+
+    /// Can this session start a new operation right now?
+    pub fn is_free(&self) -> bool {
+        self.blocked_on.is_none()
+    }
+
+    /// Is the session completely quiet (for sim quiescence)?
+    pub fn is_idle(&self) -> bool {
+        self.blocked_on.is_none()
+            && self.staged.is_none()
+            && self.write_window.is_empty()
+            && match &self.driver {
+                SessionDriver::Idle => true,
+                SessionDriver::Script(_) => self.script_done,
+                SessionDriver::Interactive(sm) => sm.finished(),
+                SessionDriver::External { rx, .. } => rx.is_empty(),
+            }
+    }
+
+    /// Pull the next operation to execute, honoring the staged slot.
+    pub fn next_op(&mut self) -> Option<Op> {
+        if let Some(op) = self.staged.take() {
+            return Some(op);
+        }
+        match &mut self.driver {
+            SessionDriver::Idle => None,
+            SessionDriver::Script(f) => {
+                if self.script_done {
+                    None
+                } else {
+                    let op = f(self.seq);
+                    if op.is_none() {
+                        self.script_done = true;
+                    }
+                    op
+                }
+            }
+            SessionDriver::Interactive(sm) => sm.next_op(self.seq),
+            SessionDriver::External { rx, .. } => rx.try_recv().ok(),
+        }
+    }
+
+    /// Deliver a completion to the client (channel send for external
+    /// clients; callback for interactive ones; no-op otherwise).
+    pub fn deliver(&mut self, c: Completion) {
+        match &mut self.driver {
+            SessionDriver::External { tx, .. } => {
+                let _ = tx.send(c);
+            }
+            SessionDriver::Interactive(sm) => sm.on_completion(&c),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_common::{Key, NodeId};
+
+    fn sid() -> SessionId {
+        SessionId::new(NodeId(0), 0)
+    }
+
+    #[test]
+    fn fresh_session_is_free_and_idle() {
+        let s = Session::new(sid());
+        assert!(s.is_free());
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn script_driver_feeds_ops_until_exhausted() {
+        let mut s = Session::new(sid());
+        s.driver = SessionDriver::Script(Box::new(|seq| {
+            if seq < 2 {
+                Some(Op::Read { key: Key(seq) })
+            } else {
+                None
+            }
+        }));
+        // seq is advanced by the worker; emulate it
+        assert!(matches!(s.next_op(), Some(Op::Read { key }) if key == Key(0)));
+        s.seq = 1;
+        assert!(matches!(s.next_op(), Some(Op::Read { key }) if key == Key(1)));
+        s.seq = 2;
+        assert!(s.next_op().is_none());
+        assert!(s.script_done);
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn staged_op_takes_priority() {
+        let mut s = Session::new(sid());
+        s.driver = SessionDriver::Script(Box::new(|_| Some(Op::Read { key: Key(1) })));
+        s.staged = Some(Op::Read { key: Key(42) });
+        assert!(matches!(s.next_op(), Some(Op::Read { key }) if key == Key(42)));
+        assert!(matches!(s.next_op(), Some(Op::Read { key }) if key == Key(1)));
+    }
+
+    #[test]
+    fn blocked_session_is_not_free() {
+        let mut s = Session::new(sid());
+        s.blocked_on = Some(7);
+        assert!(!s.is_free());
+        assert!(!s.is_idle());
+    }
+
+    #[test]
+    fn pending_writes_keep_session_non_idle() {
+        let mut s = Session::new(sid());
+        s.write_window.push_back(3);
+        assert!(s.is_free(), "pending relaxed writes do not block");
+        assert!(!s.is_idle(), "but the session still has work in flight");
+    }
+
+    #[test]
+    fn external_driver_round_trip() {
+        use crate::api::{OpOutput};
+        use kite_common::OpId;
+        let (op_tx, op_rx) = crossbeam::channel::unbounded();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded();
+        let mut s = Session::new(sid());
+        s.driver = SessionDriver::External { rx: op_rx, tx: done_tx };
+        assert!(s.next_op().is_none());
+        op_tx.send(Op::Read { key: Key(9) }).unwrap();
+        assert!(matches!(s.next_op(), Some(Op::Read { key }) if key == Key(9)));
+        s.deliver(Completion {
+            op_id: OpId::new(sid(), 0),
+            op: Op::Read { key: Key(9) },
+            output: OpOutput::Done,
+            invoked_at: 0,
+            completed_at: 1,
+        });
+        assert_eq!(done_rx.len(), 1);
+    }
+
+    #[test]
+    fn mode_barrier_flags() {
+        assert!(ProtocolMode::Kite.has_barriers());
+        assert!(!ProtocolMode::EsOnly.has_barriers());
+        assert!(!ProtocolMode::AbdOnly.has_barriers());
+        assert!(!ProtocolMode::PaxosOnly.has_barriers());
+    }
+}

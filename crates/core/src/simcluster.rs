@@ -1,0 +1,218 @@
+//! Kite on the deterministic simulator: reproducible protocol executions
+//! in virtual time, used by the correctness test-suites and the benchmark
+//! harnesses (see DESIGN.md §4 for why benchmarks run in virtual time).
+
+use std::sync::Arc;
+
+use kite_common::stats::ProtoCounters;
+use kite_common::{ClusterConfig, NodeId, SessionId};
+use kite_simnet::{Sim, SimCfg};
+
+use crate::api::CompletionHook;
+use crate::nodestate::NodeShared;
+use crate::session::{ProtocolMode, Session, SessionDriver};
+use crate::worker::Worker;
+
+/// A deterministic, single-threaded Kite deployment on virtual time.
+pub struct SimCluster {
+    /// The discrete-event executor; actors are the Kite workers.
+    pub sim: Sim<Worker>,
+    shared: Vec<Arc<NodeShared>>,
+    counters: Vec<Arc<ProtoCounters>>,
+    cfg: ClusterConfig,
+}
+
+impl SimCluster {
+    /// Build a simulated deployment.
+    ///
+    /// `drivers` is called once per session to produce its driver (script
+    /// or idle); `hook` observes every completion cluster-wide.
+    pub fn build(
+        cfg: ClusterConfig,
+        mode: ProtocolMode,
+        sim_cfg: SimCfg,
+        mut drivers: impl FnMut(SessionId) -> SessionDriver,
+        hook: Option<CompletionHook>,
+    ) -> Self {
+        cfg.validate().expect("invalid cluster config");
+        let counters: Vec<Arc<ProtoCounters>> =
+            (0..cfg.nodes).map(|_| Arc::new(ProtoCounters::default())).collect();
+        let shared: Vec<Arc<NodeShared>> = (0..cfg.nodes)
+            .map(|n| NodeShared::new(NodeId(n as u8), cfg.clone(), Arc::clone(&counters[n])))
+            .collect();
+
+        let mut actors: Vec<Vec<Worker>> = Vec::with_capacity(cfg.nodes);
+        #[allow(clippy::needless_range_loop)] // n doubles as the NodeId
+        for n in 0..cfg.nodes {
+            let mut per_node = Vec::with_capacity(cfg.workers_per_node);
+            for w in 0..cfg.workers_per_node {
+                let mut sessions = Vec::with_capacity(cfg.sessions_per_worker);
+                for i in 0..cfg.sessions_per_worker {
+                    let slot = (w * cfg.sessions_per_worker + i) as u32;
+                    let sid = SessionId::new(NodeId(n as u8), slot);
+                    let mut sess = Session::new(sid);
+                    sess.driver = drivers(sid);
+                    sessions.push(sess);
+                }
+                per_node.push(Worker::new(
+                    w,
+                    Arc::clone(&shared[n]),
+                    mode,
+                    sessions,
+                    hook.clone(),
+                ));
+            }
+            actors.push(per_node);
+        }
+
+        SimCluster { sim: Sim::new(actors, sim_cfg), shared, counters, cfg }
+    }
+
+    /// The deployment's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Per-node shared state.
+    pub fn shared(&self, node: NodeId) -> &Arc<NodeShared> {
+        &self.shared[node.idx()]
+    }
+
+    /// Per-node counters.
+    pub fn counters(&self, node: NodeId) -> &ProtoCounters {
+        &self.counters[node.idx()]
+    }
+
+    /// Total completed requests across the deployment.
+    pub fn total_completed(&self) -> u64 {
+        self.counters.iter().map(|c| c.completed.get()).sum()
+    }
+
+    /// Completed requests on one node.
+    pub fn node_completed(&self, node: NodeId) -> u64 {
+        self.counters[node.idx()].completed.get()
+    }
+
+    /// Run `dur_ns` of virtual time.
+    pub fn run_for(&mut self, dur_ns: u64) {
+        self.sim.run_for(dur_ns);
+    }
+
+    /// Run until all scripts finish and the network drains, or `max_ns` is
+    /// reached. Returns true on quiescence.
+    pub fn run_until_quiesce(&mut self, max_ns: u64) -> bool {
+        self.sim.run_until_quiesce(max_ns)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// Throughput over a window, in million requests per second of
+    /// *virtual* time.
+    pub fn mreqs(completed: u64, window_ns: u64) -> f64 {
+        completed as f64 / (window_ns as f64 / 1e9) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::Op;
+    use kite_common::{Key, Val};
+
+    /// Smallest end-to-end smoke test: one session writes then reads its
+    /// own key through the full Kite stack on the simulator.
+    #[test]
+    fn single_session_write_read() {
+        let done: Arc<std::sync::Mutex<Vec<crate::api::Completion>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let done2 = Arc::clone(&done);
+        let hook: CompletionHook = Arc::new(move |c| done2.lock().unwrap().push(c.clone()));
+
+        let mut sc = SimCluster::build(
+            ClusterConfig::small(),
+            ProtocolMode::Kite,
+            SimCfg::default(),
+            |sid| {
+                if sid == SessionId::new(NodeId(0), 0) {
+                    SessionDriver::Script(Box::new(|seq| match seq {
+                        0 => Some(Op::Write { key: Key(7), val: Val::from_u64(41) }),
+                        1 => Some(Op::Read { key: Key(7) }),
+                        _ => None,
+                    }))
+                } else {
+                    SessionDriver::Idle
+                }
+            },
+            Some(hook),
+        );
+        assert!(sc.run_until_quiesce(1_000_000_000), "must quiesce");
+        let done = done.lock().unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1].output.value().unwrap().as_u64(), 41, "read-your-write");
+        assert_eq!(sc.total_completed(), 2);
+    }
+
+    /// Relaxed writes propagate to all replicas (ES broadcast).
+    #[test]
+    fn es_write_reaches_all_replicas() {
+        let mut sc = SimCluster::build(
+            ClusterConfig::small(),
+            ProtocolMode::Kite,
+            SimCfg::default(),
+            |sid| {
+                if sid == SessionId::new(NodeId(0), 0) {
+                    SessionDriver::Script(Box::new(|seq| match seq {
+                        0 => Some(Op::Write { key: Key(3), val: Val::from_u64(99) }),
+                        _ => None,
+                    }))
+                } else {
+                    SessionDriver::Idle
+                }
+            },
+            None,
+        );
+        assert!(sc.run_until_quiesce(1_000_000_000));
+        for n in 0..3u8 {
+            assert_eq!(
+                sc.shared(NodeId(n)).store.view(Key(3)).val.as_u64(),
+                99,
+                "replica {n} must have the write"
+            );
+        }
+    }
+
+    /// Releases and acquires work across nodes; FAA counts correctly.
+    #[test]
+    fn cross_node_faa_sums() {
+        let mut sc = SimCluster::build(
+            ClusterConfig::small(),
+            ProtocolMode::Kite,
+            SimCfg::default(),
+            |sid| {
+                // every session on every node adds 1, five times
+                let _ = sid;
+                SessionDriver::Script(Box::new(|seq| {
+                    if seq < 5 {
+                        Some(Op::Faa { key: Key(0), delta: 1 })
+                    } else {
+                        None
+                    }
+                }))
+            },
+            None,
+        );
+        assert!(sc.run_until_quiesce(30_000_000_000), "RMWs must all commit");
+        // small config: 3 nodes × 1 worker × 2 sessions × 5 FAAs = 30
+        let expected = 3 * 2 * 5;
+        for n in 0..3u8 {
+            assert_eq!(
+                sc.shared(NodeId(n)).store.view(Key(0)).val.as_u64(),
+                expected,
+                "replica {n} final counter"
+            );
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The Kite worker: the protocol execution engine (§6.1).
+//!
+//! A worker owns a set of sessions and executes their operations by running
+//! the three protocols and the RC barrier machinery. It is written as a
+//! sans-io [`Actor`] so the same code runs under the threaded runtime and
+//! the deterministic simulator.
+//!
+//! This file holds the scheduling skeleton: session pumping, dispatch,
+//! completion plumbing, and timeout scanning. The protocol logic lives in
+//! two sibling `impl Worker` blocks:
+//!
+//! * [`crate::replica`] — the acceptor/replica side (requests from peers);
+//! * [`crate::initiator`] — the proposer/initiator side (starting client
+//!   ops, handling replies, retransmission).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use kite_common::{NodeId, OpId};
+use kite_simnet::{Actor, Outbox};
+
+use crate::api::{Completion, CompletionHook, Op, OpOutput};
+use crate::inflight::InFlight;
+use crate::msg::Msg;
+use crate::nodestate::NodeShared;
+use crate::session::{ProtocolMode, Session};
+
+/// Outcome of attempting to start an operation.
+pub(crate) enum StartResult {
+    /// Completed inline (fast-path relaxed ops; any ack gathering continues
+    /// in the background without blocking the session).
+    Inline,
+    /// In flight; the session is blocked on `rid`.
+    Blocked(u64),
+    /// Could not start (write window full); op goes back to the staged slot.
+    Stall(Op),
+}
+
+/// The protocol execution engine (§6.1): owns a set of sessions, runs the
+/// three protocols and the RC barrier machinery for them. See the module
+/// docs for the division of labour with `replica`/`initiator`.
+pub struct Worker {
+    pub(crate) me: NodeId,
+    pub(crate) wid: usize,
+    pub(crate) shared: Arc<NodeShared>,
+    pub(crate) mode: ProtocolMode,
+    pub(crate) sessions: Vec<Session>,
+    pub(crate) inflight: HashMap<u64, InFlight>,
+    /// rids of releases/RMWs whose barrier is not yet resolved.
+    pub(crate) barrier_waiters: Vec<u64>,
+    /// `(rid, due)` for nacked Paxos rounds awaiting their backoff — fired
+    /// from the tick path (the retransmit scan is far too coarse for
+    /// contention backoffs).
+    pub(crate) rmw_retries: Vec<(u64, u64)>,
+    next_rid: u64,
+    last_scan: u64,
+    pub(crate) hook: Option<CompletionHook>,
+    // cached config
+    pub(crate) nodes: usize,
+    pub(crate) quorum: usize,
+    pub(crate) release_timeout: u64,
+    pub(crate) retransmit: u64,
+    pub(crate) ops_per_tick: usize,
+    pub(crate) window_cap: usize,
+    pub(crate) overlap_release: bool,
+    pub(crate) stripped_slow: bool,
+}
+
+impl Worker {
+    /// Build a worker for node `shared.me`, serving `sessions`.
+    pub fn new(
+        wid: usize,
+        shared: Arc<NodeShared>,
+        mode: ProtocolMode,
+        sessions: Vec<Session>,
+        hook: Option<CompletionHook>,
+    ) -> Self {
+        let cfg = &shared.cfg;
+        Worker {
+            me: shared.me,
+            wid,
+            mode,
+            sessions,
+            inflight: HashMap::new(),
+            barrier_waiters: Vec::new(),
+            rmw_retries: Vec::new(),
+            next_rid: 1,
+            last_scan: 0,
+            hook,
+            nodes: cfg.nodes,
+            quorum: cfg.quorum(),
+            release_timeout: cfg.release_timeout_ns,
+            retransmit: cfg.retransmit_ns,
+            ops_per_tick: cfg.ops_per_tick,
+            window_cap: cfg.write_window,
+            overlap_release: cfg.overlap_release,
+            stripped_slow: cfg.stripped_slow_path,
+            shared,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn rid(&mut self) -> u64 {
+        let r = self.next_rid;
+        self.next_rid += 1;
+        r
+    }
+
+    /// The node this worker belongs to.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// This worker's index within its node.
+    pub fn worker_index(&self) -> usize {
+        self.wid
+    }
+
+    /// The node-shared state (store, epoch, delinquency, counters).
+    pub fn shared(&self) -> &Arc<NodeShared> {
+        &self.shared
+    }
+
+    /// Number of operations currently in flight (diagnostics).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    // ---- completion plumbing -------------------------------------------
+
+    /// Deliver a completion for session `si` and unblock it if needed.
+    pub(crate) fn complete(
+        &mut self,
+        si: usize,
+        op_id: OpId,
+        op: Op,
+        output: OpOutput,
+        invoked_at: u64,
+        now: u64,
+    ) {
+        self.shared.counters.completed.incr();
+        let c = Completion { op_id, op, output, invoked_at, completed_at: now };
+        if let Some(hook) = &self.hook {
+            hook(&c);
+        }
+        let sess = &mut self.sessions[si];
+        sess.deliver(c);
+        sess.blocked_on = None;
+    }
+
+    /// Remove `rid` from its owning session's write window.
+    pub(crate) fn remove_from_window(&mut self, si: usize, rid: u64) {
+        self.sessions[si].write_window.retain(|&r| r != rid);
+    }
+
+    // ---- session pumping -------------------------------------------------
+
+    fn pump_sessions(&mut self, now: u64, out: &mut Outbox<Msg>) -> bool {
+        let mut progress = false;
+        for si in 0..self.sessions.len() {
+            let mut budget = self.ops_per_tick;
+            while budget > 0 && self.sessions[si].is_free() {
+                let Some(op) = self.sessions[si].next_op() else { break };
+                budget -= 1;
+                progress = true;
+                let seq = self.sessions[si].seq;
+                self.sessions[si].seq += 1;
+                let op_id = OpId::new(self.sessions[si].id, seq);
+                match self.start_op(si, op_id, op, now, out) {
+                    StartResult::Inline => {}
+                    StartResult::Blocked(rid) => {
+                        self.sessions[si].blocked_on = Some(rid);
+                    }
+                    StartResult::Stall(op) => {
+                        // window full: retry next tick; the op keeps its seq
+                        // slot by restoring the counter. If the window is
+                        // stuck on unresponsive replicas, start a relief
+                        // round so the session doesn't stall for the whole
+                        // outage.
+                        self.sessions[si].seq -= 1;
+                        self.sessions[si].staged = Some(op);
+                        self.maybe_window_relief(si, now, out);
+                        break;
+                    }
+                }
+            }
+        }
+        progress
+    }
+
+    // ---- dispatch ---------------------------------------------------------
+
+    fn dispatch(&mut self, src: NodeId, m: Msg, now: u64, out: &mut Outbox<Msg>) {
+        match m {
+            // replica side (requests)
+            Msg::EsWrite { rid, key, val, lc } => self.on_es_write(src, rid, key, val, lc, out),
+            Msg::RtsReq { rid, key } => self.on_rts_req(src, rid, key, out),
+            Msg::ReadReq { rid, key, acq } => self.on_read_req(src, rid, key, acq, out),
+            Msg::WriteMsg { rid, key, val, lc, acq } => {
+                self.on_write_msg(src, rid, key, val, lc, acq, out)
+            }
+            Msg::SlowRelease { rid, dm } => self.on_slow_release(src, rid, dm, out),
+            Msg::ResetBit { acq } => self.on_reset_bit(acq),
+            Msg::Propose { rid, key, slot, ballot, op } => {
+                self.on_propose(src, rid, key, slot, ballot, op, out)
+            }
+            Msg::Accept { rid, key, slot, ballot, cmd } => {
+                self.on_accept(src, rid, key, slot, ballot, cmd, out)
+            }
+            Msg::Commit { rid, key, slot, val, lc, meta } => {
+                self.on_commit(src, rid, key, slot, val, lc, meta, out)
+            }
+            Msg::CommitAck { rid } => self.on_commit_ack(src, rid, now, out),
+
+            // initiator side (replies)
+            Msg::EsAck { rid } => self.on_es_ack(src, rid, now),
+            Msg::RtsRep { rid, lc } => self.on_rts_rep(src, rid, lc, now, out),
+            Msg::ReadRep { rid, val, lc, delinquent } => {
+                self.on_read_rep(src, rid, val, lc, delinquent, now, out)
+            }
+            Msg::WriteAck { rid, delinquent } => self.on_write_ack(src, rid, delinquent, now, out),
+            Msg::SlowReleaseAck { rid } => self.on_slow_release_ack(src, rid, now, out),
+            Msg::PromiseRep { rid, ballot, outcome, delinquent } => {
+                self.on_promise_rep(src, rid, ballot, outcome, delinquent, now, out)
+            }
+            Msg::AcceptRep { rid, ballot, ok, promised, delinquent } => {
+                self.on_accept_rep(src, rid, ballot, ok, promised, delinquent, now, out)
+            }
+        }
+    }
+}
+
+impl Actor for Worker {
+    type Msg = Msg;
+
+    fn on_envelope(&mut self, src: NodeId, msgs: Vec<Msg>, now: u64, out: &mut Outbox<Msg>) {
+        // A message from `src` proves it alive — clear any suspicion so
+        // releases resume waiting for its acks (fast path).
+        self.shared.clear_suspect(src);
+        for m in msgs {
+            self.dispatch(src, m, now, out);
+        }
+    }
+
+    fn on_tick(&mut self, now: u64, out: &mut Outbox<Msg>) -> bool {
+        let progress = self.pump_sessions(now, out);
+        // Barrier progress + timeout/retransmission scans are amortized:
+        // barriers are checked every tick (cheap, usually empty), the full
+        // retransmission scan only every `retransmit / 2` ns. RMW conflict
+        // backoffs fire from their own queue at tick granularity.
+        self.check_barriers(now, out);
+        self.fire_rmw_retries(now, out);
+        if now.saturating_sub(self.last_scan) >= self.retransmit / 2 {
+            self.last_scan = now;
+            self.scan_retransmits(now, out);
+        }
+        progress
+    }
+
+    fn is_idle(&self) -> bool {
+        self.inflight.is_empty() && self.sessions.iter().all(|s| s.is_idle())
+    }
+}

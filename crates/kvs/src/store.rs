@@ -1,0 +1,379 @@
+//! The MICA-style concurrent store: a fixed-capacity, open-addressing hash
+//! index over preallocated seqlock records (§6.2).
+//!
+//! Unlike MICA's cache mode the index is *lossless* (no eviction): the KVS
+//! holds a preloaded, replicated key set (§7: one million key-value pairs
+//! replicated on all nodes), so dropping entries would be a correctness bug,
+//! not a cache miss. Slots are claimed lock-free with a CAS on first touch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kite_common::{Epoch, Key, Lc, NodeId, Val};
+use parking_lot::Mutex;
+
+use crate::paxos_meta::PaxosMeta;
+use crate::record::{Record, ReadView};
+
+const EMPTY_KEY: u64 = u64::MAX;
+
+struct Slot {
+    key: AtomicU64,
+    record: Record,
+}
+
+/// A node-local replica of the KVS.
+pub struct Store {
+    slots: Box<[Slot]>,
+    mask: u64,
+}
+
+impl Store {
+    /// Create a store able to hold at least `keys` distinct keys. Capacity
+    /// is rounded up to a power of two with 2× headroom to keep probe
+    /// sequences short.
+    pub fn new(keys: usize) -> Self {
+        let cap = (keys.max(16) * 2).next_power_of_two();
+        let slots: Box<[Slot]> = (0..cap)
+            .map(|_| Slot { key: AtomicU64::new(EMPTY_KEY), record: Record::new() })
+            .collect();
+        Store { slots, mask: (cap - 1) as u64 }
+    }
+
+    /// Number of slots (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.key.load(Ordering::Relaxed) != EMPTY_KEY).count()
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Locate (or claim) the record for `key`. Lock-free linear probing;
+    /// panics if the table is full (a configuration error: the key space is
+    /// sized at construction).
+    #[inline]
+    fn record(&self, key: Key) -> &Record {
+        debug_assert_ne!(key.0, EMPTY_KEY, "key u64::MAX is reserved");
+        let mut idx = key.hash() & self.mask;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[idx as usize];
+            let cur = slot.key.load(Ordering::Acquire);
+            if cur == key.0 {
+                return &slot.record;
+            }
+            if cur == EMPTY_KEY {
+                match slot.key.compare_exchange(
+                    EMPTY_KEY,
+                    key.0,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return &slot.record,
+                    Err(actual) if actual == key.0 => return &slot.record,
+                    Err(_) => {} // someone else claimed this slot; keep probing
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        panic!("store capacity exhausted: {} slots", self.slots.len());
+    }
+
+    // ---- reads -----------------------------------------------------------
+
+    /// Consistent snapshot of `(value, clock, epoch)`.
+    #[inline]
+    pub fn view(&self, key: Key) -> ReadView {
+        let d = self.record(key).snapshot();
+        ReadView { val: d.val(), lc: d.lc, epoch: Epoch(d.epoch) }
+    }
+
+    /// The key's current Lamport clock (ABD write round 1 reads just this).
+    #[inline]
+    pub fn read_lc(&self, key: Key) -> Lc {
+        self.record(key).snapshot().lc
+    }
+
+    /// The key's `(clock, epoch)` pair.
+    #[inline]
+    pub fn lc_epoch(&self, key: Key) -> (Lc, Epoch) {
+        let d = self.record(key).snapshot();
+        (d.lc, Epoch(d.epoch))
+    }
+
+    // ---- writes ----------------------------------------------------------
+
+    /// ES fast-path relaxed write (§3.2): requires the key to be in-epoch.
+    /// Atomically (under the key's seqlock) verifies the epoch, stamps the
+    /// write with the key's next clock owned by `mid`, and applies it.
+    /// Returns the stamped clock, or `None` if the key was out-of-epoch
+    /// (caller must take the slow path).
+    #[inline]
+    pub fn fast_write(
+        &self,
+        key: Key,
+        val: &Val,
+        mid: NodeId,
+        machine_epoch: Epoch,
+    ) -> Option<Lc> {
+        self.record(key).update(|d| {
+            if d.epoch != machine_epoch.0 {
+                return None;
+            }
+            let lc = d.lc.succ(mid);
+            d.lc = lc;
+            d.set_val(val);
+            Some(lc)
+        })
+    }
+
+    /// Apply a remote or protocol write iff its clock beats the stored one
+    /// (the LLC write-serialization rule shared by ES and ABD). Returns
+    /// whether the write was applied. Never touches the epoch.
+    #[inline]
+    pub fn apply_max(&self, key: Key, val: &Val, lc: Lc) -> bool {
+        self.record(key).update(|d| {
+            if lc > d.lc {
+                d.lc = lc;
+                d.set_val(val);
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Slow-path completion (§4.2 "Returning to fast path"): apply the
+    /// freshest value (LLC-max rule) *and* advance the key's epoch to the
+    /// machine-epoch snapshot taken when the slow-path access started. The
+    /// epoch only moves forward; if the machine epoch was bumped while the
+    /// slow-path access was in flight, the stale snapshot leaves the key
+    /// out-of-epoch, exactly as the paper requires.
+    #[inline]
+    pub fn apply_max_restore(&self, key: Key, val: &Val, lc: Lc, snapshot: Epoch) -> bool {
+        self.record(key).update(|d| {
+            let applied = if lc > d.lc {
+                d.lc = lc;
+                d.set_val(val);
+                true
+            } else {
+                false
+            };
+            if snapshot.0 > d.epoch {
+                d.epoch = snapshot.0;
+            }
+            applied
+        })
+    }
+
+    /// Advance only the key's epoch to `snapshot` (slow-path read that found
+    /// the local value already freshest).
+    #[inline]
+    pub fn restore_epoch(&self, key: Key, snapshot: Epoch) {
+        self.record(key).update(|d| {
+            if snapshot.0 > d.epoch {
+                d.epoch = snapshot.0;
+            }
+        });
+    }
+
+    /// Unconditional ordered overwrite — for baselines that serialize writes
+    /// externally (ZAB applies in zxid order; Derecho in delivery order).
+    /// The provided clock is stored as-is.
+    #[inline]
+    pub fn apply_ordered(&self, key: Key, val: &Val, lc: Lc) {
+        self.record(key).update(|d| {
+            d.lc = lc;
+            d.set_val(val);
+        });
+    }
+
+    /// Run `f` with exclusive access to the record's `(val, lc, epoch)`
+    /// via a small closure API — escape hatch for engines with bespoke
+    /// commit rules. `f` receives `(current value, current lc)` and may
+    /// return a replacement.
+    pub fn update_with(&self, key: Key, f: impl FnOnce(Val, Lc) -> Option<(Val, Lc)>) {
+        self.record(key).update(|d| {
+            if let Some((nv, nlc)) = f(d.val(), d.lc) {
+                d.lc = nlc;
+                d.set_val(&nv);
+            }
+        });
+    }
+
+    // ---- Paxos -----------------------------------------------------------
+
+    /// The key's Paxos structure (lazily allocated on first RMW, §6.2).
+    #[inline]
+    pub fn paxos(&self, key: Key) -> &Mutex<PaxosMeta> {
+        self.record(key).paxos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Store {
+        Store::new(1024)
+    }
+
+    #[test]
+    fn view_of_fresh_key_is_empty_at_lc_zero() {
+        let s = store();
+        let v = s.view(Key(5));
+        assert_eq!(v.val, Val::EMPTY);
+        assert_eq!(v.lc, Lc::ZERO);
+        assert_eq!(v.epoch, Epoch::ZERO);
+    }
+
+    #[test]
+    fn fast_write_stamps_increasing_clocks() {
+        let s = store();
+        let lc1 = s.fast_write(Key(1), &Val::from_u64(10), NodeId(2), Epoch::ZERO).unwrap();
+        let lc2 = s.fast_write(Key(1), &Val::from_u64(20), NodeId(2), Epoch::ZERO).unwrap();
+        assert!(lc2 > lc1);
+        assert_eq!(lc1.owner(), NodeId(2));
+        assert_eq!(s.view(Key(1)).val.as_u64(), 20);
+    }
+
+    #[test]
+    fn fast_write_refuses_out_of_epoch_key() {
+        let s = store();
+        // machine epoch moved to 1, key still at 0
+        assert!(s.fast_write(Key(1), &Val::from_u64(1), NodeId(0), Epoch(1)).is_none());
+        // restoring the epoch re-enables the fast path
+        s.restore_epoch(Key(1), Epoch(1));
+        assert!(s.fast_write(Key(1), &Val::from_u64(1), NodeId(0), Epoch(1)).is_some());
+    }
+
+    #[test]
+    fn apply_max_is_llc_ordered() {
+        let s = store();
+        let hi = Lc::new(5, NodeId(1));
+        let lo = Lc::new(3, NodeId(4));
+        assert!(s.apply_max(Key(9), &Val::from_u64(50), hi));
+        assert!(!s.apply_max(Key(9), &Val::from_u64(30), lo), "stale write rejected");
+        assert_eq!(s.view(Key(9)).val.as_u64(), 50);
+        // equal clock is also rejected (idempotent redelivery)
+        assert!(!s.apply_max(Key(9), &Val::from_u64(99), hi));
+        assert_eq!(s.view(Key(9)).val.as_u64(), 50);
+    }
+
+    #[test]
+    fn apply_max_ties_break_on_machine_id() {
+        let s = store();
+        assert!(s.apply_max(Key(2), &Val::from_u64(1), Lc::new(7, NodeId(1))));
+        assert!(s.apply_max(Key(2), &Val::from_u64(2), Lc::new(7, NodeId(3))));
+        assert_eq!(s.view(Key(2)).val.as_u64(), 2, "higher mid wins the tie");
+    }
+
+    #[test]
+    fn restore_epoch_never_regresses() {
+        let s = store();
+        s.restore_epoch(Key(3), Epoch(5));
+        s.restore_epoch(Key(3), Epoch(2));
+        assert_eq!(s.view(Key(3)).epoch, Epoch(5));
+    }
+
+    #[test]
+    fn apply_max_restore_combines_value_and_epoch() {
+        let s = store();
+        let lc = Lc::new(4, NodeId(0));
+        assert!(s.apply_max_restore(Key(7), &Val::from_u64(44), lc, Epoch(2)));
+        let v = s.view(Key(7));
+        assert_eq!(v.val.as_u64(), 44);
+        assert_eq!(v.epoch, Epoch(2));
+        // stale value still advances epoch (the read found local freshest)
+        assert!(!s.apply_max_restore(Key(7), &Val::from_u64(1), Lc::new(1, NodeId(1)), Epoch(3)));
+        assert_eq!(s.view(Key(7)).epoch, Epoch(3));
+        assert_eq!(s.view(Key(7)).val.as_u64(), 44);
+    }
+
+    #[test]
+    fn apply_ordered_overwrites_unconditionally() {
+        let s = store();
+        s.apply_ordered(Key(1), &Val::from_u64(9), Lc::new(100, NodeId(0)));
+        s.apply_ordered(Key(1), &Val::from_u64(3), Lc::new(2, NodeId(0)));
+        assert_eq!(s.view(Key(1)).val.as_u64(), 3, "external order wins, not LLC");
+    }
+
+    #[test]
+    fn paxos_meta_is_per_key() {
+        let s = store();
+        s.paxos(Key(1)).lock().slot = 7;
+        assert_eq!(s.paxos(Key(1)).lock().slot, 7);
+        assert_eq!(s.paxos(Key(2)).lock().slot, 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let s = Store::new(4096);
+        for k in 0..4096u64 {
+            s.fast_write(Key(k), &Val::from_u64(k), NodeId(0), Epoch::ZERO);
+        }
+        for k in 0..4096u64 {
+            assert_eq!(s.view(Key(k)).val.as_u64(), k);
+        }
+        assert_eq!(s.len(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn table_overflow_panics() {
+        let s = Store::new(16); // capacity 64
+        for k in 0..65u64 {
+            s.view(Key(k));
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_to_disjoint_keys() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new(1 << 14));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2000u64 {
+                    let k = Key(t * 10_000 + i);
+                    s.fast_write(k, &Val::from_u64(i), NodeId(t as u8), Epoch::ZERO);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..4u64 {
+            for i in (0..2000u64).step_by(97) {
+                assert_eq!(s.view(Key(t * 10_000 + i)).val.as_u64(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_apply_max_converges_to_highest_clock() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new(64));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for v in 0..1000u64 {
+                    s.apply_max(Key(1), &Val::from_u64(v * 10 + t as u64), Lc::new(v, NodeId(t)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Highest clock overall is version 999, mid 3 → value 9993.
+        assert_eq!(s.view(Key(1)).lc, Lc::new(999, NodeId(3)));
+        assert_eq!(s.view(Key(1)).val.as_u64(), 9993);
+    }
+}

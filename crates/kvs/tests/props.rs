@@ -1,0 +1,94 @@
+//! Property-based tests for the store: the LLC write-serialization rule
+//! must make replicas order-insensitive (the convergence property ES and
+//! ABD rely on, §3.2/§3.3).
+
+use kite_common::{Epoch, Key, Lc, NodeId, Val};
+use kite_kvs::Store;
+use proptest::prelude::*;
+
+fn writes() -> impl Strategy<Value = Vec<(u64, u8, u64)>> {
+    // (version, mid, value) triples — possibly with duplicate clocks
+    proptest::collection::vec((1u64..50, 0u8..5, any::<u64>()), 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Applying the same set of LLC-stamped writes in any two orders yields
+    /// the same final value: the max-clock write wins everywhere.
+    #[test]
+    fn apply_max_is_order_insensitive(ws in writes(), seed in any::<u64>()) {
+        // Clocks are unique per write in the real system (a machine never
+        // stamps two writes of one key with the same clock): dedupe.
+        let mut seen = std::collections::HashSet::new();
+        let ws: Vec<_> = ws.into_iter().filter(|(v, m, _)| seen.insert((*v, *m))).collect();
+        let a = Store::new(64);
+        let b = Store::new(64);
+        let key = Key(7);
+        for (v, m, val) in &ws {
+            a.apply_max(key, &Val::from_u64(*val), Lc::new(*v, NodeId(*m)));
+        }
+        // permute deterministically
+        let mut perm = ws.clone();
+        let mut rng = kite_common::rng::SplitMix64::new(seed);
+        for i in (1..perm.len()).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            perm.swap(i, j);
+        }
+        for (v, m, val) in &perm {
+            b.apply_max(key, &Val::from_u64(*val), Lc::new(*v, NodeId(*m)));
+        }
+        prop_assert_eq!(a.view(key).val, b.view(key).val);
+        prop_assert_eq!(a.view(key).lc, b.view(key).lc);
+        // and the final clock is the max of all applied clocks
+        let max = ws.iter().map(|(v, m, _)| Lc::new(*v, NodeId(*m))).max().unwrap();
+        prop_assert_eq!(a.view(key).lc, max);
+    }
+
+    /// Redelivery (applying a write twice) never changes the outcome.
+    #[test]
+    fn apply_max_idempotent(ws in writes()) {
+        let a = Store::new(64);
+        let key = Key(3);
+        for (v, m, val) in &ws {
+            a.apply_max(key, &Val::from_u64(*val), Lc::new(*v, NodeId(*m)));
+        }
+        let before = a.view(key);
+        for (v, m, val) in &ws {
+            a.apply_max(key, &Val::from_u64(*val), Lc::new(*v, NodeId(*m)));
+        }
+        prop_assert_eq!(a.view(key), before);
+    }
+
+    /// fast_write clocks are strictly monotone per key and the epoch gate
+    /// is exact.
+    #[test]
+    fn fast_write_monotone_and_epoch_gated(n in 1usize..30, epoch in 0u64..4) {
+        let s = Store::new(64);
+        let key = Key(1);
+        s.restore_epoch(key, Epoch(epoch));
+        let mut last = Lc::ZERO;
+        for i in 0..n {
+            let lc = s
+                .fast_write(key, &Val::from_u64(i as u64), NodeId(2), Epoch(epoch))
+                .expect("in-epoch write");
+            prop_assert!(lc > last);
+            last = lc;
+        }
+        // wrong machine epoch is refused
+        prop_assert!(s.fast_write(key, &Val::EMPTY, NodeId(2), Epoch(epoch + 1)).is_none());
+    }
+
+    /// Epochs never regress through any combination of restores.
+    #[test]
+    fn epochs_monotone(restores in proptest::collection::vec(0u64..16, 1..32)) {
+        let s = Store::new(64);
+        let key = Key(9);
+        let mut max = 0;
+        for e in restores {
+            s.restore_epoch(key, Epoch(e));
+            max = max.max(e);
+            prop_assert_eq!(s.view(key).epoch, Epoch(max));
+        }
+    }
+}

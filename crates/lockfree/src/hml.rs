@@ -1,0 +1,602 @@
+//! The Harris-Michael lock-free sorted list (HML) over the Kite API (§8.3).
+//!
+//! Michael's SPAA'02 variant of Harris's list: logical deletion via a mark
+//! bit in the deleted node's `next` pointer, physical unlinking by
+//! traversals (helping). Port shape:
+//!
+//! * link reads (`head`, `node.next`) are **acquires** — every link was
+//!   published by a CAS, and dereferencing the target's fields requires the
+//!   synchronization edge (this is why HML has the highest "sync-per" of
+//!   the three structures and the smallest Kite-vs-ZAB gap in Figure 8);
+//! * the node's item and payload fields are **relaxed**;
+//! * marking, unlinking, and inserting use **weak CAS**.
+//!
+//! Nodes: field 0 holds the item (LE u64); fields `1..fields` are payload.
+//! Node reclamation is out of scope (the classic safe-memory-reclamation
+//! problem): removed nodes are not reused, so ABA on list nodes cannot
+//! arise; arenas are sized for the experiment.
+
+use kite::api::{Op, OpOutput};
+use kite_common::{Key, Val};
+
+use crate::machine::{DsMachine, DsOutcome, Step};
+use crate::ptr::{NodeArena, Ptr};
+
+/// List descriptor: the head pointer cell and the per-node field count.
+/// A fresh head cell (empty value) decodes to NULL = empty list.
+#[derive(Clone, Copy, Debug)]
+pub struct HmList {
+    /// Key of the list-head cell.
+    pub head: Key,
+    /// Payload fields per node.
+    pub fields: usize,
+}
+
+/// The search window: `prev_cell` is the pointer cell whose content was
+/// observed to be `prev_expect` (→ `cur`); `succ` is `cur.next` (unmarked);
+/// `found` iff `cur` holds `target`.
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    prev_cell: Key,
+    prev_expect: Ptr,
+    cur: Ptr,
+    succ: Ptr,
+    found: bool,
+}
+
+/// The shared search sub-machine (the `find` routine of the algorithm).
+enum SearchPhase {
+    ReadHead,
+    /// Acquired `prev_cell` → cur; now acquire `cur.next`.
+    ReadNext { prev_cell: Key, cur: Ptr },
+    /// Have `(cur, succ, cmark)`; now read `cur.item`.
+    ReadItem { prev_cell: Key, cur: Ptr, succ: Ptr, cmark: bool },
+    /// Unlinking a marked node: CAS in flight.
+    Unlink { prev_cell: Key, succ: Ptr },
+}
+
+struct Search {
+    list: HmList,
+    target: u64,
+    phase: SearchPhase,
+    retries: u32,
+}
+
+enum SearchStep {
+    Exec(Op),
+    Done(Window),
+}
+
+impl Search {
+    fn new(list: HmList, target: u64) -> Self {
+        Search { list, target, phase: SearchPhase::ReadHead, retries: 0 }
+    }
+
+    fn restart(&mut self) {
+        self.retries += 1;
+        self.phase = SearchPhase::ReadHead;
+    }
+
+    fn step(&mut self, last: Option<&OpOutput>) -> SearchStep {
+        loop {
+            match self.phase {
+                SearchPhase::ReadHead => {
+                    self.phase =
+                        SearchPhase::ReadNext { prev_cell: self.list.head, cur: Ptr::NULL };
+                    return SearchStep::Exec(Op::Acquire { key: self.list.head });
+                }
+                SearchPhase::ReadNext { prev_cell, cur: expected } => {
+                    // Arriving from the acquire of prev_cell (or of cur.next
+                    // during advance — both land here with a pointer value).
+                    let Some(OpOutput::Value(v)) = last else { unreachable!("link acquire") };
+                    let cur = Ptr::decode(v);
+                    let _ = expected;
+                    if cur.is_null() {
+                        return SearchStep::Done(Window {
+                            prev_cell,
+                            prev_expect: cur,
+                            cur: Ptr::NULL,
+                            succ: Ptr::NULL,
+                            found: false,
+                        });
+                    }
+                    self.phase = SearchPhase::ReadItem {
+                        prev_cell,
+                        cur: cur.unmarked(),
+                        succ: Ptr::NULL,
+                        cmark: false,
+                    };
+                    return SearchStep::Exec(Op::Acquire {
+                        key: NodeArena::next_key(cur.unmarked()),
+                    });
+                }
+                SearchPhase::ReadItem { prev_cell, cur, succ: _, cmark: _ } => {
+                    match last {
+                        Some(OpOutput::Value(v)) => {
+                            // This is either cur.next (first visit) or
+                            // cur.item (second visit) — disambiguate by
+                            // tracking: first visit stores succ/cmark and
+                            // issues the item read.
+                            let p = Ptr::decode(v);
+                            self.phase = SearchPhase::ReadItem {
+                                prev_cell,
+                                cur,
+                                succ: p.unmarked(),
+                                cmark: p.mark,
+                            };
+                            return SearchStep::Exec(Op::Read {
+                                key: NodeArena::field_key(cur, 0),
+                            });
+                        }
+                        _ => unreachable!("link acquire output"),
+                    }
+                }
+                SearchPhase::Unlink { prev_cell, succ } => match last {
+                    Some(OpOutput::Cas { ok: true, .. }) => {
+                        // Unlinked; continue from prev_cell → succ.
+                        if succ.is_null() {
+                            return SearchStep::Done(Window {
+                                prev_cell,
+                                prev_expect: succ,
+                                cur: Ptr::NULL,
+                                succ: Ptr::NULL,
+                                found: false,
+                            });
+                        }
+                        self.phase = SearchPhase::ReadItem {
+                            prev_cell,
+                            cur: succ,
+                            succ: Ptr::NULL,
+                            cmark: false,
+                        };
+                        return SearchStep::Exec(Op::Acquire { key: NodeArena::next_key(succ) });
+                    }
+                    Some(OpOutput::Cas { ok: false, .. }) => {
+                        self.restart();
+                    }
+                    _ => unreachable!("unlink CAS output"),
+                },
+            }
+        }
+    }
+
+    /// Second half of `ReadItem`: called with the item value.
+    fn on_item(&mut self, item: u64) -> SearchStep {
+        let SearchPhase::ReadItem { prev_cell, cur, succ, cmark } = self.phase else {
+            unreachable!("on_item outside ReadItem")
+        };
+        if cmark {
+            // cur is logically deleted: help unlink it.
+            self.phase = SearchPhase::Unlink { prev_cell, succ };
+            return SearchStep::Exec(Op::CasWeak {
+                key: prev_cell,
+                expect: cur.encode(),
+                new: succ.encode(),
+            });
+        }
+        if item >= self.target {
+            return SearchStep::Done(Window {
+                prev_cell,
+                prev_expect: cur,
+                cur,
+                succ,
+                found: item == self.target,
+            });
+        }
+        // advance: prev becomes cur
+        let next_cell = NodeArena::next_key(cur);
+        if succ.is_null() {
+            return SearchStep::Done(Window {
+                prev_cell: next_cell,
+                prev_expect: Ptr::NULL,
+                cur: Ptr::NULL,
+                succ: Ptr::NULL,
+                found: false,
+            });
+        }
+        self.phase =
+            SearchPhase::ReadItem { prev_cell: next_cell, cur: succ, succ: Ptr::NULL, cmark: false };
+        SearchStep::Exec(Op::Acquire { key: NodeArena::next_key(succ) })
+    }
+
+    /// Route an output to the right sub-handler. The `ReadItem` phase
+    /// receives two values in a row (next-pointer, then item); the machine
+    /// wrappers call `step` for pointer-shaped outputs and `on_item` for
+    /// the item read — they track which op they issued last.
+    fn drive(&mut self, last: Option<&OpOutput>, expecting_item: &mut bool) -> SearchStep {
+        if *expecting_item {
+            *expecting_item = false;
+            let Some(OpOutput::Value(v)) = last else { unreachable!("item read output") };
+            let step = self.on_item(v.as_u64());
+            if let SearchStep::Exec(Op::Read { .. }) = step {
+                unreachable!("on_item never issues item reads");
+            }
+            if let SearchStep::Exec(Op::Acquire { .. }) = &step {
+                // next-pointer acquire → its reply flows through `step`,
+                // which will then issue the item read.
+            }
+            return step;
+        }
+        let step = self.step(last);
+        if let SearchStep::Exec(Op::Read { .. }) = &step {
+            *expecting_item = true;
+        }
+        step
+    }
+}
+
+// --------------------------------------------------------------- insert --
+
+enum InsState {
+    WriteField(usize),
+    Searching,
+    /// Window found, not present: write node.next = cur, then CAS prev.
+    Link { w: Window },
+    Done,
+}
+
+/// Insert `target` (payload in fields 1..). The node must be freshly
+/// allocated with field 0 reserved for the item.
+pub struct HmlInsert {
+    list: HmList,
+    node: Ptr,
+    payload: Vec<Val>,
+    search: Search,
+    expecting_item: bool,
+    state: InsState,
+}
+
+impl HmlInsert {
+    /// An insert of `target` into `list`, publishing `node` with `payload`.
+    pub fn new(list: HmList, target: u64, node: Ptr, mut payload: Vec<Val>) -> Self {
+        assert_eq!(payload.len(), list.fields, "payload[0] is overwritten with the item");
+        payload[0] = Val::from_u64(target);
+        HmlInsert {
+            list,
+            node,
+            payload,
+            search: Search::new(list, target),
+            expecting_item: false,
+            state: InsState::WriteField(0),
+        }
+    }
+
+    /// The node handed in at construction (free it if the insert reports
+    /// `ok == false`).
+    pub fn node(&self) -> Ptr {
+        self.node
+    }
+}
+
+impl DsMachine for HmlInsert {
+    fn step(&mut self, last: Option<&OpOutput>) -> Step {
+        match &self.state {
+            InsState::WriteField(i) => {
+                let i = *i;
+                if i < self.list.fields {
+                    self.state = InsState::WriteField(i + 1);
+                    return Step::Exec(Op::Write {
+                        key: NodeArena::field_key(self.node, i),
+                        val: self.payload[i].clone(),
+                    });
+                }
+                self.state = InsState::Searching;
+                match self.search.drive(None, &mut self.expecting_item) {
+                    SearchStep::Exec(op) => Step::Exec(op),
+                    SearchStep::Done(_) => unreachable!("search starts with an op"),
+                }
+            }
+            InsState::Searching => match self.search.drive(last, &mut self.expecting_item) {
+                SearchStep::Exec(op) => Step::Exec(op),
+                SearchStep::Done(w) => {
+                    if w.found {
+                        self.state = InsState::Done;
+                        return Step::Done(DsOutcome::Inserted {
+                            ok: false,
+                            retries: self.search.retries,
+                        });
+                    }
+                    self.state = InsState::Link { w };
+                    Step::Exec(Op::Write {
+                        key: NodeArena::next_key(self.node),
+                        val: w.cur.encode(),
+                    })
+                }
+            },
+            InsState::Link { w } => match last {
+                Some(OpOutput::Done) => {
+                    let w = *w;
+                    Step::Exec(Op::CasWeak {
+                        key: w.prev_cell,
+                        expect: w.prev_expect.encode(),
+                        new: self.node.encode(),
+                    })
+                }
+                Some(OpOutput::Cas { ok: true, .. }) => {
+                    let retries = self.search.retries;
+                    self.state = InsState::Done;
+                    Step::Done(DsOutcome::Inserted { ok: true, retries })
+                }
+                Some(OpOutput::Cas { ok: false, .. }) => {
+                    self.search.restart();
+                    self.state = InsState::Searching;
+                    match self.search.drive(None, &mut self.expecting_item) {
+                        SearchStep::Exec(op) => Step::Exec(op),
+                        SearchStep::Done(_) => unreachable!(),
+                    }
+                }
+                _ => unreachable!("unexpected output in Link"),
+            },
+            InsState::Done => unreachable!("stepped a finished insert"),
+        }
+    }
+}
+
+// --------------------------------------------------------------- remove --
+
+enum RemState {
+    Searching,
+    /// Marking cur: CAS(cur.next, succ, succ|mark).
+    Mark { w: Window },
+    /// Reading payload field `i` of the removed node.
+    ReadField { w: Window, i: usize },
+    /// Best-effort unlink.
+    Unlink,
+    Done,
+}
+
+/// Remove `target`, reading its payload (the paper's pop-side metadata
+/// consistency check reads the object it removes, §8.3).
+pub struct HmlRemove {
+    list: HmList,
+    search: Search,
+    expecting_item: bool,
+    state: RemState,
+    fields: Vec<Val>,
+}
+
+impl HmlRemove {
+    /// A remove of `target` from `list`.
+    pub fn new(list: HmList, target: u64) -> Self {
+        HmlRemove {
+            list,
+            search: Search::new(list, target),
+            expecting_item: false,
+            state: RemState::Searching,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Payload of the removed node (valid after `Removed { ok: true }`).
+    pub fn payload(&self) -> &[Val] {
+        &self.fields
+    }
+}
+
+impl DsMachine for HmlRemove {
+    fn step(&mut self, last: Option<&OpOutput>) -> Step {
+        let mut last = last;
+        loop {
+            match &self.state {
+                RemState::Searching => match self.search.drive(last, &mut self.expecting_item) {
+                    SearchStep::Exec(op) => return Step::Exec(op),
+                    SearchStep::Done(w) => {
+                        if !w.found {
+                            self.state = RemState::Done;
+                            return Step::Done(DsOutcome::Removed {
+                                ok: false,
+                                retries: self.search.retries,
+                            });
+                        }
+                        self.state = RemState::Mark { w };
+                        return Step::Exec(Op::CasWeak {
+                            key: NodeArena::next_key(w.cur),
+                            expect: w.succ.encode(),
+                            new: w.succ.marked().encode(),
+                        });
+                    }
+                },
+                RemState::Mark { w } => match last {
+                    Some(OpOutput::Cas { ok: true, .. }) => {
+                        let w = *w;
+                        self.state = RemState::ReadField { w, i: 0 };
+                        last = None;
+                    }
+                    Some(OpOutput::Cas { ok: false, .. }) => {
+                        // Lost the race (someone else marked or succ moved).
+                        self.search.restart();
+                        self.state = RemState::Searching;
+                        last = None;
+                    }
+                    _ => unreachable!("mark CAS output"),
+                },
+                RemState::ReadField { w, i } => {
+                    let (w, i) = (*w, *i);
+                    if i > 0 {
+                        let Some(OpOutput::Value(v)) = last else { unreachable!("field read") };
+                        self.fields.push(v.clone());
+                    }
+                    if i < self.list.fields {
+                        self.state = RemState::ReadField { w, i: i + 1 };
+                        return Step::Exec(Op::Read { key: NodeArena::field_key(w.cur, i) });
+                    }
+                    self.state = RemState::Unlink;
+                    return Step::Exec(Op::CasWeak {
+                        key: w.prev_cell,
+                        expect: w.prev_expect.encode(),
+                        new: w.succ.encode(),
+                    });
+                }
+                RemState::Unlink => {
+                    // Best effort: a failed unlink is fine (a later traversal
+                    // will help).
+                    self.state = RemState::Done;
+                    return Step::Done(DsOutcome::Removed {
+                        ok: true,
+                        retries: self.search.retries,
+                    });
+                }
+                RemState::Done => unreachable!("stepped a finished remove"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list() -> HmList {
+        HmList { head: Key(1), fields: 2 }
+    }
+
+    #[test]
+    fn insert_into_empty_list() {
+        let mut arena = NodeArena::new(100, 8, 2);
+        let node = arena.alloc();
+        let mut m = HmlInsert::new(list(), 50, node, vec![Val::EMPTY, Val::from_u64(9)]);
+        // 2 field writes (field 0 = item)
+        let Step::Exec(Op::Write { key, val }) = m.step(None) else { panic!() };
+        assert_eq!(key, NodeArena::field_key(node, 0));
+        assert_eq!(val.as_u64(), 50, "field 0 carries the item");
+        assert!(matches!(m.step(Some(&OpOutput::Done)), Step::Exec(Op::Write { .. })));
+        // search: acquire head
+        let Step::Exec(Op::Acquire { key }) = m.step(Some(&OpOutput::Done)) else { panic!() };
+        assert_eq!(key, Key(1));
+        // head null → window (head, null) → write node.next = null
+        let Step::Exec(Op::Write { key, .. }) =
+            m.step(Some(&OpOutput::Value(Ptr::NULL.encode())))
+        else {
+            panic!()
+        };
+        assert_eq!(key, NodeArena::next_key(node));
+        // CAS head: null → node
+        let Step::Exec(Op::CasWeak { key, expect, new }) = m.step(Some(&OpOutput::Done)) else {
+            panic!()
+        };
+        assert_eq!(key, Key(1));
+        assert!(Ptr::decode(&expect).is_null());
+        assert_eq!(Ptr::decode(&new), node);
+        let Step::Done(DsOutcome::Inserted { ok, retries }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: Ptr::NULL.encode() }))
+        else {
+            panic!()
+        };
+        assert!(ok);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn insert_duplicate_is_rejected() {
+        let mut arena = NodeArena::new(100, 8, 2);
+        let existing = arena.alloc();
+        let node = arena.alloc();
+        let mut m = HmlInsert::new(list(), 50, node, vec![Val::EMPTY, Val::EMPTY]);
+        m.step(None); // field 0
+        m.step(Some(&OpOutput::Done)); // field 1
+        m.step(Some(&OpOutput::Done)); // acquire head
+        // head → existing
+        let Step::Exec(Op::Acquire { key }) = m.step(Some(&OpOutput::Value(existing.encode())))
+        else {
+            panic!()
+        };
+        assert_eq!(key, NodeArena::next_key(existing));
+        // existing.next = null → read item
+        let Step::Exec(Op::Read { key }) = m.step(Some(&OpOutput::Value(Ptr::NULL.encode())))
+        else {
+            panic!()
+        };
+        assert_eq!(key, NodeArena::field_key(existing, 0));
+        // item == 50 → found → duplicate
+        let Step::Done(DsOutcome::Inserted { ok, .. }) =
+            m.step(Some(&OpOutput::Value(Val::from_u64(50))))
+        else {
+            panic!()
+        };
+        assert!(!ok);
+    }
+
+    #[test]
+    fn remove_missing_item() {
+        let mut m = HmlRemove::new(list(), 7);
+        m.step(None); // acquire head
+        let Step::Done(DsOutcome::Removed { ok, .. }) =
+            m.step(Some(&OpOutput::Value(Ptr::NULL.encode())))
+        else {
+            panic!()
+        };
+        assert!(!ok);
+    }
+
+    #[test]
+    fn remove_marks_then_unlinks() {
+        let mut arena = NodeArena::new(100, 8, 2);
+        let node = arena.alloc();
+        let succ = arena.alloc();
+        let mut m = HmlRemove::new(list(), 50);
+        m.step(None); // acquire head
+        m.step(Some(&OpOutput::Value(node.encode()))); // head → node; acquire node.next
+        m.step(Some(&OpOutput::Value(succ.encode()))); // node.next = succ; read item
+        // item == 50 → found → mark CAS on node.next
+        let Step::Exec(Op::CasWeak { key, expect, new }) =
+            m.step(Some(&OpOutput::Value(Val::from_u64(50))))
+        else {
+            panic!()
+        };
+        assert_eq!(key, NodeArena::next_key(node));
+        assert!(!Ptr::decode(&expect).mark);
+        assert!(Ptr::decode(&new).mark, "logical deletion sets the mark");
+        // mark ok → payload reads (2 fields)
+        let Step::Exec(Op::Read { .. }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: succ.encode() }))
+        else {
+            panic!()
+        };
+        let Step::Exec(Op::Read { .. }) = m.step(Some(&OpOutput::Value(Val::from_u64(50))))
+        else {
+            panic!()
+        };
+        // then the physical unlink: CAS(head, node, succ)
+        let Step::Exec(Op::CasWeak { key, expect, new }) =
+            m.step(Some(&OpOutput::Value(Val::from_u64(9))))
+        else {
+            panic!()
+        };
+        assert_eq!(key, Key(1));
+        assert_eq!(Ptr::decode(&expect), node);
+        assert_eq!(Ptr::decode(&new), succ);
+        let Step::Done(DsOutcome::Removed { ok, .. }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: node.encode() }))
+        else {
+            panic!()
+        };
+        assert!(ok);
+        assert_eq!(m.payload().len(), 2);
+        assert_eq!(m.payload()[0].as_u64(), 50);
+    }
+
+    #[test]
+    fn traversal_helps_unlink_marked_nodes() {
+        let mut arena = NodeArena::new(100, 8, 2);
+        let dead = arena.alloc();
+        let mut m = HmlRemove::new(list(), 99);
+        m.step(None); // acquire head
+        m.step(Some(&OpOutput::Value(dead.encode()))); // head → dead; acquire dead.next
+        // dead.next is MARKED → after the item read, help-unlink
+        m.step(Some(&OpOutput::Value(Ptr::NULL.marked().encode())));
+        let Step::Exec(Op::CasWeak { key, new, .. }) =
+            m.step(Some(&OpOutput::Value(Val::from_u64(10))))
+        else {
+            panic!()
+        };
+        assert_eq!(key, Key(1), "unlink goes through the predecessor cell");
+        assert!(Ptr::decode(&new).is_null());
+        // unlink ok, succ null → empty window → not found
+        let Step::Done(DsOutcome::Removed { ok, .. }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: dead.encode() }))
+        else {
+            panic!()
+        };
+        assert!(!ok);
+    }
+}

@@ -1,0 +1,484 @@
+//! The Michael-Scott queue (MSQ) over the Kite API (§8.3).
+//!
+//! Straight port of the PODC'96 algorithm: a dummy node, `head`/`tail`
+//! pointer cells (acquire reads, weak-CAS updates), lagging-tail helping,
+//! and payload fields accessed relaxed. The paper's MSQ-4 and MSQ-32
+//! workloads differ only in `fields` (4 vs 32 discrete 32-byte fields per
+//! object), which changes the ratio of relaxed to synchronization accesses
+//! ("sync-per") — the knob Figure 8 turns.
+
+use kite::api::{Op, OpOutput};
+use kite_common::{Key, Val};
+use kite_kvs::Store;
+use kite_common::Lc;
+
+use crate::machine::{DsMachine, DsOutcome, Step};
+use crate::ptr::{NodeArena, Ptr};
+
+/// Queue descriptor: `head` and `tail` pointer cells and the dummy node the
+/// queue was initialized with.
+#[derive(Clone, Copy, Debug)]
+pub struct MsQueue {
+    /// Key of the head pointer cell.
+    pub head: Key,
+    /// Key of the tail pointer cell.
+    pub tail: Key,
+    /// Payload fields per node.
+    pub fields: usize,
+}
+
+impl MsQueue {
+    /// Initialize the queue's cells in one replica's store: `head = tail =
+    /// dummy`. Run against every replica before the experiment starts (the
+    /// paper preloads the KVS the same way, §7). The dummy must come from a
+    /// reserved arena, not a client arena.
+    pub fn init_store(&self, store: &Store, dummy: Ptr) {
+        let lc = Lc { version: 1, mid: 0 };
+        store.apply_ordered(self.head, &dummy.encode(), lc);
+        store.apply_ordered(self.tail, &dummy.encode(), lc);
+        store.apply_ordered(NodeArena::next_key(dummy), &Ptr::NULL.encode(), lc);
+    }
+}
+
+// -------------------------------------------------------------- enqueue --
+
+enum EnqState {
+    WriteField(usize),
+    /// Write node.next = NULL (once).
+    ClearNext,
+    ReadTail,
+    /// Got tail; reading `tail.next`.
+    ReadTailNext,
+    /// Re-read `tail` and compare with `t` — the MS96 consistency check.
+    /// Without it, a dequeued-and-reused tail node (whose `next` is NULL
+    /// again) would accept our link and the element would vanish.
+    ValidateTail { t: Ptr, next: Ptr },
+    /// Link attempt: CAS(t.next, NULL, node).
+    Link { t: Ptr },
+    /// Swing attempt after link: CAS(tail, t, node) — best effort.
+    Swing,
+    /// Helping swing: CAS(tail, t, next), then retry.
+    HelpSwing,
+    Done,
+}
+
+/// The MS96 enqueue state machine.
+pub struct MsqEnqueue {
+    q: MsQueue,
+    node: Ptr,
+    payload: Vec<Val>,
+    state: EnqState,
+    validating: bool,
+    retries: u32,
+}
+
+impl MsqEnqueue {
+    /// An enqueue of `node` (carrying `payload`) onto `q`.
+    pub fn new(q: MsQueue, node: Ptr, payload: Vec<Val>) -> Self {
+        assert_eq!(payload.len(), q.fields);
+        MsqEnqueue { q, node, payload, state: EnqState::WriteField(0), validating: false, retries: 0 }
+    }
+}
+
+impl DsMachine for MsqEnqueue {
+    fn step(&mut self, last: Option<&OpOutput>) -> Step {
+        loop {
+            match self.state {
+                EnqState::WriteField(i) => {
+                    if i < self.q.fields {
+                        self.state = EnqState::WriteField(i + 1);
+                        return Step::Exec(Op::Write {
+                            key: NodeArena::field_key(self.node, i),
+                            val: self.payload[i].clone(),
+                        });
+                    }
+                    self.state = EnqState::ClearNext;
+                }
+                EnqState::ClearNext => {
+                    self.state = EnqState::ReadTail;
+                    // The cleared next is tagged with the node's incarnation
+                    // (MS96's per-cell modification count): a link-CAS whose
+                    // expectation was read from a *previous* incarnation of
+                    // this cell must fail, or a delayed enqueue would link
+                    // into a recycled node and lose its element.
+                    return Step::Exec(Op::Write {
+                        key: NodeArena::next_key(self.node),
+                        val: Ptr { key: 0, aba: self.node.aba, mark: false }.encode(),
+                    });
+                }
+                EnqState::ReadTail => {
+                    self.state = EnqState::ReadTailNext;
+                    return Step::Exec(Op::Acquire { key: self.q.tail });
+                }
+                EnqState::ReadTailNext => {
+                    let Some(OpOutput::Value(v)) = last else { unreachable!("tail acquire") };
+                    let t = Ptr::decode(v);
+                    self.state = EnqState::ValidateTail { t, next: Ptr::NULL };
+                    return Step::Exec(Op::Acquire { key: NodeArena::next_key(t) });
+                }
+                EnqState::ValidateTail { t, next } => {
+                    match last {
+                        Some(OpOutput::Value(v)) if next == Ptr::NULL && !self.validating => {
+                            // first visit: this is t.next; now re-read tail
+                            let next = Ptr::decode(v);
+                            self.validating = true;
+                            self.state = EnqState::ValidateTail { t, next };
+                            return Step::Exec(Op::Acquire { key: self.q.tail });
+                        }
+                        Some(OpOutput::Value(v)) => {
+                            self.validating = false;
+                            let t2 = Ptr::decode(v);
+                            if t2 != t {
+                                // tail moved (or t was recycled): retry
+                                self.retries += 1;
+                                self.state = EnqState::ReadTail;
+                                continue;
+                            }
+                            if next.is_null() {
+                                self.state = EnqState::Link { t };
+                                // expect the *exact* (incarnation-tagged)
+                                // null we read — see ClearNext.
+                                return Step::Exec(Op::CasWeak {
+                                    key: NodeArena::next_key(t),
+                                    expect: next.encode(),
+                                    new: self.node.encode(),
+                                });
+                            }
+                            // tail lags: help swing it, then retry
+                            self.state = EnqState::HelpSwing;
+                            return Step::Exec(Op::CasWeak {
+                                key: self.q.tail,
+                                expect: t.encode(),
+                                new: next.encode(),
+                            });
+                        }
+                        _ => unreachable!("validate expects pointer values"),
+                    }
+                }
+                EnqState::Link { t } => match last {
+                    Some(OpOutput::Cas { ok: true, .. }) => {
+                        // linked; swing tail (failure is fine — someone helped)
+                        self.state = EnqState::Swing;
+                        return Step::Exec(Op::CasWeak {
+                            key: self.q.tail,
+                            expect: t.encode(),
+                            new: self.node.encode(),
+                        });
+                    }
+                    Some(OpOutput::Cas { ok: false, .. }) => {
+                        self.retries += 1;
+                        self.state = EnqState::ReadTail;
+                    }
+                    _ => unreachable!("unexpected output in Link"),
+                },
+                EnqState::Swing => {
+                    // regardless of the swing result, the enqueue is done
+                    self.state = EnqState::Done;
+                    return Step::Done(DsOutcome::Pushed { retries: self.retries });
+                }
+                EnqState::HelpSwing => {
+                    self.retries += 1;
+                    self.state = EnqState::ReadTail;
+                }
+                EnqState::Done => unreachable!("stepped a finished enqueue"),
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- dequeue --
+
+enum DeqState {
+    ReadHead,
+    ReadTail,
+    ReadNext { h: Ptr },
+    /// MS96 consistency check: re-read `head`; if it moved (or `h` was
+    /// recycled) the `(h, t, next)` snapshot is unusable — retry.
+    ValidateHead { h: Ptr, t: Ptr },
+    /// Queue looked empty-or-lagging; decide with `next` in hand.
+    Decide { h: Ptr, t: Ptr },
+    /// Reading field `i` of the first real node (before the CAS, as in the
+    /// original algorithm).
+    ReadField { h: Ptr, next: Ptr, i: usize },
+    /// CAS(head, h, next).
+    CasHead { h: Ptr },
+    /// Helping swing of a lagging tail during dequeue.
+    HelpSwing,
+    Done,
+}
+
+/// The MS96 dequeue state machine.
+pub struct MsqDequeue {
+    q: MsQueue,
+    state: DeqState,
+    pending_next: Ptr,
+    fields: Vec<Val>,
+    retries: u32,
+}
+
+impl MsqDequeue {
+    /// A dequeue from `q`.
+    pub fn new(q: MsQueue) -> Self {
+        MsqDequeue {
+            q,
+            state: DeqState::ReadHead,
+            pending_next: Ptr::NULL,
+            fields: Vec::new(),
+            retries: 0,
+        }
+    }
+}
+
+impl DsMachine for MsqDequeue {
+    fn step(&mut self, last: Option<&OpOutput>) -> Step {
+        loop {
+            match self.state {
+                DeqState::ReadHead => {
+                    self.state = DeqState::ReadTail;
+                    return Step::Exec(Op::Acquire { key: self.q.head });
+                }
+                DeqState::ReadTail => {
+                    let Some(OpOutput::Value(v)) = last else { unreachable!("head acquire") };
+                    let h = Ptr::decode(v);
+                    self.state = DeqState::ReadNext { h };
+                    return Step::Exec(Op::Acquire { key: self.q.tail });
+                }
+                DeqState::ReadNext { h } => {
+                    let Some(OpOutput::Value(v)) = last else { unreachable!("tail acquire") };
+                    let t = Ptr::decode(v);
+                    self.state = DeqState::ValidateHead { h, t };
+                    return Step::Exec(Op::Acquire { key: NodeArena::next_key(h) });
+                }
+                DeqState::ValidateHead { h, t } => {
+                    let Some(OpOutput::Value(v)) = last else { unreachable!("next acquire") };
+                    let next = Ptr::decode(v);
+                    self.state = DeqState::Decide { h, t };
+                    self.pending_next = next;
+                    return Step::Exec(Op::Acquire { key: self.q.head });
+                }
+                DeqState::Decide { h, t } => {
+                    let Some(OpOutput::Value(v)) = last else { unreachable!("head re-read") };
+                    let h2 = Ptr::decode(v);
+                    if h2 != h {
+                        self.retries += 1;
+                        self.state = DeqState::ReadHead;
+                        continue;
+                    }
+                    let next = self.pending_next;
+                    if h == t {
+                        if next.is_null() {
+                            self.state = DeqState::Done;
+                            return Step::Done(DsOutcome::Popped {
+                                fields: None,
+                                node: Ptr::NULL,
+                                retries: self.retries,
+                            });
+                        }
+                        // tail lags behind a concurrent enqueue: help
+                        self.state = DeqState::HelpSwing;
+                        return Step::Exec(Op::CasWeak {
+                            key: self.q.tail,
+                            expect: t.encode(),
+                            new: next.encode(),
+                        });
+                    }
+                    debug_assert!(!next.is_null(), "non-empty queue must have a first node");
+                    self.state = DeqState::ReadField { h, next, i: 0 };
+                }
+                DeqState::ReadField { h, next, i } => {
+                    if i > 0 {
+                        let Some(OpOutput::Value(v)) = last else { unreachable!("field read") };
+                        self.fields.push(v.clone());
+                    }
+                    if i < self.q.fields {
+                        self.state = DeqState::ReadField { h, next, i: i + 1 };
+                        return Step::Exec(Op::Read { key: NodeArena::field_key(next, i) });
+                    }
+                    self.state = DeqState::CasHead { h };
+                    return Step::Exec(Op::CasWeak {
+                        key: self.q.head,
+                        expect: h.encode(),
+                        new: next.encode(),
+                    });
+                }
+                DeqState::CasHead { h } => match last {
+                    Some(OpOutput::Cas { ok: true, .. }) => {
+                        self.state = DeqState::Done;
+                        // The old dummy `h` is reclaimed; `next` becomes the
+                        // new dummy and its fields are the dequeued value.
+                        return Step::Done(DsOutcome::Popped {
+                            fields: Some(std::mem::take(&mut self.fields)),
+                            node: h,
+                            retries: self.retries,
+                        });
+                    }
+                    Some(OpOutput::Cas { ok: false, .. }) => {
+                        self.retries += 1;
+                        self.fields.clear();
+                        self.state = DeqState::ReadHead;
+                    }
+                    _ => unreachable!("unexpected output in CasHead"),
+                },
+                DeqState::HelpSwing => {
+                    self.retries += 1;
+                    self.state = DeqState::ReadHead;
+                }
+                DeqState::Done => unreachable!("stepped a finished dequeue"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue() -> MsQueue {
+        MsQueue { head: Key(1), tail: Key(2), fields: 1 }
+    }
+
+    #[test]
+    fn init_store_links_dummy() {
+        let store = Store::new(256);
+        let mut arena = NodeArena::new(100, 4, 1);
+        let dummy = arena.alloc();
+        let q = queue();
+        q.init_store(&store, dummy);
+        assert_eq!(Ptr::decode(&store.view(q.head).val), dummy);
+        assert_eq!(Ptr::decode(&store.view(q.tail).val), dummy);
+        assert!(Ptr::decode(&store.view(NodeArena::next_key(dummy)).val).is_null());
+    }
+
+    #[test]
+    fn enqueue_on_empty_queue_sequence() {
+        let mut arena = NodeArena::new(100, 4, 1);
+        let dummy = arena.alloc();
+        let node = arena.alloc();
+        let q = queue();
+        let mut m = MsqEnqueue::new(q, node, vec![Val::from_u64(5)]);
+        // field write, next clear
+        assert!(matches!(m.step(None), Step::Exec(Op::Write { .. })));
+        assert!(matches!(m.step(Some(&OpOutput::Done)), Step::Exec(Op::Write { .. })));
+        // acquire tail
+        let Step::Exec(Op::Acquire { key }) = m.step(Some(&OpOutput::Done)) else { panic!() };
+        assert_eq!(key, q.tail);
+        // tail = dummy → acquire dummy.next
+        let Step::Exec(Op::Acquire { key }) = m.step(Some(&OpOutput::Value(dummy.encode())))
+        else {
+            panic!()
+        };
+        assert_eq!(key, NodeArena::next_key(dummy));
+        // next = null → MS96 validation: re-acquire tail
+        let Step::Exec(Op::Acquire { key }) = m.step(Some(&OpOutput::Value(Ptr::NULL.encode())))
+        else {
+            panic!()
+        };
+        assert_eq!(key, q.tail);
+        // tail unchanged → CAS(dummy.next, null, node)
+        let Step::Exec(Op::CasWeak { key, expect, new }) =
+            m.step(Some(&OpOutput::Value(dummy.encode())))
+        else {
+            panic!()
+        };
+        assert_eq!(key, NodeArena::next_key(dummy));
+        assert!(Ptr::decode(&expect).is_null());
+        assert_eq!(Ptr::decode(&new), node);
+        // linked → swing tail
+        let Step::Exec(Op::CasWeak { key, .. }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: Ptr::NULL.encode() }))
+        else {
+            panic!()
+        };
+        assert_eq!(key, q.tail);
+        // swing result irrelevant
+        let Step::Done(DsOutcome::Pushed { retries }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: dummy.encode() }))
+        else {
+            panic!()
+        };
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn enqueue_helps_lagging_tail() {
+        let mut arena = NodeArena::new(100, 4, 1);
+        let dummy = arena.alloc();
+        let stale = arena.alloc();
+        let node = arena.alloc();
+        let q = queue();
+        let mut m = MsqEnqueue::new(q, node, vec![Val::EMPTY]);
+        m.step(None); // field
+        m.step(Some(&OpOutput::Done)); // next clear
+        m.step(Some(&OpOutput::Done)); // acquire tail
+        m.step(Some(&OpOutput::Value(dummy.encode()))); // acquire next
+        m.step(Some(&OpOutput::Value(stale.encode()))); // next=stale → validate tail
+        // tail still dummy → dummy.next points at `stale` → help swing
+        let Step::Exec(Op::CasWeak { key, new, .. }) =
+            m.step(Some(&OpOutput::Value(dummy.encode())))
+        else {
+            panic!()
+        };
+        assert_eq!(key, q.tail);
+        assert_eq!(Ptr::decode(&new), stale);
+        // after helping, retry from ReadTail
+        let Step::Exec(Op::Acquire { key }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: dummy.encode() }))
+        else {
+            panic!()
+        };
+        assert_eq!(key, q.tail);
+    }
+
+    #[test]
+    fn dequeue_empty() {
+        let mut arena = NodeArena::new(100, 4, 1);
+        let dummy = arena.alloc();
+        let q = queue();
+        let mut m = MsqDequeue::new(q);
+        m.step(None); // acquire head
+        m.step(Some(&OpOutput::Value(dummy.encode()))); // acquire tail
+        m.step(Some(&OpOutput::Value(dummy.encode()))); // acquire next
+        m.step(Some(&OpOutput::Value(Ptr::NULL.encode()))); // validate: re-acquire head
+        let Step::Done(DsOutcome::Popped { fields, .. }) =
+            m.step(Some(&OpOutput::Value(dummy.encode())))
+        else {
+            panic!()
+        };
+        assert!(fields.is_none());
+    }
+
+    #[test]
+    fn dequeue_reads_value_from_first_real_node() {
+        let mut arena = NodeArena::new(100, 4, 1);
+        let dummy = arena.alloc();
+        let first = arena.alloc();
+        let q = queue();
+        let mut m = MsqDequeue::new(q);
+        m.step(None);
+        m.step(Some(&OpOutput::Value(dummy.encode()))); // head = dummy
+        m.step(Some(&OpOutput::Value(first.encode()))); // tail = first (≠ head)
+        m.step(Some(&OpOutput::Value(first.encode()))); // head.next = first → validate head
+        // head unchanged → read field 0 of first
+        let Step::Exec(Op::Read { key }) = m.step(Some(&OpOutput::Value(dummy.encode()))) else {
+            panic!()
+        };
+        assert_eq!(key, NodeArena::field_key(first, 0));
+        // then CAS head: dummy → first
+        let Step::Exec(Op::CasWeak { key, expect, new }) =
+            m.step(Some(&OpOutput::Value(Val::from_u64(42))))
+        else {
+            panic!()
+        };
+        assert_eq!(key, q.head);
+        assert_eq!(Ptr::decode(&expect), dummy);
+        assert_eq!(Ptr::decode(&new), first);
+        let Step::Done(DsOutcome::Popped { fields, node, retries }) =
+            m.step(Some(&OpOutput::Cas { ok: true, observed: dummy.encode() }))
+        else {
+            panic!()
+        };
+        assert_eq!(fields.unwrap()[0].as_u64(), 42);
+        assert_eq!(node, dummy, "old dummy is reclaimed");
+        assert_eq!(retries, 0);
+    }
+}

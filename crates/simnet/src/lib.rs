@@ -1,0 +1,44 @@
+//! # kite-simnet
+//!
+//! The in-process "datacenter network" that replaces the paper's RDMA
+//! fabric (5 machines on 56 Gb InfiniBand, §7). It preserves the properties
+//! Kite's protocols actually depend on:
+//!
+//! * **Unreliable, unordered datagrams** — like RDMA UD sends, messages may
+//!   be dropped or delayed; nothing is retransmitted by the network.
+//!   Protocol-level recovery (ack timeouts, the delinquency mechanism) is
+//!   exactly what the paper builds on top.
+//! * **Unicast only** — broadcasts are loops of unicasts (§6.3).
+//! * **Worker peering** — worker *w* of a node exchanges messages only with
+//!   worker *w* of each remote node (§6.3), so the fabric routes envelopes
+//!   by `(destination node, source worker index)`.
+//! * **Opportunistic batching** — an [`Outbox`] accumulates the messages a
+//!   worker produces during one scheduling step and flushes them as one
+//!   envelope per destination (§6.3: workers never wait to fill a quota).
+//!
+//! Two interchangeable schedulers drive the same sans-io protocol actors:
+//!
+//! * [`threaded`] — one OS thread per worker, crossbeam channels as NICs,
+//!   wall-clock time. Used for throughput experiments (Fig 5–9).
+//! * [`sim`] — a single-threaded discrete-event executor with virtual time
+//!   and a seeded RNG for latency jitter, drops, partitions, node sleeps and
+//!   crashes. Used for reproducible correctness tests: a seed fully
+//!   determines the execution, including fast/slow-path transitions.
+//!
+//! Fault injection ([`FaultPlane`] for the threaded runtime, fault methods
+//! on [`sim::Sim`] for the simulator) models the failure study of §8.4:
+//! sleeping replicas, crash-stop failures, lossy links and partitions.
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod faults;
+pub mod outbox;
+pub mod sim;
+pub mod threaded;
+
+pub use actor::{Actor, Clock, ManualClock, WallClock};
+pub use faults::{FaultPlane, LinkCfg};
+pub use outbox::{Envelope, Outbox};
+pub use sim::{Sim, SimCfg};
+pub use threaded::{spawn_workers, NetHandle, StopHandle, ThreadedNet, WorkerIo};

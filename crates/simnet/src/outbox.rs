@@ -1,0 +1,169 @@
+//! Per-step message accumulation and envelopes (§6.3 opportunistic batching).
+
+use kite_common::NodeId;
+
+/// One network datagram: every protocol message the source worker produced
+/// for this destination during one scheduling step, delivered together.
+///
+/// Batching "across all protocols" is a first-class design point of Kite
+/// (§6.3): ES acks, ABD rounds and Paxos phases destined to the same node
+/// share an envelope, amortizing per-packet overhead.
+#[derive(Debug, Clone)]
+pub struct Envelope<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// The batched protocol messages.
+    pub msgs: Vec<P>,
+}
+
+/// Accumulates outgoing messages during one actor step, batched per
+/// destination node. Flushed by the scheduler at the end of the step.
+///
+/// The buffer is preallocated per destination and recycled between steps, so
+/// steady-state sends do not allocate.
+pub struct Outbox<P> {
+    bufs: Vec<Vec<P>>,
+    /// Destinations with at least one pending message (kept sorted-unique by
+    /// push order, small: ≤ nodes).
+    dirty: Vec<u8>,
+}
+
+impl<P> Outbox<P> {
+    /// An outbox addressing `nodes` destinations.
+    pub fn new(nodes: usize) -> Self {
+        Outbox { bufs: (0..nodes).map(|_| Vec::with_capacity(64)).collect(), dirty: Vec::new() }
+    }
+
+    /// Number of destinations this outbox can address.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Queue `msg` for `dst`. Sending to one's own node id is allowed (the
+    /// scheduler will loop it back); Kite's workers shortcut self-delivery
+    /// instead, but baselines may rely on loopback.
+    #[inline]
+    pub fn send(&mut self, dst: NodeId, msg: P) {
+        let buf = &mut self.bufs[dst.idx()];
+        if buf.is_empty() {
+            self.dirty.push(dst.0);
+        }
+        buf.push(msg);
+    }
+
+    /// Queue a clone of `msg` for every node except `me` — the broadcast
+    /// primitive, implemented as unicasts exactly like the paper (§6.3).
+    #[inline]
+    pub fn broadcast(&mut self, me: NodeId, msg: P)
+    where
+        P: Clone,
+    {
+        let n = self.bufs.len();
+        for dst in 0..n {
+            if dst != me.idx() {
+                self.send(NodeId(dst as u8), msg.clone());
+            }
+        }
+    }
+
+    /// Queue a clone of `msg` for every member of `set` except `me`.
+    #[inline]
+    pub fn multicast(&mut self, me: NodeId, set: kite_common::NodeSet, msg: P)
+    where
+        P: Clone,
+    {
+        for dst in set {
+            if dst != me {
+                self.send(dst, msg.clone());
+            }
+        }
+    }
+
+    /// True if no messages are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// Total messages pending across all destinations.
+    pub fn pending(&self) -> usize {
+        self.bufs.iter().map(Vec::len).sum()
+    }
+
+    /// Drain all pending batches, invoking `f(dst, batch)` per destination.
+    /// Buffers are recycled.
+    pub fn flush(&mut self, mut f: impl FnMut(NodeId, Vec<P>)) {
+        for &d in &self.dirty {
+            let buf = &mut self.bufs[d as usize];
+            if !buf.is_empty() {
+                let batch = std::mem::replace(buf, Vec::with_capacity(64));
+                f(NodeId(d), batch);
+            }
+        }
+        self.dirty.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_common::NodeSet;
+
+    #[test]
+    fn send_and_flush_batches_per_destination() {
+        let mut ob: Outbox<u32> = Outbox::new(3);
+        ob.send(NodeId(1), 10);
+        ob.send(NodeId(1), 11);
+        ob.send(NodeId(2), 20);
+        assert_eq!(ob.pending(), 3);
+        let mut got = Vec::new();
+        ob.flush(|dst, batch| got.push((dst, batch)));
+        got.sort_by_key(|(d, _)| d.0);
+        assert_eq!(got, vec![(NodeId(1), vec![10, 11]), (NodeId(2), vec![20])]);
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn flush_on_empty_is_noop() {
+        let mut ob: Outbox<u32> = Outbox::new(2);
+        let mut calls = 0;
+        ob.flush(|_, _| calls += 1);
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn broadcast_skips_self() {
+        let mut ob: Outbox<u8> = Outbox::new(5);
+        ob.broadcast(NodeId(2), 7);
+        let mut dsts = Vec::new();
+        ob.flush(|d, b| {
+            assert_eq!(b, vec![7]);
+            dsts.push(d.0);
+        });
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn multicast_targets_set_minus_self() {
+        let mut ob: Outbox<u8> = Outbox::new(5);
+        let set: NodeSet = [NodeId(0), NodeId(2), NodeId(4)].into_iter().collect();
+        ob.multicast(NodeId(2), set, 9);
+        let mut dsts = Vec::new();
+        ob.flush(|d, _| dsts.push(d.0));
+        dsts.sort_unstable();
+        assert_eq!(dsts, vec![0, 4]);
+    }
+
+    #[test]
+    fn reuse_after_flush() {
+        let mut ob: Outbox<u8> = Outbox::new(2);
+        ob.send(NodeId(0), 1);
+        ob.flush(|_, _| {});
+        ob.send(NodeId(0), 2);
+        let mut total = 0;
+        ob.flush(|_, b| total += b.len());
+        assert_eq!(total, 1);
+    }
+}

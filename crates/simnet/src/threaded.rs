@@ -1,0 +1,478 @@
+//! The threaded runtime: one OS thread per worker, crossbeam channels as
+//! NICs, wall-clock time. This is the scheduler used for throughput
+//! experiments, mirroring Kite's busy-polling RDMA workers (§6).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kite_common::rng::SplitMix64;
+use kite_common::stats::ProtoCounters;
+use kite_common::NodeId;
+
+use crate::actor::{Actor, Clock, WallClock};
+use crate::faults::FaultPlane;
+use crate::outbox::{Envelope, Outbox};
+
+/// Everything a worker thread needs to talk to the fabric.
+pub struct WorkerIo<P> {
+    /// Node this IO bundle belongs to.
+    pub node: NodeId,
+    /// Worker index within the node.
+    pub worker: usize,
+    /// Incoming envelopes addressed to this `(node, worker)`.
+    pub rx: Receiver<Envelope<P>>,
+    /// Outgoing side.
+    pub net: NetHandle<P>,
+}
+
+/// Sending half bound to one source worker. Routes by
+/// `(destination node, own worker index)` — worker peering as in §6.3.
+pub struct NetHandle<P> {
+    me: NodeId,
+    worker: usize,
+    senders: Arc<Vec<Vec<Sender<Envelope<P>>>>>,
+    faults: Arc<FaultPlane>,
+    delay_tx: Sender<Delayed<P>>,
+    clock: Arc<WallClock>,
+    rng: SplitMix64,
+    counters: Arc<ProtoCounters>,
+}
+
+impl<P: Send + 'static> NetHandle<P> {
+    /// Send a batch of protocol messages to `dst` as a single envelope.
+    /// Subject to the fault plane: may be dropped or delayed. Returns `true`
+    /// if the envelope was handed to the fabric (not necessarily delivered).
+    pub fn send(&mut self, dst: NodeId, msgs: Vec<P>) -> bool {
+        debug_assert!(!msgs.is_empty());
+        self.counters.msgs_sent.add(msgs.len() as u64);
+        self.counters.envelopes_sent.incr();
+        let coin = (self.rng.next_u64() >> 32) as u32;
+        if self.faults.should_drop(self.me, dst, coin) {
+            return false;
+        }
+        let env = Envelope { src: self.me, msgs };
+        let delay = self.faults.extra_delay(self.me, dst);
+        if delay == 0 {
+            // Receiver may have been dropped during shutdown — not an error.
+            let _ = self.senders[dst.idx()][self.worker].send(env);
+        } else {
+            let _ = self.delay_tx.send(Delayed {
+                deliver_at: self.clock.now() + delay,
+                dst,
+                worker: self.worker,
+                env,
+            });
+        }
+        true
+    }
+
+    /// Flush a whole outbox through this handle.
+    pub fn flush(&mut self, out: &mut Outbox<P>) {
+        // `Outbox::flush` borrows the closure mutably; route each batch.
+        let mut batches: Vec<(NodeId, Vec<P>)> = Vec::new();
+        out.flush(|dst, batch| batches.push((dst, batch)));
+        for (dst, batch) in batches {
+            self.send(dst, batch);
+        }
+    }
+
+    /// The node this handle belongs to.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+}
+
+struct Delayed<P> {
+    deliver_at: u64,
+    dst: NodeId,
+    worker: usize,
+    env: Envelope<P>,
+}
+
+/// The fabric: channel matrix plus the shared clock, fault plane and
+/// per-node counters. Build once per cluster.
+pub struct ThreadedNet<P> {
+    /// Shared wall clock.
+    pub clock: Arc<WallClock>,
+    /// Shared fault plane (drops, delays, sleeps).
+    pub faults: Arc<FaultPlane>,
+    /// Per-node message counters (envelopes/msgs sent by that node's workers).
+    pub counters: Vec<Arc<ProtoCounters>>,
+    delayer: Option<JoinHandle<()>>,
+    delay_tx: Sender<Delayed<P>>,
+}
+
+impl<P: Send + 'static> ThreadedNet<P> {
+    /// Create the fabric for `nodes × workers` endpoints and return the
+    /// per-worker IO bundles, indexed `[node][worker]`.
+    pub fn build(nodes: usize, workers: usize, seed: u64) -> (Self, Vec<Vec<WorkerIo<P>>>) {
+        let clock = Arc::new(WallClock::new());
+        let faults = Arc::new(FaultPlane::new(nodes));
+        let counters: Vec<Arc<ProtoCounters>> =
+            (0..nodes).map(|_| Arc::new(ProtoCounters::default())).collect();
+
+        let mut senders: Vec<Vec<Sender<Envelope<P>>>> = Vec::with_capacity(nodes);
+        let mut receivers: Vec<Vec<Receiver<Envelope<P>>>> = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let mut stx = Vec::with_capacity(workers);
+            let mut srx = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let (tx, rx) = unbounded();
+                stx.push(tx);
+                srx.push(rx);
+            }
+            senders.push(stx);
+            receivers.push(srx);
+        }
+        let senders = Arc::new(senders);
+
+        let (delay_tx, delay_rx) = unbounded::<Delayed<P>>();
+        let delayer = {
+            let senders = Arc::clone(&senders);
+            let clock = Arc::clone(&clock);
+            std::thread::Builder::new()
+                .name("simnet-delayer".into())
+                .spawn(move || delayer_loop(delay_rx, senders, clock))
+                .expect("spawn delayer")
+        };
+
+        let mut seed_rng = SplitMix64::new(seed);
+        let mut ios = Vec::with_capacity(nodes);
+        for (n, rxs) in receivers.into_iter().enumerate() {
+            let mut per_node = Vec::with_capacity(workers);
+            for (w, rx) in rxs.into_iter().enumerate() {
+                per_node.push(WorkerIo {
+                    node: NodeId(n as u8),
+                    worker: w,
+                    rx,
+                    net: NetHandle {
+                        me: NodeId(n as u8),
+                        worker: w,
+                        senders: Arc::clone(&senders),
+                        faults: Arc::clone(&faults),
+                        delay_tx: delay_tx.clone(),
+                        clock: Arc::clone(&clock),
+                        rng: seed_rng.split(),
+                        counters: Arc::clone(&counters[n]),
+                    },
+                });
+            }
+            ios.push(per_node);
+        }
+
+        (ThreadedNet { clock, faults, counters, delayer: Some(delayer), delay_tx }, ios)
+    }
+}
+
+impl<P> Drop for ThreadedNet<P> {
+    fn drop(&mut self) {
+        // Closing the last delay sender wakes and terminates the delayer.
+        let (tx, _rx) = unbounded();
+        drop(std::mem::replace(&mut self.delay_tx, tx));
+        if let Some(h) = self.delayer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn delayer_loop<P: Send>(
+    rx: Receiver<Delayed<P>>,
+    senders: Arc<Vec<Vec<Sender<Envelope<P>>>>>,
+    clock: Arc<WallClock>,
+) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // Heap keyed by deadline; seq breaks ties FIFO.
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut slots: std::collections::HashMap<u64, Delayed<P>> = std::collections::HashMap::new();
+    let mut seq = 0u64;
+    loop {
+        // Deliver everything due.
+        let now = clock.now();
+        while let Some(&Reverse((at, s))) = heap.peek() {
+            if at > now {
+                break;
+            }
+            heap.pop();
+            if let Some(d) = slots.remove(&s) {
+                let _ = senders[d.dst.idx()][d.worker].send(d.env);
+            }
+        }
+        let timeout = heap
+            .peek()
+            .map(|&Reverse((at, _))| Duration::from_nanos(at.saturating_sub(clock.now())))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(timeout) {
+            Ok(d) => {
+                heap.push(Reverse((d.deliver_at, seq)));
+                slots.insert(seq, d);
+                seq += 1;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                // Flush whatever is still queued, then exit.
+                while let Some(Reverse((_, s))) = heap.pop() {
+                    if let Some(d) = slots.remove(&s) {
+                        let _ = senders[d.dst.idx()][d.worker].send(d.env);
+                    }
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Handle to stop and join a set of spawned worker threads.
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl StopHandle {
+    /// Signal all workers to stop and wait for them to exit.
+    pub fn stop_and_join(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// The shared stop flag (lets callers embed it in their own loops).
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+}
+
+impl Drop for StopHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn one busy-polling thread per `(actor, io)` pair.
+///
+/// The loop mirrors Kite's worker structure: drain incoming envelopes,
+/// pump sessions/timeouts via `on_tick`, flush the outbox as opportunistic
+/// batches. Backoff kicks in only when the worker made no progress at all
+/// (idle sessions, empty NIC) to stay friendly on small machines.
+pub fn spawn_workers<A: Actor + 'static>(
+    rigs: Vec<(A, WorkerIo<A::Msg>)>,
+    net: &ThreadedNet<A::Msg>,
+) -> StopHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::with_capacity(rigs.len());
+    for (actor, io) in rigs {
+        let stop = Arc::clone(&stop);
+        let clock = Arc::clone(&net.clock);
+        let faults = Arc::clone(&net.faults);
+        let name = format!("kite-{}-w{}", io.node, io.worker);
+        handles.push(
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(actor, io, clock, faults, stop))
+                .expect("spawn worker"),
+        );
+    }
+    StopHandle { stop, handles }
+}
+
+fn worker_loop<A: Actor>(
+    mut actor: A,
+    io: WorkerIo<A::Msg>,
+    clock: Arc<WallClock>,
+    faults: Arc<FaultPlane>,
+    stop: Arc<AtomicBool>,
+) {
+    let me = io.node;
+    let mut net = io.net;
+    let rx = io.rx;
+    let nodes = faults.nodes();
+    let mut out: Outbox<A::Msg> = Outbox::new(nodes);
+    let mut idle_iters: u32 = 0;
+    const MAX_ENVELOPES_PER_ITER: usize = 64;
+
+    while !stop.load(Ordering::Relaxed) {
+        let now = clock.now();
+
+        if faults.is_crashed(me) {
+            // Crash-stop: discard traffic, do nothing, stay parked.
+            while rx.try_recv().is_ok() {}
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        if faults.is_sleeping(me, now) {
+            // Sleeping replica (§8.4): do not process; messages buffer up.
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+
+        let mut progress = false;
+        for _ in 0..MAX_ENVELOPES_PER_ITER {
+            match rx.try_recv() {
+                Ok(env) => {
+                    actor.on_envelope(env.src, env.msgs, clock.now(), &mut out);
+                    progress = true;
+                }
+                Err(_) => break,
+            }
+        }
+        if actor.on_tick(clock.now(), &mut out) {
+            progress = true;
+        }
+        if !out.is_empty() {
+            net.flush(&mut out);
+            progress = true;
+        }
+
+        if progress {
+            idle_iters = 0;
+        } else {
+            idle_iters = idle_iters.saturating_add(1);
+            if idle_iters < 64 {
+                std::hint::spin_loop();
+            } else if idle_iters < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::park_timeout(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // An actor that counts pings and replies with pongs; node 0 initiates.
+    #[derive(Debug)]
+    struct PingPong {
+        me: NodeId,
+        peers: usize,
+        sent: bool,
+        pongs: Arc<kite_common::stats::Counter>,
+    }
+
+    impl Actor for PingPong {
+        type Msg = &'static str;
+
+        fn on_envelope(
+            &mut self,
+            src: NodeId,
+            msgs: Vec<&'static str>,
+            _now: u64,
+            out: &mut Outbox<&'static str>,
+        ) {
+            for m in msgs {
+                match m {
+                    "ping" => out.send(src, "pong"),
+                    "pong" => self.pongs.incr(),
+                    _ => unreachable!(),
+                }
+            }
+        }
+
+        fn on_tick(&mut self, _now: u64, out: &mut Outbox<&'static str>) -> bool {
+            if self.me == NodeId(0) && !self.sent {
+                self.sent = true;
+                for p in 1..self.peers {
+                    out.send(NodeId(p as u8), "ping");
+                }
+                return true;
+            }
+            false
+        }
+    }
+
+    #[test]
+    fn ping_pong_across_three_nodes() {
+        let (net, ios) = ThreadedNet::<&'static str>::build(3, 1, 42);
+        let pongs = Arc::new(kite_common::stats::Counter::new());
+        let mut rigs = Vec::new();
+        for per_node in ios {
+            for io in per_node {
+                rigs.push((
+                    PingPong { me: io.node, peers: 3, sent: false, pongs: Arc::clone(&pongs) },
+                    io,
+                ));
+            }
+        }
+        let h = spawn_workers(rigs, &net);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pongs.get() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        h.stop_and_join();
+        assert_eq!(pongs.get(), 2, "node 0 should get pongs from nodes 1 and 2");
+    }
+
+    #[test]
+    fn crashed_node_stays_silent() {
+        let (net, ios) = ThreadedNet::<&'static str>::build(3, 1, 7);
+        net.faults.crash(NodeId(2));
+        let pongs = Arc::new(kite_common::stats::Counter::new());
+        let mut rigs = Vec::new();
+        for per_node in ios {
+            for io in per_node {
+                rigs.push((
+                    PingPong { me: io.node, peers: 3, sent: false, pongs: Arc::clone(&pongs) },
+                    io,
+                ));
+            }
+        }
+        let h = spawn_workers(rigs, &net);
+        std::thread::sleep(Duration::from_millis(100));
+        h.stop_and_join();
+        assert_eq!(pongs.get(), 1, "only node 1 should answer");
+    }
+
+    #[test]
+    fn delayed_link_still_delivers() {
+        let (net, ios) = ThreadedNet::<&'static str>::build(3, 1, 9);
+        net.faults.set_delay(NodeId(0), NodeId(1), 20_000_000); // 20 ms out
+        let pongs = Arc::new(kite_common::stats::Counter::new());
+        let mut rigs = Vec::new();
+        for per_node in ios {
+            for io in per_node {
+                rigs.push((
+                    PingPong { me: io.node, peers: 3, sent: false, pongs: Arc::clone(&pongs) },
+                    io,
+                ));
+            }
+        }
+        let h = spawn_workers(rigs, &net);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pongs.get() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        h.stop_and_join();
+        assert_eq!(pongs.get(), 2, "delayed ping must still arrive");
+    }
+
+    #[test]
+    fn counters_track_messages() {
+        let (net, ios) = ThreadedNet::<&'static str>::build(3, 1, 11);
+        let pongs = Arc::new(kite_common::stats::Counter::new());
+        let mut rigs = Vec::new();
+        for per_node in ios {
+            for io in per_node {
+                rigs.push((
+                    PingPong { me: io.node, peers: 3, sent: false, pongs: Arc::clone(&pongs) },
+                    io,
+                ));
+            }
+        }
+        let h = spawn_workers(rigs, &net);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pongs.get() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        h.stop_and_join();
+        assert!(net.counters[0].msgs_sent.get() >= 2, "node 0 sent 2 pings");
+    }
+}

@@ -1,0 +1,326 @@
+//! Search-based register consistency checking (Wing–Gong style).
+//!
+//! One engine, two precedence relations:
+//!
+//! * **Linearizability** — op `a` must precede `b` iff `a.complete <
+//!   b.invoke` (real time). Used to validate that Kite's releases/acquires
+//!   (ABD) and RMWs (Paxos) are linearizable, which is what upgrades RCSC
+//!   to RCLin (§2.3).
+//! * **Sequential consistency** — `a` precedes `b` iff they belong to the
+//!   same session and `a` is earlier in program order. Applied per key this
+//!   is exactly the paper's *per-key SC* definition of ES (§2.2): one write
+//!   order per key + session order respected.
+//!
+//! The search explores all topological linearizations of the precedence
+//! DAG, pruning with a visited-set over `(linearized-set, register value)`
+//! states. Histories must write unique values per key so reads-from is
+//! unambiguous; the recording harnesses guarantee this.
+
+use std::collections::HashSet;
+
+use kite_common::Key;
+
+use crate::history::{OpKind, OpRecord};
+
+/// A register operation fed to the checker.
+#[derive(Clone, Copy, Debug)]
+pub struct RegOp {
+    /// Session identifier (only equality matters).
+    pub session: u64,
+    /// Program-order index within the session.
+    pub seq: u64,
+    /// What the operation did.
+    pub kind: RegOpKind,
+    /// Invocation time.
+    pub invoke: u64,
+    /// Completion time.
+    pub complete: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Single-register operation kinds.
+pub enum RegOpKind {
+    /// A read observing the value.
+    Read(u64),
+    /// A write of the value.
+    Write(u64),
+    /// Atomic read-modify-write: observed → wrote.
+    Rmw {
+        /// The base value the RMW read.
+        observed: u64,
+        /// The value it wrote.
+        wrote: u64,
+    },
+}
+
+/// Initial register value (unwritten keys read as 0 in the KVS).
+pub const INIT: u64 = 0;
+
+fn precedes_realtime(a: &RegOp, b: &RegOp) -> bool {
+    a.complete < b.invoke
+}
+
+fn precedes_session(a: &RegOp, b: &RegOp) -> bool {
+    a.session == b.session && a.seq < b.seq
+}
+
+/// Exhaustive search: does a total order exist that respects `prec` and the
+/// register semantics? Histories beyond 63 ops are rejected (tests keep per
+/// key histories small).
+fn check_with<F: Fn(&RegOp, &RegOp) -> bool>(ops: &[RegOp], prec: F) -> bool {
+    let n = ops.len();
+    assert!(n <= 63, "checker is exponential; keep histories ≤ 63 ops (got {n})");
+    if n == 0 {
+        return true;
+    }
+    // Precompute predecessor masks: pred[i] = bitmask of ops that must come
+    // before op i.
+    let mut pred = vec![0u64; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && prec(&ops[j], &ops[i]) {
+                pred[i] |= 1 << j;
+            }
+        }
+    }
+
+    // DFS over (done-mask, value) states.
+    let full: u64 = if n == 63 { u64::MAX >> 1 } else { (1 << n) - 1 };
+    let mut visited: HashSet<(u64, u64)> = HashSet::new();
+    let mut stack: Vec<(u64, u64)> = vec![(0, INIT)];
+    while let Some((done, value)) = stack.pop() {
+        if done == full {
+            return true;
+        }
+        if !visited.insert((done, value)) {
+            continue;
+        }
+        for i in 0..n {
+            let bit = 1u64 << i;
+            if done & bit != 0 || pred[i] & !done != 0 {
+                continue; // already done, or has unfinished predecessors
+            }
+            match ops[i].kind {
+                RegOpKind::Read(v) => {
+                    if v == value {
+                        stack.push((done | bit, value));
+                    }
+                }
+                RegOpKind::Write(v) => {
+                    stack.push((done | bit, v));
+                }
+                RegOpKind::Rmw { observed, wrote } => {
+                    if observed == value {
+                        stack.push((done | bit, wrote));
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Is this single-register history linearizable (real-time precedence)?
+pub fn check_linearizable(ops: &[RegOp]) -> bool {
+    check_with(ops, precedes_realtime)
+}
+
+/// Is this single-register history sequentially consistent (session-order
+/// precedence only)?
+pub fn check_sequential(ops: &[RegOp]) -> bool {
+    check_with(ops, precedes_session)
+}
+
+/// Convert the records for one key into checker ops.
+pub fn to_reg_ops(records: &[OpRecord]) -> Vec<RegOp> {
+    records
+        .iter()
+        .map(|r| {
+            let kind = match r.kind {
+                OpKind::Read { v } | OpKind::Acquire { v } => RegOpKind::Read(v),
+                OpKind::Write { v } | OpKind::Release { v } => RegOpKind::Write(v),
+                OpKind::Rmw { observed, wrote } => RegOpKind::Rmw { observed, wrote },
+            };
+            RegOp {
+                session: (r.session.node.0 as u64) << 32 | r.session.slot as u64,
+                seq: r.session_seq,
+                kind,
+                invoke: r.invoke,
+                complete: r.complete,
+            }
+        })
+        .collect()
+}
+
+/// Per-key SC over a multi-key history (§2.2): every key's sub-history must
+/// be sequentially consistent. Returns the first offending key, if any.
+pub fn check_per_key_sc(history: &crate::history::History) -> Result<(), Key> {
+    for key in history.keys() {
+        let ops = to_reg_ops(&history.for_key(key));
+        if !check_sequential(&ops) {
+            return Err(key);
+        }
+    }
+    Ok(())
+}
+
+/// Linearizability per key over a multi-key history. (Linearizability is
+/// *local*: a history is linearizable iff each per-object sub-history is —
+/// Herlihy & Wing.)
+pub fn check_linearizable_per_key(history: &crate::history::History) -> Result<(), Key> {
+    for key in history.keys() {
+        let ops = to_reg_ops(&history.for_key(key));
+        if !check_linearizable(&ops) {
+            return Err(key);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(session: u64, seq: u64, v: u64, t0: u64, t1: u64) -> RegOp {
+        RegOp { session, seq, kind: RegOpKind::Write(v), invoke: t0, complete: t1 }
+    }
+    fn r(session: u64, seq: u64, v: u64, t0: u64, t1: u64) -> RegOp {
+        RegOp { session, seq, kind: RegOpKind::Read(v), invoke: t0, complete: t1 }
+    }
+    fn rmw(session: u64, seq: u64, obs: u64, wr: u64, t0: u64, t1: u64) -> RegOp {
+        RegOp { session, seq, kind: RegOpKind::Rmw { observed: obs, wrote: wr }, invoke: t0, complete: t1 }
+    }
+
+    #[test]
+    fn empty_and_trivial_histories_pass() {
+        assert!(check_linearizable(&[]));
+        assert!(check_linearizable(&[w(0, 0, 1, 0, 1)]));
+        assert!(check_linearizable(&[r(0, 0, INIT, 0, 1)]));
+    }
+
+    #[test]
+    fn read_of_unwritten_value_fails() {
+        assert!(!check_linearizable(&[r(0, 0, 42, 0, 1)]));
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        assert!(check_linearizable(&[w(0, 0, 7, 0, 1), r(1, 0, 7, 2, 3)]));
+        // reading the old value after the write completed is NOT linearizable
+        assert!(!check_linearizable(&[w(0, 0, 7, 0, 1), r(1, 0, INIT, 2, 3)]));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // read overlaps the write: both outcomes linearizable
+        assert!(check_linearizable(&[w(0, 0, 7, 0, 10), r(1, 0, 7, 5, 6)]));
+        assert!(check_linearizable(&[w(0, 0, 7, 0, 10), r(1, 0, INIT, 5, 6)]));
+    }
+
+    #[test]
+    fn stale_read_after_fresh_read_fails_linearizability() {
+        // Classic non-linearizable (but SC-per-session) history:
+        // w(1) completes, then session A reads 1, then session B reads 0.
+        let h = [w(0, 0, 1, 0, 1), r(1, 0, 1, 2, 3), r(2, 0, INIT, 4, 5)];
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn sc_allows_real_time_inversion() {
+        // Same shape but sessions are free to reorder under SC (no real-time
+        // constraint): B's read of 0 can be ordered before the write.
+        let h = [w(0, 0, 1, 0, 1), r(1, 0, 1, 2, 3), r(2, 0, INIT, 4, 5)];
+        assert!(check_sequential(&h));
+    }
+
+    #[test]
+    fn sc_respects_session_order() {
+        // One session reads new value then old value: violates session order.
+        let h = [w(0, 0, 1, 0, 1), r(1, 0, 1, 2, 3), r(1, 1, INIT, 4, 5)];
+        assert!(!check_sequential(&h));
+        assert!(!check_linearizable(&h));
+    }
+
+    #[test]
+    fn write_serialization_across_sessions() {
+        // Two sessions must agree on one write order: A sees 1→2, B sees 2→1.
+        let h = [
+            w(0, 0, 1, 0, 1),
+            w(1, 0, 2, 0, 1),
+            r(2, 0, 1, 2, 3),
+            r(2, 1, 2, 4, 5),
+            r(3, 0, 2, 2, 3),
+            r(3, 1, 1, 4, 5),
+        ];
+        assert!(!check_sequential(&h), "divergent write orders must be rejected");
+        // while a single agreed order passes
+        let ok = [
+            w(0, 0, 1, 0, 1),
+            w(1, 0, 2, 0, 1),
+            r(2, 0, 1, 2, 3),
+            r(2, 1, 2, 4, 5),
+            r(3, 0, 1, 2, 3),
+            r(3, 1, 2, 4, 5),
+        ];
+        assert!(check_sequential(&ok));
+    }
+
+    #[test]
+    fn rmw_atomicity() {
+        // Two FAAs from 0: both observing 0 violates atomicity.
+        let bad = [rmw(0, 0, 0, 1, 0, 1), rmw(1, 0, 0, 1, 0, 1)];
+        assert!(!check_linearizable(&bad));
+        let good = [rmw(0, 0, 0, 1, 0, 1), rmw(1, 0, 1, 2, 0, 1)];
+        assert!(check_linearizable(&good));
+    }
+
+    #[test]
+    fn rmw_interleaved_with_writes() {
+        // w(5); CAS observes 5 writes 9; read sees 9.
+        let h = [w(0, 0, 5, 0, 1), rmw(1, 0, 5, 9, 2, 3), r(2, 0, 9, 4, 5)];
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn failed_cas_reads_atomically() {
+        // failed strong CAS = Rmw{observed: v, wrote: v}
+        let h = [w(0, 0, 3, 0, 1), rmw(1, 0, 3, 3, 2, 3), r(2, 0, 3, 4, 5)];
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn long_chain_is_fast_enough() {
+        // 40 sequential writes + reads: must terminate promptly thanks to
+        // state memoization.
+        let mut h = Vec::new();
+        for i in 0..20u64 {
+            h.push(w(0, i, i + 1, i * 10, i * 10 + 1));
+            h.push(r(1, i, i + 1, i * 10 + 2, i * 10 + 3));
+        }
+        assert!(check_linearizable(&h));
+    }
+
+    #[test]
+    fn per_key_partitioning() {
+        use crate::history::{History, OpKind, OpRecord};
+        use kite_common::{NodeId, SessionId};
+        let h = History::new();
+        let mk = |sess: u32, seq: u64, key: u64, kind: OpKind, t0: u64| OpRecord {
+            session: SessionId::new(NodeId(0), sess),
+            session_seq: seq,
+            key: Key(key),
+            kind,
+            invoke: t0,
+            complete: t0 + 1,
+        };
+        h.record(mk(0, 0, 1, OpKind::Write { v: 5 }, 0));
+        h.record(mk(1, 0, 1, OpKind::Read { v: 5 }, 10));
+        h.record(mk(0, 1, 2, OpKind::Write { v: 6 }, 20));
+        h.record(mk(1, 1, 2, OpKind::Read { v: 6 }, 30));
+        assert!(check_per_key_sc(&h).is_ok());
+        assert!(check_linearizable_per_key(&h).is_ok());
+        // poison key 2 with an impossible read
+        h.record(mk(2, 0, 2, OpKind::Read { v: 999 }, 40));
+        assert_eq!(check_per_key_sc(&h), Err(Key(2)));
+    }
+}

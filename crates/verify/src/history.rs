@@ -1,0 +1,198 @@
+//! Operation records and history collection.
+
+use std::sync::Mutex;
+
+use kite_common::{Key, SessionId};
+
+/// The kind of a completed API operation, with the data the checkers need.
+/// Values are recorded as `u64` — test harnesses encode payloads so that
+/// every write in a run writes a *unique* value, which lets the checkers
+/// recover reads-from relations unambiguously.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Relaxed read returning `v`.
+    Read {
+        /// The value observed.
+        v: u64,
+    },
+    /// Relaxed write of `v`.
+    Write {
+        /// The value written.
+        v: u64,
+    },
+    /// Acquire read returning `v`.
+    Acquire {
+        /// The value observed.
+        v: u64,
+    },
+    /// Release write of `v`.
+    Release {
+        /// The value written.
+        v: u64,
+    },
+    /// RMW that observed `observed` and wrote `wrote` (for FAA:
+    /// `wrote = observed + delta`; for a successful CAS: `wrote = new`).
+    /// A failed strong CAS is recorded as `Rmw { observed, wrote: observed }`
+    /// — atomically reading without changing the value.
+    Rmw {
+        /// The base value the RMW read.
+        observed: u64,
+        /// The value it wrote.
+        wrote: u64,
+    },
+}
+
+impl OpKind {
+    /// Is this operation a write (does it produce a new value)?
+    pub fn writes(&self) -> Option<u64> {
+        match *self {
+            OpKind::Write { v } | OpKind::Release { v } => Some(v),
+            OpKind::Rmw { observed, wrote } if observed != wrote => Some(wrote),
+            _ => None,
+        }
+    }
+
+    /// The value this operation observed, if it reads.
+    pub fn reads(&self) -> Option<u64> {
+        match *self {
+            OpKind::Read { v } | OpKind::Acquire { v } => Some(v),
+            OpKind::Rmw { observed, .. } => Some(observed),
+            _ => None,
+        }
+    }
+
+    /// Is this a synchronization operation (release/acquire/RMW)?
+    pub fn is_sync(&self) -> bool {
+        matches!(self, OpKind::Acquire { .. } | OpKind::Release { .. } | OpKind::Rmw { .. })
+    }
+}
+
+/// One completed operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Session the operation ran on.
+    pub session: SessionId,
+    /// Position of this op in its session's program order.
+    pub session_seq: u64,
+    /// Key it targeted.
+    pub key: Key,
+    /// What the operation did.
+    pub kind: OpKind,
+    /// Invocation timestamp (scheduler clock, ns).
+    pub invoke: u64,
+    /// Completion timestamp.
+    pub complete: u64,
+}
+
+/// A thread-safe, append-only execution history.
+#[derive(Default, Debug)]
+pub struct History {
+    ops: Mutex<Vec<OpRecord>>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one completed operation (thread-safe).
+    pub fn record(&self, op: OpRecord) {
+        self.ops.lock().unwrap().push(op);
+    }
+
+    /// All records, sorted by invocation time.
+    pub fn sorted(&self) -> Vec<OpRecord> {
+        let mut v = self.ops.lock().unwrap().clone();
+        v.sort_by_key(|o| (o.invoke, o.session, o.session_seq));
+        v
+    }
+
+    /// Records touching one key, sorted by invocation time.
+    pub fn for_key(&self, key: Key) -> Vec<OpRecord> {
+        let mut v: Vec<OpRecord> =
+            self.ops.lock().unwrap().iter().copied().filter(|o| o.key == key).collect();
+        v.sort_by_key(|o| (o.invoke, o.session, o.session_seq));
+        v
+    }
+
+    /// Distinct keys appearing in the history.
+    pub fn keys(&self) -> Vec<Key> {
+        let mut ks: Vec<Key> = self.ops.lock().unwrap().iter().map(|o| o.key).collect();
+        ks.sort();
+        ks.dedup();
+        ks
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.lock().unwrap().len()
+    }
+
+    /// Whether no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_common::NodeId;
+
+    fn rec(sess: u32, seq: u64, key: u64, kind: OpKind, t0: u64, t1: u64) -> OpRecord {
+        OpRecord {
+            session: SessionId::new(NodeId(0), sess),
+            session_seq: seq,
+            key: Key(key),
+            kind,
+            invoke: t0,
+            complete: t1,
+        }
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(OpKind::Write { v: 3 }.writes(), Some(3));
+        assert_eq!(OpKind::Release { v: 3 }.writes(), Some(3));
+        assert_eq!(OpKind::Read { v: 3 }.writes(), None);
+        assert_eq!(OpKind::Rmw { observed: 1, wrote: 2 }.writes(), Some(2));
+        assert_eq!(OpKind::Rmw { observed: 1, wrote: 1 }.writes(), None, "failed CAS");
+        assert_eq!(OpKind::Acquire { v: 9 }.reads(), Some(9));
+        assert!(OpKind::Release { v: 0 }.is_sync());
+        assert!(!OpKind::Write { v: 0 }.is_sync());
+    }
+
+    #[test]
+    fn history_sorts_and_partitions() {
+        let h = History::new();
+        h.record(rec(0, 1, 5, OpKind::Write { v: 2 }, 10, 20));
+        h.record(rec(1, 0, 6, OpKind::Read { v: 0 }, 5, 8));
+        h.record(rec(0, 0, 5, OpKind::Write { v: 1 }, 0, 4));
+        assert_eq!(h.len(), 3);
+        let all = h.sorted();
+        assert_eq!(all[0].invoke, 0);
+        assert_eq!(all[2].invoke, 10);
+        assert_eq!(h.for_key(Key(5)).len(), 2);
+        assert_eq!(h.keys(), vec![Key(5), Key(6)]);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let h = Arc::new(History::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let h = Arc::clone(&h);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    h.record(rec(t, i, 1, OpKind::Read { v: 0 }, i, i + 1));
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(h.len(), 400);
+    }
+}

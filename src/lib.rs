@@ -1,0 +1,99 @@
+//! # kite-repro
+//!
+//! Workspace root for the Kite reproduction (PPoPP 2020). The library
+//! portion hosts glue used by the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`; the interesting code
+//! lives in the `crates/` members:
+//!
+//! * [`kite`] — the system itself (protocols + RC barrier machinery);
+//! * [`kite_zab`] / [`kite_derecho`] — the baselines;
+//! * [`kite_lockfree`] — the §8.3 data structures;
+//! * [`kite_workloads`] / `kite-bench` — evaluation harnesses;
+//! * [`kite_verify`] — consistency checkers.
+
+#![warn(missing_docs)]
+
+pub mod testutil {
+    //! Bridges between the Kite runtime and the `kite-verify` checkers.
+
+    use std::sync::Arc;
+
+    use kite::api::{Completion, CompletionHook, Op, OpOutput};
+    use kite_verify::{History, OpKind, OpRecord};
+
+    /// Convert a completed operation into a checker record. Histories fed
+    /// to the checkers must use unique written values per key (the tests'
+    /// responsibility).
+    pub fn to_record(c: &Completion) -> OpRecord {
+        let kind = match (&c.op, &c.output) {
+            (Op::Read { .. }, OpOutput::Value(v)) => OpKind::Read { v: v.as_u64() },
+            (Op::Acquire { .. }, OpOutput::Value(v)) => OpKind::Acquire { v: v.as_u64() },
+            (Op::Write { val, .. }, _) => OpKind::Write { v: val.as_u64() },
+            (Op::Release { val, .. }, _) => OpKind::Release { v: val.as_u64() },
+            (Op::Faa { .. }, OpOutput::Faa(old)) => {
+                OpKind::Rmw { observed: *old, wrote: old + 1 }
+            }
+            (Op::CasWeak { new, .. } | Op::CasStrong { new, .. }, OpOutput::Cas { ok, observed }) => {
+                let obs = observed.as_u64();
+                OpKind::Rmw { observed: obs, wrote: if *ok { new.as_u64() } else { obs } }
+            }
+            (op, out) => unreachable!("unexpected op/output pairing: {op:?} / {out:?}"),
+        };
+        OpRecord {
+            session: c.op_id.session,
+            session_seq: c.op_id.seq,
+            key: c.op.key(),
+            kind,
+            invoke: c.invoked_at,
+            complete: c.completed_at,
+        }
+    }
+
+    /// A completion hook that appends every completion to a shared history.
+    pub fn recording_hook(history: Arc<History>) -> CompletionHook {
+        Arc::new(move |c: &Completion| history.record(to_record(c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::to_record;
+    use kite::api::{Completion, Op, OpOutput};
+    use kite_common::{Key, NodeId, OpId, SessionId, Val};
+    use kite_verify::OpKind;
+
+    fn completion(op: Op, output: OpOutput) -> Completion {
+        Completion {
+            op_id: OpId::new(SessionId::new(NodeId(0), 0), 3),
+            op,
+            output,
+            invoked_at: 10,
+            completed_at: 20,
+        }
+    }
+
+    #[test]
+    fn record_conversion_covers_op_kinds() {
+        let r = to_record(&completion(
+            Op::Read { key: Key(1) },
+            OpOutput::Value(Val::from_u64(5)),
+        ));
+        assert_eq!(r.kind, OpKind::Read { v: 5 });
+        assert_eq!(r.session_seq, 3);
+
+        let r = to_record(&completion(
+            Op::Release { key: Key(1), val: Val::from_u64(9) },
+            OpOutput::Done,
+        ));
+        assert_eq!(r.kind, OpKind::Release { v: 9 });
+
+        let r = to_record(&completion(Op::Faa { key: Key(1), delta: 1 }, OpOutput::Faa(7)));
+        assert_eq!(r.kind, OpKind::Rmw { observed: 7, wrote: 8 });
+
+        let r = to_record(&completion(
+            Op::CasStrong { key: Key(1), expect: Val::from_u64(1), new: Val::from_u64(2) },
+            OpOutput::Cas { ok: false, observed: Val::from_u64(4) },
+        ));
+        assert_eq!(r.kind, OpKind::Rmw { observed: 4, wrote: 4 }, "failed CAS reads atomically");
+    }
+}

@@ -1,0 +1,144 @@
+//! The §8.3 data structures on full Kite deployments (deterministic
+//! simulator), including under message loss: pops never observe an empty
+//! structure, popped objects are never torn, and the structures drain to
+//! the expected final state.
+
+use std::sync::Arc;
+
+use kite::session::SessionDriver;
+use kite::{ProtocolMode, SimCluster};
+use kite_common::{ClusterConfig, NodeId};
+use kite_lockfree::driver::DsLayout;
+use kite_lockfree::{DsClient, DsStats, DsWorkload, Ptr};
+use kite_simnet::SimCfg;
+
+const SEC: u64 = 1_000_000_000;
+
+fn run_ds(
+    kind: &str,
+    fields: usize,
+    pairs: u64,
+    drop_prob: f64,
+    seed: u64,
+) -> (Arc<DsStats>, SimCluster, DsLayout) {
+    let cfg = ClusterConfig::small().keys(1); // replaced below
+    let clients = cfg.total_sessions(); // 3 nodes × 1 worker × 2 sessions = 6
+    let layout = DsLayout { structures: 3, fields, clients, nodes_per_client: pairs + 8 };
+    let cfg = ClusterConfig::small()
+        .keys(layout.keys_needed() + 256)
+        .release_timeout_ns(300_000);
+    let stats = Arc::new(DsStats::default());
+    let stats2 = Arc::clone(&stats);
+    let spn = cfg.sessions_per_node();
+    let kind_owned = kind.to_string();
+
+    let mut sc = SimCluster::build(
+        cfg.clone(),
+        ProtocolMode::Kite,
+        SimCfg { seed, ..Default::default() },
+        move |sid| {
+            let client = sid.global_idx(spn);
+            let workload = match kind_owned.as_str() {
+                "stack" => DsWorkload::Stacks((0..3).map(|i| layout.stack(i)).collect()),
+                "queue" => DsWorkload::Queues((0..3).map(|i| layout.queue(i)).collect()),
+                "list" => DsWorkload::Lists {
+                    lists: (0..3).map(|i| layout.list(i)).collect(),
+                    item_range: 32,
+                },
+                _ => unreachable!(),
+            };
+            SessionDriver::Interactive(Box::new(DsClient::new(
+                client as u64,
+                workload,
+                layout.arena(client),
+                pairs,
+                seed + client as u64,
+                Arc::clone(&stats2),
+            )))
+        },
+        None,
+    );
+    if kind == "queue" {
+        for n in 0..cfg.nodes {
+            layout.init_queues(&sc.shared(NodeId(n as u8)).store);
+        }
+    }
+    if drop_prob > 0.0 {
+        for a in 0..cfg.nodes as u8 {
+            for b in 0..cfg.nodes as u8 {
+                if a != b {
+                    sc.sim.set_drop(NodeId(a), NodeId(b), drop_prob);
+                }
+            }
+        }
+    }
+    let ok = sc.run_until_quiesce(600 * SEC);
+    assert!(ok, "{kind} run must quiesce");
+    (stats, sc, layout)
+}
+
+fn assert_clean(stats: &DsStats, expected_pairs: u64, what: &str) {
+    assert_eq!(stats.pairs.get(), expected_pairs, "{what}: pair count");
+    assert_eq!(stats.empty_pops.get(), 0, "{what}: pops must never find empty (§8.3)");
+    assert_eq!(stats.torn_objects.get(), 0, "{what}: objects must never be torn (§8.3)");
+}
+
+#[test]
+fn treiber_stacks_on_healthy_network() {
+    let (stats, sc, layout) = run_ds("stack", 4, 12, 0.0, 101);
+    assert_clean(&stats, 6 * 12, "TS-4");
+    // push == pop ⇒ all stacks empty at quiescence, on every replica.
+    for n in 0..3u8 {
+        for i in 0..3 {
+            let top = sc.shared(NodeId(n)).store.view(layout.stack(i).top).val;
+            assert!(Ptr::decode(&top).is_null(), "stack {i} not empty on node {n}");
+        }
+    }
+}
+
+#[test]
+fn treiber_stacks_under_message_loss() {
+    let (stats, sc, _) = run_ds("stack", 4, 8, 0.15, 103);
+    assert_clean(&stats, 6 * 8, "TS-4 @ 15% loss");
+    let slow: u64 = (0..3).map(|n| sc.counters(NodeId(n)).slow_releases.get()).sum();
+    // loss may or may not trip the timeout depending on timing; the
+    // invariant assertions above are the point — just report.
+    eprintln!("slow-releases under loss: {slow}");
+}
+
+#[test]
+fn michael_scott_queues_preserve_fifo_per_producer() {
+    let (stats, _sc, _) = run_ds("queue", 4, 12, 0.0, 105);
+    assert_clean(&stats, 6 * 12, "MSQ-4");
+}
+
+#[test]
+fn michael_scott_queues_under_loss() {
+    let (stats, _sc, _) = run_ds("queue", 4, 6, 0.10, 107);
+    assert_clean(&stats, 6 * 6, "MSQ-4 @ 10% loss");
+}
+
+#[test]
+fn harris_michael_lists_insert_remove() {
+    let (stats, _sc, _) = run_ds("list", 4, 10, 0.0, 109);
+    // Lists may hit duplicate inserts/missing removes under contention;
+    // pairs still complete and nothing tears.
+    assert_eq!(stats.pairs.get(), 6 * 10, "HML-4: pair count");
+    assert_eq!(stats.torn_objects.get(), 0, "HML-4: torn objects");
+    eprintln!(
+        "HML-4: {} dup inserts, {} missing removes, {} retries",
+        stats.dup_inserts.get(),
+        stats.missing_removes.get(),
+        stats.retries.get()
+    );
+}
+
+#[test]
+fn stacks_with_32_field_objects() {
+    // The MSQ-32/TS-32 shape: one synchronization op per 32 relaxed ops.
+    let (stats, sc, _) = run_ds("stack", 32, 5, 0.0, 111);
+    assert_clean(&stats, 6 * 5, "TS-32");
+    // sanity: relaxed traffic dominates (sync-per is low)
+    let local_reads: u64 = (0..3).map(|n| sc.counters(NodeId(n)).local_reads.get()).sum();
+    assert!(local_reads > stats.pairs.get() * 30, "field reads must be local/relaxed");
+}

@@ -1,0 +1,126 @@
+//! End-to-end property test: for arbitrary seeds, mixes and loss rates, a
+//! full simulated Kite deployment must produce RCLin-correct histories and
+//! quiesce. This is the closest thing to a model checker in the suite —
+//! proptest explores the space, the deterministic simulator makes failures
+//! replayable, and `check_rc` validates the §5.1 axioms.
+
+use std::sync::Arc;
+
+use kite::api::Op;
+use kite::session::SessionDriver;
+use kite::{ProtocolMode, SimCluster};
+use kite_common::rng::SplitMix64;
+use kite_common::{ClusterConfig, Key, NodeId, Val};
+use kite_repro::testutil::recording_hook;
+use kite_simnet::SimCfg;
+use kite_verify::{check_rc, History, RcMode};
+use proptest::prelude::*;
+
+const SEC: u64 = 1_000_000_000;
+
+fn run_random_cluster(seed: u64, drop_pct: u8, ops_per_session: u64) -> (History, bool, u64) {
+    let cfg = ClusterConfig::small().keys(256).release_timeout_ns(200_000);
+    let history = Arc::new(History::new());
+    let mut sc = SimCluster::build(
+        cfg,
+        ProtocolMode::Kite,
+        SimCfg { seed, ..Default::default() },
+        |sid| {
+            let me = sid.global_idx(2) as u64;
+            let mut rng = SplitMix64::new(seed ^ (me + 1).wrapping_mul(0x9E37_79B9));
+            SessionDriver::Script(Box::new(move |seq| {
+                if seq >= ops_per_session {
+                    return None;
+                }
+                // unique written values: (session+1) << 40 | seq
+                let tag = (me + 1) << 40 | (seq + 1);
+                let key = Key(rng.next_below(8)); // small key space: contention
+                Some(match rng.next_below(5) {
+                    0 => Op::Write { key, val: Val::from_u64(tag) },
+                    1 => Op::Release { key: Key(100 + key.0), val: Val::from_u64(tag) },
+                    2 => Op::Acquire { key: Key(100 + key.0) },
+                    3 => Op::Read { key },
+                    _ => Op::Faa { key: Key(200), delta: 1 },
+                })
+            }))
+        },
+        Some(recording_hook(Arc::clone(&history))),
+    );
+    if drop_pct > 0 {
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                if a != b {
+                    sc.sim.set_drop(NodeId(a), NodeId(b), drop_pct as f64 / 100.0);
+                }
+            }
+        }
+    }
+    let quiesced = sc.run_until_quiesce(120 * SEC);
+    // Under loss, a replica outside the final commit's quorum may lag (RMWs
+    // guarantee *quorum* visibility); the freshest replica carries the count.
+    let faa_total = (0..3u8)
+        .map(|n| sc.shared(NodeId(n)).store.view(Key(200)).val.as_u64())
+        .max()
+        .unwrap();
+    drop(sc); // release the workers' hook clones
+    (Arc::try_unwrap(history).expect("sole owner"), quiesced, faa_total)
+}
+
+/// Regression: this seed once double-executed an FAA — the owner's retry
+/// learned "already committed" from a replica whose ring lacked the entry
+/// and re-proposed at a fresh slot. Fixed by consulting the committed ring
+/// on *every* propose (see `kite::replica::on_propose`).
+#[test]
+fn regression_helped_rmw_not_double_executed() {
+    let (history, quiesced, faa_total) = run_random_cluster(5045243573331255454, 26, 8);
+    assert!(quiesced);
+    let mut observed: Vec<u64> = history
+        .sorted()
+        .iter()
+        .filter_map(|r| match r.kind {
+            kite_verify::OpKind::Rmw { observed, .. } => Some(observed),
+            _ => None,
+        })
+        .collect();
+    observed.sort_unstable();
+    assert_eq!(
+        observed,
+        (0..observed.len() as u64).collect::<Vec<_>>(),
+        "FAA bases must be contiguous (no double/lost execution)"
+    );
+    assert_eq!(faa_total, observed.len() as u64);
+    assert_eq!(check_rc(&history, RcMode::Lin), Ok(()));
+}
+
+proptest! {
+    // Each case runs a full simulated cluster; keep the count modest.
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// Whatever the seed and loss rate (up to 30%), the execution quiesces,
+    /// satisfies RCLin, and loses or duplicates no RMW.
+    #[test]
+    fn random_executions_satisfy_rclin(seed in any::<u64>(), drop_pct in 0u8..30) {
+        let ops = 8;
+        let (history, quiesced, faa_total) = run_random_cluster(seed, drop_pct, ops);
+        prop_assert!(quiesced, "seed {seed} drop {drop_pct}% failed to quiesce");
+        prop_assert_eq!(history.len() as u64, 6 * ops, "all ops must complete");
+        // FAA exactly-once: observed bases form a contiguous sequence.
+        let mut observed: Vec<u64> = history
+            .sorted()
+            .iter()
+            .filter_map(|r| match r.kind {
+                kite_verify::OpKind::Rmw { observed, .. } => Some(observed),
+                _ => None,
+            })
+            .collect();
+        observed.sort_unstable();
+        let n = observed.len() as u64;
+        prop_assert_eq!(observed, (0..n).collect::<Vec<_>>(), "double or lost FAA execution");
+        prop_assert_eq!(faa_total, n, "store count disagrees with completions");
+        if let Err(e) = check_rc(&history, RcMode::Lin) {
+            return Err(TestCaseError::fail(format!(
+                "RCLin violated (seed {seed}, drop {drop_pct}%): {e:?}"
+            )));
+        }
+    }
+}
