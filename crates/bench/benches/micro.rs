@@ -37,6 +37,8 @@ fn bench_store(c: &mut Criterion) {
     for k in 0..(1u64 << 14) {
         store.fast_write(Key(k), &val, NodeId(0), Epoch::ZERO);
     }
+    // O(1) population counter (was an O(capacity) slot scan).
+    c.bench_function("store/len", |bench| bench.iter(|| black_box(store.len())));
     let mut k = 0u64;
     c.bench_function("store/view_32B", |bench| {
         bench.iter(|| {
@@ -92,15 +94,103 @@ fn bench_outbox(c: &mut Criterion) {
         bench.iter(|| {
             ob.broadcast(NodeId(0), 42u64);
             let mut n = 0;
-            ob.flush(|_, batch| n += batch.len());
+            ob.flush(|_, batch| {
+                n += batch.len();
+                ob_sink(batch)
+            });
             n
         })
+    });
+    // The steady-state fabric cycle: flush hands out pooled buffers, the
+    // "receiver" drains and recycles them — allocation-free per round.
+    c.bench_function("outbox/flush_recycled", |bench| {
+        let mut ob: Outbox<u64> = Outbox::new(5);
+        let mut returned: Vec<Vec<u64>> = Vec::with_capacity(4);
+        bench.iter(|| {
+            ob.broadcast(NodeId(0), 42u64);
+            let mut n = 0;
+            ob.flush(|_, batch| {
+                n += batch.len();
+                returned.push(batch);
+            });
+            for mut b in returned.drain(..) {
+                b.clear();
+                ob.recycle(b);
+            }
+            n
+        })
+    });
+}
+
+#[inline]
+fn ob_sink(batch: Vec<u64>) {
+    black_box(&batch);
+    drop(batch); // deliberate: measure the non-recycled (allocating) cycle
+}
+
+fn bench_inflight(c: &mut Criterion) {
+    use kite::api::Op;
+    use kite::inflight::{EsWriteState, InFlight, InFlightTable, Meta};
+    use kite_common::{OpId, SessionId};
+
+    let entry = |tag: u64| {
+        InFlight::EsWrite(EsWriteState {
+            meta: Meta {
+                sess: 0,
+                op_id: OpId::new(SessionId::new(NodeId(0), 0), tag),
+                key: Key(tag),
+                op: Op::Read { key: Key(tag) },
+                invoked_at: tag,
+                last_sent: 0,
+            },
+            val: Val::EMPTY,
+            lc: Lc::ZERO,
+            acked: NodeSet::singleton(NodeId(0)),
+        })
+    };
+
+    // Reply-path lookup: resolve a rid against a table with a realistic
+    // population (64 outstanding ops) and fold one ack in place — zero
+    // hashing, zero reinsertions.
+    c.bench_function("inflight/reply_lookup", |bench| {
+        let mut table = InFlightTable::new();
+        let rids: Vec<u64> = (0..64).map(|i| table.insert(entry(i))).collect();
+        let mut i = 0usize;
+        bench.iter(|| {
+            i = (i + 1) & 63;
+            let rid = rids[i];
+            let Some(InFlight::EsWrite(es)) = table.get_mut(black_box(rid)) else {
+                unreachable!()
+            };
+            es.acked.insert(NodeId(1));
+            es.acked.len()
+        })
+    });
+    // Full op lifecycle against a recycling slab: insert + lookup + remove.
+    c.bench_function("inflight/insert_remove", |bench| {
+        let mut table = InFlightTable::new();
+        for i in 0..63 {
+            table.insert(entry(i));
+        }
+        bench.iter(|| {
+            let rid = table.insert(entry(99));
+            black_box(table.get(rid).is_some());
+            table.remove(rid)
+        })
+    });
+    // Stale (recycled) rids must be rejected as cheaply as hits resolve.
+    c.bench_function("inflight/stale_reject", |bench| {
+        let mut table = InFlightTable::new();
+        let rid = table.insert(entry(0));
+        table.remove(rid);
+        table.insert(entry(1));
+        bench.iter(|| black_box(table.get(black_box(rid)).is_none()))
     });
 }
 
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_lc, bench_seqlock, bench_store, bench_nodeset, bench_value, bench_outbox
+    targets = bench_lc, bench_seqlock, bench_store, bench_nodeset, bench_value, bench_outbox, bench_inflight
 }
 criterion_main!(micro);

@@ -1,0 +1,187 @@
+//! Closed-loop throughput + hot-path microbenchmark bin, emitting a
+//! `BENCH_*.json` data point so the repo's perf trajectory is recorded
+//! per-PR (driven by `scripts/bench.sh`).
+//!
+//! Two measurement groups:
+//!
+//! * **micro** — wall-clock ns/op of the request-path primitives this
+//!   reproduction optimizes: in-flight slab reply lookup (vs the seed's
+//!   HashMap remove/reinsert), recycled outbox flush, O(1) `Store::len`.
+//! * **e2e** — closed-loop throughput (mreqs, virtual time) of the
+//!   simulated paper deployment under fixed seeds: ES reads/writes, a
+//!   typical Kite mix, and Paxos RMWs — plus the wall-clock cost of
+//!   simulating one virtual millisecond (the simulator's own hot path,
+//!   which runs through the same outbox/slab code).
+//!
+//! Usage: `throughput [--out BENCH_micro.json] [--seed 42]`
+
+use std::time::Instant;
+
+use kite::api::Op;
+use kite::inflight::{EsWriteState, InFlight, InFlightTable, Meta};
+use kite::ProtocolMode;
+use kite_bench::{paper_cluster, paper_sim, RUN_NS, WARMUP_NS};
+use kite_common::{Key, Lc, NodeId, NodeSet, OpId, SessionId, Val};
+use kite_simnet::Outbox;
+use kite_workloads::{run_kite_mix, MixCfg};
+
+fn arg_after(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Time `f` for at least `min_iters` iterations and ~50 ms, returning mean
+/// ns/op.
+fn time_ns_per_op(min_iters: u64, mut f: impl FnMut()) -> f64 {
+    // warm up
+    for _ in 0..min_iters.min(10_000) {
+        f();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while iters < min_iters || start.elapsed().as_millis() < 50 {
+        for _ in 0..1024 {
+            f();
+        }
+        iters += 1024;
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn es_entry(tag: u64) -> InFlight {
+    InFlight::EsWrite(EsWriteState {
+        meta: Meta {
+            sess: 0,
+            op_id: OpId::new(SessionId::new(NodeId(0), 0), tag),
+            key: Key(tag),
+            op: Op::Read { key: Key(tag) },
+            invoked_at: tag,
+            last_sent: 0,
+        },
+        val: Val::EMPTY,
+        lc: Lc::ZERO,
+        acked: NodeSet::singleton(NodeId(0)),
+    })
+}
+
+fn micro_measurements(rows: &mut Vec<(String, f64)>) {
+    // inflight/reply_lookup: resolve + fold one ack in place, 64 live ops.
+    {
+        let mut table = InFlightTable::new();
+        let rids: Vec<u64> = (0..64).map(|i| table.insert(es_entry(i))).collect();
+        let mut i = 0usize;
+        let ns = time_ns_per_op(200_000, || {
+            i = (i + 1) & 63;
+            if let Some(InFlight::EsWrite(es)) = table.get_mut(std::hint::black_box(rids[i])) {
+                es.acked.insert(NodeId(1));
+            }
+        });
+        rows.push(("inflight/reply_lookup".into(), ns));
+    }
+    // Baseline ("before"): the seed's reply path — HashMap lookup with the
+    // remove → mutate → reinsert pattern every handler used.
+    {
+        let mut map: std::collections::HashMap<u64, InFlight> = std::collections::HashMap::new();
+        let rids: Vec<u64> = (0..64u64).map(|i| i * 7 + 1).collect();
+        for (i, rid) in rids.iter().enumerate() {
+            map.insert(*rid, es_entry(i as u64));
+        }
+        let mut i = 0usize;
+        let ns = time_ns_per_op(200_000, || {
+            i = (i + 1) & 63;
+            let rid = std::hint::black_box(rids[i]);
+            let mut entry = map.remove(&rid).unwrap();
+            if let InFlight::EsWrite(es) = &mut entry {
+                es.acked.insert(NodeId(1));
+            }
+            map.insert(rid, entry);
+        });
+        rows.push(("inflight/reply_lookup_hashmap_baseline".into(), ns));
+    }
+    // inflight/insert_remove: one op's slab lifecycle.
+    {
+        let mut table = InFlightTable::new();
+        for i in 0..63 {
+            table.insert(es_entry(i));
+        }
+        let ns = time_ns_per_op(200_000, || {
+            let rid = table.insert(es_entry(99));
+            std::hint::black_box(table.remove(rid));
+        });
+        rows.push(("inflight/insert_remove".into(), ns));
+    }
+    // outbox/flush_recycled: 5-node broadcast, flush, recycle.
+    {
+        let mut ob: Outbox<u64> = Outbox::new(5);
+        let mut returned: Vec<Vec<u64>> = Vec::with_capacity(4);
+        let ns = time_ns_per_op(100_000, || {
+            ob.broadcast(NodeId(0), 42u64);
+            ob.flush(|_, b| returned.push(b));
+            for b in returned.drain(..) {
+                ob.recycle(b);
+            }
+        });
+        rows.push(("outbox/flush_recycled".into(), ns));
+    }
+    // store/len: O(1) population counter.
+    {
+        let store = kite_kvs::Store::new(1 << 16);
+        for k in 0..(1u64 << 12) {
+            store.fast_write(Key(k), &Val::from_u64(k), NodeId(0), kite_common::Epoch::ZERO);
+        }
+        let ns = time_ns_per_op(500_000, || {
+            std::hint::black_box(store.len());
+        });
+        rows.push(("store/len".into(), ns));
+    }
+}
+
+fn main() {
+    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_micro.json".into());
+    let seed: u64 = arg_after("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    eprintln!("[throughput] micro measurements …");
+    let mut micro: Vec<(String, f64)> = Vec::new();
+    micro_measurements(&mut micro);
+    for (name, ns) in &micro {
+        println!("{name:<28} {ns:8.2} ns/op");
+    }
+
+    eprintln!("[throughput] end-to-end closed-loop runs (fixed seeds) …");
+    let cfg = paper_cluster();
+    let keys = cfg.keys as u64;
+    let runs: Vec<(&str, ProtocolMode, MixCfg)> = vec![
+        ("es_reads_1w", ProtocolMode::EsOnly, MixCfg::plain(0.01, keys)),
+        ("es_writes_100w", ProtocolMode::EsOnly, MixCfg::plain(1.0, keys)),
+        ("kite_typical_20w", ProtocolMode::Kite, MixCfg::typical(0.2, keys)),
+        ("paxos_rmws_100w", ProtocolMode::PaxosOnly, MixCfg::plain(1.0, keys)),
+    ];
+    let mut e2e: Vec<(String, f64, f64)> = Vec::new(); // (name, mreqs, wall_ms)
+    for (name, mode, mix) in runs {
+        let wall = Instant::now();
+        let r = run_kite_mix(cfg.clone(), mode, paper_sim(seed), mix, WARMUP_NS, RUN_NS);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        println!("{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms)", r.mreqs);
+        e2e.push((name.to_string(), r.mreqs, wall_ms));
+    }
+
+    // Hand-rolled JSON (serde_json is not a dependency).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"throughput\",\n  \"seed\": {seed},\n"));
+    json.push_str("  \"micro_ns_per_op\": {\n");
+    for (i, (name, ns)) in micro.iter().enumerate() {
+        let comma = if i + 1 < micro.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
+    }
+    json.push_str("  },\n  \"e2e\": {\n");
+    for (i, (name, mreqs, wall_ms)) in e2e.iter().enumerate() {
+        let comma = if i + 1 < e2e.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1} }}{comma}\n"
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    eprintln!("[throughput] wrote {out_path}");
+}

@@ -1,13 +1,54 @@
-//! In-flight operation state: one entry per outstanding protocol operation,
-//! keyed by the worker-local request id (`rid`).
+//! In-flight operation state: one entry per outstanding protocol
+//! operation, held in a generational slab ([`InFlightTable`]) indexed by
+//! the worker-local request id (`rid`).
+//!
+//! # rid encoding
+//!
+//! A rid packs a slab slot and that slot's generation:
+//!
+//! ```text
+//! bit 63           bits 62..32          bits 31..0
+//! +---+--------------------------+--------------------+
+//! | U |        generation        |        slot        |
+//! +---+--------------------------+--------------------+
+//! ```
+//!
+//! * **slot** — dense index into the worker's slab. Replies resolve their
+//!   entry with one bounds check and one generation compare: no hashing.
+//! * **generation** — starts at 1 and is bumped every time the slot is
+//!   freed, so a retransmitted reply carrying a *recycled* slot's old rid
+//!   fails the compare and is dropped (no ABA completion of an unrelated
+//!   op). Generations wrap after 2³¹−1 reuses of a single slot, skipping 0;
+//!   a stale reply would additionally have to survive in the network across
+//!   that entire wrap to alias, which the retransmit timeout makes
+//!   impossible in practice.
+//! * **U (bit 63)** — set on *untracked* rids: fire-and-forget broadcasts
+//!   (e.g. ES writes in modes without ack tracking) draw ids from a plain
+//!   counter with this bit set. They can never alias a slab entry, and the
+//!   slab never issues them.
+//!
+//! rid 0 is never issued (generation ≥ 1) and is used by the protocol as a
+//! "discard the ack" sentinel (Paxos catch-up fills).
 
 use kite_common::{Epoch, Key, Lc, NodeSet, OpId, Val};
 
 use crate::api::Op;
 use crate::msg::Cmd;
 
-/// A commit broadcast kept for retransmission: `(slot, val, lc, ring-meta)`.
-pub type CommitBcast = Box<(u64, Val, Lc, Option<(OpId, Val)>)>;
+/// A commit broadcast retained for retransmission and completion, stored
+/// inline in [`RmwState`] (no per-RMW box).
+#[derive(Clone, Debug)]
+pub struct CommitBcast {
+    /// The decided slot.
+    pub slot: u64,
+    /// The committed value.
+    pub val: Val,
+    /// The commit stamp (fixed at decide time).
+    pub lc: Lc,
+    /// Ring metadata `(op, result)` for exactly-once dedup; `None` for
+    /// catch-up fills.
+    pub meta: Option<(OpId, Val)>,
+}
 
 /// Common fields shared by all in-flight entries.
 #[derive(Clone, Debug)]
@@ -235,8 +276,8 @@ pub struct RmwState {
     pub accepts: NodeSet,
     /// Commit-round visibility acks.
     pub commits: NodeSet,
-    /// The commit being broadcast: `(slot, val, lc, ring-meta)` — kept for
-    /// retransmission and completion.
+    /// The commit being broadcast — kept inline for retransmission and
+    /// completion.
     pub commit_bcast: Option<CommitBcast>,
     /// Output to deliver when the commit round completes (None while
     /// helping: a new round starts instead).
@@ -327,6 +368,158 @@ impl InFlight {
     }
 }
 
+// ===========================================================================
+// The generational slab
+// ===========================================================================
+
+/// Number of low bits holding the slot index.
+const SLOT_BITS: u32 = 32;
+/// Mask extracting the slot index from a rid.
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+/// Generations live in bits 62..32; bit 63 is the untracked-rid flag, so a
+/// slab rid never collides with the untracked id space.
+const GEN_MASK: u32 = 0x7FFF_FFFF;
+
+/// Marks rids drawn from the untracked (fire-and-forget) counter.
+pub const UNTRACKED_RID_BIT: u64 = 1 << 63;
+
+/// The in-flight table: a generational slab (see the module docs for the
+/// rid layout).
+///
+/// Replaces the seed's `HashMap<u64, InFlight>` on the reply hot path:
+/// lookups are an array index plus a generation compare, entries are
+/// mutated **in place** (reply handlers never remove-and-reinsert), freed
+/// slots are recycled LIFO so the table stays dense, and the retransmit
+/// scan walks the slab in slot order without collecting/sorting keys.
+pub struct InFlightTable {
+    slots: Vec<TableSlot>,
+    /// Freed slot indices, reused LIFO (keeps the occupied prefix dense).
+    free: Vec<u32>,
+    live: usize,
+}
+
+struct TableSlot {
+    /// Generation of the current (or, when vacant, the next) occupant.
+    /// Always ≥ 1 and ≤ [`GEN_MASK`].
+    generation: u32,
+    entry: Option<InFlight>,
+}
+
+impl Default for InFlightTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InFlightTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty table with room for `cap` entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        InFlightTable { slots: Vec::with_capacity(cap), free: Vec::with_capacity(cap), live: 0 }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    #[inline]
+    fn rid_of(slot: u32, generation: u32) -> u64 {
+        ((generation as u64) << SLOT_BITS) | slot as u64
+    }
+
+    /// Insert `entry`, returning its freshly minted rid.
+    pub fn insert(&mut self, entry: InFlight) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                assert!(self.slots.len() < SLOT_MASK as usize, "in-flight table overflow");
+                self.slots.push(TableSlot { generation: 1, entry: None });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.entry.is_none(), "free list pointed at an occupied slot");
+        s.entry = Some(entry);
+        self.live += 1;
+        Self::rid_of(slot, s.generation)
+    }
+
+    /// Resolve `rid` to its slot index iff its generation is current.
+    #[inline]
+    fn slot_of(&self, rid: u64) -> Option<usize> {
+        if rid & UNTRACKED_RID_BIT != 0 {
+            return None;
+        }
+        let slot = (rid & SLOT_MASK) as usize;
+        let generation = (rid >> SLOT_BITS) as u32;
+        match self.slots.get(slot) {
+            Some(s) if s.generation == generation && s.entry.is_some() => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Whether `rid` names a live entry.
+    #[inline]
+    pub fn contains(&self, rid: u64) -> bool {
+        self.slot_of(rid).is_some()
+    }
+
+    /// Shared access to the entry for `rid`. Stale rids (freed or recycled
+    /// slots) resolve to `None`.
+    #[inline]
+    pub fn get(&self, rid: u64) -> Option<&InFlight> {
+        self.slot_of(rid).and_then(|s| self.slots[s].entry.as_ref())
+    }
+
+    /// In-place mutable access to the entry for `rid`.
+    #[inline]
+    pub fn get_mut(&mut self, rid: u64) -> Option<&mut InFlight> {
+        self.slot_of(rid).and_then(|s| self.slots[s].entry.as_mut())
+    }
+
+    /// Remove and return the entry for `rid`, bumping the slot's generation
+    /// so the rid (and any copies of it still in the network) goes stale.
+    pub fn remove(&mut self, rid: u64) -> Option<InFlight> {
+        let slot = self.slot_of(rid)?;
+        let s = &mut self.slots[slot];
+        let entry = s.entry.take();
+        debug_assert!(entry.is_some());
+        s.generation = if s.generation >= GEN_MASK { 1 } else { s.generation + 1 };
+        self.free.push(slot as u32);
+        self.live -= 1;
+        entry
+    }
+
+    /// Iterate live entries in slot order (deterministic), yielding
+    /// `(rid, &mut entry)`. This is a dense slab walk: no key collection,
+    /// no sort, no hashing.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut InFlight)> + '_ {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            let generation = s.generation;
+            s.entry.as_mut().map(move |e| (Self::rid_of(i as u32, generation), e))
+        })
+    }
+
+    /// Iterate live entries in slot order, yielding `(rid, &entry)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &InFlight)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.entry.as_ref().map(|e| (Self::rid_of(i as u32, s.generation), e))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,6 +563,82 @@ mod tests {
             decided: false,
         });
         assert!(acq.blocks_session(), "acquires block the session (§4.2)");
+    }
+
+    fn es_entry(tag: u64) -> InFlight {
+        let mut m = meta();
+        m.invoked_at = tag; // marker to tell entries apart
+        InFlight::EsWrite(EsWriteState {
+            meta: m,
+            val: Val::EMPTY,
+            lc: Lc::ZERO,
+            acked: NodeSet::EMPTY,
+        })
+    }
+
+    #[test]
+    fn slab_insert_get_remove_round_trip() {
+        let mut t = InFlightTable::new();
+        assert!(t.is_empty());
+        let a = t.insert(es_entry(1));
+        let b = t.insert(es_entry(2));
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(a).unwrap().meta().invoked_at, 1);
+        assert_eq!(t.get_mut(b).unwrap().meta().invoked_at, 2);
+        assert_eq!(t.remove(a).unwrap().meta().invoked_at, 1);
+        assert!(t.get(a).is_none());
+        assert!(t.remove(a).is_none(), "double remove is a no-op");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn recycled_slot_rejects_stale_rid() {
+        let mut t = InFlightTable::new();
+        let old = t.insert(es_entry(1));
+        t.remove(old);
+        let new = t.insert(es_entry(2));
+        // Same slot, new generation: the old rid must not resolve.
+        assert_eq!(old & 0xFFFF_FFFF, new & 0xFFFF_FFFF, "LIFO slot reuse");
+        assert_ne!(old, new);
+        assert!(t.get(old).is_none(), "stale rid must be rejected");
+        assert!(!t.contains(old));
+        assert_eq!(t.get(new).unwrap().meta().invoked_at, 2);
+    }
+
+    #[test]
+    fn rids_are_never_zero_or_untracked() {
+        let mut t = InFlightTable::new();
+        for i in 0..100 {
+            let rid = t.insert(es_entry(i));
+            assert_ne!(rid, 0, "rid 0 is the discard sentinel");
+            assert_eq!(rid & UNTRACKED_RID_BIT, 0, "slab rids never set the untracked bit");
+            t.remove(rid);
+        }
+    }
+
+    #[test]
+    fn untracked_rids_never_resolve() {
+        let mut t = InFlightTable::new();
+        let rid = t.insert(es_entry(1));
+        let fake = UNTRACKED_RID_BIT | rid;
+        assert!(t.get(fake).is_none());
+        assert!(!t.contains(fake));
+        assert!(t.remove(fake).is_none());
+        assert!(t.contains(rid), "live entry unaffected");
+    }
+
+    #[test]
+    fn iteration_is_dense_and_slot_ordered() {
+        let mut t = InFlightTable::new();
+        let rids: Vec<u64> = (0..8).map(|i| t.insert(es_entry(i))).collect();
+        t.remove(rids[3]);
+        t.remove(rids[6]);
+        let walked: Vec<u64> = t.iter_mut().map(|(rid, _)| rid).collect();
+        let expected: Vec<u64> =
+            rids.iter().enumerate().filter(|(i, _)| *i != 3 && *i != 6).map(|(_, r)| *r).collect();
+        assert_eq!(walked, expected, "slot order, holes skipped");
+        assert_eq!(t.iter().count(), 6);
     }
 
     #[test]

@@ -1,24 +1,34 @@
 //! Initiator-side protocol logic: starting client operations, folding
 //! replies, the release barrier (§4.2), and the Paxos proposer (§3.4).
 //!
-//! All handlers use a remove-operate-reinsert pattern on the in-flight
-//! table; replies for unknown rids (stale rounds, duplicated acks) are
-//! silently discarded — every protocol step is idempotent at the replicas.
+//! Reply handlers resolve their in-flight entry **in place** through the
+//! generational slab ([`crate::inflight::InFlightTable`]): a reply is one
+//! O(1) slot lookup plus a generation compare, the entry is mutated where
+//! it sits, and it is removed only when the operation's life ends. Replies
+//! for unknown rids (stale rounds, duplicated acks, recycled slots) fail
+//! the generation compare and are silently discarded — every protocol step
+//! is idempotent at the replicas.
+//!
+//! Helpers that run while the table is borrowed are associated functions
+//! over the worker's *other* fields (store, sessions, hook), so the borrow
+//! checker sees the disjointness.
 
 #![allow(clippy::too_many_arguments)] // protocol handlers thread (now, cfg, outbox, ...) explicitly
 
-use kite_common::{Key, Lc, NodeSet, OpId, Val};
+use kite_common::{Key, Lc, NodeId, NodeSet, OpId, Val};
 use kite_kvs::paxos_meta::{AcceptedCmd, RmwCommit};
 use kite_simnet::Outbox;
 
 use crate::api::{Op, OpOutput};
 use crate::inflight::{
-    AcquireState, Barrier, EsWriteState, InFlight, Meta, ReleaseState, RmwKind, RmwPhase,
-    RmwState, SlowReadState, SlowReleaseSub, SlowWriteState, WindowReliefState,
+    AcquireState, Barrier, CommitBcast, EsWriteState, InFlight, Meta, ReleaseState, RmwKind,
+    RmwPhase, RmwState, SlowReadState, SlowReleaseSub, SlowWriteState, WindowReliefState,
 };
 use crate::msg::{Cmd, Msg, PromiseOutcome};
-use crate::session::ProtocolMode;
+use crate::nodestate::NodeShared;
+use crate::session::{ProtocolMode, Session};
 use crate::worker::{StartResult, Worker};
+use crate::api::CompletionHook;
 
 /// Base backoff before retrying a nacked Paxos round (dueling proposers):
 /// roughly one commit latency, so the loser's next round usually lands on
@@ -117,7 +127,6 @@ impl Worker {
         }
         // Out-of-epoch: one quorum round, no write-back (§4.3).
         self.shared.counters.slow_path_accesses.incr();
-        let rid = self.rid();
         let state = SlowReadState {
             meta: self.meta(si, op_id, key, op, now),
             snapshot,
@@ -127,7 +136,7 @@ impl Worker {
             holders: NodeSet::singleton(self.me),
             w2: None,
         };
-        self.inflight.insert(rid, InFlight::SlowRead(state));
+        let rid = self.inflight.insert(InFlight::SlowRead(state));
         out.broadcast(self.me, Msg::ReadReq { rid, key, acq: None });
         StartResult::Blocked(rid)
     }
@@ -152,18 +161,20 @@ impl Worker {
         let snapshot = self.shared.epoch();
         match self.shared.store.fast_write(key, &val, self.me, snapshot) {
             Some(lc) => {
-                let rid = self.rid();
-                out.broadcast(self.me, Msg::EsWrite { rid, key, val: val.clone(), lc });
-                if track {
+                let rid = if track {
                     let state = EsWriteState {
                         meta: self.meta(si, op_id, key, op.clone(), now),
-                        val,
+                        val: val.clone(),
                         lc,
                         acked: NodeSet::singleton(self.me),
                     };
-                    self.inflight.insert(rid, InFlight::EsWrite(state));
+                    let rid = self.inflight.insert(InFlight::EsWrite(state));
                     self.sessions[si].write_window.push_back(rid);
-                }
+                    rid
+                } else {
+                    self.untracked_rid()
+                };
+                out.broadcast(self.me, Msg::EsWrite { rid, key, val, lc });
                 self.complete(si, op_id, op, OpOutput::Done, now, now);
                 StartResult::Inline
             }
@@ -171,7 +182,6 @@ impl Worker {
                 // Out-of-epoch (Kite only): read LLCs from a quorum so the new
                 // write dominates anything this machine may have missed (§4.3).
                 self.shared.counters.slow_path_accesses.incr();
-                let rid = self.rid();
                 let state = SlowWriteState {
                     meta: self.meta(si, op_id, key, op, now),
                     snapshot,
@@ -180,7 +190,7 @@ impl Worker {
                     reps: NodeSet::singleton(self.me),
                     w2: None,
                 };
-                self.inflight.insert(rid, InFlight::SlowWrite(state));
+                let rid = self.inflight.insert(InFlight::SlowWrite(state));
                 out.broadcast(self.me, Msg::RtsReq { rid, key });
                 StartResult::Blocked(rid)
             }
@@ -200,13 +210,10 @@ impl Worker {
         out: &mut Outbox<Msg>,
         with_barrier: bool,
     ) -> StartResult {
-        let rid = self.rid();
         let writes: Vec<u64> =
             if with_barrier { self.sessions[si].write_window.iter().copied().collect() } else { Vec::new() };
         let barrier = Barrier::new(writes);
-        if !barrier.done {
-            self.barrier_waiters.push(rid);
-        }
+        let barrier_pending = !barrier.done;
         // §4.3 optimization: the LLC-read round is benign (it does not make
         // the release visible), so it normally overlaps the barrier wait.
         // The ablation defers it until the barrier resolves.
@@ -220,7 +227,10 @@ impl Worker {
             rts_max: self.shared.store.read_lc(key),
             w2: None,
         };
-        self.inflight.insert(rid, InFlight::Release(state));
+        let rid = self.inflight.insert(InFlight::Release(state));
+        if barrier_pending {
+            self.barrier_waiters.push(rid);
+        }
         if rts_sent {
             out.broadcast(self.me, Msg::RtsReq { rid, key });
         }
@@ -239,7 +249,6 @@ impl Worker {
         out: &mut Outbox<Msg>,
         sync: bool,
     ) -> StartResult {
-        let rid = self.rid();
         let view = self.shared.store.view(key);
         // The local replica participates in the quorum; probe our own table
         // too (a slow-release may have told *us* that we are delinquent).
@@ -254,7 +263,7 @@ impl Worker {
             w2: None,
             decided: false,
         };
-        self.inflight.insert(rid, InFlight::Acquire(state));
+        let rid = self.inflight.insert(InFlight::Acquire(state));
         out.broadcast(self.me, Msg::ReadReq { rid, key, acq: sync.then_some(op_id) });
         StartResult::Blocked(rid)
     }
@@ -276,13 +285,10 @@ impl Worker {
         out: &mut Outbox<Msg>,
         with_barrier: bool,
     ) -> StartResult {
-        let rid = self.rid();
         let writes: Vec<u64> =
             if with_barrier { self.sessions[si].write_window.iter().copied().collect() } else { Vec::new() };
         let barrier = Barrier::new(writes);
-        if !barrier.done {
-            self.barrier_waiters.push(rid);
-        }
+        let barrier_pending = !barrier.done;
         let mut state = RmwState {
             meta: self.meta(si, op_id, key, op, now),
             kind,
@@ -309,16 +315,26 @@ impl Worker {
         // normally overlaps the barrier wait (like the release's LLC-read
         // round). The ablation holds the whole Paxos exchange back until
         // the barrier resolves.
-        if !self.overlap_release && !state.barrier.done {
+        if !self.overlap_release && barrier_pending {
             state.phase = RmwPhase::WaitBarrierPropose;
-            self.inflight.insert(rid, InFlight::Rmw(state));
+            let rid = self.inflight.insert(InFlight::Rmw(state));
+            self.barrier_waiters.push(rid);
             return StartResult::Blocked(rid);
         }
-        if let Some(output) = self.rmw_new_round(rid, &mut state, out) {
-            self.rmw_finish(&mut state, output, now, out);
+        let rid = self.inflight.insert(InFlight::Rmw(state));
+        if barrier_pending {
+            self.barrier_waiters.push(rid);
+        }
+        let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { unreachable!() };
+        if let Some(output) = Self::rmw_new_round_in(&self.shared, self.me, rid, state, out) {
+            Self::rmw_finish_in(
+                &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state, output,
+                now, out,
+            );
+            // Any stale barrier_waiters entry is swept by check_barriers.
+            self.inflight.remove(rid);
             return StartResult::Inline;
         }
-        self.inflight.insert(rid, InFlight::Rmw(state));
         StartResult::Blocked(rid)
     }
 
@@ -330,22 +346,26 @@ impl Worker {
     /// off — the commit's ring entry proves it). The caller must then finish
     /// the op with that output instead of proposing: re-proposing would
     /// execute the RMW a second time.
+    ///
+    /// Associated fn over the non-table worker fields so it can run while
+    /// `state` is borrowed from the in-flight slab.
     #[must_use]
-    fn rmw_new_round(
-        &mut self,
+    fn rmw_new_round_in(
+        shared: &NodeShared,
+        me: NodeId,
         rid: u64,
         state: &mut RmwState,
         out: &mut Outbox<Msg>,
     ) -> Option<OpOutput> {
         let key = state.meta.key;
         let (slot, ballot, accepted) = {
-            let pax = self.shared.store.paxos(key);
+            let pax = shared.store.paxos(key);
             let mut pax = pax.lock();
             if let Some(done) = pax.committed.find(state.meta.op_id) {
                 return Some(rmw_output(state.kind, &done.result));
             }
             let version = pax.promised.version.max(state.ballot_floor) + 1;
-            let ballot = Lc::new(version, self.me);
+            let ballot = Lc::new(version, me);
             pax.promised = ballot;
             let accepted = pax.accepted.as_ref().map(|a| {
                 (
@@ -358,7 +378,7 @@ impl Worker {
         state.slot = slot;
         state.ballot = ballot;
         state.phase = RmwPhase::Propose;
-        state.promises = NodeSet::singleton(self.me);
+        state.promises = NodeSet::singleton(me);
         state.best_accepted = accepted;
         state.cmd = None;
         state.helping = false;
@@ -367,7 +387,7 @@ impl Worker {
         state.commit_bcast = None;
         state.pending_output = None;
         state.retry_at = 0;
-        out.broadcast(self.me, Msg::Propose { rid, key, slot, ballot, op: state.meta.op_id });
+        out.broadcast(me, Msg::Propose { rid, key, slot, ballot, op: state.meta.op_id });
         None
     }
 
@@ -378,11 +398,11 @@ impl Worker {
     /// Ack for a tracked relaxed write: when *all* machines acked, the write
     /// stops being a barrier obligation (§4.2 fast path).
     pub(crate) fn on_es_ack(&mut self, src: kite_common::NodeId, rid: u64, _now: u64) {
-        let Some(InFlight::EsWrite(state)) = self.inflight.get_mut(&rid) else { return };
+        let Some(InFlight::EsWrite(state)) = self.inflight.get_mut(rid) else { return };
         state.acked.insert(src);
         if state.acked.is_all(self.nodes) {
             let si = state.meta.sess;
-            self.inflight.remove(&rid);
+            self.inflight.remove(rid);
             self.remove_from_window(si, rid);
         }
     }
@@ -395,87 +415,76 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
-        let Some(mut entry) = self.inflight.remove(&rid) else { return };
-        match &mut entry {
-            InFlight::Release(state) => {
+        match self.inflight.get_mut(rid) {
+            Some(InFlight::Release(state)) => {
                 state.rts_reps.insert(src);
                 state.rts_max = state.rts_max.max(lc);
-                let advanced = self.try_advance_release(rid, state, out);
-                let _ = advanced;
-                self.inflight.insert(rid, entry);
+                Self::try_advance_release(self.me, self.quorum, &self.shared, rid, state, out);
             }
-            InFlight::SlowWrite(state) => {
+            Some(InFlight::SlowWrite(state)) => {
                 if state.w2.is_some() {
                     // Value round already started (full-ABD ablation); this
                     // is a late stamp reply.
-                    self.inflight.insert(rid, entry);
                     return;
                 }
                 state.reps.insert(src);
                 state.max_lc = state.max_lc.max(lc);
-                if state.reps.len() >= self.quorum {
-                    // Quorum of stamps: the write now dominates anything this
-                    // machine missed. Apply + restore in-epoch.
-                    let wlc = state.max_lc.succ(self.me);
-                    self.shared.store.apply_max_restore(
-                        state.meta.key,
-                        &state.val,
-                        wlc,
-                        state.snapshot,
-                    );
-                    if !self.stripped_slow {
-                        // Full-ABD ablation: the value round must be
-                        // quorum-acked before the write completes.
-                        state.w2 = Some((wlc, NodeSet::singleton(self.me)));
-                        state.meta.last_sent = now;
-                        out.broadcast(
-                            self.me,
-                            Msg::WriteMsg {
-                                rid,
-                                key: state.meta.key,
-                                val: state.val.clone(),
-                                lc: wlc,
-                                acq: None,
-                            },
-                        );
-                        self.inflight.insert(rid, entry);
-                        return;
-                    }
-                    // §4.3 default: broadcast the value ES-style; completion
-                    // does not wait for acks — the next release in session
-                    // order is responsible for quorum visibility.
-                    let wrid = self.rid();
+                if state.reps.len() < self.quorum {
+                    return;
+                }
+                // Quorum of stamps: the write now dominates anything this
+                // machine missed. Apply + restore in-epoch.
+                let wlc = state.max_lc.succ(self.me);
+                self.shared.store.apply_max_restore(
+                    state.meta.key,
+                    &state.val,
+                    wlc,
+                    state.snapshot,
+                );
+                if !self.stripped_slow {
+                    // Full-ABD ablation: the value round must be
+                    // quorum-acked before the write completes.
+                    state.w2 = Some((wlc, NodeSet::singleton(self.me)));
+                    state.meta.last_sent = now;
                     out.broadcast(
                         self.me,
-                        Msg::EsWrite { rid: wrid, key: state.meta.key, val: state.val.clone(), lc: wlc },
-                    );
-                    let si = state.meta.sess;
-                    if self.mode.has_barriers() {
-                        let es = EsWriteState {
-                            meta: self.meta(si, state.meta.op_id, state.meta.key, state.meta.op.clone(), now),
+                        Msg::WriteMsg {
+                            rid,
+                            key: state.meta.key,
                             val: state.val.clone(),
                             lc: wlc,
-                            acked: NodeSet::singleton(self.me),
-                        };
-                        self.inflight.insert(wrid, InFlight::EsWrite(es));
-                        self.sessions[si].write_window.push_back(wrid);
-                    }
-                    self.complete(
-                        si,
-                        state.meta.op_id,
-                        state.meta.op.clone(),
-                        OpOutput::Done,
-                        state.meta.invoked_at,
-                        now,
+                            acq: None,
+                        },
                     );
-                    // entry dropped (slow write finished)
-                } else {
-                    self.inflight.insert(rid, entry);
+                    return;
                 }
+                // §4.3 default: broadcast the value ES-style under a fresh
+                // rid; completion does not wait for acks — the next release
+                // in session order is responsible for quorum visibility.
+                let si = state.meta.sess;
+                let op_id = state.meta.op_id;
+                let key = state.meta.key;
+                let op = state.meta.op.clone();
+                let invoked_at = state.meta.invoked_at;
+                let val = state.val.clone();
+                self.inflight.remove(rid); // slow write finished
+                let wrid = if self.mode.has_barriers() {
+                    let es = EsWriteState {
+                        meta: self.meta(si, op_id, key, op.clone(), now),
+                        val: val.clone(),
+                        lc: wlc,
+                        acked: NodeSet::singleton(self.me),
+                    };
+                    let wrid = self.inflight.insert(InFlight::EsWrite(es));
+                    self.sessions[si].write_window.push_back(wrid);
+                    wrid
+                } else {
+                    self.untracked_rid()
+                };
+                out.broadcast(self.me, Msg::EsWrite { rid: wrid, key, val, lc: wlc });
+                self.complete(si, op_id, op, OpOutput::Done, invoked_at, now);
             }
-            _ => {
-                self.inflight.insert(rid, entry);
-            }
+            _ => {}
         }
     }
 
@@ -489,13 +498,11 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
-        let Some(mut entry) = self.inflight.remove(&rid) else { return };
-        match &mut entry {
-            InFlight::SlowRead(state) => {
+        match self.inflight.get_mut(rid) {
+            Some(InFlight::SlowRead(state)) => {
                 if state.w2.is_some() {
                     // Write-back round already started (full-ABD ablation);
                     // this is a late round-1 reply.
-                    self.inflight.insert(rid, entry);
                     return;
                 }
                 state.reps.insert(src);
@@ -506,78 +513,24 @@ impl Worker {
                 } else if lc == state.best_lc {
                     state.holders.insert(src);
                 }
-                if state.reps.len() >= self.quorum {
-                    // Freshest of a quorum; restore the key in-epoch at the
-                    // snapshot taken when the access started (§4.2).
-                    self.shared.store.apply_max_restore(
-                        state.meta.key,
-                        &state.best_val,
-                        state.best_lc,
-                        state.snapshot,
-                    );
-                    state.holders.insert(self.me);
-                    if !self.stripped_slow && state.holders.len() < self.quorum {
-                        // Full-ABD ablation: make the value quorum-visible
-                        // before returning it (the §4.3 default skips this —
-                        // RC only needs the read to observe missed writes).
-                        state.w2 = Some(NodeSet::singleton(self.me));
-                        state.meta.last_sent = now;
-                        out.broadcast(
-                            self.me,
-                            Msg::WriteMsg {
-                                rid,
-                                key: state.meta.key,
-                                val: state.best_val.clone(),
-                                lc: state.best_lc,
-                                acq: None,
-                            },
-                        );
-                        self.inflight.insert(rid, entry);
-                        return;
-                    }
-                    self.complete(
-                        state.meta.sess,
-                        state.meta.op_id,
-                        state.meta.op.clone(),
-                        OpOutput::Value(state.best_val.clone()),
-                        state.meta.invoked_at,
-                        now,
-                    );
-                } else {
-                    self.inflight.insert(rid, entry);
-                }
-            }
-            InFlight::Acquire(state) => {
-                state.delinquent |= delinquent;
-                if state.decided {
-                    // Round 1 already acted; this is a late replica.
-                    self.inflight.insert(rid, entry);
+                if state.reps.len() < self.quorum {
                     return;
                 }
-                state.reps.insert(src);
-                if lc > state.best_lc {
-                    state.best_lc = lc;
-                    state.best_val = val;
-                    state.holders = NodeSet::singleton(src);
-                } else if lc == state.best_lc {
-                    state.holders.insert(src);
-                }
-                if state.reps.len() >= self.quorum {
-                    state.decided = true;
-                    // Apply the freshest value locally either way.
-                    self.shared.store.apply_max(state.meta.key, &state.best_val, state.best_lc);
-                    if state.holders.len() >= self.quorum {
-                        self.finish_acquire(state, now, out);
-                        return; // entry dropped: acquire complete
-                    }
-                    // Write-back round (§3.3): make the value quorum-visible
-                    // before returning it. Carries the acquire tag so its
-                    // quorum also performs delinquency discovery (Lemma 5.3).
-                    let acq_tag = match state.meta.op {
-                        Op::Acquire { .. } if self.mode.has_barriers() => Some(state.meta.op_id),
-                        _ => None,
-                    };
+                // Freshest of a quorum; restore the key in-epoch at the
+                // snapshot taken when the access started (§4.2).
+                self.shared.store.apply_max_restore(
+                    state.meta.key,
+                    &state.best_val,
+                    state.best_lc,
+                    state.snapshot,
+                );
+                state.holders.insert(self.me);
+                if !self.stripped_slow && state.holders.len() < self.quorum {
+                    // Full-ABD ablation: make the value quorum-visible
+                    // before returning it (the §4.3 default skips this —
+                    // RC only needs the read to observe missed writes).
                     state.w2 = Some(NodeSet::singleton(self.me));
+                    state.meta.last_sent = now;
                     out.broadcast(
                         self.me,
                         Msg::WriteMsg {
@@ -585,15 +538,72 @@ impl Worker {
                             key: state.meta.key,
                             val: state.best_val.clone(),
                             lc: state.best_lc,
-                            acq: acq_tag,
+                            acq: None,
                         },
                     );
+                    return;
                 }
-                self.inflight.insert(rid, entry);
+                Self::complete_in(
+                    &self.shared,
+                    &self.hook,
+                    &mut self.sessions,
+                    state.meta.sess,
+                    state.meta.op_id,
+                    state.meta.op.clone(),
+                    OpOutput::Value(state.best_val.clone()),
+                    state.meta.invoked_at,
+                    now,
+                );
+                self.inflight.remove(rid);
             }
-            _ => {
-                self.inflight.insert(rid, entry);
+            Some(InFlight::Acquire(state)) => {
+                state.delinquent |= delinquent;
+                if state.decided {
+                    // Round 1 already acted; this is a late replica.
+                    return;
+                }
+                state.reps.insert(src);
+                if lc > state.best_lc {
+                    state.best_lc = lc;
+                    state.best_val = val;
+                    state.holders = NodeSet::singleton(src);
+                } else if lc == state.best_lc {
+                    state.holders.insert(src);
+                }
+                if state.reps.len() < self.quorum {
+                    return;
+                }
+                state.decided = true;
+                // Apply the freshest value locally either way.
+                self.shared.store.apply_max(state.meta.key, &state.best_val, state.best_lc);
+                if state.holders.len() >= self.quorum {
+                    Self::finish_acquire_in(
+                        &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
+                        now, out,
+                    );
+                    self.inflight.remove(rid); // acquire complete
+                    return;
+                }
+                // Write-back round (§3.3): make the value quorum-visible
+                // before returning it. Carries the acquire tag so its
+                // quorum also performs delinquency discovery (Lemma 5.3).
+                let acq_tag = match state.meta.op {
+                    Op::Acquire { .. } if self.mode.has_barriers() => Some(state.meta.op_id),
+                    _ => None,
+                };
+                state.w2 = Some(NodeSet::singleton(self.me));
+                out.broadcast(
+                    self.me,
+                    Msg::WriteMsg {
+                        rid,
+                        key: state.meta.key,
+                        val: state.best_val.clone(),
+                        lc: state.best_lc,
+                        acq: acq_tag,
+                    },
+                );
             }
+            _ => {}
         }
     }
 
@@ -605,8 +615,8 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
-        let Some(mut entry) = self.inflight.remove(&rid) else { return };
-        match &mut entry {
+        let Some(entry) = self.inflight.get_mut(rid) else { return };
+        match entry {
             InFlight::Release(state) => {
                 let finished = if let Some((_, acked)) = &mut state.w2 {
                     acked.insert(src);
@@ -620,7 +630,10 @@ impl Worker {
                     } else {
                         self.shared.counters.fast_releases.incr();
                     }
-                    self.complete(
+                    Self::complete_in(
+                        &self.shared,
+                        &self.hook,
+                        &mut self.sessions,
                         state.meta.sess,
                         state.meta.op_id,
                         state.meta.op.clone(),
@@ -628,8 +641,7 @@ impl Worker {
                         state.meta.invoked_at,
                         now,
                     );
-                } else {
-                    self.inflight.insert(rid, entry);
+                    self.inflight.remove(rid);
                 }
             }
             InFlight::Acquire(state) => {
@@ -641,10 +653,12 @@ impl Worker {
                     false
                 };
                 if finished {
-                    self.finish_acquire(state, now, out);
-                    return; // entry dropped
+                    Self::finish_acquire_in(
+                        &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
+                        now, out,
+                    );
+                    self.inflight.remove(rid);
                 }
-                self.inflight.insert(rid, entry);
             }
             InFlight::SlowRead(state) => {
                 // Write-back round of the full-ABD ablation.
@@ -655,7 +669,10 @@ impl Worker {
                     false
                 };
                 if finished {
-                    self.complete(
+                    Self::complete_in(
+                        &self.shared,
+                        &self.hook,
+                        &mut self.sessions,
                         state.meta.sess,
                         state.meta.op_id,
                         state.meta.op.clone(),
@@ -663,9 +680,8 @@ impl Worker {
                         state.meta.invoked_at,
                         now,
                     );
-                    return; // entry dropped
+                    self.inflight.remove(rid);
                 }
-                self.inflight.insert(rid, entry);
             }
             InFlight::SlowWrite(state) => {
                 // Value round of the full-ABD ablation: complete at a
@@ -680,7 +696,10 @@ impl Worker {
                 if finished {
                     let (wlc, acked) = state.w2.expect("checked above");
                     let si = state.meta.sess;
-                    self.complete(
+                    Self::complete_in(
+                        &self.shared,
+                        &self.hook,
+                        &mut self.sessions,
                         si,
                         state.meta.op_id,
                         state.meta.op.clone(),
@@ -689,20 +708,28 @@ impl Worker {
                         now,
                     );
                     if self.mode.has_barriers() && !acked.is_all(self.nodes) {
-                        if let InFlight::SlowWrite(state) = entry {
-                            let es = EsWriteState {
-                                meta: self.meta(si, state.meta.op_id, state.meta.key, state.meta.op, now),
-                                val: state.val,
-                                lc: wlc,
-                                acked,
-                            };
-                            self.inflight.insert(rid, InFlight::EsWrite(es));
-                            self.sessions[si].write_window.push_back(rid);
-                        }
+                        // Convert the entry in place (same rid, same slot):
+                        // late replica acks to the original WriteMsg keep
+                        // counting toward the relaxed write's ack set.
+                        let es = EsWriteState {
+                            meta: Meta {
+                                sess: si,
+                                op_id: state.meta.op_id,
+                                key: state.meta.key,
+                                op: state.meta.op.clone(),
+                                invoked_at: now,
+                                last_sent: now,
+                            },
+                            val: state.val.clone(),
+                            lc: wlc,
+                            acked,
+                        };
+                        *entry = InFlight::EsWrite(es);
+                        self.sessions[si].write_window.push_back(rid);
+                    } else {
+                        self.inflight.remove(rid);
                     }
-                    return;
                 }
-                self.inflight.insert(rid, entry);
             }
             InFlight::EsWrite(state) => {
                 // A converted slow write's replica can answer the original
@@ -710,31 +737,41 @@ impl Worker {
                 state.acked.insert(src);
                 if state.acked.is_all(self.nodes) {
                     let si = state.meta.sess;
+                    self.inflight.remove(rid);
                     self.remove_from_window(si, rid);
-                } else {
-                    self.inflight.insert(rid, entry);
                 }
             }
-            _ => {
-                self.inflight.insert(rid, entry);
-            }
+            _ => {}
         }
     }
 
     /// Complete an acquire: barrier transition if deemed delinquent (§4.2),
-    /// then return the value.
-    fn finish_acquire(&mut self, state: &mut AcquireState, now: u64, out: &mut Outbox<Msg>) {
-        if state.delinquent && self.mode.has_barriers() {
+    /// then return the value. Associated fn so it can run while the entry
+    /// is still borrowed from the slab (the caller removes it afterwards).
+    fn finish_acquire_in(
+        shared: &NodeShared,
+        hook: &Option<CompletionHook>,
+        sessions: &mut [Session],
+        mode: ProtocolMode,
+        me: NodeId,
+        state: &AcquireState,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        if state.delinquent && mode.has_barriers() {
             // Transition to the slow path *before* completing the acquire:
             // bump the machine epoch (all keys fall out-of-epoch), then
             // broadcast the reset so later acquires are not re-notified
             // (§4.2.1; Lemmas 5.4, 5.6). The bump is elided if a concurrent
             // acquire already bumped after this one began.
-            self.shared.bump_epoch_once(state.meta.invoked_at, now);
-            self.shared.delinquency.reset(self.me, state.meta.op_id);
-            out.broadcast(self.me, Msg::ResetBit { acq: state.meta.op_id });
+            shared.bump_epoch_once(state.meta.invoked_at, now);
+            shared.delinquency.reset(me, state.meta.op_id);
+            out.broadcast(me, Msg::ResetBit { acq: state.meta.op_id });
         }
-        self.complete(
+        Self::complete_in(
+            shared,
+            hook,
+            sessions,
             state.meta.sess,
             state.meta.op_id,
             state.meta.op.clone(),
@@ -752,7 +789,7 @@ impl Worker {
         _out: &mut Outbox<Msg>,
     ) {
         let mut relief_done = false;
-        if let Some(entry) = self.inflight.get_mut(&rid) {
+        if let Some(entry) = self.inflight.get_mut(rid) {
             match entry {
                 InFlight::Release(s) => {
                     if let Some(sub) = &mut s.barrier.slow {
@@ -772,7 +809,7 @@ impl Worker {
             }
         }
         if relief_done {
-            if let Some(InFlight::WindowRelief(state)) = self.inflight.remove(&rid) {
+            if let Some(InFlight::WindowRelief(state)) = self.inflight.remove(rid) {
                 self.finish_window_relief(rid, state);
             }
         }
@@ -785,20 +822,24 @@ impl Worker {
 
     /// Start the release's value round once the barrier is resolved and a
     /// quorum of stamps has been read. Returns true if round 2 started.
+    /// Associated fn over the non-table fields (callable with `state`
+    /// borrowed in place from the slab).
     fn try_advance_release(
-        &mut self,
+        me: NodeId,
+        quorum: usize,
+        shared: &NodeShared,
         rid: u64,
         state: &mut ReleaseState,
         out: &mut Outbox<Msg>,
     ) -> bool {
-        if !state.barrier.done || state.w2.is_some() || state.rts_reps.len() < self.quorum {
+        if !state.barrier.done || state.w2.is_some() || state.rts_reps.len() < quorum {
             return false;
         }
-        let lc = state.rts_max.succ(self.me);
-        self.shared.store.apply_max(state.meta.key, &state.val, lc);
-        state.w2 = Some((lc, NodeSet::singleton(self.me)));
+        let lc = state.rts_max.succ(me);
+        shared.store.apply_max(state.meta.key, &state.val, lc);
+        state.w2 = Some((lc, NodeSet::singleton(me)));
         out.broadcast(
-            self.me,
+            me,
             Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc, acq: None },
         );
         true
@@ -810,83 +851,114 @@ impl Worker {
 
     /// Evaluate all unresolved barriers: fast-path resolution, timeout →
     /// slow-release, slow-path resolution.
+    ///
+    /// Each waiter's barrier is *taken out* of its entry for the duration
+    /// of the evaluation (a move, no allocation) so the rest of the table
+    /// stays readable — the fast-path check peeks at the sibling EsWrite
+    /// entries — and then put back. Entries are never removed and
+    /// reinserted.
     pub(crate) fn check_barriers(&mut self, now: u64, out: &mut Outbox<Msg>) {
         if self.barrier_waiters.is_empty() {
             return;
         }
-        let waiters: Vec<u64> = self.barrier_waiters.clone();
-        let mut resolved: Vec<u64> = Vec::new();
-        for rid in waiters {
-            let Some(mut entry) = self.inflight.remove(&rid) else {
-                resolved.push(rid);
+        let mut any_resolved = false;
+        for i in 0..self.barrier_waiters.len() {
+            let rid = self.barrier_waiters[i];
+            let taken = match self.inflight.get_mut(rid) {
+                Some(InFlight::Release(s)) => {
+                    Some((s.meta.invoked_at, std::mem::replace(&mut s.barrier, Barrier::resolved())))
+                }
+                Some(InFlight::Rmw(s)) => {
+                    Some((s.meta.invoked_at, std::mem::replace(&mut s.barrier, Barrier::resolved())))
+                }
+                None => None,
+                Some(_) => unreachable!("barrier waiter must be release or rmw"),
+            };
+            let Some((invoked_at, mut barrier)) = taken else {
+                // Entry already gone (op completed): drop the waiter.
+                self.barrier_waiters[i] = u64::MAX;
+                any_resolved = true;
                 continue;
             };
-            let done = {
-                let (meta_invoked, barrier) = match &mut entry {
-                    InFlight::Release(s) => (s.meta.invoked_at, &mut s.barrier),
-                    InFlight::Rmw(s) => (s.meta.invoked_at, &mut s.barrier),
-                    _ => unreachable!("barrier waiter must be release or rmw"),
-                };
-                self.evaluate_barrier(rid, meta_invoked, barrier, now, out)
-            };
-            if done {
-                resolved.push(rid);
-                // Slow-path resolution subsumes the writes: delinquency is
-                // published, so tracking (and retransmitting) them can stop.
-                let subsumed: Vec<u64> = match &entry {
-                    InFlight::Release(s) if s.barrier.slow.is_some() => s.barrier.writes.clone(),
-                    InFlight::Rmw(s) if s.barrier.slow.is_some() => s.barrier.writes.clone(),
-                    _ => Vec::new(),
-                };
-                for wrid in subsumed {
-                    if let Some(InFlight::EsWrite(w)) = self.inflight.remove(&wrid) {
+            let done = self.evaluate_barrier(rid, invoked_at, &mut barrier, now, out);
+            if !done {
+                match self.inflight.get_mut(rid) {
+                    Some(InFlight::Release(s)) => s.barrier = barrier,
+                    Some(InFlight::Rmw(s)) => s.barrier = barrier,
+                    _ => unreachable!("entry checked above"),
+                }
+                continue;
+            }
+            self.barrier_waiters[i] = u64::MAX;
+            any_resolved = true;
+            // Slow-path resolution subsumes the writes: delinquency is
+            // published, so tracking (and retransmitting) them can stop.
+            if barrier.slow.is_some() {
+                for wi in 0..barrier.writes.len() {
+                    let wrid = barrier.writes[wi];
+                    if let Some(InFlight::EsWrite(w)) = self.inflight.remove(wrid) {
                         self.remove_from_window(w.meta.sess, wrid);
                     }
                 }
-                let mut consumed = false;
-                match &mut entry {
-                    InFlight::Release(state) => {
-                        if !state.rts_sent {
-                            // Deferred LLC-read round (overlap ablation).
-                            state.rts_sent = true;
-                            state.meta.last_sent = now;
-                            out.broadcast(self.me, Msg::RtsReq { rid, key: state.meta.key });
-                        }
-                        self.try_advance_release(rid, state, out);
+            }
+            // Put the resolved barrier back and run the deferred rounds.
+            let mut consumed = false;
+            match self.inflight.get_mut(rid) {
+                Some(InFlight::Release(state)) => {
+                    state.barrier = barrier;
+                    if !state.rts_sent {
+                        // Deferred LLC-read round (overlap ablation).
+                        state.rts_sent = true;
+                        state.meta.last_sent = now;
+                        out.broadcast(self.me, Msg::RtsReq { rid, key: state.meta.key });
                     }
-                    InFlight::Rmw(state) => match state.phase {
+                    Self::try_advance_release(self.me, self.quorum, &self.shared, rid, state, out);
+                }
+                Some(InFlight::Rmw(state)) => {
+                    state.barrier = barrier;
+                    match state.phase {
                         RmwPhase::WaitBarrier => {
-                            if let Some(output) = self.rmw_enter_accept(rid, state, out) {
-                                self.rmw_finish(state, output, now, out);
+                            if let Some(output) =
+                                Self::rmw_enter_accept_in(&self.shared, self.me, rid, state, out)
+                            {
+                                Self::rmw_finish_in(
+                                    &self.shared, &self.hook, &mut self.sessions, self.mode,
+                                    self.me, state, output, now, out,
+                                );
                                 consumed = true;
                             }
                         }
                         RmwPhase::WaitBarrierPropose => {
                             // Deferred propose phase (overlap ablation).
                             state.meta.last_sent = now;
-                            if let Some(output) = self.rmw_new_round(rid, state, out) {
-                                self.rmw_finish(state, output, now, out);
+                            if let Some(output) =
+                                Self::rmw_new_round_in(&self.shared, self.me, rid, state, out)
+                            {
+                                Self::rmw_finish_in(
+                                    &self.shared, &self.hook, &mut self.sessions, self.mode,
+                                    self.me, state, output, now, out,
+                                );
                                 consumed = true;
                             }
                         }
                         _ => {}
-                    },
-                    _ => {}
+                    }
                 }
-                if consumed {
-                    continue;
-                }
+                _ => unreachable!("entry checked above"),
             }
-            self.inflight.insert(rid, entry);
+            if consumed {
+                self.inflight.remove(rid);
+            }
         }
-        if !resolved.is_empty() {
-            self.barrier_waiters.retain(|r| !resolved.contains(r));
+        if any_resolved {
+            self.barrier_waiters.retain(|&r| r != u64::MAX);
         }
     }
 
     /// One barrier's state transition. Returns whether it is now resolved.
     /// `rid` is the owning release/RMW's request id — the slow-release
-    /// broadcast reuses it (message types disambiguate the replies).
+    /// broadcast reuses it (message types disambiguate the replies). The
+    /// barrier is passed detached from its entry (see `check_barriers`).
     fn evaluate_barrier(
         &mut self,
         rid: u64,
@@ -900,7 +972,7 @@ impl Worker {
         }
         // Fast path: every prior write acked by all machines — its in-flight
         // entry is removed on the final ack, so "gone" means "acked by all".
-        let all_gone = barrier.writes.iter().all(|w| !self.inflight.contains_key(w));
+        let all_gone = barrier.writes.iter().all(|w| !self.inflight.contains(*w));
         if all_gone && barrier.slow.is_none() {
             barrier.done = true;
             return true;
@@ -923,9 +995,8 @@ impl Worker {
                 for n in dm_due {
                     self.shared.suspect(n);
                 }
-                let retrans: Vec<u64> = barrier.writes.clone();
-                for w in retrans {
-                    self.retransmit_es_write(w, now, out);
+                for wi in 0..barrier.writes.len() {
+                    self.retransmit_es_write(barrier.writes[wi], now, out);
                 }
                 self.shared.delinquency.mark_delinquent(dm_due);
                 barrier.slow =
@@ -953,7 +1024,7 @@ impl Worker {
                 let dm_ok = sub.acked.len() >= self.quorum;
                 let dm = sub.dm;
                 let all = NodeSet::all(self.nodes);
-                let writes_ok = barrier.writes.iter().all(|w| match self.inflight.get(w) {
+                let writes_ok = barrier.writes.iter().all(|w| match self.inflight.get(*w) {
                     None => true,
                     Some(InFlight::EsWrite(es)) => {
                         es.acked.len() >= self.quorum
@@ -980,7 +1051,7 @@ impl Worker {
         let barrier_overdue = now.saturating_sub(barrier_invoked) >= self.release_timeout;
         let mut dm = NodeSet::EMPTY;
         for w in writes {
-            if let Some(InFlight::EsWrite(es)) = self.inflight.get(w) {
+            if let Some(InFlight::EsWrite(es)) = self.inflight.get(*w) {
                 let missing = all.minus(es.acked);
                 if missing.is_empty() {
                     continue;
@@ -1016,7 +1087,6 @@ impl Worker {
         }
         self.shared.delinquency.mark_delinquent(dm);
         self.shared.counters.slow_releases.incr();
-        let rid = self.rid();
         let op_id = OpId::new(self.sessions[si].id, u64::MAX); // synthetic
         let meta = Meta {
             sess: si,
@@ -1026,15 +1096,12 @@ impl Worker {
             invoked_at: now,
             last_sent: now,
         };
-        self.inflight.insert(
-            rid,
-            InFlight::WindowRelief(WindowReliefState {
-                meta,
-                dm,
-                acked: NodeSet::singleton(self.me),
-                writes,
-            }),
-        );
+        let rid = self.inflight.insert(InFlight::WindowRelief(WindowReliefState {
+            meta,
+            dm,
+            acked: NodeSet::singleton(self.me),
+            writes,
+        }));
         self.sessions[si].relief = Some(rid);
         out.broadcast(self.me, Msg::SlowRelease { rid, dm });
     }
@@ -1043,7 +1110,7 @@ impl Worker {
     /// that reached a quorum; the session's window drains and it resumes.
     fn finish_window_relief(&mut self, rid: u64, state: WindowReliefState) {
         for w in &state.writes {
-            let retire = match self.inflight.get(w) {
+            let retire = match self.inflight.get(*w) {
                 Some(InFlight::EsWrite(es)) => {
                     es.acked.len() >= self.quorum
                         && NodeSet::all(self.nodes).minus(es.acked).minus(state.dm).is_empty()
@@ -1051,7 +1118,7 @@ impl Worker {
                 _ => false,
             };
             if retire {
-                if let Some(InFlight::EsWrite(es)) = self.inflight.remove(w) {
+                if let Some(InFlight::EsWrite(es)) = self.inflight.remove(*w) {
                     self.remove_from_window(es.meta.sess, *w);
                 }
             }
@@ -1063,7 +1130,7 @@ impl Worker {
     fn retransmit_es_write(&mut self, rid: u64, now: u64, out: &mut Outbox<Msg>) {
         let me = self.me;
         let nodes = self.nodes;
-        if let Some(InFlight::EsWrite(es)) = self.inflight.get_mut(&rid) {
+        if let Some(InFlight::EsWrite(es)) = self.inflight.get_mut(rid) {
             es.meta.last_sent = now;
             let missing = NodeSet::all(nodes).minus(es.acked);
             let msg = Msg::EsWrite { rid, key: es.meta.key, val: es.val.clone(), lc: es.lc };
@@ -1085,15 +1152,10 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
-        let Some(mut entry) = self.inflight.remove(&rid) else { return };
-        let InFlight::Rmw(state) = &mut entry else {
-            self.inflight.insert(rid, entry);
-            return;
-        };
+        let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { return };
         state.delinquent |= delinquent;
         if state.phase != RmwPhase::Propose || ballot != state.ballot {
-            self.inflight.insert(rid, entry); // stale round
-            return;
+            return; // stale round
         }
         match outcome {
             PromiseOutcome::Promised { accepted } => {
@@ -1103,12 +1165,36 @@ impl Worker {
                         state.best_accepted = Some((b, cmd));
                     }
                 }
-                if state.promises.len() >= self.quorum
-                    && self.rmw_decide(rid, state, now, out) {
-                        // completed inline (failed CAS / helped)
-                        return;
+                if state.promises.len() < self.quorum {
+                    return;
+                }
+                // Phase-1 quorum reached: pick the command (adopt the
+                // highest accepted, else evaluate our own RMW on the local
+                // base value) and move to the accept phase, gated on the
+                // release barrier (§4.2 "RMWs").
+                if let Some(output) = Self::rmw_decide_cmd(&self.shared, self.me, state) {
+                    // Comparison failed against a quorum-fresh base: the
+                    // CAS completes without consensus (it writes nothing).
+                    Self::rmw_finish_in(
+                        &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
+                        output, now, out,
+                    );
+                    self.inflight.remove(rid);
+                    return;
+                }
+                if state.barrier.done {
+                    if let Some(output) =
+                        Self::rmw_enter_accept_in(&self.shared, self.me, rid, state, out)
+                    {
+                        Self::rmw_finish_in(
+                            &self.shared, &self.hook, &mut self.sessions, self.mode, self.me,
+                            state, output, now, out,
+                        );
+                        self.inflight.remove(rid);
                     }
-                self.inflight.insert(rid, entry);
+                } else {
+                    state.phase = RmwPhase::WaitBarrier;
+                }
             }
             PromiseOutcome::NackBallot { promised } => {
                 state.ballot_floor = state.ballot_floor.max(promised.version);
@@ -1117,7 +1203,6 @@ impl Worker {
                     state.backoff_exp = state.backoff_exp.saturating_add(1);
                     self.rmw_retries.push((rid, state.retry_at));
                 }
-                self.inflight.insert(rid, entry);
             }
             PromiseOutcome::AlreadyCommitted { slot, cur_val, cur_lc, done } => {
                 // Catch up to the decided prefix.
@@ -1135,7 +1220,9 @@ impl Worker {
                     // making the caught-up value (which subsumes our commit)
                     // quorum-visible.
                     state.pending_output = Some(rmw_output(state.kind, &result));
-                    self.rmw_start_commit_round(
+                    Self::rmw_start_commit_round_in(
+                        &self.shared,
+                        self.me,
                         rid,
                         state,
                         slot.saturating_sub(1),
@@ -1144,15 +1231,17 @@ impl Worker {
                         None,
                         out,
                     );
-                    self.inflight.insert(rid, entry);
                     return;
                 }
                 // Retry at the new slot with a fresh evaluation.
-                if let Some(output) = self.rmw_new_round(rid, state, out) {
-                    self.rmw_finish(state, output, now, out);
-                    return; // entry dropped
+                if let Some(output) = Self::rmw_new_round_in(&self.shared, self.me, rid, state, out)
+                {
+                    Self::rmw_finish_in(
+                        &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
+                        output, now, out,
+                    );
+                    self.inflight.remove(rid);
                 }
-                self.inflight.insert(rid, entry);
             }
             PromiseOutcome::Lagging { slot: _ } => {
                 // The replica missed a commit: fill it with the decided
@@ -1171,86 +1260,69 @@ impl Worker {
                         meta: None,
                     },
                 );
-                self.inflight.insert(rid, entry);
             }
         }
     }
 
-    /// Phase-1 quorum reached: pick the command (adopt the highest accepted,
-    /// else evaluate our own RMW on the local base value) and move to the
-    /// accept phase, gated on the release barrier (§4.2 "RMWs"). Returns
-    /// true if the operation completed inline (entry consumed).
-    fn rmw_decide(
-        &mut self,
-        rid: u64,
-        state: &mut RmwState,
-        now: u64,
-        out: &mut Outbox<Msg>,
-    ) -> bool {
+    /// Pick the command for a phase-1 quorum: adopt the highest accepted,
+    /// else evaluate our own RMW on the local base value. Returns
+    /// `Some(output)` iff the op completed inline (failed CAS against a
+    /// quorum-fresh base) — the caller finishes and removes the entry.
+    fn rmw_decide_cmd(shared: &NodeShared, me: NodeId, state: &mut RmwState) -> Option<OpOutput> {
         if let Some((_, cmd)) = state.best_accepted.take() {
             state.helping = cmd.op != state.meta.op_id;
             state.cmd = Some(cmd);
-        } else {
-            let base = self.shared.store.view(state.meta.key).val;
-            // The commit stamp is fixed here, at decide time, and travels
-            // with the command (msg::Cmd::lc): it must rise above everything
-            // this proposer has seen — in particular the previous slot's
-            // commit, which it applied before advancing — so commit clocks
-            // grow monotonically along each key's slot chain at *every*
-            // committer, owner or helper.
-            let clc = self.shared.store.read_lc(state.meta.key).succ(self.me);
-            let cmd = match state.kind {
-                RmwKind::Faa { delta } => Cmd {
-                    op: state.meta.op_id,
-                    new_val: Val::from_u64(base.as_u64().wrapping_add(delta)),
-                    result: base,
-                    lc: clc,
-                },
-                RmwKind::Cas { .. } => {
-                    if base == state.expect {
-                        Cmd { op: state.meta.op_id, new_val: state.new.clone(), result: base, lc: clc }
-                    } else {
-                        // Comparison failed against a quorum-fresh base: the
-                        // CAS completes without consensus (it writes nothing).
-                        let output = OpOutput::Cas { ok: false, observed: base };
-                        self.rmw_finish(state, output, now, out);
-                        return true;
-                    }
+            return None;
+        }
+        let base = shared.store.view(state.meta.key).val;
+        // The commit stamp is fixed here, at decide time, and travels
+        // with the command (msg::Cmd::lc): it must rise above everything
+        // this proposer has seen — in particular the previous slot's
+        // commit, which it applied before advancing — so commit clocks
+        // grow monotonically along each key's slot chain at *every*
+        // committer, owner or helper.
+        let clc = shared.store.read_lc(state.meta.key).succ(me);
+        let cmd = match state.kind {
+            RmwKind::Faa { delta } => Cmd {
+                op: state.meta.op_id,
+                new_val: Val::from_u64(base.as_u64().wrapping_add(delta)),
+                result: base,
+                lc: clc,
+            },
+            RmwKind::Cas { .. } => {
+                if base == state.expect {
+                    Cmd { op: state.meta.op_id, new_val: state.new.clone(), result: base, lc: clc }
+                } else {
+                    return Some(OpOutput::Cas { ok: false, observed: base });
                 }
-                RmwKind::Put => Cmd {
-                    op: state.meta.op_id,
-                    new_val: state.new.clone(),
-                    result: base,
-                    lc: clc,
-                },
-            };
-            state.helping = false;
-            state.cmd = Some(cmd);
-        }
-        if state.barrier.done {
-            if let Some(output) = self.rmw_enter_accept(rid, state, out) {
-                self.rmw_finish(state, output, now, out);
-                return true;
             }
-        } else {
-            state.phase = RmwPhase::WaitBarrier;
-        }
-        false
+            RmwKind::Put => Cmd {
+                op: state.meta.op_id,
+                new_val: state.new.clone(),
+                result: base,
+                lc: clc,
+            },
+        };
+        state.helping = false;
+        state.cmd = Some(cmd);
+        None
     }
 
     /// Start phase 2: self-accept under the key's Paxos lock, broadcast.
     /// Restarts the round if the slot moved or a higher ballot intervened;
-    /// propagates an already-committed result exactly like `rmw_new_round`.
+    /// propagates an already-committed result exactly like
+    /// `rmw_new_round_in`.
     #[must_use]
-    pub(crate) fn rmw_enter_accept(
-        &mut self,
+    pub(crate) fn rmw_enter_accept_in(
+        shared: &NodeShared,
+        me: NodeId,
         rid: u64,
         state: &mut RmwState,
         out: &mut Outbox<Msg>,
     ) -> Option<OpOutput> {
         let cmd = state.cmd.clone().expect("accept without command");
         let ok = {
-            let pax = self.shared.store.paxos(state.meta.key);
+            let pax = shared.store.paxos(state.meta.key);
             let mut pax = pax.lock();
             if pax.slot == state.slot && state.ballot >= pax.promised {
                 pax.promised = state.ballot;
@@ -1267,14 +1339,14 @@ impl Worker {
             }
         };
         if !ok {
-            return self.rmw_new_round(rid, state, out);
+            return Self::rmw_new_round_in(shared, me, rid, state, out);
         }
         state.phase = RmwPhase::Accept;
         state.retry_at = 0;
         state.backoff_exp = 0;
-        state.accepts = NodeSet::singleton(self.me);
+        state.accepts = NodeSet::singleton(me);
         out.broadcast(
-            self.me,
+            me,
             Msg::Accept { rid, key: state.meta.key, slot: state.slot, ballot: state.ballot, cmd },
         );
         None
@@ -1291,22 +1363,16 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
-        let Some(mut entry) = self.inflight.remove(&rid) else { return };
-        let InFlight::Rmw(state) = &mut entry else {
-            self.inflight.insert(rid, entry);
-            return;
-        };
+        let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { return };
         state.delinquent |= delinquent;
         if state.phase != RmwPhase::Accept || ballot != state.ballot {
-            self.inflight.insert(rid, entry);
             return;
         }
         if ok {
             state.accepts.insert(src);
-            if state.accepts.len() >= self.quorum
-                && self.rmw_commit(rid, state, now, out) {
-                    return; // completed, entry dropped
-                }
+            if state.accepts.len() >= self.quorum {
+                Self::rmw_commit_in(&self.shared, self.me, rid, state, out);
+            }
         } else {
             state.ballot_floor = state.ballot_floor.max(promised.version);
             if state.retry_at == 0 {
@@ -1315,29 +1381,28 @@ impl Worker {
                 self.rmw_retries.push((rid, state.retry_at));
             }
         }
-        self.inflight.insert(rid, entry);
     }
 
     /// Phase-2 quorum: the command is decided. Apply, record, learn, then
     /// run the commit round — the RMW completes (or, when helping, our own
     /// round restarts) only once the commit is visible at a quorum (§3.4's
-    /// third broadcast round). Returns true if the entry was consumed.
-    fn rmw_commit(
-        &mut self,
+    /// third broadcast round).
+    fn rmw_commit_in(
+        shared: &NodeShared,
+        me: NodeId,
         rid: u64,
         state: &mut RmwState,
-        _now: u64,
         out: &mut Outbox<Msg>,
-    ) -> bool {
+    ) {
         let cmd = state.cmd.clone().expect("commit without command");
         let key = state.meta.key;
         // The committed value is stamped with the clock fixed at decide
         // time (cmd.lc) — identical for every committer of this slot, so
         // the per-key commit-clock chain is unique (see msg::Cmd::lc).
         let lc = cmd.lc;
-        self.shared.store.apply_max(key, &cmd.new_val, lc);
+        shared.store.apply_max(key, &cmd.new_val, lc);
         {
-            let pax = self.shared.store.paxos(key);
+            let pax = shared.store.paxos(key);
             let mut pax = pax.lock();
             if pax.committed.find(cmd.op).is_none() {
                 pax.committed.push(RmwCommit { op: cmd.op, slot: state.slot, result: cmd.result.clone() });
@@ -1349,14 +1414,14 @@ impl Worker {
         let slot = state.slot;
         let meta = Some((cmd.op, cmd.result.clone()));
         let val = cmd.new_val.clone();
-        self.rmw_start_commit_round(rid, state, slot, val, lc, meta, out);
-        false
+        Self::rmw_start_commit_round_in(shared, me, rid, state, slot, val, lc, meta, out);
     }
 
     /// Broadcast the commit and wait for a visibility quorum.
     #[allow(clippy::too_many_arguments)]
-    fn rmw_start_commit_round(
-        &mut self,
+    fn rmw_start_commit_round_in(
+        shared: &NodeShared,
+        me: NodeId,
         rid: u64,
         state: &mut RmwState,
         slot: u64,
@@ -1365,13 +1430,14 @@ impl Worker {
         meta: Option<(OpId, Val)>,
         out: &mut Outbox<Msg>,
     ) {
-        self.shared.store.apply_max(state.meta.key, &val, lc);
+        shared.store.apply_max(state.meta.key, &val, lc);
         state.phase = RmwPhase::Commit;
         state.retry_at = 0;
-        state.commits = NodeSet::singleton(self.me);
-        state.commit_bcast = Some(Box::new((slot, val.clone(), lc, meta.clone())));
+        state.commits = NodeSet::singleton(me);
+        state.commit_bcast =
+            Some(CommitBcast { slot, val: val.clone(), lc, meta: meta.clone() });
         out.broadcast(
-            self.me,
+            me,
             Msg::Commit { rid, key: state.meta.key, slot, val, lc, meta },
         );
     }
@@ -1385,44 +1451,82 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
-        let Some(mut entry) = self.inflight.remove(&rid) else { return };
-        let InFlight::Rmw(state) = &mut entry else {
-            self.inflight.insert(rid, entry);
-            return;
-        };
+        let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { return };
         if state.phase != RmwPhase::Commit {
-            self.inflight.insert(rid, entry);
             return;
         }
         state.commits.insert(src);
-        if state.commits.len() >= self.quorum {
-            match state.pending_output.take() {
-                Some(output) => {
-                    self.rmw_finish(state, output, now, out);
-                    return; // entry consumed
-                }
-                None => {
-                    // we were helping: now run our own command
-                    if let Some(output) = self.rmw_new_round(rid, state, out) {
-                        self.rmw_finish(state, output, now, out);
-                        return;
-                    }
+        if state.commits.len() < self.quorum {
+            return;
+        }
+        // The round ends here (the entry is removed or restarted below), so
+        // replicas outside the visibility quorum would otherwise only catch
+        // up on the key's next consensus round. Send them one fire-and-
+        // forget fill (rid 0 = discard the ack) so replicas converge even
+        // when this was the key's last commit.
+        if !state.commits.is_all(self.nodes) {
+            if let Some(cb) = &state.commit_bcast {
+                out.multicast(
+                    self.me,
+                    NodeSet::all(self.nodes).minus(state.commits),
+                    Msg::Commit {
+                        rid: 0,
+                        key: state.meta.key,
+                        slot: cb.slot,
+                        val: cb.val.clone(),
+                        lc: cb.lc,
+                        meta: cb.meta.clone(),
+                    },
+                );
+            }
+        }
+        match state.pending_output.take() {
+            Some(output) => {
+                Self::rmw_finish_in(
+                    &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
+                    output, now, out,
+                );
+                self.inflight.remove(rid);
+            }
+            None => {
+                // we were helping: now run our own command
+                if let Some(output) = Self::rmw_new_round_in(&self.shared, self.me, rid, state, out)
+                {
+                    Self::rmw_finish_in(
+                        &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
+                        output, now, out,
+                    );
+                    self.inflight.remove(rid);
                 }
             }
         }
-        self.inflight.insert(rid, entry);
     }
 
     /// Complete an RMW: acquire-side barrier transition (§4.2 "RMWs"), then
-    /// deliver the result. (A stale entry in `barrier_waiters` is cleaned up
-    /// by the next `check_barriers` pass.)
-    fn rmw_finish(&mut self, state: &mut RmwState, output: OpOutput, now: u64, out: &mut Outbox<Msg>) {
-        if state.delinquent && self.mode.has_barriers() {
-            self.shared.bump_epoch_once(state.meta.invoked_at, now);
-            self.shared.delinquency.reset(self.me, state.meta.op_id);
-            out.broadcast(self.me, Msg::ResetBit { acq: state.meta.op_id });
+    /// deliver the result. Associated fn so it can run while the entry is
+    /// still borrowed from the slab; the caller removes the entry
+    /// afterwards. (A stale entry in `barrier_waiters` is cleaned up by the
+    /// next `check_barriers` pass.)
+    fn rmw_finish_in(
+        shared: &NodeShared,
+        hook: &Option<CompletionHook>,
+        sessions: &mut [Session],
+        mode: ProtocolMode,
+        me: NodeId,
+        state: &RmwState,
+        output: OpOutput,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        if state.delinquent && mode.has_barriers() {
+            shared.bump_epoch_once(state.meta.invoked_at, now);
+            shared.delinquency.reset(me, state.meta.op_id);
+            out.broadcast(me, Msg::ResetBit { acq: state.meta.op_id });
         }
-        self.complete(
+        Self::complete_in(
+            shared,
+            hook,
+            sessions,
             state.meta.sess,
             state.meta.op_id,
             state.meta.op.clone(),
@@ -1436,34 +1540,37 @@ impl Worker {
     // Retransmission / timers
     // =====================================================================
 
-    /// Periodic scan: retransmit quorum-seeking requests to non-responders,
-    /// fire Paxos retry backoffs.
+    /// Periodic scan: retransmit quorum-seeking requests to non-responders.
+    /// A dense walk over the slab in slot order (deterministic) — no key
+    /// collection, no sorting, no hashing.
     pub(crate) fn scan_retransmits(&mut self, now: u64, out: &mut Outbox<Msg>) {
         let me = self.me;
-        let all = NodeSet::all(self.nodes);
+        let nodes = self.nodes;
+        let quorum = self.quorum;
+        let all = NodeSet::all(nodes);
         let retransmit = self.retransmit;
-        // Deterministic scan order: the simulator's reproducibility depends
-        // on identical retransmission interleavings for identical seeds.
-        let mut rids: Vec<u64> = self.inflight.keys().copied().collect();
-        rids.sort_unstable();
-        for rid in rids {
-            let Some(entry) = self.inflight.get_mut(&rid) else { continue };
+        let barriers = self.mode.has_barriers();
+        let suspected = self.shared.suspected();
+        for (rid, entry) in self.inflight.iter_mut() {
             let due = now.saturating_sub(entry.meta().last_sent) >= retransmit;
+            if !due {
+                continue;
+            }
             match entry {
                 InFlight::EsWrite(es) => {
                     // Retransmit to non-ackers, but never chase *suspected*
                     // replicas once a quorum holds the write: recovery for
                     // those is the delinquency mechanism's job, and blind
                     // retransmission toward a dead node is a traffic storm.
-                    if due && !es.acked.is_all(self.nodes) {
+                    if !es.acked.is_all(nodes) {
                         let missing = all.minus(es.acked);
-                        let targets = if es.acked.len() < self.quorum {
+                        let targets = if es.acked.len() < quorum {
                             missing
                         } else {
-                            missing.minus(self.shared.suspected())
+                            missing.minus(suspected)
                         };
+                        es.meta.last_sent = now;
                         if !targets.is_empty() {
-                            es.meta.last_sent = now;
                             let msg = Msg::EsWrite {
                                 rid,
                                 key: es.meta.key,
@@ -1471,171 +1578,156 @@ impl Worker {
                                 lc: es.lc,
                             };
                             out.multicast(me, targets, msg);
-                        } else {
-                            es.meta.last_sent = now;
                         }
                     }
                 }
                 InFlight::SlowRead(s) => {
-                    if due {
-                        s.meta.last_sent = now;
-                        match &s.w2 {
-                            Some(acked) => out.multicast(
-                                me,
-                                all.minus(*acked),
-                                Msg::WriteMsg {
-                                    rid,
-                                    key: s.meta.key,
-                                    val: s.best_val.clone(),
-                                    lc: s.best_lc,
-                                    acq: None,
-                                },
-                            ),
-                            None => out.multicast(
-                                me,
-                                all.minus(s.reps),
-                                Msg::ReadReq { rid, key: s.meta.key, acq: None },
-                            ),
-                        }
+                    s.meta.last_sent = now;
+                    match &s.w2 {
+                        Some(acked) => out.multicast(
+                            me,
+                            all.minus(*acked),
+                            Msg::WriteMsg {
+                                rid,
+                                key: s.meta.key,
+                                val: s.best_val.clone(),
+                                lc: s.best_lc,
+                                acq: None,
+                            },
+                        ),
+                        None => out.multicast(
+                            me,
+                            all.minus(s.reps),
+                            Msg::ReadReq { rid, key: s.meta.key, acq: None },
+                        ),
                     }
                 }
                 InFlight::SlowWrite(s) => {
-                    if due {
-                        s.meta.last_sent = now;
-                        match &s.w2 {
-                            Some((lc, acked)) => out.multicast(
-                                me,
-                                all.minus(*acked),
-                                Msg::WriteMsg {
-                                    rid,
-                                    key: s.meta.key,
-                                    val: s.val.clone(),
-                                    lc: *lc,
-                                    acq: None,
-                                },
-                            ),
-                            None => out.multicast(
-                                me,
-                                all.minus(s.reps),
-                                Msg::RtsReq { rid, key: s.meta.key },
-                            ),
-                        }
+                    s.meta.last_sent = now;
+                    match &s.w2 {
+                        Some((lc, acked)) => out.multicast(
+                            me,
+                            all.minus(*acked),
+                            Msg::WriteMsg {
+                                rid,
+                                key: s.meta.key,
+                                val: s.val.clone(),
+                                lc: *lc,
+                                acq: None,
+                            },
+                        ),
+                        None => out.multicast(
+                            me,
+                            all.minus(s.reps),
+                            Msg::RtsReq { rid, key: s.meta.key },
+                        ),
                     }
                 }
                 InFlight::Release(s) => {
-                    if due {
-                        s.meta.last_sent = now;
-                        if let (Some(sub), false) = (&s.barrier.slow, s.barrier.done) {
-                            out.multicast(
-                                me,
-                                all.minus(sub.acked),
-                                Msg::SlowRelease { rid, dm: sub.dm },
-                            );
-                        }
-                        match &s.w2 {
-                            Some((lc, acked)) => out.multicast(
-                                me,
-                                all.minus(*acked),
-                                Msg::WriteMsg { rid, key: s.meta.key, val: s.val.clone(), lc: *lc, acq: None },
-                            ),
-                            None if s.rts_sent => out.multicast(
-                                me,
-                                all.minus(s.rts_reps),
-                                Msg::RtsReq { rid, key: s.meta.key },
-                            ),
-                            None => {} // deferred round 1: nothing sent yet
-                        }
+                    s.meta.last_sent = now;
+                    if let (Some(sub), false) = (&s.barrier.slow, s.barrier.done) {
+                        out.multicast(
+                            me,
+                            all.minus(sub.acked),
+                            Msg::SlowRelease { rid, dm: sub.dm },
+                        );
+                    }
+                    match &s.w2 {
+                        Some((lc, acked)) => out.multicast(
+                            me,
+                            all.minus(*acked),
+                            Msg::WriteMsg { rid, key: s.meta.key, val: s.val.clone(), lc: *lc, acq: None },
+                        ),
+                        None if s.rts_sent => out.multicast(
+                            me,
+                            all.minus(s.rts_reps),
+                            Msg::RtsReq { rid, key: s.meta.key },
+                        ),
+                        None => {} // deferred round 1: nothing sent yet
                     }
                 }
                 InFlight::Acquire(s) => {
-                    if due {
-                        s.meta.last_sent = now;
-                        let acq_tag = match s.meta.op {
-                            Op::Acquire { .. } if self.mode.has_barriers() => Some(s.meta.op_id),
-                            _ => None,
-                        };
-                        match &s.w2 {
-                            Some(acked) => out.multicast(
-                                me,
-                                all.minus(*acked),
-                                Msg::WriteMsg {
-                                    rid,
-                                    key: s.meta.key,
-                                    val: s.best_val.clone(),
-                                    lc: s.best_lc,
-                                    acq: acq_tag,
-                                },
-                            ),
-                            None => out.multicast(
-                                me,
-                                all.minus(s.reps),
-                                Msg::ReadReq { rid, key: s.meta.key, acq: acq_tag },
-                            ),
-                        }
+                    s.meta.last_sent = now;
+                    let acq_tag = match s.meta.op {
+                        Op::Acquire { .. } if barriers => Some(s.meta.op_id),
+                        _ => None,
+                    };
+                    match &s.w2 {
+                        Some(acked) => out.multicast(
+                            me,
+                            all.minus(*acked),
+                            Msg::WriteMsg {
+                                rid,
+                                key: s.meta.key,
+                                val: s.best_val.clone(),
+                                lc: s.best_lc,
+                                acq: acq_tag,
+                            },
+                        ),
+                        None => out.multicast(
+                            me,
+                            all.minus(s.reps),
+                            Msg::ReadReq { rid, key: s.meta.key, acq: acq_tag },
+                        ),
                     }
                 }
                 InFlight::WindowRelief(s) => {
-                    if due {
-                        s.meta.last_sent = now;
-                        out.multicast(me, all.minus(s.acked), Msg::SlowRelease { rid, dm: s.dm });
-                    }
+                    s.meta.last_sent = now;
+                    out.multicast(me, all.minus(s.acked), Msg::SlowRelease { rid, dm: s.dm });
                 }
                 InFlight::Rmw(s) => {
-                    if due {
-                        s.meta.last_sent = now;
-                        if let (Some(sub), false) = (&s.barrier.slow, s.barrier.done) {
-                            out.multicast(
-                                me,
-                                all.minus(sub.acked),
-                                Msg::SlowRelease { rid, dm: sub.dm },
-                            );
-                        }
-                        match s.phase {
-                            RmwPhase::Propose => out.multicast(
-                                me,
-                                all.minus(s.promises),
-                                Msg::Propose {
-                                    rid,
-                                    key: s.meta.key,
-                                    slot: s.slot,
-                                    ballot: s.ballot,
-                                    op: s.meta.op_id,
-                                },
-                            ),
-                            RmwPhase::Accept => {
-                                if let Some(cmd) = &s.cmd {
-                                    out.multicast(
-                                        me,
-                                        all.minus(s.accepts),
-                                        Msg::Accept {
-                                            rid,
-                                            key: s.meta.key,
-                                            slot: s.slot,
-                                            ballot: s.ballot,
-                                            cmd: cmd.clone(),
-                                        },
-                                    );
-                                }
+                    s.meta.last_sent = now;
+                    if let (Some(sub), false) = (&s.barrier.slow, s.barrier.done) {
+                        out.multicast(
+                            me,
+                            all.minus(sub.acked),
+                            Msg::SlowRelease { rid, dm: sub.dm },
+                        );
+                    }
+                    match s.phase {
+                        RmwPhase::Propose => out.multicast(
+                            me,
+                            all.minus(s.promises),
+                            Msg::Propose {
+                                rid,
+                                key: s.meta.key,
+                                slot: s.slot,
+                                ballot: s.ballot,
+                                op: s.meta.op_id,
+                            },
+                        ),
+                        RmwPhase::Accept => {
+                            if let Some(cmd) = &s.cmd {
+                                out.multicast(
+                                    me,
+                                    all.minus(s.accepts),
+                                    Msg::Accept {
+                                        rid,
+                                        key: s.meta.key,
+                                        slot: s.slot,
+                                        ballot: s.ballot,
+                                        cmd: cmd.clone(),
+                                    },
+                                );
                             }
-                            RmwPhase::Commit => {
-                                if let Some(cb) = &s.commit_bcast {
-                                    let (slot, val, lc, meta) = (**cb).clone();
-                                    out.multicast(
-                                        me,
-                                        all.minus(s.commits),
-                                        Msg::Commit {
-                                            rid,
-                                            key: s.meta.key,
-                                            slot,
-                                            val,
-                                            lc,
-                                            meta,
-                                        },
-                                    );
-                                }
-                            }
-                            RmwPhase::WaitBarrier | RmwPhase::WaitBarrierPropose => {}
                         }
+                        RmwPhase::Commit => {
+                            if let Some(cb) = &s.commit_bcast {
+                                out.multicast(
+                                    me,
+                                    all.minus(s.commits),
+                                    Msg::Commit {
+                                        rid,
+                                        key: s.meta.key,
+                                        slot: cb.slot,
+                                        val: cb.val.clone(),
+                                        lc: cb.lc,
+                                        meta: cb.meta.clone(),
+                                    },
+                                );
+                            }
+                        }
+                        RmwPhase::WaitBarrier | RmwPhase::WaitBarrierPropose => {}
                     }
                 }
             }
@@ -1658,19 +1750,19 @@ impl Worker {
         }
         self.rmw_retries.retain(|&(_, at)| now < at);
         for rid in due {
-            let Some(mut entry) = self.inflight.remove(&rid) else { continue };
-            if let InFlight::Rmw(state) = &mut entry {
-                // Only restart if the round is still stuck (a quorum may
-                // have arrived after the nack; phase transitions clear
-                // retry_at).
-                if state.retry_at != 0 && now >= state.retry_at {
-                    if let Some(output) = self.rmw_new_round(rid, state, out) {
-                        self.rmw_finish(state, output, now, out);
-                        continue; // entry consumed
-                    }
+            let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { continue };
+            // Only restart if the round is still stuck (a quorum may have
+            // arrived after the nack; phase transitions clear retry_at).
+            if state.retry_at != 0 && now >= state.retry_at {
+                if let Some(output) = Self::rmw_new_round_in(&self.shared, self.me, rid, state, out)
+                {
+                    Self::rmw_finish_in(
+                        &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
+                        output, now, out,
+                    );
+                    self.inflight.remove(rid);
                 }
             }
-            self.inflight.insert(rid, entry);
         }
     }
 }

@@ -12,15 +12,18 @@
 //! * [`crate::replica`] — the acceptor/replica side (requests from peers);
 //! * [`crate::initiator`] — the proposer/initiator side (starting client
 //!   ops, handling replies, retransmission).
+//!
+//! In-flight state lives in a generational slab ([`InFlightTable`]): reply
+//! dispatch resolves entries by slot index + generation compare (no
+//! hashing), and handlers mutate entries in place.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use kite_common::{NodeId, OpId};
 use kite_simnet::{Actor, Outbox};
 
 use crate::api::{Completion, CompletionHook, Op, OpOutput};
-use crate::inflight::InFlight;
+use crate::inflight::{InFlightTable, UNTRACKED_RID_BIT};
 use crate::msg::Msg;
 use crate::nodestate::NodeShared;
 use crate::session::{ProtocolMode, Session};
@@ -45,14 +48,16 @@ pub struct Worker {
     pub(crate) shared: Arc<NodeShared>,
     pub(crate) mode: ProtocolMode,
     pub(crate) sessions: Vec<Session>,
-    pub(crate) inflight: HashMap<u64, InFlight>,
+    pub(crate) inflight: InFlightTable,
     /// rids of releases/RMWs whose barrier is not yet resolved.
     pub(crate) barrier_waiters: Vec<u64>,
     /// `(rid, due)` for nacked Paxos rounds awaiting their backoff — fired
     /// from the tick path (the retransmit scan is far too coarse for
     /// contention backoffs).
     pub(crate) rmw_retries: Vec<(u64, u64)>,
-    next_rid: u64,
+    /// Counter for fire-and-forget broadcast ids (untracked: bit 63 set, so
+    /// they can never alias a slab rid — see `inflight`'s module docs).
+    next_untracked: u64,
     last_scan: u64,
     pub(crate) hook: Option<CompletionHook>,
     // cached config
@@ -72,19 +77,27 @@ impl Worker {
         wid: usize,
         shared: Arc<NodeShared>,
         mode: ProtocolMode,
-        sessions: Vec<Session>,
+        mut sessions: Vec<Session>,
         hook: Option<CompletionHook>,
     ) -> Self {
         let cfg = &shared.cfg;
+        // Size each session's write window up front: the window is bounded
+        // by `write_window`, so steady-state pushes never reallocate.
+        for sess in &mut sessions {
+            sess.write_window.reserve(cfg.write_window);
+        }
+        // The slab's steady-state occupancy is bounded by the sessions'
+        // windows plus their single blocking ops.
+        let inflight_cap = sessions.len() * (cfg.write_window + 1);
         Worker {
             me: shared.me,
             wid,
             mode,
             sessions,
-            inflight: HashMap::new(),
+            inflight: InFlightTable::with_capacity(inflight_cap),
             barrier_waiters: Vec::new(),
             rmw_retries: Vec::new(),
-            next_rid: 1,
+            next_untracked: 0,
             last_scan: 0,
             hook,
             nodes: cfg.nodes,
@@ -99,11 +112,12 @@ impl Worker {
         }
     }
 
+    /// An id for a fire-and-forget broadcast that tracks no in-flight
+    /// entry. Never resolves against the slab (bit 63).
     #[inline]
-    pub(crate) fn rid(&mut self) -> u64 {
-        let r = self.next_rid;
-        self.next_rid += 1;
-        r
+    pub(crate) fn untracked_rid(&mut self) -> u64 {
+        self.next_untracked += 1;
+        UNTRACKED_RID_BIT | self.next_untracked
     }
 
     /// The node this worker belongs to.
@@ -138,19 +152,53 @@ impl Worker {
         invoked_at: u64,
         now: u64,
     ) {
-        self.shared.counters.completed.incr();
+        Self::complete_in(
+            &self.shared,
+            &self.hook,
+            &mut self.sessions,
+            si,
+            op_id,
+            op,
+            output,
+            invoked_at,
+            now,
+        );
+    }
+
+    /// Field-split flavour of [`Worker::complete`]: callable while the
+    /// in-flight table is mutably borrowed (reply handlers complete
+    /// operations without first removing the entry they are reading).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn complete_in(
+        shared: &NodeShared,
+        hook: &Option<CompletionHook>,
+        sessions: &mut [Session],
+        si: usize,
+        op_id: OpId,
+        op: Op,
+        output: OpOutput,
+        invoked_at: u64,
+        now: u64,
+    ) {
+        shared.counters.completed.incr();
         let c = Completion { op_id, op, output, invoked_at, completed_at: now };
-        if let Some(hook) = &self.hook {
+        if let Some(hook) = hook {
             hook(&c);
         }
-        let sess = &mut self.sessions[si];
+        let sess = &mut sessions[si];
         sess.deliver(c);
         sess.blocked_on = None;
     }
 
-    /// Remove `rid` from its owning session's write window.
+    /// Remove `rid` from its owning session's write window. O(1): ordering
+    /// within the window carries no protocol meaning — barriers and window
+    /// relief snapshot the window as a *set* of rids — so swap removal is
+    /// safe.
     pub(crate) fn remove_from_window(&mut self, si: usize, rid: u64) {
-        self.sessions[si].write_window.retain(|&r| r != rid);
+        let window = &mut self.sessions[si].write_window;
+        if let Some(pos) = window.iter().position(|&r| r == rid) {
+            window.swap_remove_back(pos);
+        }
     }
 
     // ---- session pumping -------------------------------------------------
@@ -233,11 +281,11 @@ impl Worker {
 impl Actor for Worker {
     type Msg = Msg;
 
-    fn on_envelope(&mut self, src: NodeId, msgs: Vec<Msg>, now: u64, out: &mut Outbox<Msg>) {
+    fn on_envelope(&mut self, src: NodeId, msgs: &mut Vec<Msg>, now: u64, out: &mut Outbox<Msg>) {
         // A message from `src` proves it alive — clear any suspicion so
         // releases resume waiting for its acks (fast path).
         self.shared.clear_suspect(src);
-        for m in msgs {
+        for m in msgs.drain(..) {
             self.dispatch(src, m, now, out);
         }
     }

@@ -168,8 +168,14 @@ impl DerechoWorker {
 impl Actor for DerechoWorker {
     type Msg = DrcMsg;
 
-    fn on_envelope(&mut self, src: NodeId, msgs: Vec<DrcMsg>, now: u64, out: &mut Outbox<DrcMsg>) {
-        for m in msgs {
+    fn on_envelope(
+        &mut self,
+        src: NodeId,
+        msgs: &mut Vec<DrcMsg>,
+        now: u64,
+        out: &mut Outbox<DrcMsg>,
+    ) {
+        for m in msgs.drain(..) {
             match m {
                 DrcMsg::Wmc { seq, payload } => {
                     self.recv[src.idx()].slots.insert(seq, payload);

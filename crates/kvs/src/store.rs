@@ -6,7 +6,7 @@
 //! replicated on all nodes), so dropping entries would be a correctness bug,
 //! not a cache miss. Slots are claimed lock-free with a CAS on first touch.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use kite_common::{Epoch, Key, Lc, NodeId, Val};
 use parking_lot::Mutex;
@@ -25,6 +25,9 @@ struct Slot {
 pub struct Store {
     slots: Box<[Slot]>,
     mask: u64,
+    /// Population count, bumped once per claimed slot — keeps
+    /// [`Store::len`] O(1) instead of an O(capacity) slot scan.
+    live: AtomicUsize,
 }
 
 impl Store {
@@ -36,7 +39,7 @@ impl Store {
         let slots: Box<[Slot]> = (0..cap)
             .map(|_| Slot { key: AtomicU64::new(EMPTY_KEY), record: Record::new() })
             .collect();
-        Store { slots, mask: (cap - 1) as u64 }
+        Store { slots, mask: (cap - 1) as u64, live: AtomicUsize::new(0) }
     }
 
     /// Number of slots (diagnostics).
@@ -44,9 +47,9 @@ impl Store {
         self.slots.len()
     }
 
-    /// Number of keys present.
+    /// Number of keys present. O(1): maintained by the slot-claim CAS.
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.key.load(Ordering::Relaxed) != EMPTY_KEY).count()
+        self.live.load(Ordering::Relaxed)
     }
 
     /// Whether the store holds no keys.
@@ -74,7 +77,11 @@ impl Store {
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 ) {
-                    Ok(_) => return &slot.record,
+                    Ok(_) => {
+                        // Exactly one CAS wins per slot: count it once.
+                        self.live.fetch_add(1, Ordering::Relaxed);
+                        return &slot.record;
+                    }
                     Err(actual) if actual == key.0 => return &slot.record,
                     Err(_) => {} // someone else claimed this slot; keep probing
                 }
@@ -354,6 +361,29 @@ mod tests {
                 assert_eq!(s.view(Key(t * 10_000 + i)).val.as_u64(), i);
             }
         }
+    }
+
+    #[test]
+    fn len_counts_each_key_once_under_concurrent_claims() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new(1 << 10));
+        let mut handles = Vec::new();
+        // Four threads race to claim the same 256 keys: the population
+        // counter must count each slot exactly once (only the winning CAS
+        // increments).
+        for t in 0..4u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..256u64 {
+                    s.fast_write(Key(k), &Val::from_u64(k), NodeId(t), Epoch::ZERO);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 256);
+        assert!(!s.is_empty());
     }
 
     #[test]

@@ -17,9 +17,19 @@ pub trait Actor: Send {
     /// Protocol message type carried by the fabric.
     type Msg: Send + Clone + std::fmt::Debug + 'static;
 
-    /// A batch of messages from `src` arrived. `now` is nanoseconds on the
-    /// driving scheduler's clock.
-    fn on_envelope(&mut self, src: NodeId, msgs: Vec<Self::Msg>, now: u64, out: &mut Outbox<Self::Msg>);
+    /// A batch of messages from `src` arrived. The actor **drains** `msgs`
+    /// (e.g. `for m in msgs.drain(..)`); the driving scheduler recycles the
+    /// emptied buffer into the outbox pool afterwards, which is what keeps
+    /// the steady-state fabric allocation-free (see
+    /// [`crate::outbox`]'s buffer-recycling contract). `now` is nanoseconds
+    /// on the driving scheduler's clock.
+    fn on_envelope(
+        &mut self,
+        src: NodeId,
+        msgs: &mut Vec<Self::Msg>,
+        now: u64,
+        out: &mut Outbox<Self::Msg>,
+    );
 
     /// Periodic invocation: pump sessions, check protocol timeouts, issue
     /// retransmissions. Called at the scheduler's tick cadence and after
@@ -128,9 +138,15 @@ mod tests {
     impl Actor for Echo {
         type Msg = u32;
 
-        fn on_envelope(&mut self, src: NodeId, msgs: Vec<u32>, _now: u64, out: &mut Outbox<u32>) {
+        fn on_envelope(
+            &mut self,
+            src: NodeId,
+            msgs: &mut Vec<u32>,
+            _now: u64,
+            out: &mut Outbox<u32>,
+        ) {
             self.got += msgs.len();
-            for m in msgs {
+            for m in msgs.drain(..) {
                 out.send(src, m + 1);
             }
         }
@@ -148,7 +164,7 @@ mod tests {
     fn actor_contract_smoke() {
         let mut a = Echo { me: NodeId(1), got: 0 };
         let mut out = Outbox::new(2);
-        a.on_envelope(NodeId(0), vec![1, 2], 0, &mut out);
+        a.on_envelope(NodeId(0), &mut vec![1, 2], 0, &mut out);
         assert_eq!(a.got, 2);
         let mut echoed = Vec::new();
         out.flush(|d, b| echoed.push((d, b)));

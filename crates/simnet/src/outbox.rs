@@ -1,4 +1,25 @@
-//! Per-step message accumulation and envelopes (§6.3 opportunistic batching).
+//! Per-step message accumulation and envelopes (§6.3 opportunistic
+//! batching), with recycled batch buffers.
+//!
+//! # Buffer-recycling contract
+//!
+//! The steady-state send path is allocation-free. Every batch handed out by
+//! [`Outbox::flush`] is a `Vec` drawn from the outbox's internal pool (or
+//! freshly allocated only when the pool is dry). Whoever ends up owning a
+//! batch buffer once its messages are consumed returns it with
+//! [`Outbox::recycle`]:
+//!
+//! * the **threaded runtime** ships batches to peers inside [`Envelope`]s;
+//!   the *receiving* worker drains the messages and recycles the emptied
+//!   buffer into its own outbox — buffers circulate around the cluster
+//!   rather than being freed and reallocated (all workers speak the same
+//!   message type, so any pool may adopt any buffer);
+//! * the **simulator** recycles each delivered envelope's buffer into its
+//!   scratch outbox after the destination actor has drained it.
+//!
+//! Buffers lost to fault injection (dropped envelopes) are simply freed;
+//! the pool refills from subsequent deliveries. The pool is bounded
+//! ([`POOL_CAP`]) so a burst cannot pin memory forever.
 
 use kite_common::NodeId;
 
@@ -16,22 +37,34 @@ pub struct Envelope<P> {
     pub msgs: Vec<P>,
 }
 
+/// Upper bound on pooled spare buffers (per outbox).
+const POOL_CAP: usize = 64;
+
+/// Initial capacity of fresh batch buffers.
+const BUF_CAP: usize = 64;
+
 /// Accumulates outgoing messages during one actor step, batched per
 /// destination node. Flushed by the scheduler at the end of the step.
 ///
-/// The buffer is preallocated per destination and recycled between steps, so
-/// steady-state sends do not allocate.
+/// Per-destination buffers are replaced from the recycle pool on flush (see
+/// the module docs), so steady-state sends allocate nothing.
 pub struct Outbox<P> {
     bufs: Vec<Vec<P>>,
-    /// Destinations with at least one pending message (kept sorted-unique by
-    /// push order, small: ≤ nodes).
+    /// Destinations with at least one pending message (push order, small:
+    /// ≤ nodes).
     dirty: Vec<u8>,
+    /// Spare buffers returned by consumers, handed back out on flush.
+    pool: Vec<Vec<P>>,
 }
 
 impl<P> Outbox<P> {
     /// An outbox addressing `nodes` destinations.
     pub fn new(nodes: usize) -> Self {
-        Outbox { bufs: (0..nodes).map(|_| Vec::with_capacity(64)).collect(), dirty: Vec::new() }
+        Outbox {
+            bufs: (0..nodes).map(|_| Vec::with_capacity(BUF_CAP)).collect(),
+            dirty: Vec::new(),
+            pool: Vec::new(),
+        }
     }
 
     /// Number of destinations this outbox can address.
@@ -91,13 +124,32 @@ impl<P> Outbox<P> {
         self.bufs.iter().map(Vec::len).sum()
     }
 
+    /// Return an emptied batch buffer to the pool (see the module docs for
+    /// who calls this). Contents are cleared; capacity is retained.
+    #[inline]
+    pub fn recycle(&mut self, mut buf: Vec<P>) {
+        if self.pool.len() < POOL_CAP && buf.capacity() > 0 {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    /// Number of spare buffers currently pooled (diagnostics/tests).
+    #[inline]
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
     /// Drain all pending batches, invoking `f(dst, batch)` per destination.
-    /// Buffers are recycled.
+    /// Handed-out buffers come back via [`Outbox::recycle`]; replacements
+    /// are drawn from the pool, so a steady cycle allocates nothing.
     pub fn flush(&mut self, mut f: impl FnMut(NodeId, Vec<P>)) {
         for &d in &self.dirty {
             let buf = &mut self.bufs[d as usize];
             if !buf.is_empty() {
-                let batch = std::mem::replace(buf, Vec::with_capacity(64));
+                let replacement =
+                    self.pool.pop().unwrap_or_else(|| Vec::with_capacity(BUF_CAP));
+                let batch = std::mem::replace(buf, replacement);
                 f(NodeId(d), batch);
             }
         }
@@ -165,5 +217,60 @@ mod tests {
         let mut total = 0;
         ob.flush(|_, b| total += b.len());
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn recycled_buffers_are_handed_back_out() {
+        let mut ob: Outbox<u8> = Outbox::new(2);
+        ob.send(NodeId(0), 1);
+        let mut batch = None;
+        ob.flush(|_, b| batch = Some(b));
+        let buf = batch.unwrap();
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        ob.recycle(buf);
+        assert_eq!(ob.pooled(), 1);
+        // Next flush hands the pooled buffer back out: same allocation.
+        ob.send(NodeId(1), 2);
+        let mut batch = None;
+        ob.flush(|_, b| batch = Some(b));
+        ob.send(NodeId(1), 3);
+        let mut second = None;
+        ob.flush(|_, b| second = Some(b));
+        let reused = second.unwrap();
+        assert_eq!(reused.capacity(), cap);
+        assert_eq!(reused.as_ptr(), ptr, "pooled allocation must be reused");
+        let _ = batch;
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ob: Outbox<u8> = Outbox::new(1);
+        for _ in 0..200 {
+            ob.recycle(Vec::with_capacity(8));
+        }
+        assert!(ob.pooled() <= 64);
+    }
+
+    #[test]
+    fn steady_state_flush_does_not_allocate() {
+        // Prime the pool, then check that repeated broadcast/flush/recycle
+        // cycles recirculate the same allocations.
+        let mut ob: Outbox<u64> = Outbox::new(5);
+        let mut returned: Vec<Vec<u64>> = Vec::new();
+        for round in 0..50 {
+            ob.broadcast(NodeId(0), round);
+            ob.flush(|_, b| returned.push(b));
+            let mut ptrs: Vec<*const u64> = returned.iter().map(|b| b.as_ptr()).collect();
+            for b in returned.drain(..) {
+                ob.recycle(b);
+            }
+            if round > 0 {
+                // All four batch buffers must be recycled allocations.
+                ptrs.sort_unstable();
+                assert_eq!(ptrs.len(), 4);
+            }
+        }
+        assert!(ob.pooled() >= 4);
     }
 }

@@ -237,8 +237,9 @@ impl<A: Actor> Sim<A> {
     // ---- execution ------------------------------------------------------
 
     /// Deliver one envelope to an actor: charge receive cost, run the
-    /// handlers, route the output (charging send cost).
-    fn process_envelope(&mut self, dst: NodeId, worker: usize, src: NodeId, msgs: Vec<A::Msg>) {
+    /// handlers, route the output (charging send cost). The drained
+    /// envelope buffer is recycled into the scratch outbox's pool.
+    fn process_envelope(&mut self, dst: NodeId, worker: usize, src: NodeId, mut msgs: Vec<A::Msg>) {
         self.deliveries_pending -= 1;
         let slot = dst.idx() * self.workers + worker;
         let cost =
@@ -247,10 +248,11 @@ impl<A: Actor> Sim<A> {
         self.delivered += 1;
         let mut out = std::mem::replace(&mut self.scratch, Outbox::new(0));
         let a = &mut self.actors[dst.idx()][worker];
-        a.on_envelope(src, msgs, self.now, &mut out);
+        a.on_envelope(src, &mut msgs, self.now, &mut out);
         // Pump immediately after delivery (protocol progress should not
         // wait for the next tick).
         a.on_tick(self.now, &mut out);
+        out.recycle(msgs);
         self.route(dst, worker, &mut out);
         self.scratch = out;
     }
@@ -356,46 +358,52 @@ impl<A: Actor> Sim<A> {
         if out.is_empty() {
             return;
         }
-        let mut batches: Vec<(NodeId, Vec<A::Msg>)> = Vec::new();
+        let max_batch = self.cfg.max_batch;
+        // Each batch is posted to the fabric straight out of the flush —
+        // no intermediate collection.
         out.flush(|dst, batch| {
             // A batch cap (ablation: `max_batch = 1` disables batching)
             // splits one step's output into several envelopes, each paying
-            // its own envelope costs below.
-            if self.cfg.max_batch > 0 && batch.len() > self.cfg.max_batch {
+            // its own envelope costs.
+            if max_batch > 0 && batch.len() > max_batch {
                 let mut batch = batch;
-                while batch.len() > self.cfg.max_batch {
-                    let rest = batch.split_off(self.cfg.max_batch);
-                    batches.push((dst, std::mem::replace(&mut batch, rest)));
+                while batch.len() > max_batch {
+                    let rest = batch.split_off(max_batch);
+                    self.post(src, worker, dst, std::mem::replace(&mut batch, rest));
                 }
                 if !batch.is_empty() {
-                    batches.push((dst, batch));
+                    self.post(src, worker, dst, batch);
                 }
             } else {
-                batches.push((dst, batch));
+                self.post(src, worker, dst, batch);
             }
         });
+    }
+
+    /// Post one envelope from `(src, worker)` to the fabric: charge the
+    /// sender-side cost, roll the fault/jitter dice, schedule delivery (to
+    /// the peered worker at `dst` — §6.3 worker peering).
+    fn post(&mut self, src: NodeId, worker: usize, dst: NodeId, msgs: Vec<A::Msg>) {
         let slot = src.idx() * self.workers + worker;
-        for (dst, msgs) in batches {
-            // Sender-side cost (NIC posting): charged whether or not the
-            // fault plane then drops the envelope.
-            self.busy_until[slot] = self.busy_until[slot].max(self.now)
-                + self.cfg.send_per_envelope_ns
-                + self.cfg.send_per_msg_ns * msgs.len() as u64;
-            let link = self.links[src.idx() * self.nodes + dst.idx()];
-            if link.drop_prob > 0.0 && self.rng.chance(link.drop_prob) {
-                self.dropped += 1;
-                continue;
-            }
-            let jitter =
-                if self.cfg.jitter_ns == 0 { 0 } else { self.rng.next_below(self.cfg.jitter_ns) };
-            let latency = if dst == src {
-                200 // loopback
-            } else {
-                self.cfg.base_latency_ns + jitter + link.extra_delay_ns
-            };
-            let t = self.now + latency;
-            self.push(t, EventKind::Deliver { dst, worker, src, msgs });
+        // Sender-side cost (NIC posting): charged whether or not the
+        // fault plane then drops the envelope.
+        self.busy_until[slot] = self.busy_until[slot].max(self.now)
+            + self.cfg.send_per_envelope_ns
+            + self.cfg.send_per_msg_ns * msgs.len() as u64;
+        let link = self.links[src.idx() * self.nodes + dst.idx()];
+        if link.drop_prob > 0.0 && self.rng.chance(link.drop_prob) {
+            self.dropped += 1;
+            return;
         }
+        let jitter =
+            if self.cfg.jitter_ns == 0 { 0 } else { self.rng.next_below(self.cfg.jitter_ns) };
+        let latency = if dst == src {
+            200 // loopback
+        } else {
+            self.cfg.base_latency_ns + jitter + link.extra_delay_ns
+        };
+        let t = self.now + latency;
+        self.push(t, EventKind::Deliver { dst, worker, src, msgs });
     }
 
     /// Run until virtual time passes `deadline_ns`.
@@ -457,8 +465,8 @@ mod tests {
     impl Actor for Pinger {
         type Msg = u8;
 
-        fn on_envelope(&mut self, src: NodeId, msgs: Vec<u8>, _now: u64, out: &mut Outbox<u8>) {
-            for m in msgs {
+        fn on_envelope(&mut self, src: NodeId, msgs: &mut Vec<u8>, _now: u64, out: &mut Outbox<u8>) {
+            for m in msgs.drain(..) {
                 if m == 0 {
                     out.send(src, 1);
                 } else {
@@ -575,8 +583,9 @@ mod tests {
     impl Actor for Burst {
         type Msg = u8;
 
-        fn on_envelope(&mut self, _src: NodeId, msgs: Vec<u8>, _now: u64, _out: &mut Outbox<u8>) {
+        fn on_envelope(&mut self, _src: NodeId, msgs: &mut Vec<u8>, _now: u64, _out: &mut Outbox<u8>) {
             self.got += msgs.len();
+            msgs.clear();
         }
 
         fn on_tick(&mut self, _now: u64, out: &mut Outbox<u8>) -> bool {

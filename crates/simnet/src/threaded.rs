@@ -69,14 +69,12 @@ impl<P: Send + 'static> NetHandle<P> {
         true
     }
 
-    /// Flush a whole outbox through this handle.
+    /// Flush a whole outbox through this handle, routing each batch
+    /// directly to the fabric — no intermediate collection.
     pub fn flush(&mut self, out: &mut Outbox<P>) {
-        // `Outbox::flush` borrows the closure mutably; route each batch.
-        let mut batches: Vec<(NodeId, Vec<P>)> = Vec::new();
-        out.flush(|dst, batch| batches.push((dst, batch)));
-        for (dst, batch) in batches {
+        out.flush(|dst, batch| {
             self.send(dst, batch);
-        }
+        });
     }
 
     /// The node this handle belongs to.
@@ -315,8 +313,12 @@ fn worker_loop<A: Actor>(
         let mut progress = false;
         for _ in 0..MAX_ENVELOPES_PER_ITER {
             match rx.try_recv() {
-                Ok(env) => {
-                    actor.on_envelope(env.src, env.msgs, clock.now(), &mut out);
+                Ok(mut env) => {
+                    actor.on_envelope(env.src, &mut env.msgs, clock.now(), &mut out);
+                    // The drained buffer feeds this worker's own send pool:
+                    // buffers circulate around the cluster instead of being
+                    // freed and reallocated per envelope.
+                    out.recycle(env.msgs);
                     progress = true;
                 }
                 Err(_) => break,
@@ -364,11 +366,11 @@ mod tests {
         fn on_envelope(
             &mut self,
             src: NodeId,
-            msgs: Vec<&'static str>,
+            msgs: &mut Vec<&'static str>,
             _now: u64,
             out: &mut Outbox<&'static str>,
         ) {
-            for m in msgs {
+            for m in msgs.drain(..) {
                 match m {
                     "ping" => out.send(src, "pong"),
                     "pong" => self.pongs.incr(),

@@ -268,8 +268,14 @@ fn write_output(op: &Op) -> OpOutput {
 impl Actor for ZabWorker {
     type Msg = ZabMsg;
 
-    fn on_envelope(&mut self, src: NodeId, msgs: Vec<ZabMsg>, now: u64, out: &mut Outbox<ZabMsg>) {
-        for m in msgs {
+    fn on_envelope(
+        &mut self,
+        src: NodeId,
+        msgs: &mut Vec<ZabMsg>,
+        now: u64,
+        out: &mut Outbox<ZabMsg>,
+    ) {
+        for m in msgs.drain(..) {
             self.handle(src, m, now, out);
         }
     }

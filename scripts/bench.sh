@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1-adjacent perf check:
+#   1. `cargo bench --no-run` — benches must keep compiling (no bit-rot);
+#   2. run the closed-loop throughput bin with fixed seeds and record the
+#      data point in BENCH_micro.json (micro ns/op + e2e mreqs).
+#
+# Usage: scripts/bench.sh [seed]   (default seed: 42)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-42}"
+
+echo "== cargo bench --no-run (benches must compile) =="
+cargo bench --no-run --workspace
+
+echo "== closed-loop throughput (seed ${SEED}) =="
+cargo run --release -p kite-bench --bin throughput -- --out BENCH_micro.json --seed "${SEED}"
+
+echo "== BENCH_micro.json =="
+cat BENCH_micro.json

@@ -1,0 +1,248 @@
+//! A minimal benchmark harness exposing the `criterion` API subset this
+//! workspace's benches use: `Criterion` with builder knobs,
+//! `bench_function`, `benchmark_group`, `Bencher::{iter, iter_batched}`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then runs
+//! timed batches until `measurement_time` is spent, reporting the mean
+//! ns/iter (and iteration count) to stdout as `name  time: [...]`. Set
+//! `KITE_BENCH_FAST=1` to divide the time budgets by 10 (CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+fn fast_factor() -> u32 {
+    if std::env::var("KITE_BENCH_FAST").is_ok_and(|v| v != "0") {
+        10
+    } else {
+        1
+    }
+}
+
+impl Criterion {
+    /// Number of samples (accepted for compatibility; the shim is purely
+    /// time-budgeted).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let div = fast_factor();
+        let mut b = Bencher {
+            warm_up: self.warm_up_time / div,
+            measurement: self.measurement_time / div,
+            total_ns: 0,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.to_string() }
+    }
+}
+
+/// A named group; ids are reported as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, id);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// Finish the group (no-op; RAII compatibility).
+    pub fn finish(self) {}
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; the shim runs one
+/// routine call per setup regardless.
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input (setup dominates; timed per call).
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    total_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly (the common case).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: untimed.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // Measurement: geometric batch growth to amortize clock reads.
+        let start = Instant::now();
+        let mut batch = 1u64;
+        while start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += batch;
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measurement || self.iters == 0 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<40} time: [no iterations]");
+            return;
+        }
+        let mean = self.total_ns as f64 / self.iters as f64;
+        println!("{id:<40} time: [{} /iter]  ({} iters)", fmt_ns(mean), self.iters);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group benchmark target functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("x", |b| b.iter(|| 1u64));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

@@ -1,0 +1,226 @@
+//! A minimal, std-backed subset of `crossbeam::channel`.
+//!
+//! Unbounded channel with sender cloning and disconnect detection — the
+//! exact surface the workspace uses as its in-process "NIC" (see
+//! `kite-simnet`). Performance is adequate for the deterministic tests and
+//! in-process deployments; the real crossbeam can be swapped back in by
+//! repointing the workspace dependency.
+
+/// Channel types mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { buf: VecDeque::new(), senders: 1, receivers: 1 }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half; clonable.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    impl<T> Sender<T> {
+        /// Queue `t`. Fails (returning it) once every receiver is dropped.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.receivers == 0 {
+                return Err(SendError(t));
+            }
+            st.buf.push_back(t);
+            drop(st);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap_or_else(|e| e.into_inner()).senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.senders -= 1;
+            let last = st.senders == 0;
+            drop(st);
+            if last {
+                self.0.cv.notify_all(); // wake receivers so they observe disconnect
+            }
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    impl<T> Receiver<T> {
+        /// Pop a message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            match st.buf.pop_front() {
+                Some(t) => Ok(t),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Block until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = st.buf.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Block up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = st.buf.pop_front() {
+                    return Ok(t);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .0
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                st = guard;
+                if res.timed_out() && st.buf.is_empty() {
+                    return if st.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap_or_else(|e| e.into_inner()).buf.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().unwrap_or_else(|e| e.into_inner()).receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observable_on_both_sides() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(9));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            tx.send(7u8).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(7));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn clone_keeps_channel_alive() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(3));
+    }
+}

@@ -1,0 +1,47 @@
+//! Minimal `serde` trait surface for offline builds.
+//!
+//! Defines the `Serialize`/`Deserialize` traits (with just enough
+//! `Serializer`/`Deserializer` machinery for the workspace's manual impls)
+//! and re-exports no-op derive macros under the same names, mirroring how
+//! the real serde couples trait and derive. No serializer implementation
+//! exists in this workspace, so none is provided.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A data-format serializer (byte-sink subset).
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error type.
+    type Error;
+
+    /// Serialize a byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A value that can be serialized.
+pub trait Serialize {
+    /// Serialize `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format deserializer (byte-source subset).
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error type.
+    type Error;
+
+    /// Deserialize an owned byte buffer.
+    fn deserialize_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+}
+
+/// A value that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_byte_buf()
+    }
+}
