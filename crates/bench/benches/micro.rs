@@ -88,6 +88,61 @@ fn bench_value(c: &mut Criterion) {
     c.bench_function("val/heap_48B", |bench| bench.iter(|| Val::from_bytes(black_box(&big))));
 }
 
+fn bench_msg(c: &mut Criterion) {
+    use kite::msg::{Cmd, Msg};
+    use kite_common::{OpId, SessionId};
+    use std::sync::Arc;
+
+    // Broadcasting one relaxed write to 4 peers: four clones of a compact
+    // (≤ 64-byte) message. The seed's Msg was ~3× larger, so every clone
+    // memcpyed ~3× the bytes.
+    c.bench_function("msg/clone_broadcast", |bench| {
+        let mut ob: Outbox<Msg> = Outbox::new(5);
+        let m = Msg::EsWrite {
+            rid: 42,
+            key: Key(7),
+            val: Val::from_bytes(&[9u8; 32]),
+            lc: Lc::new(3, NodeId(0)),
+        };
+        let mut returned: Vec<Vec<Msg>> = Vec::with_capacity(4);
+        bench.iter(|| {
+            ob.broadcast(NodeId(0), m.clone());
+            ob.flush(|_, b| returned.push(b));
+            for mut b in returned.drain(..) {
+                b.clear();
+                ob.recycle(b);
+            }
+        })
+    });
+    // Paxos accepts share their ~90-byte command behind an Arc: the
+    // broadcast clones are refcount bumps, not deep copies of two values.
+    c.bench_function("msg/clone_broadcast_accept_arc", |bench| {
+        let mut ob: Outbox<Msg> = Outbox::new(5);
+        let op = OpId::new(SessionId::new(NodeId(0), 0), 1);
+        let m = Msg::Accept {
+            rid: 42,
+            key: Key(7),
+            slot: 3,
+            ballot: Lc::new(9, NodeId(0)),
+            cmd: Arc::new(Cmd {
+                op,
+                new_val: Val::from_bytes(&[1u8; 32]),
+                result: Val::from_bytes(&[2u8; 32]),
+                lc: Lc::new(9, NodeId(0)),
+            }),
+        };
+        let mut returned: Vec<Vec<Msg>> = Vec::with_capacity(4);
+        bench.iter(|| {
+            ob.broadcast(NodeId(0), m.clone());
+            ob.flush(|_, b| returned.push(b));
+            for mut b in returned.drain(..) {
+                b.clear();
+                ob.recycle(b);
+            }
+        })
+    });
+}
+
 fn bench_outbox(c: &mut Criterion) {
     c.bench_function("outbox/broadcast_flush_5n", |bench| {
         let mut ob: Outbox<u64> = Outbox::new(5);
@@ -118,6 +173,27 @@ fn bench_outbox(c: &mut Criterion) {
                 ob.recycle(b);
             }
             n
+        })
+    });
+    // The coalesced-ack cycle: a replica stages 16 rids while draining an
+    // envelope, emits one AckBatch, and the initiator drains it — buffers
+    // recirculate, the steady state allocates nothing.
+    c.bench_function("outbox/ack_batch_drain", |bench| {
+        let mut staged: Vec<u64> = Vec::with_capacity(16);
+        let mut pool: Vec<Vec<u64>> = vec![Vec::with_capacity(16)];
+        bench.iter(|| {
+            for rid in 0..16u64 {
+                staged.push(rid);
+            }
+            let mut batch =
+                std::mem::replace(&mut staged, pool.pop().unwrap_or_default());
+            // initiator side: one walk over the batch, then recycle
+            let mut acc = 0u64;
+            for rid in batch.drain(..) {
+                acc = acc.wrapping_add(black_box(rid));
+            }
+            pool.push(batch);
+            acc
         })
     });
 }
@@ -191,6 +267,6 @@ fn bench_inflight(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_lc, bench_seqlock, bench_store, bench_nodeset, bench_value, bench_outbox, bench_inflight
+    targets = bench_lc, bench_seqlock, bench_store, bench_nodeset, bench_value, bench_msg, bench_outbox, bench_inflight
 }
 criterion_main!(micro);

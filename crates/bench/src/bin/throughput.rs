@@ -14,11 +14,17 @@
 //!   which runs through the same outbox/slab code).
 //!
 //! Usage: `throughput [--out BENCH_micro.json] [--seed 42]`
+//!
+//! Before overwriting `--out`, an existing file there is treated as the
+//! committed baseline: every metric is diffed and a ±10% regression table
+//! is printed — a regression is flagged loudly instead of silently
+//! replacing the numbers.
 
 use std::time::Instant;
 
 use kite::api::Op;
 use kite::inflight::{EsWriteState, InFlight, InFlightTable, Meta};
+use kite::msg::Msg;
 use kite::ProtocolMode;
 use kite_bench::{paper_cluster, paper_sim, RUN_NS, WARMUP_NS};
 use kite_common::{Key, Lc, NodeId, NodeSet, OpId, SessionId, Val};
@@ -134,10 +140,124 @@ fn micro_measurements(rows: &mut Vec<(String, f64)>) {
         });
         rows.push(("store/len".into(), ns));
     }
+    // msg/clone_broadcast: 4-peer broadcast of a compact (≤ 64 B) EsWrite
+    // through the recycled outbox — what every relaxed write pays.
+    {
+        let mut ob: Outbox<Msg> = Outbox::new(5);
+        let m = Msg::EsWrite {
+            rid: 42,
+            key: Key(7),
+            val: Val::from_bytes(&[9u8; 32]),
+            lc: Lc::new(3, NodeId(0)),
+        };
+        let mut returned: Vec<Vec<Msg>> = Vec::with_capacity(4);
+        let ns = time_ns_per_op(100_000, || {
+            ob.broadcast(NodeId(0), m.clone());
+            ob.flush(|_, b| returned.push(b));
+            for mut b in returned.drain(..) {
+                b.clear();
+                ob.recycle(b);
+            }
+        });
+        rows.push(("msg/clone_broadcast".into(), ns));
+    }
+    // outbox/ack_batch_drain: stage 16 ack rids, emit one batch, drain it,
+    // recycle the buffer — the coalesced-ack cycle both runtimes run.
+    {
+        let mut staged: Vec<u64> = Vec::with_capacity(16);
+        let mut pool: Vec<Vec<u64>> = vec![Vec::with_capacity(16)];
+        let ns = time_ns_per_op(100_000, || {
+            for rid in 0..16u64 {
+                staged.push(rid);
+            }
+            let mut batch = std::mem::replace(&mut staged, pool.pop().unwrap_or_default());
+            let mut acc = 0u64;
+            for rid in batch.drain(..) {
+                acc = acc.wrapping_add(std::hint::black_box(rid));
+            }
+            pool.push(batch);
+            std::hint::black_box(acc);
+        });
+        rows.push(("outbox/ack_batch_drain".into(), ns));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline diff
+// ---------------------------------------------------------------------------
+
+/// Parse the metrics out of a previously written BENCH_micro.json (our own
+/// hand-rolled format: `"name": 1.23,` and
+/// `"name": { "mreqs": 1.23, ... }` lines).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, rest)) = rest.split_once('"') else { continue };
+        if matches!(name, "bench" | "micro_ns_per_op" | "e2e") {
+            continue;
+        }
+        let num = if let Some((_, tail)) = rest.split_once("\"mreqs\":") {
+            tail.split(|c: char| c == ',' || c == '}').next()
+        } else {
+            rest.strip_prefix(':').map(|t| t.trim_end_matches(','))
+        };
+        if let Some(v) = num.and_then(|t| t.trim().parse::<f64>().ok()) {
+            if name != "seed" {
+                out.push((name.to_string(), v));
+            }
+        }
+    }
+    out
+}
+
+/// Diff fresh metrics against the committed baseline and print a regression
+/// table; ±10% moves are flagged. Lower is better for `*_ns_per_op` rows,
+/// higher is better for e2e mreqs rows.
+fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[(String, f64, f64, f64)]) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        println!("(no committed baseline at {path}; skipping regression diff)");
+        return;
+    };
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        println!("(baseline at {path} has no parsable metrics; skipping diff)");
+        return;
+    }
+    let fresh: Vec<(String, f64, bool)> = micro
+        .iter()
+        .map(|(n, v)| (n.clone(), *v, /*lower_is_better=*/ true))
+        .chain(e2e.iter().map(|(n, v, _, _)| (n.clone(), *v, false)))
+        .collect();
+    println!("\n== regression check vs committed {path} (±10%) ==");
+    println!("{:<36} {:>10} {:>10} {:>8}", "metric", "baseline", "fresh", "Δ%");
+    let mut warned = 0;
+    for (name, now, lower_is_better) in &fresh {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) else {
+            println!("{name:<36} {:>10} {now:>10.2}     (new)", "-");
+            continue;
+        };
+        let delta = if *base != 0.0 { (now - base) / base * 100.0 } else { 0.0 };
+        let regressed = if *lower_is_better { delta > 10.0 } else { delta < -10.0 };
+        let mark = if regressed {
+            warned += 1;
+            "  << REGRESSION"
+        } else {
+            ""
+        };
+        println!("{name:<36} {base:>10.2} {now:>10.2} {delta:>+7.1}%{mark}");
+    }
+    if warned > 0 {
+        println!("!! {warned} metric(s) regressed by more than 10% — investigate before committing");
+    } else {
+        println!("no >10% regressions");
+    }
 }
 
 fn main() {
-    let out_path = arg_after("--out").unwrap_or_else(|| "BENCH_micro.json".into());
+    let out_arg = arg_after("--out");
+    let out_path = out_arg.clone().unwrap_or_else(|| "BENCH_micro.json".into());
     let seed: u64 = arg_after("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
 
     eprintln!("[throughput] micro measurements …");
@@ -148,22 +268,41 @@ fn main() {
     }
 
     eprintln!("[throughput] end-to-end closed-loop runs (fixed seeds) …");
-    let cfg = paper_cluster();
+    // `--no-coalesce` reruns the e2e suite with per-message acks — the
+    // before/after knob for the ack-coalescing win (use a scratch --out).
+    let coalesce = !std::env::args().any(|a| a == "--no-coalesce");
+    let cfg = paper_cluster().coalesce_acks(coalesce);
     let keys = cfg.keys as u64;
     let runs: Vec<(&str, ProtocolMode, MixCfg)> = vec![
         ("es_reads_1w", ProtocolMode::EsOnly, MixCfg::plain(0.01, keys)),
         ("es_writes_100w", ProtocolMode::EsOnly, MixCfg::plain(1.0, keys)),
+        // Kite-mode write-only: every write's N−1 acks are tracked for the
+        // release barrier — the run the ack-coalescing path exists for.
+        ("kite_writes_100w", ProtocolMode::Kite, MixCfg::plain(1.0, keys)),
         ("kite_typical_20w", ProtocolMode::Kite, MixCfg::typical(0.2, keys)),
         ("paxos_rmws_100w", ProtocolMode::PaxosOnly, MixCfg::plain(1.0, keys)),
     ];
-    let mut e2e: Vec<(String, f64, f64)> = Vec::new(); // (name, mreqs, wall_ms)
+    // (name, mreqs, wall_ms, acks_per_op)
+    let mut e2e: Vec<(String, f64, f64, f64)> = Vec::new();
     for (name, mode, mix) in runs {
         let wall = Instant::now();
         let r = run_kite_mix(cfg.clone(), mode, paper_sim(seed), mix, WARMUP_NS, RUN_NS);
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
-        println!("{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms)", r.mreqs);
-        e2e.push((name.to_string(), r.mreqs, wall_ms));
+        // Ack messages per completed op: the coalescing win. For the
+        // write-only runs this is acks-per-write; the seed paid N−1.
+        let apw = if r.total_completed > 0 {
+            r.ack_msgs as f64 / r.total_completed as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms, {apw:.2} ack-msgs/op, {} coalesced)",
+            r.mreqs, r.acks_coalesced
+        );
+        e2e.push((name.to_string(), r.mreqs, wall_ms, apw));
     }
+
+    diff_against_baseline(&out_path, &micro, &e2e);
 
     // Hand-rolled JSON (serde_json is not a dependency).
     let mut json = String::new();
@@ -175,13 +314,19 @@ fn main() {
         json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
     }
     json.push_str("  },\n  \"e2e\": {\n");
-    for (i, (name, mreqs, wall_ms)) in e2e.iter().enumerate() {
+    for (i, (name, mreqs, wall_ms, apw)) in e2e.iter().enumerate() {
         let comma = if i + 1 < e2e.len() { "," } else { "" };
         json.push_str(&format!(
-            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1} }}{comma}\n"
+            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3} }}{comma}\n"
         ));
     }
     json.push_str("  }\n}\n");
-    std::fs::write(&out_path, &json).expect("write BENCH json");
-    eprintln!("[throughput] wrote {out_path}");
+    if coalesce || out_arg.is_some() {
+        std::fs::write(&out_path, &json).expect("write BENCH json");
+        eprintln!("[throughput] wrote {out_path}");
+    } else {
+        // A --no-coalesce run without an explicit --out is a comparison
+        // probe: never let it clobber the committed baseline.
+        eprintln!("[throughput] --no-coalesce without --out: not overwriting {out_path}");
+    }
 }

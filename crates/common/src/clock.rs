@@ -15,22 +15,44 @@ use crate::ids::NodeId;
 /// `Lc::ZERO` is the initial clock of every key. A machine generates a fresh
 /// clock dominating an observed clock `c` with [`Lc::succ`], which is
 /// globally unique because it embeds the machine id.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
-pub struct Lc {
-    /// Monotonically increasing version number.
-    pub version: u64,
-    /// Id of the machine that created this clock — the tie-breaker.
-    pub mid: u8,
-}
+///
+/// Packed into a single `u64` — version in the high 56 bits, machine id in
+/// the low 8 — so an `Lc` is one register wide: clocks appear in every wire
+/// message and every store record, and the packing is what lets the hot
+/// `Msg` variants fit in a cache line. The lexicographic `(version, mid)`
+/// order falls out of plain integer comparison because the version occupies
+/// the high bits. Versions are bounded at 2⁵⁶−1, which at one write per
+/// nanosecond takes over two years to exhaust.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Lc(u64);
+
+/// Bits holding the machine id.
+const MID_BITS: u32 = 8;
 
 impl Lc {
     /// The initial clock: smaller than every clock ever generated.
-    pub const ZERO: Lc = Lc { version: 0, mid: 0 };
+    pub const ZERO: Lc = Lc(0);
+
+    /// Largest representable version number.
+    pub const MAX_VERSION: u64 = (1 << (64 - MID_BITS)) - 1;
 
     #[inline]
     /// Build a clock from a version and the creating machine's id.
     pub fn new(version: u64, mid: NodeId) -> Self {
-        Lc { version, mid: mid.0 }
+        debug_assert!(version <= Self::MAX_VERSION, "Lc version overflow");
+        Lc((version << MID_BITS) | mid.0 as u64)
+    }
+
+    /// Monotonically increasing version number.
+    #[inline]
+    pub fn version(self) -> u64 {
+        self.0 >> MID_BITS
+    }
+
+    /// Id of the machine that created this clock — the tie-breaker.
+    #[inline]
+    pub fn mid(self) -> u8 {
+        self.0 as u8
     }
 
     /// The smallest clock owned by `mid` that dominates `self`.
@@ -40,13 +62,13 @@ impl Lc {
     /// `max_seen.succ(my_id)`.
     #[inline]
     pub fn succ(self, mid: NodeId) -> Lc {
-        Lc { version: self.version + 1, mid: mid.0 }
+        Lc::new(self.version() + 1, mid)
     }
 
     /// Owner of this clock.
     #[inline]
     pub fn owner(self) -> NodeId {
-        NodeId(self.mid)
+        NodeId(self.mid())
     }
 
     /// `true` iff this clock orders strictly after `other`.
@@ -56,23 +78,15 @@ impl Lc {
     }
 }
 
-impl PartialOrd for Lc {
-    #[inline]
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Lc {
-    #[inline]
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.version, self.mid).cmp(&(other.version, other.mid))
+impl std::fmt::Debug for Lc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lc({}.{})", self.version(), self.mid())
     }
 }
 
 impl std::fmt::Display for Lc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}.{}", self.version, self.mid)
+        write!(f, "{}.{}", self.version(), self.mid())
     }
 }
 
@@ -146,6 +160,18 @@ mod tests {
         let w1 = seen.succ(NodeId(1));
         let w2 = seen.succ(NodeId(2));
         assert!(w1 != w2 && (w1 < w2 || w2 < w1));
+    }
+
+    #[test]
+    fn packed_representation_round_trips_and_is_one_word() {
+        assert_eq!(std::mem::size_of::<Lc>(), 8);
+        let lc = Lc::new(123_456_789, NodeId(7));
+        assert_eq!(lc.version(), 123_456_789);
+        assert_eq!(lc.mid(), 7);
+        assert_eq!(lc.owner(), NodeId(7));
+        let hi = Lc::new(Lc::MAX_VERSION, NodeId(255));
+        assert_eq!(hi.version(), Lc::MAX_VERSION);
+        assert_eq!(hi.mid(), 255);
     }
 
     #[test]

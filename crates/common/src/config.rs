@@ -49,6 +49,12 @@ pub struct ClusterConfig {
     /// waiting for value-round acks. `false` runs full linearizable ABD on
     /// the slow path — the ablation measured by `ablation_opts`.
     pub stripped_slow_path: bool,
+    /// Coalesce plain acks per inbound envelope: every ack a replica
+    /// generates while draining one envelope is folded into a single
+    /// `AckBatch` back to the source (§6.3 batching taken one step further
+    /// — the ack path becomes sub-linear in messages). `false` sends one
+    /// ack message per request — the equivalence baseline for tests.
+    pub coalesce_acks: bool,
 }
 
 impl Default for ClusterConfig {
@@ -65,6 +71,7 @@ impl Default for ClusterConfig {
             ops_per_tick: 2,
             overlap_release: true,
             stripped_slow_path: true,
+            coalesce_acks: true,
         }
     }
 }
@@ -123,6 +130,18 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder: per-session cap on relaxed writes with outstanding acks.
+    pub fn write_window(mut self, w: usize) -> Self {
+        self.write_window = w;
+        self
+    }
+
+    /// Builder: operations each session may start per scheduling tick.
+    pub fn ops_per_tick(mut self, n: usize) -> Self {
+        self.ops_per_tick = n;
+        self
+    }
+
     /// Builder: the §4.3 release-overlap optimization.
     pub fn overlap_release(mut self, on: bool) -> Self {
         self.overlap_release = on;
@@ -132,6 +151,12 @@ impl ClusterConfig {
     /// Builder: the §4.3 slow-path-stripping optimization.
     pub fn stripped_slow_path(mut self, on: bool) -> Self {
         self.stripped_slow_path = on;
+        self
+    }
+
+    /// Builder: per-envelope ack coalescing.
+    pub fn coalesce_acks(mut self, on: bool) -> Self {
+        self.coalesce_acks = on;
         self
     }
 

@@ -67,6 +67,15 @@ pub struct ProtoCounters {
     pub envelopes_sent: Counter,
     /// Protocol messages sent (before batching).
     pub msgs_sent: Counter,
+    /// Ack *messages* sent: single `Ack`s, delinquent `WriteAck`s, and each
+    /// `AckBatch` counted once. `acks_sent / writes` is the
+    /// acks-per-write figure the throughput harness reports.
+    pub acks_sent: Counter,
+    /// Plain acks that rode inside an `AckBatch` (rids coalesced).
+    pub acks_coalesced: Counter,
+    /// `AckBatch` messages emitted (each replacing `acks_coalesced /
+    /// msgs_batched` individual acks on average).
+    pub msgs_batched: Counter,
 }
 
 impl ProtoCounters {

@@ -5,20 +5,40 @@
 //! allocation on the hot path of reads, writes, or message construction.
 //! Larger values (used by the lock-free data structures for multi-field
 //! objects) spill to a boxed slice.
+//!
+//! # Layout
+//!
+//! A `Val` is exactly 33 bytes with alignment 1: a tag byte (`0..=32` =
+//! inline length, `0xFF` = heap) followed by a 32-byte buffer. The heap
+//! flavour stores the boxed slice's raw parts *unaligned* inside the buffer
+//! (pointer in bytes `0..8`, length in bytes `8..16`). Keeping the
+//! alignment at 1 is deliberate: it is what lets the value-carrying wire
+//! messages (`Msg::EsWrite`, `Msg::WriteMsg`, `Msg::ReadRep`) pack a value
+//! next to three `u64`-sized fields and still fit one cache line — an
+//! aligned enum with a `Box` variant would round up to 40 bytes and blow
+//! the budget (see `kite::msg`).
 
 use serde::{Deserialize, Serialize};
 
 /// Maximum number of bytes stored inline.
 const INLINE_CAP: usize = 32;
 
+/// Tag value marking the heap representation.
+const HEAP_TAG: u8 = 0xFF;
+
 /// A value of the store: inline up to 32 bytes, heap-allocated beyond.
-#[derive(Clone)]
-pub enum Val {
-    /// Small value stored inline: `(len, buffer)`.
-    Inline(u8, [u8; INLINE_CAP]),
-    /// Large value on the heap.
-    Heap(Box<[u8]>),
+pub struct Val {
+    /// `0..=32`: inline length. [`HEAP_TAG`]: `data` holds the raw parts of
+    /// a leaked `Box<[u8]>` (pointer bytes `0..8`, length bytes `8..16`).
+    tag: u8,
+    data: [u8; INLINE_CAP],
 }
+
+// Compile-time guarantees the wire format depends on (see module docs).
+const _: () = assert!(std::mem::size_of::<Val>() == 33 && std::mem::align_of::<Val>() == 1);
+// The heap flavour stores a pointer and a length in 8-byte slots of `data`;
+// a non-64-bit target would corrupt them at runtime, so refuse to build.
+const _: () = assert!(std::mem::size_of::<usize>() == 8);
 
 impl Val {
     /// Capacity of the inline representation (32 bytes, matching the paper's
@@ -26,18 +46,40 @@ impl Val {
     pub const INLINE_CAP: usize = INLINE_CAP;
 
     /// The empty value — what a read of a never-written key returns.
-    pub const EMPTY: Val = Val::Inline(0, [0u8; INLINE_CAP]);
+    pub const EMPTY: Val = Val { tag: 0, data: [0u8; INLINE_CAP] };
 
     /// Build a value from raw bytes, choosing the representation by size.
     #[inline]
     pub fn from_bytes(bytes: &[u8]) -> Val {
         if bytes.len() <= INLINE_CAP {
-            let mut buf = [0u8; INLINE_CAP];
-            buf[..bytes.len()].copy_from_slice(bytes);
-            Val::Inline(bytes.len() as u8, buf)
+            let mut data = [0u8; INLINE_CAP];
+            data[..bytes.len()].copy_from_slice(bytes);
+            Val { tag: bytes.len() as u8, data }
         } else {
-            Val::Heap(bytes.into())
+            let boxed: Box<[u8]> = bytes.into();
+            Val::from_boxed(boxed)
         }
+    }
+
+    /// Take ownership of an already-boxed slice (always the heap flavour,
+    /// even for short slices — `from_bytes` is the normal entry point).
+    fn from_boxed(boxed: Box<[u8]>) -> Val {
+        let len = boxed.len();
+        let ptr = Box::into_raw(boxed) as *mut u8 as usize;
+        let mut data = [0u8; INLINE_CAP];
+        data[..8].copy_from_slice(&ptr.to_ne_bytes());
+        data[8..16].copy_from_slice(&len.to_ne_bytes());
+        Val { tag: HEAP_TAG, data }
+    }
+
+    /// Raw parts of the heap representation. Caller must have checked the
+    /// tag.
+    #[inline]
+    fn heap_parts(&self) -> (*mut u8, usize) {
+        debug_assert_eq!(self.tag, HEAP_TAG);
+        let ptr = usize::from_ne_bytes(self.data[..8].try_into().unwrap());
+        let len = usize::from_ne_bytes(self.data[8..16].try_into().unwrap());
+        (ptr as *mut u8, len)
     }
 
     /// Encode a `u64` (little-endian); the RMW engine uses this for
@@ -60,18 +102,23 @@ impl Val {
     #[inline]
     /// The value's bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        match self {
-            Val::Inline(len, buf) => &buf[..*len as usize],
-            Val::Heap(b) => b,
+        if self.tag == HEAP_TAG {
+            let (ptr, len) = self.heap_parts();
+            // Safety: `(ptr, len)` are the raw parts of a live `Box<[u8]>`
+            // exclusively owned by this Val (freed only by `drop`).
+            unsafe { std::slice::from_raw_parts(ptr, len) }
+        } else {
+            &self.data[..self.tag as usize]
         }
     }
 
     #[inline]
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        match self {
-            Val::Inline(len, _) => *len as usize,
-            Val::Heap(b) => b.len(),
+        if self.tag == HEAP_TAG {
+            self.heap_parts().1
+        } else {
+            self.tag as usize
         }
     }
 
@@ -84,7 +131,30 @@ impl Val {
     /// `true` iff the value is stored inline (no heap allocation).
     #[inline]
     pub fn is_inline(&self) -> bool {
-        matches!(self, Val::Inline(..))
+        self.tag != HEAP_TAG
+    }
+}
+
+impl Drop for Val {
+    #[inline]
+    fn drop(&mut self) {
+        if self.tag == HEAP_TAG {
+            let (ptr, len) = self.heap_parts();
+            // Safety: reconstructing the Box we leaked in `from_boxed`;
+            // the tag guarantees it has not been freed.
+            unsafe { drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len))) };
+        }
+    }
+}
+
+impl Clone for Val {
+    #[inline]
+    fn clone(&self) -> Self {
+        if self.tag == HEAP_TAG {
+            Val::from_boxed(self.as_bytes().into())
+        } else {
+            Val { tag: self.tag, data: self.data }
+        }
     }
 }
 
@@ -183,11 +253,27 @@ mod tests {
     }
 
     #[test]
+    fn layout_is_33_bytes_align_1() {
+        assert_eq!(std::mem::size_of::<Val>(), 33);
+        assert_eq!(std::mem::align_of::<Val>(), 1);
+    }
+
+    #[test]
+    fn heap_values_clone_and_drop_independently() {
+        let a = Val::from_bytes(&[9u8; 100]);
+        let b = a.clone();
+        drop(a);
+        assert_eq!(b.as_bytes(), &[9u8; 100][..]);
+        assert_eq!(b.len(), 100);
+    }
+
+    #[test]
     fn equality_crosses_representations() {
         // A heap value and an inline value with the same bytes are equal;
         // equality is over contents, not representation.
         let inline = Val::from_bytes(&[1u8; 16]);
-        let heap = Val::Heap(vec![1u8; 16].into_boxed_slice());
+        let heap = Val::from_boxed(vec![1u8; 16].into_boxed_slice());
+        assert!(!heap.is_inline());
         assert_eq!(inline, heap);
     }
 
@@ -214,5 +300,12 @@ mod tests {
     fn debug_is_truncated_for_large_values() {
         let d = format!("{:?}", Val::from_bytes(&[0xAB; 100]));
         assert!(d.contains("len=100"));
+    }
+
+    #[test]
+    fn heap_values_cross_threads() {
+        let v = Val::from_bytes(&[3u8; 64]);
+        let h = std::thread::spawn(move || v.len());
+        assert_eq!(h.join().unwrap(), 64);
     }
 }

@@ -30,25 +30,12 @@
 //! rid 0 is never issued (generation ≥ 1) and is used by the protocol as a
 //! "discard the ack" sentinel (Paxos catch-up fills).
 
+use std::sync::Arc;
+
 use kite_common::{Epoch, Key, Lc, NodeSet, OpId, Val};
 
 use crate::api::Op;
-use crate::msg::Cmd;
-
-/// A commit broadcast retained for retransmission and completion, stored
-/// inline in [`RmwState`] (no per-RMW box).
-#[derive(Clone, Debug)]
-pub struct CommitBcast {
-    /// The decided slot.
-    pub slot: u64,
-    /// The committed value.
-    pub val: Val,
-    /// The commit stamp (fixed at decide time).
-    pub lc: Lc,
-    /// Ring metadata `(op, result)` for exactly-once dedup; `None` for
-    /// catch-up fills.
-    pub meta: Option<(OpId, Val)>,
-}
+use crate::msg::{Cmd, CommitPayload};
 
 /// Common fields shared by all in-flight entries.
 #[derive(Clone, Debug)]
@@ -267,8 +254,10 @@ pub struct RmwState {
     pub promises: NodeSet,
     /// Highest accepted command seen in phase 1 (to adopt).
     pub best_accepted: Option<(Lc, Cmd)>,
-    /// The command being accepted in phase 2.
-    pub cmd: Option<Cmd>,
+    /// The command being accepted in phase 2 — `Arc`-shared with the
+    /// `Accept` broadcast and its retransmissions (one allocation per
+    /// round, refcount bumps per unicast).
+    pub cmd: Option<Arc<Cmd>>,
     /// True if `cmd` belongs to another proposer (helping): on commit we
     /// restart our own RMW instead of completing.
     pub helping: bool,
@@ -276,9 +265,9 @@ pub struct RmwState {
     pub accepts: NodeSet,
     /// Commit-round visibility acks.
     pub commits: NodeSet,
-    /// The commit being broadcast — kept inline for retransmission and
-    /// completion.
-    pub commit_bcast: Option<CommitBcast>,
+    /// The commit being broadcast — the same `Arc` the `Commit` unicasts,
+    /// retransmissions and catch-up fills carry.
+    pub commit_bcast: Option<Arc<CommitPayload>>,
     /// Output to deliver when the commit round completes (None while
     /// helping: a new round starts instead).
     pub pending_output: Option<crate::api::OpOutput>,

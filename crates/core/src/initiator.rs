@@ -15,16 +15,18 @@
 
 #![allow(clippy::too_many_arguments)] // protocol handlers thread (now, cfg, outbox, ...) explicitly
 
+use std::sync::Arc;
+
 use kite_common::{Key, Lc, NodeId, NodeSet, OpId, Val};
 use kite_kvs::paxos_meta::{AcceptedCmd, RmwCommit};
 use kite_simnet::Outbox;
 
 use crate::api::{Op, OpOutput};
 use crate::inflight::{
-    AcquireState, Barrier, CommitBcast, EsWriteState, InFlight, Meta, ReleaseState, RmwKind,
-    RmwPhase, RmwState, SlowReadState, SlowReleaseSub, SlowWriteState, WindowReliefState,
+    AcquireState, Barrier, EsWriteState, InFlight, Meta, ReleaseState, RmwKind, RmwPhase,
+    RmwState, SlowReadState, SlowReleaseSub, SlowWriteState, WindowReliefState,
 };
-use crate::msg::{Cmd, Msg, PromiseOutcome};
+use crate::msg::{Cmd, CommitPayload, Msg, PromiseOutcome, WriteBack};
 use crate::nodestate::NodeShared;
 use crate::session::{ProtocolMode, Session};
 use crate::worker::{StartResult, Worker};
@@ -364,7 +366,7 @@ impl Worker {
             if let Some(done) = pax.committed.find(state.meta.op_id) {
                 return Some(rmw_output(state.kind, &done.result));
             }
-            let version = pax.promised.version.max(state.ballot_floor) + 1;
+            let version = pax.promised.version().max(state.ballot_floor) + 1;
             let ballot = Lc::new(version, me);
             pax.promised = ballot;
             let accepted = pax.accepted.as_ref().map(|a| {
@@ -448,13 +450,7 @@ impl Worker {
                     state.meta.last_sent = now;
                     out.broadcast(
                         self.me,
-                        Msg::WriteMsg {
-                            rid,
-                            key: state.meta.key,
-                            val: state.val.clone(),
-                            lc: wlc,
-                            acq: None,
-                        },
+                        Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc: wlc },
                     );
                     return;
                 }
@@ -538,7 +534,6 @@ impl Worker {
                             key: state.meta.key,
                             val: state.best_val.clone(),
                             lc: state.best_lc,
-                            acq: None,
                         },
                     );
                     return;
@@ -585,23 +580,22 @@ impl Worker {
                     return;
                 }
                 // Write-back round (§3.3): make the value quorum-visible
-                // before returning it. Carries the acquire tag so its
-                // quorum also performs delinquency discovery (Lemma 5.3).
+                // before returning it. Acquires carry their tag (in the
+                // boxed `WriteAcq` flavour) so the round's quorum also
+                // performs delinquency discovery (Lemma 5.3).
                 let acq_tag = match state.meta.op {
                     Op::Acquire { .. } if self.mode.has_barriers() => Some(state.meta.op_id),
                     _ => None,
                 };
                 state.w2 = Some(NodeSet::singleton(self.me));
-                out.broadcast(
-                    self.me,
-                    Msg::WriteMsg {
-                        rid,
-                        key: state.meta.key,
-                        val: state.best_val.clone(),
-                        lc: state.best_lc,
-                        acq: acq_tag,
-                    },
-                );
+                let (key, val, lc) = (state.meta.key, state.best_val.clone(), state.best_lc);
+                match acq_tag {
+                    Some(acq) => out.broadcast(
+                        self.me,
+                        Msg::WriteAcq { rid, wb: Arc::new(WriteBack { key, val, lc, acq }) },
+                    ),
+                    None => out.broadcast(self.me, Msg::WriteMsg { rid, key, val, lc }),
+                }
             }
             _ => {}
         }
@@ -731,16 +725,10 @@ impl Worker {
                     }
                 }
             }
-            InFlight::EsWrite(state) => {
-                // A converted slow write's replica can answer the original
-                // WriteMsg after conversion; the ack still counts.
-                state.acked.insert(src);
-                if state.acked.is_all(self.nodes) {
-                    let si = state.meta.sess;
-                    self.inflight.remove(rid);
-                    self.remove_from_window(si, rid);
-                }
-            }
+            // EsWrite entries never reach here: plain acks (including a
+            // converted slow write's late WriteMsg acks) are routed to
+            // `on_es_ack` by the worker's kind dispatch, and `WriteAck`
+            // itself is only sent for acquire-tagged rounds.
             _ => {}
         }
     }
@@ -838,10 +826,7 @@ impl Worker {
         let lc = state.rts_max.succ(me);
         shared.store.apply_max(state.meta.key, &state.val, lc);
         state.w2 = Some((lc, NodeSet::singleton(me)));
-        out.broadcast(
-            me,
-            Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc, acq: None },
-        );
+        out.broadcast(me, Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc });
         true
     }
 
@@ -1160,7 +1145,8 @@ impl Worker {
         match outcome {
             PromiseOutcome::Promised { accepted } => {
                 state.promises.insert(src);
-                if let Some((b, cmd)) = accepted {
+                if let Some(boxed) = accepted {
+                    let (b, cmd) = *boxed;
                     if state.best_accepted.as_ref().is_none_or(|(bb, _)| b > *bb) {
                         state.best_accepted = Some((b, cmd));
                     }
@@ -1197,16 +1183,17 @@ impl Worker {
                 }
             }
             PromiseOutcome::NackBallot { promised } => {
-                state.ballot_floor = state.ballot_floor.max(promised.version);
+                state.ballot_floor = state.ballot_floor.max(promised.version());
                 if state.retry_at == 0 {
                     state.retry_at = now + rmw_backoff(rid, state.backoff_exp);
                     state.backoff_exp = state.backoff_exp.saturating_add(1);
                     self.rmw_retries.push((rid, state.retry_at));
                 }
             }
-            PromiseOutcome::AlreadyCommitted { slot, cur_val, cur_lc, done } => {
+            PromiseOutcome::AlreadyCommitted(cu) => {
                 // Catch up to the decided prefix.
-                self.shared.store.apply_max(state.meta.key, &cur_val, cur_lc);
+                let (slot, cur_lc) = (cu.slot, cu.cur_lc);
+                self.shared.store.apply_max(state.meta.key, &cu.cur_val, cur_lc);
                 {
                     let pax = self.shared.store.paxos(state.meta.key);
                     let mut pax = pax.lock();
@@ -1214,19 +1201,19 @@ impl Worker {
                         pax.advance_past(slot - 1);
                     }
                 }
-                if let Some(result) = done {
+                if let Some(result) = &cu.done {
                     // Our command was helped to commit by another proposer:
                     // complete exactly once with its recorded result — after
                     // making the caught-up value (which subsumes our commit)
                     // quorum-visible.
-                    state.pending_output = Some(rmw_output(state.kind, &result));
+                    state.pending_output = Some(rmw_output(state.kind, result));
                     Self::rmw_start_commit_round_in(
                         &self.shared,
                         self.me,
                         rid,
                         state,
                         slot.saturating_sub(1),
-                        cur_val,
+                        cu.cur_val,
                         cur_lc,
                         None,
                         out,
@@ -1252,12 +1239,14 @@ impl Worker {
                 out.send(
                     src,
                     Msg::Commit {
-                        rid: 0, // fill: the ack is discarded
+                        rid: 0, // fill: not acked
                         key: state.meta.key,
-                        slot: state.slot - 1,
-                        val: view.val,
-                        lc: view.lc,
-                        meta: None,
+                        c: Arc::new(CommitPayload {
+                            slot: state.slot - 1,
+                            val: view.val,
+                            lc: view.lc,
+                            meta: None,
+                        }),
                     },
                 );
             }
@@ -1271,7 +1260,7 @@ impl Worker {
     fn rmw_decide_cmd(shared: &NodeShared, me: NodeId, state: &mut RmwState) -> Option<OpOutput> {
         if let Some((_, cmd)) = state.best_accepted.take() {
             state.helping = cmd.op != state.meta.op_id;
-            state.cmd = Some(cmd);
+            state.cmd = Some(Arc::new(cmd));
             return None;
         }
         let base = shared.store.view(state.meta.key).val;
@@ -1304,7 +1293,7 @@ impl Worker {
             },
         };
         state.helping = false;
-        state.cmd = Some(cmd);
+        state.cmd = Some(Arc::new(cmd));
         None
     }
 
@@ -1374,7 +1363,7 @@ impl Worker {
                 Self::rmw_commit_in(&self.shared, self.me, rid, state, out);
             }
         } else {
-            state.ballot_floor = state.ballot_floor.max(promised.version);
+            state.ballot_floor = state.ballot_floor.max(promised.version());
             if state.retry_at == 0 {
                 state.retry_at = now + rmw_backoff(rid, state.backoff_exp);
                 state.backoff_exp = state.backoff_exp.saturating_add(1);
@@ -1434,12 +1423,12 @@ impl Worker {
         state.phase = RmwPhase::Commit;
         state.retry_at = 0;
         state.commits = NodeSet::singleton(me);
-        state.commit_bcast =
-            Some(CommitBcast { slot, val: val.clone(), lc, meta: meta.clone() });
-        out.broadcast(
-            me,
-            Msg::Commit { rid, key: state.meta.key, slot, val, lc, meta },
-        );
+        // One allocation for the whole round: the broadcast unicasts,
+        // retransmissions and the completion-time catch-up fill all clone
+        // this Arc.
+        let payload = Arc::new(CommitPayload { slot, val, lc, meta });
+        state.commit_bcast = Some(Arc::clone(&payload));
+        out.broadcast(me, Msg::Commit { rid, key: state.meta.key, c: payload });
     }
 
     /// Commit visibility acks: when a quorum holds the committed value, the
@@ -1469,14 +1458,7 @@ impl Worker {
                 out.multicast(
                     self.me,
                     NodeSet::all(self.nodes).minus(state.commits),
-                    Msg::Commit {
-                        rid: 0,
-                        key: state.meta.key,
-                        slot: cb.slot,
-                        val: cb.val.clone(),
-                        lc: cb.lc,
-                        meta: cb.meta.clone(),
-                    },
+                    Msg::Commit { rid: 0, key: state.meta.key, c: Arc::clone(cb) },
                 );
             }
         }
@@ -1489,14 +1471,29 @@ impl Worker {
                 self.inflight.remove(rid);
             }
             None => {
-                // we were helping: now run our own command
-                if let Some(output) = Self::rmw_new_round_in(&self.shared, self.me, rid, state, out)
+                // We were helping: our own command goes next — in a fresh
+                // round under a *re-keyed* rid. Removing and reinserting the
+                // entry bumps the slot generation, so any straggler ack from
+                // the just-finished commit round goes stale and can never be
+                // counted toward the new round's visibility quorum (commit
+                // acks are plain rids — unlike `PromiseRep`/`AcceptRep`
+                // there is no echoed ballot to filter stale rounds on).
+                let entry = self.inflight.remove(rid).expect("entry borrowed above");
+                let new_rid = self.inflight.insert(entry);
+                let Some(InFlight::Rmw(state)) = self.inflight.get_mut(new_rid) else {
+                    unreachable!("just inserted")
+                };
+                let si = state.meta.sess;
+                if let Some(output) =
+                    Self::rmw_new_round_in(&self.shared, self.me, new_rid, state, out)
                 {
                     Self::rmw_finish_in(
                         &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
                         output, now, out,
                     );
-                    self.inflight.remove(rid);
+                    self.inflight.remove(new_rid);
+                } else if self.sessions[si].blocked_on == Some(rid) {
+                    self.sessions[si].blocked_on = Some(new_rid);
                 }
             }
         }
@@ -1592,7 +1589,6 @@ impl Worker {
                                 key: s.meta.key,
                                 val: s.best_val.clone(),
                                 lc: s.best_lc,
-                                acq: None,
                             },
                         ),
                         None => out.multicast(
@@ -1608,13 +1604,7 @@ impl Worker {
                         Some((lc, acked)) => out.multicast(
                             me,
                             all.minus(*acked),
-                            Msg::WriteMsg {
-                                rid,
-                                key: s.meta.key,
-                                val: s.val.clone(),
-                                lc: *lc,
-                                acq: None,
-                            },
+                            Msg::WriteMsg { rid, key: s.meta.key, val: s.val.clone(), lc: *lc },
                         ),
                         None => out.multicast(
                             me,
@@ -1636,7 +1626,7 @@ impl Worker {
                         Some((lc, acked)) => out.multicast(
                             me,
                             all.minus(*acked),
-                            Msg::WriteMsg { rid, key: s.meta.key, val: s.val.clone(), lc: *lc, acq: None },
+                            Msg::WriteMsg { rid, key: s.meta.key, val: s.val.clone(), lc: *lc },
                         ),
                         None if s.rts_sent => out.multicast(
                             me,
@@ -1653,17 +1643,33 @@ impl Worker {
                         _ => None,
                     };
                     match &s.w2 {
-                        Some(acked) => out.multicast(
-                            me,
-                            all.minus(*acked),
-                            Msg::WriteMsg {
-                                rid,
-                                key: s.meta.key,
-                                val: s.best_val.clone(),
-                                lc: s.best_lc,
-                                acq: acq_tag,
-                            },
-                        ),
+                        // Rebuilding the WriteAcq Arc here is fine: the
+                        // retransmit path is cold by definition.
+                        Some(acked) => match acq_tag {
+                            Some(acq) => out.multicast(
+                                me,
+                                all.minus(*acked),
+                                Msg::WriteAcq {
+                                    rid,
+                                    wb: Arc::new(WriteBack {
+                                        key: s.meta.key,
+                                        val: s.best_val.clone(),
+                                        lc: s.best_lc,
+                                        acq,
+                                    }),
+                                },
+                            ),
+                            None => out.multicast(
+                                me,
+                                all.minus(*acked),
+                                Msg::WriteMsg {
+                                    rid,
+                                    key: s.meta.key,
+                                    val: s.best_val.clone(),
+                                    lc: s.best_lc,
+                                },
+                            ),
+                        },
                         None => out.multicast(
                             me,
                             all.minus(s.reps),
@@ -1706,7 +1712,7 @@ impl Worker {
                                         key: s.meta.key,
                                         slot: s.slot,
                                         ballot: s.ballot,
-                                        cmd: cmd.clone(),
+                                        cmd: Arc::clone(cmd),
                                     },
                                 );
                             }
@@ -1716,14 +1722,7 @@ impl Worker {
                                 out.multicast(
                                     me,
                                     all.minus(s.commits),
-                                    Msg::Commit {
-                                        rid,
-                                        key: s.meta.key,
-                                        slot: cb.slot,
-                                        val: cb.val.clone(),
-                                        lc: cb.lc,
-                                        meta: cb.meta.clone(),
-                                    },
+                                    Msg::Commit { rid, key: s.meta.key, c: Arc::clone(cb) },
                                 );
                             }
                         }

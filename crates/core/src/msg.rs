@@ -8,11 +8,55 @@
 //! Request/response pairs are matched by `rid`, a worker-local request id —
 //! replies always return to the issuing worker because workers are peered
 //! one-to-one across nodes (§6.3).
+//!
+//! # Wire layout: one cache line per message
+//!
+//! `size_of::<Msg>()` is pinned at **≤ 64 bytes** by a compile-time
+//! assertion below. Every `Vec<Msg>` push, broadcast clone, channel hop and
+//! dispatch memcpys a full `Msg`, so the hot variants must not pay for the
+//! cold ones. The budget works out as follows:
+//!
+//! * [`Lc`] is a packed `u64` and [`Val`] is 33 bytes with alignment 1
+//!   (see `kite-common`), so the hot value-carrying variants —
+//!   [`Msg::EsWrite`], [`Msg::WriteMsg`], [`Msg::ReadRep`] — fit exactly:
+//!   rid + key + clock + value + tag = 8+8+8+33+1 = 58 → 64 padded.
+//! * The large, cold Paxos payloads are boxed:
+//!   - [`Msg::Accept`] carries `Arc<Cmd>` (a `Cmd` is ~90 bytes: two
+//!     values plus op id and stamp). `Arc` rather than `Box` so the N−1
+//!     broadcast unicasts and every retransmission share one allocation —
+//!     cloning the message is a refcount bump, not a deep copy.
+//!   - [`Msg::Commit`] carries `Arc<CommitPayload>` for the same reason
+//!     (the commit round broadcasts, retransmits, *and* re-sends as a
+//!     catch-up fill from the same allocation).
+//!   - [`PromiseOutcome`]'s two large variants are `Box`ed: they are
+//!     unicast replies built once, and `Promised { accepted: None }` — the
+//!     overwhelmingly common promise — allocates nothing.
+//! * The acquire-tagged ABD write-back rides its own boxed variant
+//!   ([`Msg::WriteAcq`]): the acquire op id does not fit next to an inline
+//!   value, and tagged write-backs only occur when round 1 found no value
+//!   quorum. Untagged write-backs (releases, slow-path rounds) use the flat
+//!   [`Msg::WriteMsg`].
+//! * Plain acks carry nothing but the echoed rid. [`Msg::Ack`] is the
+//!   single flavour; [`Msg::AckBatch`] coalesces every ack generated while
+//!   draining one inbound envelope into one message (see
+//!   `Worker::flush_acks`). The receiver resolves each rid through the
+//!   in-flight slab, whose entry kind recovers what was acked — which is
+//!   why one neutral ack type can answer ES writes, value broadcasts and
+//!   commit rounds alike. [`Msg::SlowReleaseAck`] stays separate: a
+//!   release/RMW's slow-release barrier reuses the *same* rid as its value
+//!   or commit round, so a typeless ack would be ambiguous.
+//! * [`Msg::WriteAck`] survives only for the delinquency verdict: a
+//!   replica that judged the sender's machine delinquent answers a
+//!   [`Msg::WriteAcq`] individually; verdict-free acks coalesce.
+
+use std::sync::Arc;
 
 use kite_common::{Key, Lc, NodeSet, OpId, Val};
 
 /// A Paxos command: everything an acceptor stores for an accepted RMW and a
 /// committer needs to finish it (§3.4; DESIGN.md §3.4 for the dedup scheme).
+///
+/// ~90 bytes — always behind an `Arc`/`Box` on the wire (see module docs).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cmd {
     /// Owning operation (used for helping + exactly-once completion).
@@ -34,15 +78,62 @@ pub struct Cmd {
     pub lc: Lc,
 }
 
+/// The payload of a commit/learn broadcast (and of catch-up fills), shared
+/// behind an `Arc` by the broadcast unicasts, retransmissions and fills.
+#[derive(Clone, Debug)]
+pub struct CommitPayload {
+    /// Slot this commit decides (receivers advance past it).
+    pub slot: u64,
+    /// The committed value.
+    pub val: Val,
+    /// The decide-time commit stamp (see [`Cmd::lc`]).
+    pub lc: Lc,
+    /// `Some((op, result))` for real commits (ring entry); `None` for
+    /// catch-up fills.
+    pub meta: Option<(OpId, Val)>,
+}
+
+/// Catch-up payload of [`PromiseOutcome::AlreadyCommitted`].
+#[derive(Clone, Debug)]
+pub struct CatchUp {
+    /// The acceptor's current (next undecided) slot.
+    pub slot: u64,
+    /// The key's current value at the acceptor (summarizes the decided
+    /// prefix).
+    pub cur_val: Val,
+    /// Its clock.
+    pub cur_lc: Lc,
+    /// The proposer's own command's recorded result, if it was helped
+    /// to commit.
+    pub done: Option<Val>,
+}
+
+/// Payload of an acquire-tagged ABD write-back round ([`Msg::WriteAcq`]),
+/// `Arc`-shared by the broadcast unicasts and retransmissions.
+#[derive(Clone, Debug)]
+pub struct WriteBack {
+    /// Key being written.
+    pub key: Key,
+    /// Value to apply.
+    pub val: Val,
+    /// Stamp to apply it under (LLC-max rule).
+    pub lc: Lc,
+    /// The acquire whose round this is: the replica probes delinquency for
+    /// the sender's machine (§5 Lemma 5.3 case a-2 relies on the second
+    /// round's quorum intersecting the DM-set quorum).
+    pub acq: OpId,
+}
+
 /// Acceptor's answer to a `Propose`.
 #[derive(Clone, Debug)]
 pub enum PromiseOutcome {
     /// Promised: will not accept lower ballots for this slot. Carries the
     /// previously accepted command, if any (the proposer must adopt the
-    /// highest-ballot one — classic Paxos phase 1).
+    /// highest-ballot one — classic Paxos phase 1). Boxed: the common
+    /// promise carries nothing.
     Promised {
         /// `(ballot, cmd)` previously accepted for this slot.
-        accepted: Option<(Lc, Cmd)>,
+        accepted: Option<Box<(Lc, Cmd)>>,
     },
     /// A higher ballot was already promised.
     NackBallot {
@@ -50,21 +141,8 @@ pub enum PromiseOutcome {
         promised: Lc,
     },
     /// The acceptor has already moved past the proposer's slot: the slot is
-    /// decided. Carries the acceptor's current slot, the key's current
-    /// value/clock for catch-up, and — if the proposer's own command is in
-    /// the committed ring — its recorded result (the op was helped).
-    AlreadyCommitted {
-        /// The acceptor's current (next undecided) slot.
-        slot: u64,
-        /// The key's current value at the acceptor (summarizes the decided
-        /// prefix).
-        cur_val: Val,
-        /// Its clock.
-        cur_lc: Lc,
-        /// The proposer's own command's recorded result, if it was helped
-        /// to commit.
-        done: Option<Val>,
-    },
+    /// decided. Boxed catch-up payload (two values).
+    AlreadyCommitted(Box<CatchUp>),
     /// The acceptor is *behind* the proposer's slot (missed a commit); the
     /// proposer answers with a `Commit` fill.
     Lagging {
@@ -74,6 +152,8 @@ pub enum PromiseOutcome {
 }
 
 /// Protocol messages. `rid` is the sender's request id; replies echo it.
+/// Layout budget: see the module docs — and keep the compile-time size
+/// assertion below green when adding variants.
 #[derive(Clone, Debug)]
 pub enum Msg {
     // ------------------------------------------------------------------ ES
@@ -89,10 +169,23 @@ pub enum Msg {
         /// The write's Lamport stamp (LLC-max apply rule).
         lc: Lc,
     },
-    /// Ack for `EsWrite`.
-    EsAck {
+
+    // ---------------------------------------------------------- plain acks
+    /// A single plain ack: answers an [`Msg::EsWrite`], an untagged
+    /// [`Msg::WriteMsg`], a non-delinquent [`Msg::WriteAcq`] or an
+    /// [`Msg::Commit`] — the receiver's in-flight entry kind disambiguates.
+    Ack {
         /// Echoed request id.
         rid: u64,
+    },
+    /// Every plain ack generated while draining one inbound envelope,
+    /// coalesced into a single message back to its source. Stale rids
+    /// inside the batch are dropped individually by the receiver's
+    /// generation check.
+    AckBatch {
+        /// Echoed request ids (buffer recycled through the workers' ack
+        /// pools, like envelope buffers).
+        rids: Vec<u64>,
     },
 
     // ----------------------------------------------------------- ABD rounds
@@ -136,11 +229,9 @@ pub enum Msg {
         delinquent: bool,
     },
 
-    /// ABD value broadcast: release round 2, or an acquire's read
-    /// write-back round. Applied under the LLC-max rule; always acked.
-    /// Acquire write-backs carry `acq` so the second round also collects
-    /// delinquency verdicts (§5 Lemma 5.3 case a-2 relies on the second
-    /// round's quorum intersecting the DM-set quorum).
+    /// ABD value broadcast without an acquire tag: release round 2,
+    /// slow-path rounds, and acquire write-backs that need no probe.
+    /// Applied under the LLC-max rule; answered with a plain ack.
     WriteMsg {
         /// Sender's request id.
         rid: u64,
@@ -150,10 +241,20 @@ pub enum Msg {
         val: Val,
         /// Stamp to apply it under (LLC-max rule).
         lc: Lc,
-        /// `Some(op)` iff this is an acquire's write-back round.
-        acq: Option<OpId>,
     },
-    /// Ack for [`Msg::WriteMsg`].
+    /// Acquire-tagged ABD write-back (§3.3 + §4.2): like [`Msg::WriteMsg`]
+    /// but the replica also probes delinquency for the sender under the
+    /// acquire's op id. Boxed payload — see the module docs.
+    WriteAcq {
+        /// Sender's request id.
+        rid: u64,
+        /// Key, value, stamp and acquire tag (`Arc`-shared across the
+        /// broadcast).
+        wb: Arc<WriteBack>,
+    },
+    /// Individual ack for a [`Msg::WriteAcq`] whose probe judged the
+    /// sender's machine delinquent. Non-delinquent verdicts ride the plain
+    /// ack path.
     WriteAck {
         /// Echoed request id.
         rid: u64,
@@ -170,7 +271,9 @@ pub enum Msg {
         /// The DM-set: machines suspected to have missed barrier writes.
         dm: NodeSet,
     },
-    /// Ack for [`Msg::SlowRelease`].
+    /// Ack for [`Msg::SlowRelease`]. Never coalesced: the barrier reuses
+    /// its owning release/RMW's rid, so this ack must stay distinguishable
+    /// from that rid's value/commit-round acks.
     SlowReleaseAck {
         /// Echoed request id.
         rid: u64,
@@ -212,7 +315,8 @@ pub enum Msg {
         delinquent: bool,
     },
 
-    /// Phase-2 accept.
+    /// Phase-2 accept. The command is `Arc`-shared across the broadcast
+    /// unicasts and retransmissions (one allocation per round).
     Accept {
         /// Proposer's request id.
         rid: u64,
@@ -223,7 +327,7 @@ pub enum Msg {
         /// Ballot this accept runs under.
         ballot: Lc,
         /// The command to accept (op id + value + result + commit stamp).
-        cmd: Cmd,
+        cmd: Arc<Cmd>,
     },
     /// Reply to `Accept` (ballot echoed, as in `PromiseRep`).
     AcceptRep {
@@ -240,44 +344,38 @@ pub enum Msg {
     },
 
     /// Commit/learn broadcast (also used as catch-up fill for lagging
-    /// replicas). `meta` is `Some((op, result))` for real commits — recorded
-    /// in the key's committed ring — and `None` for fills. Idempotent.
-    /// Acked: an RMW completes only once its commit is visible at a quorum
-    /// of stores (the third of the paper's "three broadcast rounds", §3.4 —
-    /// without it a linearizable read could miss a completed RMW).
+    /// replicas). Idempotent. Acked (plain): an RMW completes only once its
+    /// commit is visible at a quorum of stores (the third of the paper's
+    /// "three broadcast rounds", §3.4 — without it a linearizable read
+    /// could miss a completed RMW).
     Commit {
-        /// Committer's request id (`0` for fills: the ack is discarded).
+        /// Committer's request id (`0` for fills: no ack is sent).
         rid: u64,
         /// Key of the per-key instance.
         key: Key,
-        /// Slot this commit decides (receivers advance past it).
-        slot: u64,
-        /// The committed value.
-        val: Val,
-        /// The decide-time commit stamp (see [`Cmd::lc`]).
-        lc: Lc,
-        /// `Some((op, result))` for real commits (ring entry); `None` for
-        /// catch-up fills.
-        meta: Option<(OpId, Val)>,
-    },
-    /// Ack for [`Msg::Commit`] (visibility quorum).
-    CommitAck {
-        /// Echoed request id.
-        rid: u64,
+        /// Slot, value, stamp and ring metadata (`Arc`-shared across the
+        /// broadcast, retransmissions and fills).
+        c: Arc<CommitPayload>,
     },
 }
+
+// The tentpole invariant: one cache line per message. Everything bigger
+// must go behind a Box/Arc (see the module docs for the budget).
+const _: () = assert!(std::mem::size_of::<Msg>() <= 64);
 
 impl Msg {
     /// Short tag for trace/debug output.
     pub fn tag(&self) -> &'static str {
         match self {
             Msg::EsWrite { .. } => "es-write",
-            Msg::EsAck { .. } => "es-ack",
+            Msg::Ack { .. } => "ack",
+            Msg::AckBatch { .. } => "ack-batch",
             Msg::RtsReq { .. } => "rts-req",
             Msg::RtsRep { .. } => "rts-rep",
             Msg::ReadReq { .. } => "read-req",
             Msg::ReadRep { .. } => "read-rep",
             Msg::WriteMsg { .. } => "write",
+            Msg::WriteAcq { .. } => "write-acq",
             Msg::WriteAck { .. } => "write-ack",
             Msg::SlowRelease { .. } => "slow-release",
             Msg::SlowReleaseAck { .. } => "slow-release-ack",
@@ -287,7 +385,6 @@ impl Msg {
             Msg::Accept { .. } => "accept",
             Msg::AcceptRep { .. } => "accept-rep",
             Msg::Commit { .. } => "commit",
-            Msg::CommitAck { .. } => "commit-ack",
         }
     }
 
@@ -295,14 +392,14 @@ impl Msg {
     pub fn is_reply(&self) -> bool {
         matches!(
             self,
-            Msg::EsAck { .. }
+            Msg::Ack { .. }
+                | Msg::AckBatch { .. }
                 | Msg::RtsRep { .. }
                 | Msg::ReadRep { .. }
                 | Msg::WriteAck { .. }
                 | Msg::SlowReleaseAck { .. }
                 | Msg::PromiseRep { .. }
                 | Msg::AcceptRep { .. }
-                | Msg::CommitAck { .. }
         )
     }
 }
@@ -317,13 +414,18 @@ mod tests {
         let op = OpId::new(SessionId::new(NodeId(0), 0), 0);
         let msgs = vec![
             Msg::EsWrite { rid: 0, key: Key(1), val: Val::EMPTY, lc: Lc::ZERO },
-            Msg::EsAck { rid: 0 },
+            Msg::Ack { rid: 0 },
+            Msg::AckBatch { rids: vec![1, 2] },
             Msg::RtsReq { rid: 0, key: Key(1) },
             Msg::RtsRep { rid: 0, lc: Lc::ZERO },
             Msg::ReadReq { rid: 0, key: Key(1), acq: Some(op) },
             Msg::ReadRep { rid: 0, val: Val::EMPTY, lc: Lc::ZERO, delinquent: false },
-            Msg::WriteMsg { rid: 0, key: Key(1), val: Val::EMPTY, lc: Lc::ZERO, acq: None },
-            Msg::WriteAck { rid: 0, delinquent: false },
+            Msg::WriteMsg { rid: 0, key: Key(1), val: Val::EMPTY, lc: Lc::ZERO },
+            Msg::WriteAcq {
+                rid: 0,
+                wb: Arc::new(WriteBack { key: Key(1), val: Val::EMPTY, lc: Lc::ZERO, acq: op }),
+            },
+            Msg::WriteAck { rid: 0, delinquent: true },
             Msg::SlowRelease { rid: 0, dm: NodeSet::EMPTY },
             Msg::SlowReleaseAck { rid: 0 },
             Msg::ResetBit { acq: op },
@@ -339,11 +441,14 @@ mod tests {
                 key: Key(1),
                 slot: 0,
                 ballot: Lc::ZERO,
-                cmd: Cmd { op, new_val: Val::EMPTY, result: Val::EMPTY, lc: Lc::ZERO },
+                cmd: Arc::new(Cmd { op, new_val: Val::EMPTY, result: Val::EMPTY, lc: Lc::ZERO }),
             },
             Msg::AcceptRep { rid: 0, ballot: Lc::ZERO, ok: true, promised: Lc::ZERO, delinquent: false },
-            Msg::Commit { rid: 0, key: Key(1), slot: 0, val: Val::EMPTY, lc: Lc::ZERO, meta: None },
-            Msg::CommitAck { rid: 0 },
+            Msg::Commit {
+                rid: 0,
+                key: Key(1),
+                c: Arc::new(CommitPayload { slot: 0, val: Val::EMPTY, lc: Lc::ZERO, meta: None }),
+            },
         ];
         let tags: std::collections::HashSet<_> = msgs.iter().map(|m| m.tag()).collect();
         assert_eq!(tags.len(), msgs.len(), "tags must be distinct");
@@ -351,18 +456,67 @@ mod tests {
 
     #[test]
     fn reply_classification() {
-        assert!(Msg::EsAck { rid: 1 }.is_reply());
+        assert!(Msg::Ack { rid: 1 }.is_reply());
+        assert!(Msg::AckBatch { rids: vec![1] }.is_reply());
         assert!(!Msg::EsWrite { rid: 1, key: Key(0), val: Val::EMPTY, lc: Lc::ZERO }.is_reply());
         assert!(!Msg::ResetBit { acq: OpId::new(SessionId::new(NodeId(0), 0), 0) }.is_reply());
         assert!(!Msg::Commit {
             rid: 0,
             key: Key(0),
-            slot: 0,
-            val: Val::EMPTY,
-            lc: Lc::ZERO,
-            meta: None
+            c: Arc::new(CommitPayload { slot: 0, val: Val::EMPTY, lc: Lc::ZERO, meta: None }),
         }
         .is_reply());
-        assert!(Msg::CommitAck { rid: 0 }.is_reply());
+    }
+
+    #[test]
+    fn msg_fits_one_cache_line() {
+        // The const assertion pins ≤ 64; this records the exact numbers so
+        // a layout regression is visible in test output (run with
+        // `--nocapture` for the full report).
+        use std::mem::{align_of, size_of};
+        let report = [
+            ("Msg", size_of::<Msg>(), align_of::<Msg>()),
+            ("PromiseOutcome", size_of::<PromiseOutcome>(), align_of::<PromiseOutcome>()),
+            ("Val", size_of::<Val>(), align_of::<Val>()),
+            ("Lc", size_of::<Lc>(), align_of::<Lc>()),
+            ("Cmd", size_of::<Cmd>(), align_of::<Cmd>()),
+            ("CommitPayload", size_of::<CommitPayload>(), align_of::<CommitPayload>()),
+            (
+                "Envelope<Msg>",
+                size_of::<kite_simnet::Envelope<Msg>>(),
+                align_of::<kite_simnet::Envelope<Msg>>(),
+            ),
+        ];
+        for (name, size, align) in report {
+            println!("{name:<16} size {size:>3}  align {align}");
+        }
+        assert!(size_of::<Msg>() <= 64, "Msg = {}", size_of::<Msg>());
+        assert!(size_of::<PromiseOutcome>() <= 24);
+        assert_eq!(size_of::<Val>(), 33);
+        assert_eq!(size_of::<Lc>(), 8);
+        // An envelope is one line of header + the batch Vec: src + Vec.
+        assert!(size_of::<kite_simnet::Envelope<Msg>>() <= 32);
+    }
+
+    #[test]
+    fn arc_payload_clone_is_shallow() {
+        let op = OpId::new(SessionId::new(NodeId(0), 0), 0);
+        let m = Msg::Accept {
+            rid: 1,
+            key: Key(2),
+            slot: 3,
+            ballot: Lc::ZERO,
+            cmd: Arc::new(Cmd {
+                op,
+                new_val: Val::from_bytes(&[9u8; 32]),
+                result: Val::EMPTY,
+                lc: Lc::ZERO,
+            }),
+        };
+        let m2 = m.clone();
+        let (Msg::Accept { cmd: a, .. }, Msg::Accept { cmd: b, .. }) = (&m, &m2) else {
+            unreachable!()
+        };
+        assert!(Arc::ptr_eq(a, b), "broadcast clones must share the boxed payload");
     }
 }

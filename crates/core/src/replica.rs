@@ -1,14 +1,23 @@
 //! Replica-side protocol handlers: how a Kite node reacts to requests from
 //! peers. These are the passive halves of ES (§3.2), ABD (§3.3), Paxos
 //! (§3.4) and the barrier machinery (§4.2).
+//!
+//! Plain acks (ES writes, value broadcasts, commit visibility) are not sent
+//! eagerly: [`Worker::ack`] stages the rid and `Worker::flush_acks` folds
+//! everything staged while draining one inbound envelope into a single
+//! [`Msg::AckBatch`] back to the source — the ack path is sub-linear in
+//! messages. Replies that carry data (`ReadRep`, `PromiseRep`, …) and acks
+//! that carry a delinquency verdict are sent individually as before.
 
 #![allow(clippy::too_many_arguments)] // protocol handlers thread (now, cfg, outbox, ...) explicitly
+
+use std::sync::Arc;
 
 use kite_common::{Key, Lc, NodeId, NodeSet, OpId, Val};
 use kite_kvs::paxos_meta::AcceptedCmd;
 use kite_simnet::Outbox;
 
-use crate::msg::{Cmd, Msg, PromiseOutcome};
+use crate::msg::{CatchUp, Cmd, CommitPayload, Msg, PromiseOutcome, WriteBack};
 use crate::worker::Worker;
 
 impl Worker {
@@ -38,7 +47,7 @@ impl Worker {
     ) {
         self.shared.store.apply_max(key, &val, lc);
         if self.mode.has_barriers() {
-            out.send(src, Msg::EsAck { rid });
+            self.ack(src, rid, out);
         }
     }
 
@@ -61,10 +70,8 @@ impl Worker {
         out.send(src, Msg::ReadRep { rid, val: view.val, lc: view.lc, delinquent });
     }
 
-    /// ABD value broadcast (release round 2 or acquire write-back): apply
-    /// under the LLC-max rule and ack. Acquire write-backs probe too —
-    /// Lemma 5.3 needs the *second* round's quorum to intersect the DM-set
-    /// quorum when the value was seen by fewer than a quorum in round 1.
+    /// Untagged ABD value broadcast (release round 2, slow-path rounds):
+    /// apply under the LLC-max rule and ack (plain — no probe, no verdict).
     pub(crate) fn on_write_msg(
         &mut self,
         src: NodeId,
@@ -72,12 +79,32 @@ impl Worker {
         key: Key,
         val: Val,
         lc: Lc,
-        acq: Option<OpId>,
         out: &mut Outbox<Msg>,
     ) {
-        let delinquent = self.probe(src, acq);
         self.shared.store.apply_max(key, &val, lc);
-        out.send(src, Msg::WriteAck { rid, delinquent });
+        self.ack(src, rid, out);
+    }
+
+    /// Acquire-tagged write-back: like [`Worker::on_write_msg`] but probes
+    /// too — Lemma 5.3 needs the *second* round's quorum to intersect the
+    /// DM-set quorum when the value was seen by fewer than a quorum in
+    /// round 1. A delinquent verdict must reach the acquirer, so it is
+    /// acked individually; the common clean verdict coalesces.
+    pub(crate) fn on_write_acq(
+        &mut self,
+        src: NodeId,
+        rid: u64,
+        wb: Arc<WriteBack>,
+        out: &mut Outbox<Msg>,
+    ) {
+        let delinquent = self.probe(src, Some(wb.acq));
+        self.shared.store.apply_max(wb.key, &wb.val, wb.lc);
+        if delinquent {
+            self.shared.counters.acks_sent.incr();
+            out.send(src, Msg::WriteAck { rid, delinquent: true });
+        } else {
+            self.ack(src, rid, out);
+        }
     }
 
     /// Slow-release (§4.2): record the DM-set, ack. The release at `src`
@@ -125,21 +152,21 @@ impl Worker {
                 // can never be re-decided at a fresh slot.
                 let result = c.result.clone();
                 let view = self.shared.store.view(key);
-                PromiseOutcome::AlreadyCommitted {
+                PromiseOutcome::AlreadyCommitted(Box::new(CatchUp {
                     slot: meta.slot,
                     cur_val: view.val,
                     cur_lc: view.lc,
                     done: Some(result),
-                }
+                }))
             } else if slot < meta.slot {
                 // Slot already decided here: help the proposer catch up.
                 let view = self.shared.store.view(key);
-                PromiseOutcome::AlreadyCommitted {
+                PromiseOutcome::AlreadyCommitted(Box::new(CatchUp {
                     slot: meta.slot,
                     cur_val: view.val,
                     cur_lc: view.lc,
                     done: None,
-                }
+                }))
             } else if slot > meta.slot {
                 // We missed a commit; the proposer will send a fill.
                 PromiseOutcome::Lagging { slot: meta.slot }
@@ -148,10 +175,10 @@ impl Worker {
                 // (ballots embed the machine id, so equality ⇒ same proposer).
                 meta.promised = ballot;
                 let accepted = meta.accepted.as_ref().map(|a| {
-                    (
+                    Box::new((
                         a.ballot,
                         Cmd { op: a.op, new_val: a.new_val.clone(), result: a.result.clone(), lc: a.lc },
-                    )
+                    ))
                 });
                 PromiseOutcome::Promised { accepted }
             } else {
@@ -170,7 +197,7 @@ impl Worker {
         key: Key,
         slot: u64,
         ballot: Lc,
-        cmd: Cmd,
+        cmd: Arc<Cmd>,
         out: &mut Outbox<Msg>,
     ) {
         let delinquent = self.probe(src, Some(cmd.op));
@@ -182,8 +209,8 @@ impl Worker {
                 meta.accepted = Some(AcceptedCmd {
                     op: cmd.op,
                     ballot,
-                    new_val: cmd.new_val,
-                    result: cmd.result,
+                    new_val: cmd.new_val.clone(),
+                    result: cmd.result.clone(),
                     lc: cmd.lc,
                 });
                 (true, ballot)
@@ -197,27 +224,31 @@ impl Worker {
     /// Commit/learn (§3.4): apply the decided value (LLC-max keeps this
     /// idempotent and correctly ordered against relaxed writes), record the
     /// command for dedup, advance the slot. Also used as the catch-up fill
-    /// for lagging replicas (`meta == None`).
+    /// for lagging replicas (`rid == 0`, `meta == None`) — fills are not
+    /// acked at all (the committer would discard the ack anyway).
     pub(crate) fn on_commit(
         &mut self,
         src: NodeId,
         rid: u64,
         key: Key,
-        slot: u64,
-        val: Val,
-        lc: Lc,
-        meta: Option<(OpId, Val)>,
+        c: Arc<CommitPayload>,
         out: &mut Outbox<Msg>,
     ) {
-        out.send(src, Msg::CommitAck { rid });
-        self.shared.store.apply_max(key, &val, lc);
+        if rid != 0 {
+            self.ack(src, rid, out);
+        }
+        self.shared.store.apply_max(key, &c.val, c.lc);
         let pax = self.shared.store.paxos(key);
         let mut pax = pax.lock();
-        if let Some((op, result)) = meta {
-            if pax.committed.find(op).is_none() {
-                pax.committed.push(kite_kvs::paxos_meta::RmwCommit { op, slot, result });
+        if let Some((op, result)) = &c.meta {
+            if pax.committed.find(*op).is_none() {
+                pax.committed.push(kite_kvs::paxos_meta::RmwCommit {
+                    op: *op,
+                    slot: c.slot,
+                    result: result.clone(),
+                });
             }
         }
-        pax.advance_past(slot);
+        pax.advance_past(c.slot);
     }
 }

@@ -23,10 +23,15 @@ use kite_common::{NodeId, OpId};
 use kite_simnet::{Actor, Outbox};
 
 use crate::api::{Completion, CompletionHook, Op, OpOutput};
-use crate::inflight::{InFlightTable, UNTRACKED_RID_BIT};
+use crate::inflight::{InFlight, InFlightTable, UNTRACKED_RID_BIT};
 use crate::msg::Msg;
 use crate::nodestate::NodeShared;
 use crate::session::{ProtocolMode, Session};
+
+/// Spare `AckBatch` buffers retained per worker. Like the outbox's envelope
+/// pool: drained batch buffers circulate between the workers' pools instead
+/// of being freed and reallocated per envelope.
+const ACK_POOL_CAP: usize = 16;
 
 /// Outcome of attempting to start an operation.
 pub(crate) enum StartResult {
@@ -59,6 +64,17 @@ pub struct Worker {
     /// they can never alias a slab rid — see `inflight`'s module docs).
     next_untracked: u64,
     last_scan: u64,
+    /// Plain-ack rids staged while draining the current inbound envelope;
+    /// flushed as one `AckBatch` per envelope (see `Worker::flush_acks`).
+    pending_acks: Vec<u64>,
+    /// Spare batch buffers recycled from drained `AckBatch`es.
+    ack_pool: Vec<Vec<u64>>,
+    /// Cached `cfg.coalesce_acks` (false = one ack message per request).
+    coalesce_acks: bool,
+    /// Debug guard: the node every currently staged ack targets — staging
+    /// only stores rids, so all acks of one envelope MUST share a source.
+    #[cfg(debug_assertions)]
+    ack_src: Option<NodeId>,
     pub(crate) hook: Option<CompletionHook>,
     // cached config
     pub(crate) nodes: usize,
@@ -99,6 +115,11 @@ impl Worker {
             rmw_retries: Vec::new(),
             next_untracked: 0,
             last_scan: 0,
+            pending_acks: Vec::with_capacity(64),
+            ack_pool: Vec::new(),
+            coalesce_acks: cfg.coalesce_acks,
+            #[cfg(debug_assertions)]
+            ack_src: None,
             hook,
             nodes: cfg.nodes,
             quorum: cfg.quorum(),
@@ -236,6 +257,98 @@ impl Worker {
         progress
     }
 
+    // ---- ack coalescing ---------------------------------------------------
+
+    /// Stage (or, with coalescing off, immediately send) a plain ack for
+    /// `rid` back to `src`. Called by the replica-side handlers; staged
+    /// rids are flushed per inbound envelope by [`Worker::flush_acks`].
+    #[inline]
+    pub(crate) fn ack(&mut self, src: NodeId, rid: u64, out: &mut Outbox<Msg>) {
+        if self.coalesce_acks {
+            // Staging stores only the rid: the batch goes to the envelope's
+            // source, so every staged ack must target that same node.
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(
+                    self.pending_acks.is_empty() || self.ack_src == Some(src),
+                    "coalesced ack for {src} staged while batching for {:?}",
+                    self.ack_src
+                );
+                self.ack_src = Some(src);
+            }
+            self.pending_acks.push(rid);
+        } else {
+            self.shared.counters.acks_sent.incr();
+            out.send(src, Msg::Ack { rid });
+        }
+    }
+
+    /// Emit everything staged by [`Worker::ack`] while draining one inbound
+    /// envelope: a single `Ack` if one rid, one `AckBatch` otherwise. The
+    /// batch buffer is drawn from the worker's ack pool (refilled from
+    /// drained inbound batches); with symmetric traffic the pools warm and
+    /// the cycle allocates nothing. A worker that only ever *replies* (its
+    /// pool never refills) pays one pre-sized allocation per batch — never
+    /// growth copies.
+    fn flush_acks(&mut self, src: NodeId, out: &mut Outbox<Msg>) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.pending_acks.is_empty() || self.ack_src == Some(src),
+                "flushing acks staged for {:?} to {src}",
+                self.ack_src
+            );
+            self.ack_src = None;
+        }
+        match self.pending_acks.len() {
+            0 => {}
+            1 => {
+                let rid = self.pending_acks.pop().expect("len checked");
+                self.shared.counters.acks_sent.incr();
+                out.send(src, Msg::Ack { rid });
+            }
+            n => {
+                let replacement =
+                    self.ack_pool.pop().unwrap_or_else(|| Vec::with_capacity(64));
+                let rids = std::mem::replace(&mut self.pending_acks, replacement);
+                let c = &self.shared.counters;
+                c.acks_sent.incr();
+                c.msgs_batched.incr();
+                c.acks_coalesced.add(n as u64);
+                out.send(src, Msg::AckBatch { rids });
+            }
+        }
+    }
+
+    /// Resolve one plain ack: the in-flight entry's kind recovers what was
+    /// acked (ES write / value broadcast / commit round). Stale rids fail
+    /// the slab's generation check and are dropped individually.
+    ///
+    /// The kind probe here plus the handler's own `get_mut` is two slab
+    /// resolves (~2 ns each) per ack — kept deliberately: folding the
+    /// handlers under one borrow would entangle their disjoint-field
+    /// borrow patterns for a win that is noise next to the handler body.
+    fn on_plain_ack(&mut self, src: NodeId, rid: u64, now: u64, out: &mut Outbox<Msg>) {
+        match self.inflight.get(rid) {
+            Some(InFlight::EsWrite(_)) => self.on_es_ack(src, rid, now),
+            Some(InFlight::Rmw(_)) => self.on_commit_ack(src, rid, now, out),
+            Some(_) => self.on_write_ack(src, rid, false, now, out),
+            None => {}
+        }
+    }
+
+    /// Drain a coalesced ack batch with one walk over the slab, then feed
+    /// the emptied buffer to this worker's ack pool (buffers circulate
+    /// around the cluster, like envelope buffers).
+    fn on_ack_batch(&mut self, src: NodeId, mut rids: Vec<u64>, now: u64, out: &mut Outbox<Msg>) {
+        for rid in rids.drain(..) {
+            self.on_plain_ack(src, rid, now, out);
+        }
+        if self.ack_pool.len() < ACK_POOL_CAP {
+            self.ack_pool.push(rids);
+        }
+    }
+
     // ---- dispatch ---------------------------------------------------------
 
     fn dispatch(&mut self, src: NodeId, m: Msg, now: u64, out: &mut Outbox<Msg>) {
@@ -244,9 +357,8 @@ impl Worker {
             Msg::EsWrite { rid, key, val, lc } => self.on_es_write(src, rid, key, val, lc, out),
             Msg::RtsReq { rid, key } => self.on_rts_req(src, rid, key, out),
             Msg::ReadReq { rid, key, acq } => self.on_read_req(src, rid, key, acq, out),
-            Msg::WriteMsg { rid, key, val, lc, acq } => {
-                self.on_write_msg(src, rid, key, val, lc, acq, out)
-            }
+            Msg::WriteMsg { rid, key, val, lc } => self.on_write_msg(src, rid, key, val, lc, out),
+            Msg::WriteAcq { rid, wb } => self.on_write_acq(src, rid, wb, out),
             Msg::SlowRelease { rid, dm } => self.on_slow_release(src, rid, dm, out),
             Msg::ResetBit { acq } => self.on_reset_bit(acq),
             Msg::Propose { rid, key, slot, ballot, op } => {
@@ -255,13 +367,11 @@ impl Worker {
             Msg::Accept { rid, key, slot, ballot, cmd } => {
                 self.on_accept(src, rid, key, slot, ballot, cmd, out)
             }
-            Msg::Commit { rid, key, slot, val, lc, meta } => {
-                self.on_commit(src, rid, key, slot, val, lc, meta, out)
-            }
-            Msg::CommitAck { rid } => self.on_commit_ack(src, rid, now, out),
+            Msg::Commit { rid, key, c } => self.on_commit(src, rid, key, c, out),
 
             // initiator side (replies)
-            Msg::EsAck { rid } => self.on_es_ack(src, rid, now),
+            Msg::Ack { rid } => self.on_plain_ack(src, rid, now, out),
+            Msg::AckBatch { rids } => self.on_ack_batch(src, rids, now, out),
             Msg::RtsRep { rid, lc } => self.on_rts_rep(src, rid, lc, now, out),
             Msg::ReadRep { rid, val, lc, delinquent } => {
                 self.on_read_rep(src, rid, val, lc, delinquent, now, out)
@@ -285,9 +395,13 @@ impl Actor for Worker {
         // A message from `src` proves it alive — clear any suspicion so
         // releases resume waiting for its acks (fast path).
         self.shared.clear_suspect(src);
+        debug_assert!(self.pending_acks.is_empty(), "acks staged outside an envelope");
         for m in msgs.drain(..) {
             self.dispatch(src, m, now, out);
         }
+        // One ack message per envelope, not per request: everything the
+        // drain above staged goes back to `src` as a single batch.
+        self.flush_acks(src, out);
     }
 
     fn on_tick(&mut self, now: u64, out: &mut Outbox<Msg>) -> bool {

@@ -183,7 +183,7 @@ mod tests {
         };
         for _ in 0..5_000 {
             let s = r.snapshot();
-            assert_eq!(s.lc.version, s.val().as_u64(), "clock and value must move together");
+            assert_eq!(s.lc.version(), s.val().as_u64(), "clock and value must move together");
         }
         stop.store(true, Ordering::Relaxed);
         writer.join().unwrap();

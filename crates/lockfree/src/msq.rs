@@ -33,7 +33,7 @@ impl MsQueue {
     /// paper preloads the KVS the same way, §7). The dummy must come from a
     /// reserved arena, not a client arena.
     pub fn init_store(&self, store: &Store, dummy: Ptr) {
-        let lc = Lc { version: 1, mid: 0 };
+        let lc = Lc::new(1, kite_common::NodeId(0));
         store.apply_ordered(self.head, &dummy.encode(), lc);
         store.apply_ordered(self.tail, &dummy.encode(), lc);
         store.apply_ordered(NodeArena::next_key(dummy), &Ptr::NULL.encode(), lc);

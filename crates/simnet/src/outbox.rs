@@ -87,6 +87,10 @@ impl<P> Outbox<P> {
 
     /// Queue a clone of `msg` for every node except `me` — the broadcast
     /// primitive, implemented as unicasts exactly like the paper (§6.3).
+    /// The N−1 clones copy only the message value itself; Kite keeps
+    /// `Msg` at one cache line with its large payloads `Arc`-shared, so a
+    /// broadcast writes the payload once and the clones are refcount
+    /// bumps plus a 64-byte memcpy each.
     #[inline]
     pub fn broadcast(&mut self, me: NodeId, msg: P)
     where

@@ -176,6 +176,32 @@ impl<P> Drop for ThreadedNet<P> {
     }
 }
 
+/// A delayed envelope in the delayer's heap, ordered by `(deliver_at, seq)`
+/// — seq breaks deadline ties FIFO. The envelope lives *in* the heap entry:
+/// no side-table, no hash per delayed envelope.
+struct Pending<P> {
+    deliver_at: u64,
+    seq: u64,
+    d: Delayed<P>,
+}
+
+impl<P> PartialEq for Pending<P> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.deliver_at, self.seq) == (other.deliver_at, other.seq)
+    }
+}
+impl<P> Eq for Pending<P> {}
+impl<P> PartialOrd for Pending<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Pending<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
 fn delayer_loop<P: Send>(
     rx: Receiver<Delayed<P>>,
     senders: Arc<Vec<Vec<Sender<Envelope<P>>>>>,
@@ -183,39 +209,29 @@ fn delayer_loop<P: Send>(
 ) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    // Heap keyed by deadline; seq breaks ties FIFO.
-    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-    let mut slots: std::collections::HashMap<u64, Delayed<P>> = std::collections::HashMap::new();
+    let mut heap: BinaryHeap<Reverse<Pending<P>>> = BinaryHeap::new();
     let mut seq = 0u64;
     loop {
         // Deliver everything due.
         let now = clock.now();
-        while let Some(&Reverse((at, s))) = heap.peek() {
-            if at > now {
-                break;
-            }
-            heap.pop();
-            if let Some(d) = slots.remove(&s) {
-                let _ = senders[d.dst.idx()][d.worker].send(d.env);
-            }
+        while heap.peek().is_some_and(|Reverse(p)| p.deliver_at <= now) {
+            let Some(Reverse(p)) = heap.pop() else { unreachable!() };
+            let _ = senders[p.d.dst.idx()][p.d.worker].send(p.d.env);
         }
         let timeout = heap
             .peek()
-            .map(|&Reverse((at, _))| Duration::from_nanos(at.saturating_sub(clock.now())))
+            .map(|Reverse(p)| Duration::from_nanos(p.deliver_at.saturating_sub(clock.now())))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(timeout) {
             Ok(d) => {
-                heap.push(Reverse((d.deliver_at, seq)));
-                slots.insert(seq, d);
+                heap.push(Reverse(Pending { deliver_at: d.deliver_at, seq, d }));
                 seq += 1;
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
                 // Flush whatever is still queued, then exit.
-                while let Some(Reverse((_, s))) = heap.pop() {
-                    if let Some(d) = slots.remove(&s) {
-                        let _ = senders[d.dst.idx()][d.worker].send(d.env);
-                    }
+                while let Some(Reverse(p)) = heap.pop() {
+                    let _ = senders[p.d.dst.idx()][p.d.worker].send(p.d.env);
                 }
                 return;
             }

@@ -26,6 +26,15 @@ pub struct RunResult {
     /// Slow-path accesses during the whole run (should be 0 without
     /// failures).
     pub slow_path: u64,
+    /// Ack messages sent during the whole run (singles + batches each
+    /// counted once) — `ack_msgs / total_completed` is the acks-per-op
+    /// figure the throughput harness reports.
+    pub ack_msgs: u64,
+    /// Plain acks that rode inside `AckBatch` messages.
+    pub acks_coalesced: u64,
+    /// Requests completed over the whole run (warmup included) — the
+    /// denominator matching the whole-run counters above.
+    pub total_completed: u64,
 }
 
 fn mreqs(completed: u64, window_ns: u64) -> f64 {
@@ -61,13 +70,22 @@ pub fn run_kite_mix(
     let per_node: Vec<f64> =
         before.iter().zip(&after).map(|(b, a)| mreqs(a - b, run_ns)).collect();
     let completed: u64 = after.iter().sum::<u64>() - before.iter().sum::<u64>();
-    let (local_reads, slow_path) = (0..cfg.nodes)
+    let (local_reads, slow_path, ack_msgs, acks_coalesced) = (0..cfg.nodes)
         .map(|n| {
             let c = sc.counters(NodeId(n as u8));
-            (c.local_reads.get(), c.slow_path_accesses.get())
+            (c.local_reads.get(), c.slow_path_accesses.get(), c.acks_sent.get(), c.acks_coalesced.get())
         })
-        .fold((0, 0), |(lr, sp), (l, s)| (lr + l, sp + s));
-    RunResult { mreqs: mreqs(completed, run_ns), per_node, completed, local_reads, slow_path }
+        .fold((0, 0, 0, 0), |(lr, sp, am, ac), (l, s, a, c)| (lr + l, sp + s, am + a, ac + c));
+    RunResult {
+        mreqs: mreqs(completed, run_ns),
+        per_node,
+        completed,
+        local_reads,
+        slow_path,
+        ack_msgs,
+        acks_coalesced,
+        total_completed: sc.total_completed(),
+    }
 }
 
 /// Run `mix` on the ZAB baseline. Releases/acquires degrade to ZAB
@@ -102,7 +120,17 @@ pub fn run_zab_mix(
     let completed: u64 = after.iter().sum::<u64>() - before.iter().sum::<u64>();
     let local_reads =
         (0..cfg.nodes).map(|n| zc.counters(NodeId(n as u8)).local_reads.get()).sum();
-    RunResult { mreqs: mreqs(completed, run_ns), per_node, completed, local_reads, slow_path: 0 }
+    let total_completed = (0..cfg.nodes).map(|n| zc.counters(NodeId(n as u8)).completed.get()).sum();
+    RunResult {
+        mreqs: mreqs(completed, run_ns),
+        per_node,
+        completed,
+        local_reads,
+        slow_path: 0,
+        ack_msgs: 0,
+        acks_coalesced: 0,
+        total_completed,
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,7 @@ impl ApplyBuf {
             let Some((key, val)) = self.pending.remove(&self.next_apply) else { break };
             // zxid doubles as the version: the externally imposed total
             // order replaces LLC arbitration entirely.
-            store.apply_ordered(key, &val, Lc { version: self.next_apply + 1, mid: 0 });
+            store.apply_ordered(key, &val, Lc::new(self.next_apply + 1, kite_common::NodeId(0)));
             self.committed.remove(&self.next_apply);
             self.next_apply += 1;
             applied += 1;

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1-adjacent perf check:
 #   1. `cargo bench --no-run` — benches must keep compiling (no bit-rot);
-#   2. run the closed-loop throughput bin with fixed seeds and record the
-#      data point in BENCH_micro.json (micro ns/op + e2e mreqs).
+#   2. run the closed-loop throughput bin with fixed seeds. Before
+#      overwriting BENCH_micro.json, the bin diffs the fresh numbers
+#      against the committed file and prints a ±10% regression warning
+#      table (micro: lower is better; e2e mreqs: higher is better) —
+#      regressions are flagged loudly instead of silently replaced.
 #
 # Usage: scripts/bench.sh [seed]   (default seed: 42)
 set -euo pipefail
@@ -13,7 +16,7 @@ SEED="${1:-42}"
 echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --no-run --workspace
 
-echo "== closed-loop throughput (seed ${SEED}) =="
+echo "== closed-loop throughput (seed ${SEED}) + regression diff =="
 cargo run --release -p kite-bench --bin throughput -- --out BENCH_micro.json --seed "${SEED}"
 
 echo "== BENCH_micro.json =="
