@@ -215,7 +215,7 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// Diff fresh metrics against the committed baseline and print a regression
 /// table; ±10% moves are flagged. Lower is better for `*_ns_per_op` rows,
 /// higher is better for e2e mreqs rows.
-fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[(String, f64, f64, f64)]) {
+fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[(String, f64, f64, f64, f64)]) {
     let Ok(text) = std::fs::read_to_string(path) else {
         println!("(no committed baseline at {path}; skipping regression diff)");
         return;
@@ -228,7 +228,7 @@ fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[(String, f6
     let fresh: Vec<(String, f64, bool)> = micro
         .iter()
         .map(|(n, v)| (n.clone(), *v, /*lower_is_better=*/ true))
-        .chain(e2e.iter().map(|(n, v, _, _)| (n.clone(), *v, false)))
+        .chain(e2e.iter().map(|(n, v, _, _, _)| (n.clone(), *v, false)))
         .collect();
     println!("\n== regression check vs committed {path} (±10%) ==");
     println!("{:<36} {:>10} {:>10} {:>8}", "metric", "baseline", "fresh", "Δ%");
@@ -282,8 +282,8 @@ fn main() {
         ("kite_typical_20w", ProtocolMode::Kite, MixCfg::typical(0.2, keys)),
         ("paxos_rmws_100w", ProtocolMode::PaxosOnly, MixCfg::plain(1.0, keys)),
     ];
-    // (name, mreqs, wall_ms, acks_per_op)
-    let mut e2e: Vec<(String, f64, f64, f64)> = Vec::new();
+    // (name, mreqs, wall_ms, acks_per_op, ae_per_op)
+    let mut e2e: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for (name, mode, mix) in runs {
         let wall = Instant::now();
         let r = run_kite_mix(cfg.clone(), mode, paper_sim(seed), mix, WARMUP_NS, RUN_NS);
@@ -295,11 +295,21 @@ fn main() {
         } else {
             0.0
         };
+        // Anti-entropy messages per op: the background-convergence
+        // subsystem's probe — steady-state digest traffic must stay
+        // negligible (< 0.01 msgs/op at 0% loss; also pinned by
+        // tests/antientropy.rs).
+        let ae = if r.total_completed > 0 {
+            r.ae_msgs as f64 / r.total_completed as f64
+        } else {
+            0.0
+        };
         println!(
-            "{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms, {apw:.2} ack-msgs/op, {} coalesced)",
+            "{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms, {apw:.2} ack-msgs/op, \
+             {} coalesced, {ae:.4} ae-msgs/op)",
             r.mreqs, r.acks_coalesced
         );
-        e2e.push((name.to_string(), r.mreqs, wall_ms, apw));
+        e2e.push((name.to_string(), r.mreqs, wall_ms, apw, ae));
     }
 
     diff_against_baseline(&out_path, &micro, &e2e);
@@ -314,10 +324,10 @@ fn main() {
         json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
     }
     json.push_str("  },\n  \"e2e\": {\n");
-    for (i, (name, mreqs, wall_ms, apw)) in e2e.iter().enumerate() {
+    for (i, (name, mreqs, wall_ms, apw, ae)) in e2e.iter().enumerate() {
         let comma = if i + 1 < e2e.len() { "," } else { "" };
         json.push_str(&format!(
-            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3} }}{comma}\n"
+            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3}, \"ae_per_op\": {ae:.4} }}{comma}\n"
         ));
     }
     json.push_str("  }\n}\n");

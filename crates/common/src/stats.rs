@@ -76,6 +76,20 @@ pub struct ProtoCounters {
     /// `AckBatch` messages emitted (each replacing `acks_coalesced /
     /// msgs_batched` individual acks on average).
     pub msgs_batched: Counter,
+    /// Anti-entropy digest messages sent (`nodes − 1` per sweep: one digest
+    /// is broadcast to every peer).
+    pub ae_digests_sent: Counter,
+    /// `(key, lc)` entries carried inside sent digests (the digest "bytes"
+    /// figure: 16 bytes per entry on the wire model).
+    pub ae_digest_keys: Counter,
+    /// Anti-entropy repair-pull requests sent (digest receiver was behind).
+    pub ae_repair_reqs: Counter,
+    /// Anti-entropy repair values sent (pull answers, stale-sender pushes,
+    /// and commit-completion fills routed through the subsystem).
+    pub ae_repair_vals: Counter,
+    /// Repair values whose `apply_max` actually advanced the local store —
+    /// real divergence healed, as opposed to already-converged traffic.
+    pub ae_repairs_applied: Counter,
 }
 
 impl ProtoCounters {

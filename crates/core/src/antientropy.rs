@@ -1,0 +1,374 @@
+//! Anti-entropy / read-repair: background convergence as a first-class
+//! subsystem.
+//!
+//! The three protocols make completed operations *safe* (quorum-visible),
+//! but a replica outside every quorum — asleep through a key's last commit
+//! (§8.4), or simply on the losing end of sustained message loss once
+//! retransmission for a finished round has stopped — used to converge only
+//! by luck: a one-shot fire-and-forget fill at RMW completion, itself
+//! droppable. This module makes convergence *retransmission-independent*:
+//!
+//! * **Digest sweep** — worker 0 of each node walks its store in
+//!   `anti_entropy_chunk`-slot ranges, one range per
+//!   `anti_entropy_interval_ns`, and broadcasts the range's `(key, packed
+//!   Lc)` pairs ([`DigestChunk`], `Arc`-shared across the unicasts) to
+//!   every peer — so any single fresh replica can repair a stale one
+//!   within one sweep cycle. Slot indices are replica-local, so digests
+//!   identify state by key, never by position.
+//! * **Diff** — the receiver compares each entry with its own store: if the
+//!   sender is fresher it *pulls* ([`Msg::RepairReq`]); if the sender is
+//!   stale it *pushes* its own value back ([`Msg::RepairVal`]). Both
+//!   directions heal, so one sweep converges a pair regardless of which
+//!   side diverged.
+//! * **Repair** — [`Msg::RepairVal`] applies under the LLC-max rule
+//!   (stale or duplicated repairs no-op) and advances the key's Paxos slot
+//!   past the sender's decided prefix, exactly what the old rid-0 commit
+//!   fill did. The commit round's completion-time fill is now merely the
+//!   *targeted trigger* of this mechanism (see
+//!   [`Worker::ae_commit_fill`]) — and with `commit_fill(false)` the
+//!   periodic sweep alone is sufficient, which `tests/antientropy.rs`
+//!   proves.
+//!
+//! No anti-entropy message is acked or retransmitted: a lost digest or
+//! repair is simply superseded by the next sweep. Repairs never touch a
+//! key's epoch — an out-of-epoch key still requires a §4.2 quorum read
+//! (one peer's value is not a quorum), so the fast/slow-path invariants
+//! are untouched.
+//!
+//! # Interaction with quiescence
+//!
+//! The deterministic simulator declares quiescence when every actor is idle
+//! and no deliveries are in flight; an unconditional periodic sweep would
+//! keep the network busy forever. Sweeping therefore runs while the
+//! worker's protocol state is active and for a **cool-down** of one full
+//! store cycle (plus slack) afterwards; any repair activity re-arms the
+//! cool-down. `Worker::is_idle` reports idle only once the cool-down has
+//! lapsed, so `run_until_quiesce` additionally guarantees the final states
+//! have been swept — replicas converge *before* quiescence, without per-op
+//! fills.
+
+use std::sync::Arc;
+
+use kite_common::{Key, Lc, NodeId, Val};
+use kite_simnet::Outbox;
+
+use crate::msg::{DigestChunk, Msg, Repair};
+use crate::worker::Worker;
+
+/// Per-worker anti-entropy state. Only worker 0 of a node sweeps (one
+/// digest stream per node, not per worker — though its idleness tracking
+/// watches the whole node's completion counter); every worker answers
+/// repair traffic.
+pub(crate) struct AeState {
+    /// This worker emits digest sweeps (`cfg.anti_entropy` && worker 0).
+    sweep: bool,
+    /// Sweep cadence (ns).
+    interval: u64,
+    /// Store slots per digest.
+    chunk: usize,
+    /// Cool-down after the worker goes protocol-idle: one full store cycle
+    /// plus slack, so everything written before idling is swept at least
+    /// once more.
+    cooldown: u64,
+    /// Next store slot to digest (wraps).
+    cursor: usize,
+    /// Time of the last sweep.
+    last_sweep: u64,
+    /// Time of the last `ae_on_tick` — a large gap means the worker just
+    /// woke from a §8.4 sleep (or similar scheduling blackout) and must
+    /// assume divergence.
+    last_tick: u64,
+    /// Node-wide completion count at the last tick: sibling workers share
+    /// the store this worker sweeps, so *their* activity must hold the
+    /// sweep open too, not just this worker's own sessions.
+    last_completed: u64,
+    /// Remaining post-wake resync pings (empty digests that re-arm peers'
+    /// sweeps). A replica that slept through a key's *first* write holds
+    /// no slot to advertise it from, so its own data digests cannot
+    /// surface that gap — only a full cycle of peer digests can. Several
+    /// are sent so a lossy link cannot eat the only copy.
+    pings: u8,
+    /// When the node last transitioned to idle (`None` while active).
+    idle_since: Option<u64>,
+    /// Cool-down lapsed: stop sweeping, report idle. Always `true` for
+    /// non-sweeping workers.
+    done: bool,
+}
+
+impl AeState {
+    pub(crate) fn new(
+        enabled: bool,
+        wid: usize,
+        interval: u64,
+        chunk: usize,
+        store_capacity: usize,
+    ) -> Self {
+        let sweep = enabled && wid == 0;
+        let chunk = chunk.max(1);
+        let cycle = (store_capacity.div_ceil(chunk) as u64) * interval;
+        AeState {
+            sweep,
+            interval,
+            chunk,
+            cooldown: cycle + 2 * interval,
+            cursor: 0,
+            last_sweep: 0,
+            last_tick: 0,
+            last_completed: 0,
+            pings: 0,
+            idle_since: None,
+            done: !sweep,
+        }
+    }
+
+    /// Repair-relevant activity observed: re-arm the cool-down so the next
+    /// full cycle can confirm convergence.
+    #[inline]
+    fn rearm(&mut self) {
+        if self.sweep {
+            self.idle_since = None;
+            self.done = false;
+        }
+    }
+
+    /// Has the sweep wound down (for `Worker::is_idle`)?
+    #[inline]
+    pub(crate) fn quiescent(&self) -> bool {
+        self.done
+    }
+
+    /// One-line state summary for the watchdog dump.
+    pub(crate) fn describe(&self) -> String {
+        format!(
+            "sweep={} done={} cursor={} last_sweep={} last_tick={} idle_since={:?} \
+             interval={} chunk={} cooldown={}",
+            self.sweep,
+            self.done,
+            self.cursor,
+            self.last_sweep,
+            self.last_tick,
+            self.idle_since,
+            self.interval,
+            self.chunk,
+            self.cooldown,
+        )
+    }
+}
+
+impl Worker {
+    /// Protocol-level idleness (sessions + in-flight), ignoring the
+    /// anti-entropy cool-down.
+    #[inline]
+    pub(crate) fn protocol_idle(&self) -> bool {
+        self.inflight.is_empty() && self.sessions.iter().all(|s| s.is_idle())
+    }
+
+    /// Anti-entropy scheduling, called every tick: track idleness, run the
+    /// cool-down, and emit one digest per interval while active.
+    pub(crate) fn ae_on_tick(&mut self, now: u64, out: &mut Outbox<Msg>) {
+        if !self.ae.sweep {
+            return;
+        }
+        // A large gap between ticks means this worker just woke from a
+        // §8.4-style sleep: the cluster moved on without it (and its
+        // cool-down clock ran while it was blacked out), so assume
+        // divergence and sweep a fresh full cycle — its digests advertise
+        // the stale clocks and any fresh peer pushes repairs back. The
+        // very first tick counts as a wake too: a replica that slept from
+        // birth has no `last_tick` to measure a gap from, and the worst a
+        // spurious birth-time resync costs is a few empty pings.
+        let gap = now.saturating_sub(self.ae.last_tick);
+        if self.ae.last_tick == 0 || gap > 4 * self.ae.interval {
+            self.ae.rearm();
+            self.ae.idle_since = Some(now);
+            self.ae.pings = 3;
+        }
+        self.ae.last_tick = now;
+        // Node-level activity: this worker's own sessions/in-flight, plus
+        // any sibling worker completing an op against the shared store
+        // (visible as a completion-counter move). Either re-arms the sweep
+        // — including from a lapsed `done` state, so a cluster that goes
+        // idle and later resumes serving sweeps again.
+        let completed = self.shared.counters.completed.get();
+        let siblings_moved = completed != self.ae.last_completed;
+        self.ae.last_completed = completed;
+        if !self.protocol_idle() || siblings_moved {
+            self.ae.idle_since = None;
+            self.ae.done = false;
+        } else if self.ae.done {
+            return;
+        } else {
+            match self.ae.idle_since {
+                None => self.ae.idle_since = Some(now),
+                Some(t) if now.saturating_sub(t) >= self.ae.cooldown => {
+                    self.ae.done = true;
+                    return;
+                }
+                Some(_) => {}
+            }
+        }
+        if now.saturating_sub(self.ae.last_sweep) < self.ae.interval {
+            return;
+        }
+        self.ae.last_sweep = now;
+        // Post-wake resync ping: an *empty* digest (ordinary sweeps never
+        // broadcast empty ranges) telling peers "I was gone — sweep a full
+        // cycle at me". Their digests then carry every key this replica
+        // may be missing, including keys it has no slot for — which its
+        // own data digests could never advertise.
+        if self.ae.pings > 0 {
+            self.ae.pings -= 1;
+            self.shared.counters.ae_digests_sent.add(self.nodes as u64 - 1);
+            out.broadcast(self.me, Msg::Digest { d: Arc::new(DigestChunk { entries: Vec::new() }) });
+        }
+        let mut entries = Vec::new();
+        self.ae.cursor =
+            self.shared.store.digest_range(self.ae.cursor, self.ae.chunk, &mut entries);
+        if entries.is_empty() {
+            return; // nothing live in this range; cursor still advanced
+        }
+        // Broadcast: any single fresh peer can then repair a stale one, so
+        // one full cycle after the last write every divergence has been
+        // diffed against every replica. The `Arc` payload makes the N−1
+        // unicasts refcount bumps.
+        let c = &self.shared.counters;
+        c.ae_digests_sent.add(self.nodes as u64 - 1);
+        c.ae_digest_keys.add((entries.len() * (self.nodes - 1)) as u64);
+        out.broadcast(self.me, Msg::Digest { d: Arc::new(DigestChunk { entries }) });
+    }
+
+    /// A peer's digest arrived: diff it against the local store, pull what
+    /// the peer has fresher, push back what it holds stale.
+    pub(crate) fn on_digest(&mut self, src: NodeId, d: Arc<DigestChunk>, out: &mut Outbox<Msg>) {
+        if d.entries.is_empty() {
+            // A post-wake resync ping: re-arm our sweep so a full cycle of
+            // our digests reaches the sender — it may hold no slot for the
+            // very keys it slept through, so only our side can surface
+            // them. One-shot per ping (ordinary digests re-arm only on an
+            // actual diff), so mutual sweeps still wind down.
+            self.ae.rearm();
+            return;
+        }
+        let mut pull: Vec<Key> = Vec::new();
+        for &(key, lc) in &d.entries {
+            // Non-claiming probe: a digest mentioning a key we never
+            // touched must not allocate a slot here — we only adopt the
+            // key if a repair actually delivers a value for it.
+            match self.shared.store.probe_lc(key) {
+                None if lc > Lc::ZERO => pull.push(key),
+                None => {} // both sides hold nothing: no information
+                Some(local) if local < lc => pull.push(key),
+                Some(local) if local > lc => {
+                    // The *sender* is behind: push our value straight back.
+                    self.ae_send_repair(src, key, out);
+                    self.ae.rearm();
+                }
+                Some(_) => {} // equal: converged
+            }
+        }
+        if !pull.is_empty() {
+            self.shared.counters.ae_repair_reqs.incr();
+            self.ae.rearm();
+            out.send(src, Msg::RepairReq { keys: pull.into_boxed_slice() });
+        }
+    }
+
+    /// A repair pull: answer with our current value (plus Paxos slot and
+    /// ring evidence) for each requested key. Fire-and-forget — a lost
+    /// answer is re-pulled on a later sweep.
+    pub(crate) fn on_repair_req(&mut self, src: NodeId, keys: Box<[Key]>, out: &mut Outbox<Msg>) {
+        for &key in keys.iter() {
+            self.ae_send_repair(src, key, out);
+        }
+    }
+
+    /// Build and send one repair for `key`: the current value plus the
+    /// `(slot, ring)` evidence pair read under one lock — evidence before
+    /// value, so a racing commit can only make the value *fresher* than
+    /// the slot implies, never staler.
+    fn ae_send_repair(&mut self, dst: NodeId, key: Key, out: &mut Outbox<Msg>) {
+        let (slot, ring) = self.shared.store.paxos_evidence(key);
+        let view = self.shared.store.view(key);
+        self.shared.counters.ae_repair_vals.incr();
+        out.send(
+            dst,
+            Msg::RepairVal { r: Box::new(Repair { key, val: view.val, lc: view.lc, slot, ring }) },
+        );
+    }
+
+    /// A repaired value: merge the dedup evidence and advance the slot
+    /// *first* (one lock), then apply the value under LLC-max (idempotent;
+    /// stale repairs no-op; the epoch is deliberately untouched). Evidence
+    /// before value, so a decide on a sibling worker that observes the
+    /// repaired value is guaranteed to find the ring entries behind it —
+    /// a ring-less slot/value advance is exactly what let a strong CAS
+    /// fail against its own committed value (see `crate::msg::Repair`).
+    pub(crate) fn on_repair_val(&mut self, r: Box<Repair>) {
+        if r.slot > 0 || !r.ring.is_empty() {
+            let pax = self.shared.store.paxos(r.key);
+            pax.lock().merge_evidence(&r.ring, r.slot);
+        }
+        if self.shared.store.apply_max(r.key, &r.val, r.lc) {
+            self.shared.counters.ae_repairs_applied.incr();
+            self.ae.rearm();
+        }
+    }
+
+    /// The targeted trigger: a quorum round (RMW commit, release value
+    /// round, acquire write-back) just completed with `targets` outside its
+    /// quorum — the round stops retransmitting now. Push a repair to the
+    /// **suspected** stragglers among them (nodes whose acks we believe
+    /// will never come — a §8.4 sleeper): their convergence would otherwise
+    /// wait a whole sweep cycle for state they may be queried about the
+    /// moment they wake. *Unsuspected* non-ackers are almost always just
+    /// acks in flight — measurement at 0% loss showed blind fills were
+    /// 100% redundant — so plain-loss stragglers are left to the sweep,
+    /// which `tests/antientropy.rs` proves sufficient. `next_slot` is the
+    /// key's next undecided Paxos slot for commit fills, `0` otherwise.
+    /// Gated by `commit_fill` (the sweep-sufficiency baseline disables it).
+    pub(crate) fn ae_completion_fill(
+        &mut self,
+        targets: kite_common::NodeSet,
+        key: Key,
+        val: Val,
+        lc: Lc,
+        next_slot: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let targets = Self::fill_targets_in(self.commit_fill, &self.shared, targets);
+        if targets.is_empty() {
+            return;
+        }
+        // Commit fills (next_slot > 0) advance the receiver's slot, so they
+        // must carry the ring evidence; the current local evidence is at
+        // least as fresh as the completed round's. Value-round fills
+        // (slot 0) advance nothing and ship none.
+        let (slot, ring) =
+            if next_slot > 0 { self.shared.store.paxos_evidence(key) } else { (0, Vec::new()) };
+        let slot = slot.max(next_slot);
+        self.shared.counters.ae_repair_vals.add(targets.len() as u64);
+        out.multicast(
+            self.me,
+            targets,
+            Msg::RepairVal { r: Box::new(Repair { key, val, lc, slot, ring }) },
+        );
+    }
+
+    /// The completion-fill gate, associated over the individual fields so a
+    /// caller can evaluate it while an in-flight entry is still borrowed —
+    /// and skip preparing the payload (cloning a value out of an `Arc`'d
+    /// commit) when the answer is "nobody", which is the steady state.
+    /// Idempotent: `ae_completion_fill` applies it again on whatever it is
+    /// handed.
+    #[inline]
+    pub(crate) fn fill_targets_in(
+        commit_fill: bool,
+        shared: &crate::nodestate::NodeShared,
+        missing: kite_common::NodeSet,
+    ) -> kite_common::NodeSet {
+        if !commit_fill || missing.is_empty() {
+            return kite_common::NodeSet::EMPTY;
+        }
+        missing.intersect(shared.suspected())
+    }
+}

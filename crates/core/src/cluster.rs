@@ -112,7 +112,7 @@ impl Cluster {
         let (tx, rx) = entry
             .take()
             .ok_or_else(|| KiteError::SessionUnavailable(format!("{node} slot {slot} taken")))?;
-        Ok(SessionHandle { id: SessionId::new(node, slot), tx, rx, outstanding: 0 })
+        Ok(SessionHandle { id: SessionId::new(node, slot), tx, rx, submitted: 0, retired: 0 })
     }
 
     /// Per-node shared state (store, epoch, delinquency) — for tests and
@@ -154,6 +154,71 @@ impl Cluster {
             stop.stop_and_join();
         }
     }
+
+    /// Arm a deadline watchdog: if the returned guard is not dropped within
+    /// `timeout`, every worker prints an `Actor::describe` snapshot of its
+    /// protocol state to stderr (from its own thread, via the runtime's
+    /// dump flag), cluster-level state follows, and the process **aborts**
+    /// with a diagnostic instead of wedging forever. Threaded fault tests
+    /// should arm one: a liveness bug then yields a stalled-round dump
+    /// rather than a CI timeout with no evidence.
+    pub fn watchdog(&self, timeout: Duration) -> Watchdog {
+        let (disarm_tx, disarm_rx) = unbounded::<()>();
+        let dump = self
+            .stop
+            .as_ref()
+            .expect("watchdog on a running cluster")
+            .dump_flag();
+        let counters = self.net.counters.clone();
+        let shared = self.shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("kite-watchdog".into())
+            .spawn(move || {
+                if disarm_rx.recv_timeout(timeout).is_ok() {
+                    return; // disarmed: test finished in time
+                }
+                eprintln!(
+                    "\n!!!! kite watchdog: no disarm within {timeout:?} — dumping state !!!!"
+                );
+                dump.store(true, std::sync::atomic::Ordering::SeqCst);
+                // Give the (possibly parked) workers a moment to notice the
+                // flag and print; park_timeout bounds this to well under 1s.
+                std::thread::sleep(Duration::from_secs(1));
+                for (n, (c, sh)) in counters.iter().zip(&shared).enumerate() {
+                    eprintln!(
+                        "node {n}: completed={} slow_releases={} epoch_bumps={} \
+                         envelopes={} msgs={} suspected={:?} epoch={}",
+                        c.completed.get(),
+                        c.slow_releases.get(),
+                        c.epoch_bumps.get(),
+                        c.envelopes_sent.get(),
+                        c.msgs_sent.get(),
+                        sh.suspected(),
+                        sh.epoch(),
+                    );
+                }
+                eprintln!("!!!! kite watchdog: aborting !!!!");
+                std::process::abort();
+            })
+            .expect("spawn watchdog");
+        Watchdog { disarm_tx, handle: Some(handle) }
+    }
+}
+
+/// Guard returned by [`Cluster::watchdog`]; dropping it disarms the
+/// deadline (the watchdog thread exits promptly).
+pub struct Watchdog {
+    disarm_tx: Sender<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let _ = self.disarm_tx.send(());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl Drop for Cluster {
@@ -166,11 +231,24 @@ impl Drop for Cluster {
 
 /// A claimed client session: sync and async operation submission. Not
 /// `Clone` — a session is a single program-order stream (§2.1).
+///
+/// Bookkeeping is two monotone counters rather than one balance:
+/// `submitted` counts ops handed to the worker (each implicitly numbered in
+/// session order — the worker assigns the same sequence numbers), `retired`
+/// counts completions received. A [`KiteError::Timeout`] changes neither,
+/// so when the late completion eventually arrives it is reconciled against
+/// its own sequence number instead of being misattributed to whatever the
+/// client asked for next.
 pub struct SessionHandle {
     id: SessionId,
     tx: Sender<Op>,
     rx: Receiver<Completion>,
-    outstanding: usize,
+    /// Operations submitted; the next submission gets session seq
+    /// `submitted`.
+    submitted: u64,
+    /// Completions received; completions arrive in session order, so the
+    /// next one carries seq `retired`.
+    retired: u64,
 }
 
 impl SessionHandle {
@@ -185,13 +263,13 @@ impl SessionHandle {
     /// [`SessionHandle::next_completion`].
     pub fn submit(&mut self, op: Op) -> Result<()> {
         self.tx.send(op).map_err(|_| KiteError::Shutdown)?;
-        self.outstanding += 1;
+        self.submitted += 1;
         Ok(())
     }
 
     /// Number of submitted-but-unretired operations.
     pub fn outstanding(&self) -> usize {
-        self.outstanding
+        (self.submitted - self.retired) as usize
     }
 
     /// Wait for the next completion (session order).
@@ -200,7 +278,8 @@ impl SessionHandle {
             .rx
             .recv_timeout(CLIENT_TIMEOUT)
             .map_err(|_| KiteError::Timeout)?;
-        self.outstanding -= 1;
+        debug_assert_eq!(c.op_id.seq, self.retired, "completions must arrive in session order");
+        self.retired += 1;
         Ok(c)
     }
 
@@ -208,7 +287,7 @@ impl SessionHandle {
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         let mut v = Vec::new();
         while let Ok(c) = self.rx.try_recv() {
-            self.outstanding -= 1;
+            self.retired += 1;
             v.push(c);
         }
         v
@@ -217,12 +296,22 @@ impl SessionHandle {
     // ---- sync API ----------------------------------------------------------
 
     fn call(&mut self, op: Op) -> Result<Completion> {
-        // Sync calls require a quiet pipeline so the next completion is ours.
-        while self.outstanding > 0 {
+        // Retire completions of earlier ops first — after a recovered
+        // timeout these are the late arrivals of ops the client already
+        // gave up on, not answers to `op`.
+        while self.outstanding() > 0 {
             self.next_completion()?;
         }
+        let seq = self.submitted;
         self.submit(op)?;
-        self.next_completion()
+        loop {
+            let c = self.next_completion()?;
+            if c.op_id.seq == seq {
+                return Ok(c);
+            }
+            // A stray earlier completion (recovered timeout): retired by
+            // next_completion; keep waiting for ours.
+        }
     }
 
     /// Relaxed read (ES fast path when in-epoch).

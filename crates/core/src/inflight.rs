@@ -27,8 +27,9 @@
 //!   counter with this bit set. They can never alias a slab entry, and the
 //!   slab never issues them.
 //!
-//! rid 0 is never issued (generation ≥ 1) and is used by the protocol as a
-//! "discard the ack" sentinel (Paxos catch-up fills).
+//! rid 0 is never issued (generation ≥ 1), so a stray ack carrying rid 0
+//! can never resolve an entry (anti-entropy repair traffic is entirely
+//! rid-less instead of borrowing a sentinel).
 
 use std::sync::Arc;
 
@@ -354,6 +355,19 @@ impl InFlight {
     /// Does this entry block its session?
     pub fn blocks_session(&self) -> bool {
         !matches!(self, InFlight::EsWrite(_) | InFlight::WindowRelief(_))
+    }
+
+    /// Short tag for trace/diagnostic output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            InFlight::EsWrite(_) => "es-write",
+            InFlight::SlowRead(_) => "slow-read",
+            InFlight::SlowWrite(_) => "slow-write",
+            InFlight::Release(_) => "release",
+            InFlight::Acquire(_) => "acquire",
+            InFlight::Rmw(_) => "rmw",
+            InFlight::WindowRelief(_) => "window-relief",
+        }
     }
 }
 

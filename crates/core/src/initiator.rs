@@ -26,11 +26,27 @@ use crate::inflight::{
     AcquireState, Barrier, EsWriteState, InFlight, Meta, ReleaseState, RmwKind, RmwPhase,
     RmwState, SlowReadState, SlowReleaseSub, SlowWriteState, WindowReliefState,
 };
-use crate::msg::{Cmd, CommitPayload, Msg, PromiseOutcome, WriteBack};
+use crate::msg::{Cmd, CommitPayload, Msg, PromiseOutcome, Repair, WriteBack};
 use crate::nodestate::NodeShared;
 use crate::session::{ProtocolMode, Session};
 use crate::worker::{StartResult, Worker};
 use crate::api::CompletionHook;
+
+/// Outcome of [`Worker::rmw_decide_cmd`] at a phase-1 quorum.
+enum RmwDecision {
+    /// A command was chosen (adopted or freshly evaluated): enter accept.
+    Cmd,
+    /// The operation completed inline (failed CAS against a stable base,
+    /// or a command discovered to have already committed).
+    Finished(OpOutput),
+    /// The key's slot advanced *under* this round, so the local base may
+    /// embody a commit this round knows nothing about — possibly our own
+    /// command's (an anti-entropy repair can deliver a commit's value and
+    /// slot before the commit message itself). Deciding against such a
+    /// base is unsound; re-propose instead, which routes through the ring
+    /// checks (local at round start, acceptor-side at every promise).
+    Restart,
+}
 
 /// Base backoff before retrying a nacked Paxos round (dueling proposers):
 /// roughly one commit latency, so the loser's next round usually lands on
@@ -635,7 +651,20 @@ impl Worker {
                         state.meta.invoked_at,
                         now,
                     );
-                    self.inflight.remove(rid);
+                    // The value round stops retransmitting here; a replica
+                    // whose copy was dropped would otherwise stay stale
+                    // until the anti-entropy sweep finds it (the old
+                    // livelock behind `threaded_mutex_exact_under_message
+                    // _loss`: a strong CAS reads its base locally, so a
+                    // replica that missed the last unlock spun forever).
+                    // The value moves out of the removed entry — the
+                    // common no-fill case never clones it.
+                    let Some(InFlight::Release(s)) = self.inflight.remove(rid) else {
+                        unreachable!("entry matched above")
+                    };
+                    let (lc, acked) = s.w2.expect("finished implies w2");
+                    let missing = NodeSet::all(self.nodes).minus(acked);
+                    self.ae_completion_fill(missing, s.meta.key, s.val, lc, 0, out);
                 }
             }
             InFlight::Acquire(state) => {
@@ -651,7 +680,15 @@ impl Worker {
                         &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
                         now, out,
                     );
-                    self.inflight.remove(rid);
+                    // Same completion-time repair as the release: the
+                    // write-back round's non-ackers stop being
+                    // retransmitted to now.
+                    let Some(InFlight::Acquire(s)) = self.inflight.remove(rid) else {
+                        unreachable!("entry matched above")
+                    };
+                    let acked = s.w2.expect("finished implies w2");
+                    let missing = NodeSet::all(self.nodes).minus(acked);
+                    self.ae_completion_fill(missing, s.meta.key, s.best_val, s.best_lc, 0, out);
                 }
             }
             InFlight::SlowRead(state) => {
@@ -1158,15 +1195,32 @@ impl Worker {
                 // highest accepted, else evaluate our own RMW on the local
                 // base value) and move to the accept phase, gated on the
                 // release barrier (§4.2 "RMWs").
-                if let Some(output) = Self::rmw_decide_cmd(&self.shared, self.me, state) {
-                    // Comparison failed against a quorum-fresh base: the
-                    // CAS completes without consensus (it writes nothing).
-                    Self::rmw_finish_in(
-                        &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
-                        output, now, out,
-                    );
-                    self.inflight.remove(rid);
-                    return;
+                match Self::rmw_decide_cmd(&self.shared, self.me, state) {
+                    RmwDecision::Finished(output) => {
+                        // Comparison failed against a stable base (or the
+                        // op turned out already committed): done without
+                        // running consensus.
+                        Self::rmw_finish_in(
+                            &self.shared, &self.hook, &mut self.sessions, self.mode, self.me,
+                            state, output, now, out,
+                        );
+                        self.inflight.remove(rid);
+                        return;
+                    }
+                    RmwDecision::Restart => {
+                        state.meta.last_sent = now;
+                        if let Some(output) =
+                            Self::rmw_new_round_in(&self.shared, self.me, rid, state, out)
+                        {
+                            Self::rmw_finish_in(
+                                &self.shared, &self.hook, &mut self.sessions, self.mode, self.me,
+                                state, output, now, out,
+                            );
+                            self.inflight.remove(rid);
+                        }
+                        return;
+                    }
+                    RmwDecision::Cmd => {}
                 }
                 if state.barrier.done {
                     if let Some(output) =
@@ -1191,16 +1245,16 @@ impl Worker {
                 }
             }
             PromiseOutcome::AlreadyCommitted(cu) => {
-                // Catch up to the decided prefix.
+                // Catch up to the decided prefix: merge the acceptor's ring
+                // evidence and advance the slot under one lock *before*
+                // applying the value (evidence travels with advancement —
+                // see `crate::msg::Repair`).
                 let (slot, cur_lc) = (cu.slot, cu.cur_lc);
-                self.shared.store.apply_max(state.meta.key, &cu.cur_val, cur_lc);
                 {
                     let pax = self.shared.store.paxos(state.meta.key);
-                    let mut pax = pax.lock();
-                    if slot > 0 {
-                        pax.advance_past(slot - 1);
-                    }
+                    pax.lock().merge_evidence(&cu.ring, slot);
                 }
+                self.shared.store.apply_max(state.meta.key, &cu.cur_val, cur_lc);
                 if let Some(result) = &cu.done {
                     // Our command was helped to commit by another proposer:
                     // complete exactly once with its recorded result — after
@@ -1231,22 +1285,22 @@ impl Worker {
                 }
             }
             PromiseOutcome::Lagging { slot: _ } => {
-                // The replica missed a commit: fill it with the decided
-                // prefix (the key's current value summarizes it) and let the
-                // retransmission logic re-propose.
+                // The replica missed a commit: repair it with the decided
+                // prefix (the key's current value summarizes it, the ring
+                // evidence travels along) and let the retransmission logic
+                // re-propose. A solicited repair, so it is not gated by
+                // `commit_fill` — Paxos liveness depends on lagging
+                // acceptors catching up.
                 debug_assert!(state.slot > 0, "Lagging implies the proposer is ahead");
-                let view = self.shared.store.view(state.meta.key);
+                let key = state.meta.key;
+                let (slot, ring) = self.shared.store.paxos_evidence(key);
+                let slot = slot.max(state.slot);
+                let view = self.shared.store.view(key);
+                self.shared.counters.ae_repair_vals.incr();
                 out.send(
                     src,
-                    Msg::Commit {
-                        rid: 0, // fill: not acked
-                        key: state.meta.key,
-                        c: Arc::new(CommitPayload {
-                            slot: state.slot - 1,
-                            val: view.val,
-                            lc: view.lc,
-                            meta: None,
-                        }),
+                    Msg::RepairVal {
+                        r: Box::new(Repair { key, val: view.val, lc: view.lc, slot, ring }),
                     },
                 );
             }
@@ -1254,14 +1308,13 @@ impl Worker {
     }
 
     /// Pick the command for a phase-1 quorum: adopt the highest accepted,
-    /// else evaluate our own RMW on the local base value. Returns
-    /// `Some(output)` iff the op completed inline (failed CAS against a
-    /// quorum-fresh base) — the caller finishes and removes the entry.
-    fn rmw_decide_cmd(shared: &NodeShared, me: NodeId, state: &mut RmwState) -> Option<OpOutput> {
+    /// else evaluate our own RMW on the local base value. See
+    /// [`RmwDecision`] for the outcomes.
+    fn rmw_decide_cmd(shared: &NodeShared, me: NodeId, state: &mut RmwState) -> RmwDecision {
         if let Some((_, cmd)) = state.best_accepted.take() {
             state.helping = cmd.op != state.meta.op_id;
             state.cmd = Some(Arc::new(cmd));
-            return None;
+            return RmwDecision::Cmd;
         }
         let base = shared.store.view(state.meta.key).val;
         // The commit stamp is fixed here, at decide time, and travels
@@ -1282,7 +1335,44 @@ impl Worker {
                 if base == state.expect {
                     Cmd { op: state.meta.op_id, new_val: state.new.clone(), result: base, lc: clc }
                 } else {
-                    return Some(OpOutput::Cas { ok: false, observed: base });
+                    // The failed comparison is the one completion that
+                    // bypasses consensus, so it must be certain the
+                    // non-EMPTY base is not *our own command's* work.
+                    // While this round's promises were in flight, a
+                    // dueling proposer may have adopted our accepted
+                    // command from an earlier round and committed it — and
+                    // that commit's arrival is precisely what made `base`
+                    // non-EMPTY. Two guards, under one lock:
+                    //   * the committed ring knows the op → complete with
+                    //     its recorded result (the commit reached us);
+                    //   * the slot moved under the round → Restart: the
+                    //     base embodies a commit this round hasn't
+                    //     reasoned about — possibly ours arriving
+                    //     *ring-lessly* via an anti-entropy repair that
+                    //     outran the commit message. The re-propose hits
+                    //     acceptors whose rings hold the commit
+                    //     (`AlreadyCommitted { done }`), recovering the
+                    //     true result.
+                    // Without these, a strong CAS could report `ok: false`
+                    // to a caller that actually holds the lock — the
+                    // second, rarer hang mode of `threaded_mutex_exact_
+                    // under_message_loss` (the watchdog's ring dump showed
+                    // the spinning session's own winning entry).
+                    let (committed, slot_moved) = {
+                        let pax = shared.store.paxos(state.meta.key);
+                        let pax = pax.lock();
+                        (
+                            pax.committed.find(state.meta.op_id).map(|c| c.result.clone()),
+                            pax.slot != state.slot,
+                        )
+                    };
+                    if let Some(result) = committed {
+                        return RmwDecision::Finished(rmw_output(state.kind, &result));
+                    }
+                    if slot_moved {
+                        return RmwDecision::Restart;
+                    }
+                    return RmwDecision::Finished(OpOutput::Cas { ok: false, observed: base });
                 }
             }
             RmwKind::Put => Cmd {
@@ -1294,7 +1384,7 @@ impl Worker {
         };
         state.helping = false;
         state.cmd = Some(Arc::new(cmd));
-        None
+        RmwDecision::Cmd
     }
 
     /// Start phase 2: self-accept under the key's Paxos lock, broadcast.
@@ -1450,18 +1540,27 @@ impl Worker {
         }
         // The round ends here (the entry is removed or restarted below), so
         // replicas outside the visibility quorum would otherwise only catch
-        // up on the key's next consensus round. Send them one fire-and-
-        // forget fill (rid 0 = discard the ack) so replicas converge even
-        // when this was the key's last commit.
+        // up on the key's next consensus round. Hand them to the
+        // anti-entropy subsystem as a targeted repair push — the periodic
+        // sweep would heal them anyway (tests prove sufficiency), the push
+        // merely does it within one RTT instead of one sweep interval.
         if !state.commits.is_all(self.nodes) {
             if let Some(cb) = &state.commit_bcast {
-                out.multicast(
-                    self.me,
+                // Pre-gate before touching the payload: the common case
+                // (fills on, nobody suspected) must not clone the value.
+                let targets = Self::fill_targets_in(
+                    self.commit_fill,
+                    &self.shared,
                     NodeSet::all(self.nodes).minus(state.commits),
-                    Msg::Commit { rid: 0, key: state.meta.key, c: Arc::clone(cb) },
                 );
+                if !targets.is_empty() {
+                    let (key, val, lc, next_slot) =
+                        (state.meta.key, cb.val.clone(), cb.lc, cb.slot + 1);
+                    self.ae_completion_fill(targets, key, val, lc, next_slot, out);
+                }
             }
         }
+        let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { unreachable!() };
         match state.pending_output.take() {
             Some(output) => {
                 Self::rmw_finish_in(

@@ -25,6 +25,8 @@
 //! * [`api`] — the client-facing operation types (Table 1 + §6.1).
 //! * [`msg`] — the wire protocol.
 //! * [`worker`], [`replica`], [`initiator`] — the sans-io protocol engine.
+//! * [`antientropy`] — background digest/repair convergence (replicas
+//!   converge on every key's last write without per-op fills).
 //! * [`session`], [`inflight`] — program-order and in-flight bookkeeping.
 //! * [`delinquency`], [`nodestate`] — the barrier mechanism's node state.
 //! * [`cluster`] — a threaded in-process deployment with a blocking client
@@ -60,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+pub mod antientropy;
 pub mod api;
 pub mod cluster;
 pub mod delinquency;

@@ -26,8 +26,8 @@
 //!     broadcast unicasts and every retransmission share one allocation —
 //!     cloning the message is a refcount bump, not a deep copy.
 //!   - [`Msg::Commit`] carries `Arc<CommitPayload>` for the same reason
-//!     (the commit round broadcasts, retransmits, *and* re-sends as a
-//!     catch-up fill from the same allocation).
+//!     (the commit round broadcasts and retransmits from the same
+//!     allocation).
 //!   - [`PromiseOutcome`]'s two large variants are `Box`ed: they are
 //!     unicast replies built once, and `Promised { accepted: None }` — the
 //!     overwhelmingly common promise — allocates nothing.
@@ -78,8 +78,8 @@ pub struct Cmd {
     pub lc: Lc,
 }
 
-/// The payload of a commit/learn broadcast (and of catch-up fills), shared
-/// behind an `Arc` by the broadcast unicasts, retransmissions and fills.
+/// The payload of a commit/learn broadcast, shared behind an `Arc` by the
+/// broadcast unicasts and retransmissions.
 #[derive(Clone, Debug)]
 pub struct CommitPayload {
     /// Slot this commit decides (receivers advance past it).
@@ -88,8 +88,9 @@ pub struct CommitPayload {
     pub val: Val,
     /// The decide-time commit stamp (see [`Cmd::lc`]).
     pub lc: Lc,
-    /// `Some((op, result))` for real commits (ring entry); `None` for
-    /// catch-up fills.
+    /// `Some((op, result))` for real commits (ring entry); `None` for the
+    /// visibility round a proposer runs over an `AlreadyCommitted` catch-up
+    /// (the value summarizes a decided prefix, no single ring entry).
     pub meta: Option<(OpId, Val)>,
 }
 
@@ -106,6 +107,47 @@ pub struct CatchUp {
     /// The proposer's own command's recorded result, if it was helped
     /// to commit.
     pub done: Option<Val>,
+    /// The acceptor's committed ring for the key — dedup evidence that
+    /// must travel with any slot advancement (see [`Repair::ring`]).
+    pub ring: Vec<kite_kvs::RmwCommit>,
+}
+
+/// Payload of one repaired key ([`Msg::RepairVal`]), boxed: anti-entropy
+/// pull answers, digest-diff pushes, completion-time fills and the
+/// Paxos-lagging catch-up all ride this.
+#[derive(Clone, Debug)]
+pub struct Repair {
+    /// Key being repaired.
+    pub key: Key,
+    /// The sender's current value for it.
+    pub val: Val,
+    /// Its stamp (receiver applies under LLC-max: stale repairs no-op).
+    pub lc: Lc,
+    /// The sender's next undecided Paxos slot for the key (0 = the key
+    /// never carried an RMW); the receiver advances past `slot - 1`.
+    pub slot: u64,
+    /// The sender's committed ring for the key. **Slot advancement must
+    /// always travel with its dedup evidence**: a replica whose slot (and
+    /// value) advance ring-lessly can answer a plain promise for an
+    /// operation that in fact committed, letting that operation's own
+    /// strong CAS fail its comparison against its *own* committed value —
+    /// the rare residual hang mode of `threaded_mutex_exact_under_message
+    /// _loss`. The receiver merges these entries *before* advancing.
+    pub ring: Vec<kite_kvs::RmwCommit>,
+}
+
+/// Payload of an anti-entropy digest message ([`Msg::Digest`]): the
+/// sender's `(key, packed Lc)` pairs for one contiguous range of its store
+/// slots. `Arc`-shared — a digest easily exceeds the cache-line budget and
+/// is broadcast to every peer (so any single fresh replica can repair a
+/// stale one within one sweep cycle); the N−1 unicast clones are refcount
+/// bumps.
+#[derive(Clone, Debug)]
+pub struct DigestChunk {
+    /// `(key, clock)` for every live slot in the swept range. Slot indices
+    /// are replica-local, so only the keys travel; the receiver diffs each
+    /// entry against its own store by key.
+    pub entries: Vec<(Key, Lc)>,
 }
 
 /// Payload of an acquire-tagged ABD write-back round ([`Msg::WriteAcq`]),
@@ -343,19 +385,54 @@ pub enum Msg {
         delinquent: bool,
     },
 
-    /// Commit/learn broadcast (also used as catch-up fill for lagging
-    /// replicas). Idempotent. Acked (plain): an RMW completes only once its
-    /// commit is visible at a quorum of stores (the third of the paper's
-    /// "three broadcast rounds", §3.4 — without it a linearizable read
-    /// could miss a completed RMW).
+    /// Commit/learn broadcast. Idempotent. Acked (plain): an RMW completes
+    /// only once its commit is visible at a quorum of stores (the third of
+    /// the paper's "three broadcast rounds", §3.4 — without it a
+    /// linearizable read could miss a completed RMW). Catch-up for replicas
+    /// *outside* the round rides the anti-entropy repair path
+    /// ([`Msg::RepairVal`]) instead of untracked rid-0 commits.
     Commit {
-        /// Committer's request id (`0` for fills: no ack is sent).
+        /// Committer's request id.
         rid: u64,
         /// Key of the per-key instance.
         key: Key,
         /// Slot, value, stamp and ring metadata (`Arc`-shared across the
-        /// broadcast, retransmissions and fills).
+        /// broadcast and retransmissions).
         c: Arc<CommitPayload>,
+    },
+
+    // ------------------------------------------------- anti-entropy repair
+    /// Periodic anti-entropy digest: the sender's `(key, Lc)` pairs for one
+    /// range of its store slots, broadcast to every peer. Unsolicited and
+    /// unacked — liveness comes from the next sweep, not from
+    /// retransmission. The receiver pulls keys where the sender is fresher
+    /// ([`Msg::RepairReq`]) and pushes back keys where the *sender* is
+    /// stale ([`Msg::RepairVal`]). An **empty** digest is the post-wake
+    /// resync ping (ordinary sweeps skip empty ranges): it re-arms the
+    /// receiver's sweep so a full cycle of its digests reaches a replica
+    /// that may hold no slot for the keys it slept through.
+    Digest {
+        /// The digest body (`Arc`: shared by the broadcast unicasts).
+        d: Arc<DigestChunk>,
+    },
+    /// Repair pull: "send me your current values for these keys" —
+    /// answered with one [`Msg::RepairVal`] per key. Fire-and-forget.
+    RepairReq {
+        /// Keys the digest showed the requester to be behind on.
+        keys: Box<[Key]>,
+    },
+    /// One repaired key: applied under the LLC-max rule, never acked, and
+    /// never touches the key's epoch (an out-of-epoch key still needs a
+    /// §4.2 quorum read — one peer's value is not a quorum). Also carries
+    /// the sender's next undecided Paxos slot — with the committed-ring
+    /// evidence backing it (see [`Repair`]) — so a replica that slept
+    /// through a key's last RMW commit catches its consensus state up too.
+    /// Sent as pull answers, digest-diff pushes, the commit round's
+    /// completion-time fill, and the Paxos-lagging catch-up (all triggers
+    /// of the same mechanism).
+    RepairVal {
+        /// The boxed payload (value + slot + ring: well over a cache line).
+        r: Box<Repair>,
     },
 }
 
@@ -385,6 +462,9 @@ impl Msg {
             Msg::Accept { .. } => "accept",
             Msg::AcceptRep { .. } => "accept-rep",
             Msg::Commit { .. } => "commit",
+            Msg::Digest { .. } => "digest",
+            Msg::RepairReq { .. } => "repair-req",
+            Msg::RepairVal { .. } => "repair-val",
         }
     }
 
@@ -449,6 +529,11 @@ mod tests {
                 key: Key(1),
                 c: Arc::new(CommitPayload { slot: 0, val: Val::EMPTY, lc: Lc::ZERO, meta: None }),
             },
+            Msg::Digest { d: Arc::new(DigestChunk { entries: vec![(Key(1), Lc::ZERO)] }) },
+            Msg::RepairReq { keys: vec![Key(1)].into_boxed_slice() },
+            Msg::RepairVal {
+                r: Box::new(Repair { key: Key(1), val: Val::EMPTY, lc: Lc::ZERO, slot: 0, ring: vec![] }),
+            },
         ];
         let tags: std::collections::HashSet<_> = msgs.iter().map(|m| m.tag()).collect();
         assert_eq!(tags.len(), msgs.len(), "tags must be distinct");
@@ -464,6 +549,13 @@ mod tests {
             rid: 0,
             key: Key(0),
             c: Arc::new(CommitPayload { slot: 0, val: Val::EMPTY, lc: Lc::ZERO, meta: None }),
+        }
+        .is_reply());
+        // Anti-entropy traffic is rid-less and never routed as a reply.
+        assert!(!Msg::Digest { d: Arc::new(DigestChunk { entries: vec![] }) }.is_reply());
+        assert!(!Msg::RepairReq { keys: Box::new([]) }.is_reply());
+        assert!(!Msg::RepairVal {
+            r: Box::new(Repair { key: Key(0), val: Val::EMPTY, lc: Lc::ZERO, slot: 0, ring: vec![] })
         }
         .is_reply());
     }

@@ -149,7 +149,9 @@ impl Worker {
                 // reached a quorum of rings, every promise quorum intersects
                 // that quorum, and replicas answering this way also deny the
                 // proposer a plain promise quorum — so a completed command
-                // can never be re-decided at a fresh slot.
+                // can never be re-decided at a fresh slot. The catch-up
+                // carries our ring so the proposer's slot advance keeps the
+                // evidence with it (see `crate::msg::Repair`).
                 let result = c.result.clone();
                 let view = self.shared.store.view(key);
                 PromiseOutcome::AlreadyCommitted(Box::new(CatchUp {
@@ -157,15 +159,18 @@ impl Worker {
                     cur_val: view.val,
                     cur_lc: view.lc,
                     done: Some(result),
+                    ring: meta.committed.iter().cloned().collect(),
                 }))
             } else if slot < meta.slot {
-                // Slot already decided here: help the proposer catch up.
+                // Slot already decided here: help the proposer catch up
+                // (ring attached — slot advances travel with evidence).
                 let view = self.shared.store.view(key);
                 PromiseOutcome::AlreadyCommitted(Box::new(CatchUp {
                     slot: meta.slot,
                     cur_val: view.val,
                     cur_lc: view.lc,
                     done: None,
+                    ring: meta.committed.iter().cloned().collect(),
                 }))
             } else if slot > meta.slot {
                 // We missed a commit; the proposer will send a fill.
@@ -223,9 +228,10 @@ impl Worker {
 
     /// Commit/learn (§3.4): apply the decided value (LLC-max keeps this
     /// idempotent and correctly ordered against relaxed writes), record the
-    /// command for dedup, advance the slot. Also used as the catch-up fill
-    /// for lagging replicas (`rid == 0`, `meta == None`) — fills are not
-    /// acked at all (the committer would discard the ack anyway).
+    /// command for dedup, advance the slot. Always acked: catch-up for
+    /// replicas outside the round rides the anti-entropy repair path
+    /// (`Msg::RepairVal`) nowadays, so every `Commit` on the wire belongs
+    /// to a live visibility round.
     pub(crate) fn on_commit(
         &mut self,
         src: NodeId,
@@ -234,9 +240,7 @@ impl Worker {
         c: Arc<CommitPayload>,
         out: &mut Outbox<Msg>,
     ) {
-        if rid != 0 {
-            self.ack(src, rid, out);
-        }
+        self.ack(src, rid, out);
         self.shared.store.apply_max(key, &c.val, c.lc);
         let pax = self.shared.store.paxos(key);
         let mut pax = pax.lock();

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use kite_common::{NodeId, OpId};
 use kite_simnet::{Actor, Outbox};
 
+use crate::antientropy::AeState;
 use crate::api::{Completion, CompletionHook, Op, OpOutput};
 use crate::inflight::{InFlight, InFlightTable, UNTRACKED_RID_BIT};
 use crate::msg::Msg;
@@ -75,9 +76,14 @@ pub struct Worker {
     /// only stores rids, so all acks of one envelope MUST share a source.
     #[cfg(debug_assertions)]
     ack_src: Option<NodeId>,
+    /// Anti-entropy sweep/repair state (see `crate::antientropy`).
+    pub(crate) ae: AeState,
     pub(crate) hook: Option<CompletionHook>,
     // cached config
     pub(crate) nodes: usize,
+    /// Cached `cfg.commit_fill`: push completion-time repairs to replicas a
+    /// finished round left behind.
+    pub(crate) commit_fill: bool,
     pub(crate) quorum: usize,
     pub(crate) release_timeout: u64,
     pub(crate) retransmit: u64,
@@ -120,8 +126,16 @@ impl Worker {
             coalesce_acks: cfg.coalesce_acks,
             #[cfg(debug_assertions)]
             ack_src: None,
+            ae: AeState::new(
+                cfg.anti_entropy,
+                wid,
+                cfg.anti_entropy_interval_ns,
+                cfg.anti_entropy_chunk,
+                shared.store.capacity(),
+            ),
             hook,
             nodes: cfg.nodes,
+            commit_fill: cfg.commit_fill,
             quorum: cfg.quorum(),
             release_timeout: cfg.release_timeout_ns,
             retransmit: cfg.retransmit_ns,
@@ -369,6 +383,11 @@ impl Worker {
             }
             Msg::Commit { rid, key, c } => self.on_commit(src, rid, key, c, out),
 
+            // anti-entropy (unsolicited, unacked — see `crate::antientropy`)
+            Msg::Digest { d } => self.on_digest(src, d, out),
+            Msg::RepairReq { keys } => self.on_repair_req(src, keys, out),
+            Msg::RepairVal { r } => self.on_repair_val(r),
+
             // initiator side (replies)
             Msg::Ack { rid } => self.on_plain_ack(src, rid, now, out),
             Msg::AckBatch { rids } => self.on_ack_batch(src, rids, now, out),
@@ -416,10 +435,136 @@ impl Actor for Worker {
             self.last_scan = now;
             self.scan_retransmits(now, out);
         }
+        self.ae_on_tick(now, out);
         progress
     }
 
     fn is_idle(&self) -> bool {
-        self.inflight.is_empty() && self.sessions.iter().all(|s| s.is_idle())
+        // Idle also requires the anti-entropy sweep to have wound down
+        // (cool-down lapsed): quiescence then implies the final writes have
+        // been swept, i.e. replicas converged before the sim declares done.
+        self.protocol_idle() && self.ae.quiescent()
+    }
+
+    /// Watchdog snapshot: sessions, every in-flight round with its gathered
+    /// reply sets and timers, barrier waiters and RMW retry queue — enough
+    /// to identify a stalled protocol round from a wedged run's stderr.
+    fn describe(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "mode={:?} inflight={} barrier_waiters={:?} rmw_retries={:?} last_scan={}",
+            self.mode,
+            self.inflight.len(),
+            self.barrier_waiters,
+            self.rmw_retries,
+            self.last_scan,
+        );
+        for (i, s) in self.sessions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  session[{i}] {} seq={} blocked_on={:?} window={:?} staged={} relief={:?} idle={}",
+                s.id,
+                s.seq,
+                s.blocked_on,
+                s.write_window,
+                s.staged.is_some(),
+                s.relief,
+                s.is_idle(),
+            );
+        }
+        for (rid, e) in self.inflight.iter() {
+            let m = e.meta();
+            let _ = write!(
+                out,
+                "  rid={rid:#x} {} key={} op_id={} invoked_at={} last_sent={} ",
+                e.tag(),
+                m.key,
+                m.op_id,
+                m.invoked_at,
+                m.last_sent
+            );
+            let _ = match e {
+                InFlight::EsWrite(s) => writeln!(out, "acked={:?}", s.acked),
+                InFlight::SlowRead(s) => {
+                    writeln!(out, "reps={:?} holders={:?} w2={:?}", s.reps, s.holders, s.w2)
+                }
+                InFlight::SlowWrite(s) => writeln!(out, "reps={:?} w2={:?}", s.reps, s.w2),
+                InFlight::Release(s) => writeln!(
+                    out,
+                    "barrier(done={} writes={:?} slow={:?}) rts_sent={} rts_reps={:?} w2={:?}",
+                    s.barrier.done, s.barrier.writes, s.barrier.slow, s.rts_sent, s.rts_reps, s.w2
+                ),
+                InFlight::Acquire(s) => writeln!(
+                    out,
+                    "reps={:?} holders={:?} w2={:?} decided={} delinquent={}",
+                    s.reps, s.holders, s.w2, s.decided, s.delinquent
+                ),
+                InFlight::Rmw(s) => writeln!(
+                    out,
+                    "phase={:?} slot={} ballot={} promises={:?} accepts={:?} commits={:?} \
+                     retry_at={} backoff_exp={} helping={} barrier(done={} writes={:?} slow={:?})",
+                    s.phase,
+                    s.slot,
+                    s.ballot,
+                    s.promises,
+                    s.accepts,
+                    s.commits,
+                    s.retry_at,
+                    s.backoff_exp,
+                    s.helping,
+                    s.barrier.done,
+                    s.barrier.writes,
+                    s.barrier.slow
+                ),
+                InFlight::WindowRelief(s) => {
+                    writeln!(out, "dm={:?} acked={:?} writes={:?}", s.dm, s.acked, s.writes)
+                }
+            };
+        }
+        // The store/Paxos state behind every in-flight key: a stalled round
+        // usually means the *data* is in an unexpected state (e.g. a stale
+        // base under a spinning CAS), which the round state alone can't
+        // show.
+        let mut keys: Vec<_> = self.inflight.iter().map(|(_, e)| e.meta().key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let v = self.shared.store.view(key);
+            let (slot, promised, accepted, ring) = {
+                let pax = self.shared.store.paxos(key);
+                let pax = pax.lock();
+                let ring: Vec<String> = pax
+                    .committed
+                    .iter()
+                    .map(|c| format!("{}@s{}={}", c.op, c.slot, c.result.as_u64()))
+                    .collect();
+                (
+                    pax.slot,
+                    pax.promised,
+                    pax.accepted.as_ref().map(|a| format!("{}@{}", a.op, a.ballot)),
+                    ring,
+                )
+            };
+            let _ = writeln!(
+                out,
+                "  store[{key}]: val={:?} lc={} epoch={} pax.slot={slot} \
+                 pax.promised={promised} pax.accepted={accepted:?}\n    ring={ring:?}",
+                v.val.as_u64(),
+                v.lc,
+                v.epoch,
+            );
+        }
+        let _ = writeln!(out, "  ae: {}", self.ae.describe());
+        let sh = &self.shared;
+        let _ = writeln!(
+            out,
+            "  node: epoch={} suspected={:?} store_len={} completed={} ae_repairs_applied={}",
+            sh.epoch(),
+            sh.suspected(),
+            sh.store.len(),
+            sh.counters.completed.get(),
+            sh.counters.ae_repairs_applied.get(),
+        );
     }
 }

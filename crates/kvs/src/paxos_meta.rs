@@ -83,6 +83,11 @@ impl CommittedRing {
         self.ring.iter().find(|c| c.op == op)
     }
 
+    /// Iterate the ring's entries (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = &RmwCommit> + '_ {
+        self.ring.iter()
+    }
+
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
         self.ring.len()
@@ -132,6 +137,26 @@ impl PaxosMeta {
             self.slot = slot + 1;
             self.promised = Lc::ZERO;
             self.accepted = None;
+        }
+    }
+
+    /// Merge another replica's ring evidence, then advance past its decided
+    /// prefix (`next_slot` is that replica's next undecided slot; 0 = no
+    /// advancement). The two halves are one operation on purpose: **slot
+    /// advancement must always travel with its dedup evidence** — an
+    /// advance without the matching ring entries lets this replica answer
+    /// a plain promise for an operation that in fact committed, breaking
+    /// RMW exactly-once (see `kite::msg::Repair`). Used by every
+    /// non-commit slot-advancing path (anti-entropy repairs, the
+    /// `AlreadyCommitted` catch-up).
+    pub fn merge_evidence(&mut self, ring: &[RmwCommit], next_slot: u64) {
+        for c in ring {
+            if self.committed.find(c.op).is_none() {
+                self.committed.push(c.clone());
+            }
+        }
+        if next_slot > 0 {
+            self.advance_past(next_slot - 1);
         }
     }
 }

@@ -124,6 +124,14 @@ impl Record {
     pub(crate) fn paxos(&self) -> &Mutex<PaxosMeta> {
         self.paxos.get_or_init(|| Box::new(Mutex::new(PaxosMeta::new())))
     }
+
+    /// The key's Paxos structure iff one was ever allocated — lets read-only
+    /// paths (anti-entropy repair) consult the slot counter without forcing
+    /// an allocation on keys that never saw an RMW.
+    #[inline]
+    pub(crate) fn paxos_if_allocated(&self) -> Option<&Mutex<PaxosMeta>> {
+        self.paxos.get().map(|b| &**b)
+    }
 }
 
 #[cfg(test)]

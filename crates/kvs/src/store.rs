@@ -220,6 +220,84 @@ impl Store {
     pub fn paxos(&self, key: Key) -> &Mutex<PaxosMeta> {
         self.record(key).paxos()
     }
+
+    /// The key's next undecided Paxos slot, without allocating the Paxos
+    /// structure for keys that never carried an RMW (those report 0).
+    #[inline]
+    pub fn paxos_next_slot(&self, key: Key) -> u64 {
+        self.record(key).paxos_if_allocated().map(|m| m.lock().slot).unwrap_or(0)
+    }
+
+    /// The key's `(next undecided slot, committed ring)` read under one
+    /// lock — the evidence pair an anti-entropy repair ships so a receiver
+    /// never advances its slot without the matching dedup entries. Keys
+    /// that never carried an RMW report `(0, [])` without allocating.
+    pub fn paxos_evidence(&self, key: Key) -> (u64, Vec<crate::paxos_meta::RmwCommit>) {
+        match self.record(key).paxos_if_allocated() {
+            None => (0, Vec::new()),
+            Some(m) => {
+                let m = m.lock();
+                (m.slot, m.committed.iter().cloned().collect())
+            }
+        }
+    }
+
+    // ---- anti-entropy digests -------------------------------------------
+
+    /// Append `(key, lc)` for every live slot in `[start, start + slots)`
+    /// (clamped to capacity) to `out` — the per-slot-range digest the
+    /// anti-entropy sweep exchanges. O(slots), lock-free: one atomic key
+    /// load plus one seqlock snapshot per live slot, so writers are never
+    /// blocked and a torn read is impossible. Returns the next start index,
+    /// wrapping to 0 past the end (callers keep a cursor).
+    ///
+    /// `Lc::ZERO` entries are **included deliberately**: "I hold nothing
+    /// for this key" is what lets a woken §8.4 sleeper advertise the keys
+    /// it slept through so a fresh peer pushes them back — a replica
+    /// cannot tell locally whether ZERO means "never written anywhere"
+    /// or "I missed every write".
+    ///
+    /// Slot indices are **local**: two replicas holding the same keys may
+    /// place them in different slots (insertion-order-dependent probing),
+    /// so digests diff by *key*, never by slot position.
+    pub fn digest_range(&self, start: usize, slots: usize, out: &mut Vec<(Key, Lc)>) -> usize {
+        let cap = self.slots.len();
+        let start = start.min(cap);
+        let end = (start + slots).min(cap);
+        for slot in &self.slots[start..end] {
+            let key = slot.key.load(Ordering::Acquire);
+            if key != EMPTY_KEY {
+                out.push((Key(key), slot.record.snapshot().lc));
+            }
+        }
+        if end >= cap {
+            0
+        } else {
+            end
+        }
+    }
+
+    /// The key's clock iff the key is already present — a **non-claiming**
+    /// probe, unlike every other accessor (which allocate the slot on first
+    /// touch). Anti-entropy digest diffs use this so a digest mentioning a
+    /// key this replica has never touched does not claim a slot here; the
+    /// slot is claimed only if a repair actually adopts the key.
+    pub fn probe_lc(&self, key: Key) -> Option<Lc> {
+        debug_assert_ne!(key.0, EMPTY_KEY, "key u64::MAX is reserved");
+        let mut idx = key.hash() & self.mask;
+        for _ in 0..self.slots.len() {
+            let slot = &self.slots[idx as usize];
+            match slot.key.load(Ordering::Acquire) {
+                cur if cur == key.0 => return Some(slot.record.snapshot().lc),
+                // A concurrent claim of this very slot may race us to
+                // `None` — fine: "absent" is always a safe answer (the
+                // caller pulls, and the repair path claims properly).
+                EMPTY_KEY => return None,
+                _ => idx = (idx + 1) & self.mask,
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +415,103 @@ mod tests {
         for k in 0..65u64 {
             s.view(Key(k));
         }
+    }
+
+    #[test]
+    fn digest_range_covers_live_slots_and_wraps() {
+        let s = Store::new(16); // capacity 64
+        for k in 0..10u64 {
+            s.fast_write(Key(k), &Val::from_u64(k), NodeId(1), Epoch::ZERO);
+        }
+        // Walk the whole store in chunks; every live key appears exactly
+        // once per cycle, empty slots contribute nothing.
+        let mut seen = Vec::new();
+        let mut cursor = 0;
+        loop {
+            cursor = s.digest_range(cursor, 7, &mut seen);
+            if cursor == 0 {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 10);
+        let mut keys: Vec<u64> = seen.iter().map(|(k, _)| k.0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+        for (k, lc) in &seen {
+            assert_eq!(*lc, s.view(*k).lc, "digest clock must match the store");
+            assert_eq!(lc.owner(), NodeId(1));
+        }
+        // Clamped: a cursor at/past capacity yields nothing and wraps.
+        let mut none = Vec::new();
+        assert_eq!(s.digest_range(s.capacity(), 8, &mut none), 0);
+        assert!(none.is_empty());
+        // A claimed-but-unwritten key rides the digest at Lc::ZERO — the
+        // "I hold nothing" advertisement a fresh peer answers with a push.
+        s.view(Key(99));
+        let mut again = Vec::new();
+        let mut cursor = 0;
+        loop {
+            cursor = s.digest_range(cursor, 7, &mut again);
+            if cursor == 0 {
+                break;
+            }
+        }
+        assert_eq!(again.len(), 11);
+        assert!(again.contains(&(Key(99), Lc::ZERO)));
+    }
+
+    #[test]
+    fn probe_lc_never_claims() {
+        let s = store();
+        let before = s.len();
+        assert_eq!(s.probe_lc(Key(123)), None, "absent key stays absent");
+        assert_eq!(s.len(), before, "probe must not claim a slot");
+        s.apply_max(Key(123), &Val::from_u64(9), Lc::new(4, NodeId(1)));
+        assert_eq!(s.probe_lc(Key(123)), Some(Lc::new(4, NodeId(1))));
+    }
+
+    #[test]
+    fn digest_range_is_lock_free_against_writers() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new(256));
+        for k in 0..100u64 {
+            s.fast_write(Key(k), &Val::from_u64(k), NodeId(0), Epoch::ZERO);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let (s, stop) = (Arc::clone(&s), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut i = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    i += 1;
+                    s.apply_max(Key(i % 100), &Val::from_u64(i), Lc::new(i, NodeId(2)));
+                }
+            })
+        };
+        for _ in 0..200 {
+            let mut out = Vec::new();
+            let mut cursor = 0;
+            loop {
+                cursor = s.digest_range(cursor, 64, &mut out);
+                if cursor == 0 {
+                    break;
+                }
+            }
+            assert_eq!(out.len(), 100, "live population is stable while values churn");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn paxos_next_slot_reads_without_allocating() {
+        let s = store();
+        s.view(Key(5)); // claim the slot, no Paxos yet
+        assert_eq!(s.paxos_next_slot(Key(5)), 0);
+        s.paxos(Key(5)).lock().advance_past(3);
+        assert_eq!(s.paxos_next_slot(Key(5)), 4);
+        // A never-RMWed key still reports 0 (and still has no Paxos box).
+        assert_eq!(s.paxos_next_slot(Key(6)), 0);
     }
 
     #[test]

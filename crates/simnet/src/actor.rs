@@ -45,6 +45,15 @@ pub trait Actor: Send {
     fn is_idle(&self) -> bool {
         false
     }
+
+    /// Append a human-readable snapshot of the actor's internal state to
+    /// `out` — sessions, in-flight rounds, timers. Called by the threaded
+    /// runtime's watchdog path (see `StopHandle::dump_flag`) from the
+    /// actor's own thread, so implementations may read any owned state.
+    /// The default writes nothing.
+    fn describe(&self, out: &mut String) {
+        let _ = out;
+    }
 }
 
 /// Nanosecond clock abstraction. The threaded runtime uses [`WallClock`];

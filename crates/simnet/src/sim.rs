@@ -425,11 +425,20 @@ impl<A: Actor> Sim<A> {
 
     /// Run until every actor reports idle and no deliveries are in flight,
     /// or until `max_ns` virtual time is reached. Returns `true` on
-    /// quiescence.
+    /// quiescence. Crashed nodes' actors are exempt: they stop ticking, so
+    /// their own idleness bookkeeping (e.g. an anti-entropy cool-down) can
+    /// never advance, and a crash-stopped node has no outstanding work by
+    /// definition.
     pub fn run_until_quiesce(&mut self, max_ns: u64) -> bool {
         loop {
             if self.deliveries_pending == 0
-                && self.actors.iter().flatten().all(|a| a.is_idle())
+                && self
+                    .actors
+                    .iter()
+                    .enumerate()
+                    .filter(|(n, _)| !self.crashed[*n])
+                    .flat_map(|(_, v)| v)
+                    .all(|a| a.is_idle())
             {
                 return true;
             }

@@ -100,7 +100,15 @@ pub struct ThreadedNet<P> {
     /// Per-node message counters (envelopes/msgs sent by that node's workers).
     pub counters: Vec<Arc<ProtoCounters>>,
     delayer: Option<JoinHandle<()>>,
-    delay_tx: Sender<Delayed<P>>,
+    /// Held only so the channel outlives the net (workers' clones come and
+    /// go); dropped in `Drop`, which keeps the disconnect exit path alive
+    /// as a fallback.
+    _delay_tx: Sender<Delayed<P>>,
+    /// Explicit delayer shutdown flag. Every live `NetHandle` holds a
+    /// `delay_tx` clone, so "drop the last sender" only terminates the
+    /// delayer if the workers happen to be joined before the net — an
+    /// ordering this flag makes teardown independent of.
+    delayer_stop: Arc<AtomicBool>,
 }
 
 impl<P: Send + 'static> ThreadedNet<P> {
@@ -128,12 +136,14 @@ impl<P: Send + 'static> ThreadedNet<P> {
         let senders = Arc::new(senders);
 
         let (delay_tx, delay_rx) = unbounded::<Delayed<P>>();
+        let delayer_stop = Arc::new(AtomicBool::new(false));
         let delayer = {
             let senders = Arc::clone(&senders);
             let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&delayer_stop);
             std::thread::Builder::new()
                 .name("simnet-delayer".into())
-                .spawn(move || delayer_loop(delay_rx, senders, clock))
+                .spawn(move || delayer_loop(delay_rx, senders, clock, stop))
                 .expect("spawn delayer")
         };
 
@@ -161,15 +171,19 @@ impl<P: Send + 'static> ThreadedNet<P> {
             ios.push(per_node);
         }
 
-        (ThreadedNet { clock, faults, counters, delayer: Some(delayer), delay_tx }, ios)
+        (ThreadedNet { clock, faults, counters, delayer: Some(delayer), _delay_tx: delay_tx, delayer_stop }, ios)
     }
 }
 
 impl<P> Drop for ThreadedNet<P> {
     fn drop(&mut self) {
-        // Closing the last delay sender wakes and terminates the delayer.
-        let (tx, _rx) = unbounded();
-        drop(std::mem::replace(&mut self.delay_tx, tx));
+        // Explicit shutdown: workers may still hold `delay_tx` clones (the
+        // sender count alone cannot signal termination), so raise the stop
+        // flag; the delayer notices within one poll interval, drains its
+        // queue, flushes every in-heap envelope in deadline order, and
+        // exits. `delay_tx` being dropped here as well keeps the old
+        // disconnect path working when the net outlives every handle.
+        self.delayer_stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.delayer.take() {
             let _ = h.join();
         }
@@ -206,22 +220,50 @@ fn delayer_loop<P: Send>(
     rx: Receiver<Delayed<P>>,
     senders: Arc<Vec<Vec<Sender<Envelope<P>>>>>,
     clock: Arc<WallClock>,
+    stop: Arc<AtomicBool>,
 ) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
     let mut heap: BinaryHeap<Reverse<Pending<P>>> = BinaryHeap::new();
     let mut seq = 0u64;
+    // On shutdown, whatever is still delayed is delivered immediately in
+    // `(deadline, submission)` order — a deterministic flush, so teardown
+    // never depends on whether workers or the net drop first.
+    let flush = |heap: &mut BinaryHeap<Reverse<Pending<P>>>| {
+        while let Some(Reverse(p)) = heap.pop() {
+            let _ = senders[p.d.dst.idx()][p.d.worker].send(p.d.env);
+        }
+    };
     loop {
+        if stop.load(Ordering::SeqCst) {
+            // Drain everything submitted so far, then flush
+            // deterministically and exit. A worker that hands an envelope
+            // to the (now gone) delay path *after* this drain loses it —
+            // that is a torn-down fabric dropping in-flight traffic, the
+            // same as a real NIC going away; the guarantees here are "no
+            // wedge" and "nothing submitted before the stop is lost", not
+            // delivery during teardown. `Cluster` joins its workers before
+            // dropping the net, so the race never bites there.
+            while let Ok(d) = rx.try_recv() {
+                heap.push(Reverse(Pending { deliver_at: d.deliver_at, seq, d }));
+                seq += 1;
+            }
+            flush(&mut heap);
+            return;
+        }
         // Deliver everything due.
         let now = clock.now();
         while heap.peek().is_some_and(|Reverse(p)| p.deliver_at <= now) {
             let Some(Reverse(p)) = heap.pop() else { unreachable!() };
             let _ = senders[p.d.dst.idx()][p.d.worker].send(p.d.env);
         }
+        // Cap the wait so the stop flag is observed promptly even when the
+        // heap is empty or the next deadline is far out.
         let timeout = heap
             .peek()
             .map(|Reverse(p)| Duration::from_nanos(p.deliver_at.saturating_sub(clock.now())))
-            .unwrap_or(Duration::from_millis(50));
+            .unwrap_or(Duration::from_millis(50))
+            .min(Duration::from_millis(5));
         match rx.recv_timeout(timeout) {
             Ok(d) => {
                 heap.push(Reverse(Pending { deliver_at: d.deliver_at, seq, d }));
@@ -229,10 +271,7 @@ fn delayer_loop<P: Send>(
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                // Flush whatever is still queued, then exit.
-                while let Some(Reverse(p)) = heap.pop() {
-                    let _ = senders[p.d.dst.idx()][p.d.worker].send(p.d.env);
-                }
+                flush(&mut heap);
                 return;
             }
         }
@@ -242,6 +281,7 @@ fn delayer_loop<P: Send>(
 /// Handle to stop and join a set of spawned worker threads.
 pub struct StopHandle {
     stop: Arc<AtomicBool>,
+    dump: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -257,6 +297,14 @@ impl StopHandle {
     /// The shared stop flag (lets callers embed it in their own loops).
     pub fn flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
+    }
+
+    /// The shared diagnostics flag: raising it makes every worker print an
+    /// [`Actor::describe`] snapshot of its own state to stderr (once) from
+    /// its own thread — the watchdog's view into otherwise thread-owned
+    /// protocol state when a test wedges.
+    pub fn dump_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.dump)
     }
 }
 
@@ -280,20 +328,22 @@ pub fn spawn_workers<A: Actor + 'static>(
     net: &ThreadedNet<A::Msg>,
 ) -> StopHandle {
     let stop = Arc::new(AtomicBool::new(false));
+    let dump = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::with_capacity(rigs.len());
     for (actor, io) in rigs {
         let stop = Arc::clone(&stop);
+        let dump = Arc::clone(&dump);
         let clock = Arc::clone(&net.clock);
         let faults = Arc::clone(&net.faults);
         let name = format!("kite-{}-w{}", io.node, io.worker);
         handles.push(
             std::thread::Builder::new()
                 .name(name)
-                .spawn(move || worker_loop(actor, io, clock, faults, stop))
+                .spawn(move || worker_loop(actor, io, clock, faults, stop, dump))
                 .expect("spawn worker"),
         );
     }
-    StopHandle { stop, handles }
+    StopHandle { stop, dump, handles }
 }
 
 fn worker_loop<A: Actor>(
@@ -302,6 +352,7 @@ fn worker_loop<A: Actor>(
     clock: Arc<WallClock>,
     faults: Arc<FaultPlane>,
     stop: Arc<AtomicBool>,
+    dump: Arc<AtomicBool>,
 ) {
     let me = io.node;
     let mut net = io.net;
@@ -309,10 +360,21 @@ fn worker_loop<A: Actor>(
     let nodes = faults.nodes();
     let mut out: Outbox<A::Msg> = Outbox::new(nodes);
     let mut idle_iters: u32 = 0;
+    let mut dumped = false;
     const MAX_ENVELOPES_PER_ITER: usize = 64;
 
     while !stop.load(Ordering::Relaxed) {
         let now = clock.now();
+
+        // Watchdog diagnostics: dump this worker's state once when asked.
+        // Checked before the fault gates so even crashed/sleeping workers
+        // report (their buffered state is often exactly what wedged).
+        if !dumped && dump.load(Ordering::Relaxed) {
+            dumped = true;
+            let mut s = format!("==== watchdog dump {me} w{} (t={now}ns) ====\n", io.worker);
+            actor.describe(&mut s);
+            eprintln!("{s}");
+        }
 
         if faults.is_crashed(me) {
             // Crash-stop: discard traffic, do nothing, stay parked.
@@ -470,6 +532,35 @@ mod tests {
         }
         h.stop_and_join();
         assert_eq!(pongs.get(), 2, "delayed ping must still arrive");
+    }
+
+    /// Teardown must not depend on drop order: here the net is dropped
+    /// while every `NetHandle` (each holding a live `delay_tx` clone) still
+    /// exists — the stop flag terminates the delayer anyway, and the
+    /// delayed envelope still in its heap is flushed to the destination
+    /// rather than lost. Before the explicit-stop fix this join hung until
+    /// the handles happened to be dropped.
+    #[test]
+    fn delayer_stops_and_flushes_while_handles_alive() {
+        let (net, mut ios) = ThreadedNet::<&'static str>::build(2, 1, 13);
+        net.faults.set_delay(NodeId(0), NodeId(1), 60_000_000_000); // 60 s out
+        let mut io0 = ios.remove(0).remove(0);
+        let io1 = ios.remove(0).remove(0);
+        let faults = Arc::clone(&net.faults);
+        assert!(io0.net.send(NodeId(1), vec!["delayed"]));
+        // Drop the net: the delayer must exit promptly (stop flag) and
+        // deterministically flush the 60s-delayed envelope on its way out.
+        drop(net);
+        faults.set_delay(NodeId(0), NodeId(1), 0); // undelayed path stays usable
+        let env = io1
+            .rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("flushed envelope must be delivered, not lost");
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.msgs, vec!["delayed"]);
+        // Handles still alive and usable for direct (undelayed) traffic.
+        assert!(io0.net.send(NodeId(1), vec!["direct"]));
+        assert_eq!(io1.rx.recv_timeout(Duration::from_secs(1)).unwrap().msgs, vec!["direct"]);
     }
 
     #[test]

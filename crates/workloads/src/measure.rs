@@ -32,6 +32,11 @@ pub struct RunResult {
     pub ack_msgs: u64,
     /// Plain acks that rode inside `AckBatch` messages.
     pub acks_coalesced: u64,
+    /// Anti-entropy messages sent during the whole run (digests + repair
+    /// pulls + repair values): `ae_msgs / total_completed` is the
+    /// steady-state digest-traffic figure — it must stay negligible
+    /// (< 0.01 msgs/op at 0% loss).
+    pub ae_msgs: u64,
     /// Requests completed over the whole run (warmup included) — the
     /// denominator matching the whole-run counters above.
     pub total_completed: u64,
@@ -70,12 +75,20 @@ pub fn run_kite_mix(
     let per_node: Vec<f64> =
         before.iter().zip(&after).map(|(b, a)| mreqs(a - b, run_ns)).collect();
     let completed: u64 = after.iter().sum::<u64>() - before.iter().sum::<u64>();
-    let (local_reads, slow_path, ack_msgs, acks_coalesced) = (0..cfg.nodes)
+    let (local_reads, slow_path, ack_msgs, acks_coalesced, ae_msgs) = (0..cfg.nodes)
         .map(|n| {
             let c = sc.counters(NodeId(n as u8));
-            (c.local_reads.get(), c.slow_path_accesses.get(), c.acks_sent.get(), c.acks_coalesced.get())
+            (
+                c.local_reads.get(),
+                c.slow_path_accesses.get(),
+                c.acks_sent.get(),
+                c.acks_coalesced.get(),
+                c.ae_digests_sent.get() + c.ae_repair_reqs.get() + c.ae_repair_vals.get(),
+            )
         })
-        .fold((0, 0, 0, 0), |(lr, sp, am, ac), (l, s, a, c)| (lr + l, sp + s, am + a, ac + c));
+        .fold((0, 0, 0, 0, 0), |(lr, sp, am, ac, ae), (l, s, a, c, e)| {
+            (lr + l, sp + s, am + a, ac + c, ae + e)
+        });
     RunResult {
         mreqs: mreqs(completed, run_ns),
         per_node,
@@ -84,6 +97,7 @@ pub fn run_kite_mix(
         slow_path,
         ack_msgs,
         acks_coalesced,
+        ae_msgs,
         total_completed: sc.total_completed(),
     }
 }
@@ -129,6 +143,7 @@ pub fn run_zab_mix(
         slow_path: 0,
         ack_msgs: 0,
         acks_coalesced: 0,
+        ae_msgs: 0,
         total_completed,
     }
 }

@@ -26,25 +26,12 @@ use kite_verify::{check_rc, History, RcMode};
 
 const SEC: u64 = 1_000_000_000;
 
-/// A deterministic mixed workload touching every ack-producing path:
-/// relaxed writes (ES acks), releases (value-round acks), acquires
-/// (write-back acks) and FAAs (commit acks). Values are unique per key, as
-/// the checkers require.
+/// The shared deterministic mixed workload (see
+/// `kite_repro::testutil::mixed_fault_driver` for the value-encoding
+/// rules): every ack-producing path — relaxed writes (ES acks), releases
+/// (value-round acks), acquires (write-back acks), FAAs (commit acks).
 fn mixed_driver(sid: SessionId) -> SessionDriver {
-    let base = (sid.node.idx() as u64) << 8 | sid.slot as u64;
-    SessionDriver::Script(Box::new(move |seq| {
-        let key = Key(10 + (seq + base) % 7);
-        match seq {
-            n if n >= 60 => None,
-            n => Some(match n % 6 {
-                0 | 1 => Op::Write { key, val: Val::from_u64(base << 16 | n) },
-                2 => Op::Release { key: Key(3), val: Val::from_u64(base << 16 | n) },
-                3 => Op::Acquire { key: Key(3) },
-                4 => Op::Faa { key: Key(5), delta: 1 },
-                _ => Op::Read { key },
-            }),
-        }
-    }))
+    kite_repro::testutil::mixed_fault_driver(sid, 7, 60)
 }
 
 /// One faulted run: 25% loss on two directed links, 40 µs extra delay on a

@@ -1,0 +1,251 @@
+//! Anti-entropy / read-repair: convergence sufficiency, protocol
+//! equivalence, and steady-state traffic bounds.
+//!
+//! The headline scenario is the §8.4 sleeper taken one step further than
+//! `chaos.rs` goes: a replica is cut off (partition + sleep) through a
+//! key's **last** RMW commit with the completion-time repair push disabled
+//! (`commit_fill(false)`), then wakes into a 20%-lossy network. Nothing in
+//! the request path will ever resend that commit — convergence must come
+//! from the periodic digest sweep alone.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use kite::api::Op;
+use kite::session::SessionDriver;
+use kite::{ProtocolMode, SimCluster};
+use kite_common::{ClusterConfig, Key, NodeId, SessionId};
+use kite_repro::testutil::recording_hook;
+use kite_simnet::SimCfg;
+use kite_verify::{check_rc, History, RcMode};
+use kite_workloads::{run_kite_mix, MixCfg};
+
+const MS: u64 = 1_000_000;
+const SEC: u64 = 1_000_000_000;
+
+/// Small store + fast sweeps so a full anti-entropy cycle is a few hundred
+/// microseconds of virtual time.
+fn ae_cfg() -> ClusterConfig {
+    ClusterConfig::small()
+        .keys(256)
+        .release_timeout_ns(200_000)
+        .anti_entropy_interval_ns(100_000)
+        .anti_entropy_chunk(256)
+}
+
+/// A replica sleeps through a key's last commit and its fill is disabled:
+/// the periodic sweep must be *sufficient*, not just supplementary. After
+/// healing to 20% loss (sweeps must survive drops too), every replica ends
+/// with the final FAA value and the caught-up Paxos slot.
+#[test]
+fn sleeping_replica_converges_by_anti_entropy_alone() {
+    const FAAS: u64 = 5;
+    let key = Key(7);
+    let sleeper = NodeId(2);
+    let mut sc = SimCluster::build(
+        ae_cfg().commit_fill(false),
+        ProtocolMode::Kite,
+        SimCfg { seed: 9, ..Default::default() },
+        |sid| {
+            if sid == SessionId::new(NodeId(0), 0) {
+                SessionDriver::Script(Box::new(move |seq| {
+                    (seq < FAAS).then_some(Op::Faa { key, delta: 1 })
+                }))
+            } else {
+                SessionDriver::Idle
+            }
+        },
+        None,
+    );
+    // Cut the sleeper off completely (a partition models send-side loss of
+    // every copy — the §8.4 sleep buffers instead of losing, so the sleep
+    // alone cannot make it *miss* the commit) and put it to sleep for the
+    // whole op phase.
+    sc.sim.partition(sleeper, NodeId(0));
+    sc.sim.partition(sleeper, NodeId(1));
+    sc.sim.sleep_node(sleeper, 20 * MS);
+    sc.run_for(20 * MS);
+    assert_eq!(sc.total_completed(), FAAS, "FAAs must commit against the majority");
+    // Non-claiming probe on purpose: the sleeper must not even hold a
+    // *slot* for the key, so its own digests can never advertise the gap —
+    // convergence has to come from the post-wake resync ping re-arming the
+    // peers' (already wound-down) sweeps.
+    assert_eq!(
+        sc.shared(sleeper).store.probe_lc(key),
+        None,
+        "sleeper must have missed the key entirely for the scenario to be meaningful"
+    );
+
+    // Wake into a 20%-lossy (not healed-perfect) network: sweeps repeat, so
+    // loss delays repair but must not defeat it. No further client ops run
+    // — any convergence now is anti-entropy's doing alone.
+    for (a, b) in [(sleeper, NodeId(0)), (sleeper, NodeId(1))] {
+        sc.sim.set_drop(a, b, 0.2);
+        sc.sim.set_drop(b, a, 0.2);
+    }
+    assert!(sc.run_until_quiesce(600 * SEC), "anti-entropy must converge and wind down");
+
+    for n in 0..3u8 {
+        let sh = sc.shared(NodeId(n));
+        assert_eq!(
+            sh.store.view(key).val.as_u64(),
+            FAAS,
+            "replica {n} must converge on the final FAA value"
+        );
+        assert_eq!(
+            sh.store.paxos_next_slot(key),
+            FAAS,
+            "replica {n} must catch its Paxos slot up past the decided prefix"
+        );
+    }
+    let repaired = sc.shared(sleeper).counters.ae_repairs_applied.get();
+    assert!(repaired > 0, "the sleeper must have been healed by repair values");
+}
+
+/// The same scenario with the fill *enabled* but under uniform 20% loss
+/// from the start (the fill is droppable): replicas still converge.
+#[test]
+fn lossy_run_converges_with_fills_enabled() {
+    let key = Key(3);
+    let mut sc = SimCluster::build(
+        ae_cfg(),
+        ProtocolMode::Kite,
+        SimCfg { seed: 17, ..Default::default() },
+        |sid| {
+            if sid.node == NodeId(0) {
+                SessionDriver::Script(Box::new(move |seq| {
+                    (seq < 4).then_some(Op::Faa { key, delta: 1 })
+                }))
+            } else {
+                SessionDriver::Idle
+            }
+        },
+        None,
+    );
+    for a in 0..3u8 {
+        for b in 0..3u8 {
+            if a != b {
+                sc.sim.set_drop(NodeId(a), NodeId(b), 0.2);
+            }
+        }
+    }
+    assert!(sc.run_until_quiesce(600 * SEC));
+    let expected = sc.shared(NodeId(0)).store.view(key).val.as_u64();
+    assert!(expected > 0);
+    for n in 1..3u8 {
+        assert_eq!(
+            sc.shared(NodeId(n)).store.view(key).val.as_u64(),
+            expected,
+            "replica {n} diverged under loss"
+        );
+    }
+}
+
+/// The shared deterministic mixed workload; see
+/// `kite_repro::testutil::mixed_fault_driver` for the value-encoding rules
+/// (unique per key, never 0).
+fn mixed_driver(sid: SessionId) -> SessionDriver {
+    kite_repro::testutil::mixed_fault_driver(sid, 5, 40)
+}
+
+fn faulted_run(anti_entropy: bool, seed: u64) -> (BTreeSet<(u8, u32, u64)>, Arc<History>, u64) {
+    let history = Arc::new(History::new());
+    let mut sc = SimCluster::build(
+        ae_cfg().keys(1 << 10).anti_entropy(anti_entropy),
+        ProtocolMode::Kite,
+        SimCfg { seed, ..Default::default() },
+        mixed_driver,
+        Some(recording_hook(Arc::clone(&history))),
+    );
+    sc.sim.set_drop(NodeId(0), NodeId(2), 0.25);
+    sc.sim.set_drop(NodeId(1), NodeId(0), 0.25);
+    sc.sim.set_link_delay(NodeId(2), NodeId(1), 40_000);
+    assert!(sc.run_until_quiesce(60 * SEC), "must quiesce, anti_entropy={anti_entropy}");
+    let completed: BTreeSet<(u8, u32, u64)> = history
+        .sorted()
+        .iter()
+        .map(|r| (r.session.node.0, r.session.slot, r.session_seq))
+        .collect();
+    let digests: u64 = (0..3).map(|n| sc.counters(NodeId(n)).ae_digests_sent.get()).sum();
+    (completed, history, digests)
+}
+
+/// Equivalence: anti-entropy changes no protocol outcome. A faulted run
+/// with it on completes exactly the same operations as a run with it off,
+/// and both histories pass the RC checks.
+#[test]
+fn anti_entropy_on_off_equivalence_under_faults() {
+    for seed in [5u64, 23] {
+        let (ops_on, hist_on, digests_on) = faulted_run(true, seed);
+        let (ops_off, hist_off, digests_off) = faulted_run(false, seed);
+
+        assert!(digests_on > 0, "seed {seed}: sweeps must actually run");
+        assert_eq!(digests_off, 0, "seed {seed}: kill switch must kill the sweep");
+
+        assert_eq!(ops_on, ops_off, "seed {seed}: completed-op sets diverge");
+        assert_eq!(check_rc(&hist_on, RcMode::Sc), Ok(()), "seed {seed}: AE-on RCSC");
+        assert_eq!(check_rc(&hist_off, RcMode::Sc), Ok(()), "seed {seed}: AE-off RCSC");
+        assert_eq!(check_rc(&hist_on, RcMode::Lin), Ok(()), "seed {seed}: AE-on RCLin");
+        assert_eq!(check_rc(&hist_off, RcMode::Lin), Ok(()), "seed {seed}: AE-off RCLin");
+    }
+}
+
+/// After quiescing with anti-entropy on, the faulted mixed run leaves all
+/// replicas byte-identical on the touched keys — the "replicas converge
+/// without per-op fills" invariant.
+#[test]
+fn quiescence_implies_store_convergence() {
+    let history = Arc::new(History::new());
+    let mut sc = SimCluster::build(
+        ae_cfg().keys(1 << 10).commit_fill(false),
+        ProtocolMode::Kite,
+        SimCfg { seed: 31, ..Default::default() },
+        mixed_driver,
+        Some(recording_hook(Arc::clone(&history))),
+    );
+    sc.sim.set_drop(NodeId(1), NodeId(2), 0.3);
+    sc.sim.set_drop(NodeId(2), NodeId(1), 0.3);
+    assert!(sc.run_until_quiesce(60 * SEC));
+    for key in [Key(3), Key(5), Key(10), Key(11), Key(12), Key(13), Key(14)] {
+        let views: Vec<(u64, u64)> = (0..3u8)
+            .map(|n| {
+                let sh = sc.shared(NodeId(n));
+                (sh.store.view(key).val.as_u64(), sh.store.paxos_next_slot(key))
+            })
+            .collect();
+        assert!(
+            views.windows(2).all(|w| w[0] == w[1]),
+            "{key:?} diverged across replicas after quiescence: {views:?}"
+        );
+    }
+}
+
+/// Steady-state digest traffic is negligible: < 0.01 anti-entropy messages
+/// per completed operation at 0% loss on the paper-shaped deployment mix.
+#[test]
+fn digest_traffic_negligible_at_zero_loss() {
+    let cfg = ClusterConfig::default().keys(1 << 12).sessions_per_worker(2).workers_per_node(1);
+    let keys = cfg.keys as u64;
+    for (name, mode, mix) in [
+        ("kite_writes", ProtocolMode::Kite, MixCfg::plain(1.0, keys)),
+        ("kite_typical", ProtocolMode::Kite, MixCfg::typical(0.2, keys)),
+    ] {
+        let r = run_kite_mix(
+            cfg.clone(),
+            mode,
+            SimCfg { seed: 42, ..Default::default() },
+            mix,
+            2 * MS,
+            10 * MS,
+        );
+        assert!(r.total_completed > 0);
+        let per_op = r.ae_msgs as f64 / r.total_completed as f64;
+        assert!(
+            per_op < 0.01,
+            "{name}: anti-entropy traffic must be negligible, got {per_op:.5} msgs/op \
+             ({} ae msgs / {} ops)",
+            r.ae_msgs,
+            r.total_completed
+        );
+    }
+}

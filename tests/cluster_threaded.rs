@@ -74,6 +74,33 @@ fn async_api_pipelines_in_session_order() {
     cluster.shutdown();
 }
 
+/// Sync calls after async submissions must return the completion of *their
+/// own* operation, not whatever is first in the pipe — the same
+/// reconciliation that stops a late completion (after a recovered
+/// `KiteError::Timeout`) from being misattributed to the next call.
+#[test]
+fn sync_call_after_async_backlog_returns_its_own_completion() {
+    let cluster = Cluster::launch(cfg(), ProtocolMode::Kite).unwrap();
+    let mut s = cluster.session(NodeId(0), 0).unwrap();
+    // Leave a backlog of unretired async completions, like a session
+    // recovering from a timed-out wait.
+    for i in 0..5u64 {
+        s.submit(kite::api::Op::Write { key: Key(40 + i), val: Val::from_u64(i + 1) }).unwrap();
+    }
+    assert_eq!(s.outstanding(), 5);
+    // The sync read must skip/retire the five write completions and answer
+    // with its own value.
+    s.write(Key(50), Val::from_u64(77)).unwrap();
+    assert_eq!(s.read(Key(50)).unwrap().as_u64(), 77);
+    assert_eq!(s.outstanding(), 0, "sync call reconciles the whole backlog");
+    // Counters stay exact afterwards: another async round-trip drains to 0.
+    s.submit(kite::api::Op::Read { key: Key(50) }).unwrap();
+    let c = s.next_completion().unwrap();
+    assert_eq!(c.output.value().unwrap().as_u64(), 77);
+    assert_eq!(s.outstanding(), 0);
+    cluster.shutdown();
+}
+
 #[test]
 fn producer_consumer_rc_holds_with_real_threads() {
     let history = Arc::new(History::new());
@@ -140,6 +167,7 @@ fn sleeping_replica_does_not_block_survivors() {
         ProtocolMode::Kite,
     )
     .unwrap();
+    let _watchdog = cluster.watchdog(Duration::from_secs(60));
     let sleeper = NodeId(2);
     let mut w = cluster.session(NodeId(0), 0).unwrap();
 
@@ -179,6 +207,9 @@ fn threaded_mutex_exact_under_message_loss() {
     let cluster = Arc::new(
         Cluster::launch(cfg().release_timeout_ns(500_000), ProtocolMode::Kite).unwrap(),
     );
+    // A wedged run aborts with a per-worker protocol-state dump instead of
+    // hanging the suite forever.
+    let _watchdog = cluster.watchdog(Duration::from_secs(60));
     for a in 0..3u8 {
         for b in 0..3u8 {
             if a != b {
