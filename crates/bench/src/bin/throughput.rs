@@ -13,7 +13,16 @@
 //!   simulating one virtual millisecond (the simulator's own hot path,
 //!   which runs through the same outbox/slab code).
 //!
-//! Usage: `throughput [--out BENCH_micro.json] [--seed 42]`
+//! Usage: `throughput [--out BENCH_micro.json] [--seed 42]
+//!                    [--transport sim|threaded|tcp|all]`
+//!
+//! `--transport` selects the e2e scheduler: `sim` (default) runs the
+//! deterministic virtual-time rows; `threaded` drives the in-process
+//! threaded cluster wall-clock; `tcp` drives a loopback TCP cluster
+//! (real sockets, `kite-net`) wall-clock; `all` runs everything. The
+//! wall-clock rows are **noisy** (they measure this machine, not the
+//! protocol) — they are written to the JSON for trend-watching but
+//! excluded from the ±10% regression table.
 //!
 //! Before overwriting `--out`, an existing file there is treated as the
 //! committed baseline: every metric is diffed and a ±10% regression table
@@ -183,6 +192,143 @@ fn micro_measurements(rows: &mut Vec<(String, f64)>) {
 }
 
 // ---------------------------------------------------------------------------
+// Wall-clock transports (threaded / tcp loopback)
+// ---------------------------------------------------------------------------
+
+/// Shared wall-clock workload: each client runs `ops` blocking calls —
+/// 20% relaxed writes, the rest relaxed reads, with a release/acquire pair
+/// every 16th op and a FAA every 32nd (the "typical" shape, §8.1).
+/// Returns completed op count.
+fn drive_mixed_client(
+    mut call: impl FnMut(usize, u64) -> bool,
+    ops: usize,
+    client_idx: usize,
+) -> usize {
+    let mut done = 0;
+    for i in 0..ops {
+        // op kind selector: 0=read 1=write 2=release 3=acquire 4=faa —
+        // an acquire at i≡7 and a release at i≡15 every 16 ops (the FAA
+        // arm claims half the i≡15 slots), 20% writes otherwise.
+        let kind = if i % 32 == 31 {
+            4
+        } else if i % 16 == 15 {
+            2
+        } else if i % 16 == 7 {
+            3
+        } else if i % 5 == 0 {
+            1
+        } else {
+            0
+        };
+        let v = ((client_idx as u64 + 1) << 40) | (i as u64 + 1);
+        if !call(kind, v) {
+            break;
+        }
+        done += 1;
+    }
+    done
+}
+
+/// Wall-clock config for the loopback transports: small enough to launch
+/// per run, same shape as the paper deployment.
+fn loopback_cfg() -> kite_common::ClusterConfig {
+    kite_common::ClusterConfig::small().keys(1 << 12).sessions_per_worker(4)
+}
+
+/// Closed-loop blocking clients against the in-process threaded cluster.
+fn threaded_row(ops_per_client: usize) -> (String, f64, f64, f64, f64) {
+    let cfg = loopback_cfg();
+    let cluster =
+        std::sync::Arc::new(kite::Cluster::launch(cfg.clone(), ProtocolMode::Kite).expect("launch"));
+    let clients = cfg.nodes * 2;
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let cluster = std::sync::Arc::clone(&cluster);
+        handles.push(std::thread::spawn(move || {
+            let node = kite_common::NodeId((c % cfg.nodes) as u8);
+            let mut s = cluster.session(node, (c / cfg.nodes) as u32).expect("session");
+            let keys = cfg.keys as u64;
+            drive_mixed_client(
+                |kind, v| {
+                    let key = Key(v % keys);
+                    match kind {
+                        0 => s.read(key).is_ok(),
+                        1 => s.write(key, v).is_ok(),
+                        2 => s.release(Key(17), v).is_ok(),
+                        3 => s.acquire(Key(17)).is_ok(),
+                        _ => s.fetch_add(Key(19), 1).is_ok(),
+                    }
+                },
+                ops_per_client,
+                c,
+            )
+        }));
+    }
+    let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let secs = wall.elapsed().as_secs_f64();
+    match std::sync::Arc::try_unwrap(cluster) {
+        Ok(c) => c.shutdown(),
+        Err(_) => unreachable!("clients joined"),
+    }
+    ("threaded_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0)
+}
+
+/// The same clients over loopback TCP: three `NodeRuntime`s in this
+/// process, every op crossing real sockets through `RemoteSession`.
+fn tcp_row(ops_per_client: usize) -> (String, f64, f64, f64, f64) {
+    let cfg = loopback_cfg();
+    let nodes = kite_net::launch_local_cluster(cfg.clone(), ProtocolMode::Kite).expect("launch tcp");
+    // Diagnostics: KITE_TCP_WATCHDOG=<secs> arms each node's watchdog so a
+    // stalled run aborts with per-worker protocol dumps + link tables.
+    let _wds: Vec<_> = std::env::var("KITE_TCP_WATCHDOG")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|secs| {
+            nodes.iter().map(|n| n.watchdog(std::time::Duration::from_secs(secs))).collect()
+        })
+        .unwrap_or_default();
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+    let clients = cfg.nodes * 2;
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let addr = addrs[c % cfg.nodes].clone();
+        let keys = cfg.keys as u64;
+        let slot = (c / cfg.nodes) as u32;
+        handles.push(std::thread::spawn(move || {
+            let mut s = kite_net::RemoteSession::connect(&addr, slot).expect("remote session");
+            drive_mixed_client(
+                |kind, v| {
+                    let key = Key(v % keys);
+                    match kind {
+                        0 => s.read(key).is_ok(),
+                        1 => s.write(key, v).is_ok(),
+                        2 => s.release(Key(17), v).is_ok(),
+                        3 => s.acquire(Key(17)).is_ok(),
+                        _ => s.fetch_add(Key(19), 1).is_ok(),
+                    }
+                },
+                ops_per_client,
+                c,
+            )
+        }));
+    }
+    let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let secs = wall.elapsed().as_secs_f64();
+    for n in nodes {
+        n.shutdown();
+    }
+    ("tcp_loopback_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0)
+}
+
+/// Wall-clock transport rows measure this machine, not the protocol:
+/// written to the JSON, excluded from the regression table.
+fn is_noisy(name: &str) -> bool {
+    name.starts_with("tcp_") || name.starts_with("threaded_")
+}
+
+// ---------------------------------------------------------------------------
 // Baseline diff
 // ---------------------------------------------------------------------------
 
@@ -228,7 +374,11 @@ fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[(String, f6
     let fresh: Vec<(String, f64, bool)> = micro
         .iter()
         .map(|(n, v)| (n.clone(), *v, /*lower_is_better=*/ true))
-        .chain(e2e.iter().map(|(n, v, _, _, _)| (n.clone(), *v, false)))
+        .chain(
+            e2e.iter()
+                .filter(|(n, ..)| !is_noisy(n)) // wall-clock rows: no regression gate
+                .map(|(n, v, _, _, _)| (n.clone(), *v, false)),
+        )
         .collect();
     println!("\n== regression check vs committed {path} (±10%) ==");
     println!("{:<36} {:>10} {:>10} {:>8}", "metric", "baseline", "fresh", "Δ%");
@@ -259,6 +409,17 @@ fn main() {
     let out_arg = arg_after("--out");
     let out_path = out_arg.clone().unwrap_or_else(|| "BENCH_micro.json".into());
     let seed: u64 = arg_after("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let transport = arg_after("--transport").unwrap_or_else(|| "sim".into());
+    let (run_sim, run_threaded, run_tcp) = match transport.as_str() {
+        "sim" => (true, false, false),
+        "threaded" => (false, true, false),
+        "tcp" => (false, false, true),
+        "all" => (true, true, true),
+        t => {
+            eprintln!("unknown --transport {t} (expected sim|threaded|tcp|all)");
+            std::process::exit(2);
+        }
+    };
 
     eprintln!("[throughput] micro measurements …");
     let mut micro: Vec<(String, f64)> = Vec::new();
@@ -273,7 +434,8 @@ fn main() {
     let coalesce = !std::env::args().any(|a| a == "--no-coalesce");
     let cfg = paper_cluster().coalesce_acks(coalesce);
     let keys = cfg.keys as u64;
-    let runs: Vec<(&str, ProtocolMode, MixCfg)> = vec![
+    let runs: Vec<(&str, ProtocolMode, MixCfg)> = if run_sim {
+        vec![
         ("es_reads_1w", ProtocolMode::EsOnly, MixCfg::plain(0.01, keys)),
         ("es_writes_100w", ProtocolMode::EsOnly, MixCfg::plain(1.0, keys)),
         // Kite-mode write-only: every write's N−1 acks are tracked for the
@@ -281,7 +443,10 @@ fn main() {
         ("kite_writes_100w", ProtocolMode::Kite, MixCfg::plain(1.0, keys)),
         ("kite_typical_20w", ProtocolMode::Kite, MixCfg::typical(0.2, keys)),
         ("paxos_rmws_100w", ProtocolMode::PaxosOnly, MixCfg::plain(1.0, keys)),
-    ];
+        ]
+    } else {
+        Vec::new()
+    };
     // (name, mreqs, wall_ms, acks_per_op, ae_per_op)
     let mut e2e: Vec<(String, f64, f64, f64, f64)> = Vec::new();
     for (name, mode, mix) in runs {
@@ -312,6 +477,23 @@ fn main() {
         e2e.push((name.to_string(), r.mreqs, wall_ms, apw, ae));
     }
 
+    // Wall-clock transports: real threads / real sockets, noisy by nature.
+    if run_threaded {
+        eprintln!("[throughput] threaded loopback run (wall clock, noisy) …");
+        // Few ops: busy-polling workers oversubscribe small CI machines,
+        // so closed-loop wall-clock latency is large and noisy there; the
+        // row is a trend probe, not a benchmark.
+        let row = threaded_row(2_000);
+        println!("{:<28} {:8.3} mreqs   (wall {:7.1} ms, noisy: excluded from diff)", row.0, row.1, row.2);
+        e2e.push(row);
+    }
+    if run_tcp {
+        eprintln!("[throughput] tcp loopback run (wall clock, noisy) …");
+        let row = tcp_row(2_000);
+        println!("{:<28} {:8.3} mreqs   (wall {:7.1} ms, noisy: excluded from diff)", row.0, row.1, row.2);
+        e2e.push(row);
+    }
+
     diff_against_baseline(&out_path, &micro, &e2e);
 
     // Hand-rolled JSON (serde_json is not a dependency).
@@ -326,17 +508,20 @@ fn main() {
     json.push_str("  },\n  \"e2e\": {\n");
     for (i, (name, mreqs, wall_ms, apw, ae)) in e2e.iter().enumerate() {
         let comma = if i + 1 < e2e.len() { "," } else { "" };
+        let noisy = if is_noisy(name) { ", \"noisy\": true" } else { "" };
         json.push_str(&format!(
-            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3}, \"ae_per_op\": {ae:.4} }}{comma}\n"
+            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3}, \"ae_per_op\": {ae:.4}{noisy} }}{comma}\n"
         ));
     }
     json.push_str("  }\n}\n");
-    if coalesce || out_arg.is_some() {
+    if (coalesce && run_sim) || out_arg.is_some() {
         std::fs::write(&out_path, &json).expect("write BENCH json");
         eprintln!("[throughput] wrote {out_path}");
     } else {
-        // A --no-coalesce run without an explicit --out is a comparison
-        // probe: never let it clobber the committed baseline.
-        eprintln!("[throughput] --no-coalesce without --out: not overwriting {out_path}");
+        // Comparison probes must never clobber the committed baseline: a
+        // --no-coalesce run changes the numbers' meaning, and a run
+        // without the sim rows (--transport threaded|tcp) would *erase*
+        // the deterministic baselines the regression diff guards.
+        eprintln!("[throughput] probe run without --out: not overwriting {out_path}");
     }
 }

@@ -78,6 +78,17 @@ pub struct ClusterConfig {
     /// convergence of a key's last commit entirely to the periodic
     /// anti-entropy sweep — the sufficiency baseline for tests.
     pub commit_fill: bool,
+    /// Low-frequency keepalive sweep interval (ns), `0` = off. Ordinary
+    /// anti-entropy sweeps are activity-driven: they wind down one full
+    /// store cycle after the node goes idle, so a replica that diverges
+    /// while *idle* (partitioned away with no client traffic, past every
+    /// peer's cool-down) converges on the next activity rather than at
+    /// heal time. With a keepalive set, worker 0 keeps emitting one digest
+    /// chunk per `anti_entropy_keepalive_ns` even after the wind-down —
+    /// long-idle clusters then converge at heal time. Off by default
+    /// because a permanent digest trickle keeps the deterministic
+    /// simulator's network busy forever: quiesced sims must terminate.
+    pub anti_entropy_keepalive_ns: u64,
 }
 
 impl Default for ClusterConfig {
@@ -106,6 +117,7 @@ impl Default for ClusterConfig {
             anti_entropy_interval_ns: 5_000_000,
             anti_entropy_chunk: 128,
             commit_fill: true,
+            anti_entropy_keepalive_ns: 0,
         }
     }
 }
@@ -215,6 +227,13 @@ impl ClusterConfig {
     /// Builder: the commit-completion repair push (ex rid-0 fill).
     pub fn commit_fill(mut self, on: bool) -> Self {
         self.commit_fill = on;
+        self
+    }
+
+    /// Builder: idle-time keepalive sweep interval (`0` = off, the
+    /// default — see the field docs for why quiesced sims need it off).
+    pub fn anti_entropy_keepalive_ns(mut self, t: u64) -> Self {
+        self.anti_entropy_keepalive_ns = t;
         self
     }
 

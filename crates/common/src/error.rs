@@ -23,6 +23,10 @@ pub enum KiteError {
     /// Operation timed out at the client boundary (used by tests that bound
     /// how long they will wait; protocol-internal timeouts never surface).
     Timeout,
+    /// A real-network transport failure (socket error, handshake rejection,
+    /// malformed frame from a peer). Only produced by the TCP runtime
+    /// (`kite-net`); the in-process runtimes have no fallible transport.
+    Net(String),
 }
 
 impl std::fmt::Display for KiteError {
@@ -36,6 +40,7 @@ impl std::fmt::Display for KiteError {
             KiteError::BadConfig(s) => write!(f, "bad configuration: {s}"),
             KiteError::NoQuorum => write!(f, "majority of replicas unreachable"),
             KiteError::Timeout => write!(f, "client-side timeout"),
+            KiteError::Net(s) => write!(f, "network transport error: {s}"),
         }
     }
 }

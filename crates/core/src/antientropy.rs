@@ -64,6 +64,14 @@ pub(crate) struct AeState {
     sweep: bool,
     /// Sweep cadence (ns).
     interval: u64,
+    /// Idle-time keepalive cadence (ns), `0` = off: after the cool-down
+    /// has lapsed (`done`), keep emitting one digest chunk per this
+    /// interval so a replica that diverged while *idle* converges at heal
+    /// time instead of on the next activity. Deliberately ignored by
+    /// [`AeState::quiescent`]: the keepalive is a steady background
+    /// trickle, not outstanding work (sims that enable it never quiesce —
+    /// which is why it defaults off).
+    keepalive: u64,
     /// Store slots per digest.
     chunk: usize,
     /// Cool-down after the worker goes protocol-idle: one full store cycle
@@ -100,6 +108,7 @@ impl AeState {
         enabled: bool,
         wid: usize,
         interval: u64,
+        keepalive: u64,
         chunk: usize,
         store_capacity: usize,
     ) -> Self {
@@ -109,6 +118,7 @@ impl AeState {
         AeState {
             sweep,
             interval,
+            keepalive,
             chunk,
             cooldown: cycle + 2 * interval,
             cursor: 0,
@@ -141,7 +151,7 @@ impl AeState {
     pub(crate) fn describe(&self) -> String {
         format!(
             "sweep={} done={} cursor={} last_sweep={} last_tick={} idle_since={:?} \
-             interval={} chunk={} cooldown={}",
+             interval={} keepalive={} chunk={} cooldown={}",
             self.sweep,
             self.done,
             self.cursor,
@@ -149,6 +159,7 @@ impl AeState {
             self.last_tick,
             self.idle_since,
             self.interval,
+            self.keepalive,
             self.chunk,
             self.cooldown,
         )
@@ -196,7 +207,16 @@ impl Worker {
             self.ae.idle_since = None;
             self.ae.done = false;
         } else if self.ae.done {
-            return;
+            // Wound down. With a keepalive configured, fall through to emit
+            // one digest chunk per keepalive interval (at the keepalive
+            // cadence, not the active-sweep cadence) — `done` stays set, so
+            // quiescence reporting is untouched; real divergence surfaced
+            // by the digest re-arms the full sweep via the repair path.
+            if self.ae.keepalive == 0
+                || now.saturating_sub(self.ae.last_sweep) < self.ae.keepalive
+            {
+                return;
+            }
         } else {
             match self.ae.idle_since {
                 None => self.ae.idle_since = Some(now),

@@ -252,6 +252,15 @@ pub struct SessionHandle {
 }
 
 impl SessionHandle {
+    /// Assemble a handle from raw session plumbing. Used by alternative
+    /// runtimes (the TCP `kite-net` node) that build the same
+    /// `Session`/`SessionDriver::External` wiring as [`Cluster::launch`];
+    /// the channels must belong to an unclaimed session or program order is
+    /// violated.
+    pub fn from_channels(id: SessionId, tx: Sender<Op>, rx: Receiver<Completion>) -> SessionHandle {
+        SessionHandle { id, tx, rx, submitted: 0, retired: 0 }
+    }
+
     /// This session's id (node + slot).
     pub fn id(&self) -> SessionId {
         self.id

@@ -382,7 +382,21 @@ impl Worker {
             if let Some(done) = pax.committed.find(state.meta.op_id) {
                 return Some(rmw_output(state.kind, &done.result));
             }
-            let version = pax.promised.version().max(state.ballot_floor) + 1;
+            // Strictly above every ballot THIS request ever used, not just
+            // the acceptor floor: `advance_past` resets `promised` to ZERO
+            // at a slot transition, so without the `state.ballot` term the
+            // new slot's first ballot can collide exactly with the old
+            // slot's last one — and since promise/accept replies echo only
+            // the ballot (no slot), a stale reply from the previous slot's
+            // round then passes the stale-round filter and hands this
+            // round a *previous slot's* accepted command to adopt. That
+            // command re-commits at the new slot: duplicate RMW execution
+            // (two FAAs observing the same base — caught by
+            // `tests/chaos.rs::crash_stop_preserves_progress_and_rc` once
+            // the TCP-duel backoff perturbed the interleaving). Per-rid
+            // ballot monotonicity makes every stale reply unmistakable.
+            let version =
+                pax.promised.version().max(state.ballot_floor).max(state.ballot.version()) + 1;
             let ballot = Lc::new(version, me);
             pax.promised = ballot;
             let accepted = pax.accepted.as_ref().map(|a| {
@@ -940,9 +954,10 @@ impl Worker {
                     state.barrier = barrier;
                     match state.phase {
                         RmwPhase::WaitBarrier => {
-                            if let Some(output) =
-                                Self::rmw_enter_accept_in(&self.shared, self.me, rid, state, out)
-                            {
+                            if let Some(output) = Self::rmw_enter_accept_in(
+                                &self.shared, self.me, rid, state, now,
+                                &mut self.rmw_retries, out,
+                            ) {
                                 Self::rmw_finish_in(
                                     &self.shared, &self.hook, &mut self.sessions, self.mode,
                                     self.me, state, output, now, out,
@@ -1223,9 +1238,9 @@ impl Worker {
                     RmwDecision::Cmd => {}
                 }
                 if state.barrier.done {
-                    if let Some(output) =
-                        Self::rmw_enter_accept_in(&self.shared, self.me, rid, state, out)
-                    {
+                    if let Some(output) = Self::rmw_enter_accept_in(
+                        &self.shared, self.me, rid, state, now, &mut self.rmw_retries, out,
+                    ) {
                         Self::rmw_finish_in(
                             &self.shared, &self.hook, &mut self.sessions, self.mode, self.me,
                             state, output, now, out,
@@ -1388,22 +1403,41 @@ impl Worker {
     }
 
     /// Start phase 2: self-accept under the key's Paxos lock, broadcast.
-    /// Restarts the round if the slot moved or a higher ballot intervened;
-    /// propagates an already-committed result exactly like
-    /// `rmw_new_round_in`.
+    /// If the **slot** moved under the round (a commit landed), a fresh
+    /// round starts immediately — retrying is productive and propagates an
+    /// already-committed result exactly like `rmw_new_round_in`. If only
+    /// the **ballot** was outrun (a dueling proposer raised the shared
+    /// promise — with several sessions per worker the duel is usually a
+    /// *sibling on this very node*), the round parks behind the same
+    /// exponential backoff a remote nack gets: re-proposing immediately
+    /// would raise the promise right back over the sibling, and two
+    /// same-node proposers then phase-lock at wire latency — observed
+    /// livelocking the TCP loopback bench at ~24k ballots/s while both
+    /// sessions sat in Propose with only their self-promise.
     #[must_use]
     pub(crate) fn rmw_enter_accept_in(
         shared: &NodeShared,
         me: NodeId,
         rid: u64,
         state: &mut RmwState,
+        now: u64,
+        retries: &mut Vec<(u64, u64)>,
         out: &mut Outbox<Msg>,
     ) -> Option<OpOutput> {
         let cmd = state.cmd.clone().expect("accept without command");
-        let ok = {
+        enum Gate {
+            Ok,
+            SlotMoved,
+            BallotLost(u64),
+        }
+        let gate = {
             let pax = shared.store.paxos(state.meta.key);
             let mut pax = pax.lock();
-            if pax.slot == state.slot && state.ballot >= pax.promised {
+            if pax.slot != state.slot {
+                Gate::SlotMoved
+            } else if state.ballot < pax.promised {
+                Gate::BallotLost(pax.promised.version())
+            } else {
                 pax.promised = state.ballot;
                 pax.accepted = Some(AcceptedCmd {
                     op: cmd.op,
@@ -1412,13 +1446,21 @@ impl Worker {
                     result: cmd.result.clone(),
                     lc: cmd.lc,
                 });
-                true
-            } else {
-                false
+                Gate::Ok
             }
         };
-        if !ok {
-            return Self::rmw_new_round_in(shared, me, rid, state, out);
+        match gate {
+            Gate::Ok => {}
+            Gate::SlotMoved => return Self::rmw_new_round_in(shared, me, rid, state, out),
+            Gate::BallotLost(promised_version) => {
+                state.ballot_floor = state.ballot_floor.max(promised_version);
+                if state.retry_at == 0 {
+                    state.retry_at = now + rmw_backoff(rid, state.backoff_exp);
+                    state.backoff_exp = state.backoff_exp.saturating_add(1);
+                    retries.push((rid, state.retry_at));
+                }
+                return None;
+            }
         }
         state.phase = RmwPhase::Accept;
         state.retry_at = 0;

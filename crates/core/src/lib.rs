@@ -29,6 +29,8 @@
 //!   converge on every key's last write without per-op fills).
 //! * [`session`], [`inflight`] — program-order and in-flight bookkeeping.
 //! * [`delinquency`], [`nodestate`] — the barrier mechanism's node state.
+//! * [`wire`] — the binary codec carrying [`msg::Msg`] batches (and remote
+//!   client sessions) across real sockets (see the `kite-net` crate).
 //! * [`cluster`] — a threaded in-process deployment with a blocking client
 //!   API ([`Cluster`], [`SessionHandle`]).
 //! * [`simcluster`] — the same system on the deterministic simulator, for
@@ -73,6 +75,7 @@ pub mod nodestate;
 pub mod replica;
 pub mod session;
 pub mod simcluster;
+pub mod wire;
 pub mod worker;
 
 pub use api::{Completion, CompletionHook, Op, OpOutput};

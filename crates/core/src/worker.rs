@@ -130,6 +130,7 @@ impl Worker {
                 cfg.anti_entropy,
                 wid,
                 cfg.anti_entropy_interval_ns,
+                cfg.anti_entropy_keepalive_ns,
                 cfg.anti_entropy_chunk,
                 shared.store.capacity(),
             ),

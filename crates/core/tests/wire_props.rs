@@ -1,0 +1,320 @@
+//! Property tests of the wire codec: every `Msg` variant round-trips
+//! through encode → frame → decode, and malformed input of every flavour
+//! (truncation, oversize, bit-flips, garbage) decodes to an error — never
+//! a panic, because a malformed peer frame costs the sender its connection
+//! and must not cost the receiving worker its process.
+
+use std::sync::Arc;
+
+use kite::msg::{CatchUp, Cmd, CommitPayload, DigestChunk, Msg, PromiseOutcome, Repair, WriteBack};
+use kite::wire::{self, WireError};
+use kite_common::{Key, Lc, NodeId, NodeSet, OpId, SessionId, Val};
+use kite_kvs::RmwCommit;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+// ---------------------------------------------------------------------------
+// Generators (the proptest shim's Strategy surface)
+// ---------------------------------------------------------------------------
+
+fn gen_val(rng: &mut TestRng) -> Val {
+    match rng.below(4) {
+        0 => Val::EMPTY,
+        1 => Val::from_u64(rng.next_u64()),
+        2 => {
+            // Inline boundary (32 bytes).
+            let b: Vec<u8> = (0..32).map(|_| rng.next_u64() as u8).collect();
+            Val::from_bytes(&b)
+        }
+        _ => {
+            // Heap flavour.
+            let n = 33 + rng.below(64) as usize;
+            let b: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+            Val::from_bytes(&b)
+        }
+    }
+}
+
+fn gen_lc(rng: &mut TestRng) -> Lc {
+    Lc::new(rng.below(1 << 40), NodeId(rng.below(16) as u8))
+}
+
+fn gen_op_id(rng: &mut TestRng) -> OpId {
+    OpId::new(
+        SessionId::new(NodeId(rng.below(16) as u8), rng.below(1 << 10) as u32),
+        rng.below(1 << 30),
+    )
+}
+
+fn gen_ring(rng: &mut TestRng) -> Vec<RmwCommit> {
+    (0..rng.below(5))
+        .map(|_| RmwCommit { op: gen_op_id(rng), slot: rng.below(1 << 20), result: gen_val(rng) })
+        .collect()
+}
+
+fn gen_key(rng: &mut TestRng) -> Key {
+    Key(rng.next_u64())
+}
+
+/// One random message covering **every** variant (tag picked uniformly).
+fn gen_msg(rng: &mut TestRng) -> Msg {
+    let rid = rng.next_u64();
+    match rng.below(21) {
+        0 => Msg::EsWrite { rid, key: gen_key(rng), val: gen_val(rng), lc: gen_lc(rng) },
+        1 => Msg::Ack { rid },
+        2 => Msg::AckBatch { rids: (0..rng.below(20)).map(|_| rng.next_u64()).collect() },
+        3 => Msg::RtsReq { rid, key: gen_key(rng) },
+        4 => Msg::RtsRep { rid, lc: gen_lc(rng) },
+        5 => {
+            let acq = if rng.below(2) == 0 { Some(gen_op_id(rng)) } else { None };
+            Msg::ReadReq { rid, key: gen_key(rng), acq }
+        }
+        6 => Msg::ReadRep {
+            rid,
+            val: gen_val(rng),
+            lc: gen_lc(rng),
+            delinquent: rng.below(2) == 0,
+        },
+        7 => Msg::WriteMsg { rid, key: gen_key(rng), val: gen_val(rng), lc: gen_lc(rng) },
+        8 => Msg::WriteAcq {
+            rid,
+            wb: Arc::new(WriteBack {
+                key: gen_key(rng),
+                val: gen_val(rng),
+                lc: gen_lc(rng),
+                acq: gen_op_id(rng),
+            }),
+        },
+        9 => Msg::WriteAck { rid, delinquent: rng.below(2) == 0 },
+        10 => Msg::SlowRelease { rid, dm: NodeSet(rng.next_u64() as u16) },
+        11 => Msg::SlowReleaseAck { rid },
+        12 => Msg::ResetBit { acq: gen_op_id(rng) },
+        13 => Msg::Propose {
+            rid,
+            key: gen_key(rng),
+            slot: rng.below(1 << 20),
+            ballot: gen_lc(rng),
+            op: gen_op_id(rng),
+        },
+        14 => {
+            let outcome = match rng.below(5) {
+                0 => PromiseOutcome::Promised { accepted: None },
+                1 => PromiseOutcome::Promised {
+                    accepted: Some(Box::new((
+                        gen_lc(rng),
+                        Cmd {
+                            op: gen_op_id(rng),
+                            new_val: gen_val(rng),
+                            result: gen_val(rng),
+                            lc: gen_lc(rng),
+                        },
+                    ))),
+                },
+                2 => PromiseOutcome::NackBallot { promised: gen_lc(rng) },
+                3 => PromiseOutcome::AlreadyCommitted(Box::new(CatchUp {
+                    slot: rng.below(1 << 20),
+                    cur_val: gen_val(rng),
+                    cur_lc: gen_lc(rng),
+                    done: if rng.below(2) == 0 { Some(gen_val(rng)) } else { None },
+                    ring: gen_ring(rng),
+                })),
+                _ => PromiseOutcome::Lagging { slot: rng.below(1 << 20) },
+            };
+            Msg::PromiseRep { rid, ballot: gen_lc(rng), outcome, delinquent: rng.below(2) == 0 }
+        }
+        15 => Msg::Accept {
+            rid,
+            key: gen_key(rng),
+            slot: rng.below(1 << 20),
+            ballot: gen_lc(rng),
+            cmd: Arc::new(Cmd {
+                op: gen_op_id(rng),
+                new_val: gen_val(rng),
+                result: gen_val(rng),
+                lc: gen_lc(rng),
+            }),
+        },
+        16 => Msg::AcceptRep {
+            rid,
+            ballot: gen_lc(rng),
+            ok: rng.below(2) == 0,
+            promised: gen_lc(rng),
+            delinquent: rng.below(2) == 0,
+        },
+        17 => Msg::Commit {
+            rid,
+            key: gen_key(rng),
+            c: Arc::new(CommitPayload {
+                slot: rng.below(1 << 20),
+                val: gen_val(rng),
+                lc: gen_lc(rng),
+                meta: if rng.below(2) == 0 { Some((gen_op_id(rng), gen_val(rng))) } else { None },
+            }),
+        },
+        18 => Msg::Digest {
+            d: Arc::new(DigestChunk {
+                entries: (0..rng.below(40)).map(|_| (gen_key(rng), gen_lc(rng))).collect(),
+            }),
+        },
+        19 => Msg::RepairReq {
+            keys: (0..rng.below(20)).map(|_| gen_key(rng)).collect::<Vec<_>>().into_boxed_slice(),
+        },
+        _ => Msg::RepairVal {
+            r: Box::new(Repair {
+                key: gen_key(rng),
+                val: gen_val(rng),
+                lc: gen_lc(rng),
+                slot: rng.below(1 << 20),
+                ring: gen_ring(rng),
+            }),
+        },
+    }
+}
+
+/// Structural equality via Debug — `Msg` deliberately has no PartialEq
+/// (Arc payloads), and the Debug form prints every field.
+fn same(a: &Msg, b: &Msg) -> bool {
+    format!("{a:?}") == format!("{b:?}")
+}
+
+struct MsgBatch;
+
+impl proptest::strategy::Strategy for MsgBatch {
+    type Value = Vec<Msg>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<Msg> {
+        (0..1 + rng.below(16)).map(|_| gen_msg(rng)).collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// encode → frame → decode is the identity on every variant, and the
+    /// decode lands in a recycled buffer without disturbing prior content.
+    #[test]
+    fn frame_round_trips_every_variant(msgs in MsgBatch, src in 0u8..16) {
+        let mut buf = Vec::new();
+        wire::encode_frame(NodeId(src), &msgs, &mut buf);
+        let body_len = wire::frame_body_len(buf[..4].try_into().unwrap()).unwrap();
+        prop_assert_eq!(body_len, buf.len() - 4);
+        let mut out = Vec::new();
+        let got_src = wire::decode_frame_body(&buf[4..], &mut out).unwrap();
+        prop_assert_eq!(got_src, NodeId(src));
+        prop_assert_eq!(out.len(), msgs.len());
+        for (a, b) in msgs.iter().zip(&out) {
+            prop_assert!(same(a, b), "mismatch: {:?} vs {:?}", a, b);
+        }
+    }
+
+    /// Every truncation of a valid frame decodes to an error (never panics,
+    /// never fabricates messages) and leaves the output buffer clean.
+    #[test]
+    fn truncated_frames_error_cleanly(msgs in MsgBatch, cut_at in any::<proptest::sample::Index>()) {
+        let mut buf = Vec::new();
+        wire::encode_frame(NodeId(1), &msgs, &mut buf);
+        let body = &buf[4..];
+        let cut = cut_at.index(body.len().max(1));
+        let mut out = Vec::new();
+        let r = wire::decode_frame_body(&body[..cut], &mut out);
+        prop_assert!(r.is_err(), "decoding a {cut}-byte prefix of {} must fail", body.len());
+        prop_assert!(out.is_empty(), "failed decode must truncate its output buffer");
+    }
+
+    /// Flipping any byte of a frame either still decodes (the flip hit a
+    /// payload byte) or errors — it never panics and never over-reads.
+    #[test]
+    fn bit_flips_never_panic(msgs in MsgBatch, at in any::<proptest::sample::Index>(), flip in 1u8..=255) {
+        let mut buf = Vec::new();
+        wire::encode_frame(NodeId(0), &msgs, &mut buf);
+        let i = 4 + at.index(buf.len() - 4);
+        buf[i] ^= flip;
+        let mut out = Vec::new();
+        let _ = wire::decode_frame_body(&buf[4..], &mut out); // must return, not panic
+    }
+
+    /// Pure garbage bodies decode to an error.
+    #[test]
+    fn garbage_bodies_error(len in 5usize..64, seed in any::<u64>()) {
+        let mut rng = TestRng::from_seed(seed);
+        // Tag byte ≥ 21 guarantees at least the first message is invalid.
+        let mut body = vec![0u8; len];
+        for b in body.iter_mut() {
+            *b = (rng.next_u64() | 0x80) as u8;
+        }
+        body[0] = 1; // src
+        // count = huge → Oversized, or plausible → BadTag/Truncated later.
+        let mut out = Vec::new();
+        prop_assert!(wire::decode_frame_body(&body, &mut out).is_err());
+    }
+}
+
+#[test]
+fn oversized_collections_are_rejected_not_allocated() {
+    // An AckBatch announcing 2^32-ish rids must be rejected by the length
+    // gate before any allocation happens.
+    let mut body = Vec::new();
+    body.push(0); // src
+    body.extend_from_slice(&1u32.to_le_bytes()); // one message
+    body.push(2); // T_ACK_BATCH
+    body.extend_from_slice(&(u32::MAX).to_le_bytes()); // ludicrous count
+    let mut out = Vec::new();
+    assert!(matches!(
+        wire::decode_frame_body(&body, &mut out),
+        Err(WireError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn decode_reuses_the_provided_buffer() {
+    // The transport decodes into pool-recycled buffers: capacity must be
+    // reused, not reallocated, when it suffices.
+    let msgs = vec![Msg::Ack { rid: 7 }, Msg::Ack { rid: 8 }];
+    let mut buf = Vec::new();
+    wire::encode_frame(NodeId(0), &msgs, &mut buf);
+    let mut out: Vec<Msg> = Vec::with_capacity(64);
+    let cap = out.capacity();
+    let ptr = out.as_ptr();
+    wire::decode_frame_body(&buf[4..], &mut out).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.capacity(), cap);
+    assert_eq!(out.as_ptr(), ptr, "decode must fill the recycled buffer in place");
+}
+
+#[test]
+fn oversized_batches_split_across_frames() {
+    // A batch that cannot fit one frame must split, and every frame must
+    // decode back to the original sequence — otherwise one big outbox
+    // flush (e.g. a digest chunk's worth of repairs) would produce a frame
+    // every receiver rejects, flapping the link forever.
+    let big = Val::from_bytes(&vec![7u8; 60_000]);
+    let msgs: Vec<Msg> = (0..100)
+        .map(|i| Msg::WriteMsg { rid: i, key: Key(i), val: big.clone(), lc: Lc::ZERO })
+        .collect();
+    let mut buf = Vec::new();
+    let frames = wire::encode_frames(NodeId(3), &msgs, &mut buf);
+    assert!(frames > 1, "6 MB of messages cannot fit one {}-byte frame", wire::MAX_FRAME);
+    // Walk the concatenated frames exactly as a reader thread would.
+    let mut out = Vec::new();
+    let mut off = 0;
+    for _ in 0..frames {
+        let len = wire::frame_body_len(buf[off..off + 4].try_into().unwrap()).unwrap();
+        let src = wire::decode_frame_body(&buf[off + 4..off + 4 + len], &mut out).unwrap();
+        assert_eq!(src, NodeId(3));
+        off += 4 + len;
+    }
+    assert_eq!(off, buf.len(), "no trailing bytes between frames");
+    assert_eq!(out.len(), msgs.len());
+    for (a, b) in msgs.iter().zip(&out) {
+        assert!(same(a, b));
+    }
+}
+
+#[test]
+fn empty_batch_still_produces_one_frame() {
+    let mut buf = Vec::new();
+    assert_eq!(wire::encode_frames(NodeId(0), &[], &mut buf), 1);
+    let len = wire::frame_body_len(buf[..4].try_into().unwrap()).unwrap();
+    let mut out = Vec::new();
+    wire::decode_frame_body(&buf[4..4 + len], &mut out).unwrap();
+    assert!(out.is_empty());
+}

@@ -1,0 +1,265 @@
+//! `kite-client`: remote-session workload driver for TCP deployments
+//! (the client half of `scripts/e2e_tcp.sh`).
+//!
+//! Phases:
+//!
+//! * `mixed` — one remote session per listed server runs a mixed
+//!   read/write/release/acquire/FAA/CAS-mutex workload. Every completion
+//!   is recorded client-side (single process clock, so real-time edges are
+//!   sound) and the history is checked against the **RCLin** axioms; the
+//!   FAA counter total and the CAS-mutex-protected cell are verified
+//!   exactly. Exit 0 iff everything holds.
+//! * `put` — one release write (seeds a convergence sentinel).
+//! * `poll` — relaxed-read one key on one node until it shows the expected
+//!   value (how the script proves a restarted replica anti-entropy-caught-
+//!   up: relaxed reads are local, so the value can only appear through
+//!   repair).
+//!
+//! ```text
+//! kite-client mixed --servers a:p,b:p,c:p --slot 0 --ops 40
+//! kite-client put   --servers a:p --slot 1 --key 900 --val 7777
+//! kite-client poll  --servers c:p --slot 1 --key 900 --val 7777 --timeout-secs 20
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kite_common::Key;
+use kite_net::RemoteSession;
+use kite_verify::{check_rc, History, OpKind, OpRecord, RcMode};
+
+const DATA_BASE: u64 = 100;
+const FLAG_BASE: u64 = 200;
+const COUNTER: u64 = 300;
+const LOCK: u64 = 301;
+const CELL: u64 = 302;
+
+fn fail(msg: String) -> ! {
+    eprintln!("kite-client: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+struct Recorder {
+    history: Arc<History>,
+    base: Instant,
+    session: kite_common::SessionId,
+    seq: u64,
+}
+
+impl Recorder {
+    fn record(&mut self, key: Key, kind: OpKind, invoked: Instant, completed: Instant) {
+        self.history.record(OpRecord {
+            session: self.session,
+            session_seq: self.seq,
+            key,
+            kind,
+            invoke: invoked.duration_since(self.base).as_nanos() as u64,
+            complete: completed.duration_since(self.base).as_nanos() as u64,
+        });
+        self.seq += 1;
+    }
+}
+
+/// Unique nonzero value: sessions stamp their writes so reads-from is
+/// unambiguous for the checker.
+fn uniq(session_idx: u64, ctr: &mut u64) -> u64 {
+    *ctr += 1;
+    (session_idx + 1) << 40 | *ctr
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mixed_session(
+    addr: String,
+    slot: u32,
+    idx: usize,
+    n: usize,
+    ops: u64,
+    key_base: u64,
+    history: Arc<History>,
+    base: Instant,
+) -> Result<(), String> {
+    let mut s = RemoteSession::connect(&addr, slot)
+        .map_err(|e| format!("connect {addr} slot {slot}: {e}"))?;
+    let mut rec = Recorder { history, base, session: s.id(), seq: 0 };
+    let mut ctr = 0u64;
+    let my_data = Key(key_base + DATA_BASE + idx as u64);
+    let my_flag = Key(key_base + FLAG_BASE + idx as u64);
+    let peer_flag = Key(key_base + FLAG_BASE + ((idx + 1) % n) as u64);
+    let peer_data = Key(key_base + DATA_BASE + ((idx + 1) % n) as u64);
+    let counter = Key(key_base + COUNTER);
+    let lock = Key(key_base + LOCK);
+    let cell = Key(key_base + CELL);
+    let my_tag = (idx as u64 + 1) << 56 | 0xA5;
+    let e = |e: kite_common::KiteError| format!("session {idx}: {e}");
+
+    for _ in 0..ops {
+        // Relaxed write + release of the paired flag (RC handoff pattern).
+        let v = uniq(idx as u64, &mut ctr);
+        let t0 = Instant::now();
+        s.write(my_data, v).map_err(e)?;
+        rec.record(my_data, OpKind::Write { v }, t0, Instant::now());
+        let f = uniq(idx as u64, &mut ctr);
+        let t0 = Instant::now();
+        s.release(my_flag, f).map_err(e)?;
+        rec.record(my_flag, OpKind::Release { v: f }, t0, Instant::now());
+
+        // Acquire the neighbour's flag, then read their payload.
+        let t0 = Instant::now();
+        let got = s.acquire(peer_flag).map_err(e)?;
+        rec.record(peer_flag, OpKind::Acquire { v: got.as_u64() }, t0, Instant::now());
+        let t0 = Instant::now();
+        let got = s.read(peer_data).map_err(e)?;
+        rec.record(peer_data, OpKind::Read { v: got.as_u64() }, t0, Instant::now());
+
+        // Consensus: shared FAA counter.
+        let t0 = Instant::now();
+        let old = s.fetch_add(counter, 1).map_err(e)?;
+        rec.record(counter, OpKind::Rmw { observed: old, wrote: old + 1 }, t0, Instant::now());
+
+        // Strong-CAS mutex protecting CELL: lock (CAS EMPTY → tag), bump,
+        // unlock (release-write EMPTY — the repo's dist_mutex convention).
+        // The lock key's ops are NOT recorded (lock/unlock reuse the same
+        // values and the checker needs unique writes per key); mutual
+        // exclusion is proven by CELL instead, whose increments are unique
+        // exactly when critical sections never interleave.
+        loop {
+            let (ok, _) = s.cas_strong(lock, kite_common::Val::EMPTY, my_tag).map_err(e)?;
+            if ok {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let t0 = Instant::now();
+        let c = s.read(cell).map_err(e)?.as_u64();
+        rec.record(cell, OpKind::Read { v: c }, t0, Instant::now());
+        let t0 = Instant::now();
+        s.write(cell, c + 1).map_err(e)?;
+        rec.record(cell, OpKind::Write { v: c + 1 }, t0, Instant::now());
+        s.release(lock, kite_common::Val::EMPTY).map_err(e)?;
+    }
+    Ok(())
+}
+
+fn phase_mixed(servers: &[String], slot: u32, ops: u64, key_base: u64) {
+    let n = servers.len();
+    let history = Arc::new(History::new());
+    let base = Instant::now();
+    let mut handles = Vec::new();
+    for (idx, addr) in servers.iter().enumerate() {
+        let addr = addr.clone();
+        let history = Arc::clone(&history);
+        handles.push(std::thread::spawn(move || {
+            mixed_session(addr, slot, idx, n, ops, key_base, history, base)
+        }));
+    }
+    for h in handles {
+        if let Err(msg) = h.join().expect("session thread panicked") {
+            fail(msg);
+        }
+    }
+
+    // Exact totals through one fresh verification session on server 0.
+    let mut v = RemoteSession::connect(&servers[0], slot + 1)
+        .unwrap_or_else(|e| fail(format!("verify session: {e}")));
+    let total = v
+        .acquire(Key(key_base + COUNTER))
+        .unwrap_or_else(|e| fail(format!("counter: {e}")));
+    let expect = n as u64 * ops;
+    if total.as_u64() != expect {
+        fail(format!("FAA counter {} != {} ({} sessions × {} ops)", total.as_u64(), expect, n, ops));
+    }
+    // Take the mutex once to synchronize with the last holder, then check
+    // the protected cell.
+    loop {
+        let (ok, _) = v
+            .cas_strong(Key(key_base + LOCK), kite_common::Val::EMPTY, 0xFEu64)
+            .unwrap_or_else(|e| fail(format!("lock: {e}")));
+        if ok {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let cell = v.read(Key(key_base + CELL)).unwrap_or_else(|e| fail(format!("cell: {e}")));
+    // Release the mutex: a later phase reuses these keys with fresh
+    // sessions, and an abandoned lock would wedge them.
+    v.release(Key(key_base + LOCK), kite_common::Val::EMPTY)
+        .unwrap_or_else(|e| fail(format!("unlock: {e}")));
+    if cell.as_u64() != expect {
+        fail(format!("mutex-protected cell {} != {expect} — critical sections interleaved", cell.as_u64()));
+    }
+
+    match check_rc(&history, RcMode::Lin) {
+        Ok(()) => println!(
+            "kite-client: mixed OK — {} ops across {n} sessions, RC(Lin) checks passed, \
+             FAA total {expect}, mutex cell {expect}",
+            history.len()
+        ),
+        Err(err) => fail(format!("RC check failed: {err:?}")),
+    }
+}
+
+fn phase_put(servers: &[String], slot: u32, key: u64, val: u64) {
+    let mut s = RemoteSession::connect(&servers[0], slot)
+        .unwrap_or_else(|e| fail(format!("connect: {e}")));
+    s.release(Key(key), val).unwrap_or_else(|e| fail(format!("release: {e}")));
+    println!("kite-client: put k{key}={val} OK");
+}
+
+fn phase_poll(servers: &[String], slot: u32, key: u64, val: u64, timeout: Duration) {
+    let mut s = RemoteSession::connect(&servers[0], slot)
+        .unwrap_or_else(|e| fail(format!("connect: {e}")));
+    let deadline = Instant::now() + timeout;
+    let mut last = 0;
+    while Instant::now() < deadline {
+        last = s.read(Key(key)).unwrap_or_else(|e| fail(format!("read: {e}"))).as_u64();
+        if last == val {
+            println!("kite-client: poll k{key}={val} OK (converged)");
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    fail(format!("k{key} never converged to {val} within {timeout:?} (last saw {last})"));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(phase) = args.first().cloned() else {
+        eprintln!("usage: kite-client <mixed|put|poll> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T]");
+        std::process::exit(2);
+    };
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut i = 1;
+    while i < args.len() {
+        let (Some(flag), Some(value)) = (args[i].strip_prefix("--"), args.get(i + 1)) else {
+            eprintln!("kite-client: bad args near {:?}", args.get(i));
+            std::process::exit(2);
+        };
+        opts.insert(flag.to_string(), value.clone());
+        i += 2;
+    }
+    let servers: Vec<String> = opts
+        .get("servers")
+        .unwrap_or_else(|| fail("--servers required".into()))
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let slot: u32 = opts.get("slot").map(|v| v.parse().expect("slot")).unwrap_or(0);
+    let num = |k: &str, d: u64| opts.get(k).map(|v| v.parse().expect(k)).unwrap_or(d);
+
+    match phase.as_str() {
+        "mixed" => phase_mixed(&servers, slot, num("ops", 25), num("key-base", 0)),
+        "put" => phase_put(&servers, slot, num("key", 900), num("val", 7777)),
+        "poll" => phase_poll(
+            &servers,
+            slot,
+            num("key", 900),
+            num("val", 7777),
+            Duration::from_secs(num("timeout-secs", 20)),
+        ),
+        p => {
+            eprintln!("kite-client: unknown phase {p}");
+            std::process::exit(2);
+        }
+    }
+}

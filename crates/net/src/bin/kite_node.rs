@@ -1,0 +1,162 @@
+//! `kite-node`: one Kite replica as an OS process.
+//!
+//! ```text
+//! kite-node --node 0 --peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 \
+//!           [--workers 2] [--sessions-per-worker 4] [--keys 65536]
+//!           [--mode kite|es|abd|paxos] [--anti-entropy on|off]
+//!           [--keepalive-ns N] [--config cluster.toml]
+//! ```
+//!
+//! Topology can also come from a TOML-ish config file (`key = value` lines,
+//! `#` comments; command-line flags override it):
+//!
+//! ```text
+//! node = 0
+//! peers = "127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102"
+//! workers = 2
+//! mode = "kite"
+//! ```
+//!
+//! The fabric listener also accepts remote client sessions (`kite-client`,
+//! [`kite_net::RemoteSession`]). SIGTERM/SIGINT trigger a clean shutdown
+//! through the worker stop-flag path: the process prints a final link
+//! report and exits 0.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use kite::ProtocolMode;
+use kite_common::{ClusterConfig, NodeId};
+use kite_net::{NodeConfig, NodeRuntime};
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+/// Install `on_signal` for SIGTERM and SIGINT via raw libc `signal(2)` —
+/// the workspace is dependency-free, so no signal crate.
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Parse a TOML-ish `key = value` file into a flat map (strings may be
+/// quoted; `#` starts a comment; no tables/arrays — the topology is flat).
+fn parse_config_file(path: &str) -> Result<HashMap<String, String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut map = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((k, v)) = line.split_once('=') else {
+            return Err(format!("{path}:{}: expected `key = value`", lineno + 1));
+        };
+        let v = v.trim().trim_matches('"').trim_matches('\'');
+        map.insert(k.trim().to_string(), v.to_string());
+    }
+    Ok(map)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kite-node --node N --peers addr0,addr1,... \
+         [--workers W] [--sessions-per-worker S] [--keys K] \
+         [--mode kite|es|abd|paxos] [--anti-entropy on|off] \
+         [--keepalive-ns N] [--release-timeout-ns N] [--config FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    // Collect `--flag value` pairs; a config file seeds the map first so
+    // flags override it.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(flag) = args[i].strip_prefix("--") else { usage() };
+        let Some(value) = args.get(i + 1) else { usage() };
+        if flag == "config" {
+            match parse_config_file(value) {
+                Ok(file) => {
+                    for (k, v) in file {
+                        opts.entry(k).or_insert(v);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("kite-node: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            opts.insert(flag.replace('-', "_"), value.clone());
+        }
+        i += 2;
+    }
+
+    let get = |k: &str| opts.get(k).cloned();
+    let parse_u64 = |k: &str, d: u64| -> u64 {
+        get(k).map(|v| v.parse().unwrap_or_else(|_| {
+            eprintln!("kite-node: bad {k}: {v}");
+            std::process::exit(2);
+        })).unwrap_or(d)
+    };
+
+    let Some(node) = get("node").and_then(|v| v.parse::<u8>().ok()) else { usage() };
+    let Some(peers_raw) = get("peers") else { usage() };
+    let peers: Vec<String> = peers_raw.split(',').map(|s| s.trim().to_string()).collect();
+
+    let mode = match get("mode").as_deref().unwrap_or("kite") {
+        "kite" => ProtocolMode::Kite,
+        "es" => ProtocolMode::EsOnly,
+        "abd" => ProtocolMode::AbdOnly,
+        "paxos" => ProtocolMode::PaxosOnly,
+        m => {
+            eprintln!("kite-node: unknown mode {m}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cluster = ClusterConfig::default()
+        .nodes(peers.len())
+        .workers_per_node(parse_u64("workers", 2) as usize)
+        .sessions_per_worker(parse_u64("sessions_per_worker", 4) as usize)
+        .keys(parse_u64("keys", 1 << 16) as usize)
+        .release_timeout_ns(parse_u64("release_timeout_ns", 1_000_000))
+        .anti_entropy_keepalive_ns(parse_u64("keepalive_ns", 0));
+    if let Some(ae) = get("anti_entropy") {
+        cluster = cluster.anti_entropy(ae == "on" || ae == "true");
+    }
+
+    install_signal_handlers();
+
+    let runtime = match NodeRuntime::launch(NodeConfig::new(cluster, mode, NodeId(node), peers)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("kite-node: launch failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Machine-greppable readiness line (the e2e script waits for it).
+    println!("kite-node: node {} ready on {} (mode {:?})", runtime.node(), runtime.addr(), mode);
+
+    while !STOP.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    eprintln!("kite-node: node {} shutting down\n{}", runtime.node(), runtime.describe());
+    runtime.shutdown();
+    println!("kite-node: clean exit");
+}

@@ -1,0 +1,234 @@
+//! Remote client sessions: the [`kite::SessionHandle`] API over a socket.
+//!
+//! A [`RemoteSession`] connects to a `kite-node`'s listener with a client
+//! hello claiming one session slot, then submits operations as
+//! length-prefixed frames and receives completions in session order.
+//! Completions are matched to calls by the op's session sequence number —
+//! the same two-monotone-counter bookkeeping as the in-process handle, so
+//! a late completion after a recovered timeout is retired instead of being
+//! misattributed to the next call.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use kite::api::{Completion, Op, OpOutput};
+use kite::wire::{self, ClientFrame, Hello};
+use kite_common::{Key, KiteError, Result, SessionId, Val};
+
+/// How long synchronous calls wait before reporting
+/// [`KiteError::Timeout`] (matches the in-process client boundary).
+pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Socket read granularity (stop/deadline responsiveness).
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// A claimed remote session. Not `Clone` — a session is a single
+/// program-order stream.
+pub struct RemoteSession {
+    id: SessionId,
+    stream: TcpStream,
+    /// Operations submitted; the next submission gets session seq
+    /// `submitted`.
+    submitted: u64,
+    /// Completions received (they arrive in session order).
+    retired: u64,
+    wbuf: Vec<u8>,
+    body: Vec<u8>,
+}
+
+/// Read exactly `buf.len()` bytes by `deadline`. A timeout with *nothing*
+/// read is clean (`Ok(false)`: a frame boundary — the stream stays usable
+/// and the completion is reconciled by a later call, like the in-process
+/// handle's recovered timeouts). A timeout mid-read is an error: the
+/// stream is desynced and the session unusable (a wedged server must not
+/// hang the client forever).
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<bool> {
+    let mut off = 0;
+    while off < buf.len() {
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => return Err(KiteError::Shutdown), // server closed
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() >= deadline {
+                    if off == 0 {
+                        return Ok(false);
+                    }
+                    return Err(KiteError::Net("timed out mid-frame".into()));
+                }
+            }
+            Err(e) => return Err(KiteError::Net(format!("read: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+impl RemoteSession {
+    /// Connect to a node's listener at `addr` and claim session `slot`.
+    pub fn connect(addr: &str, slot: u32) -> Result<RemoteSession> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| KiteError::Net(format!("connect {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(READ_TICK))
+            .map_err(|e| KiteError::Net(format!("set timeout: {e}")))?;
+        stream
+            .write_all(&wire::encode_hello(Hello::Client { slot }))
+            .map_err(|e| KiteError::Net(format!("hello: {e}")))?;
+        let mut s = RemoteSession {
+            id: SessionId::new(kite_common::NodeId(0), slot),
+            stream,
+            submitted: 0,
+            retired: 0,
+            wbuf: Vec::with_capacity(256),
+            body: Vec::with_capacity(256),
+        };
+        match s.read_frame(Instant::now() + CLIENT_TIMEOUT)? {
+            ClientFrame::HelloOk { session } => {
+                s.id = session;
+                Ok(s)
+            }
+            ClientFrame::HelloErr { reason } => Err(KiteError::SessionUnavailable(reason)),
+            other => Err(KiteError::Net(format!("unexpected hello reply: {other:?}"))),
+        }
+    }
+
+    /// This session's id (node + slot), as assigned by the server.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Number of submitted-but-unretired operations.
+    pub fn outstanding(&self) -> usize {
+        (self.submitted - self.retired) as usize
+    }
+
+    fn read_frame(&mut self, deadline: Instant) -> Result<ClientFrame> {
+        let mut prefix = [0u8; 4];
+        if !read_exact_deadline(&mut self.stream, &mut prefix, deadline)? {
+            return Err(KiteError::Timeout);
+        }
+        let len =
+            wire::frame_body_len(prefix).map_err(|e| KiteError::Net(format!("bad frame: {e}")))?;
+        self.body.resize(len, 0);
+        // The frame has started: its body is normally already in flight;
+        // the extended deadline only guards against a server dying with a
+        // half-written frame (then: mid-frame error, not a clean timeout).
+        if !read_exact_deadline(&mut self.stream, &mut self.body, deadline + CLIENT_TIMEOUT)? {
+            return Err(KiteError::Timeout);
+        }
+        wire::decode_client_frame(&self.body).map_err(|e| KiteError::Net(format!("bad frame: {e}")))
+    }
+
+    // ---- async API ------------------------------------------------------
+
+    /// Submit without waiting; completions arrive in session order via
+    /// [`RemoteSession::next_completion`].
+    pub fn submit(&mut self, op: Op) -> Result<()> {
+        self.wbuf.clear();
+        wire::encode_client_frame(&ClientFrame::Submit(op), &mut self.wbuf);
+        self.stream
+            .write_all(&self.wbuf)
+            .map_err(|_| KiteError::Shutdown)?;
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Wait for the next completion (session order).
+    pub fn next_completion(&mut self) -> Result<Completion> {
+        match self.read_frame(Instant::now() + CLIENT_TIMEOUT)? {
+            ClientFrame::Completion(c) => {
+                debug_assert_eq!(c.op_id.seq, self.retired, "completions arrive in session order");
+                self.retired += 1;
+                Ok(c)
+            }
+            other => Err(KiteError::Net(format!("unexpected frame: {other:?}"))),
+        }
+    }
+
+    // ---- sync API -------------------------------------------------------
+
+    fn call(&mut self, op: Op) -> Result<Completion> {
+        // Retire stray completions of earlier (timed-out) ops first.
+        while self.outstanding() > 0 {
+            self.next_completion()?;
+        }
+        let seq = self.submitted;
+        self.submit(op)?;
+        loop {
+            let c = self.next_completion()?;
+            if c.op_id.seq == seq {
+                return Ok(c);
+            }
+        }
+    }
+
+    /// Relaxed read.
+    pub fn read(&mut self, key: Key) -> Result<Val> {
+        match self.call(Op::Read { key })?.output {
+            OpOutput::Value(v) => Ok(v),
+            other => Err(KiteError::Net(format!("read completed with {other:?}"))),
+        }
+    }
+
+    /// Relaxed write.
+    pub fn write(&mut self, key: Key, val: impl Into<Val>) -> Result<()> {
+        self.call(Op::Write { key, val: val.into() })?;
+        Ok(())
+    }
+
+    /// Release write.
+    pub fn release(&mut self, key: Key, val: impl Into<Val>) -> Result<()> {
+        self.call(Op::Release { key, val: val.into() })?;
+        Ok(())
+    }
+
+    /// Acquire read.
+    pub fn acquire(&mut self, key: Key) -> Result<Val> {
+        match self.call(Op::Acquire { key })?.output {
+            OpOutput::Value(v) => Ok(v),
+            other => Err(KiteError::Net(format!("acquire completed with {other:?}"))),
+        }
+    }
+
+    /// Fetch-and-add; returns the previous value.
+    pub fn fetch_add(&mut self, key: Key, delta: u64) -> Result<u64> {
+        match self.call(Op::Faa { key, delta })?.output {
+            OpOutput::Faa(old) => Ok(old),
+            other => Err(KiteError::Net(format!("faa completed with {other:?}"))),
+        }
+    }
+
+    /// Weak CAS; returns `(swapped, observed)`.
+    pub fn cas_weak(
+        &mut self,
+        key: Key,
+        expect: impl Into<Val>,
+        new: impl Into<Val>,
+    ) -> Result<(bool, Val)> {
+        match self.call(Op::CasWeak { key, expect: expect.into(), new: new.into() })?.output {
+            OpOutput::Cas { ok, observed } => Ok((ok, observed)),
+            other => Err(KiteError::Net(format!("cas completed with {other:?}"))),
+        }
+    }
+
+    /// Strong CAS; returns `(swapped, observed)`.
+    pub fn cas_strong(
+        &mut self,
+        key: Key,
+        expect: impl Into<Val>,
+        new: impl Into<Val>,
+    ) -> Result<(bool, Val)> {
+        match self.call(Op::CasStrong { key, expect: expect.into(), new: new.into() })?.output {
+            OpOutput::Cas { ok, observed } => Ok((ok, observed)),
+            other => Err(KiteError::Net(format!("cas completed with {other:?}"))),
+        }
+    }
+}

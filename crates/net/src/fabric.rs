@@ -1,0 +1,889 @@
+//! `TcpNet`: the real-socket fabric, same worker-facing surface as
+//! `kite_simnet::ThreadedNet`.
+//!
+//! One `TcpNet` serves **one node** of the cluster (the in-process fabrics
+//! own all nodes; here every node is its own OS process — or its own
+//! `TcpNet` instance when a test runs a whole cluster on loopback):
+//!
+//! * **Worker peering (§6.3).** Worker *w* dials exactly one connection to
+//!   each peer node, announced by a [`wire::Hello::Peer`] handshake, and
+//!   peers route inbound frames to *their* worker *w* — one connection per
+//!   remote worker, like the paper's RDMA QP layout.
+//! * **Writer threads.** Each `(peer, worker)` pair owns a writer thread
+//!   draining encoded frames into vectored writes (several outbox flushes
+//!   coalesce into one syscall under load). A dead peer puts the link into
+//!   reconnect-with-backoff; frames produced while the link is down are
+//!   *dropped and counted* — the fabric behaves like a lossy NIC, which is
+//!   exactly the failure model the protocols already recover from — so a
+//!   restarted peer is re-dialed rather than wedging the cluster behind an
+//!   unbounded queue.
+//! * **Reader threads.** The listener accepts peer connections and frames
+//!   bytes back into `Envelope<Msg>` batches, decoding into pool-recycled
+//!   `Vec<Msg>` buffers ([`TcpHandle::recycle_inbound`] closes the loop),
+//!   so the zero-allocation invariants survive the socket boundary. A
+//!   malformed frame closes that connection — never panics a worker — and
+//!   is counted on the link for the watchdog.
+//! * **Zero-allocation steady state.** Outbound: `Outbox::flush` batches
+//!   are encoded into pooled byte buffers and the drained `Vec<Msg>` goes
+//!   straight back to the outbox pool; byte buffers return from the writer
+//!   threads. Inbound: decode buffers circulate between readers and the
+//!   worker loop. `Arc`-boxed Paxos payloads are encoded once per
+//!   destination frame.
+
+use std::io::{IoSlice, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kite::wire::{self, Hello};
+use kite::Msg;
+use kite_common::stats::ProtoCounters;
+use kite_common::NodeId;
+use kite_simnet::{Actor, Clock, Envelope, Outbox, WallClock};
+use parking_lot::Mutex;
+
+use crate::link::LinkTable;
+
+/// Reconnect backoff floor.
+const BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Reconnect backoff ceiling.
+const BACKOFF_MAX: Duration = Duration::from_millis(500);
+/// Dial timeout per attempt.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
+/// Socket read timeout — bounds how long a blocked reader takes to notice
+/// the stop flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+/// Writer channel poll interval (stop-flag responsiveness).
+const WRITE_TICK: Duration = Duration::from_millis(100);
+/// Max frames gathered into one vectored write.
+const WRITE_GATHER: usize = 16;
+/// Bound on pooled spare buffers (per pool).
+const POOL_CAP: usize = 64;
+
+/// A bounded free-list of reusable `Vec<T>` buffers shared across threads.
+pub(crate) struct Pool<T>(Mutex<Vec<Vec<T>>>);
+
+impl<T> Pool<T> {
+    fn new() -> Self {
+        Pool(Mutex::new(Vec::new()))
+    }
+
+    fn pop(&self) -> Vec<T> {
+        self.0.lock().pop().unwrap_or_default()
+    }
+
+    fn put(&self, mut buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.0.lock();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    }
+}
+
+/// Configuration of one node's fabric endpoint.
+pub struct TcpNetCfg {
+    /// This node's id.
+    pub me: NodeId,
+    /// Fabric address of every node, indexed by node id (`peers[me]` is the
+    /// address *this* node listens on, unless `listener` overrides it).
+    pub peers: Vec<String>,
+    /// Worker threads per node (uniform across the cluster — worker
+    /// peering needs both sides to agree).
+    pub workers: usize,
+    /// Pre-bound listener override: lets tests bind `127.0.0.1:0` first
+    /// and distribute the real addresses.
+    pub listener: Option<TcpListener>,
+}
+
+/// Everything a worker thread needs to talk to the TCP fabric — the
+/// `kite_simnet::WorkerIo` shape with a [`TcpHandle`] as the sending half.
+pub struct TcpWorkerIo {
+    /// Node this IO bundle belongs to.
+    pub node: NodeId,
+    /// Worker index within the node.
+    pub worker: usize,
+    /// Incoming envelopes addressed to this `(node, worker)`.
+    pub rx: Receiver<Envelope<Msg>>,
+    /// Outgoing side.
+    pub net: TcpHandle,
+}
+
+/// Sending half bound to one source worker (the `NetHandle` surface over
+/// real sockets). Routes by `(destination node, own worker index)`.
+pub struct TcpHandle {
+    me: NodeId,
+    worker: usize,
+    writer_txs: Arc<Vec<Vec<Sender<Vec<u8>>>>>,
+    /// Own worker's ingress: self-sends loop back without a socket.
+    loopback: Sender<Envelope<Msg>>,
+    links: Arc<LinkTable>,
+    byte_pool: Arc<Pool<u8>>,
+    msg_pool: Arc<Pool<Msg>>,
+    counters: Arc<ProtoCounters>,
+    /// Drained batch buffers staged during one flush, recycled into the
+    /// outbox afterwards (steady-state sends allocate nothing).
+    scratch: Vec<Vec<Msg>>,
+}
+
+impl TcpHandle {
+    /// The node this handle belongs to.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Encode and ship one batch to `dst`. Returns `true` if the frame was
+    /// handed to the link (not necessarily delivered — a link in backoff
+    /// drops it, like a lossy fabric).
+    pub fn send(&mut self, dst: NodeId, msgs: Vec<Msg>) -> bool {
+        debug_assert!(!msgs.is_empty());
+        self.counters.msgs_sent.add(msgs.len() as u64);
+        self.counters.envelopes_sent.incr();
+        if dst == self.me {
+            return self.loopback.send(Envelope { src: self.me, msgs }).is_ok();
+        }
+        let shipped = self.ship(dst, &msgs);
+        self.msg_pool.put(msgs);
+        shipped
+    }
+
+    /// Flush a whole outbox through this handle: encode each batch into a
+    /// pooled byte buffer for its destination's writer thread, then recycle
+    /// the batch buffer back into the outbox (the sending side of the
+    /// buffer-recycling contract — steady-state flushes allocate nothing).
+    pub fn flush(&mut self, out: &mut Outbox<Msg>) {
+        let me = self.me;
+        let worker = self.worker;
+        let writer_txs = &self.writer_txs;
+        let loopback = &self.loopback;
+        let links = &self.links;
+        let byte_pool = &self.byte_pool;
+        let counters = &self.counters;
+        let scratch = &mut self.scratch;
+        out.flush(|dst, batch| {
+            counters.msgs_sent.add(batch.len() as u64);
+            counters.envelopes_sent.incr();
+            if dst == me {
+                let _ = loopback.send(Envelope { src: me, msgs: batch });
+                return;
+            }
+            let link = links.link(dst, worker);
+            if link.is_connected() {
+                let mut buf = byte_pool.pop();
+                wire::encode_frames(me, &batch, &mut buf);
+                let _ = writer_txs[dst.idx()][worker].send(buf);
+            } else {
+                // Link down: the fabric is a lossy NIC, not a buffer — the
+                // protocol's retransmission layer recovers; counted for
+                // the watchdog.
+                link.dropped_out.fetch_add(1, Ordering::Relaxed);
+            }
+            scratch.push(batch);
+        });
+        for b in scratch.drain(..) {
+            out.recycle(b);
+        }
+    }
+
+    /// Encode `msgs` as one frame and enqueue it on the destination's
+    /// writer thread. A link in backoff drops the frame (counted).
+    fn ship(&self, dst: NodeId, msgs: &[Msg]) -> bool {
+        let link = self.links.link(dst, self.worker);
+        if !link.is_connected() {
+            link.dropped_out.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let mut buf = self.byte_pool.pop();
+        wire::encode_frames(self.me, msgs, &mut buf);
+        match self.writer_txs[dst.idx()][self.worker].send(buf) {
+            Ok(()) => true,
+            Err(_) => false, // fabric torn down
+        }
+    }
+
+    /// Return a drained inbound envelope buffer to the decode pool (the
+    /// receiving side of the buffer-recycling contract: readers draw their
+    /// decode buffers from this pool).
+    #[inline]
+    pub fn recycle_inbound(&self, buf: Vec<Msg>) {
+        self.msg_pool.put(buf);
+    }
+}
+
+/// One node's fabric endpoint: listener + per-peer writer threads + shared
+/// pools, plus the per-node clock and counters (the `ThreadedNet` surface
+/// for one node).
+pub struct TcpNet {
+    /// This node.
+    pub me: NodeId,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Workers per node.
+    pub workers: usize,
+    /// Shared wall clock.
+    pub clock: Arc<WallClock>,
+    /// This node's protocol counters.
+    pub counters: Arc<ProtoCounters>,
+    links: Arc<LinkTable>,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    client_conns: Option<Receiver<(TcpStream, u32)>>,
+}
+
+impl TcpNet {
+    /// Bind the fabric for one node and return the per-worker IO bundles.
+    ///
+    /// Peer links start dialing immediately and keep retrying with backoff,
+    /// so launch order across the cluster does not matter.
+    pub fn bind(cfg: TcpNetCfg) -> std::io::Result<(TcpNet, Vec<TcpWorkerIo>)> {
+        let nodes = cfg.peers.len();
+        let me = cfg.me;
+        assert!(me.idx() < nodes, "me out of range");
+        assert!(cfg.workers > 0);
+
+        let listener = match cfg.listener {
+            Some(l) => l,
+            None => bind_reuseaddr(&cfg.peers[me.idx()])?,
+        };
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let clock = Arc::new(WallClock::new());
+        let counters = Arc::new(ProtoCounters::default());
+        let links = Arc::new(LinkTable::new(me, nodes, cfg.workers));
+        let stop = Arc::new(AtomicBool::new(false));
+        let byte_pool = Arc::new(Pool::<u8>::new());
+        let msg_pool = Arc::new(Pool::<Msg>::new());
+
+        // Ingress channels, one per local worker.
+        let mut ingress_tx = Vec::with_capacity(cfg.workers);
+        let mut ingress_rx = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let (tx, rx) = unbounded::<Envelope<Msg>>();
+            ingress_tx.push(tx);
+            ingress_rx.push(rx);
+        }
+        let ingress_tx = Arc::new(ingress_tx);
+
+        let mut threads = Vec::new();
+
+        // Writer threads: one per (peer, worker).
+        let mut writer_txs: Vec<Vec<Sender<Vec<u8>>>> = Vec::with_capacity(nodes);
+        for dst in 0..nodes {
+            let mut per_worker = Vec::with_capacity(cfg.workers);
+            for w in 0..cfg.workers {
+                let (tx, rx) = unbounded::<Vec<u8>>();
+                if dst != me.idx() {
+                    let addr = cfg.peers[dst].clone();
+                    let links = Arc::clone(&links);
+                    let byte_pool = Arc::clone(&byte_pool);
+                    let stop = Arc::clone(&stop);
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("kite-net-{me}-w{w}-to-n{dst}"))
+                            .spawn(move || {
+                                writer_loop(
+                                    addr,
+                                    me,
+                                    NodeId(dst as u8),
+                                    w,
+                                    rx,
+                                    links,
+                                    byte_pool,
+                                    stop,
+                                )
+                            })
+                            .expect("spawn writer"),
+                    );
+                }
+                per_worker.push(tx);
+            }
+            writer_txs.push(per_worker);
+        }
+        let writer_txs = Arc::new(writer_txs);
+
+        // Listener + reader threads. Client-kind connections are handed off
+        // through a channel (stream + claimed slot) for whoever serves
+        // remote sessions.
+        let (client_tx, client_rx) = unbounded::<(TcpStream, u32)>();
+        {
+            let links = Arc::clone(&links);
+            let msg_pool = Arc::clone(&msg_pool);
+            let ingress = Arc::clone(&ingress_tx);
+            let stop = Arc::clone(&stop);
+            let workers = cfg.workers;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("kite-net-{me}-listen"))
+                    .spawn(move || {
+                        listener_loop(listener, nodes, workers, links, msg_pool, ingress, client_tx, stop)
+                    })
+                    .expect("spawn listener"),
+            );
+        }
+
+        let ios = (0..cfg.workers)
+            .zip(ingress_rx)
+            .map(|(w, rx)| TcpWorkerIo {
+                node: me,
+                worker: w,
+                rx,
+                net: TcpHandle {
+                    me,
+                    worker: w,
+                    writer_txs: Arc::clone(&writer_txs),
+                    loopback: ingress_tx[w].clone(),
+                    links: Arc::clone(&links),
+                    byte_pool: Arc::clone(&byte_pool),
+                    msg_pool: Arc::clone(&msg_pool),
+                    counters: Arc::clone(&counters),
+                    scratch: Vec::with_capacity(nodes),
+                },
+            })
+            .collect();
+
+        Ok((
+            TcpNet {
+                me,
+                nodes,
+                workers: cfg.workers,
+                clock,
+                counters,
+                links,
+                local_addr,
+                stop,
+                threads,
+                client_conns: Some(client_rx),
+            },
+            ios,
+        ))
+    }
+
+    /// The address the fabric listener actually bound (resolves `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The per-peer link table (diagnostics; see [`LinkTable::describe`]).
+    pub fn links(&self) -> &Arc<LinkTable> {
+        &self.links
+    }
+
+    /// Take the stream of accepted remote-client connections (hello already
+    /// consumed; the claimed session slot rides alongside). `None` after
+    /// the first call.
+    pub fn take_client_conns(&mut self) -> Option<Receiver<(TcpStream, u32)>> {
+        self.client_conns.take()
+    }
+
+    /// The shared stop flag (reader/writer threads watch it).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Per-link state dump for watchdogs and shutdown reports.
+    pub fn describe(&self) -> String {
+        self.links.describe()
+    }
+}
+
+impl Drop for TcpNet {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Bind a listener with `SO_REUSEADDR`: a SIGKILLed node leaves its
+/// accepted sockets in TIME_WAIT on the fabric port, and a restarted
+/// replica must rebind the same address *now*, not in 60 seconds —
+/// otherwise "restart the node" wedges the whole recovery story. `std`'s
+/// `TcpListener::bind` does not set the option, so IPv4 binds go through
+/// raw libc FFI (the workspace has no libc crate); other address families
+/// fall back to the std path.
+fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
+    let sa = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no addrs"))?;
+    let SocketAddr::V4(v4) = sa else { return TcpListener::bind(sa) };
+    use std::os::fd::FromRawFd;
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, val: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port: u16,    // network byte order
+        addr: u32,    // network byte order
+        zero: [u8; 8],
+    }
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let one: i32 = 1;
+        setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4);
+        let sin = SockaddrIn {
+            family: AF_INET as u16,
+            port: v4.port().to_be(),
+            addr: u32::from(*v4.ip()).to_be(),
+            zero: [0; 8],
+        };
+        if bind(fd, &sin, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        if listen(fd, 128) < 0 {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            return Err(e);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer side
+// ---------------------------------------------------------------------------
+
+fn dial(addr: &str) -> std::io::Result<TcpStream> {
+    let mut last = std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no addrs");
+    for sa in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sa, CONNECT_TIMEOUT) {
+            Ok(s) => return Ok(s),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
+/// Write every frame in `bufs`, gathering them into vectored writes.
+fn write_frames(stream: &mut TcpStream, bufs: &[Vec<u8>]) -> std::io::Result<()> {
+    let mut idx = 0usize; // first unwritten buffer
+    let mut off = 0usize; // bytes of bufs[idx] already written
+    while idx < bufs.len() {
+        let mut slices: [IoSlice; WRITE_GATHER] = std::array::from_fn(|_| IoSlice::new(&[]));
+        let mut n_slices = 0;
+        for (i, b) in bufs.iter().enumerate().skip(idx).take(WRITE_GATHER) {
+            let start = if i == idx { off } else { 0 };
+            slices[n_slices] = IoSlice::new(&b[start..]);
+            n_slices += 1;
+        }
+        let mut n = stream.write_vectored(&slices[..n_slices])?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::WriteZero.into());
+        }
+        while n > 0 {
+            let left = bufs[idx].len() - off;
+            if n >= left {
+                n -= left;
+                idx += 1;
+                off = 0;
+            } else {
+                off += n;
+                n = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    addr: String,
+    me: NodeId,
+    dst: NodeId,
+    worker: usize,
+    rx: Receiver<Vec<u8>>,
+    links: Arc<LinkTable>,
+    byte_pool: Arc<Pool<u8>>,
+    stop: Arc<AtomicBool>,
+) {
+    let link = links.link(dst, worker);
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = BACKOFF_MIN;
+    let mut pending: Vec<Vec<u8>> = Vec::with_capacity(WRITE_GATHER);
+    while !stop.load(Ordering::Relaxed) {
+        if stream.is_none() {
+            match dial(&addr) {
+                Ok(mut s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_write_timeout(Some(Duration::from_secs(5)));
+                    let hello = wire::encode_hello(Hello::Peer { node: me, worker: worker as u16 });
+                    if s.write_all(&hello).is_ok() {
+                        link.set_connected();
+                        backoff = BACKOFF_MIN;
+                        stream = Some(s);
+                        continue;
+                    }
+                    link.set_backoff();
+                }
+                Err(_) => link.set_backoff(),
+            }
+            // Dialing failed: sleep the backoff in stop-checkable slices and
+            // drop whatever queued up meanwhile — the link is a lossy NIC
+            // while down, not an unbounded buffer.
+            let deadline = std::time::Instant::now() + backoff;
+            while std::time::Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(BACKOFF_MIN.min(deadline - std::time::Instant::now()));
+            }
+            while let Ok(buf) = rx.try_recv() {
+                link.dropped_out.fetch_add(1, Ordering::Relaxed);
+                byte_pool.put(buf);
+            }
+            backoff = (backoff * 2).min(BACKOFF_MAX);
+            continue;
+        }
+        match rx.recv_timeout(WRITE_TICK) {
+            Ok(first) => {
+                pending.push(first);
+                while pending.len() < WRITE_GATHER {
+                    match rx.try_recv() {
+                        Ok(b) => pending.push(b),
+                        Err(_) => break,
+                    }
+                }
+                let s = stream.as_mut().expect("connected");
+                match write_frames(s, &pending) {
+                    Ok(()) => {
+                        link.frames_out.fetch_add(pending.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // Died mid-batch: surface via link state, re-dial.
+                        link.set_backoff();
+                        link.dropped_out.fetch_add(pending.len() as u64, Ordering::Relaxed);
+                        stream = None;
+                    }
+                }
+                for b in pending.drain(..) {
+                    byte_pool.put(b);
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader side
+// ---------------------------------------------------------------------------
+
+/// Read exactly `buf.len()` bytes, tolerating read-timeout ticks (so the
+/// stop flag stays responsive). `Ok(false)` = clean EOF at a frame
+/// boundary (only when nothing has been read yet).
+pub(crate) fn read_exact_ticked(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut off = 0;
+    while off < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Err(std::io::ErrorKind::Interrupted.into());
+        }
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                if off == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => off += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn listener_loop(
+    listener: TcpListener,
+    nodes: usize,
+    workers: usize,
+    links: Arc<LinkTable>,
+    msg_pool: Arc<Pool<Msg>>,
+    ingress: Arc<Vec<Sender<Envelope<Msg>>>>,
+    client_tx: Sender<(TcpStream, u32)>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        // Reap finished readers so a long-lived daemon's handle list is
+        // bounded by *live* connections, not total connections ever.
+        readers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(READ_TICK));
+                let links = Arc::clone(&links);
+                let msg_pool = Arc::clone(&msg_pool);
+                let ingress = Arc::clone(&ingress);
+                let client_tx = client_tx.clone();
+                let stop = Arc::clone(&stop);
+                readers.push(
+                    std::thread::Builder::new()
+                        .name("kite-net-reader".into())
+                        .spawn(move || {
+                            // Bound the handshake: a connection that sends
+                            // fewer than HELLO_LEN bytes and idles must not
+                            // pin this thread (and its peer's 30 s client
+                            // timeout) until node shutdown.
+                            let hello_deadline =
+                                std::time::Instant::now() + Duration::from_secs(5);
+                            let mut hello = [0u8; wire::HELLO_LEN];
+                            let mut got = 0;
+                            while got < wire::HELLO_LEN {
+                                if stop.load(Ordering::Relaxed)
+                                    || std::time::Instant::now() >= hello_deadline
+                                {
+                                    return;
+                                }
+                                match stream.read(&mut hello[got..]) {
+                                    Ok(0) => return,
+                                    Ok(n) => got += n,
+                                    Err(e)
+                                        if e.kind() == std::io::ErrorKind::WouldBlock
+                                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                                    Err(_) => return,
+                                }
+                            }
+                            match wire::decode_hello(&hello) {
+                                Ok(Hello::Peer { node, worker }) => {
+                                    let worker = worker as usize;
+                                    if node.idx() >= nodes || worker >= workers {
+                                        return; // out-of-topology peer: drop
+                                    }
+                                    peer_reader_loop(
+                                        stream, node, worker, &links, &msg_pool, &ingress, &stop,
+                                    );
+                                }
+                                Ok(Hello::Client { slot }) => {
+                                    // Hand the connection (hello consumed)
+                                    // plus its claimed slot to the session
+                                    // server.
+                                    let _ = client_tx.send((stream, slot));
+                                }
+                                Err(_) => {} // bad handshake: drop
+                            }
+                        })
+                        .expect("spawn reader"),
+                );
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+fn peer_reader_loop(
+    mut stream: TcpStream,
+    src: NodeId,
+    worker: usize,
+    links: &LinkTable,
+    msg_pool: &Pool<Msg>,
+    ingress: &[Sender<Envelope<Msg>>],
+    stop: &AtomicBool,
+) {
+    let link = links.link(src, worker);
+    let mut body: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        let mut prefix = [0u8; 4];
+        match read_exact_ticked(&mut stream, &mut prefix, stop) {
+            Ok(true) => {}
+            Ok(false) => return, // clean EOF
+            Err(_) => return,
+        }
+        let len = match wire::frame_body_len(prefix) {
+            Ok(l) => l,
+            Err(_) => {
+                // Oversized/garbage length: the stream cannot be resynced —
+                // drop the connection (the peer re-dials and retransmits).
+                link.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        body.resize(len, 0);
+        match read_exact_ticked(&mut stream, &mut body, stop) {
+            Ok(true) => {}
+            _ => return,
+        }
+        let mut msgs = msg_pool.pop();
+        match wire::decode_frame_body(&body, &mut msgs) {
+            Ok(frame_src) if frame_src == src => {
+                link.frames_in.fetch_add(1, Ordering::Relaxed);
+                if ingress[worker].send(Envelope { src, msgs }).is_err() {
+                    return; // workers gone: tear down
+                }
+            }
+            _ => {
+                // Malformed frame (or a frame claiming a different source
+                // than the handshake): count it, recycle the buffer, close
+                // the connection. Never panics a worker.
+                link.decode_errors.fetch_add(1, Ordering::Relaxed);
+                msg_pool.put(msgs);
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker driving
+// ---------------------------------------------------------------------------
+
+/// Handle to stop and join one node's worker threads (the
+/// `kite_simnet::StopHandle` surface for the TCP runtime).
+pub struct NodeStopHandle {
+    stop: Arc<AtomicBool>,
+    dump: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl NodeStopHandle {
+    /// Signal all workers to stop and wait for them to exit.
+    pub fn stop_and_join(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// The shared stop flag.
+    pub fn flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The diagnostics flag: raising it makes every worker print an
+    /// `Actor::describe` snapshot to stderr once, from its own thread.
+    pub fn dump_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.dump)
+    }
+}
+
+impl Drop for NodeStopHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn one busy-polling thread per `(actor, io)` pair over the TCP
+/// fabric — the same loop shape as `kite_simnet::spawn_workers`, minus the
+/// in-process fault plane (real networks inject their own faults).
+pub fn spawn_tcp_workers<A>(rigs: Vec<(A, TcpWorkerIo)>, net: &TcpNet) -> NodeStopHandle
+where
+    A: Actor<Msg = Msg> + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let dump = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::with_capacity(rigs.len());
+    for (actor, io) in rigs {
+        let stop = Arc::clone(&stop);
+        let dump = Arc::clone(&dump);
+        let clock = Arc::clone(&net.clock);
+        let nodes = net.nodes;
+        let name = format!("kite-tcp-{}-w{}", io.node, io.worker);
+        handles.push(
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || tcp_worker_loop(actor, io, clock, nodes, stop, dump))
+                .expect("spawn tcp worker"),
+        );
+    }
+    NodeStopHandle { stop, dump, handles }
+}
+
+fn tcp_worker_loop<A: Actor<Msg = Msg>>(
+    mut actor: A,
+    io: TcpWorkerIo,
+    clock: Arc<WallClock>,
+    nodes: usize,
+    stop: Arc<AtomicBool>,
+    dump: Arc<AtomicBool>,
+) {
+    let me = io.node;
+    let mut net = io.net;
+    let rx = io.rx;
+    let mut out: Outbox<Msg> = Outbox::new(nodes);
+    let mut idle_iters: u32 = 0;
+    let mut dumped = false;
+    const MAX_ENVELOPES_PER_ITER: usize = 64;
+
+    while !stop.load(Ordering::Relaxed) {
+        if !dumped && dump.load(Ordering::Relaxed) {
+            dumped = true;
+            let now = clock.now();
+            let mut s = format!("==== watchdog dump {me} w{} (t={now}ns) ====\n", io.worker);
+            actor.describe(&mut s);
+            eprintln!("{s}");
+        }
+
+        let mut progress = false;
+        for _ in 0..MAX_ENVELOPES_PER_ITER {
+            match rx.try_recv() {
+                Ok(mut env) => {
+                    actor.on_envelope(env.src, &mut env.msgs, clock.now(), &mut out);
+                    // Inbound buffers circulate back to the decode pool —
+                    // the socket-boundary half of the recycling contract.
+                    net.recycle_inbound(env.msgs);
+                    progress = true;
+                }
+                Err(_) => break,
+            }
+        }
+        if actor.on_tick(clock.now(), &mut out) {
+            progress = true;
+        }
+        if !out.is_empty() {
+            net.flush(&mut out);
+            progress = true;
+        }
+
+        if progress {
+            idle_iters = 0;
+        } else {
+            idle_iters = idle_iters.saturating_add(1);
+            if idle_iters < 64 {
+                std::hint::spin_loop();
+            } else if idle_iters < 256 {
+                std::thread::yield_now();
+            } else {
+                std::thread::park_timeout(Duration::from_micros(100));
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # kite-net
+//!
+//! The real-network transport of the Kite reproduction: the third
+//! scheduler for the sans-io protocol actors. Where `kite-simnet` drives
+//! the same `Worker` code through in-process channels (threaded) or a
+//! deterministic event loop (sim), this crate drives it across **real TCP
+//! sockets between real processes** — the step from protocol to deployable
+//! replication layer.
+//!
+//! * [`fabric`] — [`TcpNet`]: per-peer writer threads draining
+//!   `Outbox::flush` batches into vectored writes, reader threads framing
+//!   bytes back into `Actor::on_envelope` deliveries, per-link
+//!   reconnect-with-backoff and watchdog-visible link state.
+//! * [`node`] — [`NodeRuntime`]: one Kite node as a process (session
+//!   plumbing, workers over the fabric, remote-session serving, clean
+//!   shutdown); [`launch_local_cluster`] runs a whole cluster on loopback
+//!   inside one process for tests and benches.
+//! * [`client`] — [`RemoteSession`]: the blocking `SessionHandle` API over
+//!   a socket, matching completions by op sequence number.
+//! * `kite-node` / `kite-client` (bins) — the daemon and the workload
+//!   driver used by `scripts/e2e_tcp.sh`.
+//!
+//! The wire format itself lives in `kite::wire`; this crate only moves the
+//! frames. The buffer-recycling contract of the in-process runtimes
+//! survives the socket boundary: outbox batches are encoded into pooled
+//! byte buffers and recycled immediately, and inbound frames decode into
+//! pooled `Vec<Msg>` buffers that circulate between the reader threads and
+//! the worker loop.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod fabric;
+pub mod link;
+pub mod node;
+
+pub use client::{RemoteSession, CLIENT_TIMEOUT};
+pub use fabric::{spawn_tcp_workers, NodeStopHandle, TcpHandle, TcpNet, TcpNetCfg, TcpWorkerIo};
+pub use link::{LinkPhase, LinkState, LinkTable};
+pub use node::{launch_local_cluster, NodeConfig, NodeRuntime, NodeWatchdog};

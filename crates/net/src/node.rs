@@ -1,0 +1,434 @@
+//! One Kite node as a real process: cluster bootstrap over [`TcpNet`],
+//! local and remote client sessions, watchdog, clean shutdown.
+//!
+//! [`NodeRuntime::launch`] is `kite::Cluster::launch` for **one** node of a
+//! multi-process deployment: it builds the node's shared state, its
+//! sessions (the same `SessionDriver::External` plumbing the in-process
+//! cluster uses), its `Worker` actors, and drives them over the TCP
+//! fabric. Remote clients claim sessions through the client protocol
+//! (`kite::wire`) and get completions matched by op sequence number,
+//! exactly like an in-process [`kite::SessionHandle`].
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use kite::api::{Completion, Op};
+use kite::session::{Session, SessionDriver};
+use kite::wire::{self, ClientFrame};
+use kite::{NodeShared, ProtocolMode, SessionHandle, Worker};
+use kite_common::{ClusterConfig, KiteError, NodeId, Result, SessionId};
+use parking_lot::Mutex;
+
+use crate::fabric::{spawn_tcp_workers, NodeStopHandle, TcpNet, TcpNetCfg, TcpWorkerIo};
+
+type SessionPlumbing = (Sender<Op>, Receiver<Completion>);
+
+/// Configuration of one node of a real-network deployment.
+pub struct NodeConfig {
+    /// Protocol/deployment parameters (must agree across the cluster:
+    /// `nodes`, `workers_per_node` and `sessions_per_worker` define the
+    /// topology every peer assumes).
+    pub cluster: ClusterConfig,
+    /// Protocol stack to run.
+    pub mode: ProtocolMode,
+    /// This node's id.
+    pub me: NodeId,
+    /// Fabric address of every node, indexed by node id.
+    pub peers: Vec<String>,
+    /// Pre-bound fabric listener (overrides `peers[me]` — lets tests bind
+    /// `127.0.0.1:0` first and distribute real addresses).
+    pub fabric_listener: Option<std::net::TcpListener>,
+}
+
+impl NodeConfig {
+    /// A node config with no listener override.
+    pub fn new(cluster: ClusterConfig, mode: ProtocolMode, me: NodeId, peers: Vec<String>) -> Self {
+        NodeConfig { cluster, mode, me, peers, fabric_listener: None }
+    }
+}
+
+/// A running Kite node over TCP.
+pub struct NodeRuntime {
+    cfg: ClusterConfig,
+    mode: ProtocolMode,
+    me: NodeId,
+    net: TcpNet,
+    stop: Option<NodeStopHandle>,
+    shared: Arc<NodeShared>,
+    slots: Arc<Mutex<Vec<Option<SessionPlumbing>>>>,
+    client_stop: Arc<AtomicBool>,
+    client_threads: Vec<JoinHandle<()>>,
+}
+
+impl NodeRuntime {
+    /// Build and start one node. Peer links dial in the background with
+    /// backoff, so nodes may launch in any order.
+    pub fn launch(cfg: NodeConfig) -> Result<NodeRuntime> {
+        cfg.cluster.validate().map_err(KiteError::BadConfig)?;
+        if cfg.peers.len() != cfg.cluster.nodes {
+            return Err(KiteError::BadConfig(format!(
+                "peer list has {} addresses for a {}-node cluster",
+                cfg.peers.len(),
+                cfg.cluster.nodes
+            )));
+        }
+        if cfg.me.idx() >= cfg.cluster.nodes {
+            return Err(KiteError::BadConfig(format!("node id {} out of range", cfg.me)));
+        }
+        let ccfg = cfg.cluster;
+        let (mut net, ios) = TcpNet::bind(TcpNetCfg {
+            me: cfg.me,
+            peers: cfg.peers,
+            workers: ccfg.workers_per_node,
+            listener: cfg.fabric_listener,
+        })
+        .map_err(|e| KiteError::Net(format!("bind fabric: {e}")))?;
+
+        let shared = NodeShared::new(cfg.me, ccfg.clone(), Arc::clone(&net.counters));
+
+        // Session plumbing: identical wiring to `Cluster::launch`, one node.
+        let mut slots: Vec<Option<SessionPlumbing>> = Vec::new();
+        let mut rigs: Vec<(Worker, TcpWorkerIo)> = Vec::new();
+        for io in ios {
+            let w = io.worker;
+            let mut sessions = Vec::with_capacity(ccfg.sessions_per_worker);
+            for i in 0..ccfg.sessions_per_worker {
+                let slot = (w * ccfg.sessions_per_worker + i) as u32;
+                let sid = SessionId::new(cfg.me, slot);
+                let (op_tx, op_rx) = unbounded();
+                let (done_tx, done_rx) = unbounded();
+                let mut sess = Session::new(sid);
+                sess.driver = SessionDriver::External { rx: op_rx, tx: done_tx };
+                sessions.push(sess);
+                slots.push(Some((op_tx, done_rx)));
+            }
+            let worker = Worker::new(w, Arc::clone(&shared), cfg.mode, sessions, None);
+            rigs.push((worker, io));
+        }
+        let stop = spawn_tcp_workers(rigs, &net);
+
+        // Remote-session server: drain client connections accepted by the
+        // fabric listener.
+        let slots = Arc::new(Mutex::new(slots));
+        let client_stop = Arc::new(AtomicBool::new(false));
+        let mut client_threads = Vec::new();
+        if let Some(conns) = net.take_client_conns() {
+            let slots = Arc::clone(&slots);
+            let cstop = Arc::clone(&client_stop);
+            let me = cfg.me;
+            client_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("kite-clients-{me}"))
+                    .spawn(move || client_dispatch_loop(conns, me, slots, cstop))
+                    .expect("spawn client dispatcher"),
+            );
+        }
+
+        Ok(NodeRuntime {
+            cfg: ccfg,
+            mode: cfg.mode,
+            me: cfg.me,
+            net,
+            stop: Some(stop),
+            shared,
+            slots,
+            client_stop,
+            client_threads,
+        })
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The protocol stack this node runs.
+    pub fn mode(&self) -> ProtocolMode {
+        self.mode
+    }
+
+    /// The address the fabric listener bound — peers dial this, and remote
+    /// clients connect to the same port with a client hello.
+    pub fn addr(&self) -> SocketAddr {
+        self.net.local_addr()
+    }
+
+    /// Node-shared protocol state (store, epoch, delinquency) — for tests
+    /// and diagnostics.
+    pub fn shared(&self) -> &Arc<NodeShared> {
+        &self.shared
+    }
+
+    /// This node's protocol counters.
+    pub fn counters(&self) -> &kite_common::stats::ProtoCounters {
+        &self.net.counters
+    }
+
+    /// Claim a **local** session on this node (same claim-once semantics
+    /// as `Cluster::session`).
+    pub fn session(&self, slot: u32) -> Result<SessionHandle> {
+        let (tx, rx) = claim_slot(&self.slots, self.me, slot)?;
+        Ok(SessionHandle::from_channels(SessionId::new(self.me, slot), tx, rx))
+    }
+
+    /// Per-peer link state + counters dump (the transport half of a
+    /// watchdog report).
+    pub fn describe(&self) -> String {
+        format!(
+            "node {} mode={:?} completed={} {}",
+            self.me,
+            self.mode,
+            self.net.counters.completed.get(),
+            self.net.describe()
+        )
+    }
+
+    /// Arm a deadline watchdog: if the guard is not dropped in time, every
+    /// worker prints its `Actor::describe` snapshot, the per-peer link
+    /// table follows (a half-open connection or a peer stuck in backoff is
+    /// exactly what this surfaces), and the process aborts.
+    pub fn watchdog(&self, timeout: Duration) -> NodeWatchdog {
+        let (disarm_tx, disarm_rx) = unbounded::<()>();
+        let dump = self.stop.as_ref().expect("watchdog on a running node").dump_flag();
+        let links = Arc::clone(self.net.links());
+        let me = self.me;
+        let handle = std::thread::Builder::new()
+            .name(format!("kite-watchdog-{me}"))
+            .spawn(move || {
+                if disarm_rx.recv_timeout(timeout).is_ok() {
+                    return;
+                }
+                eprintln!("\n!!!! kite-node {me} watchdog: no disarm within {timeout:?} !!!!");
+                dump.store(true, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_secs(1));
+                eprintln!("{}", links.describe());
+                eprintln!("!!!! kite-node {me} watchdog: aborting !!!!");
+                std::process::abort();
+            })
+            .expect("spawn watchdog");
+        NodeWatchdog { disarm_tx, handle: Some(handle) }
+    }
+
+    /// Stop client serving, workers and the fabric, joining every thread.
+    /// This is the SIGTERM path of the `kite-node` daemon.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.client_stop.store(true, Ordering::SeqCst);
+        self.net.stop_flag().store(true, Ordering::SeqCst);
+        for h in self.client_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(stop) = self.stop.take() {
+            stop.stop_and_join();
+        }
+        // TcpNet::drop joins the fabric threads when `self` drops.
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Guard returned by [`NodeRuntime::watchdog`]; dropping it disarms the
+/// deadline.
+pub struct NodeWatchdog {
+    disarm_tx: Sender<()>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for NodeWatchdog {
+    fn drop(&mut self) {
+        let _ = self.disarm_tx.send(());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn claim_slot(
+    slots: &Mutex<Vec<Option<SessionPlumbing>>>,
+    me: NodeId,
+    slot: u32,
+) -> Result<SessionPlumbing> {
+    let mut slots = slots.lock();
+    let entry = slots
+        .get_mut(slot as usize)
+        .ok_or_else(|| KiteError::SessionUnavailable(format!("no slot {slot} on {me}")))?;
+    entry
+        .take()
+        .ok_or_else(|| KiteError::SessionUnavailable(format!("{me} slot {slot} taken")))
+}
+
+// ---------------------------------------------------------------------------
+// Remote-session serving
+// ---------------------------------------------------------------------------
+
+fn client_dispatch_loop(
+    conns: Receiver<(TcpStream, u32)>,
+    me: NodeId,
+    slots: Arc<Mutex<Vec<Option<SessionPlumbing>>>>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut serving: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        serving.retain(|h| !h.is_finished());
+        match conns.recv_timeout(Duration::from_millis(100)) {
+            Ok((stream, slot)) => {
+                let stop = Arc::clone(&stop);
+                let claimed = claim_slot(&slots, me, slot);
+                serving.push(
+                    std::thread::Builder::new()
+                        .name(format!("kite-client-{me}-s{slot}"))
+                        .spawn(move || serve_client(stream, me, slot, claimed, stop))
+                        .expect("spawn client server"),
+                );
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    for h in serving {
+        let _ = h.join();
+    }
+}
+
+/// Serve one remote client: answer the hello, then bridge submissions
+/// downstream (socket → session op channel) while a pump thread bridges
+/// completions upstream. A client disconnect simply stops the bridge; the
+/// slot stays claimed (sessions are claim-once, as in-process).
+fn serve_client(
+    mut stream: TcpStream,
+    me: NodeId,
+    slot: u32,
+    claimed: Result<SessionPlumbing>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut wbuf = Vec::with_capacity(256);
+    let (op_tx, done_rx) = match claimed {
+        Ok(p) => p,
+        Err(e) => {
+            wire::encode_client_frame(&ClientFrame::HelloErr { reason: e.to_string() }, &mut wbuf);
+            let _ = stream.write_all(&wbuf);
+            return;
+        }
+    };
+    let session = SessionId::new(me, slot);
+    wire::encode_client_frame(&ClientFrame::HelloOk { session }, &mut wbuf);
+    if stream.write_all(&wbuf).is_err() {
+        return;
+    }
+
+    // Completion pump: session completions → socket, until the connection
+    // or the node dies.
+    let conn_dead = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let mut wstream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let stop = Arc::clone(&stop);
+        let conn_dead = Arc::clone(&conn_dead);
+        std::thread::Builder::new()
+            .name(format!("kite-client-{me}-s{slot}-pump"))
+            .spawn(move || {
+                let mut buf = Vec::with_capacity(256);
+                while !stop.load(Ordering::Relaxed) && !conn_dead.load(Ordering::Relaxed) {
+                    match done_rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(c) => {
+                            buf.clear();
+                            wire::encode_client_frame(&ClientFrame::Completion(c), &mut buf);
+                            if wstream.write_all(&buf).is_err() {
+                                conn_dead.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                    }
+                }
+            })
+            .expect("spawn completion pump")
+    };
+
+    // Submission loop (this thread): socket frames → ops, in stream order
+    // (session order is the stream order).
+    let mut body = Vec::with_capacity(256);
+    loop {
+        if stop.load(Ordering::Relaxed) || conn_dead.load(Ordering::Relaxed) {
+            break;
+        }
+        let mut prefix = [0u8; 4];
+        match crate::fabric::read_exact_ticked(&mut stream, &mut prefix, &stop) {
+            Ok(true) => {}
+            _ => break,
+        }
+        let len = match wire::frame_body_len(prefix) {
+            Ok(l) => l,
+            Err(_) => break, // malformed client: drop the connection
+        };
+        body.resize(len, 0);
+        match crate::fabric::read_exact_ticked(&mut stream, &mut body, &stop) {
+            Ok(true) => {}
+            _ => break,
+        }
+        match wire::decode_client_frame(&body) {
+            Ok(ClientFrame::Submit(op)) => {
+                if op_tx.send(op).is_err() {
+                    break; // node shutting down
+                }
+            }
+            _ => break, // anything else from a client is malformed
+        }
+    }
+    conn_dead.store(true, Ordering::Relaxed);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = pump.join();
+}
+
+// ---------------------------------------------------------------------------
+// In-process multi-node helper
+// ---------------------------------------------------------------------------
+
+/// Launch a whole cluster of [`NodeRuntime`]s **in one process** on
+/// loopback TCP — every byte still crosses a real socket. Used by tests,
+/// the `tcp_cluster` example and the throughput bin's `--transport tcp`;
+/// real deployments run one `kite-node` process per node instead.
+pub fn launch_local_cluster(cfg: ClusterConfig, mode: ProtocolMode) -> Result<Vec<NodeRuntime>> {
+    let listeners: Vec<std::net::TcpListener> = (0..cfg.nodes)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()
+        .map_err(|e| KiteError::Net(format!("bind loopback: {e}")))?;
+    let peers: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().map(|a| a.to_string()))
+        .collect::<std::io::Result<_>>()
+        .map_err(|e| KiteError::Net(format!("local addr: {e}")))?;
+    listeners
+        .into_iter()
+        .enumerate()
+        .map(|(n, listener)| {
+            NodeRuntime::launch(NodeConfig {
+                cluster: cfg.clone(),
+                mode,
+                me: NodeId(n as u8),
+                peers: peers.clone(),
+                fabric_listener: Some(listener),
+            })
+        })
+        .collect()
+}

@@ -17,7 +17,10 @@ echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --no-run --workspace
 
 echo "== closed-loop throughput (seed ${SEED}) + regression diff =="
-cargo run --release -p kite-bench --bin throughput -- --out BENCH_micro.json --seed "${SEED}"
+# --transport all adds the threaded and tcp-loopback wall-clock rows;
+# those are marked noisy in the JSON and excluded from the ±10% table
+# (they measure the machine, not the protocol).
+cargo run --release -p kite-bench --bin throughput -- --out BENCH_micro.json --seed "${SEED}" --transport all
 
 echo "== BENCH_micro.json =="
 cat BENCH_micro.json

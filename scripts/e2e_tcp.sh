@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end test of the real-network transport: a 3-process `kite-node`
+# cluster on localhost, driven by `kite-client` remote sessions.
+#
+#   1. launch 3 kite-node processes (fixed localhost ports);
+#   2. run a mixed read/write/release/acquire/RMW workload across all
+#      three and check it against the RC(Lin) axioms client-side;
+#   3. SIGKILL one node mid-deployment, prove the survivors keep serving
+#      (release + workload against the majority), seed a sentinel;
+#   4. restart the killed node on the same port and prove it reconnects
+#      and anti-entropy (keepalive sweep) converges its store — a relaxed
+#      read on the restarted node is local, so seeing the sentinel value
+#      proves repair traffic flowed;
+#   5. SIGTERM everything and assert every node exits 0 (clean shutdown
+#      through the stop-flag path).
+#
+# Usage: scripts/e2e_tcp.sh [iterations]   (default 1; loop it à la
+#        scripts/stress.sh for CI soak runs)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ITERS="${1:-1}"
+
+echo "== building release binaries =="
+cargo build --release -p kite-net --bins
+
+NODE_BIN=target/release/kite-node
+CLIENT_BIN=target/release/kite-client
+
+# Port base randomized per run to dodge TIME_WAIT collisions across quick
+# successive invocations; advanced per iteration inside the loop.
+PORT_BASE=$(( 20000 + (RANDOM % 20000) ))
+
+declare -a PIDS=()
+
+start_node() { # start_node <id> <logfile>
+    "$NODE_BIN" --node "$1" "${NODE_ARGS[@]}" >"$2" 2>&1 &
+    PIDS[$1]=$!
+}
+
+wait_ready() { # wait_ready <logfile>
+    for _ in $(seq 1 100); do
+        grep -q "ready on" "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "node never became ready; log:"; cat "$1"; return 1
+}
+
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+for iter in $(seq 1 "$ITERS"); do
+    P0="127.0.0.1:$((PORT_BASE))"
+    P1="127.0.0.1:$((PORT_BASE + 1))"
+    P2="127.0.0.1:$((PORT_BASE + 2))"
+    PEERS="$P0,$P1,$P2"
+    # Keepalive on: a replica restarted into an idle cluster must converge
+    # at heal time (the anti_entropy_keepalive_ns deployment story).
+    NODE_ARGS=(--peers "$PEERS" --workers 1 --sessions-per-worker 6 --keys 4096 --keepalive-ns 50000000)
+    echo "== iteration $iter/$ITERS (ports $PORT_BASE..$((PORT_BASE + 2))) =="
+    LOGDIR="$(mktemp -d)"
+    start_node 0 "$LOGDIR/n0.log"
+    start_node 1 "$LOGDIR/n1.log"
+    start_node 2 "$LOGDIR/n2.log"
+    wait_ready "$LOGDIR/n0.log"
+    wait_ready "$LOGDIR/n1.log"
+    wait_ready "$LOGDIR/n2.log"
+
+    echo "-- phase 1: mixed workload across all 3 nodes + RC(Lin) check"
+    "$CLIENT_BIN" mixed --servers "$P0,$P1,$P2" --slot 0 --ops 25
+
+    echo "-- phase 2: SIGKILL node 2; majority must keep serving"
+    kill -9 "${PIDS[2]}"
+    wait "${PIDS[2]}" 2>/dev/null || true
+    "$CLIENT_BIN" put  --servers "$P0" --slot 2 --key 900 --val 7777
+    # Fresh key range: phase 1's counters/locks keep their final values.
+    "$CLIENT_BIN" mixed --servers "$P0,$P1" --slot 3 --ops 15 --key-base 1000
+
+    echo "-- phase 3: restart node 2 on the same port; reconnect + anti-entropy catch-up"
+    start_node 2 "$LOGDIR/n2-restart.log"
+    wait_ready "$LOGDIR/n2-restart.log"
+    # The sentinel was released while node 2 was dead; a *relaxed* read on
+    # node 2 is local, so convergence proves the keepalive sweep repaired it.
+    "$CLIENT_BIN" poll --servers "$P2" --slot 0 --key 900 --val 7777 --timeout-secs 30
+
+    echo "-- phase 4: SIGTERM all; every node must exit 0"
+    for n in 0 1 2; do
+        kill -TERM "${PIDS[$n]}"
+    done
+    rc_all=0
+    for n in 0 1 2; do
+        if wait "${PIDS[$n]}"; then
+            echo "   node $n exited cleanly"
+        else
+            rc=$?
+            echo "!! node $n exited with $rc; log tail:"
+            tail -30 "$LOGDIR/n$n"*.log
+            rc_all=1
+        fi
+    done
+    PIDS=()
+    if [ "$rc_all" -ne 0 ]; then
+        echo "!! iteration $iter FAILED (logs in $LOGDIR)"
+        exit 1
+    fi
+    grep -q "clean exit" "$LOGDIR/n2-restart.log" || { echo "!! node 2 restart missing clean exit"; exit 1; }
+    rm -rf "$LOGDIR"
+    PORT_BASE=$((PORT_BASE + 3))
+done
+
+echo "all $ITERS iteration(s) green"

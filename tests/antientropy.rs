@@ -249,3 +249,59 @@ fn digest_traffic_negligible_at_zero_loss() {
         );
     }
 }
+
+/// The ROADMAP's idle-divergence gap, closed by `anti_entropy_keepalive_ns`:
+/// a replica partitioned away through a key's last release — with *no*
+/// client traffic ever again — must converge at heal time via the
+/// low-frequency keepalive sweep. The control run (keepalive off) shows the
+/// gap is real: activity-driven sweeps have wound down by heal time, so the
+/// replica stays stale indefinitely.
+#[test]
+fn idle_divergence_heals_only_with_keepalive() {
+    let key = Key(11);
+    let run = |keepalive_ns: u64| -> u64 {
+        let stale = NodeId(2);
+        let mut sc = SimCluster::build(
+            ae_cfg().anti_entropy_keepalive_ns(keepalive_ns),
+            ProtocolMode::Kite,
+            SimCfg { seed: 31, ..Default::default() },
+            |sid| {
+                if sid == SessionId::new(NodeId(0), 0) {
+                    SessionDriver::Script(Box::new(move |seq| {
+                        (seq == 0).then_some(Op::Release { key, val: 0xCAFE_u64.into() })
+                    }))
+                } else {
+                    SessionDriver::Idle
+                }
+            },
+            None,
+        );
+        sc.sim.partition(stale, NodeId(0));
+        sc.sim.partition(stale, NodeId(1));
+        // Op phase + every sweep cool-down lapses while the partition is
+        // up: by heal time the cluster is fully idle (cool-down for the
+        // ae_cfg store is ~0.5 ms of virtual time; give it 100 ms).
+        sc.run_for(100 * MS);
+        assert_eq!(sc.total_completed(), 1, "release must complete against the majority");
+        assert_eq!(
+            sc.shared(stale).store.probe_lc(key),
+            None,
+            "partitioned replica must have missed the release entirely"
+        );
+        sc.sim.heal(stale, NodeId(0));
+        sc.sim.heal(stale, NodeId(1));
+        // No client activity after the heal: convergence can only come
+        // from idle-time keepalive sweeps.
+        sc.run_for(200 * MS);
+        sc.shared(stale).store.view(key).val.as_u64()
+    };
+
+    assert_eq!(
+        run(0),
+        0,
+        "control: with the keepalive off, an idle cluster must NOT converge the \
+         stale replica (activity-driven sweeps wound down before the heal) — if \
+         this fails the keepalive test below proves nothing"
+    );
+    assert_eq!(run(10 * MS), 0xCAFE, "keepalive sweep must converge the replica at heal time");
+}
