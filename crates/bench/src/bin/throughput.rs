@@ -236,7 +236,7 @@ fn loopback_cfg() -> kite_common::ClusterConfig {
 }
 
 /// Closed-loop blocking clients against the in-process threaded cluster.
-fn threaded_row(ops_per_client: usize) -> (String, f64, f64, f64, f64) {
+fn threaded_row(ops_per_client: usize) -> (String, f64, f64, f64, f64, f64) {
     let cfg = loopback_cfg();
     let cluster =
         std::sync::Arc::new(kite::Cluster::launch(cfg.clone(), ProtocolMode::Kite).expect("launch"));
@@ -271,12 +271,12 @@ fn threaded_row(ops_per_client: usize) -> (String, f64, f64, f64, f64) {
         Ok(c) => c.shutdown(),
         Err(_) => unreachable!("clients joined"),
     }
-    ("threaded_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0)
+    ("threaded_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0, 0.0)
 }
 
 /// The same clients over loopback TCP: three `NodeRuntime`s in this
 /// process, every op crossing real sockets through `RemoteSession`.
-fn tcp_row(ops_per_client: usize) -> (String, f64, f64, f64, f64) {
+fn tcp_row(ops_per_client: usize) -> (String, f64, f64, f64, f64, f64) {
     let cfg = loopback_cfg();
     let nodes = kite_net::launch_local_cluster(cfg.clone(), ProtocolMode::Kite).expect("launch tcp");
     // Diagnostics: KITE_TCP_WATCHDOG=<secs> arms each node's watchdog so a
@@ -319,7 +319,7 @@ fn tcp_row(ops_per_client: usize) -> (String, f64, f64, f64, f64) {
     for n in nodes {
         n.shutdown();
     }
-    ("tcp_loopback_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0)
+    ("tcp_loopback_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0, 0.0)
 }
 
 /// Wall-clock transport rows measure this machine, not the protocol:
@@ -345,6 +345,17 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
             continue;
         }
         let num = if let Some((_, tail)) = rest.split_once("\"mreqs\":") {
+            // An e2e object line: also pick up its ae-bytes/op sub-metric
+            // so the Merkle digest-plane win is regression-guarded too.
+            if let Some((_, btail)) = rest.split_once("\"ae_bytes_per_op\":") {
+                if let Some(v) = btail
+                    .split(|c: char| c == ',' || c == '}')
+                    .next()
+                    .and_then(|t| t.trim().parse::<f64>().ok())
+                {
+                    out.push((format!("{name}/ae_bytes_per_op"), v));
+                }
+            }
             tail.split(|c: char| c == ',' || c == '}').next()
         } else {
             rest.strip_prefix(':').map(|t| t.trim_end_matches(','))
@@ -361,7 +372,11 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// Diff fresh metrics against the committed baseline and print a regression
 /// table; ±10% moves are flagged. Lower is better for `*_ns_per_op` rows,
 /// higher is better for e2e mreqs rows.
-fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[(String, f64, f64, f64, f64)]) {
+fn diff_against_baseline(
+    path: &str,
+    micro: &[(String, f64)],
+    e2e: &[(String, f64, f64, f64, f64, f64)],
+) {
     let Ok(text) = std::fs::read_to_string(path) else {
         println!("(no committed baseline at {path}; skipping regression diff)");
         return;
@@ -377,7 +392,10 @@ fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[(String, f6
         .chain(
             e2e.iter()
                 .filter(|(n, ..)| !is_noisy(n)) // wall-clock rows: no regression gate
-                .map(|(n, v, _, _, _)| (n.clone(), *v, false)),
+                .flat_map(|(n, v, _, _, _, aeb)| {
+                    // mreqs: higher is better; ae-bytes/op: lower is better.
+                    [(n.clone(), *v, false), (format!("{n}/ae_bytes_per_op"), *aeb, true)]
+                }),
         )
         .collect();
     println!("\n== regression check vs committed {path} (±10%) ==");
@@ -447,11 +465,15 @@ fn main() {
     } else {
         Vec::new()
     };
-    // (name, mreqs, wall_ms, acks_per_op, ae_per_op)
-    let mut e2e: Vec<(String, f64, f64, f64, f64)> = Vec::new();
-    for (name, mode, mix) in runs {
+    // (name, mreqs, wall_ms, acks_per_op, ae_per_op, ae_bytes_per_op)
+    let mut e2e: Vec<(String, f64, f64, f64, f64, f64)> = Vec::new();
+    let run_one = |name: &str,
+                       cfg: kite_common::ClusterConfig,
+                       mode: ProtocolMode,
+                       mix: MixCfg,
+                       e2e: &mut Vec<(String, f64, f64, f64, f64, f64)>| {
         let wall = Instant::now();
-        let r = run_kite_mix(cfg.clone(), mode, paper_sim(seed), mix, WARMUP_NS, RUN_NS);
+        let r = run_kite_mix(cfg, mode, paper_sim(seed), mix, WARMUP_NS, RUN_NS);
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
         // Ack messages per completed op: the coalescing win. For the
         // write-only runs this is acks-per-write; the seed paid N−1.
@@ -469,12 +491,53 @@ fn main() {
         } else {
             0.0
         };
+        // Digest-plane bytes per op: the figure the Merkle-range mode
+        // shrinks from O(store) to O(log store) per sweep cycle (asserted
+        // at the 100k-key scale by tests/antientropy.rs).
+        let aeb = if r.total_completed > 0 {
+            r.ae_digest_bytes as f64 / r.total_completed as f64
+        } else {
+            0.0
+        };
         println!(
             "{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms, {apw:.2} ack-msgs/op, \
-             {} coalesced, {ae:.4} ae-msgs/op)",
+             {} coalesced, {ae:.4} ae-msgs/op, {aeb:.2} ae-bytes/op)",
             r.mreqs, r.acks_coalesced
         );
-        e2e.push((name.to_string(), r.mreqs, wall_ms, apw, ae));
+        e2e.push((name.to_string(), r.mreqs, wall_ms, apw, ae, aeb));
+    };
+    for (name, mode, mix) in runs {
+        run_one(name, cfg.clone(), mode, mix, &mut e2e);
+    }
+    if run_sim {
+        // Large-store anti-entropy scenario: the paper mix on a 2^17-key
+        // store at the deployment-default sweep interval, flat vs Merkle
+        // digests, reporting ae-bytes/op next to ae-msgs/op. Note the
+        // regimes: under active churn a Merkle summary sees every
+        // in-flight write as a range mismatch and pays drill-down traffic
+        // per sweep (the cost is O(diverged · log store), and during a
+        // measurement window every write is transiently "diverged"), while
+        // flat mode amortizes discovery over a whole cursor cycle. The
+        // Merkle win is the *steady-state* digest plane — converged or
+        // slowly-changing stores — where summaries match and bytes drop to
+        // O(log store); that regime is asserted (≥ 10×, measured ~1000×)
+        // by tests/antientropy.rs on a 100k-key store.
+        let big = |merkle: bool| cfg.clone().keys(1 << 17).merkle_digests(merkle);
+        let big_keys = 1u64 << 17;
+        run_one(
+            "kite_large_store_flat",
+            big(false),
+            ProtocolMode::Kite,
+            MixCfg::typical(0.2, big_keys),
+            &mut e2e,
+        );
+        run_one(
+            "kite_large_store_merkle",
+            big(true),
+            ProtocolMode::Kite,
+            MixCfg::typical(0.2, big_keys),
+            &mut e2e,
+        );
     }
 
     // Wall-clock transports: real threads / real sockets, noisy by nature.
@@ -506,11 +569,11 @@ fn main() {
         json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
     }
     json.push_str("  },\n  \"e2e\": {\n");
-    for (i, (name, mreqs, wall_ms, apw, ae)) in e2e.iter().enumerate() {
+    for (i, (name, mreqs, wall_ms, apw, ae, aeb)) in e2e.iter().enumerate() {
         let comma = if i + 1 < e2e.len() { "," } else { "" };
         let noisy = if is_noisy(name) { ", \"noisy\": true" } else { "" };
         json.push_str(&format!(
-            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3}, \"ae_per_op\": {ae:.4}{noisy} }}{comma}\n"
+            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3}, \"ae_per_op\": {ae:.4}, \"ae_bytes_per_op\": {aeb:.4}{noisy} }}{comma}\n"
         ));
     }
     json.push_str("  }\n}\n");

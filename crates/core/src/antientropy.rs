@@ -47,13 +47,105 @@
 //! have been swept — replicas converge *before* quiescence, without per-op
 //! fills.
 
+//! # Merkle-range mode (`ClusterConfig::merkle_digests`)
+//!
+//! At production store sizes the flat sweep's digest *bytes* are O(store)
+//! per cycle even when replicas are identical. With `merkle_digests(true)`
+//! the sweep instead broadcasts a **summary** of the whole store folded
+//! from the KVS's incremental leaf lattice (see `kite_kvs::store`): the
+//! top level of an implicit `fanout`-ary tree over the leaf hashes, so one
+//! message of O(fanout) hashes covers every key. Receivers fold the same
+//! ranges locally; a mismatched range is answered with [`Msg::MerkleReq`],
+//! whose drill-down descends one level per round trip and bottoms out in a
+//! flat per-leaf [`Msg::Digest`] — from there the per-key diff → pull/push
+//! → repair machinery is **unchanged**, so every slot-advancement-with-
+//! evidence invariant carries over verbatim. Identical replicas exchange
+//! nothing but the top summary: steady-state digest bytes are O(log store).
+//!
+//! Interior hashes are folded on demand (never stored); only leaves are
+//! maintained, lock-free, by the store's write paths. A summary racing an
+//! in-flight write sees a transient mismatch — the drill-down then ends in
+//! an idempotent no-op repair, exactly like a flat digest racing a write.
+//! Mismatch re-arms both ends' sweeps (the requester when it sends a
+//! [`Msg::MerkleReq`], the responder when it receives one), which keeps
+//! the *symmetric* heal live: keys only the requester holds are surfaced
+//! by its own summaries at the responder, one sweep later. Matching
+//! summaries re-arm nothing, so converged clusters still quiesce.
+
 use std::sync::Arc;
 
-use kite_common::{Key, Lc, NodeId, Val};
+use kite_common::{ClusterConfig, Key, Lc, NodeId, Val};
+use kite_kvs::Store;
 use kite_simnet::Outbox;
 
-use crate::msg::{DigestChunk, Msg, Repair};
+use crate::msg::{DigestChunk, MerkleSummary, Msg, Repair};
 use crate::worker::Worker;
+
+/// Encoded wire bytes of a flat digest carrying `entries` `(key, Lc)`
+/// pairs (tag + count + 16 per entry) — the `ae_digest_bytes` accounting
+/// mirrors `kite::wire` so the counter means the same thing on every
+/// transport.
+#[inline]
+fn digest_wire_bytes(entries: usize) -> u64 {
+    5 + 16 * entries as u64
+}
+
+/// Encoded wire bytes of a Merkle summary of `hashes` range hashes.
+#[inline]
+fn summary_wire_bytes(hashes: usize) -> u64 {
+    10 + 8 * hashes as u64
+}
+
+/// Encoded wire bytes of a Merkle drill-down request for `buckets` buckets.
+#[inline]
+fn req_wire_bytes(buckets: usize) -> u64 {
+    6 + 4 * buckets as u64
+}
+
+/// Drill-down geometry: an implicit `fanout`-ary tree over the store's
+/// `leaves` leaf hashes. Level 0 buckets are single leaves; a level-`l`
+/// bucket covers `fanout^l` consecutive leaves. Derived identically on
+/// every replica from the shared config, so `(level, bucket)` names the
+/// same leaf range everywhere.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MerkleGeom {
+    /// Leaf count of the local store's lattice.
+    leaves: usize,
+    /// Children per interior node.
+    fanout: usize,
+    /// The level the sweep summarizes at: the smallest level with at most
+    /// `fanout` buckets, so the whole store fits one summary message.
+    top_level: u8,
+}
+
+impl MerkleGeom {
+    fn new(leaves: usize, fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        let mut top_level = 0u8;
+        while Self::buckets(leaves, fanout, top_level) > fanout {
+            top_level += 1;
+        }
+        MerkleGeom { leaves, fanout, top_level }
+    }
+
+    fn buckets(leaves: usize, fanout: usize, level: u8) -> usize {
+        let width = (fanout as u128).saturating_pow(level as u32);
+        ((leaves as u128).div_ceil(width).max(1)) as usize
+    }
+
+    /// Number of buckets at `level`.
+    fn buckets_at(&self, level: u8) -> usize {
+        Self::buckets(self.leaves, self.fanout, level)
+    }
+
+    /// The leaf range `[lo, hi)` a `(level, bucket)` covers (clamped).
+    fn leaf_range(&self, level: u8, bucket: usize) -> (usize, usize) {
+        let width = (self.fanout as u128).saturating_pow(level as u32);
+        let lo = (bucket as u128).saturating_mul(width).min(self.leaves as u128) as usize;
+        let hi = (bucket as u128 + 1).saturating_mul(width).min(self.leaves as u128) as usize;
+        (lo, hi)
+    }
+}
 
 /// Per-worker anti-entropy state. Only worker 0 of a node sweeps (one
 /// digest stream per node, not per worker — though its idleness tracking
@@ -94,8 +186,17 @@ pub(crate) struct AeState {
     /// sweeps). A replica that slept through a key's *first* write holds
     /// no slot to advertise it from, so its own data digests cannot
     /// surface that gap — only a full cycle of peer digests can. Several
-    /// are sent so a lossy link cannot eat the only copy.
+    /// are sent so a lossy link cannot eat the only copy. Merkle mode
+    /// keeps the ping as-is: a sleeper's all-zero lattice *does* mismatch
+    /// peers' summaries, but only while their sweeps are armed — the ping
+    /// is what re-arms them.
     pings: u8,
+    /// Merkle-range mode: sweeps broadcast lattice summaries instead of
+    /// flat per-chunk digests (see the module docs).
+    merkle: bool,
+    /// Drill-down geometry (meaningful whenever a peer may speak Merkle —
+    /// derived from the shared config, so always initialized).
+    geom: MerkleGeom,
     /// When the node last transitioned to idle (`None` while active).
     idle_since: Option<u64>,
     /// Cool-down lapsed: stop sweeping, report idle. Always `true` for
@@ -104,21 +205,26 @@ pub(crate) struct AeState {
 }
 
 impl AeState {
-    pub(crate) fn new(
-        enabled: bool,
-        wid: usize,
-        interval: u64,
-        keepalive: u64,
-        chunk: usize,
-        store_capacity: usize,
-    ) -> Self {
-        let sweep = enabled && wid == 0;
-        let chunk = chunk.max(1);
-        let cycle = (store_capacity.div_ceil(chunk) as u64) * interval;
+    pub(crate) fn new(cfg: &ClusterConfig, wid: usize, store: &Store) -> Self {
+        let sweep = cfg.anti_entropy && wid == 0;
+        let interval = cfg.anti_entropy_interval_ns;
+        let chunk = cfg.anti_entropy_chunk.max(1);
+        let merkle = cfg.merkle_digests;
+        let geom = MerkleGeom::new(store.merkle_leaves(), cfg.merkle_fanout);
+        // Cool-down: everything written before idling must be swept (and,
+        // in Merkle mode, drilled into) at least once more. A flat cycle
+        // is one full cursor walk; a Merkle "cycle" is a single summary
+        // plus one drill-down round trip per level, all within a couple of
+        // intervals — budget one interval per level plus slack.
+        let cycle = if merkle {
+            (geom.top_level as u64 + 2) * interval
+        } else {
+            (store.capacity().div_ceil(chunk) as u64) * interval
+        };
         AeState {
             sweep,
             interval,
-            keepalive,
+            keepalive: cfg.anti_entropy_keepalive_ns,
             chunk,
             cooldown: cycle + 2 * interval,
             cursor: 0,
@@ -126,6 +232,8 @@ impl AeState {
             last_tick: 0,
             last_completed: 0,
             pings: 0,
+            merkle,
+            geom,
             idle_since: None,
             done: !sweep,
         }
@@ -151,7 +259,7 @@ impl AeState {
     pub(crate) fn describe(&self) -> String {
         format!(
             "sweep={} done={} cursor={} last_sweep={} last_tick={} idle_since={:?} \
-             interval={} keepalive={} chunk={} cooldown={}",
+             interval={} keepalive={} chunk={} cooldown={} merkle={} geom={:?}",
             self.sweep,
             self.done,
             self.cursor,
@@ -162,6 +270,8 @@ impl AeState {
             self.keepalive,
             self.chunk,
             self.cooldown,
+            self.merkle,
+            self.geom,
         )
     }
 }
@@ -236,10 +346,34 @@ impl Worker {
         // cycle at me". Their digests then carry every key this replica
         // may be missing, including keys it has no slot for — which its
         // own data digests could never advertise.
+        let peers = self.nodes as u64 - 1;
         if self.ae.pings > 0 {
             self.ae.pings -= 1;
-            self.shared.counters.ae_digests_sent.add(self.nodes as u64 - 1);
+            let c = &self.shared.counters;
+            c.ae_digests_sent.add(peers);
+            c.ae_digest_bytes.add(digest_wire_bytes(0) * peers);
             out.broadcast(self.me, Msg::Digest { d: Arc::new(DigestChunk { entries: Vec::new() }) });
+        }
+        if self.ae.merkle {
+            // Merkle mode: one top-level lattice summary covers the whole
+            // store — O(fanout) hashes per interval, whatever the store
+            // size. Divergence surfaces as a range mismatch at a receiver,
+            // which drills down via `MerkleReq`.
+            let geom = self.ae.geom;
+            let top = geom.top_level;
+            let store = &self.shared.store;
+            let hashes: Vec<u64> = (0..geom.buckets_at(top))
+                .map(|b| {
+                    let (lo, hi) = geom.leaf_range(top, b);
+                    store.fold_leaves(lo, hi)
+                })
+                .collect();
+            let c = &self.shared.counters;
+            c.ae_summaries_sent.add(peers);
+            c.ae_digest_bytes.add(summary_wire_bytes(hashes.len()) * peers);
+            let s = Arc::new(MerkleSummary { level: top, start: 0, hashes });
+            out.broadcast(self.me, Msg::MerkleSummary { s });
+            return;
         }
         let mut entries = Vec::new();
         self.ae.cursor =
@@ -252,9 +386,137 @@ impl Worker {
         // diffed against every replica. The `Arc` payload makes the N−1
         // unicasts refcount bumps.
         let c = &self.shared.counters;
-        c.ae_digests_sent.add(self.nodes as u64 - 1);
+        c.ae_digests_sent.add(peers);
         c.ae_digest_keys.add((entries.len() * (self.nodes - 1)) as u64);
+        c.ae_digest_bytes.add(digest_wire_bytes(entries.len()) * peers);
         out.broadcast(self.me, Msg::Digest { d: Arc::new(DigestChunk { entries }) });
+    }
+
+    /// A peer's Merkle summary arrived: fold the same lattice ranges
+    /// locally and ask for a drill-down on every mismatch. Matching ranges
+    /// generate no traffic and no re-arm — two converged replicas exchange
+    /// exactly one summary per interval while their sweeps wind down.
+    pub(crate) fn on_merkle_summary(
+        &mut self,
+        src: NodeId,
+        s: Arc<MerkleSummary>,
+        out: &mut Outbox<Msg>,
+    ) {
+        let geom = self.ae.geom;
+        if s.level > geom.top_level {
+            return; // geometry mismatch (or a malformed peer): ignore
+        }
+        let buckets = geom.buckets_at(s.level);
+        let store = &self.shared.store;
+        let mut mismatched: Vec<u32> = Vec::new();
+        for (i, &hash) in s.hashes.iter().enumerate() {
+            let Some(b) = (s.start as usize).checked_add(i) else { break };
+            if b >= buckets {
+                break;
+            }
+            let (lo, hi) = geom.leaf_range(s.level, b);
+            if store.fold_leaves(lo, hi) != hash {
+                mismatched.push(b as u32);
+            }
+        }
+        if mismatched.is_empty() {
+            return;
+        }
+        // Divergence (or an in-flight write) somewhere under these ranges:
+        // keep our own sweep armed so the symmetric direction — keys only
+        // *we* hold — reaches the peer via our summaries too.
+        self.ae.rearm();
+        let c = &self.shared.counters;
+        c.ae_merkle_reqs.incr();
+        c.ae_digest_bytes.add(req_wire_bytes(mismatched.len()));
+        out.send(src, Msg::MerkleReq { level: s.level, buckets: mismatched.into() });
+    }
+
+    /// A peer drilled into our summary: answer each mismatched bucket with
+    /// its child-level summary, or — at the leaf level — with the flat
+    /// `(key, Lc)` digest of that leaf, handing the diff to the unchanged
+    /// per-key repair machinery.
+    pub(crate) fn on_merkle_req(
+        &mut self,
+        src: NodeId,
+        level: u8,
+        buckets: Arc<[u32]>,
+        out: &mut Outbox<Msg>,
+    ) {
+        let geom = self.ae.geom;
+        if level > geom.top_level {
+            return;
+        }
+        // A drill-down proves a peer sees divergence with us: keep sweeping
+        // until a full summary round confirms convergence.
+        self.ae.rearm();
+        let nb = geom.buckets_at(level);
+        let store = &self.shared.store;
+        if level == 0 {
+            // Bottom out: flat digest of the requested leaves, split into
+            // multiple chunks if a big-leaf config would overflow one
+            // message's wire-side collection bound (`wire::MAX_SEQ`) —
+            // a frame the receive gate rejects poisons the link. Empty
+            // leaves are skipped — an empty digest is the resync ping, and
+            // the "sender holds nothing" direction is healed by our own
+            // summaries mismatching at the peer instead.
+            let chunk_cap = crate::wire::MAX_SEQ / 2;
+            let mut entries: Vec<(Key, Lc)> = Vec::new();
+            let mut flush = |entries: &mut Vec<(Key, Lc)>| {
+                if entries.is_empty() {
+                    return;
+                }
+                let c = &self.shared.counters;
+                c.ae_digests_sent.incr();
+                c.ae_digest_keys.add(entries.len() as u64);
+                c.ae_digest_bytes.add(digest_wire_bytes(entries.len()));
+                out.send(
+                    src,
+                    Msg::Digest { d: Arc::new(DigestChunk { entries: std::mem::take(entries) }) },
+                );
+            };
+            for &b in buckets.iter() {
+                if (b as usize) < nb {
+                    store.digest_leaf(b as usize, &mut entries);
+                    if entries.len() >= chunk_cap {
+                        flush(&mut entries);
+                    }
+                }
+            }
+            flush(&mut entries);
+            return;
+        }
+        for &b in buckets.iter() {
+            let b = b as usize;
+            if b >= nb {
+                continue; // malformed peer: out-of-range bucket
+            }
+            let child_level = level - 1;
+            let child_base = b * geom.fanout;
+            let n = geom.fanout.min(geom.buckets_at(child_level).saturating_sub(child_base));
+            if n == 0 {
+                continue;
+            }
+            let hashes: Vec<u64> = (0..n)
+                .map(|i| {
+                    let (lo, hi) = geom.leaf_range(child_level, child_base + i);
+                    store.fold_leaves(lo, hi)
+                })
+                .collect();
+            let c = &self.shared.counters;
+            c.ae_summaries_sent.incr();
+            c.ae_digest_bytes.add(summary_wire_bytes(hashes.len()));
+            out.send(
+                src,
+                Msg::MerkleSummary {
+                    s: Arc::new(MerkleSummary {
+                        level: child_level,
+                        start: child_base as u32,
+                        hashes,
+                    }),
+                },
+            );
+        }
     }
 
     /// A peer's digest arrived: diff it against the local store, pull what

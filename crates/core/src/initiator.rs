@@ -465,13 +465,17 @@ impl Worker {
                     return;
                 }
                 // Quorum of stamps: the write now dominates anything this
-                // machine missed. Apply + restore in-epoch.
-                let wlc = state.max_lc.succ(self.me);
-                self.shared.store.apply_max_restore(
+                // machine missed. Mint + apply + restore in-epoch under
+                // one lock — a `succ` of the gathered max computed outside
+                // the key's seqlock can collide with a concurrent sibling
+                // session's fast-write stamp (same `(version, mid)`, two
+                // values), a divergence no LLC-max repair can ever heal.
+                let wlc = self.shared.store.stamp_apply(
                     state.meta.key,
                     &state.val,
-                    wlc,
-                    state.snapshot,
+                    state.max_lc,
+                    self.me,
+                    Some(state.snapshot),
                 );
                 if !self.stripped_slow {
                     // Full-ABD ablation: the value round must be
@@ -874,8 +878,11 @@ impl Worker {
         if !state.barrier.done || state.w2.is_some() || state.rts_reps.len() < quorum {
             return false;
         }
-        let lc = state.rts_max.succ(me);
-        shared.store.apply_max(state.meta.key, &state.val, lc);
+        // Mint + apply atomically (see `Store::stamp_apply`): the stamp
+        // must rise above the round-1 quorum max *and* whatever a racing
+        // local fast write stamped since — outside the lock the two mints
+        // can collide on one `(version, mid)` with different values.
+        let lc = shared.store.stamp_apply(state.meta.key, &state.val, state.rts_max, me, None);
         state.w2 = Some((lc, NodeSet::singleton(me)));
         out.broadcast(me, Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc });
         true

@@ -31,6 +31,11 @@
 //!   - [`PromiseOutcome`]'s two large variants are `Box`ed: they are
 //!     unicast replies built once, and `Promised { accepted: None }` — the
 //!     overwhelmingly common promise — allocates nothing.
+//! * The anti-entropy digest plane is `Arc`-boxed end to end:
+//!   [`Msg::Digest`] and [`Msg::MerkleSummary`] carry whole key-range
+//!   advertisements (far over a cache line) and are broadcast, so the
+//!   N−1 unicasts share one allocation; [`Msg::MerkleReq`]'s bucket list
+//!   rides an `Arc<[u32]>` fat pointer for the same reason.
 //! * The acquire-tagged ABD write-back rides its own boxed variant
 //!   ([`Msg::WriteAcq`]): the acquire op id does not fit next to an inline
 //!   value, and tagged write-backs only occur when round 1 found no value
@@ -148,6 +153,27 @@ pub struct DigestChunk {
     /// are replica-local, so only the keys travel; the receiver diffs each
     /// entry against its own store by key.
     pub entries: Vec<(Key, Lc)>,
+}
+
+/// Payload of a Merkle-range anti-entropy summary ([`Msg::MerkleSummary`]):
+/// a run of range hashes at one level of the store's hash lattice.
+/// `Arc`-shared — the sweep broadcasts the top-level summary to every peer
+/// (drill-down child summaries are unicast, but share the type).
+///
+/// Geometry is implied, not carried: every replica derives the same leaf
+/// count from the shared `ClusterConfig` (`keys` rounds to the same store
+/// capacity, `merkle_leaf_span`/`merkle_fanout` are cluster-wide), so
+/// `(level, start)` names the same leaf range on both sides. A summary
+/// whose level exceeds the local lattice depth is dropped as malformed.
+#[derive(Clone, Debug)]
+pub struct MerkleSummary {
+    /// Lattice level: 0 = leaves; level `l` buckets cover `fanout^l`
+    /// leaves each.
+    pub level: u8,
+    /// Index of the first bucket covered, at `level`.
+    pub start: u32,
+    /// One fold per consecutive bucket from `start`.
+    pub hashes: Vec<u64>,
 }
 
 /// Payload of an acquire-tagged ABD write-back round ([`Msg::WriteAcq`]),
@@ -415,6 +441,31 @@ pub enum Msg {
         /// The digest body (`Arc`: shared by the broadcast unicasts).
         d: Arc<DigestChunk>,
     },
+    /// Merkle-mode anti-entropy summary: a run of range hashes folded from
+    /// the sender's leaf lattice. The sweep broadcasts the **top-level**
+    /// summary (whole store in O(fanout) hashes) once per interval;
+    /// drill-down answers to a [`Msg::MerkleReq`] carry child-level
+    /// summaries. Receivers compare each hash against their own fold of
+    /// the same range and answer mismatches with a [`Msg::MerkleReq`] —
+    /// matching ranges generate **no** traffic, which is the whole point.
+    /// Unsolicited and unacked, like [`Msg::Digest`].
+    MerkleSummary {
+        /// The summary body (`Arc`: shared by the broadcast unicasts).
+        s: Arc<MerkleSummary>,
+    },
+    /// Merkle drill-down: "your summary's buckets `buckets` (at `level`)
+    /// hash differently here — show me more". The receiver answers each
+    /// bucket with its child-level [`Msg::MerkleSummary`], or — at level
+    /// 0 — with a flat [`Msg::Digest`] of the leaf's `(key, Lc)` entries,
+    /// bottoming out in the per-key diff/pull/push machinery unchanged.
+    /// Fire-and-forget: a lost request is re-triggered by the next sweep's
+    /// summary.
+    MerkleReq {
+        /// Lattice level the buckets index into (0 = leaves).
+        level: u8,
+        /// Mismatched bucket indices at that level.
+        buckets: Arc<[u32]>,
+    },
     /// Repair pull: "send me your current values for these keys" —
     /// answered with one [`Msg::RepairVal`] per key. Fire-and-forget.
     RepairReq {
@@ -463,6 +514,8 @@ impl Msg {
             Msg::AcceptRep { .. } => "accept-rep",
             Msg::Commit { .. } => "commit",
             Msg::Digest { .. } => "digest",
+            Msg::MerkleSummary { .. } => "merkle-summary",
+            Msg::MerkleReq { .. } => "merkle-req",
             Msg::RepairReq { .. } => "repair-req",
             Msg::RepairVal { .. } => "repair-val",
         }
@@ -530,6 +583,10 @@ mod tests {
                 c: Arc::new(CommitPayload { slot: 0, val: Val::EMPTY, lc: Lc::ZERO, meta: None }),
             },
             Msg::Digest { d: Arc::new(DigestChunk { entries: vec![(Key(1), Lc::ZERO)] }) },
+            Msg::MerkleSummary {
+                s: Arc::new(MerkleSummary { level: 1, start: 0, hashes: vec![7, 8] }),
+            },
+            Msg::MerkleReq { level: 1, buckets: vec![0u32, 3].into() },
             Msg::RepairReq { keys: vec![Key(1)].into_boxed_slice() },
             Msg::RepairVal {
                 r: Box::new(Repair { key: Key(1), val: Val::EMPTY, lc: Lc::ZERO, slot: 0, ring: vec![] }),
@@ -553,6 +610,11 @@ mod tests {
         .is_reply());
         // Anti-entropy traffic is rid-less and never routed as a reply.
         assert!(!Msg::Digest { d: Arc::new(DigestChunk { entries: vec![] }) }.is_reply());
+        assert!(!Msg::MerkleSummary {
+            s: Arc::new(MerkleSummary { level: 0, start: 0, hashes: vec![] })
+        }
+        .is_reply());
+        assert!(!Msg::MerkleReq { level: 0, buckets: Vec::new().into() }.is_reply());
         assert!(!Msg::RepairReq { keys: Box::new([]) }.is_reply());
         assert!(!Msg::RepairVal {
             r: Box::new(Repair { key: Key(0), val: Val::EMPTY, lc: Lc::ZERO, slot: 0, ring: vec![] })

@@ -46,7 +46,15 @@ impl NodeShared {
     pub fn new(me: NodeId, cfg: ClusterConfig, counters: Arc<ProtoCounters>) -> Arc<Self> {
         Arc::new(NodeShared {
             me,
-            store: Store::new(cfg.keys),
+            // The Merkle leaf span rides the shared config so every
+            // replica's lattice has identical geometry (comparability is
+            // what makes summary hashes meaningful). With Merkle digests
+            // off, span 0 disables the lattice — the default deployment
+            // pays no per-write hashing for summaries nobody reads.
+            store: Store::with_leaf_span(
+                cfg.keys,
+                if cfg.merkle_digests { cfg.merkle_leaf_span } else { 0 },
+            ),
             epoch: AtomicU64::new(0),
             last_bump: AtomicU64::new(0),
             delinquency: DelinquencyTable::new(cfg.nodes),

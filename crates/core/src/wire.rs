@@ -49,7 +49,9 @@ use kite_common::{Key, Lc, NodeId, NodeSet, OpId, SessionId, Val};
 use kite_kvs::RmwCommit;
 
 use crate::api::{Completion, Op, OpOutput};
-use crate::msg::{CatchUp, Cmd, CommitPayload, DigestChunk, Msg, PromiseOutcome, Repair, WriteBack};
+use crate::msg::{
+    CatchUp, Cmd, CommitPayload, DigestChunk, MerkleSummary, Msg, PromiseOutcome, Repair, WriteBack,
+};
 
 /// Upper bound on a frame body (everything after the 4-byte length
 /// prefix). Sized so that any *single* message this codec can legitimately
@@ -310,6 +312,8 @@ const T_COMMIT: u8 = 17;
 const T_DIGEST: u8 = 18;
 const T_REPAIR_REQ: u8 = 19;
 const T_REPAIR_VAL: u8 = 20;
+const T_MERKLE_SUMMARY: u8 = 21;
+const T_MERKLE_REQ: u8 = 22;
 
 // PromiseOutcome sub-tags.
 const P_PROMISED: u8 = 0;
@@ -512,6 +516,23 @@ pub fn encode_msg(m: &Msg, out: &mut Vec<u8>) {
             put_u64(out, r.slot);
             put_ring(out, &r.ring);
         }
+        Msg::MerkleSummary { s } => {
+            out.push(T_MERKLE_SUMMARY);
+            out.push(s.level);
+            put_u32(out, s.start);
+            put_u32(out, s.hashes.len() as u32);
+            for h in &s.hashes {
+                put_u64(out, *h);
+            }
+        }
+        Msg::MerkleReq { level, buckets } => {
+            out.push(T_MERKLE_REQ);
+            out.push(*level);
+            put_u32(out, buckets.len() as u32);
+            for b in buckets.iter() {
+                put_u32(out, *b);
+            }
+        }
     }
 }
 
@@ -668,6 +689,25 @@ pub fn decode_msg(c: &mut Cursor) -> WireResult<Msg> {
             let slot = c.u64()?;
             let ring = get_ring(c)?;
             Msg::RepairVal { r: Box::new(Repair { key, val, lc, slot, ring }) }
+        }
+        T_MERKLE_SUMMARY => {
+            let level = c.u8()?;
+            let start = c.u32()?;
+            let n = get_seq_len(c, "merkle summary")?;
+            let mut hashes = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                hashes.push(c.u64()?);
+            }
+            Msg::MerkleSummary { s: Arc::new(MerkleSummary { level, start, hashes }) }
+        }
+        T_MERKLE_REQ => {
+            let level = c.u8()?;
+            let n = get_seq_len(c, "merkle req")?;
+            let mut buckets = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                buckets.push(c.u32()?);
+            }
+            Msg::MerkleReq { level, buckets: buckets.into() }
         }
         t => return Err(WireError::BadTag { what: "msg", tag: t }),
     })

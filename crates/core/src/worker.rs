@@ -126,14 +126,7 @@ impl Worker {
             coalesce_acks: cfg.coalesce_acks,
             #[cfg(debug_assertions)]
             ack_src: None,
-            ae: AeState::new(
-                cfg.anti_entropy,
-                wid,
-                cfg.anti_entropy_interval_ns,
-                cfg.anti_entropy_keepalive_ns,
-                cfg.anti_entropy_chunk,
-                shared.store.capacity(),
-            ),
+            ae: AeState::new(cfg, wid, &shared.store),
             hook,
             nodes: cfg.nodes,
             commit_fill: cfg.commit_fill,
@@ -386,6 +379,8 @@ impl Worker {
 
             // anti-entropy (unsolicited, unacked — see `crate::antientropy`)
             Msg::Digest { d } => self.on_digest(src, d, out),
+            Msg::MerkleSummary { s } => self.on_merkle_summary(src, s, out),
+            Msg::MerkleReq { level, buckets } => self.on_merkle_req(src, level, buckets, out),
             Msg::RepairReq { keys } => self.on_repair_req(src, keys, out),
             Msg::RepairVal { r } => self.on_repair_val(r),
 

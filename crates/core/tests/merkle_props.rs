@@ -1,0 +1,231 @@
+//! Divergence-fuzzing equivalence harness for Merkle-range anti-entropy.
+//!
+//! The Merkle mode is an *optimization of how divergence is found*, never
+//! of what gets repaired — so for any divergence pattern whatsoever, a
+//! Merkle sweep must converge the cluster to the **identical** final store
+//! state the flat sweep produces (which is itself forced by LLC-max: the
+//! highest-stamped copy of every key wins everywhere). This harness fuzzes
+//! random per-replica divergence patterns — missing keys, stale clocks,
+//! empty stores, single-key stores — plants them directly in the replicas'
+//! stores, lets each mode's sweep heal the cluster on the deterministic
+//! simulator, and asserts:
+//!
+//! * both modes quiesce with every replica holding the LLC-max winner of
+//!   every key (and still missing the keys nobody held);
+//! * the two final states are identical, key for key;
+//! * the Merkle drill-down message count is O(diverged · log store) —
+//!   and exactly **zero** when the replicas are identical, the property
+//!   that makes summary sweeps O(log store) bytes at steady state;
+//! * Merkle mode ships no flat digest keys beyond the drill-down leaves
+//!   (`ae_digest_keys` stays 0 on converged stores).
+
+use std::collections::BTreeMap;
+
+use kite::session::SessionDriver;
+use kite::{ProtocolMode, SimCluster};
+use kite_common::{ClusterConfig, Key, Lc, NodeId, Val};
+use kite_simnet::SimCfg;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+const SEC: u64 = 1_000_000_000;
+const NODES: usize = 3;
+
+/// How one key is placed on each replica: `None` = the replica never saw
+/// it; `Some((version, owner))` = it holds the value stamped
+/// `Lc::new(version, owner)`.
+#[derive(Clone, Debug)]
+struct KeyPlan {
+    key: u64,
+    state: [Option<(u64, u8)>; NODES],
+}
+
+impl KeyPlan {
+    /// The LLC-max winner every replica must converge to (None if nobody
+    /// holds the key).
+    fn expected(&self) -> Option<(u64, u8)> {
+        self.state
+            .iter()
+            .flatten()
+            .copied()
+            .max_by_key(|&(v, o)| Lc::new(v, NodeId(o)))
+    }
+
+    /// Does any replica disagree with any other on this key?
+    fn diverged(&self) -> bool {
+        self.state.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+#[derive(Clone, Debug)]
+struct DivergencePlan {
+    keys: Vec<KeyPlan>,
+    seed: u64,
+}
+
+/// The (unique-per-stamp) value a replica holds for `key` at `(v, o)` —
+/// derived, so two replicas holding the same stamp hold the same bytes.
+fn val_for(key: u64, v: u64, o: u8) -> Val {
+    Val::from_u64((key << 20) ^ (v << 8) ^ (o as u64 + 1))
+}
+
+struct Plans;
+
+impl proptest::strategy::Strategy for Plans {
+    type Value = DivergencePlan;
+    fn generate(&self, rng: &mut TestRng) -> DivergencePlan {
+        // Edge cases get their own arms: empty stores and single-key
+        // stores are exactly where "advertise nothing" asymmetries hide.
+        let nkeys = match rng.below(8) {
+            0 => 0,
+            1 => 1,
+            _ => 2 + rng.below(23),
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        let mut keys = Vec::new();
+        for _ in 0..nkeys {
+            let key = rng.next_u64() >> 1; // avoid the reserved u64::MAX
+            if !seen.insert(key) {
+                continue;
+            }
+            let latest_v = 2 + rng.below(5);
+            let latest_o = rng.below(NODES as u64) as u8;
+            let mut state = [None; NODES];
+            for slot in state.iter_mut() {
+                *slot = match rng.below(4) {
+                    0 => None, // missing: the replica slept through the key
+                    1 => {
+                        // stale: an earlier stamp of the same key
+                        let v = 1 + rng.below(latest_v - 1);
+                        Some((v, rng.below(NODES as u64) as u8))
+                    }
+                    _ => Some((latest_v, latest_o)),
+                };
+            }
+            keys.push(KeyPlan { key, state });
+        }
+        DivergencePlan { keys, seed: rng.next_u64() | 1 }
+    }
+}
+
+/// Final per-replica store content over the plan's keys, read with the
+/// non-claiming probe so the readback itself cannot perturb the store.
+type StoreState = Vec<BTreeMap<u64, (Lc, u64)>>;
+
+struct RunOut {
+    state: StoreState,
+    merkle_reqs: u64,
+    summaries: u64,
+    digest_keys: u64,
+}
+
+fn converge(merkle: bool, plan: &DivergencePlan) -> RunOut {
+    let cfg = ClusterConfig::small()
+        .keys(256) // capacity 512; leaf span 8 → 64 leaves; fanout 4 → depth 3
+        .anti_entropy_interval_ns(50_000)
+        .anti_entropy_chunk(512)
+        .merkle_digests(merkle)
+        .merkle_fanout(4)
+        .merkle_leaf_span(8)
+        .commit_fill(false);
+    let mut sc = SimCluster::build(
+        cfg,
+        ProtocolMode::Kite,
+        SimCfg { seed: plan.seed, ..Default::default() },
+        |_| SessionDriver::Idle,
+        None,
+    );
+    // Plant the divergence directly in the stores (the protocols are not
+    // running: this *is* the post-fault state the sweep must heal).
+    for (n, _) in (0..NODES).enumerate() {
+        let store = &sc.shared(NodeId(n as u8)).store;
+        for kp in &plan.keys {
+            if let Some((v, o)) = kp.state[n] {
+                store.apply_max(Key(kp.key), &val_for(kp.key, v, o), Lc::new(v, NodeId(o)));
+            }
+        }
+    }
+    assert!(
+        sc.run_until_quiesce(600 * SEC),
+        "sweep must converge and wind down (merkle={merkle}, seed={})",
+        plan.seed
+    );
+    let state: StoreState = (0..NODES)
+        .map(|n| {
+            let store = &sc.shared(NodeId(n as u8)).store;
+            plan.keys
+                .iter()
+                .filter_map(|kp| {
+                    store
+                        .probe_lc(Key(kp.key))
+                        .filter(|&lc| lc > Lc::ZERO)
+                        .map(|lc| (kp.key, (lc, store.view(Key(kp.key)).val.as_u64())))
+                })
+                .collect()
+        })
+        .collect();
+    let sum = |f: fn(&kite_common::stats::ProtoCounters) -> u64| -> u64 {
+        (0..NODES).map(|n| f(sc.counters(NodeId(n as u8)))).sum()
+    };
+    RunOut {
+        state,
+        merkle_reqs: sum(|c| c.ae_merkle_reqs.get()),
+        summaries: sum(|c| c.ae_summaries_sent.get()),
+        digest_keys: sum(|c| c.ae_digest_keys.get()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn merkle_sweep_converges_identically_to_flat_sweep(plan in Plans) {
+        let merkle = converge(true, &plan);
+        let flat = converge(false, &plan);
+
+        // Both modes actually ran the machinery they claim to.
+        prop_assert!(merkle.summaries > 0, "Merkle sweeps must broadcast summaries");
+        prop_assert_eq!(flat.merkle_reqs, 0, "flat mode must never drill down");
+
+        // Every replica, in both modes, holds exactly the LLC-max winner
+        // of every key the pattern placed anywhere — and nothing at all
+        // where nobody held the key.
+        for kp in &plan.keys {
+            let want = kp.expected().map(|(v, o)| (Lc::new(v, NodeId(o)), val_for(kp.key, v, o).as_u64()));
+            for (mode, out) in [("merkle", &merkle), ("flat", &flat)] {
+                for (n, st) in out.state.iter().enumerate() {
+                    prop_assert_eq!(
+                        st.get(&kp.key).copied(),
+                        want,
+                        "{}: replica {} wrong on key {} (plan {:?})",
+                        mode, n, kp.key, kp.state
+                    );
+                }
+            }
+        }
+        // ... which also makes the two final states bytewise identical.
+        for n in 0..NODES {
+            prop_assert_eq!(&merkle.state[n], &flat.state[n], "mode divergence at replica {}", n);
+        }
+
+        // Drill-down traffic is O(diverged · log store): zero when the
+        // replicas agree, and bounded by a small constant per diverged key
+        // per lattice level otherwise (64 leaves, fanout 4 → 3 levels).
+        let diverged = plan.keys.iter().filter(|kp| kp.diverged()).count() as u64;
+        if diverged == 0 {
+            prop_assert_eq!(merkle.merkle_reqs, 0, "identical replicas must not drill down");
+            prop_assert_eq!(
+                merkle.digest_keys, 0,
+                "identical replicas must exchange no per-key digest entries"
+            );
+        } else {
+            let levels = 3u64;
+            let bound = 64 * (1 + diverged * levels);
+            prop_assert!(
+                merkle.merkle_reqs <= bound,
+                "drill-down blow-up: {} reqs for {} diverged keys (bound {})",
+                merkle.merkle_reqs, diverged, bound
+            );
+        }
+    }
+}

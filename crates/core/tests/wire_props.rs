@@ -6,7 +6,9 @@
 
 use std::sync::Arc;
 
-use kite::msg::{CatchUp, Cmd, CommitPayload, DigestChunk, Msg, PromiseOutcome, Repair, WriteBack};
+use kite::msg::{
+    CatchUp, Cmd, CommitPayload, DigestChunk, MerkleSummary, Msg, PromiseOutcome, Repair, WriteBack,
+};
 use kite::wire::{self, WireError};
 use kite_common::{Key, Lc, NodeId, NodeSet, OpId, SessionId, Val};
 use kite_kvs::RmwCommit;
@@ -59,7 +61,7 @@ fn gen_key(rng: &mut TestRng) -> Key {
 /// One random message covering **every** variant (tag picked uniformly).
 fn gen_msg(rng: &mut TestRng) -> Msg {
     let rid = rng.next_u64();
-    match rng.below(21) {
+    match rng.below(23) {
         0 => Msg::EsWrite { rid, key: gen_key(rng), val: gen_val(rng), lc: gen_lc(rng) },
         1 => Msg::Ack { rid },
         2 => Msg::AckBatch { rids: (0..rng.below(20)).map(|_| rng.next_u64()).collect() },
@@ -159,6 +161,20 @@ fn gen_msg(rng: &mut TestRng) -> Msg {
         19 => Msg::RepairReq {
             keys: (0..rng.below(20)).map(|_| gen_key(rng)).collect::<Vec<_>>().into_boxed_slice(),
         },
+        20 => Msg::MerkleSummary {
+            s: Arc::new(MerkleSummary {
+                level: rng.below(8) as u8,
+                start: rng.below(1 << 20) as u32,
+                hashes: (0..rng.below(40)).map(|_| rng.next_u64()).collect(),
+            }),
+        },
+        21 => Msg::MerkleReq {
+            level: rng.below(8) as u8,
+            buckets: (0..rng.below(30))
+                .map(|_| rng.below(1 << 20) as u32)
+                .collect::<Vec<_>>()
+                .into(),
+        },
         _ => Msg::RepairVal {
             r: Box::new(Repair {
                 key: gen_key(rng),
@@ -236,7 +252,8 @@ proptest! {
     #[test]
     fn garbage_bodies_error(len in 5usize..64, seed in any::<u64>()) {
         let mut rng = TestRng::from_seed(seed);
-        // Tag byte ≥ 21 guarantees at least the first message is invalid.
+        // Every byte is forced ≥ 0x80, far past the last valid msg tag
+        // (22), so at least the first message is guaranteed invalid.
         let mut body = vec![0u8; len];
         for b in body.iter_mut() {
             *b = (rng.next_u64() | 0x80) as u8;
@@ -262,6 +279,61 @@ fn oversized_collections_are_rejected_not_allocated() {
         wire::decode_frame_body(&body, &mut out),
         Err(WireError::Oversized { .. })
     ));
+}
+
+#[test]
+fn oversized_merkle_collections_are_rejected_not_allocated() {
+    // A summary (or drill-down request) announcing more entries than
+    // MAX_SEQ must be rejected by the length gate before any allocation.
+    for (tag, extra) in [(21u8, 5u32), (22, 0)] {
+        let mut body = Vec::new();
+        body.push(0); // src
+        body.extend_from_slice(&1u32.to_le_bytes()); // one message
+        body.push(tag);
+        body.push(3); // level
+        if extra > 0 {
+            body.extend_from_slice(&extra.to_le_bytes()); // summary start
+        }
+        body.extend_from_slice(&(u32::MAX).to_le_bytes()); // ludicrous count
+        let mut out = Vec::new();
+        assert!(
+            matches!(wire::decode_frame_body(&body, &mut out), Err(WireError::Oversized { .. })),
+            "tag {tag} must hit the length gate"
+        );
+        assert!(out.is_empty());
+    }
+}
+
+#[test]
+fn summary_batch_splits_at_max_frame() {
+    // A sweep's worth of big summaries that cannot fit one frame must
+    // split at MAX_FRAME and decode back to the original sequence — the
+    // same no-poison-frame property the flat-digest batches rely on.
+    let hashes: Vec<u64> = (0..wire::MAX_SEQ as u64).collect(); // 512 KiB encoded
+    let msgs: Vec<Msg> = (0..12)
+        .map(|i| {
+            Msg::MerkleSummary {
+                s: Arc::new(MerkleSummary { level: 2, start: i * 64, hashes: hashes.clone() }),
+            }
+        })
+        .collect();
+    let mut buf = Vec::new();
+    let frames = wire::encode_frames(NodeId(2), &msgs, &mut buf);
+    assert!(frames > 1, "6 MiB of summaries cannot fit one {}-byte frame", wire::MAX_FRAME);
+    let mut out = Vec::new();
+    let mut off = 0;
+    for _ in 0..frames {
+        let len = wire::frame_body_len(buf[off..off + 4].try_into().unwrap()).unwrap();
+        assert!(len <= wire::MAX_FRAME, "every emitted frame must satisfy the receive gate");
+        let src = wire::decode_frame_body(&buf[off + 4..off + 4 + len], &mut out).unwrap();
+        assert_eq!(src, NodeId(2));
+        off += 4 + len;
+    }
+    assert_eq!(off, buf.len(), "no trailing bytes between frames");
+    assert_eq!(out.len(), msgs.len());
+    for (a, b) in msgs.iter().zip(&out) {
+        assert!(same(a, b));
+    }
 }
 
 #[test]

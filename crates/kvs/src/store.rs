@@ -5,6 +5,36 @@
 //! holds a preloaded, replicated key set (§7: one million key-value pairs
 //! replicated on all nodes), so dropping entries would be a correctness bug,
 //! not a cache miss. Slots are claimed lock-free with a CAS on first touch.
+//!
+//! # The Merkle leaf lattice
+//!
+//! Alongside the slots the store maintains an incremental hash summary for
+//! the Merkle-range anti-entropy mode: an array of **leaf hashes**, one per
+//! `leaf_span` *home* slots, where leaf `i` is the XOR of
+//! [`merkle_mix`]`(key, lc)` over every written entry whose home slot
+//! (`key.hash() & mask`, before linear-probe displacement) falls in leaf
+//! `i`'s range. Leaves bucket by *home* position — a pure function of the
+//! key — so two replicas holding the same `(key, lc)` set produce the same
+//! leaf hashes even when probing placed the keys in different physical
+//! slots.
+//!
+//! **Lock-free update rule.** Every mutation that changes a key's clock
+//! from `old` to `new` XORs `merkle_mix(key, old) ^ merkle_mix(key, new)`
+//! into the key's leaf with one `fetch_xor`, *after* the seqlock write
+//! section commits. XOR is commutative and associative, and the seqlock
+//! serializes the clock transitions per key, so any interleaving of
+//! concurrent updates telescopes to `mix(initial) ^ mix(final)` — at
+//! quiescence a leaf always equals the XOR of its members' current mixes,
+//! with writers never blocked and no lock ever taken. A fold that races a
+//! writer may observe the value transition without its hash delta (or vice
+//! versa); the resulting spurious range mismatch only costs an idempotent
+//! drill-down, exactly like a flat digest racing a write.
+//!
+//! `merkle_mix(key, Lc::ZERO)` is **defined as 0**, so slots that are
+//! claimed but never written (a read probing a fresh key) are invisible to
+//! the lattice: "both sides hold nothing" must hash equal regardless of
+//! who happened to claim a slot, or two converged replicas would drill
+//! down at each other forever.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -15,6 +45,25 @@ use crate::paxos_meta::PaxosMeta;
 use crate::record::{Record, ReadView};
 
 const EMPTY_KEY: u64 = u64::MAX;
+
+/// Default home slots per Merkle leaf (see the module docs).
+pub const DEFAULT_LEAF_SPAN: usize = 64;
+
+/// The per-entry hash the Merkle leaf lattice accumulates: a splitmix64
+/// avalanche over the packed `(key, lc)` pair. `Lc::ZERO` maps to 0 by
+/// definition — claimed-but-unwritten slots must not perturb the lattice
+/// (see the module docs).
+#[inline]
+pub fn merkle_mix(key: Key, lc: Lc) -> u64 {
+    if lc == Lc::ZERO {
+        return 0;
+    }
+    let packed = (lc.version() << 8) | lc.mid() as u64;
+    let mut z = key.0 ^ packed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 struct Slot {
     key: AtomicU64,
@@ -28,6 +77,12 @@ pub struct Store {
     /// Population count, bumped once per claimed slot — keeps
     /// [`Store::len`] O(1) instead of an O(capacity) slot scan.
     live: AtomicUsize,
+    /// Merkle leaf lattice: `leaves[i]` = XOR of [`merkle_mix`] over every
+    /// written entry whose *home* slot lies in `[i << leaf_shift,
+    /// (i + 1) << leaf_shift)`. See the module docs for the update rule.
+    leaves: Box<[AtomicU64]>,
+    /// `home_slot >> leaf_shift` = leaf index.
+    leaf_shift: u32,
 }
 
 impl Store {
@@ -35,11 +90,30 @@ impl Store {
     /// is rounded up to a power of two with 2× headroom to keep probe
     /// sequences short.
     pub fn new(keys: usize) -> Self {
+        Self::with_leaf_span(keys, DEFAULT_LEAF_SPAN)
+    }
+
+    /// [`Store::new`] with an explicit Merkle leaf span (home slots per
+    /// leaf hash; rounded up to a power of two and clamped to the
+    /// capacity). Replicas must agree on `(keys, leaf_span)` for their
+    /// lattices to be comparable — both come from the shared
+    /// `ClusterConfig`. A span of **0 disables the lattice entirely**
+    /// (no leaves allocated, `leaf_apply` is a single branch): deployments
+    /// that never speak Merkle digests must not pay per-write hashing or
+    /// a shared-cache-line `fetch_xor` for a summary nobody reads.
+    pub fn with_leaf_span(keys: usize, leaf_span: usize) -> Self {
         let cap = (keys.max(16) * 2).next_power_of_two();
         let slots: Box<[Slot]> = (0..cap)
             .map(|_| Slot { key: AtomicU64::new(EMPTY_KEY), record: Record::new() })
             .collect();
-        Store { slots, mask: (cap - 1) as u64, live: AtomicUsize::new(0) }
+        let (leaves, leaf_shift) = if leaf_span == 0 {
+            (Box::from([]), 0)
+        } else {
+            let span = leaf_span.next_power_of_two().min(cap);
+            let leaves: Box<[AtomicU64]> = (0..cap / span).map(|_| AtomicU64::new(0)).collect();
+            (leaves, span.trailing_zeros())
+        };
+        Store { slots, mask: (cap - 1) as u64, live: AtomicUsize::new(0), leaves, leaf_shift }
     }
 
     /// Number of slots (diagnostics).
@@ -55,6 +129,29 @@ impl Store {
     /// Whether the store holds no keys.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The leaf index of `key`'s home slot — a pure function of the key
+    /// and the store geometry, identical on every replica.
+    #[inline]
+    pub fn leaf_of(&self, key: Key) -> usize {
+        ((key.hash() & self.mask) >> self.leaf_shift) as usize
+    }
+
+    /// Fold a clock transition `old → new` for `key` into its leaf hash.
+    /// Called after the seqlock write section commits; see the module docs
+    /// for why the out-of-lock XOR is still exact. With the lattice
+    /// disabled (leaf span 0) this is one predictable branch — the write
+    /// path pays nothing.
+    #[inline]
+    fn leaf_apply(&self, key: Key, old: Lc, new: Lc) {
+        if self.leaves.is_empty() {
+            return;
+        }
+        let delta = merkle_mix(key, old) ^ merkle_mix(key, new);
+        if delta != 0 {
+            self.leaves[self.leaf_of(key)].fetch_xor(delta, Ordering::Relaxed);
+        }
     }
 
     /// Locate (or claim) the record for `key`. Lock-free linear probing;
@@ -128,15 +225,21 @@ impl Store {
         mid: NodeId,
         machine_epoch: Epoch,
     ) -> Option<Lc> {
-        self.record(key).update(|d| {
+        let mut prev = Lc::ZERO;
+        let stamped = self.record(key).update(|d| {
             if d.epoch != machine_epoch.0 {
                 return None;
             }
+            prev = d.lc;
             let lc = d.lc.succ(mid);
             d.lc = lc;
             d.set_val(val);
             Some(lc)
-        })
+        });
+        if let Some(lc) = stamped {
+            self.leaf_apply(key, prev, lc);
+        }
+        stamped
     }
 
     /// Apply a remote or protocol write iff its clock beats the stored one
@@ -144,15 +247,21 @@ impl Store {
     /// whether the write was applied. Never touches the epoch.
     #[inline]
     pub fn apply_max(&self, key: Key, val: &Val, lc: Lc) -> bool {
-        self.record(key).update(|d| {
+        let mut prev = Lc::ZERO;
+        let applied = self.record(key).update(|d| {
             if lc > d.lc {
+                prev = d.lc;
                 d.lc = lc;
                 d.set_val(val);
                 true
             } else {
                 false
             }
-        })
+        });
+        if applied {
+            self.leaf_apply(key, prev, lc);
+        }
+        applied
     }
 
     /// Slow-path completion (§4.2 "Returning to fast path"): apply the
@@ -163,8 +272,10 @@ impl Store {
     /// out-of-epoch, exactly as the paper requires.
     #[inline]
     pub fn apply_max_restore(&self, key: Key, val: &Val, lc: Lc, snapshot: Epoch) -> bool {
-        self.record(key).update(|d| {
+        let mut prev = Lc::ZERO;
+        let applied = self.record(key).update(|d| {
             let applied = if lc > d.lc {
+                prev = d.lc;
                 d.lc = lc;
                 d.set_val(val);
                 true
@@ -175,7 +286,51 @@ impl Store {
                 d.epoch = snapshot.0;
             }
             applied
-        })
+        });
+        if applied {
+            self.leaf_apply(key, prev, lc);
+        }
+        applied
+    }
+
+    /// Atomically **mint and apply** a locally stamped protocol write:
+    /// under the key's seqlock, stamp `max(floor, current_clock).succ(mid)`,
+    /// apply the value (unconditional — the stamp dominates the stored
+    /// clock by construction), optionally advance the key's epoch to
+    /// `snapshot`, and return the stamp used.
+    ///
+    /// Minting under the *same* lock as the apply is what makes locally
+    /// minted stamps unique per key: a gather-then-`succ` outside the lock
+    /// can collide with a concurrent fast write's `succ` of the same
+    /// observed clock — two different values under one `(version, mid)`
+    /// stamp, which replicas then split on *permanently* (LLC-max treats
+    /// equal stamps as converged, so no repair can ever heal it; found by
+    /// the anti-entropy divergence-fuzzing harness). Under the lock, every
+    /// local mint strictly raises the stored clock, so no two can be equal.
+    #[inline]
+    pub fn stamp_apply(
+        &self,
+        key: Key,
+        val: &Val,
+        floor: Lc,
+        mid: NodeId,
+        snapshot: Option<Epoch>,
+    ) -> Lc {
+        let mut prev = Lc::ZERO;
+        let lc = self.record(key).update(|d| {
+            prev = d.lc;
+            let lc = d.lc.max(floor).succ(mid);
+            d.lc = lc;
+            d.set_val(val);
+            if let Some(s) = snapshot {
+                if s.0 > d.epoch {
+                    d.epoch = s.0;
+                }
+            }
+            lc
+        });
+        self.leaf_apply(key, prev, lc);
+        lc
     }
 
     /// Advance only the key's epoch to `snapshot` (slow-path read that found
@@ -194,10 +349,13 @@ impl Store {
     /// The provided clock is stored as-is.
     #[inline]
     pub fn apply_ordered(&self, key: Key, val: &Val, lc: Lc) {
+        let mut prev = Lc::ZERO;
         self.record(key).update(|d| {
+            prev = d.lc;
             d.lc = lc;
             d.set_val(val);
         });
+        self.leaf_apply(key, prev, lc);
     }
 
     /// Run `f` with exclusive access to the record's `(val, lc, epoch)`
@@ -205,12 +363,17 @@ impl Store {
     /// commit rules. `f` receives `(current value, current lc)` and may
     /// return a replacement.
     pub fn update_with(&self, key: Key, f: impl FnOnce(Val, Lc) -> Option<(Val, Lc)>) {
+        let mut transition = None;
         self.record(key).update(|d| {
             if let Some((nv, nlc)) = f(d.val(), d.lc) {
+                transition = Some((d.lc, nlc));
                 d.lc = nlc;
                 d.set_val(&nv);
             }
         });
+        if let Some((old, new)) = transition {
+            self.leaf_apply(key, old, new);
+        }
     }
 
     // ---- Paxos -----------------------------------------------------------
@@ -274,6 +437,79 @@ impl Store {
             0
         } else {
             end
+        }
+    }
+
+    // ---- Merkle leaf lattice ---------------------------------------------
+
+    /// Number of Merkle leaves (`capacity / leaf_span`; ≥ 1).
+    #[inline]
+    pub fn merkle_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Home slots covered per leaf.
+    #[inline]
+    pub fn merkle_leaf_span(&self) -> usize {
+        1 << self.leaf_shift
+    }
+
+    /// The current hash of one leaf (diagnostics/tests; range comparisons
+    /// go through [`Store::fold_leaves`]).
+    #[inline]
+    pub fn leaf_hash(&self, leaf: usize) -> u64 {
+        self.leaves[leaf].load(Ordering::Relaxed)
+    }
+
+    /// Fold the leaf hashes in `[lo, hi)` (clamped) into one range hash —
+    /// the interior levels of the Merkle lattice, computed on demand. An
+    /// FNV-style sequential mix rather than a plain XOR so two differing
+    /// leaves cannot cancel each other out of an interior hash. Both sides
+    /// of a comparison fold the same range with the same function, so
+    /// equality is exactly "same leaf hash sequence".
+    pub fn fold_leaves(&self, lo: usize, hi: usize) -> u64 {
+        let hi = hi.min(self.leaves.len());
+        let lo = lo.min(hi);
+        let mut acc = 0xCBF2_9CE4_8422_2325u64;
+        for leaf in &self.leaves[lo..hi] {
+            acc = (acc ^ leaf.load(Ordering::Relaxed)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        acc
+    }
+
+    /// Append `(key, lc)` for every live slot whose **home** position lies
+    /// in leaf `leaf` — the flat digest a Merkle drill-down bottoms out in.
+    /// Linear probing can displace a key forward of its home (never
+    /// backward), but only through a contiguous run of occupied slots, so
+    /// the scan covers the leaf's slot range and then keeps going (with
+    /// wraparound) until the occupied run past the range ends, filtering by
+    /// home leaf. Lock-free, same read discipline as
+    /// [`Store::digest_range`]; `Lc::ZERO` entries are included for
+    /// consistency with it (receivers treat them as "holds nothing").
+    pub fn digest_leaf(&self, leaf: usize, out: &mut Vec<(Key, Lc)>) {
+        let cap = self.slots.len();
+        let span = 1usize << self.leaf_shift;
+        let start = leaf * span;
+        if start >= cap {
+            return;
+        }
+        let mut pos = 0usize;
+        while pos < cap {
+            let idx = (start + pos) & self.mask as usize;
+            let k = self.slots[idx].key.load(Ordering::Acquire);
+            if k == EMPTY_KEY {
+                if pos >= span {
+                    // Past the leaf's own range and the occupied run ended:
+                    // no further key with a home in this leaf can exist.
+                    break;
+                }
+            } else {
+                let key = Key(k);
+                if self.leaf_of(key) == leaf {
+                    out.push((key, self.slots[idx].record.snapshot().lc));
+                }
+            }
+            pos += 1;
         }
     }
 
@@ -559,6 +795,188 @@ mod tests {
         }
         assert_eq!(s.len(), 256);
         assert!(!s.is_empty());
+    }
+
+    /// Recompute a leaf hash from scratch (XOR of `merkle_mix` over the
+    /// leaf's members) — the quiescent-state ground truth the incremental
+    /// lattice must match.
+    fn recompute_leaf(s: &Store, leaf: usize) -> u64 {
+        let mut entries = Vec::new();
+        s.digest_leaf(leaf, &mut entries);
+        entries.iter().fold(0u64, |acc, &(k, lc)| acc ^ merkle_mix(k, lc))
+    }
+
+    #[test]
+    fn stamp_apply_mints_unique_stamps_under_races() {
+        use std::sync::Arc;
+        use std::sync::Mutex as StdMutex;
+        // A gather-then-succ outside the lock can reuse a stamp a racing
+        // fast write just minted; stamp_apply must never. Hammer one key
+        // from fast-writers and stamp-appliers and assert every locally
+        // minted stamp is distinct.
+        let s = Arc::new(Store::new(64));
+        let stamps = Arc::new(StdMutex::new(Vec::<Lc>::new()));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let (s, stamps) = (Arc::clone(&s), Arc::clone(&stamps));
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..2000u64 {
+                    let lc = if t % 2 == 0 {
+                        s.fast_write(Key(1), &Val::from_u64(i), NodeId(0), Epoch::ZERO).unwrap()
+                    } else {
+                        // A deliberately stale floor: the lock, not the
+                        // floor, must guarantee uniqueness.
+                        s.stamp_apply(Key(1), &Val::from_u64(i), Lc::ZERO, NodeId(0), None)
+                    };
+                    mine.push(lc);
+                }
+                stamps.lock().unwrap().append(&mut mine);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut all = stamps.lock().unwrap().clone();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "two local mints produced the same stamp");
+        // And the floor is still honored when it dominates.
+        let lc = s.stamp_apply(Key(2), &Val::from_u64(1), Lc::new(50, NodeId(3)), NodeId(1), None);
+        assert_eq!(lc, Lc::new(51, NodeId(1)));
+        // The epoch restore rides the same lock.
+        s.stamp_apply(Key(2), &Val::from_u64(2), Lc::ZERO, NodeId(1), Some(Epoch(4)));
+        assert_eq!(s.view(Key(2)).epoch, Epoch(4));
+    }
+
+    #[test]
+    fn leaf_hashes_track_every_mutation_path() {
+        let s = Store::new(256);
+        // Claims alone leave the lattice untouched (mix(_, ZERO) = 0).
+        s.view(Key(1));
+        assert!((0..s.merkle_leaves()).all(|l| s.leaf_hash(l) == 0));
+        // Every mutator feeds the lattice: fast_write, apply_max,
+        // apply_max_restore, apply_ordered (including clock *decreases*),
+        // update_with.
+        s.fast_write(Key(1), &Val::from_u64(1), NodeId(0), Epoch::ZERO);
+        s.apply_max(Key(2), &Val::from_u64(2), Lc::new(9, NodeId(1)));
+        s.apply_max_restore(Key(3), &Val::from_u64(3), Lc::new(4, NodeId(2)), Epoch(1));
+        s.apply_ordered(Key(4), &Val::from_u64(4), Lc::new(100, NodeId(0)));
+        s.apply_ordered(Key(4), &Val::from_u64(5), Lc::new(2, NodeId(0)));
+        s.update_with(Key(5), |_, lc| Some((Val::from_u64(6), lc.succ(NodeId(3)))));
+        // A rejected stale apply must not perturb the lattice.
+        s.apply_max(Key(2), &Val::from_u64(7), Lc::new(1, NodeId(0)));
+        for leaf in 0..s.merkle_leaves() {
+            assert_eq!(
+                s.leaf_hash(leaf),
+                recompute_leaf(&s, leaf),
+                "leaf {leaf} diverged from ground truth"
+            );
+        }
+    }
+
+    #[test]
+    fn leaf_span_zero_disables_the_lattice() {
+        // Deployments that never speak Merkle digests allocate no leaves
+        // and pay nothing per write; the fold of the (empty) lattice is
+        // still total.
+        let s = Store::with_leaf_span(256, 0);
+        assert_eq!(s.merkle_leaves(), 0);
+        s.fast_write(Key(1), &Val::from_u64(1), NodeId(0), Epoch::ZERO);
+        s.apply_max(Key(2), &Val::from_u64(2), Lc::new(9, NodeId(1)));
+        assert_eq!(s.fold_leaves(0, 1), s.fold_leaves(0, 0), "empty lattice folds are constant");
+        let mut out = Vec::new();
+        s.digest_leaf(0, &mut out); // leaf 0 covers the whole table (shift 0)
+        assert_eq!(s.view(Key(2)).val.as_u64(), 2, "the store itself is unaffected");
+    }
+
+    #[test]
+    fn lattices_match_across_insertion_orders() {
+        // Two replicas holding the same (key, lc) set must fold identically
+        // even though probing placed the keys in different physical slots.
+        let a = Store::new(64);
+        let b = Store::new(64);
+        let writes: Vec<(u64, u64)> = (0..100).map(|i| (i % 40, i + 1)).collect();
+        for &(k, v) in &writes {
+            a.apply_max(Key(k), &Val::from_u64(v), Lc::new(v, NodeId(0)));
+        }
+        for &(k, v) in writes.iter().rev() {
+            a.apply_max(Key(k), &Val::from_u64(v), Lc::new(v, NodeId(0)));
+            b.apply_max(Key(k), &Val::from_u64(v), Lc::new(v, NodeId(0)));
+        }
+        // b additionally claimed (but never wrote) extra keys: invisible.
+        b.view(Key(1000));
+        assert_eq!(a.merkle_leaves(), b.merkle_leaves());
+        for leaf in 0..a.merkle_leaves() {
+            assert_eq!(a.leaf_hash(leaf), b.leaf_hash(leaf), "leaf {leaf}");
+        }
+        assert_eq!(a.fold_leaves(0, a.merkle_leaves()), b.fold_leaves(0, b.merkle_leaves()));
+        // ... and one divergent write is visible in exactly that key's leaf.
+        b.apply_max(Key(7), &Val::from_u64(999), Lc::new(999, NodeId(2)));
+        let diff: Vec<usize> = (0..a.merkle_leaves())
+            .filter(|&l| a.leaf_hash(l) != b.leaf_hash(l))
+            .collect();
+        assert_eq!(diff, vec![a.leaf_of(Key(7))]);
+    }
+
+    #[test]
+    fn digest_leaf_finds_displaced_keys() {
+        // Small span so probe chains cross leaf boundaries: every live key
+        // must appear in exactly the digest of its *home* leaf.
+        let s = Store::with_leaf_span(16, 2); // capacity 64, 32 leaves
+        for k in 0..30u64 {
+            s.apply_max(Key(k), &Val::from_u64(k), Lc::new(k + 1, NodeId(0)));
+        }
+        let mut all = Vec::new();
+        for leaf in 0..s.merkle_leaves() {
+            let before = all.len();
+            s.digest_leaf(leaf, &mut all);
+            for &(k, _) in &all[before..] {
+                assert_eq!(s.leaf_of(k), leaf, "{k} digested under the wrong leaf");
+            }
+        }
+        let mut keys: Vec<u64> = all.iter().map(|(k, _)| k.0).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..30).collect::<Vec<_>>(), "every key in exactly one leaf digest");
+    }
+
+    #[test]
+    fn concurrent_writers_keep_the_lattice_exact() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new(1 << 10));
+        let mut handles = Vec::new();
+        // Contended apply_max on a shared key set from four threads: after
+        // the dust settles, every leaf must equal its recomputed ground
+        // truth (the XOR deltas telescope regardless of interleaving).
+        for t in 0..4u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..4000u64 {
+                    let k = Key(i % 128);
+                    s.apply_max(Key(k.0), &Val::from_u64(i), Lc::new(i / 7 + 1, NodeId(t)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for leaf in 0..s.merkle_leaves() {
+            assert_eq!(s.leaf_hash(leaf), recompute_leaf(&s, leaf), "leaf {leaf} torn");
+        }
+    }
+
+    #[test]
+    fn fold_leaves_clamps_and_distinguishes_ranges() {
+        let s = Store::new(256);
+        let n = s.merkle_leaves();
+        // Folding an empty/out-of-range span is total, never panics.
+        assert_eq!(s.fold_leaves(n, n + 10), s.fold_leaves(5, 5));
+        let before = s.fold_leaves(0, n);
+        s.apply_max(Key(42), &Val::from_u64(1), Lc::new(1, NodeId(0)));
+        assert_ne!(s.fold_leaves(0, n), before, "a write must change the root fold");
+        let leaf = s.leaf_of(Key(42));
+        assert_ne!(s.fold_leaves(leaf, leaf + 1), 0);
     }
 
     #[test]

@@ -32,11 +32,17 @@ pub struct RunResult {
     pub ack_msgs: u64,
     /// Plain acks that rode inside `AckBatch` messages.
     pub acks_coalesced: u64,
-    /// Anti-entropy messages sent during the whole run (digests + repair
-    /// pulls + repair values): `ae_msgs / total_completed` is the
-    /// steady-state digest-traffic figure — it must stay negligible
-    /// (< 0.01 msgs/op at 0% loss).
+    /// Anti-entropy messages sent during the whole run (digests + Merkle
+    /// summaries + drill-downs + repair pulls + repair values):
+    /// `ae_msgs / total_completed` is the steady-state digest-traffic
+    /// figure — it must stay negligible (< 0.01 msgs/op at 0% loss).
     pub ae_msgs: u64,
+    /// Estimated wire bytes of the digest plane (flat digests, Merkle
+    /// summaries, drill-down requests) sent during the whole run —
+    /// `ae_digest_bytes / total_completed` is the `ae-bytes/op` column the
+    /// throughput bin reports, the quantity Merkle mode shrinks from
+    /// O(store) to O(log store) per sweep cycle.
+    pub ae_digest_bytes: u64,
     /// Requests completed over the whole run (warmup included) — the
     /// denominator matching the whole-run counters above.
     pub total_completed: u64,
@@ -75,7 +81,8 @@ pub fn run_kite_mix(
     let per_node: Vec<f64> =
         before.iter().zip(&after).map(|(b, a)| mreqs(a - b, run_ns)).collect();
     let completed: u64 = after.iter().sum::<u64>() - before.iter().sum::<u64>();
-    let (local_reads, slow_path, ack_msgs, acks_coalesced, ae_msgs) = (0..cfg.nodes)
+    let (local_reads, slow_path, ack_msgs, acks_coalesced, ae_msgs, ae_digest_bytes) = (0..cfg
+        .nodes)
         .map(|n| {
             let c = sc.counters(NodeId(n as u8));
             (
@@ -83,11 +90,16 @@ pub fn run_kite_mix(
                 c.slow_path_accesses.get(),
                 c.acks_sent.get(),
                 c.acks_coalesced.get(),
-                c.ae_digests_sent.get() + c.ae_repair_reqs.get() + c.ae_repair_vals.get(),
+                c.ae_digests_sent.get()
+                    + c.ae_summaries_sent.get()
+                    + c.ae_merkle_reqs.get()
+                    + c.ae_repair_reqs.get()
+                    + c.ae_repair_vals.get(),
+                c.ae_digest_bytes.get(),
             )
         })
-        .fold((0, 0, 0, 0, 0), |(lr, sp, am, ac, ae), (l, s, a, c, e)| {
-            (lr + l, sp + s, am + a, ac + c, ae + e)
+        .fold((0, 0, 0, 0, 0, 0), |(lr, sp, am, ac, ae, ab), (l, s, a, c, e, b)| {
+            (lr + l, sp + s, am + a, ac + c, ae + e, ab + b)
         });
     RunResult {
         mreqs: mreqs(completed, run_ns),
@@ -98,6 +110,7 @@ pub fn run_kite_mix(
         ack_msgs,
         acks_coalesced,
         ae_msgs,
+        ae_digest_bytes,
         total_completed: sc.total_completed(),
     }
 }
@@ -144,6 +157,7 @@ pub fn run_zab_mix(
         ack_msgs: 0,
         acks_coalesced: 0,
         ae_msgs: 0,
+        ae_digest_bytes: 0,
         total_completed,
     }
 }

@@ -4,8 +4,10 @@
 #   2. run the closed-loop throughput bin with fixed seeds. Before
 #      overwriting BENCH_micro.json, the bin diffs the fresh numbers
 #      against the committed file and prints a ±10% regression warning
-#      table (micro: lower is better; e2e mreqs: higher is better) —
-#      regressions are flagged loudly instead of silently replaced.
+#      table (micro: lower is better; e2e mreqs: higher is better;
+#      per-run ae_bytes_per_op — the anti-entropy digest-plane cost the
+#      Merkle-range mode shrinks — lower is better) — regressions are
+#      flagged loudly instead of silently replaced.
 #
 # Usage: scripts/bench.sh [seed]   (default seed: 42)
 set -euo pipefail

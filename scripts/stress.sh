@@ -8,6 +8,12 @@
 # protocol-state dump on stderr instead of hanging the loop, and the
 # failing iteration's full output is preserved.
 #
+# Each iteration also runs the anti-entropy fault suites — the flat-sweep
+# convergence/equivalence tests (tests/antientropy.rs) and the
+# Merkle-digest loss+crash ablation (tests/merkle_faults.rs) — so sweep
+# liveness and the merkle_digests kill switch stay covered by the loop,
+# not just by one-shot CI.
+#
 # Usage: scripts/stress.sh [iterations] [test-filter]
 #   iterations   default 50
 #   test-filter  default threaded_mutex_exact_under_message_loss
@@ -18,28 +24,41 @@ N="${1:-50}"
 FILTER="${2:-threaded_mutex_exact_under_message_loss}"
 
 echo "== building test binaries =="
-cargo test --release --test cluster_threaded --no-run
+cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --no-run
 
-echo "== stressing '${FILTER}' x${N} =="
-fails=0
-for i in $(seq 1 "$N"); do
+run_logged() {
+    # run_logged <iteration> <label> <cmd...>: run one test binary under a
+    # timeout, preserving the full output of a failing iteration.
+    local i="$1" label="$2"
+    shift 2
+    local log
     log="$(mktemp)"
-    if timeout 120 cargo test -q --release --test cluster_threaded "$FILTER" \
-        -- --test-threads=1 --nocapture >"$log" 2>&1; then
+    if timeout 120 "$@" >"$log" 2>&1; then
         rm -f "$log"
         printf '.'
-    else
-        rc=$?
-        fails=$((fails + 1))
-        keep="target/stress-fail-${i}.log"
-        mv "$log" "$keep"
-        echo
-        echo "iteration $i FAILED (rc=$rc, watchdog dump preserved in $keep)"
+        return 0
     fi
+    local rc=$?
+    local keep="target/stress-fail-${label}-${i}.log"
+    mv "$log" "$keep"
+    echo
+    echo "iteration $i [$label] FAILED (rc=$rc, output preserved in $keep)"
+    return 1
+}
+
+echo "== stressing '${FILTER}' + anti-entropy fault tests x${N} =="
+fails=0
+for i in $(seq 1 "$N"); do
+    run_logged "$i" threaded cargo test -q --release --test cluster_threaded "$FILTER" \
+        -- --test-threads=1 --nocapture || fails=$((fails + 1))
+    run_logged "$i" ae cargo test -q --release --test antientropy \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" merkle cargo test -q --release --test merkle_faults \
+        -- --test-threads=1 || fails=$((fails + 1))
 done
 echo
 if [ "$fails" -gt 0 ]; then
-    echo "!! $fails of $N iterations failed"
+    echo "!! $fails run(s) failed"
     exit 1
 fi
 echo "all $N iterations green"

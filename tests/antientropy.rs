@@ -14,7 +14,7 @@ use std::sync::Arc;
 use kite::api::Op;
 use kite::session::SessionDriver;
 use kite::{ProtocolMode, SimCluster};
-use kite_common::{ClusterConfig, Key, NodeId, SessionId};
+use kite_common::{ClusterConfig, Key, Lc, NodeId, SessionId, Val};
 use kite_repro::testutil::recording_hook;
 use kite_simnet::SimCfg;
 use kite_verify::{check_rc, History, RcMode};
@@ -248,6 +248,150 @@ fn digest_traffic_negligible_at_zero_loss() {
             r.total_completed
         );
     }
+}
+
+/// The §8.4 sleeper scenario under Merkle mode: the woken replica holds no
+/// slot (not even a claim) for the key it slept through, so only its
+/// zero-entry resync ping — "I advertise empty, push me" — can get the
+/// peers' wound-down sweeps re-armed; their summaries then mismatch the
+/// sleeper's all-zero lattice and the drill-down pulls the key in. Same
+/// scenario, same assertions as the flat-mode test above, proving the ping
+/// semantics survive the digest representation change.
+#[test]
+fn merkle_mode_sleeping_replica_converges_by_anti_entropy_alone() {
+    const FAAS: u64 = 5;
+    let key = Key(7);
+    let sleeper = NodeId(2);
+    let mut sc = SimCluster::build(
+        ae_cfg().commit_fill(false).merkle_digests(true).merkle_fanout(4).merkle_leaf_span(8),
+        ProtocolMode::Kite,
+        SimCfg { seed: 9, ..Default::default() },
+        |sid| {
+            if sid == SessionId::new(NodeId(0), 0) {
+                SessionDriver::Script(Box::new(move |seq| {
+                    (seq < FAAS).then_some(Op::Faa { key, delta: 1 })
+                }))
+            } else {
+                SessionDriver::Idle
+            }
+        },
+        None,
+    );
+    sc.sim.partition(sleeper, NodeId(0));
+    sc.sim.partition(sleeper, NodeId(1));
+    sc.sim.sleep_node(sleeper, 20 * MS);
+    sc.run_for(20 * MS);
+    assert_eq!(sc.total_completed(), FAAS, "FAAs must commit against the majority");
+    assert_eq!(
+        sc.shared(sleeper).store.probe_lc(key),
+        None,
+        "sleeper must have missed the key entirely for the scenario to be meaningful"
+    );
+
+    for (a, b) in [(sleeper, NodeId(0)), (sleeper, NodeId(1))] {
+        sc.sim.set_drop(a, b, 0.2);
+        sc.sim.set_drop(b, a, 0.2);
+    }
+    assert!(sc.run_until_quiesce(600 * SEC), "Merkle anti-entropy must converge and wind down");
+
+    for n in 0..3u8 {
+        let sh = sc.shared(NodeId(n));
+        assert_eq!(
+            sh.store.view(key).val.as_u64(),
+            FAAS,
+            "replica {n} must converge on the final FAA value"
+        );
+        assert_eq!(
+            sh.store.paxos_next_slot(key),
+            FAAS,
+            "replica {n} must catch its Paxos slot up past the decided prefix"
+        );
+    }
+    let repaired = sc.shared(sleeper).counters.ae_repairs_applied.get();
+    assert!(repaired > 0, "the sleeper must have been healed by repair values");
+    let summaries: u64 = (0..3).map(|n| sc.counters(NodeId(n)).ae_summaries_sent.get()).sum();
+    let drills: u64 = (0..3).map(|n| sc.counters(NodeId(n)).ae_merkle_reqs.get()).sum();
+    assert!(summaries > 0, "divergence must have been found through summaries");
+    assert!(drills > 0, "... and localized through drill-downs");
+}
+
+/// The headline byte win, at a store size where it matters: a 100k-key
+/// store with exactly one diverged key. Flat mode must advertise every key
+/// of every swept chunk to find it — O(store) digest bytes per cycle —
+/// while Merkle mode localizes it through O(log store) summary/drill-down
+/// bytes. Both modes must heal the key; the byte ratio is the point.
+#[test]
+fn large_store_single_divergence_heals_with_fraction_of_flat_bytes() {
+    const KEYS: u64 = 100_000;
+    let stale_key = Key(777);
+    let run = |merkle: bool| -> (u64, u64) {
+        let mut sc = SimCluster::build(
+            ClusterConfig::small()
+                .keys(KEYS as usize) // capacity 262144
+                .release_timeout_ns(200_000)
+                .anti_entropy_interval_ns(100_000)
+                // Flat mode gets a generously large chunk so its full-store
+                // cycle (and thus the test's virtual runtime) stays short —
+                // bytes per cycle are chunk-independent, so this only
+                // *helps* flat mode's message count, not its byte count.
+                .anti_entropy_chunk(16 * 1024)
+                .merkle_digests(merkle)
+                .commit_fill(false),
+            ProtocolMode::Kite,
+            SimCfg { seed: 21, ..Default::default() },
+            |_| SessionDriver::Idle,
+            None,
+        );
+        // All three replicas hold the full preloaded key set...
+        for n in 0..3u8 {
+            let store = &sc.shared(NodeId(n)).store;
+            for k in 0..KEYS {
+                store.apply_max(Key(k), &Val::from_u64(k + 1), Lc::new(1, NodeId(0)));
+            }
+        }
+        // ... but replica 2 missed one key's last write.
+        for n in 0..2u8 {
+            sc.shared(NodeId(n)).store.apply_max(
+                stale_key,
+                &Val::from_u64(0xD00D),
+                Lc::new(2, NodeId(1)),
+            );
+        }
+        assert!(sc.run_until_quiesce(600 * SEC), "must converge and wind down, merkle={merkle}");
+        for n in 0..3u8 {
+            assert_eq!(
+                sc.shared(NodeId(n)).store.view(stale_key).val.as_u64(),
+                0xD00D,
+                "replica {n} must heal the diverged key (merkle={merkle})"
+            );
+        }
+        let bytes: u64 = (0..3).map(|n| sc.counters(NodeId(n)).ae_digest_bytes.get()).sum();
+        let msgs: u64 = (0..3)
+            .map(|n| {
+                let c = sc.counters(NodeId(n));
+                c.ae_digests_sent.get() + c.ae_summaries_sent.get() + c.ae_merkle_reqs.get()
+            })
+            .sum();
+        (bytes, msgs)
+    };
+
+    let (flat_bytes, flat_msgs) = run(false);
+    let (merkle_bytes, merkle_msgs) = run(true);
+    println!(
+        "digest plane for one diverged key in 100k: flat {flat_bytes} B / {flat_msgs} msgs, \
+         merkle {merkle_bytes} B / {merkle_msgs} msgs ({}x byte reduction)",
+        flat_bytes / merkle_bytes.max(1)
+    );
+    // The flat sweep shipped the whole store at least once: ≥ 100k entries
+    // × 16 bytes × 2 peers per node. The Merkle sweep shipped summaries
+    // plus one drill-down path. Require the headline ≥ 10× reduction with
+    // a wide margin of safety in the assertion itself.
+    assert!(
+        flat_bytes >= 10 * merkle_bytes,
+        "Merkle mode must cut steady-state digest bytes ≥ 10× on a 100k-key store: \
+         flat {flat_bytes} vs merkle {merkle_bytes} ({}x)",
+        flat_bytes / merkle_bytes.max(1)
+    );
 }
 
 /// The ROADMAP's idle-divergence gap, closed by `anti_entropy_keepalive_ns`:
