@@ -275,9 +275,20 @@ fn threaded_row(ops_per_client: usize) -> (String, f64, f64, f64, f64, f64) {
 }
 
 /// The same clients over loopback TCP: three `NodeRuntime`s in this
-/// process, every op crossing real sockets through `RemoteSession`.
-fn tcp_row(ops_per_client: usize) -> (String, f64, f64, f64, f64, f64) {
-    let cfg = loopback_cfg();
+/// process, every op crossing real sockets through `RemoteSession`. With
+/// `wal` on, every node group-commits to a scratch directory — the row
+/// quantifies what durability costs the deployment. The request path
+/// itself only stages (allocation-free, no syscalls); what the row
+/// actually measures on an oversubscribed loopback box is the three
+/// flusher threads' fsync cadence competing with busy-polling workers
+/// for cores — a trend probe, not a latency claim.
+fn tcp_row(ops_per_client: usize, wal: bool) -> (String, f64, f64, f64, f64, f64) {
+    let mut cfg = loopback_cfg();
+    let wal_dir = std::env::temp_dir().join(format!("kite-bench-wal-{}", std::process::id()));
+    if wal {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        cfg = cfg.wal(true).wal_dir(wal_dir.to_str().expect("utf8 tempdir"));
+    }
     let nodes = kite_net::launch_local_cluster(cfg.clone(), ProtocolMode::Kite).expect("launch tcp");
     // Diagnostics: KITE_TCP_WATCHDOG=<secs> arms each node's watchdog so a
     // stalled run aborts with per-worker protocol dumps + link tables.
@@ -319,7 +330,11 @@ fn tcp_row(ops_per_client: usize) -> (String, f64, f64, f64, f64, f64) {
     for n in nodes {
         n.shutdown();
     }
-    ("tcp_loopback_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0, 0.0)
+    if wal {
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+    let name = if wal { "tcp_loopback_mixed_20w_wal" } else { "tcp_loopback_mixed_20w" };
+    (name.into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0, 0.0)
 }
 
 /// Wall-clock transport rows measure this machine, not the protocol:
@@ -551,10 +566,12 @@ fn main() {
         e2e.push(row);
     }
     if run_tcp {
-        eprintln!("[throughput] tcp loopback run (wall clock, noisy) …");
-        let row = tcp_row(2_000);
-        println!("{:<28} {:8.3} mreqs   (wall {:7.1} ms, noisy: excluded from diff)", row.0, row.1, row.2);
-        e2e.push(row);
+        eprintln!("[throughput] tcp loopback runs, wal off/on (wall clock, noisy) …");
+        for wal in [false, true] {
+            let row = tcp_row(2_000, wal);
+            println!("{:<28} {:8.3} mreqs   (wall {:7.1} ms, noisy: excluded from diff)", row.0, row.1, row.2);
+            e2e.push(row);
+        }
     }
 
     diff_against_baseline(&out_path, &micro, &e2e);

@@ -36,6 +36,18 @@ impl Lc {
     /// Largest representable version number.
     pub const MAX_VERSION: u64 = (1 << (64 - MID_BITS)) - 1;
 
+    /// The RMW tag bit inside the mid byte. Deployments are capped at 16
+    /// replicas (`NodeId::MAX_NODES`), so bits 4–7 of the mid byte are
+    /// structurally free; bit 7 partitions the stamp space into relaxed
+    /// stamps (minted under the key's seqlock by `succ`) and RMW commit
+    /// stamps (minted at Paxos decide time by [`Lc::succ_rmw`], *outside*
+    /// the seqlock). Two stamps from different partitions can never be
+    /// equal, so a decide-time mint racing a concurrent fast write's
+    /// locked mint of the same observed version no longer produces two
+    /// different values under one `(version, mid)` stamp — the collision
+    /// LLC-max could never repair (equal stamps read as converged).
+    pub const RMW_TAG: u8 = 0x80;
+
     #[inline]
     /// Build a clock from a version and the creating machine's id.
     pub fn new(version: u64, mid: NodeId) -> Self {
@@ -65,10 +77,27 @@ impl Lc {
         Lc::new(self.version() + 1, mid)
     }
 
-    /// Owner of this clock.
+    /// The smallest **RMW-tagged** clock owned by `mid` that dominates
+    /// `self` — the decide-time mint for Paxos commit stamps (see
+    /// [`Lc::RMW_TAG`] for why the tag exists). Same version arithmetic as
+    /// [`Lc::succ`]; only the mid byte differs, so the total order and the
+    /// "successor strictly dominates" property are untouched.
+    #[inline]
+    pub fn succ_rmw(self, mid: NodeId) -> Lc {
+        Lc((self.version() + 1) << MID_BITS | (mid.0 | Self::RMW_TAG) as u64)
+    }
+
+    /// Whether this stamp was minted by an RMW commit ([`Lc::succ_rmw`]).
+    #[inline]
+    pub fn is_rmw(self) -> bool {
+        self.mid() & Self::RMW_TAG != 0
+    }
+
+    /// Owner of this clock (the RMW tag stripped, so the result is always
+    /// a real replica id).
     #[inline]
     pub fn owner(self) -> NodeId {
-        NodeId(self.mid())
+        NodeId(self.mid() & !Self::RMW_TAG)
     }
 
     /// `true` iff this clock orders strictly after `other`.
@@ -172,6 +201,27 @@ mod tests {
         let hi = Lc::new(Lc::MAX_VERSION, NodeId(255));
         assert_eq!(hi.version(), Lc::MAX_VERSION);
         assert_eq!(hi.mid(), 255);
+    }
+
+    #[test]
+    fn rmw_stamps_are_partitioned_from_relaxed_stamps() {
+        // Same observed clock, same minting machine: the RMW-tagged
+        // successor and the relaxed successor must differ — that
+        // inequality is the whole point of the partition.
+        let seen = Lc::new(9, NodeId(3));
+        let relaxed = seen.succ(NodeId(1));
+        let rmw = seen.succ_rmw(NodeId(1));
+        assert_ne!(relaxed, rmw);
+        assert_eq!(relaxed.version(), rmw.version());
+        assert!(rmw > seen && relaxed > seen, "both successors dominate");
+        assert!(rmw.is_rmw() && !relaxed.is_rmw());
+        // The tag never leaks into ownership: both stamps belong to node 1.
+        assert_eq!(rmw.owner(), NodeId(1));
+        assert_eq!(relaxed.owner(), NodeId(1));
+        // Chaining through either mint keeps versions monotone.
+        assert!(rmw.succ(NodeId(0)) > rmw);
+        assert!(relaxed.succ_rmw(NodeId(0)) > relaxed);
+        assert_eq!(Lc::ZERO.succ_rmw(NodeId(0)).version(), 1);
     }
 
     #[test]

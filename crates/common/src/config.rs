@@ -94,6 +94,28 @@ pub struct ClusterConfig {
     /// power of two by the store). Smaller leaves mean finer drill-down
     /// (fewer keys per bottom-level flat digest) but more leaf state.
     pub merkle_leaf_span: usize,
+    /// Per-node crash durability: every stamp-transitioning store apply is
+    /// appended to a CRC-framed write-ahead log, group-committed off the
+    /// hot path by a dedicated flusher thread, with periodic snapshots
+    /// truncating the log. A restarted node reloads the snapshot, replays
+    /// the WAL tail (idempotent under LLC-max) and lets anti-entropy heal
+    /// only the downtime delta instead of re-replicating the whole store.
+    /// `false` (the default) is the equivalence kill switch: no WAL thread,
+    /// no sink attached, request paths byte-identical to pre-WAL builds.
+    pub wal: bool,
+    /// Directory holding WAL segments and snapshots. Each `NodeRuntime`
+    /// appends its own `node<idx>/` subdirectory so one config serves a
+    /// whole local cluster. Must be non-empty when `wal` is on.
+    pub wal_dir: String,
+    /// Group-commit window in nanoseconds: the flusher thread wakes at this
+    /// cadence, swaps out the staged record buffer, writes and fsyncs it as
+    /// one batch. Bounds the durability lag — records are on disk at most
+    /// one window (plus one fsync) after the store apply.
+    pub wal_group_commit_ns: u64,
+    /// Interval between store snapshots (ns). Each snapshot rotates the log
+    /// to a fresh segment and deletes all older segments, so the replay
+    /// tail — and restart time — is bounded by one interval of writes.
+    pub wal_snapshot_interval_ns: u64,
     /// Low-frequency keepalive sweep interval (ns), `0` = off. Ordinary
     /// anti-entropy sweeps are activity-driven: they wind down one full
     /// store cycle after the node goes idle, so a replica that diverges
@@ -136,6 +158,10 @@ impl Default for ClusterConfig {
             merkle_fanout: 16,
             merkle_leaf_span: 64,
             commit_fill: true,
+            wal: false,
+            wal_dir: String::new(),
+            wal_group_commit_ns: 100_000,
+            wal_snapshot_interval_ns: 1_000_000_000,
             anti_entropy_keepalive_ns: 0,
         }
     }
@@ -268,6 +294,30 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder: the write-ahead-log durability kill switch.
+    pub fn wal(mut self, on: bool) -> Self {
+        self.wal = on;
+        self
+    }
+
+    /// Builder: WAL segment/snapshot directory.
+    pub fn wal_dir(mut self, dir: impl Into<String>) -> Self {
+        self.wal_dir = dir.into();
+        self
+    }
+
+    /// Builder: WAL group-commit window.
+    pub fn wal_group_commit_ns(mut self, t: u64) -> Self {
+        self.wal_group_commit_ns = t;
+        self
+    }
+
+    /// Builder: WAL snapshot (log-truncation) interval.
+    pub fn wal_snapshot_interval_ns(mut self, t: u64) -> Self {
+        self.wal_snapshot_interval_ns = t;
+        self
+    }
+
     /// Builder: idle-time keepalive sweep interval (`0` = off, the
     /// default — see the field docs for why quiesced sims need it off).
     pub fn anti_entropy_keepalive_ns(mut self, t: u64) -> Self {
@@ -341,6 +391,14 @@ impl ClusterConfig {
                 ));
             }
         }
+        if self.wal {
+            if self.wal_dir.is_empty() {
+                return Err("wal needs a non-empty wal_dir".into());
+            }
+            if self.wal_group_commit_ns == 0 || self.wal_snapshot_interval_ns == 0 {
+                return Err("wal needs non-zero group-commit and snapshot intervals".into());
+            }
+        }
         Ok(())
     }
 }
@@ -407,6 +465,35 @@ mod tests {
         );
         // A disabled mode doesn't care about its knobs.
         assert!(ClusterConfig::default().merkle_fanout(0).validate().is_ok());
+    }
+
+    #[test]
+    fn wal_knobs_default_off_and_validate() {
+        let c = ClusterConfig::default();
+        assert!(!c.wal, "the WAL is an opt-in durability mode");
+        assert!(c.wal_dir.is_empty());
+        assert_eq!(c.wal_group_commit_ns, 100_000);
+        assert_eq!(c.wal_snapshot_interval_ns, 1_000_000_000);
+        let c = c.wal(true).wal_dir("/tmp/kite-wal").wal_group_commit_ns(50_000);
+        assert!(c.wal);
+        assert_eq!(c.wal_dir, "/tmp/kite-wal");
+        assert!(c.validate().is_ok());
+        // WAL on demands a directory and non-zero flush cadences…
+        assert!(ClusterConfig::default().wal(true).validate().is_err());
+        assert!(ClusterConfig::default()
+            .wal(true)
+            .wal_dir("d")
+            .wal_group_commit_ns(0)
+            .validate()
+            .is_err());
+        assert!(ClusterConfig::default()
+            .wal(true)
+            .wal_dir("d")
+            .wal_snapshot_interval_ns(0)
+            .validate()
+            .is_err());
+        // …but the disabled mode doesn't care about its knobs.
+        assert!(ClusterConfig::default().wal_group_commit_ns(0).validate().is_ok());
     }
 
     #[test]

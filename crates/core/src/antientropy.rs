@@ -194,6 +194,19 @@ pub(crate) struct AeState {
     /// Merkle-range mode: sweeps broadcast lattice summaries instead of
     /// flat per-chunk digests (see the module docs).
     merkle: bool,
+    /// Drill-down persistence filter: per-source, the top-level buckets
+    /// that mismatched on that peer's *previous* sweep summary. A
+    /// top-level mismatch triggers a drill-down only when the same bucket
+    /// mismatched on two consecutive sweeps — real divergence is sticky
+    /// (nothing repairs it between sweeps), while a summary racing an
+    /// in-flight write is transient and (almost always) lands elsewhere
+    /// next sweep. Cuts the drill-down churn traffic of active workloads
+    /// without touching steady state (converged replicas mismatch
+    /// nothing) or liveness (a mismatch always re-arms the sweep, so the
+    /// confirming summary is at most one interval away). Indexed by
+    /// source node; drill-down child summaries (level < top) bypass the
+    /// filter — they are already confirmed divergence.
+    prev_mismatch: Vec<Vec<u32>>,
     /// Drill-down geometry (meaningful whenever a peer may speak Merkle —
     /// derived from the shared config, so always initialized).
     geom: MerkleGeom,
@@ -215,9 +228,11 @@ impl AeState {
         // in Merkle mode, drilled into) at least once more. A flat cycle
         // is one full cursor walk; a Merkle "cycle" is a single summary
         // plus one drill-down round trip per level, all within a couple of
-        // intervals — budget one interval per level plus slack.
+        // intervals — budget one interval per level plus slack, plus one
+        // more interval for the persistence filter's confirming sweep (a
+        // drill-down starts only on the second consecutive mismatch).
         let cycle = if merkle {
-            (geom.top_level as u64 + 2) * interval
+            (geom.top_level as u64 + 3) * interval
         } else {
             (store.capacity().div_ceil(chunk) as u64) * interval
         };
@@ -233,6 +248,7 @@ impl AeState {
             last_completed: 0,
             pings: 0,
             merkle,
+            prev_mismatch: vec![Vec::new(); cfg.nodes],
             geom,
             idle_since: None,
             done: !sweep,
@@ -259,7 +275,7 @@ impl AeState {
     pub(crate) fn describe(&self) -> String {
         format!(
             "sweep={} done={} cursor={} last_sweep={} last_tick={} idle_since={:?} \
-             interval={} keepalive={} chunk={} cooldown={} merkle={} geom={:?}",
+             interval={} keepalive={} chunk={} cooldown={} merkle={} suspect_buckets={} geom={:?}",
             self.sweep,
             self.done,
             self.cursor,
@@ -271,6 +287,7 @@ impl AeState {
             self.chunk,
             self.cooldown,
             self.merkle,
+            self.prev_mismatch.iter().map(|v| v.len()).sum::<usize>(),
             self.geom,
         )
     }
@@ -420,12 +437,33 @@ impl Worker {
             }
         }
         if mismatched.is_empty() {
+            if s.level == geom.top_level {
+                // Converged with this peer: drop any pending suspicion so a
+                // later transient mismatch starts the two-sweep count fresh.
+                self.ae.prev_mismatch[src.idx()].clear();
+            }
             return;
         }
         // Divergence (or an in-flight write) somewhere under these ranges:
         // keep our own sweep armed so the symmetric direction — keys only
-        // *we* hold — reaches the peer via our summaries too.
+        // *we* hold — reaches the peer via our summaries too. Re-arming
+        // happens even when the persistence filter below withholds the
+        // drill-down: the confirming sweep is what the re-arm buys.
         self.ae.rearm();
+        if s.level == geom.top_level {
+            // Persistence filter (see `AeState::prev_mismatch`): drill only
+            // into buckets that also mismatched on this peer's previous
+            // sweep; remember the full set as next sweep's suspicion.
+            let prev = std::mem::replace(&mut self.ae.prev_mismatch[src.idx()], mismatched);
+            mismatched = self.ae.prev_mismatch[src.idx()]
+                .iter()
+                .copied()
+                .filter(|b| prev.contains(b))
+                .collect();
+            if mismatched.is_empty() {
+                return;
+            }
+        }
         let c = &self.shared.counters;
         c.ae_merkle_reqs.incr();
         c.ae_digest_bytes.add(req_wire_bytes(mismatched.len()));

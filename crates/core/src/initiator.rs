@@ -1345,7 +1345,16 @@ impl Worker {
         // commit, which it applied before advancing — so commit clocks
         // grow monotonically along each key's slot chain at *every*
         // committer, owner or helper.
-        let clc = shared.store.read_lc(state.meta.key).succ(me);
+        //
+        // Minted *outside* the key's seqlock (the gather happens here, the
+        // apply at commit time), so it lives in the RMW half of the stamp
+        // space (`Lc::succ_rmw`): a concurrent fast write that observed the
+        // same clock mints `succ` with an untagged mid byte, which can
+        // never equal this stamp — without the partition the two could tie
+        // on `(version, mid)` with different values, a divergence LLC-max
+        // treats as converged and no repair can heal (pinned by the kvs
+        // race test `rmw_mints_never_collide_with_relaxed_mints`).
+        let clc = shared.store.read_lc(state.meta.key).succ_rmw(me);
         let cmd = match state.kind {
             RmwKind::Faa { delta } => Cmd {
                 op: state.meta.op_id,

@@ -37,6 +37,7 @@
 //! down at each other forever.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use kite_common::{Epoch, Key, Lc, NodeId, Val};
 use parking_lot::Mutex;
@@ -70,6 +71,22 @@ struct Slot {
     record: Record,
 }
 
+/// A durability hook fed one `(key, lc, val)` triple by **every**
+/// stamp-transitioning store apply — the same choke points that feed the
+/// Merkle leaf lattice. The write-ahead log implements this; the store
+/// stays ignorant of framing, files and fsync.
+///
+/// Called *after* the seqlock write section commits, from the applying
+/// protocol thread, so implementations must be cheap and non-blocking
+/// (the WAL stages bytes into an in-memory buffer and lets a dedicated
+/// flusher thread do the I/O). Per-key ordering is not guaranteed across
+/// racing appliers — consumers must be order-insensitive, which WAL replay
+/// is by construction (replay re-applies under the LLC-max rule).
+pub trait DurabilitySink: Send + Sync {
+    /// Record that `key` now holds `val` at clock `lc`.
+    fn record(&self, key: Key, lc: Lc, val: &Val);
+}
+
 /// A node-local replica of the KVS.
 pub struct Store {
     slots: Box<[Slot]>,
@@ -83,6 +100,10 @@ pub struct Store {
     leaves: Box<[AtomicU64]>,
     /// `home_slot >> leaf_shift` = leaf index.
     leaf_shift: u32,
+    /// Optional durability sink (the WAL), attached at most once after
+    /// recovery. Unset — the default, and every deployment with `wal`
+    /// off — costs one predictable atomic load per write.
+    sink: OnceLock<Arc<dyn DurabilitySink>>,
 }
 
 impl Store {
@@ -113,7 +134,23 @@ impl Store {
             let leaves: Box<[AtomicU64]> = (0..cap / span).map(|_| AtomicU64::new(0)).collect();
             (leaves, span.trailing_zeros())
         };
-        Store { slots, mask: (cap - 1) as u64, live: AtomicUsize::new(0), leaves, leaf_shift }
+        Store {
+            slots,
+            mask: (cap - 1) as u64,
+            live: AtomicUsize::new(0),
+            leaves,
+            leaf_shift,
+            sink: OnceLock::new(),
+        }
+    }
+
+    /// Attach the durability sink. At most once per store, and only
+    /// *after* recovery has finished replaying into it — a sink that saw
+    /// its own replay would double every record.
+    pub fn attach_sink(&self, sink: Arc<dyn DurabilitySink>) {
+        if self.sink.set(sink).is_err() {
+            panic!("durability sink already attached");
+        }
     }
 
     /// Number of slots (diagnostics).
@@ -151,6 +188,18 @@ impl Store {
         let delta = merkle_mix(key, old) ^ merkle_mix(key, new);
         if delta != 0 {
             self.leaves[self.leaf_of(key)].fetch_xor(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Feed an applied write to the durability sink, if one is attached.
+    /// Sits right next to [`Store::leaf_apply`] at every mutator's exit:
+    /// the WAL and the Merkle lattice observe exactly the same clock
+    /// transitions, which is what makes "rebuild the lattice by replaying
+    /// the WAL through the normal mutators" sound.
+    #[inline]
+    fn sink_apply(&self, key: Key, lc: Lc, val: &Val) {
+        if let Some(sink) = self.sink.get() {
+            sink.record(key, lc, val);
         }
     }
 
@@ -238,6 +287,7 @@ impl Store {
         });
         if let Some(lc) = stamped {
             self.leaf_apply(key, prev, lc);
+            self.sink_apply(key, lc, val);
         }
         stamped
     }
@@ -260,6 +310,7 @@ impl Store {
         });
         if applied {
             self.leaf_apply(key, prev, lc);
+            self.sink_apply(key, lc, val);
         }
         applied
     }
@@ -289,6 +340,7 @@ impl Store {
         });
         if applied {
             self.leaf_apply(key, prev, lc);
+            self.sink_apply(key, lc, val);
         }
         applied
     }
@@ -330,6 +382,7 @@ impl Store {
             lc
         });
         self.leaf_apply(key, prev, lc);
+        self.sink_apply(key, lc, val);
         lc
     }
 
@@ -356,6 +409,7 @@ impl Store {
             d.set_val(val);
         });
         self.leaf_apply(key, prev, lc);
+        self.sink_apply(key, lc, val);
     }
 
     /// Run `f` with exclusive access to the record's `(val, lc, epoch)`
@@ -366,13 +420,15 @@ impl Store {
         let mut transition = None;
         self.record(key).update(|d| {
             if let Some((nv, nlc)) = f(d.val(), d.lc) {
-                transition = Some((d.lc, nlc));
+                let old = d.lc;
                 d.lc = nlc;
                 d.set_val(&nv);
+                transition = Some((old, nlc, nv));
             }
         });
-        if let Some((old, new)) = transition {
+        if let Some((old, new, val)) = transition {
             self.leaf_apply(key, old, new);
+            self.sink_apply(key, new, &val);
         }
     }
 
@@ -437,6 +493,30 @@ impl Store {
             0
         } else {
             end
+        }
+    }
+
+    /// Visit every written entry as a consistent `(key, lc, val)` triple —
+    /// the snapshot-dump iteration the WAL's log-truncating checkpoint
+    /// uses. Same lock-free read discipline as [`Store::digest_range`]
+    /// (one atomic key load + one seqlock snapshot per live slot), so a
+    /// dump never blocks writers; entries written *during* the walk may or
+    /// may not appear, which is safe because the WAL segments covering the
+    /// walk are only deleted once the dump is durable and replay is
+    /// idempotent under LLC-max. `Lc::ZERO` entries (claimed, never
+    /// written) are skipped: they hold no durable state.
+    pub fn for_each_entry(&self, mut f: impl FnMut(Key, Lc, &Val)) {
+        for slot in self.slots.iter() {
+            let k = slot.key.load(Ordering::Acquire);
+            if k == EMPTY_KEY {
+                continue;
+            }
+            let d = slot.record.snapshot();
+            if d.lc == Lc::ZERO {
+                continue;
+            }
+            let val = d.val();
+            f(Key(k), d.lc, &val);
         }
     }
 
@@ -848,6 +928,115 @@ mod tests {
         // The epoch restore rides the same lock.
         s.stamp_apply(Key(2), &Val::from_u64(2), Lc::ZERO, NodeId(1), Some(Epoch(4)));
         assert_eq!(s.view(Key(2)).epoch, Epoch(4));
+    }
+
+    #[test]
+    fn rmw_mints_never_collide_with_relaxed_mints() {
+        use std::sync::Arc;
+        use std::sync::Mutex as StdMutex;
+        // RMW commit stamps are minted at Paxos decide time *outside* the
+        // key's seqlock (gather here, apply at commit), so unlike
+        // stamp_apply the lock cannot save them from reusing a (version,
+        // owner) pair a racing fast write just minted. The mid-bit
+        // partition (`Lc::succ_rmw`) must: the two classes live in
+        // disjoint halves of the stamp space.
+        //
+        // Deterministic pin first — force the exact race outcome: a decide
+        // mint from a clock observed *before* a fast write lands on the
+        // same (version, owner) pair and must still differ.
+        let s = store();
+        let seen = s.read_lc(Key(2));
+        let relaxed = s.fast_write(Key(2), &Val::from_u64(1), NodeId(0), Epoch::ZERO).unwrap();
+        let decide = seen.succ_rmw(NodeId(0));
+        assert_eq!(relaxed.version(), decide.version(), "the race really collides versions");
+        assert_eq!(relaxed.owner(), decide.owner());
+        assert_ne!(relaxed, decide, "the partition keeps the stamps distinct");
+        // Now hammer one key: relaxed writers against decide-time minters.
+        let s = Arc::new(store());
+        let relaxed = Arc::new(StdMutex::new(Vec::<Lc>::new()));
+        let rmw = Arc::new(StdMutex::new(Vec::<Lc>::new()));
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let (s, relaxed, rmw) = (Arc::clone(&s), Arc::clone(&relaxed), Arc::clone(&rmw));
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for i in 0..2000u64 {
+                    if t % 2 == 0 {
+                        mine.push(
+                            s.fast_write(Key(1), &Val::from_u64(i), NodeId(0), Epoch::ZERO)
+                                .unwrap(),
+                        );
+                    } else {
+                        // The decide-time sequence: gather outside the
+                        // lock, mint, apply by LLC-max.
+                        let lc = s.read_lc(Key(1)).succ_rmw(NodeId(0));
+                        s.apply_max(Key(1), &Val::from_u64(i), lc);
+                        mine.push(lc);
+                    }
+                }
+                if t % 2 == 0 { relaxed.lock().unwrap() } else { rmw.lock().unwrap() }
+                    .append(&mut mine);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let relaxed = relaxed.lock().unwrap().clone();
+        let rmw = rmw.lock().unwrap().clone();
+        assert!(relaxed.iter().all(|lc| !lc.is_rmw()));
+        assert!(rmw.iter().all(|lc| lc.is_rmw()));
+        let relaxed_set: std::collections::BTreeSet<Lc> = relaxed.iter().copied().collect();
+        assert!(
+            rmw.iter().all(|lc| !relaxed_set.contains(lc)),
+            "an RMW commit stamp equalled a relaxed stamp"
+        );
+    }
+
+    #[test]
+    fn sink_sees_every_mutation_path_and_for_each_entry_matches() {
+        use std::sync::Arc;
+        use std::sync::Mutex as StdMutex;
+        struct Tape(StdMutex<Vec<(Key, Lc, u64)>>);
+        impl DurabilitySink for Tape {
+            fn record(&self, key: Key, lc: Lc, val: &Val) {
+                self.0.lock().unwrap().push((key, lc, val.as_u64()));
+            }
+        }
+        let s = store();
+        let tape = Arc::new(Tape(StdMutex::new(Vec::new())));
+        // Pre-sink writes are invisible (recovery replays before attach).
+        s.apply_max(Key(9), &Val::from_u64(1), Lc::new(1, NodeId(1)));
+        s.attach_sink(Arc::clone(&tape) as Arc<dyn DurabilitySink>);
+        // Every mutator feeds the sink exactly when it feeds the lattice;
+        // rejected applies and pure claims stay silent.
+        s.fast_write(Key(1), &Val::from_u64(11), NodeId(0), Epoch::ZERO);
+        s.apply_max(Key(2), &Val::from_u64(22), Lc::new(9, NodeId(1)));
+        s.apply_max(Key(2), &Val::from_u64(99), Lc::new(1, NodeId(0))); // stale: no record
+        s.apply_max_restore(Key(3), &Val::from_u64(33), Lc::new(4, NodeId(2)), Epoch(1));
+        s.stamp_apply(Key(4), &Val::from_u64(44), Lc::ZERO, NodeId(2), None);
+        s.apply_ordered(Key(5), &Val::from_u64(55), Lc::new(7, NodeId(0)));
+        s.update_with(Key(6), |_, lc| Some((Val::from_u64(66), lc.succ(NodeId(3)))));
+        s.update_with(Key(6), |_, _| None); // declined: no record
+        s.view(Key(7)); // claim only: no record
+        let recs = tape.0.lock().unwrap().clone();
+        let keys: Vec<u64> = recs.iter().map(|(k, _, _)| k.0).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 6], "one record per applied mutation, in order");
+        for (k, lc, v) in &recs {
+            let view = s.view(*k);
+            assert_eq!((view.lc, view.val.as_u64()), (*lc, *v), "sink record matches store");
+        }
+        // for_each_entry dumps exactly the written entries (the claimed
+        // Key(7) at Lc::ZERO is skipped) and agrees with view().
+        let mut dump = Vec::new();
+        s.for_each_entry(|k, lc, v| dump.push((k.0, lc, v.as_u64())));
+        dump.sort_unstable();
+        let mut expect: Vec<(u64, Lc, u64)> = recs
+            .iter()
+            .map(|(k, lc, v)| (k.0, *lc, *v))
+            .chain(std::iter::once((9u64, Lc::new(1, NodeId(1)), 1u64)))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(dump, expect);
     }
 
     #[test]

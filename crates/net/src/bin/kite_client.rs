@@ -14,11 +14,16 @@
 //!   value (how the script proves a restarted replica anti-entropy-caught-
 //!   up: relaxed reads are local, so the value can only appear through
 //!   repair).
+//! * `fill` — bulk-load a deterministic key range with relaxed writes,
+//!   striped across one session per listed server (how the WAL e2e phase
+//!   builds a store big enough that "replay the tail" and "re-replicate
+//!   the world" are measurably different).
 //!
 //! ```text
 //! kite-client mixed --servers a:p,b:p,c:p --slot 0 --ops 40
 //! kite-client put   --servers a:p --slot 1 --key 900 --val 7777
 //! kite-client poll  --servers c:p --slot 1 --key 900 --val 7777 --timeout-secs 20
+//! kite-client fill  --servers a:p,b:p,c:p --slot 2 --key-base 1000 --count 20000
 //! ```
 
 use std::collections::HashMap;
@@ -199,6 +204,38 @@ fn phase_mixed(servers: &[String], slot: u32, ops: u64, key_base: u64) {
     }
 }
 
+/// Deterministic bulk load: key `key_base + i` gets value `i + 1`, write
+/// `i` issued by session `i % servers`. Relaxed writes keep the load on
+/// the fast path; the value rule lets any later phase (or a restarted
+/// replica's poll) recompute what every key must hold.
+fn phase_fill(servers: &[String], slot: u32, key_base: u64, count: u64) {
+    let n = servers.len() as u64;
+    let mut handles = Vec::new();
+    for (idx, addr) in servers.iter().enumerate() {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || -> Result<u64, String> {
+            let mut s = RemoteSession::connect(&addr, slot)
+                .map_err(|e| format!("connect {addr} slot {slot}: {e}"))?;
+            let mut written = 0;
+            let mut i = idx as u64;
+            while i < count {
+                s.write(Key(key_base + i), i + 1).map_err(|e| format!("fill write {i}: {e}"))?;
+                written += 1;
+                i += n;
+            }
+            Ok(written)
+        }));
+    }
+    let mut total = 0;
+    for h in handles {
+        match h.join().expect("fill thread panicked") {
+            Ok(w) => total += w,
+            Err(msg) => fail(msg),
+        }
+    }
+    println!("kite-client: fill OK — {total} keys from {key_base} across {n} sessions");
+}
+
 fn phase_put(servers: &[String], slot: u32, key: u64, val: u64) {
     let mut s = RemoteSession::connect(&servers[0], slot)
         .unwrap_or_else(|e| fail(format!("connect: {e}")));
@@ -225,7 +262,7 @@ fn phase_poll(servers: &[String], slot: u32, key: u64, val: u64, timeout: Durati
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(phase) = args.first().cloned() else {
-        eprintln!("usage: kite-client <mixed|put|poll> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T]");
+        eprintln!("usage: kite-client <mixed|put|poll|fill> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T] [--key-base K] [--count N]");
         std::process::exit(2);
     };
     let mut opts: HashMap<String, String> = HashMap::new();
@@ -249,6 +286,7 @@ fn main() {
 
     match phase.as_str() {
         "mixed" => phase_mixed(&servers, slot, num("ops", 25), num("key-base", 0)),
+        "fill" => phase_fill(&servers, slot, num("key-base", 1000), num("count", 10_000)),
         "put" => phase_put(&servers, slot, num("key", 900), num("val", 7777)),
         "poll" => phase_poll(
             &servers,

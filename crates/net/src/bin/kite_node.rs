@@ -5,6 +5,8 @@
 //!           [--workers 2] [--sessions-per-worker 4] [--keys 65536]
 //!           [--mode kite|es|abd|paxos] [--anti-entropy on|off]
 //!           [--keepalive-ns N] [--config cluster.toml]
+//!           [--wal on|off] [--wal-dir DIR] [--wal-group-commit-ns N]
+//!           [--wal-snapshot-interval-ns N]
 //! ```
 //!
 //! Topology can also come from a TOML-ish config file (`key = value` lines,
@@ -74,7 +76,9 @@ fn usage() -> ! {
         "usage: kite-node --node N --peers addr0,addr1,... \
          [--workers W] [--sessions-per-worker S] [--keys K] \
          [--mode kite|es|abd|paxos] [--anti-entropy on|off] \
-         [--keepalive-ns N] [--release-timeout-ns N] [--config FILE]"
+         [--keepalive-ns N] [--release-timeout-ns N] [--config FILE] \
+         [--wal on|off] [--wal-dir DIR] [--wal-group-commit-ns N] \
+         [--wal-snapshot-interval-ns N]"
     );
     std::process::exit(2);
 }
@@ -139,6 +143,16 @@ fn main() {
     if let Some(ae) = get("anti_entropy") {
         cluster = cluster.anti_entropy(ae == "on" || ae == "true");
     }
+    if let Some(wal) = get("wal") {
+        cluster = cluster.wal(wal == "on" || wal == "true");
+    }
+    if let Some(dir) = get("wal_dir") {
+        cluster = cluster.wal_dir(dir);
+    }
+    let (gc_default, snap_default) = (cluster.wal_group_commit_ns, cluster.wal_snapshot_interval_ns);
+    cluster = cluster
+        .wal_group_commit_ns(parse_u64("wal_group_commit_ns", gc_default))
+        .wal_snapshot_interval_ns(parse_u64("wal_snapshot_interval_ns", snap_default));
 
     install_signal_handlers();
 
@@ -149,6 +163,19 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // Machine-greppable recovery line (the e2e script asserts the restart
+    // replayed a tail instead of re-replicating the world).
+    if let Some(r) = runtime.recovery() {
+        println!(
+            "kite-node: node {} recovered snapshot_entries={} wal_records={} segments={} \
+             truncated={}",
+            runtime.node(),
+            r.snapshot_entries,
+            r.replayed_records,
+            r.segments,
+            r.truncated
+        );
+    }
     // Machine-greppable readiness line (the e2e script waits for it).
     println!("kite-node: node {} ready on {} (mode {:?})", runtime.node(), runtime.addr(), mode);
 

@@ -22,6 +22,8 @@ use kite::session::{Session, SessionDriver};
 use kite::wire::{self, ClientFrame};
 use kite::{NodeShared, ProtocolMode, SessionHandle, Worker};
 use kite_common::{ClusterConfig, KiteError, NodeId, Result, SessionId};
+use kite_kvs::DurabilitySink;
+use kite_wal::{RecoveryStats, Wal};
 use parking_lot::Mutex;
 
 use crate::fabric::{spawn_tcp_workers, NodeStopHandle, TcpNet, TcpNetCfg, TcpWorkerIo};
@@ -63,6 +65,8 @@ pub struct NodeRuntime {
     slots: Arc<Mutex<Vec<Option<SessionPlumbing>>>>,
     client_stop: Arc<AtomicBool>,
     client_threads: Vec<JoinHandle<()>>,
+    wal: Option<Arc<Wal>>,
+    recovery: Option<RecoveryStats>,
 }
 
 impl NodeRuntime {
@@ -90,6 +94,32 @@ impl NodeRuntime {
         .map_err(|e| KiteError::Net(format!("bind fabric: {e}")))?;
 
         let shared = NodeShared::new(cfg.me, ccfg.clone(), Arc::clone(&net.counters));
+
+        // Durability: recover whatever the previous incarnation made
+        // durable *before* the workers (or the WAL sink — a sink observing
+        // its own replay would double every record) can see the store, then
+        // attach the group-commit log to the store's apply choke points.
+        // Replaying through `apply_max` rebuilds the Merkle lattice, so the
+        // first anti-entropy sweep against the peers heals exactly the
+        // downtime delta.
+        let (wal, recovery) = if ccfg.wal {
+            let dir =
+                std::path::Path::new(&ccfg.wal_dir).join(format!("node{}", cfg.me.idx()));
+            let stats = kite_wal::recover_into(&dir, &shared.store)
+                .map_err(|e| KiteError::Net(format!("wal recovery: {e}")))?;
+            let src = Arc::clone(&shared);
+            let wal = Wal::open(
+                &dir,
+                ccfg.wal_group_commit_ns,
+                ccfg.wal_snapshot_interval_ns,
+                Box::new(move |f| src.store.for_each_entry(|k, lc, v| f(k, lc, v))),
+            )
+            .map_err(|e| KiteError::Net(format!("wal open: {e}")))?;
+            shared.store.attach_sink(Arc::clone(&wal) as Arc<dyn DurabilitySink>);
+            (Some(wal), Some(stats))
+        } else {
+            (None, None)
+        };
 
         // Session plumbing: identical wiring to `Cluster::launch`, one node.
         let mut slots: Vec<Option<SessionPlumbing>> = Vec::new();
@@ -139,6 +169,8 @@ impl NodeRuntime {
             slots,
             client_stop,
             client_threads,
+            wal,
+            recovery,
         })
     }
 
@@ -181,14 +213,29 @@ impl NodeRuntime {
         Ok(SessionHandle::from_channels(SessionId::new(self.me, slot), tx, rx))
     }
 
+    /// The node's write-ahead log, when durability is on.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// What boot-time recovery found, when durability is on.
+    pub fn recovery(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
     /// Per-peer link state + counters dump (the transport half of a
-    /// watchdog report).
+    /// watchdog report), plus WAL flush/lag state when durability is on.
     pub fn describe(&self) -> String {
+        let wal = match &self.wal {
+            Some(w) => format!(" {}", w.describe()),
+            None => String::new(),
+        };
         format!(
-            "node {} mode={:?} completed={} {}",
+            "node {} mode={:?} completed={} ae_repairs={} {}{wal}",
             self.me,
             self.mode,
             self.net.counters.completed.get(),
+            self.net.counters.ae_repairs_applied.get(),
             self.net.describe()
         )
     }
@@ -233,6 +280,13 @@ impl NodeRuntime {
         }
         if let Some(stop) = self.stop.take() {
             stop.stop_and_join();
+        }
+        // Workers are parked: nothing mutates the store anymore, so the
+        // final flush + snapshot capture every applied write and the next
+        // boot restarts with zero replay. Ordering matters — a WAL
+        // shutdown with workers still running would lose their tail.
+        if let Some(wal) = self.wal.take() {
+            wal.shutdown();
         }
         // TcpNet::drop joins the fabric threads when `self` drops.
     }

@@ -1,0 +1,594 @@
+//! # kite-wal
+//!
+//! Per-replica crash durability: a group-committed, CRC-framed
+//! write-ahead log with periodic log-truncating snapshots, feeding the
+//! snapshot-plus-tail-replay restart path.
+//!
+//! The store calls [`kite_kvs::DurabilitySink::record`] from every
+//! stamp-transitioning apply — the same choke points that feed the Merkle
+//! leaf lattice. The sink implementation here does the minimum possible on
+//! the protocol thread: encode one frame into a stack buffer and append it
+//! to a mutex-guarded **staging buffer**. A dedicated flusher thread wakes
+//! every `group_commit_ns`, swaps the staging buffer against a recycled
+//! spare (two buffers ping-pong forever — steady-state appends and flushes
+//! are allocation-free once the buffers have grown to the working set),
+//! writes the batch to the active segment and `fsync`s it once. Protocol
+//! threads never block on I/O; the durability lag is bounded by one
+//! group-commit window plus one fsync and is reported in [`Wal::stats`].
+//!
+//! Every `snapshot_interval_ns` (and on [`Wal::shutdown`]) the flusher
+//! **rotates**: seal the active segment, open segment `S+1`, dump the
+//! whole store to `snap-<S+1>.tmp`, fsync, rename to `.snap`, then delete
+//! every older segment and snapshot. The ordering argument: a record
+//! staged before the rotation swap was *applied to the store before the
+//! dump started* (apply happens-before stage), so the snapshot covers
+//! every sealed segment; records staged after the swap land in segment
+//! `S+1`, which recovery replays on top. Either way nothing durable is
+//! lost, and duplicates are free because replay is idempotent under
+//! LLC-max (see [`recover`]).
+//!
+//! On-disk formats, byte budgets and torn-tail semantics live in
+//! [`frame`]; the restart path in [`recover`].
+
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod recover;
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kite_common::{Key, Lc, Val};
+use kite_kvs::DurabilitySink;
+
+pub use recover::{recover_into, segment_path, snapshot_path, RecoveryStats};
+
+/// Store-iteration callback: the WAL asks its owner to walk every written
+/// entry when dumping a snapshot (a boxed closure over
+/// `Store::for_each_entry`, erased so this crate needs no handle to the
+/// node's shared state).
+pub type SnapshotSource = Box<dyn Fn(&mut dyn FnMut(Key, Lc, &Val)) + Send + Sync>;
+
+/// Staging state shared between appenders and the flusher.
+struct Staging {
+    /// Frames staged since the last swap; recycled, never shrunk.
+    buf: Vec<u8>,
+    /// Total bytes ever staged (monotone; `durable` chases it).
+    appended: u64,
+    /// Total staged bytes that have been written **and fsynced**.
+    durable: u64,
+    /// Active segment sequence number.
+    seq: u64,
+}
+
+/// Monotone counters exported to the watchdog dump.
+#[derive(Default)]
+struct Counters {
+    records: AtomicU64,
+    flush_batches: AtomicU64,
+    fsyncs: AtomicU64,
+    snapshots: AtomicU64,
+    snapshot_entries: AtomicU64,
+}
+
+/// A point-in-time view of the WAL's health, for logs and the watchdog
+/// report. `lag_bytes` is the staged-but-not-yet-durable backlog — bounded
+/// by one group-commit window of traffic when the flusher is healthy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalStats {
+    /// Records appended by the store sink.
+    pub records: u64,
+    /// Bytes staged.
+    pub appended_bytes: u64,
+    /// Bytes written + fsynced.
+    pub durable_bytes: u64,
+    /// `appended_bytes - durable_bytes`.
+    pub lag_bytes: u64,
+    /// Group-commit batches written.
+    pub flush_batches: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Snapshots (= log truncations) completed.
+    pub snapshots: u64,
+    /// Entries in the most recent snapshot.
+    pub snapshot_entries: u64,
+}
+
+/// The write-ahead log. Construct with [`Wal::open`] (after
+/// [`recover_into`]), attach to the store with `Store::attach_sink`, and
+/// call [`Wal::shutdown`] for a clean exit (final flush + snapshot, so the
+/// next boot replays nothing).
+pub struct Wal {
+    dir: PathBuf,
+    group_commit: Duration,
+    snapshot_interval: Duration,
+    inner: Mutex<Staging>,
+    /// Wakes the flusher early (flush/snapshot/stop requests; appenders
+    /// never signal — waking per record would defeat group commit).
+    wake: Condvar,
+    /// Signals appender-side waiters that `durable`/`snapshots` advanced.
+    done: Condvar,
+    stop: AtomicBool,
+    flush_req: AtomicBool,
+    snap_req: AtomicBool,
+    skip_final_snapshot: AtomicBool,
+    counters: Counters,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+fn open_segment(dir: &Path, seq: u64) -> io::Result<File> {
+    let mut f = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(segment_path(dir, seq))?;
+    f.write_all(&frame::file_header(frame::SEG_MAGIC, seq))?;
+    f.sync_data()?;
+    Ok(f)
+}
+
+impl Wal {
+    /// Open (creating if needed) the WAL under `dir` and start the flusher
+    /// thread. A fresh segment is always opened — one past the highest
+    /// sequence present — so a torn tail left by a crash is never appended
+    /// to. Call only after [`recover_into`] has replayed `dir`.
+    pub fn open(
+        dir: &Path,
+        group_commit_ns: u64,
+        snapshot_interval_ns: u64,
+        source: SnapshotSource,
+    ) -> io::Result<Arc<Wal>> {
+        fs::create_dir_all(dir)?;
+        let newest = recover::list_files(dir, "wal-", ".log")?
+            .last()
+            .map(|(seq, _)| *seq)
+            .max(recover::list_files(dir, "snap-", ".snap")?.last().map(|(seq, _)| *seq))
+            .unwrap_or(0);
+        let seq = newest + 1;
+        let seg = open_segment(dir, seq)?;
+        let wal = Arc::new(Wal {
+            dir: dir.to_path_buf(),
+            group_commit: Duration::from_nanos(group_commit_ns.max(1)),
+            snapshot_interval: Duration::from_nanos(snapshot_interval_ns.max(1)),
+            inner: Mutex::new(Staging {
+                buf: Vec::with_capacity(1 << 16),
+                appended: 0,
+                durable: 0,
+                seq,
+            }),
+            wake: Condvar::new(),
+            done: Condvar::new(),
+            stop: AtomicBool::new(false),
+            flush_req: AtomicBool::new(false),
+            snap_req: AtomicBool::new(false),
+            skip_final_snapshot: AtomicBool::new(false),
+            counters: Counters::default(),
+            flusher: Mutex::new(None),
+        });
+        let handle = {
+            let wal = Arc::clone(&wal);
+            std::thread::Builder::new()
+                .name("kite-wal-flusher".into())
+                .spawn(move || wal.flusher_loop(seg, source))?
+        };
+        *wal.flusher.lock().unwrap() = Some(handle);
+        Ok(wal)
+    }
+
+    /// Current counters and lag.
+    pub fn stats(&self) -> WalStats {
+        let (appended, durable) = {
+            let inner = self.inner.lock().unwrap();
+            (inner.appended, inner.durable)
+        };
+        WalStats {
+            records: self.counters.records.load(Ordering::Relaxed),
+            appended_bytes: appended,
+            durable_bytes: durable,
+            lag_bytes: appended - durable,
+            flush_batches: self.counters.flush_batches.load(Ordering::Relaxed),
+            fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            snapshots: self.counters.snapshots.load(Ordering::Relaxed),
+            snapshot_entries: self.counters.snapshot_entries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One-line health summary for the watchdog dump.
+    pub fn describe(&self) -> String {
+        let s = self.stats();
+        format!(
+            "wal records={} durable={}B lag={}B batches={} fsyncs={} snapshots={} snap_entries={}",
+            s.records, s.durable_bytes, s.lag_bytes, s.flush_batches, s.fsyncs, s.snapshots,
+            s.snapshot_entries
+        )
+    }
+
+    /// Block until everything staged before this call is fsynced.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        let target = inner.appended;
+        self.flush_req.store(true, Ordering::Relaxed);
+        self.wake.notify_all();
+        while inner.durable < target && !self.stop.load(Ordering::Relaxed) {
+            inner = self.done.wait(inner).unwrap();
+        }
+    }
+
+    /// Force a snapshot + log truncation now and wait for it to complete.
+    pub fn snapshot_now(&self) {
+        let target = self.counters.snapshots.load(Ordering::Relaxed) + 1;
+        self.snap_req.store(true, Ordering::Relaxed);
+        self.wake.notify_all();
+        let mut inner = self.inner.lock().unwrap();
+        while self.counters.snapshots.load(Ordering::Relaxed) < target
+            && !self.stop.load(Ordering::Relaxed)
+        {
+            inner = self.done.wait(inner).unwrap();
+        }
+    }
+
+    /// Clean shutdown: final flush, final snapshot, flusher joined. After
+    /// this the next boot loads the snapshot and replays an empty tail.
+    /// Idempotent; later `record` calls are staged but never flushed.
+    pub fn shutdown(&self) {
+        self.stop_flusher();
+    }
+
+    /// Stop the flusher after a final flush but **without** the final
+    /// snapshot: the segments stay exactly as flushed — the on-disk state
+    /// of a crash whose tail happened to be durable. Fault-injection
+    /// tests use this to freeze a durable prefix they then corrupt.
+    pub fn close(&self) {
+        self.skip_final_snapshot.store(true, Ordering::Relaxed);
+        self.stop_flusher();
+    }
+
+    fn stop_flusher(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.wake.notify_all();
+        let handle = self.flusher.lock().unwrap().take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        // Unblock any flush()/snapshot_now() waiters racing the shutdown.
+        let _guard = self.inner.lock().unwrap();
+        self.done.notify_all();
+    }
+
+    // ---- flusher ---------------------------------------------------------
+
+    fn flusher_loop(&self, mut seg: File, source: SnapshotSource) {
+        let mut spare: Vec<u8> = Vec::with_capacity(1 << 16);
+        let mut last_snapshot = Instant::now();
+        loop {
+            // Sleep out the group-commit window (early wake on requests).
+            {
+                let mut inner = self.inner.lock().unwrap();
+                let deadline = Instant::now() + self.group_commit;
+                loop {
+                    if self.stop.load(Ordering::Relaxed)
+                        || self.flush_req.load(Ordering::Relaxed)
+                        || self.snap_req.load(Ordering::Relaxed)
+                    {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    inner = self.wake.wait_timeout(inner, deadline - now).unwrap().0;
+                }
+            }
+            self.flush_req.store(false, Ordering::Relaxed);
+            let stopping = self.stop.load(Ordering::Relaxed);
+
+            // Swap staging out and commit the batch.
+            if self.commit_batch(&mut seg, &mut spare).is_err() {
+                // Disk trouble: durability is lost but the replica keeps
+                // serving (same availability stance as running WAL-off).
+                // Retry next window.
+            }
+
+            let snapshot_due = self.snap_req.swap(false, Ordering::Relaxed)
+                || last_snapshot.elapsed() >= self.snapshot_interval;
+            let wants_snapshot = if stopping {
+                !self.skip_final_snapshot.load(Ordering::Relaxed)
+            } else {
+                snapshot_due
+            };
+            if wants_snapshot {
+                if let Ok(new_seg) = self.rotate_and_snapshot(seg, &mut spare, &source) {
+                    seg = new_seg;
+                    last_snapshot = Instant::now();
+                } else {
+                    // Rotation failed irrecoverably (the old segment file
+                    // is consumed): stop so waiters never hang.
+                    self.stop.store(true, Ordering::Relaxed);
+                    let _guard = self.inner.lock().unwrap();
+                    self.done.notify_all();
+                    return;
+                }
+                let _guard = self.inner.lock().unwrap();
+                self.done.notify_all();
+            }
+            if stopping {
+                return;
+            }
+        }
+    }
+
+    /// Swap the staging buffer against `spare`, write it to `seg`, fsync,
+    /// and publish the new durable watermark.
+    fn commit_batch(&self, seg: &mut File, spare: &mut Vec<u8>) -> io::Result<()> {
+        let watermark = {
+            let mut inner = self.inner.lock().unwrap();
+            std::mem::swap(&mut inner.buf, spare);
+            inner.appended
+        };
+        if !spare.is_empty() {
+            seg.write_all(spare)?;
+            seg.sync_data()?;
+            self.counters.flush_batches.fetch_add(1, Ordering::Relaxed);
+            self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            spare.clear();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.durable = inner.durable.max(watermark);
+        drop(inner);
+        self.done.notify_all();
+        Ok(())
+    }
+
+    /// The rotation protocol (see the crate docs for the ordering
+    /// argument): seal the old segment, open `S+1`, dump the store to a
+    /// temp snapshot, fsync + rename, prune everything older.
+    fn rotate_and_snapshot(
+        &self,
+        mut seg: File,
+        spare: &mut Vec<u8>,
+        source: &SnapshotSource,
+    ) -> io::Result<File> {
+        // 1. Swap any residue and bump the segment sequence: appends from
+        //    here on belong to the new segment.
+        let (watermark, new_seq) = {
+            let mut inner = self.inner.lock().unwrap();
+            std::mem::swap(&mut inner.buf, spare);
+            inner.seq += 1;
+            (inner.appended, inner.seq)
+        };
+        // 2. Seal the old segment with the residue.
+        if !spare.is_empty() {
+            seg.write_all(spare)?;
+            self.counters.flush_batches.fetch_add(1, Ordering::Relaxed);
+            spare.clear();
+        }
+        seg.sync_data()?;
+        self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        drop(seg);
+        let new_seg = open_segment(&self.dir, new_seq)?;
+        {
+            let mut inner = self.inner.lock().unwrap();
+            inner.durable = inner.durable.max(watermark);
+        }
+        self.done.notify_all();
+
+        // 3. Dump the store. Every record sealed above was applied to the
+        //    store before this walk starts, so the snapshot covers all
+        //    sealed segments.
+        let tmp = self.dir.join(format!("snap-{new_seq:010}.tmp"));
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(&frame::file_header(frame::SNAP_MAGIC, new_seq))?;
+        let mut count: u64 = 0;
+        let mut err: Option<io::Error> = None;
+        {
+            let mut frame_buf = [0u8; frame::MAX_FRAME];
+            source(&mut |key, lc, val| {
+                if err.is_some() {
+                    return;
+                }
+                let n = frame::encode_into(&mut frame_buf, key, lc, val);
+                match w.write_all(&frame_buf[..n]) {
+                    Ok(()) => count += 1,
+                    Err(e) => err = Some(e),
+                }
+            });
+        }
+        if let Some(e) = err {
+            let _ = fs::remove_file(&tmp);
+            return Err(e);
+        }
+        let mut marker = Vec::with_capacity(frame::FRAME_HEADER_LEN);
+        frame::append_end_marker(&mut marker, count as u32);
+        w.write_all(&marker)?;
+        let f = w.into_inner().map_err(|e| e.into_error())?;
+        f.sync_data()?;
+        self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        fs::rename(&tmp, snapshot_path(&self.dir, new_seq))?;
+
+        // 4. Prune: the snapshot supersedes every older file.
+        for (seq, path) in recover::list_files(&self.dir, "wal-", ".log")? {
+            if seq < new_seq {
+                let _ = fs::remove_file(path);
+            }
+        }
+        for (seq, path) in recover::list_files(&self.dir, "snap-", ".snap")? {
+            if seq < new_seq {
+                let _ = fs::remove_file(path);
+            }
+        }
+        self.counters.snapshot_entries.store(count, Ordering::Relaxed);
+        self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(new_seg)
+    }
+}
+
+impl DurabilitySink for Wal {
+    /// The hot path: one stack-buffer encode + one `extend_from_slice`
+    /// into the recycled staging buffer. No syscalls, no waking, no
+    /// allocation once the buffer reached its working-set capacity.
+    fn record(&self, key: Key, lc: Lc, val: &Val) {
+        let mut frame_buf = [0u8; frame::MAX_FRAME];
+        let n = frame::encode_into(&mut frame_buf, key, lc, val);
+        let mut inner = self.inner.lock().unwrap();
+        inner.buf.extend_from_slice(&frame_buf[..n]);
+        inner.appended += n as u64;
+        drop(inner);
+        self.counters.records.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kite_common::{Epoch, NodeId};
+    use kite_kvs::Store;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kite-wal-ut-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open_plain(dir: &Path) -> Arc<Wal> {
+        // Snapshot interval pushed out so tests control rotation.
+        Wal::open(dir, 200_000, u64::MAX / 4, Box::new(|_| {})).unwrap()
+    }
+
+    #[test]
+    fn append_flush_recover_round_trips() {
+        let dir = tempdir("roundtrip");
+        let wal = open_plain(&dir);
+        for i in 0..100u64 {
+            wal.record(Key(i), Lc::new(i + 1, NodeId(1)), &Val::from_u64(i * 3));
+        }
+        wal.flush();
+        let s = wal.stats();
+        assert_eq!(s.records, 100);
+        assert_eq!(s.lag_bytes, 0, "flush drains the lag");
+        assert!(s.fsyncs >= 1);
+        wal.close();
+
+        let store = Store::new(256);
+        let stats = recover_into(&dir, &store).unwrap();
+        assert!(!stats.truncated);
+        assert_eq!(store.len(), 100);
+        for i in 0..100u64 {
+            let v = store.view(Key(i));
+            assert_eq!(v.val.as_u64(), i * 3);
+            assert_eq!(v.lc, Lc::new(i + 1, NodeId(1)));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_rotation_truncates_the_log() {
+        let dir = tempdir("rotate");
+        let store = Arc::new(Store::new(256));
+        let src = Arc::clone(&store);
+        let wal = Wal::open(
+            &dir,
+            100_000,
+            u64::MAX / 4,
+            Box::new(move |f| src.for_each_entry(|k, lc, v| f(k, lc, v))),
+        )
+        .unwrap();
+        store.attach_sink(Arc::clone(&wal) as Arc<dyn DurabilitySink>);
+        for i in 0..50u64 {
+            store.apply_max(Key(i), &Val::from_u64(i + 1), Lc::new(5, NodeId(2)));
+        }
+        wal.snapshot_now();
+        let s = wal.stats();
+        assert_eq!(s.snapshots, 1);
+        assert_eq!(s.snapshot_entries, 50);
+        // Exactly one segment (the fresh one) and one snapshot remain.
+        assert_eq!(recover::list_files(&dir, "wal-", ".log").unwrap().len(), 1);
+        assert_eq!(recover::list_files(&dir, "snap-", ".snap").unwrap().len(), 1);
+        // Post-snapshot writes land in the tail and replay on top
+        // (close, not shutdown: a final snapshot would absorb the tail).
+        store.apply_max(Key(7), &Val::from_u64(777), Lc::new(9, NodeId(0)));
+        wal.close();
+        let recovered = Store::new(256);
+        let stats = recover_into(&dir, &recovered).unwrap();
+        assert!(stats.snapshot_seq.is_some());
+        assert!(stats.snapshot_entries + stats.replayed_records >= 51);
+        assert_eq!(recovered.view(Key(7)).val.as_u64(), 777);
+        assert_eq!(recovered.view(Key(3)).val.as_u64(), 4);
+        assert_eq!(recovered.len(), 50);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graceful_shutdown_leaves_zero_replay() {
+        let dir = tempdir("graceful");
+        let store = Arc::new(Store::new(64));
+        let src = Arc::clone(&store);
+        let wal = Wal::open(
+            &dir,
+            100_000,
+            u64::MAX / 4,
+            Box::new(move |f| src.for_each_entry(|k, lc, v| f(k, lc, v))),
+        )
+        .unwrap();
+        store.attach_sink(Arc::clone(&wal) as Arc<dyn DurabilitySink>);
+        for i in 0..20u64 {
+            store.fast_write(Key(i), &Val::from_u64(i), NodeId(0), Epoch::ZERO);
+        }
+        wal.shutdown(); // final flush + snapshot
+        let recovered = Store::new(64);
+        let stats = recover_into(&dir, &recovered).unwrap();
+        assert_eq!(stats.replayed_records, 0, "a clean exit replays nothing");
+        assert!(stats.snapshot_seq.is_some());
+        assert_eq!(recovered.len(), 20);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_never_appends_to_an_old_segment() {
+        let dir = tempdir("reopen");
+        let wal = open_plain(&dir);
+        wal.record(Key(1), Lc::new(1, NodeId(0)), &Val::from_u64(1));
+        wal.flush();
+        wal.close();
+        let first = recover::list_files(&dir, "wal-", ".log").unwrap();
+        let wal = open_plain(&dir);
+        wal.record(Key(2), Lc::new(1, NodeId(0)), &Val::from_u64(2));
+        wal.flush();
+        wal.close();
+        let second = recover::list_files(&dir, "wal-", ".log").unwrap();
+        assert!(second.len() > first.len(), "a reopen opens a fresh segment");
+        let store = Store::new(64);
+        recover_into(&dir, &store).unwrap();
+        assert_eq!(store.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_appenders_all_become_durable() {
+        let dir = tempdir("concurrent");
+        let wal = open_plain(&dir);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let wal = Arc::clone(&wal);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let k = t * 1000 + i;
+                    wal.record(Key(k), Lc::new(i + 1, NodeId(t as u8)), &Val::from_u64(k));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        wal.flush();
+        wal.close();
+        let store = Store::new(4096);
+        let stats = recover_into(&dir, &store).unwrap();
+        assert_eq!(stats.replayed_records, 2000);
+        assert_eq!(store.len(), 2000);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -14,6 +14,15 @@
 #   5. SIGTERM everything and assert every node exits 0 (clean shutdown
 #      through the stop-flag path).
 #
+# After the iteration loop, one WAL recovery phase (heavier, so run once):
+# the same SIGKILL-restart dance at a ≥100k-key config with a ~20k-key
+# store, once with the write-ahead log on and once off. The restarted
+# node's repair counter proves the durability claim — with the WAL, a
+# restart replays the local tail and anti-entropy heals only the downtime
+# delta; without it, the node comes back empty and the sweep re-replicates
+# the world. A final graceful-restart check asserts SIGTERM's
+# flush+snapshot leaves zero replay.
+#
 # Usage: scripts/e2e_tcp.sh [iterations]   (default 1; loop it à la
 #        scripts/stress.sh for CI soak runs)
 set -euo pipefail
@@ -112,4 +121,117 @@ for iter in $(seq 1 "$ITERS"); do
     PORT_BASE=$((PORT_BASE + 3))
 done
 
-echo "all $ITERS iteration(s) green"
+# ---------------------------------------------------------------------------
+# WAL recovery phase: replay-the-tail vs re-replicate-the-world
+# ---------------------------------------------------------------------------
+FILL_COUNT=20000
+DELTA_COUNT=300
+LAST_FILL_KEY=$((1000 + FILL_COUNT - 1))      # fill keys are 1000..1000+count
+LAST_DELTA_KEY=$((50000 + DELTA_COUNT - 1))   # delta keys are 50000..50000+count
+
+wal_run() { # wal_run <on|off> -> echoes the restarted node's repair count
+    local wal="$1"
+    local logdir waldir
+    logdir="$(mktemp -d)"
+    waldir="$(mktemp -d)"
+    P0="127.0.0.1:$((PORT_BASE))"
+    P1="127.0.0.1:$((PORT_BASE + 1))"
+    P2="127.0.0.1:$((PORT_BASE + 2))"
+    PORT_BASE=$((PORT_BASE + 3))
+    NODE_ARGS=(--peers "$P0,$P1,$P2" --workers 1 --sessions-per-worker 6 \
+               --keys 131072 --keepalive-ns 50000000)
+    if [ "$wal" = on ]; then
+        NODE_ARGS+=(--wal on --wal-dir "$waldir")
+    fi
+    start_node 0 "$logdir/n0.log"
+    start_node 1 "$logdir/n1.log"
+    start_node 2 "$logdir/n2.log"
+    wait_ready "$logdir/n0.log" >&2
+    wait_ready "$logdir/n1.log" >&2
+    wait_ready "$logdir/n2.log" >&2
+
+    echo "-- wal=$wal: fill $FILL_COUNT keys, then SIGKILL node 2" >&2
+    "$CLIENT_BIN" fill --servers "$P0,$P1,$P2" --slot 0 --key-base 1000 --count "$FILL_COUNT" >&2
+    sleep 1   # let replication + group commit drain node 2's tail
+    kill -9 "${PIDS[2]}"
+    wait "${PIDS[2]}" 2>/dev/null || true
+
+    echo "-- wal=$wal: write the downtime delta against the majority" >&2
+    "$CLIENT_BIN" fill --servers "$P0,$P1" --slot 2 --key-base 50000 --count "$DELTA_COUNT" >&2
+    "$CLIENT_BIN" put  --servers "$P0" --slot 3 --key 900 --val 7777 >&2
+
+    echo "-- wal=$wal: restart node 2, wait for full convergence" >&2
+    start_node 2 "$logdir/n2-restart.log"
+    wait_ready "$logdir/n2-restart.log" >&2
+    if [ "$wal" = on ]; then
+        # The boot line must prove the restart recovered the pre-crash
+        # store locally instead of starting empty.
+        grep -q "recovered" "$logdir/n2-restart.log" \
+            || { echo "!! wal=on restart printed no recovery line" >&2; exit 1; }
+        local recov snap_n wal_n
+        recov="$(grep "recovered" "$logdir/n2-restart.log")"
+        echo "   $recov" >&2
+        snap_n="$(sed -n 's/.*snapshot_entries=\([0-9]*\).*/\1/p' <<<"$recov")"
+        wal_n="$(sed -n 's/.*wal_records=\([0-9]*\).*/\1/p' <<<"$recov")"
+        if [ "$((snap_n + wal_n))" -lt "$FILL_COUNT" ]; then
+            echo "!! wal=on recovery too small: snapshot=$snap_n + wal=$wal_n < $FILL_COUNT" >&2
+            exit 1
+        fi
+    fi
+    # Relaxed reads on node 2 are local: seeing the sentinel, the last
+    # delta key AND the last fill key proves its store fully caught up
+    # (for wal=off every one of these arrives via repair traffic).
+    "$CLIENT_BIN" poll --servers "$P2" --slot 0 --key 900 --val 7777 --timeout-secs 60 >&2
+    "$CLIENT_BIN" poll --servers "$P2" --slot 1 --key "$LAST_DELTA_KEY" --val "$DELTA_COUNT" --timeout-secs 60 >&2
+    "$CLIENT_BIN" poll --servers "$P2" --slot 2 --key "$LAST_FILL_KEY" --val "$FILL_COUNT" --timeout-secs 120 >&2
+    sleep 1   # let in-flight repair chunks finish counting
+
+    echo "-- wal=$wal: SIGTERM all, read node 2's repair counter" >&2
+    for n in 0 1 2; do kill -TERM "${PIDS[$n]}"; done
+    for n in 0 1 2; do
+        wait "${PIDS[$n]}" || { echo "!! wal=$wal node $n unclean exit" >&2; \
+                                tail -30 "$logdir/n$n"*.log >&2; exit 1; }
+    done
+    PIDS=()
+    local repairs
+    repairs="$(sed -n 's/.*ae_repairs=\([0-9]*\).*/\1/p' "$logdir/n2-restart.log" | tail -1)"
+    [ -n "$repairs" ] || { echo "!! wal=$wal: no ae_repairs in node 2 shutdown dump" >&2; exit 1; }
+
+    if [ "$wal" = on ]; then
+        echo "-- wal=on: graceful-shutdown restart must replay zero records" >&2
+        P2b="127.0.0.1:$((PORT_BASE))"
+        PORT_BASE=$((PORT_BASE + 3))
+        NODE_ARGS=(--peers "$P0,$P1,$P2b" --workers 1 --sessions-per-worker 6 \
+                   --keys 131072 --keepalive-ns 50000000 --wal on --wal-dir "$waldir")
+        start_node 2 "$logdir/n2-graceful.log"
+        wait_ready "$logdir/n2-graceful.log" >&2
+        grep "recovered" "$logdir/n2-graceful.log" >&2
+        grep -q "wal_records=0 " "$logdir/n2-graceful.log" \
+            || { echo "!! graceful shutdown left a WAL tail to replay" >&2; exit 1; }
+        grep -Eq "snapshot_entries=[1-9][0-9]*" "$logdir/n2-graceful.log" \
+            || { echo "!! graceful shutdown snapshot is empty" >&2; exit 1; }
+        kill -TERM "${PIDS[2]}"
+        wait "${PIDS[2]}" || { echo "!! graceful-restart node unclean exit" >&2; exit 1; }
+        PIDS=()
+    fi
+    rm -rf "$logdir" "$waldir"
+    echo "$repairs"
+}
+
+echo "== WAL recovery phase: kill-restart-verify at ${FILL_COUNT}-key scale, wal on vs off =="
+REPAIRS_ON="$(wal_run on)"
+REPAIRS_OFF="$(wal_run off)"
+echo "   restarted-node repairs: wal=on $REPAIRS_ON vs wal=off $REPAIRS_OFF"
+# wal=off re-replicates the whole store (~20k repairs); wal=on replays the
+# tail locally and repairs only the downtime delta (~300 + sentinel +
+# in-flight stragglers). Require a wide structural gap, not exact counts.
+if [ "$REPAIRS_OFF" -lt $((FILL_COUNT / 2)) ]; then
+    echo "!! wal=off restart repaired only $REPAIRS_OFF keys — re-replication never happened?"
+    exit 1
+fi
+if [ "$REPAIRS_ON" -ge $((REPAIRS_OFF / 5)) ]; then
+    echo "!! WAL recovery did not shrink repair traffic: $REPAIRS_ON vs $REPAIRS_OFF"
+    exit 1
+fi
+
+echo "all $ITERS iteration(s) + WAL recovery phase green"

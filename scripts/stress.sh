@@ -9,10 +9,11 @@
 # failing iteration's full output is preserved.
 #
 # Each iteration also runs the anti-entropy fault suites — the flat-sweep
-# convergence/equivalence tests (tests/antientropy.rs) and the
-# Merkle-digest loss+crash ablation (tests/merkle_faults.rs) — so sweep
-# liveness and the merkle_digests kill switch stay covered by the loop,
-# not just by one-shot CI.
+# convergence/equivalence tests (tests/antientropy.rs), the Merkle-digest
+# loss+crash ablation (tests/merkle_faults.rs) and the WAL torn-write /
+# corruption / kill-switch suite (tests/wal_faults.rs) — so sweep
+# liveness, the merkle_digests kill switch and crash durability stay
+# covered by the loop, not just by one-shot CI.
 #
 # Usage: scripts/stress.sh [iterations] [test-filter]
 #   iterations   default 50
@@ -24,7 +25,7 @@ N="${1:-50}"
 FILTER="${2:-threaded_mutex_exact_under_message_loss}"
 
 echo "== building test binaries =="
-cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --no-run
+cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --test wal_faults --no-run
 
 run_logged() {
     # run_logged <iteration> <label> <cmd...>: run one test binary under a
@@ -54,6 +55,8 @@ for i in $(seq 1 "$N"); do
     run_logged "$i" ae cargo test -q --release --test antientropy \
         -- --test-threads=1 || fails=$((fails + 1))
     run_logged "$i" merkle cargo test -q --release --test merkle_faults \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" wal cargo test -q --release --test wal_faults \
         -- --test-threads=1 || fails=$((fails + 1))
 done
 echo
