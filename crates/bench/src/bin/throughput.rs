@@ -195,10 +195,57 @@ fn micro_measurements(rows: &mut Vec<(String, f64)>) {
 // Wall-clock transports (threaded / tcp loopback)
 // ---------------------------------------------------------------------------
 
-/// Shared wall-clock workload: each client runs `ops` blocking calls —
-/// 20% relaxed writes, the rest relaxed reads, with a release/acquire pair
-/// every 16th op and a FAA every 32nd (the "typical" shape, §8.1).
-/// Returns completed op count.
+/// One e2e result row. The latency triple is only present on the
+/// wall-clock transport rows (exact percentiles over every completed op);
+/// the virtual-time sim rows have no wall latency to report.
+struct Row {
+    name: String,
+    mreqs: f64,
+    wall_ms: f64,
+    acks_per_op: f64,
+    ae_per_op: f64,
+    ae_bytes_per_op: f64,
+    /// (p50, p99, p999) in µs.
+    lat: Option<(f64, f64, f64)>,
+}
+
+/// Exact percentiles from the full sample set (the shared `Histogram` is
+/// power-of-two bucketed — too coarse for a p999 claim). Sorts in place.
+fn percentiles_us(lat: &mut [u64]) -> Option<(f64, f64, f64)> {
+    if lat.is_empty() {
+        return None;
+    }
+    lat.sort_unstable();
+    let pick = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] as f64;
+    Some((pick(0.50), pick(0.99), pick(0.999)))
+}
+
+/// The i-th op of wall-clock client `client_idx` — the same class mix the
+/// sim row `kite_typical_20w` runs (`MixCfg::typical(0.2)`): 1% releases,
+/// 4% acquires, 19% relaxed writes, 76% relaxed reads, uniform keys (a
+/// multiplicative hash of the per-client op counter). Keeping the shapes
+/// identical is what makes the sim-vs-socket gap a transport comparison
+/// rather than a workload comparison — the previous shape here put every
+/// sync op on one global hot key, which measures consensus serialization
+/// on that key, not fabric capacity.
+fn mixed_op(i: usize, client_idx: usize, keys: u64) -> Op {
+    let v = ((client_idx as u64 + 1) << 40) | (i as u64 + 1);
+    let key = Key((v.wrapping_mul(0x9E3779B97F4A7C15) >> 16) % keys);
+    let r = i % 100;
+    if r < 1 {
+        Op::Release { key, val: Val::from_u64(v) }
+    } else if r < 5 {
+        Op::Acquire { key }
+    } else if r < 24 {
+        Op::Write { key, val: Val::from_u64(v) }
+    } else {
+        Op::Read { key }
+    }
+}
+
+/// Sync-API flavour of [`mixed_op`] for the threaded row's blocking
+/// sessions (same class ratios and key hash). Returns `false` on the
+/// first error.
 fn drive_mixed_client(
     mut call: impl FnMut(usize, u64) -> bool,
     ops: usize,
@@ -206,19 +253,15 @@ fn drive_mixed_client(
 ) -> usize {
     let mut done = 0;
     for i in 0..ops {
-        // op kind selector: 0=read 1=write 2=release 3=acquire 4=faa —
-        // an acquire at i≡7 and a release at i≡15 every 16 ops (the FAA
-        // arm claims half the i≡15 slots), 20% writes otherwise.
-        let kind = if i % 32 == 31 {
-            4
-        } else if i % 16 == 15 {
-            2
-        } else if i % 16 == 7 {
-            3
-        } else if i % 5 == 0 {
-            1
+        let r = i % 100;
+        let kind = if r < 1 {
+            2 // release
+        } else if r < 5 {
+            3 // acquire
+        } else if r < 24 {
+            1 // write
         } else {
-            0
+            0 // read
         };
         let v = ((client_idx as u64 + 1) << 40) | (i as u64 + 1);
         if !call(kind, v) {
@@ -230,13 +273,20 @@ fn drive_mixed_client(
 }
 
 /// Wall-clock config for the loopback transports: small enough to launch
-/// per run, same shape as the paper deployment.
+/// per run, same shape as the paper deployment. `ops_per_tick` is raised
+/// from the conservative default (2) to 16 so each event-loop wake drains
+/// a meaningful slice of a pipelined session's backlog — at 2, a deep
+/// client window is throttled by the worker, not the fabric (measured
+/// ~1.8× on the mixed row). The sim rows use `paper_cluster()` and are
+/// untouched by this knob.
 fn loopback_cfg() -> kite_common::ClusterConfig {
-    kite_common::ClusterConfig::small().keys(1 << 12).sessions_per_worker(4)
+    kite_common::ClusterConfig::small().keys(1 << 12).sessions_per_worker(4).ops_per_tick(16)
 }
 
 /// Closed-loop blocking clients against the in-process threaded cluster.
-fn threaded_row(ops_per_client: usize) -> (String, f64, f64, f64, f64, f64) {
+/// Latency here is the sync call's round-trip (one op in flight per
+/// client — the pre-pipelining regime, kept as the comparison row).
+fn threaded_row(ops_per_client: usize) -> Row {
     let cfg = loopback_cfg();
     let cluster =
         std::sync::Arc::new(kite::Cluster::launch(cfg.clone(), ProtocolMode::Kite).expect("launch"));
@@ -249,40 +299,111 @@ fn threaded_row(ops_per_client: usize) -> (String, f64, f64, f64, f64, f64) {
             let node = kite_common::NodeId((c % cfg.nodes) as u8);
             let mut s = cluster.session(node, (c / cfg.nodes) as u32).expect("session");
             let keys = cfg.keys as u64;
-            drive_mixed_client(
+            let mut lat_us = Vec::with_capacity(ops_per_client);
+            let done = drive_mixed_client(
                 |kind, v| {
-                    let key = Key(v % keys);
-                    match kind {
+                    let key = Key((v.wrapping_mul(0x9E3779B97F4A7C15) >> 16) % keys);
+                    let t0 = Instant::now();
+                    let ok = match kind {
                         0 => s.read(key).is_ok(),
                         1 => s.write(key, v).is_ok(),
-                        2 => s.release(Key(17), v).is_ok(),
-                        3 => s.acquire(Key(17)).is_ok(),
-                        _ => s.fetch_add(Key(19), 1).is_ok(),
-                    }
+                        2 => s.release(key, v).is_ok(),
+                        _ => s.acquire(key).is_ok(),
+                    };
+                    lat_us.push(t0.elapsed().as_micros() as u64);
+                    ok
                 },
                 ops_per_client,
                 c,
-            )
+            );
+            (done, lat_us)
         }));
     }
-    let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let mut total = 0usize;
+    let mut lat_us: Vec<u64> = Vec::new();
+    for h in handles {
+        let (done, lat) = h.join().expect("client");
+        total += done;
+        lat_us.extend(lat);
+    }
     let secs = wall.elapsed().as_secs_f64();
     match std::sync::Arc::try_unwrap(cluster) {
         Ok(c) => c.shutdown(),
         Err(_) => unreachable!("clients joined"),
     }
-    ("threaded_mixed_20w".into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0, 0.0)
+    Row {
+        name: "threaded_mixed_20w".into(),
+        mreqs: total as f64 / secs / 1e6,
+        wall_ms: secs * 1e3,
+        acks_per_op: 0.0,
+        ae_per_op: 0.0,
+        ae_bytes_per_op: 0.0,
+        lat: percentiles_us(&mut lat_us),
+    }
 }
 
-/// The same clients over loopback TCP: three `NodeRuntime`s in this
-/// process, every op crossing real sockets through `RemoteSession`. With
+/// How many ops a pipelined client keeps in flight: deep enough to keep
+/// the per-worker event loops busy across the socket round-trip, shallow
+/// enough that p99 stays a queueing measurement rather than a queue-length
+/// one.
+const PIPE_WINDOW: usize = 128;
+
+/// One closed-loop *pipelined* client: keep [`PIPE_WINDOW`] ops in flight,
+/// reap completions as they land. Per-op latency is submit → completion
+/// arrival (completions retire in session order, so the submit-time queue
+/// pops in matching order). Returns (completed, per-op µs).
+fn pipelined_client(
+    addr: &str,
+    slot: u32,
+    ops: usize,
+    client_idx: usize,
+    keys: u64,
+) -> (usize, Vec<u64>) {
+    let mut s = kite_net::RemoteSession::connect(addr, slot).expect("remote session");
+    let mut submit_at: std::collections::VecDeque<Instant> =
+        std::collections::VecDeque::with_capacity(PIPE_WINDOW + 1);
+    let mut lat_us = Vec::with_capacity(ops);
+    let mut done = 0usize;
+    let mut reap = |s: &mut kite_net::RemoteSession,
+                    submit_at: &mut std::collections::VecDeque<Instant>,
+                    block: bool|
+     -> bool {
+        if block {
+            let (_c, arrival) = s.next_completion_arrival().expect("completion");
+            let t0 = submit_at.pop_front().expect("submit time");
+            lat_us.push(arrival.saturating_duration_since(t0).as_micros() as u64);
+            done += 1;
+        }
+        while let Some((_c, arrival)) = s.poll_completion().expect("poll") {
+            let t0 = submit_at.pop_front().expect("submit time");
+            lat_us.push(arrival.saturating_duration_since(t0).as_micros() as u64);
+            done += 1;
+        }
+        true
+    };
+    for i in 0..ops {
+        while s.outstanding() >= PIPE_WINDOW {
+            reap(&mut s, &mut submit_at, true);
+        }
+        submit_at.push_back(Instant::now());
+        s.submit(mixed_op(i, client_idx, keys)).expect("submit");
+        reap(&mut s, &mut submit_at, false);
+    }
+    s.flush().expect("flush");
+    while s.outstanding() > 0 {
+        reap(&mut s, &mut submit_at, true);
+    }
+    (done, lat_us)
+}
+
+/// Pipelined closed-loop clients over loopback TCP: three `NodeRuntime`s
+/// in this process, every op crossing real sockets through
+/// `RemoteSession` with [`PIPE_WINDOW`] ops in flight per connection. With
 /// `wal` on, every node group-commits to a scratch directory — the row
-/// quantifies what durability costs the deployment. The request path
-/// itself only stages (allocation-free, no syscalls); what the row
-/// actually measures on an oversubscribed loopback box is the three
-/// flusher threads' fsync cadence competing with busy-polling workers
-/// for cores — a trend probe, not a latency claim.
-fn tcp_row(ops_per_client: usize, wal: bool) -> (String, f64, f64, f64, f64, f64) {
+/// quantifies what durability costs the deployment (the WAL flusher's
+/// fsync cadence bounds release/RMW completion, so the deep window mostly
+/// hides it from throughput but not from p99).
+fn tcp_row(ops_per_client: usize, wal: bool) -> Row {
     let mut cfg = loopback_cfg();
     let wal_dir = std::env::temp_dir().join(format!("kite-bench-wal-{}", std::process::id()));
     if wal {
@@ -307,25 +428,16 @@ fn tcp_row(ops_per_client: usize, wal: bool) -> (String, f64, f64, f64, f64, f64
         let addr = addrs[c % cfg.nodes].clone();
         let keys = cfg.keys as u64;
         let slot = (c / cfg.nodes) as u32;
-        handles.push(std::thread::spawn(move || {
-            let mut s = kite_net::RemoteSession::connect(&addr, slot).expect("remote session");
-            drive_mixed_client(
-                |kind, v| {
-                    let key = Key(v % keys);
-                    match kind {
-                        0 => s.read(key).is_ok(),
-                        1 => s.write(key, v).is_ok(),
-                        2 => s.release(Key(17), v).is_ok(),
-                        3 => s.acquire(Key(17)).is_ok(),
-                        _ => s.fetch_add(Key(19), 1).is_ok(),
-                    }
-                },
-                ops_per_client,
-                c,
-            )
-        }));
+        handles
+            .push(std::thread::spawn(move || pipelined_client(&addr, slot, ops_per_client, c, keys)));
     }
-    let total: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let mut total = 0usize;
+    let mut lat_us: Vec<u64> = Vec::new();
+    for h in handles {
+        let (done, lat) = h.join().expect("client");
+        total += done;
+        lat_us.extend(lat);
+    }
     let secs = wall.elapsed().as_secs_f64();
     for n in nodes {
         n.shutdown();
@@ -333,8 +445,107 @@ fn tcp_row(ops_per_client: usize, wal: bool) -> (String, f64, f64, f64, f64, f64
     if wal {
         let _ = std::fs::remove_dir_all(&wal_dir);
     }
-    let name = if wal { "tcp_loopback_mixed_20w_wal" } else { "tcp_loopback_mixed_20w" };
-    (name.into(), total as f64 / secs / 1e6, secs * 1e3, 0.0, 0.0, 0.0)
+    Row {
+        name: if wal { "tcp_loopback_mixed_20w_wal" } else { "tcp_loopback_mixed_20w" }.into(),
+        mreqs: total as f64 / secs / 1e6,
+        wall_ms: secs * 1e3,
+        acks_per_op: 0.0,
+        ae_per_op: 0.0,
+        ae_bytes_per_op: 0.0,
+        lat: percentiles_us(&mut lat_us),
+    }
+}
+
+/// Open-loop clients over loopback TCP: each client submits on a fixed
+/// arrival schedule (`rate_per_client` ops/s) regardless of completions,
+/// so the latency distribution includes queueing delay — the
+/// latency-under-load view a closed loop structurally cannot show
+/// (coordinated omission). Latency is measured from the op's *scheduled*
+/// arrival time.
+fn tcp_openloop_row(rate_per_client: u64, run_secs: f64) -> Row {
+    let cfg = loopback_cfg();
+    let nodes = kite_net::launch_local_cluster(cfg.clone(), ProtocolMode::Kite).expect("launch tcp");
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+    let clients = cfg.nodes * 2;
+    let ops_per_client = (rate_per_client as f64 * run_secs) as usize;
+    let interval = std::time::Duration::from_nanos(1_000_000_000 / rate_per_client);
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let addr = addrs[c % cfg.nodes].clone();
+        let keys = cfg.keys as u64;
+        let slot = (c / cfg.nodes) as u32;
+        handles.push(std::thread::spawn(move || {
+            let mut s = kite_net::RemoteSession::connect(&addr, slot).expect("remote session");
+            let mut sched: std::collections::VecDeque<Instant> =
+                std::collections::VecDeque::new();
+            let mut lat_us = Vec::with_capacity(ops_per_client);
+            let start = Instant::now();
+            let mut submitted = 0usize;
+            let mut done = 0usize;
+            while done < ops_per_client {
+                // Submit every op whose scheduled arrival has passed —
+                // open loop: the schedule does not wait for completions.
+                while submitted < ops_per_client {
+                    let due = start + interval * submitted as u32;
+                    if Instant::now() < due {
+                        break;
+                    }
+                    sched.push_back(due);
+                    s.submit(mixed_op(submitted, c, keys)).expect("submit");
+                    submitted += 1;
+                }
+                match s.poll_completion().expect("poll") {
+                    Some((_c, arrival)) => {
+                        let due = sched.pop_front().expect("scheduled time");
+                        lat_us.push(arrival.saturating_duration_since(due).as_micros() as u64);
+                        done += 1;
+                    }
+                    None if submitted == ops_per_client => {
+                        s.flush().expect("flush");
+                        let (_c, arrival) = s.next_completion_arrival().expect("drain");
+                        let due = sched.pop_front().expect("scheduled time");
+                        lat_us.push(arrival.saturating_duration_since(due).as_micros() as u64);
+                        done += 1;
+                    }
+                    None => {
+                        // Nothing landed and the next arrival is in the
+                        // future: sleep in poll(2) until the socket has
+                        // work or the schedule comes due (never spin —
+                        // see RemoteSession::wait_event).
+                        let next_due = start + interval * submitted as u32;
+                        let nap = next_due
+                            .saturating_duration_since(Instant::now())
+                            .min(std::time::Duration::from_millis(1));
+                        if !nap.is_zero() {
+                            s.wait_event(nap).expect("wait");
+                        }
+                    }
+                }
+            }
+            (done, lat_us)
+        }));
+    }
+    let mut total = 0usize;
+    let mut lat_us: Vec<u64> = Vec::new();
+    for h in handles {
+        let (done, lat) = h.join().expect("client");
+        total += done;
+        lat_us.extend(lat);
+    }
+    let secs = wall.elapsed().as_secs_f64();
+    for n in nodes {
+        n.shutdown();
+    }
+    Row {
+        name: "tcp_openloop_mixed_20w".into(),
+        mreqs: total as f64 / secs / 1e6,
+        wall_ms: secs * 1e3,
+        acks_per_op: 0.0,
+        ae_per_op: 0.0,
+        ae_bytes_per_op: 0.0,
+        lat: percentiles_us(&mut lat_us),
+    }
 }
 
 /// Wall-clock transport rows measure this machine, not the protocol:
@@ -387,11 +598,7 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
 /// Diff fresh metrics against the committed baseline and print a regression
 /// table; ±10% moves are flagged. Lower is better for `*_ns_per_op` rows,
 /// higher is better for e2e mreqs rows.
-fn diff_against_baseline(
-    path: &str,
-    micro: &[(String, f64)],
-    e2e: &[(String, f64, f64, f64, f64, f64)],
-) {
+fn diff_against_baseline(path: &str, micro: &[(String, f64)], e2e: &[Row]) {
     let Ok(text) = std::fs::read_to_string(path) else {
         println!("(no committed baseline at {path}; skipping regression diff)");
         return;
@@ -406,10 +613,13 @@ fn diff_against_baseline(
         .map(|(n, v)| (n.clone(), *v, /*lower_is_better=*/ true))
         .chain(
             e2e.iter()
-                .filter(|(n, ..)| !is_noisy(n)) // wall-clock rows: no regression gate
-                .flat_map(|(n, v, _, _, _, aeb)| {
+                .filter(|r| !is_noisy(&r.name)) // wall-clock rows: no regression gate
+                .flat_map(|r| {
                     // mreqs: higher is better; ae-bytes/op: lower is better.
-                    [(n.clone(), *v, false), (format!("{n}/ae_bytes_per_op"), *aeb, true)]
+                    [
+                        (r.name.clone(), r.mreqs, false),
+                        (format!("{}/ae_bytes_per_op", r.name), r.ae_bytes_per_op, true),
+                    ]
                 }),
         )
         .collect();
@@ -480,13 +690,12 @@ fn main() {
     } else {
         Vec::new()
     };
-    // (name, mreqs, wall_ms, acks_per_op, ae_per_op, ae_bytes_per_op)
-    let mut e2e: Vec<(String, f64, f64, f64, f64, f64)> = Vec::new();
+    let mut e2e: Vec<Row> = Vec::new();
     let run_one = |name: &str,
                        cfg: kite_common::ClusterConfig,
                        mode: ProtocolMode,
                        mix: MixCfg,
-                       e2e: &mut Vec<(String, f64, f64, f64, f64, f64)>| {
+                       e2e: &mut Vec<Row>| {
         let wall = Instant::now();
         let r = run_kite_mix(cfg, mode, paper_sim(seed), mix, WARMUP_NS, RUN_NS);
         let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
@@ -519,7 +728,15 @@ fn main() {
              {} coalesced, {ae:.4} ae-msgs/op, {aeb:.2} ae-bytes/op)",
             r.mreqs, r.acks_coalesced
         );
-        e2e.push((name.to_string(), r.mreqs, wall_ms, apw, ae, aeb));
+        e2e.push(Row {
+            name: name.to_string(),
+            mreqs: r.mreqs,
+            wall_ms,
+            acks_per_op: apw,
+            ae_per_op: ae,
+            ae_bytes_per_op: aeb,
+            lat: None,
+        });
     };
     for (name, mode, mix) in runs {
         run_one(name, cfg.clone(), mode, mix, &mut e2e);
@@ -556,22 +773,41 @@ fn main() {
     }
 
     // Wall-clock transports: real threads / real sockets, noisy by nature.
+    let print_wall_row = |row: &Row| {
+        let lat = row
+            .lat
+            .map(|(p50, p99, p999)| {
+                format!(", p50 {p50:.0} µs, p99 {p99:.0} µs, p999 {p999:.0} µs")
+            })
+            .unwrap_or_default();
+        println!(
+            "{:<28} {:8.3} mreqs   (wall {:7.1} ms{lat}, noisy: excluded from diff)",
+            row.name, row.mreqs, row.wall_ms
+        );
+    };
     if run_threaded {
         eprintln!("[throughput] threaded loopback run (wall clock, noisy) …");
-        // Few ops: busy-polling workers oversubscribe small CI machines,
-        // so closed-loop wall-clock latency is large and noisy there; the
-        // row is a trend probe, not a benchmark.
-        let row = threaded_row(2_000);
-        println!("{:<28} {:8.3} mreqs   (wall {:7.1} ms, noisy: excluded from diff)", row.0, row.1, row.2);
+        // The sync closed loop holds one op in flight per client, so the
+        // row is RTT-bound, not capacity-bound — it stays the blocking-API
+        // comparison point next to the pipelined tcp rows.
+        let row = threaded_row(4_000);
+        print_wall_row(&row);
         e2e.push(row);
     }
     if run_tcp {
         eprintln!("[throughput] tcp loopback runs, wal off/on (wall clock, noisy) …");
         for wal in [false, true] {
-            let row = tcp_row(2_000, wal);
-            println!("{:<28} {:8.3} mreqs   (wall {:7.1} ms, noisy: excluded from diff)", row.0, row.1, row.2);
+            let row = tcp_row(if wal { 5_000 } else { 20_000 }, wal);
+            print_wall_row(&row);
             e2e.push(row);
         }
+        eprintln!("[throughput] tcp open-loop run (fixed arrival rate, wall clock, noisy) …");
+        // Rate chosen ≈ 50–60% of the closed-loop capacity measured on this
+        // class of box, so the row reports queueing delay under load rather
+        // than a saturated (unbounded-queue) collapse.
+        let row = tcp_openloop_row(3_000, 2.0);
+        print_wall_row(&row);
+        e2e.push(row);
     }
 
     diff_against_baseline(&out_path, &micro, &e2e);
@@ -586,11 +822,18 @@ fn main() {
         json.push_str(&format!("    \"{name}\": {ns:.2}{comma}\n"));
     }
     json.push_str("  },\n  \"e2e\": {\n");
-    for (i, (name, mreqs, wall_ms, apw, ae, aeb)) in e2e.iter().enumerate() {
+    for (i, row) in e2e.iter().enumerate() {
+        let Row { name, mreqs, wall_ms, acks_per_op: apw, ae_per_op: ae, ae_bytes_per_op: aeb, lat } =
+            row;
         let comma = if i + 1 < e2e.len() { "," } else { "" };
         let noisy = if is_noisy(name) { ", \"noisy\": true" } else { "" };
+        let lat = lat
+            .map(|(p50, p99, p999)| {
+                format!(", \"p50_us\": {p50:.0}, \"p99_us\": {p99:.0}, \"p999_us\": {p999:.0}")
+            })
+            .unwrap_or_default();
         json.push_str(&format!(
-            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3}, \"ae_per_op\": {ae:.4}, \"ae_bytes_per_op\": {aeb:.4}{noisy} }}{comma}\n"
+            "    \"{name}\": {{ \"mreqs\": {mreqs:.4}, \"wall_ms\": {wall_ms:.1}, \"acks_per_op\": {apw:.3}, \"ae_per_op\": {ae:.4}, \"ae_bytes_per_op\": {aeb:.4}{lat}{noisy} }}{comma}\n"
         ));
     }
     json.push_str("  }\n}\n");

@@ -18,12 +18,20 @@
 //!   striped across one session per listed server (how the WAL e2e phase
 //!   builds a store big enough that "replay the tail" and "re-replicate
 //!   the world" are measurably different).
+//! * `openloop` — one pipelined session per listed server submits the
+//!   typical Kite mix on a **fixed arrival schedule** (`--rate` ops/s per
+//!   session for `--secs`), never waiting for completions; per-op latency
+//!   is measured from the op's *scheduled* arrival, so queueing delay is
+//!   included (no coordinated omission). Prints `p50_us=… p99_us=…
+//!   p999_us=…` and fails if the run can't complete or the percentiles
+//!   blow past sanity bounds.
 //!
 //! ```text
-//! kite-client mixed --servers a:p,b:p,c:p --slot 0 --ops 40
-//! kite-client put   --servers a:p --slot 1 --key 900 --val 7777
-//! kite-client poll  --servers c:p --slot 1 --key 900 --val 7777 --timeout-secs 20
-//! kite-client fill  --servers a:p,b:p,c:p --slot 2 --key-base 1000 --count 20000
+//! kite-client mixed    --servers a:p,b:p,c:p --slot 0 --ops 40
+//! kite-client put      --servers a:p --slot 1 --key 900 --val 7777
+//! kite-client poll     --servers c:p --slot 1 --key 900 --val 7777 --timeout-secs 20
+//! kite-client fill     --servers a:p,b:p,c:p --slot 2 --key-base 1000 --count 20000
+//! kite-client openloop --servers a:p,b:p,c:p --slot 5 --rate 1000 --secs 2
 //! ```
 
 use std::collections::HashMap;
@@ -236,6 +244,102 @@ fn phase_fill(servers: &[String], slot: u32, key_base: u64, count: u64) {
     println!("kite-client: fill OK — {total} keys from {key_base} across {n} sessions");
 }
 
+/// Open-loop latency-under-load probe. Each session's i-th op is drawn
+/// from the `MixCfg::typical(0.2)` class ratios (1% release / 4% acquire /
+/// 19% write / 76% read) over hashed uniform keys above `key_base`, and is
+/// submitted when its fixed schedule slot arrives whether or not earlier
+/// ops completed. Sanity bounds are deliberately loose — this must pass on
+/// a loaded single-core CI box — but tight enough to catch a wedged fabric
+/// (which would otherwise only fail by timeout).
+fn phase_openloop(servers: &[String], slot: u32, rate: u64, secs: u64, key_base: u64) {
+    use kite::api::Op;
+    let ops_per_session = (rate * secs) as usize;
+    let interval = Duration::from_nanos(1_000_000_000 / rate.max(1));
+    let mut handles = Vec::new();
+    for (idx, addr) in servers.iter().enumerate() {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let mut s = RemoteSession::connect(&addr, slot)
+                .map_err(|e| format!("connect {addr} slot {slot}: {e}"))?;
+            let e = |e: kite_common::KiteError| format!("openloop session {idx}: {e}");
+            let mut sched: std::collections::VecDeque<Instant> = std::collections::VecDeque::new();
+            let mut lat_us = Vec::with_capacity(ops_per_session);
+            let start = Instant::now();
+            let (mut submitted, mut done) = (0usize, 0usize);
+            while done < ops_per_session {
+                while submitted < ops_per_session {
+                    let due = start + interval * submitted as u32;
+                    if Instant::now() < due {
+                        break;
+                    }
+                    let v = ((idx as u64 + 1) << 40) | (submitted as u64 + 1);
+                    let key = Key(key_base + (v.wrapping_mul(0x9E3779B97F4A7C15) >> 16) % 4096);
+                    let r = submitted % 100;
+                    let op = if r < 1 {
+                        Op::Release { key, val: kite_common::Val::from_u64(v) }
+                    } else if r < 5 {
+                        Op::Acquire { key }
+                    } else if r < 24 {
+                        Op::Write { key, val: kite_common::Val::from_u64(v) }
+                    } else {
+                        Op::Read { key }
+                    };
+                    sched.push_back(due);
+                    s.submit(op).map_err(e)?;
+                    submitted += 1;
+                }
+                match s.poll_completion().map_err(e)? {
+                    Some((_c, arrival)) => {
+                        let due = sched.pop_front().expect("scheduled time");
+                        lat_us.push(arrival.saturating_duration_since(due).as_micros() as u64);
+                        done += 1;
+                    }
+                    None if submitted == ops_per_session => {
+                        s.flush().map_err(e)?;
+                        let (_c, arrival) = s.next_completion_arrival().map_err(e)?;
+                        let due = sched.pop_front().expect("scheduled time");
+                        lat_us.push(arrival.saturating_duration_since(due).as_micros() as u64);
+                        done += 1;
+                    }
+                    None => {
+                        let next_due = start + interval * submitted as u32;
+                        let nap = next_due
+                            .saturating_duration_since(Instant::now())
+                            .min(Duration::from_millis(1));
+                        if !nap.is_zero() {
+                            s.wait_event(nap).map_err(e)?;
+                        }
+                    }
+                }
+            }
+            Ok(lat_us)
+        }));
+    }
+    let mut lat_us: Vec<u64> = Vec::new();
+    for h in handles {
+        match h.join().expect("openloop thread panicked") {
+            Ok(l) => lat_us.extend(l),
+            Err(msg) => fail(msg),
+        }
+    }
+    lat_us.sort_unstable();
+    let pick = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q).round() as usize];
+    let (p50, p99, p999) = (pick(0.50), pick(0.99), pick(0.999));
+    // Sanity: p50 under 1 s and p999 under the client's own 30 s op
+    // timeout — a healthy fabric is orders of magnitude below both, while
+    // a stalled event loop or leaked backpressure pushes the tail into
+    // timeout territory.
+    if p50 > 1_000_000 || p999 > 30_000_000 {
+        fail(format!("openloop latency out of bounds: p50_us={p50} p99_us={p99} p999_us={p999}"));
+    }
+    println!(
+        "kite-client: openloop OK — {} ops @ {rate}/s×{} sessions, \
+         p50_us={p50} p99_us={p99} p999_us={p999}",
+        lat_us.len(),
+        servers.len()
+    );
+}
+
 fn phase_put(servers: &[String], slot: u32, key: u64, val: u64) {
     let mut s = RemoteSession::connect(&servers[0], slot)
         .unwrap_or_else(|e| fail(format!("connect: {e}")));
@@ -262,7 +366,7 @@ fn phase_poll(servers: &[String], slot: u32, key: u64, val: u64, timeout: Durati
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(phase) = args.first().cloned() else {
-        eprintln!("usage: kite-client <mixed|put|poll|fill> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T] [--key-base K] [--count N]");
+        eprintln!("usage: kite-client <mixed|put|poll|fill|openloop> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T] [--key-base K] [--count N] [--rate R] [--secs S]");
         std::process::exit(2);
     };
     let mut opts: HashMap<String, String> = HashMap::new();
@@ -287,6 +391,13 @@ fn main() {
     match phase.as_str() {
         "mixed" => phase_mixed(&servers, slot, num("ops", 25), num("key-base", 0)),
         "fill" => phase_fill(&servers, slot, num("key-base", 1000), num("count", 10_000)),
+        "openloop" => phase_openloop(
+            &servers,
+            slot,
+            num("rate", 1_000),
+            num("secs", 2),
+            num("key-base", 20_000),
+        ),
         "put" => phase_put(&servers, slot, num("key", 900), num("val", 7777)),
         "poll" => phase_poll(
             &servers,

@@ -133,9 +133,10 @@ fn main() {
         }
     };
 
+    let workers = parse_u64("workers", 2) as usize;
     let mut cluster = ClusterConfig::default()
         .nodes(peers.len())
-        .workers_per_node(parse_u64("workers", 2) as usize)
+        .workers_per_node(workers)
         .sessions_per_worker(parse_u64("sessions_per_worker", 4) as usize)
         .keys(parse_u64("keys", 1 << 16) as usize)
         .release_timeout_ns(parse_u64("release_timeout_ns", 1_000_000))
@@ -176,8 +177,14 @@ fn main() {
             r.truncated
         );
     }
-    // Machine-greppable readiness line (the e2e script waits for it).
-    println!("kite-node: node {} ready on {} (mode {:?})", runtime.node(), runtime.addr(), mode);
+    // Machine-greppable readiness line (the e2e script waits for it —
+    // extra detail goes after the `ready on <addr>` prefix it greps).
+    println!(
+        "kite-node: node {} ready on {} (mode {:?}, {workers} event-loop worker(s))",
+        runtime.node(),
+        runtime.addr(),
+        mode
+    );
 
     while !STOP.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));

@@ -1,13 +1,19 @@
-//! Remote client sessions: the [`kite::SessionHandle`] API over a socket.
+//! Remote client sessions: the [`kite::SessionHandle`] API over a socket,
+//! **pipelined**.
 //!
 //! A [`RemoteSession`] connects to a `kite-node`'s listener with a client
 //! hello claiming one session slot, then submits operations as
-//! length-prefixed frames and receives completions in session order.
-//! Completions are matched to calls by the op's session sequence number —
-//! the same two-monotone-counter bookkeeping as the in-process handle, so
-//! a late completion after a recovered timeout is retired instead of being
-//! misattributed to the next call.
+//! length-prefixed frames over a nonblocking socket. Many operations may
+//! be in flight at once: submissions batch into a write buffer (one flush
+//! = one syscall for a whole window) and completions are matched by the
+//! op's session sequence number through a reorder window — out-of-order
+//! or duplicate completion frames resolve to the right call, a late
+//! completion after a recovered timeout is retired instead of being
+//! misattributed, and [`RemoteSession::next_completion`] always returns
+//! completions in session order. The synchronous API (`read`, `write`,
+//! `release`, …) is unchanged: it pipelines with window 1.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -20,8 +26,14 @@ use kite_common::{Key, KiteError, Result, SessionId, Val};
 /// [`KiteError::Timeout`] (matches the in-process client boundary).
 pub const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Socket read granularity (stop/deadline responsiveness).
-const READ_TICK: Duration = Duration::from_millis(100);
+/// Auto-flush threshold: submissions buffered past this many bytes push
+/// to the socket even without an explicit flush.
+const WBUF_FLUSH: usize = 32 << 10;
+/// Hard cap on buffered unsent bytes before `submit` blocks draining the
+/// socket (keeps a backpressured client bounded).
+const WBUF_CAP: usize = 4 << 20;
+/// Read chunk size.
+const READ_CHUNK: usize = 64 << 10;
 
 /// A claimed remote session. Not `Clone` — a session is a single
 /// program-order stream.
@@ -31,72 +43,71 @@ pub struct RemoteSession {
     /// Operations submitted; the next submission gets session seq
     /// `submitted`.
     submitted: u64,
-    /// Completions received (they arrive in session order).
+    /// Completions retired in session order; `window[i]` (when filled)
+    /// holds seq `retired + i`.
     retired: u64,
+    /// Reorder window: completions that arrived, indexed by seq distance
+    /// from `retired`, with their client-side arrival instant.
+    window: VecDeque<Option<(Completion, Instant)>>,
+    /// Duplicate completion frames dropped (stale seq or already-filled
+    /// window slot).
+    dups: u64,
+    /// Encoded-but-unsent submissions; `wpos` bytes already written.
     wbuf: Vec<u8>,
-    body: Vec<u8>,
-}
-
-/// Read exactly `buf.len()` bytes by `deadline`. A timeout with *nothing*
-/// read is clean (`Ok(false)`: a frame boundary — the stream stays usable
-/// and the completion is reconciled by a later call, like the in-process
-/// handle's recovered timeouts). A timeout mid-read is an error: the
-/// stream is desynced and the session unusable (a wedged server must not
-/// hang the client forever).
-fn read_exact_deadline(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    deadline: Instant,
-) -> Result<bool> {
-    let mut off = 0;
-    while off < buf.len() {
-        match stream.read(&mut buf[off..]) {
-            Ok(0) => return Err(KiteError::Shutdown), // server closed
-            Ok(n) => off += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if Instant::now() >= deadline {
-                    if off == 0 {
-                        return Ok(false);
-                    }
-                    return Err(KiteError::Net("timed out mid-frame".into()));
-                }
-            }
-            Err(e) => return Err(KiteError::Net(format!("read: {e}"))),
-        }
-    }
-    Ok(true)
+    wpos: usize,
+    /// Unparsed inbound bytes.
+    rbuf: Vec<u8>,
+    /// A non-completion frame received out of band (hello replies).
+    ctrl: Option<ClientFrame>,
 }
 
 impl RemoteSession {
     /// Connect to a node's listener at `addr` and claim session `slot`.
     pub fn connect(addr: &str, slot: u32) -> Result<RemoteSession> {
-        let mut stream = TcpStream::connect(addr)
+        let stream = TcpStream::connect(addr)
             .map_err(|e| KiteError::Net(format!("connect {addr}: {e}")))?;
         stream.set_nodelay(true).ok();
         stream
-            .set_read_timeout(Some(READ_TICK))
-            .map_err(|e| KiteError::Net(format!("set timeout: {e}")))?;
-        stream
-            .write_all(&wire::encode_hello(Hello::Client { slot }))
-            .map_err(|e| KiteError::Net(format!("hello: {e}")))?;
+            .set_nonblocking(true)
+            .map_err(|e| KiteError::Net(format!("set nonblocking: {e}")))?;
         let mut s = RemoteSession {
             id: SessionId::new(kite_common::NodeId(0), slot),
             stream,
             submitted: 0,
             retired: 0,
-            wbuf: Vec::with_capacity(256),
-            body: Vec::with_capacity(256),
+            window: VecDeque::new(),
+            dups: 0,
+            wbuf: Vec::with_capacity(4096),
+            wpos: 0,
+            rbuf: Vec::with_capacity(READ_CHUNK),
+            ctrl: None,
         };
-        match s.read_frame(Instant::now() + CLIENT_TIMEOUT)? {
-            ClientFrame::HelloOk { session } => {
-                s.id = session;
-                Ok(s)
+        s.wbuf.extend_from_slice(&wire::encode_hello(Hello::Client { slot }));
+        let deadline = Instant::now() + CLIENT_TIMEOUT;
+        s.flush_until(deadline)?;
+        // Wait for the hello reply.
+        loop {
+            // A refused claim is HelloErr-then-close: surface the reason,
+            // not the EOF that follows it.
+            let pumped = s.pump_reads();
+            if let Some(ctrl) = s.ctrl.take() {
+                return match ctrl {
+                    ClientFrame::HelloOk { session } => {
+                        s.id = session;
+                        Ok(s)
+                    }
+                    ClientFrame::HelloErr { reason } => Err(KiteError::SessionUnavailable(reason)),
+                    other => Err(KiteError::Net(format!("unexpected hello reply: {other:?}"))),
+                };
             }
-            ClientFrame::HelloErr { reason } => Err(KiteError::SessionUnavailable(reason)),
-            other => Err(KiteError::Net(format!("unexpected hello reply: {other:?}"))),
+            pumped?;
+            if !s.window.is_empty() {
+                return Err(KiteError::Net("completion before hello reply".into()));
+            }
+            if Instant::now() >= deadline {
+                return Err(KiteError::Timeout);
+            }
+            s.wait_progress(deadline)?;
         }
     }
 
@@ -110,46 +121,230 @@ impl RemoteSession {
         (self.submitted - self.retired) as usize
     }
 
-    fn read_frame(&mut self, deadline: Instant) -> Result<ClientFrame> {
-        let mut prefix = [0u8; 4];
-        if !read_exact_deadline(&mut self.stream, &mut prefix, deadline)? {
-            return Err(KiteError::Timeout);
-        }
-        let len =
-            wire::frame_body_len(prefix).map_err(|e| KiteError::Net(format!("bad frame: {e}")))?;
-        self.body.resize(len, 0);
-        // The frame has started: its body is normally already in flight;
-        // the extended deadline only guards against a server dying with a
-        // half-written frame (then: mid-frame error, not a clean timeout).
-        if !read_exact_deadline(&mut self.stream, &mut self.body, deadline + CLIENT_TIMEOUT)? {
-            return Err(KiteError::Timeout);
-        }
-        wire::decode_client_frame(&self.body).map_err(|e| KiteError::Net(format!("bad frame: {e}")))
+    /// Duplicate completion frames observed and dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.dups
     }
 
-    // ---- async API ------------------------------------------------------
+    // ---- pipelined API --------------------------------------------------
 
-    /// Submit without waiting; completions arrive in session order via
-    /// [`RemoteSession::next_completion`].
-    pub fn submit(&mut self, op: Op) -> Result<()> {
-        self.wbuf.clear();
+    /// Queue one operation for submission and return its session sequence
+    /// number. Buffered submissions push to the socket when the buffer
+    /// grows past a threshold or on [`RemoteSession::flush`]; completions
+    /// arrive (in session order) via [`RemoteSession::next_completion`] /
+    /// [`RemoteSession::poll_completion`].
+    pub fn submit(&mut self, op: Op) -> Result<u64> {
+        let seq = self.submitted;
         wire::encode_client_frame(&ClientFrame::Submit(op), &mut self.wbuf);
-        self.stream
-            .write_all(&self.wbuf)
-            .map_err(|_| KiteError::Shutdown)?;
         self.submitted += 1;
-        Ok(())
+        if self.wbuf.len() - self.wpos >= WBUF_FLUSH {
+            self.try_flush()?;
+            if self.wbuf.len() - self.wpos >= WBUF_CAP {
+                // Socket backpressure: drain (and keep reading, so a server
+                // blocked on writing completions to us cannot deadlock the
+                // pair) before buffering more.
+                self.flush_until(Instant::now() + CLIENT_TIMEOUT)?;
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Push every buffered submission to the socket (blocking until the
+    /// kernel takes them).
+    pub fn flush(&mut self) -> Result<()> {
+        self.flush_until(Instant::now() + CLIENT_TIMEOUT)
+    }
+
+    /// Nonblocking progress: flush what the socket accepts, read what has
+    /// arrived, and return the next in-order completion if it is ready.
+    /// The `Instant` is the completion frame's client-side arrival time
+    /// (latency measurement without head-of-line skew).
+    pub fn poll_completion(&mut self) -> Result<Option<(Completion, Instant)>> {
+        self.try_flush()?;
+        self.pump_reads()?;
+        if let Some(front) = self.window.front_mut() {
+            if front.is_some() {
+                let (c, at) = self.window.pop_front().flatten().expect("front is some");
+                self.retired += 1;
+                return Ok(Some((c, at)));
+            }
+        }
+        Ok(None)
     }
 
     /// Wait for the next completion (session order).
     pub fn next_completion(&mut self) -> Result<Completion> {
-        match self.read_frame(Instant::now() + CLIENT_TIMEOUT)? {
-            ClientFrame::Completion(c) => {
-                debug_assert_eq!(c.op_id.seq, self.retired, "completions arrive in session order");
-                self.retired += 1;
-                Ok(c)
+        self.next_completion_arrival().map(|(c, _)| c)
+    }
+
+    /// Wait for the next completion, also returning its arrival instant.
+    pub fn next_completion_arrival(&mut self) -> Result<(Completion, Instant)> {
+        let deadline = Instant::now() + CLIENT_TIMEOUT;
+        loop {
+            if let Some(got) = self.poll_completion()? {
+                return Ok(got);
             }
-            other => Err(KiteError::Net(format!("unexpected frame: {other:?}"))),
+            if Instant::now() >= deadline {
+                return Err(KiteError::Timeout);
+            }
+            self.wait_progress(deadline)?;
+        }
+    }
+
+    /// Sleep in `poll(2)` until the socket can make progress: readable
+    /// always wakes; writable additionally wakes while unsent bytes are
+    /// buffered. Blocking in the kernel (instead of a spin/park loop)
+    /// matters on loaded or few-core machines — a waiting client must
+    /// leave the CPU to the server loops it is waiting on.
+    /// Public flavour of the progress wait for open-loop drivers: block up
+    /// to `timeout` until the socket may have work (completion bytes
+    /// readable, or buffered submits flushable), then return. The caller's
+    /// next [`poll_completion`](Self::poll_completion) does the actual
+    /// work. This lets a fixed-arrival-rate loop sleep between schedule
+    /// slots instead of spinning — on few-core boxes a spinning client
+    /// starves the very event loops it is waiting on.
+    pub fn wait_event(&self, timeout: Duration) -> Result<()> {
+        self.wait_progress(Instant::now() + timeout)
+    }
+
+    fn wait_progress(&self, deadline: Instant) -> Result<()> {
+        use std::os::fd::AsRawFd;
+        // Cap each sleep so the caller's deadline check still runs.
+        let ms = deadline
+            .saturating_duration_since(Instant::now())
+            .min(Duration::from_millis(100))
+            .as_millis()
+            .max(1) as i32;
+        let fd = self.stream.as_raw_fd();
+        let r = if self.wpos < self.wbuf.len() {
+            crate::sys::wait_rw(fd, ms)
+        } else {
+            crate::sys::wait_readable(fd, ms)
+        };
+        r.map(|_| ()).map_err(|e| KiteError::Net(format!("poll: {e}")))
+    }
+
+    // ---- socket plumbing ------------------------------------------------
+
+    /// Write buffered bytes until the socket would block.
+    fn try_flush(&mut self) -> Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(KiteError::Shutdown),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(KiteError::Net(format!("write: {e}"))),
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+        }
+        Ok(())
+    }
+
+    /// Flush everything buffered by `deadline`, reading inbound frames
+    /// while blocked so the server can always make progress.
+    fn flush_until(&mut self, deadline: Instant) -> Result<()> {
+        loop {
+            self.try_flush()?;
+            if self.wpos == 0 && self.wbuf.is_empty() {
+                return Ok(());
+            }
+            self.pump_reads()?;
+            if Instant::now() >= deadline {
+                return Err(KiteError::Net("timed out flushing submissions".into()));
+            }
+            self.wait_progress(deadline)?;
+        }
+    }
+
+    /// Read until the socket would block; parse and dispatch every
+    /// complete frame.
+    fn pump_reads(&mut self) -> Result<()> {
+        loop {
+            let old = self.rbuf.len();
+            self.rbuf.resize(old + READ_CHUNK, 0);
+            match self.stream.read(&mut self.rbuf[old..]) {
+                Ok(0) => {
+                    self.rbuf.truncate(old);
+                    self.parse_frames()?;
+                    return Err(KiteError::Shutdown);
+                }
+                Ok(n) => {
+                    self.rbuf.truncate(old + n);
+                    self.parse_frames()?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.rbuf.truncate(old);
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.rbuf.truncate(old);
+                }
+                Err(e) => {
+                    self.rbuf.truncate(old);
+                    return Err(KiteError::Net(format!("read: {e}")));
+                }
+            }
+        }
+    }
+
+    fn parse_frames(&mut self) -> Result<()> {
+        let mut pos = 0usize;
+        while self.rbuf.len() - pos >= 4 {
+            let prefix =
+                [self.rbuf[pos], self.rbuf[pos + 1], self.rbuf[pos + 2], self.rbuf[pos + 3]];
+            let blen = wire::frame_body_len(prefix)
+                .map_err(|e| KiteError::Net(format!("bad frame: {e}")))?;
+            if self.rbuf.len() - pos < 4 + blen {
+                break;
+            }
+            let frame = wire::decode_client_frame(&self.rbuf[pos + 4..pos + 4 + blen])
+                .map_err(|e| KiteError::Net(format!("bad frame: {e}")))?;
+            pos += 4 + blen;
+            self.dispatch(frame)?;
+        }
+        if pos > 0 {
+            let len = self.rbuf.len();
+            self.rbuf.copy_within(pos..len, 0);
+            self.rbuf.truncate(len - pos);
+        }
+        Ok(())
+    }
+
+    /// Slot a decoded frame: completions land in the reorder window by
+    /// seq; duplicates (stale seq, or a window slot already filled) are
+    /// dropped and counted — never misattributed.
+    fn dispatch(&mut self, frame: ClientFrame) -> Result<()> {
+        match frame {
+            ClientFrame::Completion(c) => {
+                let seq = c.op_id.seq;
+                if seq < self.retired {
+                    self.dups += 1; // already retired: stale duplicate
+                    return Ok(());
+                }
+                if seq >= self.submitted {
+                    return Err(KiteError::Net(format!(
+                        "completion for unsubmitted seq {seq} (submitted {})",
+                        self.submitted
+                    )));
+                }
+                let idx = (seq - self.retired) as usize;
+                if self.window.len() <= idx {
+                    self.window.resize_with(idx + 1, || None);
+                }
+                match &mut self.window[idx] {
+                    Some(_) => self.dups += 1, // duplicate in-window frame
+                    slot @ None => *slot = Some((c, Instant::now())),
+                }
+                Ok(())
+            }
+            other => {
+                self.ctrl = Some(other);
+                Ok(())
+            }
         }
     }
 
@@ -160,8 +355,8 @@ impl RemoteSession {
         while self.outstanding() > 0 {
             self.next_completion()?;
         }
-        let seq = self.submitted;
-        self.submit(op)?;
+        let seq = self.submit(op)?;
+        self.flush()?;
         loop {
             let c = self.next_completion()?;
             if c.op_id.seq == seq {
@@ -232,3 +427,4 @@ impl RemoteSession {
         }
     }
 }
+

@@ -1,91 +1,87 @@
-//! `TcpNet`: the real-socket fabric, same worker-facing surface as
-//! `kite_simnet::ThreadedNet`.
+//! `TcpNet`: the real-socket fabric, run-to-completion event loops over
+//! the same worker-facing surface as `kite_simnet::ThreadedNet`.
 //!
 //! One `TcpNet` serves **one node** of the cluster (the in-process fabrics
 //! own all nodes; here every node is its own OS process — or its own
 //! `TcpNet` instance when a test runs a whole cluster on loopback):
 //!
-//! * **Worker peering (§6.3).** Worker *w* dials exactly one connection to
-//!   each peer node, announced by a [`wire::Hello::Peer`] handshake, and
-//!   peers route inbound frames to *their* worker *w* — one connection per
-//!   remote worker, like the paper's RDMA QP layout.
-//! * **Writer threads.** Each `(peer, worker)` pair owns a writer thread
-//!   draining encoded frames into vectored writes (several outbox flushes
-//!   coalesce into one syscall under load). A dead peer puts the link into
-//!   reconnect-with-backoff; frames produced while the link is down are
-//!   *dropped and counted* — the fabric behaves like a lossy NIC, which is
-//!   exactly the failure model the protocols already recover from — so a
-//!   restarted peer is re-dialed rather than wedging the cluster behind an
-//!   unbounded queue.
-//! * **Reader threads.** The listener accepts peer connections and frames
-//!   bytes back into `Envelope<Msg>` batches, decoding into pool-recycled
-//!   `Vec<Msg>` buffers ([`TcpHandle::recycle_inbound`] closes the loop),
-//!   so the zero-allocation invariants survive the socket boundary. A
+//! * **One event loop per worker.** The worker thread *is* the I/O loop:
+//!   an epoll instance (raw-libc FFI — the workspace carries no mio/tokio)
+//!   watches every socket the worker owns, and readiness events, protocol
+//!   ticks and outbox flushes all run on the same thread with no handoff
+//!   queues. Thread budget per node: `workers + 1` (the acceptor), not
+//!   `O(peers × workers)` writer/reader threads.
+//! * **Worker peering (§6.3).** Worker *w* dials exactly one nonblocking
+//!   connection to each peer node, announced by a [`wire::Hello::Peer`]
+//!   handshake, and peers route inbound frames to *their* worker *w* —
+//!   one connection per remote worker, like the paper's RDMA QP layout.
+//!   Reconnect-with-backoff is loop state (a deadline per peer), not a
+//!   thread blocked in `connect`.
+//! * **Bounded outbound rings.** Each peer link drains through an
+//!   [`OutRing`] of encoded frames via vectored writes. A peer that stops
+//!   reading fills the ring and then *sheds* frames (counted on the link)
+//!   — the fabric behaves like a lossy NIC under backpressure, which is
+//!   exactly the failure model the protocols already recover from, so a
+//!   stalled peer bounds sender memory instead of growing a writer queue.
+//! * **Readiness-driven reads.** Inbound bytes accumulate in a per-
+//!   connection buffer; complete frames decode into pool-recycled
+//!   `Vec<Msg>` buffers and feed `Actor::on_envelope` directly. A
 //!   malformed frame closes that connection — never panics a worker — and
 //!   is counted on the link for the watchdog.
+//! * **Remote clients in the loop.** Client connections (session claims)
+//!   are served by the owning worker's loop too: `Submit` frames feed the
+//!   session op channel, completions drain into the connection's ring.
 //! * **Zero-allocation steady state.** Outbound: `Outbox::flush` batches
-//!   are encoded into pooled byte buffers and the drained `Vec<Msg>` goes
-//!   straight back to the outbox pool; byte buffers return from the writer
-//!   threads. Inbound: decode buffers circulate between readers and the
-//!   worker loop. `Arc`-boxed Paxos payloads are encoded once per
-//!   destination frame.
+//!   encode into pooled byte buffers; the ring recycles them after the
+//!   socket accepts the bytes, and drained `Vec<Msg>` batches go straight
+//!   back to the outbox pool. Inbound: decode buffers circulate through
+//!   the shared message pool; per-connection read buffers are retained
+//!   across reads.
 
-use std::io::{IoSlice, Read, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use kite::wire::{self, Hello};
+use kite::api::{Completion, Op};
+use kite::wire::{self, ClientFrame, Hello};
 use kite::Msg;
 use kite_common::stats::ProtoCounters;
-use kite_common::NodeId;
-use kite_simnet::{Actor, Clock, Envelope, Outbox, WallClock};
+use kite_common::{NodeId, SessionId};
+use kite_simnet::{Actor, Clock, Outbox, WallClock};
 use parking_lot::Mutex;
 
 use crate::link::LinkTable;
+use crate::ring::{Drain, OutRing, Pool};
+use crate::sys::{self, Poller, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 /// Reconnect backoff floor.
 const BACKOFF_MIN: Duration = Duration::from_millis(10);
 /// Reconnect backoff ceiling.
 const BACKOFF_MAX: Duration = Duration::from_millis(500);
-/// Dial timeout per attempt.
+/// Nonblocking dial deadline per attempt.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(1);
-/// Socket read timeout — bounds how long a blocked reader takes to notice
-/// the stop flag.
-const READ_TICK: Duration = Duration::from_millis(100);
-/// Writer channel poll interval (stop-flag responsiveness).
-const WRITE_TICK: Duration = Duration::from_millis(100);
-/// Max frames gathered into one vectored write.
-const WRITE_GATHER: usize = 16;
+/// Handshake deadline for accepted connections.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
 /// Bound on pooled spare buffers (per pool).
 const POOL_CAP: usize = 64;
-
-/// A bounded free-list of reusable `Vec<T>` buffers shared across threads.
-pub(crate) struct Pool<T>(Mutex<Vec<Vec<T>>>);
-
-impl<T> Pool<T> {
-    fn new() -> Self {
-        Pool(Mutex::new(Vec::new()))
-    }
-
-    fn pop(&self) -> Vec<T> {
-        self.0.lock().pop().unwrap_or_default()
-    }
-
-    fn put(&self, mut buf: Vec<T>) {
-        if buf.capacity() == 0 {
-            return;
-        }
-        buf.clear();
-        let mut pool = self.0.lock();
-        if pool.len() < POOL_CAP {
-            pool.push(buf);
-        }
-    }
-}
+/// Bytes read from one connection per readiness service (fairness bound —
+/// level-triggered epoll re-reports anything left).
+const READ_QUANTUM: usize = 256 << 10;
+/// Read chunk size.
+const READ_CHUNK: usize = 64 << 10;
+/// Empty passes before the loop parks in `epoll_wait` with a timeout: a
+/// few zero-timeout polls catch on_tick follow-ups cheaply, then the loop
+/// sleeps — readiness (or the waker) ends the park immediately, and a
+/// parked loop leaves the CPU to the peers it is waiting on.
+const IDLE_SPIN: u32 = 4;
+/// Park timeout once fully idle — bounds pure-timer latency (protocol
+/// retransmit/keepalive cadence) and stop-flag responsiveness.
+const IDLE_WAIT_MS: i32 = 1;
 
 /// Configuration of one node's fabric endpoint.
 pub struct TcpNetCfg {
@@ -97,128 +93,66 @@ pub struct TcpNetCfg {
     /// Worker threads per node (uniform across the cluster — worker
     /// peering needs both sides to agree).
     pub workers: usize,
+    /// Session slots per worker — routes a remote client's slot claim to
+    /// the worker whose loop will serve the connection.
+    pub sessions_per_worker: usize,
     /// Pre-bound listener override: lets tests bind `127.0.0.1:0` first
     /// and distribute the real addresses.
     pub listener: Option<TcpListener>,
 }
 
-/// Everything a worker thread needs to talk to the TCP fabric — the
-/// `kite_simnet::WorkerIo` shape with a [`TcpHandle`] as the sending half.
+/// A freshly accepted, handshake-complete connection routed to a worker
+/// loop by the acceptor.
+enum NewConn {
+    /// Peer fabric traffic from `src` (the hello's worker picked us).
+    Peer {
+        /// Sending node.
+        src: NodeId,
+        /// The connection (hello consumed, nonblocking).
+        stream: TcpStream,
+    },
+    /// A remote client claiming session `slot`.
+    Client {
+        /// Claimed slot (node-wide index).
+        slot: u32,
+        /// The connection (hello consumed, nonblocking).
+        stream: TcpStream,
+    },
+}
+
+/// Everything a worker's event loop needs from the fabric: the conn intake
+/// from the acceptor plus the shared pools, links and counters.
 pub struct TcpWorkerIo {
     /// Node this IO bundle belongs to.
     pub node: NodeId,
     /// Worker index within the node.
     pub worker: usize,
-    /// Incoming envelopes addressed to this `(node, worker)`.
-    pub rx: Receiver<Envelope<Msg>>,
-    /// Outgoing side.
-    pub net: TcpHandle,
-}
-
-/// Sending half bound to one source worker (the `NetHandle` surface over
-/// real sockets). Routes by `(destination node, own worker index)`.
-pub struct TcpHandle {
-    me: NodeId,
-    worker: usize,
-    writer_txs: Arc<Vec<Vec<Sender<Vec<u8>>>>>,
-    /// Own worker's ingress: self-sends loop back without a socket.
-    loopback: Sender<Envelope<Msg>>,
+    conn_rx: Receiver<NewConn>,
+    waker: Arc<Waker>,
+    peers: Arc<Vec<String>>,
     links: Arc<LinkTable>,
     byte_pool: Arc<Pool<u8>>,
     msg_pool: Arc<Pool<Msg>>,
     counters: Arc<ProtoCounters>,
-    /// Drained batch buffers staged during one flush, recycled into the
-    /// outbox afterwards (steady-state sends allocate nothing).
-    scratch: Vec<Vec<Msg>>,
+    clock: Arc<WallClock>,
+    nodes: usize,
+    net_stop: Arc<AtomicBool>,
 }
 
-impl TcpHandle {
-    /// The node this handle belongs to.
-    pub fn node(&self) -> NodeId {
-        self.me
-    }
-
-    /// Encode and ship one batch to `dst`. Returns `true` if the frame was
-    /// handed to the link (not necessarily delivered — a link in backoff
-    /// drops it, like a lossy fabric).
-    pub fn send(&mut self, dst: NodeId, msgs: Vec<Msg>) -> bool {
-        debug_assert!(!msgs.is_empty());
-        self.counters.msgs_sent.add(msgs.len() as u64);
-        self.counters.envelopes_sent.incr();
-        if dst == self.me {
-            return self.loopback.send(Envelope { src: self.me, msgs }).is_ok();
-        }
-        let shipped = self.ship(dst, &msgs);
-        self.msg_pool.put(msgs);
-        shipped
-    }
-
-    /// Flush a whole outbox through this handle: encode each batch into a
-    /// pooled byte buffer for its destination's writer thread, then recycle
-    /// the batch buffer back into the outbox (the sending side of the
-    /// buffer-recycling contract — steady-state flushes allocate nothing).
-    pub fn flush(&mut self, out: &mut Outbox<Msg>) {
-        let me = self.me;
-        let worker = self.worker;
-        let writer_txs = &self.writer_txs;
-        let loopback = &self.loopback;
-        let links = &self.links;
-        let byte_pool = &self.byte_pool;
-        let counters = &self.counters;
-        let scratch = &mut self.scratch;
-        out.flush(|dst, batch| {
-            counters.msgs_sent.add(batch.len() as u64);
-            counters.envelopes_sent.incr();
-            if dst == me {
-                let _ = loopback.send(Envelope { src: me, msgs: batch });
-                return;
-            }
-            let link = links.link(dst, worker);
-            if link.is_connected() {
-                let mut buf = byte_pool.pop();
-                wire::encode_frames(me, &batch, &mut buf);
-                let _ = writer_txs[dst.idx()][worker].send(buf);
-            } else {
-                // Link down: the fabric is a lossy NIC, not a buffer — the
-                // protocol's retransmission layer recovers; counted for
-                // the watchdog.
-                link.dropped_out.fetch_add(1, Ordering::Relaxed);
-            }
-            scratch.push(batch);
-        });
-        for b in scratch.drain(..) {
-            out.recycle(b);
-        }
-    }
-
-    /// Encode `msgs` as one frame and enqueue it on the destination's
-    /// writer thread. A link in backoff drops the frame (counted).
-    fn ship(&self, dst: NodeId, msgs: &[Msg]) -> bool {
-        let link = self.links.link(dst, self.worker);
-        if !link.is_connected() {
-            link.dropped_out.fetch_add(1, Ordering::Relaxed);
-            return false;
-        }
-        let mut buf = self.byte_pool.pop();
-        wire::encode_frames(self.me, msgs, &mut buf);
-        match self.writer_txs[dst.idx()][self.worker].send(buf) {
-            Ok(()) => true,
-            Err(_) => false, // fabric torn down
-        }
-    }
-
-    /// Return a drained inbound envelope buffer to the decode pool (the
-    /// receiving side of the buffer-recycling contract: readers draw their
-    /// decode buffers from this pool).
-    #[inline]
-    pub fn recycle_inbound(&self, buf: Vec<Msg>) {
-        self.msg_pool.put(buf);
-    }
+/// The session-slot table a worker loop claims remote sessions from —
+/// shared with [`crate::NodeRuntime`], which claims local sessions from
+/// the same table (claim-once semantics either way).
+pub struct ClientSessions {
+    /// This node (stamped into `HelloOk` session ids).
+    pub me: NodeId,
+    /// `slots[i]` holds the op/completion plumbing of session slot `i`
+    /// until someone claims it.
+    pub slots: Arc<Mutex<Vec<Option<(Sender<Op>, Receiver<Completion>)>>>>,
 }
 
-/// One node's fabric endpoint: listener + per-peer writer threads + shared
-/// pools, plus the per-node clock and counters (the `ThreadedNet` surface
-/// for one node).
+/// One node's fabric endpoint: the listener/acceptor thread plus shared
+/// pools, per-node clock and counters (the `ThreadedNet` surface for one
+/// node).
 pub struct TcpNet {
     /// This node.
     pub me: NodeId,
@@ -233,15 +167,16 @@ pub struct TcpNet {
     links: Arc<LinkTable>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    wakers: Vec<Arc<Waker>>,
     threads: Vec<JoinHandle<()>>,
-    client_conns: Option<Receiver<(TcpStream, u32)>>,
 }
 
 impl TcpNet {
     /// Bind the fabric for one node and return the per-worker IO bundles.
     ///
-    /// Peer links start dialing immediately and keep retrying with backoff,
-    /// so launch order across the cluster does not matter.
+    /// Peer links start dialing as soon as the worker loops run and keep
+    /// retrying with backoff, so launch order across the cluster does not
+    /// matter.
     pub fn bind(cfg: TcpNetCfg) -> std::io::Result<(TcpNet, Vec<TcpWorkerIo>)> {
         let nodes = cfg.peers.len();
         let me = cfg.me;
@@ -259,93 +194,50 @@ impl TcpNet {
         let counters = Arc::new(ProtoCounters::default());
         let links = Arc::new(LinkTable::new(me, nodes, cfg.workers));
         let stop = Arc::new(AtomicBool::new(false));
-        let byte_pool = Arc::new(Pool::<u8>::new());
-        let msg_pool = Arc::new(Pool::<Msg>::new());
+        let byte_pool = Arc::new(Pool::<u8>::new(POOL_CAP));
+        let msg_pool = Arc::new(Pool::<Msg>::new(POOL_CAP));
+        let peers = Arc::new(cfg.peers);
 
-        // Ingress channels, one per local worker.
-        let mut ingress_tx = Vec::with_capacity(cfg.workers);
-        let mut ingress_rx = Vec::with_capacity(cfg.workers);
+        // Conn intake: one channel + waker per worker loop.
+        let mut conn_txs = Vec::with_capacity(cfg.workers);
+        let mut conn_rxs = Vec::with_capacity(cfg.workers);
+        let mut wakers = Vec::with_capacity(cfg.workers);
         for _ in 0..cfg.workers {
-            let (tx, rx) = unbounded::<Envelope<Msg>>();
-            ingress_tx.push(tx);
-            ingress_rx.push(rx);
+            let (tx, rx) = unbounded::<NewConn>();
+            conn_txs.push(tx);
+            conn_rxs.push(rx);
+            wakers.push(Arc::new(Waker::new()?));
         }
-        let ingress_tx = Arc::new(ingress_tx);
 
         let mut threads = Vec::new();
-
-        // Writer threads: one per (peer, worker).
-        let mut writer_txs: Vec<Vec<Sender<Vec<u8>>>> = Vec::with_capacity(nodes);
-        for dst in 0..nodes {
-            let mut per_worker = Vec::with_capacity(cfg.workers);
-            for w in 0..cfg.workers {
-                let (tx, rx) = unbounded::<Vec<u8>>();
-                if dst != me.idx() {
-                    let addr = cfg.peers[dst].clone();
-                    let links = Arc::clone(&links);
-                    let byte_pool = Arc::clone(&byte_pool);
-                    let stop = Arc::clone(&stop);
-                    threads.push(
-                        std::thread::Builder::new()
-                            .name(format!("kite-net-{me}-w{w}-to-n{dst}"))
-                            .spawn(move || {
-                                writer_loop(
-                                    addr,
-                                    me,
-                                    NodeId(dst as u8),
-                                    w,
-                                    rx,
-                                    links,
-                                    byte_pool,
-                                    stop,
-                                )
-                            })
-                            .expect("spawn writer"),
-                    );
-                }
-                per_worker.push(tx);
-            }
-            writer_txs.push(per_worker);
-        }
-        let writer_txs = Arc::new(writer_txs);
-
-        // Listener + reader threads. Client-kind connections are handed off
-        // through a channel (stream + claimed slot) for whoever serves
-        // remote sessions.
-        let (client_tx, client_rx) = unbounded::<(TcpStream, u32)>();
         {
-            let links = Arc::clone(&links);
-            let msg_pool = Arc::clone(&msg_pool);
-            let ingress = Arc::clone(&ingress_tx);
             let stop = Arc::clone(&stop);
+            let wakers = wakers.clone();
             let workers = cfg.workers;
+            let spw = cfg.sessions_per_worker.max(1);
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("kite-net-{me}-listen"))
-                    .spawn(move || {
-                        listener_loop(listener, nodes, workers, links, msg_pool, ingress, client_tx, stop)
-                    })
-                    .expect("spawn listener"),
+                    .name(format!("kite-net-{me}-accept"))
+                    .spawn(move || acceptor_loop(listener, nodes, workers, spw, conn_txs, wakers, stop))
+                    .expect("spawn acceptor"),
             );
         }
 
         let ios = (0..cfg.workers)
-            .zip(ingress_rx)
-            .map(|(w, rx)| TcpWorkerIo {
+            .zip(conn_rxs)
+            .map(|(w, conn_rx)| TcpWorkerIo {
                 node: me,
                 worker: w,
-                rx,
-                net: TcpHandle {
-                    me,
-                    worker: w,
-                    writer_txs: Arc::clone(&writer_txs),
-                    loopback: ingress_tx[w].clone(),
-                    links: Arc::clone(&links),
-                    byte_pool: Arc::clone(&byte_pool),
-                    msg_pool: Arc::clone(&msg_pool),
-                    counters: Arc::clone(&counters),
-                    scratch: Vec::with_capacity(nodes),
-                },
+                conn_rx,
+                waker: Arc::clone(&wakers[w]),
+                peers: Arc::clone(&peers),
+                links: Arc::clone(&links),
+                byte_pool: Arc::clone(&byte_pool),
+                msg_pool: Arc::clone(&msg_pool),
+                counters: Arc::clone(&counters),
+                clock: Arc::clone(&clock),
+                nodes,
+                net_stop: Arc::clone(&stop),
             })
             .collect();
 
@@ -359,8 +251,8 @@ impl TcpNet {
                 links,
                 local_addr,
                 stop,
+                wakers,
                 threads,
-                client_conns: Some(client_rx),
             },
             ios,
         ))
@@ -376,14 +268,7 @@ impl TcpNet {
         &self.links
     }
 
-    /// Take the stream of accepted remote-client connections (hello already
-    /// consumed; the claimed session slot rides alongside). `None` after
-    /// the first call.
-    pub fn take_client_conns(&mut self) -> Option<Receiver<(TcpStream, u32)>> {
-        self.client_conns.take()
-    }
-
-    /// The shared stop flag (reader/writer threads watch it).
+    /// The shared stop flag (the acceptor and the worker loops watch it).
     pub fn stop_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.stop)
     }
@@ -397,6 +282,9 @@ impl TcpNet {
 impl Drop for TcpNet {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        for w in &self.wakers {
+            w.wake();
+        }
         for h in self.threads.drain(..) {
             let _ = h.join();
         }
@@ -463,307 +351,197 @@ fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
 }
 
 // ---------------------------------------------------------------------------
-// Writer side
+// Acceptor
 // ---------------------------------------------------------------------------
 
-fn dial(addr: &str) -> std::io::Result<TcpStream> {
-    let mut last = std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no addrs");
-    for sa in addr.to_socket_addrs()? {
-        match TcpStream::connect_timeout(&sa, CONNECT_TIMEOUT) {
-            Ok(s) => return Ok(s),
-            Err(e) => last = e,
-        }
-    }
-    Err(last)
-}
-
-/// Write every frame in `bufs`, gathering them into vectored writes.
-fn write_frames(stream: &mut TcpStream, bufs: &[Vec<u8>]) -> std::io::Result<()> {
-    let mut idx = 0usize; // first unwritten buffer
-    let mut off = 0usize; // bytes of bufs[idx] already written
-    while idx < bufs.len() {
-        let mut slices: [IoSlice; WRITE_GATHER] = std::array::from_fn(|_| IoSlice::new(&[]));
-        let mut n_slices = 0;
-        for (i, b) in bufs.iter().enumerate().skip(idx).take(WRITE_GATHER) {
-            let start = if i == idx { off } else { 0 };
-            slices[n_slices] = IoSlice::new(&b[start..]);
-            n_slices += 1;
-        }
-        let mut n = stream.write_vectored(&slices[..n_slices])?;
-        if n == 0 {
-            return Err(std::io::ErrorKind::WriteZero.into());
-        }
-        while n > 0 {
-            let left = bufs[idx].len() - off;
-            if n >= left {
-                n -= left;
-                idx += 1;
-                off = 0;
-            } else {
-                off += n;
-                n = 0;
-            }
-        }
-    }
-    Ok(())
-}
-
-#[allow(clippy::too_many_arguments)]
-fn writer_loop(
-    addr: String,
-    me: NodeId,
-    dst: NodeId,
-    worker: usize,
-    rx: Receiver<Vec<u8>>,
-    links: Arc<LinkTable>,
-    byte_pool: Arc<Pool<u8>>,
-    stop: Arc<AtomicBool>,
-) {
-    let link = links.link(dst, worker);
-    let mut stream: Option<TcpStream> = None;
-    let mut backoff = BACKOFF_MIN;
-    let mut pending: Vec<Vec<u8>> = Vec::with_capacity(WRITE_GATHER);
-    while !stop.load(Ordering::Relaxed) {
-        if stream.is_none() {
-            match dial(&addr) {
-                Ok(mut s) => {
-                    let _ = s.set_nodelay(true);
-                    let _ = s.set_write_timeout(Some(Duration::from_secs(5)));
-                    let hello = wire::encode_hello(Hello::Peer { node: me, worker: worker as u16 });
-                    if s.write_all(&hello).is_ok() {
-                        link.set_connected();
-                        backoff = BACKOFF_MIN;
-                        stream = Some(s);
-                        continue;
-                    }
-                    link.set_backoff();
-                }
-                Err(_) => link.set_backoff(),
-            }
-            // Dialing failed: sleep the backoff in stop-checkable slices and
-            // drop whatever queued up meanwhile — the link is a lossy NIC
-            // while down, not an unbounded buffer.
-            let deadline = std::time::Instant::now() + backoff;
-            while std::time::Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
-                std::thread::sleep(BACKOFF_MIN.min(deadline - std::time::Instant::now()));
-            }
-            while let Ok(buf) = rx.try_recv() {
-                link.dropped_out.fetch_add(1, Ordering::Relaxed);
-                byte_pool.put(buf);
-            }
-            backoff = (backoff * 2).min(BACKOFF_MAX);
-            continue;
-        }
-        match rx.recv_timeout(WRITE_TICK) {
-            Ok(first) => {
-                pending.push(first);
-                while pending.len() < WRITE_GATHER {
-                    match rx.try_recv() {
-                        Ok(b) => pending.push(b),
-                        Err(_) => break,
-                    }
-                }
-                let s = stream.as_mut().expect("connected");
-                match write_frames(s, &pending) {
-                    Ok(()) => {
-                        link.frames_out.fetch_add(pending.len() as u64, Ordering::Relaxed);
-                    }
-                    Err(_) => {
-                        // Died mid-batch: surface via link state, re-dial.
-                        link.set_backoff();
-                        link.dropped_out.fetch_add(pending.len() as u64, Ordering::Relaxed);
-                        stream = None;
-                    }
-                }
-                for b in pending.drain(..) {
-                    byte_pool.put(b);
-                }
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Reader side
-// ---------------------------------------------------------------------------
-
-/// Read exactly `buf.len()` bytes, tolerating read-timeout ticks (so the
-/// stop flag stays responsive). `Ok(false)` = clean EOF at a frame
-/// boundary (only when nothing has been read yet).
-pub(crate) fn read_exact_ticked(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    stop: &AtomicBool,
-) -> std::io::Result<bool> {
-    let mut off = 0;
-    while off < buf.len() {
-        if stop.load(Ordering::Relaxed) {
-            return Err(std::io::ErrorKind::Interrupted.into());
-        }
-        match stream.read(&mut buf[off..]) {
-            Ok(0) => {
-                if off == 0 {
-                    return Ok(false);
-                }
-                return Err(std::io::ErrorKind::UnexpectedEof.into());
-            }
-            Ok(n) => off += n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(true)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn listener_loop(
+/// The node's single accept thread: nonblocking accepts, inline (also
+/// nonblocking) hello handshakes with a per-connection deadline, then
+/// routing to the owning worker's loop. No per-connection threads — a
+/// connection that trickles its hello costs a list entry, not a thread.
+fn acceptor_loop(
     listener: TcpListener,
     nodes: usize,
     workers: usize,
-    links: Arc<LinkTable>,
-    msg_pool: Arc<Pool<Msg>>,
-    ingress: Arc<Vec<Sender<Envelope<Msg>>>>,
-    client_tx: Sender<(TcpStream, u32)>,
+    sessions_per_worker: usize,
+    conn_txs: Vec<Sender<NewConn>>,
+    wakers: Vec<Arc<Waker>>,
     stop: Arc<AtomicBool>,
 ) {
-    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    struct Pending {
+        stream: TcpStream,
+        hello: [u8; wire::HELLO_LEN],
+        got: usize,
+        deadline: Instant,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
     while !stop.load(Ordering::Relaxed) {
-        // Reap finished readers so a long-lived daemon's handle list is
-        // bounded by *live* connections, not total connections ever.
-        readers.retain(|h| !h.is_finished());
+        let mut progress = false;
         match listener.accept() {
-            Ok((mut stream, _)) => {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(true);
                 let _ = stream.set_nodelay(true);
-                let _ = stream.set_read_timeout(Some(READ_TICK));
-                let links = Arc::clone(&links);
-                let msg_pool = Arc::clone(&msg_pool);
-                let ingress = Arc::clone(&ingress);
-                let client_tx = client_tx.clone();
-                let stop = Arc::clone(&stop);
-                readers.push(
-                    std::thread::Builder::new()
-                        .name("kite-net-reader".into())
-                        .spawn(move || {
-                            // Bound the handshake: a connection that sends
-                            // fewer than HELLO_LEN bytes and idles must not
-                            // pin this thread (and its peer's 30 s client
-                            // timeout) until node shutdown.
-                            let hello_deadline =
-                                std::time::Instant::now() + Duration::from_secs(5);
-                            let mut hello = [0u8; wire::HELLO_LEN];
-                            let mut got = 0;
-                            while got < wire::HELLO_LEN {
-                                if stop.load(Ordering::Relaxed)
-                                    || std::time::Instant::now() >= hello_deadline
-                                {
-                                    return;
-                                }
-                                match stream.read(&mut hello[got..]) {
-                                    Ok(0) => return,
-                                    Ok(n) => got += n,
-                                    Err(e)
-                                        if e.kind() == std::io::ErrorKind::WouldBlock
-                                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                                    Err(_) => return,
-                                }
-                            }
-                            match wire::decode_hello(&hello) {
-                                Ok(Hello::Peer { node, worker }) => {
-                                    let worker = worker as usize;
-                                    if node.idx() >= nodes || worker >= workers {
-                                        return; // out-of-topology peer: drop
-                                    }
-                                    peer_reader_loop(
-                                        stream, node, worker, &links, &msg_pool, &ingress, &stop,
-                                    );
-                                }
-                                Ok(Hello::Client { slot }) => {
-                                    // Hand the connection (hello consumed)
-                                    // plus its claimed slot to the session
-                                    // server.
-                                    let _ = client_tx.send((stream, slot));
-                                }
-                                Err(_) => {} // bad handshake: drop
-                            }
-                        })
-                        .expect("spawn reader"),
-                );
+                pending.push(Pending {
+                    stream,
+                    hello: [0u8; wire::HELLO_LEN],
+                    got: 0,
+                    deadline: Instant::now() + HELLO_TIMEOUT,
+                });
+                progress = true;
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                std::thread::sleep(Duration::from_millis(10));
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
-    }
-    for h in readers {
-        let _ = h.join();
-    }
-}
-
-fn peer_reader_loop(
-    mut stream: TcpStream,
-    src: NodeId,
-    worker: usize,
-    links: &LinkTable,
-    msg_pool: &Pool<Msg>,
-    ingress: &[Sender<Envelope<Msg>>],
-    stop: &AtomicBool,
-) {
-    let link = links.link(src, worker);
-    let mut body: Vec<u8> = Vec::with_capacity(4096);
-    loop {
-        let mut prefix = [0u8; 4];
-        match read_exact_ticked(&mut stream, &mut prefix, stop) {
-            Ok(true) => {}
-            Ok(false) => return, // clean EOF
-            Err(_) => return,
-        }
-        let len = match wire::frame_body_len(prefix) {
-            Ok(l) => l,
-            Err(_) => {
-                // Oversized/garbage length: the stream cannot be resynced —
-                // drop the connection (the peer re-dials and retransmits).
-                link.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-        };
-        body.resize(len, 0);
-        match read_exact_ticked(&mut stream, &mut body, stop) {
-            Ok(true) => {}
-            _ => return,
-        }
-        let mut msgs = msg_pool.pop();
-        match wire::decode_frame_body(&body, &mut msgs) {
-            Ok(frame_src) if frame_src == src => {
-                link.frames_in.fetch_add(1, Ordering::Relaxed);
-                if ingress[worker].send(Envelope { src, msgs }).is_err() {
-                    return; // workers gone: tear down
+        let now = Instant::now();
+        let mut i = 0;
+        while i < pending.len() {
+            let p = &mut pending[i];
+            let done = loop {
+                if now >= p.deadline {
+                    break true; // handshake deadline: drop
                 }
+                match p.stream.read(&mut p.hello[p.got..]) {
+                    Ok(0) => break true,
+                    Ok(n) => {
+                        p.got += n;
+                        progress = true;
+                        if p.got < wire::HELLO_LEN {
+                            continue;
+                        }
+                        let p = pending.swap_remove(i);
+                        route_hello(
+                            p.stream,
+                            &p.hello,
+                            nodes,
+                            workers,
+                            sessions_per_worker,
+                            &conn_txs,
+                            &wakers,
+                        );
+                        // swap_remove replaced index i; re-examine it.
+                        break false;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break false,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break true,
+                }
+            };
+            if done {
+                pending.swap_remove(i);
+            } else if i < pending.len() && pending[i].got < wire::HELLO_LEN {
+                i += 1;
             }
-            _ => {
-                // Malformed frame (or a frame claiming a different source
-                // than the handshake): count it, recycle the buffer, close
-                // the connection. Never panics a worker.
-                link.decode_errors.fetch_add(1, Ordering::Relaxed);
-                msg_pool.put(msgs);
-                return;
-            }
+        }
+        if !progress {
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 }
 
+/// Decode a completed hello and hand the connection to its worker loop.
+/// Out-of-topology peers and bad handshakes are dropped silently (same
+/// policy as the threaded fabric).
+fn route_hello(
+    stream: TcpStream,
+    hello: &[u8; wire::HELLO_LEN],
+    nodes: usize,
+    workers: usize,
+    sessions_per_worker: usize,
+    conn_txs: &[Sender<NewConn>],
+    wakers: &[Arc<Waker>],
+) {
+    match wire::decode_hello(hello) {
+        Ok(Hello::Peer { node, worker }) => {
+            let worker = worker as usize;
+            if node.idx() >= nodes || worker >= workers {
+                return; // out-of-topology peer: drop
+            }
+            let _ = conn_txs[worker].send(NewConn::Peer { src: node, stream });
+            wakers[worker].wake();
+        }
+        Ok(Hello::Client { slot }) => {
+            // Route to the worker that owns the slot's session; an
+            // out-of-range slot goes to worker 0, whose loop answers
+            // `HelloErr` through the normal claim path.
+            let worker = (slot as usize / sessions_per_worker).min(workers - 1);
+            let _ = conn_txs[worker].send(NewConn::Client { slot, stream });
+            wakers[worker].wake();
+        }
+        Err(_) => {} // bad handshake: drop
+    }
+}
+
 // ---------------------------------------------------------------------------
-// Worker driving
+// Worker event loop
 // ---------------------------------------------------------------------------
 
-/// Handle to stop and join one node's worker threads (the
+/// Epoll token of the loop's waker eventfd.
+const TOK_WAKER: u64 = 0;
+/// Tokens `1..=nodes` are outbound peer links (dst = token - 1); inbound
+/// connections start here.
+fn conn_token_base(nodes: usize) -> u64 {
+    1 + nodes as u64
+}
+
+/// Outbound link state machine — reconnect/backoff as loop state.
+enum DialState {
+    /// Waiting for the next dial attempt.
+    Idle,
+    /// Nonblocking connect in flight.
+    Connecting,
+    /// Established; ring drains through the socket.
+    Connected,
+}
+
+struct PeerOut {
+    state: DialState,
+    stream: Option<TcpStream>,
+    ring: OutRing,
+    backoff: Duration,
+    next_dial: Instant,
+    dial_deadline: Instant,
+    /// EPOLLOUT currently registered?
+    want_out: bool,
+}
+
+impl PeerOut {
+    fn new() -> PeerOut {
+        PeerOut {
+            state: DialState::Idle,
+            stream: None,
+            ring: OutRing::new(),
+            backoff: BACKOFF_MIN,
+            next_dial: Instant::now(),
+            dial_deadline: Instant::now(),
+            want_out: false,
+        }
+    }
+}
+
+/// One inbound connection owned by a worker loop.
+enum Conn {
+    /// Peer fabric traffic.
+    PeerIn { src: NodeId, stream: TcpStream, rbuf: Vec<u8> },
+    /// A remote client session.
+    Client {
+        slot: u32,
+        stream: TcpStream,
+        rbuf: Vec<u8>,
+        ring: OutRing,
+        op_tx: Sender<Op>,
+        done_rx: Receiver<Completion>,
+        want_out: bool,
+    },
+}
+
+impl Conn {
+    fn stream(&self) -> &TcpStream {
+        match self {
+            Conn::PeerIn { stream, .. } | Conn::Client { stream, .. } => stream,
+        }
+    }
+}
+
+/// Handle to stop and join one node's worker loops (the
 /// `kite_simnet::StopHandle` surface for the TCP runtime).
 pub struct NodeStopHandle {
     stop: Arc<AtomicBool>,
@@ -785,8 +563,9 @@ impl NodeStopHandle {
         Arc::clone(&self.stop)
     }
 
-    /// The diagnostics flag: raising it makes every worker print an
-    /// `Actor::describe` snapshot to stderr once, from its own thread.
+    /// The diagnostics flag: raising it makes every worker loop print an
+    /// `Actor::describe` snapshot plus its fabric state (registered fds,
+    /// ring occupancy, last-readiness timestamps) to stderr once.
     pub fn dump_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.dump)
     }
@@ -801,89 +580,786 @@ impl Drop for NodeStopHandle {
     }
 }
 
-/// Spawn one busy-polling thread per `(actor, io)` pair over the TCP
-/// fabric — the same loop shape as `kite_simnet::spawn_workers`, minus the
-/// in-process fault plane (real networks inject their own faults).
-pub fn spawn_tcp_workers<A>(rigs: Vec<(A, TcpWorkerIo)>, net: &TcpNet) -> NodeStopHandle
+/// Spawn one event-loop thread per `(actor, io, sessions)` rig over the
+/// TCP fabric — the `kite_simnet::spawn_workers` surface, with the I/O
+/// plane folded into the worker thread itself. Rigs serving remote client
+/// sessions pass the node's slot table as the third element.
+pub fn spawn_tcp_workers<A>(
+    rigs: Vec<(A, TcpWorkerIo, Option<ClientSessions>)>,
+    net: &TcpNet,
+) -> NodeStopHandle
 where
     A: Actor<Msg = Msg> + 'static,
 {
+    assert!(rigs.len() <= net.workers, "more rigs than fabric workers");
     let stop = Arc::new(AtomicBool::new(false));
     let dump = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::with_capacity(rigs.len());
-    for (actor, io) in rigs {
+    for (actor, io, sessions) in rigs {
         let stop = Arc::clone(&stop);
         let dump = Arc::clone(&dump);
-        let clock = Arc::clone(&net.clock);
-        let nodes = net.nodes;
         let name = format!("kite-tcp-{}-w{}", io.node, io.worker);
         handles.push(
             std::thread::Builder::new()
                 .name(name)
-                .spawn(move || tcp_worker_loop(actor, io, clock, nodes, stop, dump))
+                .spawn(move || match EventLoop::new(actor, io, sessions, stop, dump) {
+                    Ok(mut lp) => lp.run(),
+                    Err(e) => eprintln!("kite-net: event loop setup failed: {e}"),
+                })
                 .expect("spawn tcp worker"),
         );
     }
     NodeStopHandle { stop, dump, handles }
 }
 
-fn tcp_worker_loop<A: Actor<Msg = Msg>>(
-    mut actor: A,
-    io: TcpWorkerIo,
-    clock: Arc<WallClock>,
+struct EventLoop<A: Actor<Msg = Msg>> {
+    actor: A,
+    me: NodeId,
+    worker: usize,
     nodes: usize,
+    clock: Arc<WallClock>,
+    counters: Arc<ProtoCounters>,
+    links: Arc<LinkTable>,
+    byte_pool: Arc<Pool<u8>>,
+    msg_pool: Arc<Pool<Msg>>,
+    peers: Arc<Vec<String>>,
+    conn_rx: Receiver<NewConn>,
+    waker: Arc<Waker>,
+    sessions: Option<ClientSessions>,
+    poller: Poller,
+    peer_out: Vec<PeerOut>,
+    conns: Vec<Option<Conn>>,
+    /// Self-addressed batches (loopback without a socket).
+    selfq: VecDeque<Vec<Msg>>,
+    out: Outbox<Msg>,
+    scratch: Vec<Vec<Msg>>,
+    events: Vec<(u64, u32)>,
     stop: Arc<AtomicBool>,
+    net_stop: Arc<AtomicBool>,
     dump: Arc<AtomicBool>,
-) {
-    let me = io.node;
-    let mut net = io.net;
-    let rx = io.rx;
-    let mut out: Outbox<Msg> = Outbox::new(nodes);
-    let mut idle_iters: u32 = 0;
-    let mut dumped = false;
-    const MAX_ENVELOPES_PER_ITER: usize = 64;
+    dumped: bool,
+}
 
-    while !stop.load(Ordering::Relaxed) {
-        if !dumped && dump.load(Ordering::Relaxed) {
-            dumped = true;
-            let now = clock.now();
-            let mut s = format!("==== watchdog dump {me} w{} (t={now}ns) ====\n", io.worker);
-            actor.describe(&mut s);
-            eprintln!("{s}");
-        }
+impl<A: Actor<Msg = Msg>> EventLoop<A> {
+    fn new(
+        actor: A,
+        io: TcpWorkerIo,
+        sessions: Option<ClientSessions>,
+        stop: Arc<AtomicBool>,
+        dump: Arc<AtomicBool>,
+    ) -> std::io::Result<EventLoop<A>> {
+        let poller = Poller::new()?;
+        poller.add(io.waker.fd(), TOK_WAKER, EPOLLIN)?;
+        let peer_out = (0..io.nodes).map(|_| PeerOut::new()).collect();
+        Ok(EventLoop {
+            actor,
+            me: io.node,
+            worker: io.worker,
+            nodes: io.nodes,
+            clock: io.clock,
+            counters: io.counters,
+            links: io.links,
+            byte_pool: io.byte_pool,
+            msg_pool: io.msg_pool,
+            peers: io.peers,
+            conn_rx: io.conn_rx,
+            waker: io.waker,
+            sessions,
+            poller,
+            peer_out,
+            conns: Vec::new(),
+            selfq: VecDeque::new(),
+            out: Outbox::new(io.nodes),
+            scratch: Vec::with_capacity(io.nodes),
+            events: Vec::with_capacity(64),
+            stop,
+            net_stop: io.net_stop,
+            dump,
+            dumped: false,
+        })
+    }
 
-        let mut progress = false;
-        for _ in 0..MAX_ENVELOPES_PER_ITER {
-            match rx.try_recv() {
-                Ok(mut env) => {
-                    actor.on_envelope(env.src, &mut env.msgs, clock.now(), &mut out);
-                    // Inbound buffers circulate back to the decode pool —
-                    // the socket-boundary half of the recycling contract.
-                    net.recycle_inbound(env.msgs);
-                    progress = true;
+    fn run(&mut self) {
+        let mut idle: u32 = 0;
+        while !self.stop.load(Ordering::Relaxed) && !self.net_stop.load(Ordering::Relaxed) {
+            if !self.dumped && self.dump.load(Ordering::Relaxed) {
+                self.dumped = true;
+                self.dump_state();
+            }
+            let mut progress = false;
+
+            // Newly accepted connections from the acceptor.
+            while let Ok(nc) = self.conn_rx.try_recv() {
+                self.register_conn(nc);
+                progress = true;
+            }
+
+            // Self-addressed batches queued by the previous flush.
+            for _ in 0..64 {
+                let Some(mut msgs) = self.selfq.pop_front() else { break };
+                let now = self.clock.now();
+                self.actor.on_envelope(self.me, &mut msgs, now, &mut self.out);
+                self.out.recycle(msgs);
+                progress = true;
+            }
+
+            // Socket readiness. After a couple of empty passes, park in
+            // epoll_wait: fd readiness (and the waker) ends the park
+            // immediately, so the timeout only gates pure-timer work —
+            // while a busier spin/yield ramp would steal the CPU from the
+            // peer loops whose replies we are parked waiting for (decisive
+            // on few-core machines).
+            let timeout_ms = if progress || idle < IDLE_SPIN { 0 } else { IDLE_WAIT_MS };
+            self.events.clear();
+            let mut events = std::mem::take(&mut self.events);
+            match self.poller.wait(&mut events, timeout_ms) {
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("kite-net {} w{}: epoll_wait failed: {e}", self.me, self.worker);
+                    break;
                 }
-                Err(_) => break,
+            }
+            for &(tok, ev) in events.iter() {
+                progress = true;
+                if tok == TOK_WAKER {
+                    self.waker.drain();
+                } else if tok < conn_token_base(self.nodes) {
+                    self.service_peer_out(NodeId((tok - 1) as u8), ev);
+                } else {
+                    self.service_conn((tok - conn_token_base(self.nodes)) as usize, ev);
+                }
+            }
+            self.events = events;
+
+            // Protocol tick (retransmissions, keepalives, session intake).
+            let now = self.clock.now();
+            if self.actor.on_tick(now, &mut self.out) {
+                progress = true;
+            }
+
+            // Ship what the actor produced, then push client completions.
+            if !self.out.is_empty() {
+                self.flush_outbox();
+                progress = true;
+            }
+            if self.sessions.is_some() && self.pump_completions() {
+                progress = true;
+            }
+
+            // Dial pass: any disconnected peer whose backoff expired.
+            self.dial_pass();
+
+            if progress {
+                idle = 0;
+            } else {
+                idle = idle.saturating_add(1);
+                if idle < IDLE_SPIN {
+                    std::hint::spin_loop();
+                }
+                // Past IDLE_SPIN the epoll_wait timeout above parks us.
             }
         }
-        if actor.on_tick(clock.now(), &mut out) {
-            progress = true;
-        }
-        if !out.is_empty() {
-            net.flush(&mut out);
-            progress = true;
-        }
+        self.teardown();
+    }
 
-        if progress {
-            idle_iters = 0;
-        } else {
-            idle_iters = idle_iters.saturating_add(1);
-            if idle_iters < 64 {
-                std::hint::spin_loop();
-            } else if idle_iters < 256 {
-                std::thread::yield_now();
-            } else {
-                std::thread::park_timeout(Duration::from_micros(100));
+    // -- outbound peers ---------------------------------------------------
+
+    fn dial_pass(&mut self) {
+        let now = Instant::now();
+        for dst in 0..self.nodes {
+            if dst == self.me.idx() {
+                continue;
+            }
+            match self.peer_out[dst].state {
+                DialState::Idle if now >= self.peer_out[dst].next_dial => self.dial(dst, now),
+                DialState::Connecting if now >= self.peer_out[dst].dial_deadline => {
+                    self.peer_fail(NodeId(dst as u8))
+                }
+                _ => {}
             }
         }
     }
+
+    fn dial(&mut self, dst: usize, now: Instant) {
+        let addr = match self.peers[dst].to_socket_addrs().ok().and_then(|mut a| a.next()) {
+            Some(a) => a,
+            None => {
+                self.schedule_redial(dst);
+                return;
+            }
+        };
+        let stream = match sys::connect_nonblocking(&addr) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::Unsupported => {
+                // Non-IPv4 fallback: a bounded blocking dial (only hit by
+                // v6 deployments; loopback and datacenter configs are v4).
+                match TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT) {
+                    Ok(s) => {
+                        let _ = s.set_nonblocking(true);
+                        s
+                    }
+                    Err(_) => {
+                        self.schedule_redial(dst);
+                        return;
+                    }
+                }
+            }
+            Err(_) => {
+                self.schedule_redial(dst);
+                return;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        use std::os::fd::AsRawFd;
+        if self.poller.add(stream.as_raw_fd(), 1 + dst as u64, EPOLLOUT).is_err() {
+            self.schedule_redial(dst);
+            return;
+        }
+        let po = &mut self.peer_out[dst];
+        po.stream = Some(stream);
+        po.state = DialState::Connecting;
+        po.dial_deadline = now + CONNECT_TIMEOUT;
+        po.want_out = true;
+    }
+
+    fn schedule_redial(&mut self, dst: usize) {
+        let po = &mut self.peer_out[dst];
+        po.state = DialState::Idle;
+        po.stream = None;
+        po.next_dial = Instant::now() + po.backoff;
+        po.backoff = (po.backoff * 2).min(BACKOFF_MAX);
+        self.links.link(NodeId(dst as u8), self.worker).set_backoff();
+    }
+
+    /// Outbound link readiness: connect completion, EOF probe, ring drain.
+    fn service_peer_out(&mut self, dst: NodeId, ev: u32) {
+        let d = dst.idx();
+        if self.peer_out[d].stream.is_none() {
+            return; // stale event for a conn torn down earlier this batch
+        }
+        if let DialState::Connecting = self.peer_out[d].state {
+            if ev & (EPOLLERR | EPOLLHUP) != 0 {
+                self.peer_fail(dst);
+                return;
+            }
+            if ev & EPOLLOUT != 0 {
+                let healthy =
+                    sys::take_socket_error(self.peer_out[d].stream.as_ref().expect("stream"));
+                if healthy.is_err() {
+                    self.peer_fail(dst);
+                    return;
+                }
+                self.peer_established(dst);
+            }
+            return;
+        }
+        // Connected.
+        if ev & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0 {
+            self.peer_fail(dst);
+            return;
+        }
+        if ev & EPOLLIN != 0 {
+            // Peers never send data on our outbound connection — readable
+            // means EOF/RST (or junk, which also costs the connection).
+            let mut probe = [0u8; 64];
+            match self.peer_out[d].stream.as_ref().expect("stream").read(&mut probe) {
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                _ => {
+                    self.peer_fail(dst);
+                    return;
+                }
+            }
+        }
+        if ev & EPOLLOUT != 0 {
+            self.drain_peer_ring(dst);
+        }
+    }
+
+    fn peer_established(&mut self, dst: NodeId) {
+        let d = dst.idx();
+        {
+            let po = &mut self.peer_out[d];
+            po.state = DialState::Connected;
+            po.backoff = BACKOFF_MIN;
+            // First bytes on the wire: the peer hello (rides the ring like
+            // any frame; the ring is empty at connect time).
+            let mut buf = self.byte_pool.pop();
+            buf.extend_from_slice(&wire::encode_hello(Hello::Peer {
+                node: self.me,
+                worker: self.worker as u16,
+            }));
+            let _ = po.ring.push(buf);
+        }
+        self.links.link(dst, self.worker).set_connected();
+        self.drain_peer_ring(dst);
+    }
+
+    /// Tear down an outbound link (dial failure or death) and schedule the
+    /// redial. Ring contents are lost-and-counted, like frames on a downed
+    /// link.
+    fn peer_fail(&mut self, dst: NodeId) {
+        let d = dst.idx();
+        let link = self.links.link(dst, self.worker);
+        let po = &mut self.peer_out[d];
+        if let Some(stream) = po.stream.take() {
+            use std::os::fd::AsRawFd;
+            let _ = self.poller.del(stream.as_raw_fd());
+        }
+        if !po.ring.is_empty() {
+            link.dropped_out.fetch_add(po.ring.len() as u64, Ordering::Relaxed);
+            po.ring.clear_into(&self.byte_pool);
+        }
+        link.ring_frames.store(0, Ordering::Relaxed);
+        link.ring_bytes.store(0, Ordering::Relaxed);
+        po.want_out = false;
+        self.schedule_redial(d);
+    }
+
+    /// Push ring bytes into the socket; toggles EPOLLOUT to match what's
+    /// left.
+    fn drain_peer_ring(&mut self, dst: NodeId) {
+        let d = dst.idx();
+        let link = self.links.link(dst, self.worker);
+        let po = &mut self.peer_out[d];
+        let Some(stream) = po.stream.as_mut() else { return };
+        let before_frames = po.ring.len();
+        let before_bytes = po.ring.bytes();
+        let outcome = po.ring.drain_to(stream, &self.byte_pool);
+        let done = po.ring.len();
+        if before_frames > done {
+            link.frames_out.fetch_add((before_frames - done) as u64, Ordering::Relaxed);
+        }
+        if po.ring.bytes() < before_bytes {
+            link.last_tx_ns.store(self.clock.now(), Ordering::Relaxed);
+        }
+        link.ring_frames.store(po.ring.len() as u64, Ordering::Relaxed);
+        link.ring_bytes.store(po.ring.bytes() as u64, Ordering::Relaxed);
+        match outcome {
+            Ok(Drain::Emptied) => {
+                if po.want_out {
+                    po.want_out = false;
+                    use std::os::fd::AsRawFd;
+                    let _ = self.poller.modify(stream.as_raw_fd(), 1 + d as u64, EPOLLIN);
+                }
+            }
+            Ok(Drain::Blocked) => {
+                if !po.want_out {
+                    po.want_out = true;
+                    use std::os::fd::AsRawFd;
+                    let _ =
+                        self.poller.modify(stream.as_raw_fd(), 1 + d as u64, EPOLLIN | EPOLLOUT);
+                }
+            }
+            Err(_) => self.peer_fail(dst),
+        }
+    }
+
+    /// Encode-and-ship every outbox batch: remote batches into peer rings
+    /// (shedding when a ring is full — bounded memory under backpressure),
+    /// self batches onto the loopback queue. Batch buffers recycle into
+    /// the outbox; steady-state flushes allocate nothing.
+    fn flush_outbox(&mut self) {
+        let me = self.me;
+        let worker = self.worker;
+        let Self { out, peer_out, selfq, byte_pool, links, counters, scratch, .. } = self;
+        let mut dirty = 0u64; // bitmask of peers with newly ringed frames
+        out.flush(|dst, batch| {
+            counters.msgs_sent.add(batch.len() as u64);
+            counters.envelopes_sent.incr();
+            if dst == me {
+                selfq.push_back(batch);
+                return;
+            }
+            let link = links.link(dst, worker);
+            let po = &mut peer_out[dst.idx()];
+            if let DialState::Connected = po.state {
+                let mut buf = byte_pool.pop();
+                wire::encode_frames(me, &batch, &mut buf);
+                match po.ring.push(buf) {
+                    Ok(()) => {
+                        dirty |= 1 << dst.idx();
+                        link.ring_frames.store(po.ring.len() as u64, Ordering::Relaxed);
+                        link.ring_bytes.store(po.ring.bytes() as u64, Ordering::Relaxed);
+                    }
+                    Err(buf) => {
+                        // Ring full: shed, exactly like a lossy link — the
+                        // protocol's retransmission layer recovers once the
+                        // peer reads again. Sender memory stays bounded.
+                        link.shed_full.fetch_add(1, Ordering::Relaxed);
+                        byte_pool.put(buf);
+                    }
+                }
+            } else {
+                // Link down: lossy NIC, not a buffer.
+                link.dropped_out.fetch_add(1, Ordering::Relaxed);
+            }
+            scratch.push(batch);
+        });
+        for b in scratch.drain(..) {
+            out.recycle(b);
+        }
+        for d in 0..self.nodes {
+            if dirty & (1 << d) != 0 {
+                self.drain_peer_ring(NodeId(d as u8));
+            }
+        }
+    }
+
+    // -- inbound connections ----------------------------------------------
+
+    fn register_conn(&mut self, nc: NewConn) {
+        let conn = match nc {
+            NewConn::Peer { src, stream } => {
+                Conn::PeerIn { src, stream, rbuf: Vec::with_capacity(READ_CHUNK) }
+            }
+            NewConn::Client { slot, stream } => match self.claim_session(slot) {
+                Ok((op_tx, done_rx)) => {
+                    let mut ring = OutRing::new();
+                    let mut buf = self.byte_pool.pop();
+                    let session = SessionId::new(self.me, slot);
+                    wire::encode_client_frame(&ClientFrame::HelloOk { session }, &mut buf);
+                    let _ = ring.push(buf);
+                    Conn::Client {
+                        slot,
+                        stream,
+                        rbuf: Vec::with_capacity(READ_CHUNK),
+                        ring,
+                        op_tx,
+                        done_rx,
+                        want_out: false,
+                    }
+                }
+                Err(reason) => {
+                    // Best-effort refusal; the frame is tiny, so a fresh
+                    // socket buffer takes it without blocking the loop.
+                    let mut stream = stream;
+                    let mut buf = self.byte_pool.pop();
+                    wire::encode_client_frame(&ClientFrame::HelloErr { reason }, &mut buf);
+                    let _ = stream.write(&buf);
+                    self.byte_pool.put(buf);
+                    return;
+                }
+            },
+        };
+        // Slab insert + epoll registration.
+        let idx = match self.conns.iter().position(|c| c.is_none()) {
+            Some(i) => i,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        use std::os::fd::AsRawFd;
+        let fd = conn.stream().as_raw_fd();
+        let tok = conn_token_base(self.nodes) + idx as u64;
+        if self.poller.add(fd, tok, EPOLLIN).is_err() {
+            return; // conn dropped
+        }
+        self.conns[idx] = Some(conn);
+        // A client conn starts with HelloOk queued — push it out now.
+        self.service_conn_writable(idx);
+    }
+
+    fn claim_session(&mut self, slot: u32) -> std::result::Result<(Sender<Op>, Receiver<Completion>), String> {
+        let Some(sessions) = &self.sessions else {
+            return Err(format!("{} serves no remote sessions", self.me));
+        };
+        let mut slots = sessions.slots.lock();
+        match slots.get_mut(slot as usize) {
+            Some(entry) => {
+                entry.take().ok_or_else(|| format!("{} slot {slot} taken", self.me))
+            }
+            None => Err(format!("no slot {slot} on {}", self.me)),
+        }
+    }
+
+    /// Readiness on an inbound connection.
+    fn service_conn(&mut self, idx: usize, ev: u32) {
+        if self.conns.get(idx).map_or(true, |c| c.is_none()) {
+            return; // closed earlier in this event batch
+        }
+        if ev & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(idx);
+            return;
+        }
+        if ev & EPOLLIN != 0 && !self.service_conn_readable(idx) {
+            self.close_conn(idx);
+            return;
+        }
+        if ev & EPOLLRDHUP != 0 {
+            // Half-close after we consumed what was readable: done.
+            self.close_conn(idx);
+            return;
+        }
+        if ev & EPOLLOUT != 0 {
+            self.service_conn_writable(idx);
+        }
+    }
+
+    /// Read-and-decode until `WouldBlock` (bounded by [`READ_QUANTUM`] for
+    /// fairness). Returns `false` when the connection must close.
+    fn service_conn_readable(&mut self, idx: usize) -> bool {
+        // Take the conn out of the slab so the actor (also `&mut self`)
+        // can run against decoded frames without aliasing.
+        let Some(mut conn) = self.conns[idx].take() else { return true };
+        let mut alive = true;
+        let mut budget = READ_QUANTUM;
+        'read: while budget > 0 {
+            let (stream, rbuf) = match &mut conn {
+                Conn::PeerIn { stream, rbuf, .. } => (stream, rbuf),
+                Conn::Client { stream, rbuf, .. } => (stream, rbuf),
+            };
+            let old = rbuf.len();
+            rbuf.resize(old + READ_CHUNK, 0);
+            match stream.read(&mut rbuf[old..]) {
+                Ok(0) => {
+                    rbuf.truncate(old);
+                    alive = false;
+                    break 'read;
+                }
+                Ok(n) => {
+                    rbuf.truncate(old + n);
+                    budget = budget.saturating_sub(n);
+                    if !self.decode_conn_frames(&mut conn) {
+                        alive = false;
+                        break 'read;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    rbuf.truncate(old);
+                    break 'read;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    rbuf.truncate(old);
+                }
+                Err(_) => {
+                    rbuf.truncate(old);
+                    alive = false;
+                    break 'read;
+                }
+            }
+        }
+        self.conns[idx] = Some(conn);
+        alive
+    }
+
+    /// Decode every complete frame buffered on `conn`. Returns `false` on
+    /// a malformed frame (the connection is charged, never the worker).
+    fn decode_conn_frames(&mut self, conn: &mut Conn) -> bool {
+        match conn {
+            Conn::PeerIn { src, stream: _, rbuf } => {
+                let src = *src;
+                let link = self.links.link(src, self.worker);
+                link.last_rx_ns.store(self.clock.now(), Ordering::Relaxed);
+                let mut pos = 0usize;
+                let ok = loop {
+                    if rbuf.len() - pos < 4 {
+                        break true;
+                    }
+                    let prefix = [rbuf[pos], rbuf[pos + 1], rbuf[pos + 2], rbuf[pos + 3]];
+                    let blen = match wire::frame_body_len(prefix) {
+                        Ok(l) => l,
+                        Err(_) => {
+                            link.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            break false;
+                        }
+                    };
+                    if rbuf.len() - pos < 4 + blen {
+                        break true; // partial frame: wait for more bytes
+                    }
+                    let mut msgs = self.msg_pool.pop();
+                    match wire::decode_frame_body(&rbuf[pos + 4..pos + 4 + blen], &mut msgs) {
+                        Ok(frame_src) if frame_src == src => {
+                            link.frames_in.fetch_add(1, Ordering::Relaxed);
+                            pos += 4 + blen;
+                            let now = self.clock.now();
+                            self.actor.on_envelope(src, &mut msgs, now, &mut self.out);
+                            self.msg_pool.put(msgs);
+                        }
+                        _ => {
+                            // Malformed (or mis-attributed) frame: count,
+                            // recycle, close.
+                            link.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            self.msg_pool.put(msgs);
+                            break false;
+                        }
+                    }
+                };
+                compact(rbuf, pos);
+                ok
+            }
+            Conn::Client { rbuf, op_tx, .. } => {
+                let mut pos = 0usize;
+                let ok = loop {
+                    if rbuf.len() - pos < 4 {
+                        break true;
+                    }
+                    let prefix = [rbuf[pos], rbuf[pos + 1], rbuf[pos + 2], rbuf[pos + 3]];
+                    let blen = u32::from_le_bytes(prefix) as usize;
+                    if blen > wire::MAX_FRAME {
+                        break false; // malformed client: drop the connection
+                    }
+                    if rbuf.len() - pos < 4 + blen {
+                        break true;
+                    }
+                    match wire::decode_client_frame(&rbuf[pos + 4..pos + 4 + blen]) {
+                        Ok(ClientFrame::Submit(op)) => {
+                            pos += 4 + blen;
+                            if op_tx.send(op).is_err() {
+                                break false; // node shutting down
+                            }
+                        }
+                        _ => break false, // anything else from a client is malformed
+                    }
+                };
+                compact(rbuf, pos);
+                ok
+            }
+        }
+    }
+
+    fn service_conn_writable(&mut self, idx: usize) {
+        let Some(Conn::Client { stream, ring, want_out, .. }) =
+            self.conns.get_mut(idx).and_then(|c| c.as_mut())
+        else {
+            return; // peer-in conns never queue outbound bytes
+        };
+        use std::os::fd::AsRawFd;
+        let tok = conn_token_base(self.nodes) + idx as u64;
+        match ring.drain_to(stream, &self.byte_pool) {
+            Ok(Drain::Emptied) => {
+                if *want_out {
+                    *want_out = false;
+                    let _ = self.poller.modify(stream.as_raw_fd(), tok, EPOLLIN);
+                }
+            }
+            Ok(Drain::Blocked) => {
+                if !*want_out {
+                    *want_out = true;
+                    let _ = self.poller.modify(stream.as_raw_fd(), tok, EPOLLIN | EPOLLOUT);
+                }
+            }
+            Err(_) => self.close_conn(idx),
+        }
+    }
+
+    /// Move completed ops from every client session to its connection's
+    /// ring. Batches all completions available this iteration into one
+    /// frame buffer per connection (one writev downstream).
+    fn pump_completions(&mut self) -> bool {
+        let mut any = false;
+        for idx in 0..self.conns.len() {
+            let Some(Conn::Client { ring, done_rx, .. }) =
+                self.conns[idx].as_mut()
+            else {
+                continue;
+            };
+            if done_rx.is_empty() {
+                continue;
+            }
+            let mut buf = self.byte_pool.pop();
+            // Ring-full backpressure: completions stay in the channel (the
+            // client's own in-flight window bounds what can pile up).
+            while ring.len() < 64 {
+                match done_rx.try_recv() {
+                    Ok(c) => {
+                        wire::encode_client_frame(&ClientFrame::Completion(c), &mut buf);
+                        if buf.len() >= 32 << 10 {
+                            let full = std::mem::replace(&mut buf, self.byte_pool.pop());
+                            if let Err(full) = ring.push(full) {
+                                self.byte_pool.put(full);
+                                break;
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            if buf.is_empty() {
+                self.byte_pool.put(buf);
+            } else if let Err(buf) = ring.push(buf) {
+                self.byte_pool.put(buf);
+            }
+            any = true;
+            self.service_conn_writable(idx);
+        }
+        any
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else { return };
+        use std::os::fd::AsRawFd;
+        let _ = self.poller.del(conn.stream().as_raw_fd());
+        if let Conn::Client { mut ring, .. } = conn {
+            ring.clear_into(&self.byte_pool);
+        }
+        // The slot of a disconnected client stays claimed — sessions are
+        // claim-once, exactly like the in-process cluster.
+    }
+
+    // -- diagnostics / shutdown -------------------------------------------
+
+    /// Watchdog dump: the actor's protocol snapshot plus the loop's fabric
+    /// state — registered fds, per-peer ring occupancy, last-readiness
+    /// timestamps.
+    fn dump_state(&mut self) {
+        let now = self.clock.now();
+        let mut s = format!("==== watchdog dump {} w{} (t={now}ns) ====\n", self.me, self.worker);
+        self.actor.describe(&mut s);
+        use std::fmt::Write as _;
+        let live_conns = self.conns.iter().filter(|c| c.is_some()).count();
+        let _ = writeln!(
+            s,
+            "fabric loop: {live_conns} inbound conns + waker registered, selfq={}",
+            self.selfq.len()
+        );
+        for c in self.conns.iter().flatten() {
+            if let Conn::Client { slot, ring, .. } = c {
+                let _ = writeln!(s, "  client s{slot}: ring={}f/{}B", ring.len(), ring.bytes());
+            }
+        }
+        for d in 0..self.nodes {
+            if d == self.me.idx() {
+                continue;
+            }
+            let po = &self.peer_out[d];
+            let link = self.links.link(NodeId(d as u8), self.worker);
+            let state = match po.state {
+                DialState::Idle => "Idle",
+                DialState::Connecting => "Connecting",
+                DialState::Connected => "Connected",
+            };
+            let _ = writeln!(
+                s,
+                "  out n{d}: {state} ring={}f/{}B want_out={} last_rx_ns={} last_tx_ns={}",
+                po.ring.len(),
+                po.ring.bytes(),
+                po.want_out,
+                link.last_rx_ns.load(Ordering::Relaxed),
+                link.last_tx_ns.load(Ordering::Relaxed),
+            );
+        }
+        eprintln!("{s}");
+    }
+
+    fn teardown(&mut self) {
+        for d in 0..self.nodes {
+            let po = &mut self.peer_out[d];
+            po.ring.clear_into(&self.byte_pool);
+            po.stream = None;
+        }
+        for idx in 0..self.conns.len() {
+            self.close_conn(idx);
+        }
+    }
+}
+
+/// Drop `buf[..pos]`, keeping the unparsed tail at the front.
+fn compact(buf: &mut Vec<u8>, pos: usize) {
+    if pos == 0 {
+        return;
+    }
+    let len = buf.len();
+    buf.copy_within(pos..len, 0);
+    buf.truncate(len - pos);
 }

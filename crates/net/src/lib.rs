@@ -7,25 +7,32 @@
 //! sockets between real processes** — the step from protocol to deployable
 //! replication layer.
 //!
-//! * [`fabric`] — [`TcpNet`]: per-peer writer threads draining
-//!   `Outbox::flush` batches into vectored writes, reader threads framing
-//!   bytes back into `Actor::on_envelope` deliveries, per-link
-//!   reconnect-with-backoff and watchdog-visible link state.
+//! * [`fabric`] — [`TcpNet`]: one run-to-completion epoll event loop per
+//!   worker (the worker thread *is* the I/O loop), nonblocking sockets,
+//!   readiness-driven reads feeding `Actor::on_envelope`, vectored writes
+//!   draining bounded per-peer outbound rings that shed under
+//!   backpressure, per-link reconnect-with-backoff as loop state, and
+//!   watchdog-visible link/ring state.
+//! * [`sys`] — the raw-libc epoll/eventfd/nonblocking-connect FFI surface
+//!   (the workspace carries no libc/mio/tokio crates).
+//! * [`ring`] — the bounded outbound frame ring and the shared buffer
+//!   pools.
 //! * [`node`] — [`NodeRuntime`]: one Kite node as a process (session
-//!   plumbing, workers over the fabric, remote-session serving, clean
-//!   shutdown); [`launch_local_cluster`] runs a whole cluster on loopback
-//!   inside one process for tests and benches.
-//! * [`client`] — [`RemoteSession`]: the blocking `SessionHandle` API over
-//!   a socket, matching completions by op sequence number.
+//!   plumbing, workers over the fabric, in-loop remote-session serving,
+//!   clean shutdown); [`launch_local_cluster`] runs a whole cluster on
+//!   loopback inside one process for tests and benches.
+//! * [`client`] — [`RemoteSession`]: the `SessionHandle` API over a
+//!   socket, pipelined — many in-flight ops per connection, completions
+//!   matched by op sequence number through a reorder window.
 //! * `kite-node` / `kite-client` (bins) — the daemon and the workload
 //!   driver used by `scripts/e2e_tcp.sh`.
 //!
 //! The wire format itself lives in `kite::wire`; this crate only moves the
 //! frames. The buffer-recycling contract of the in-process runtimes
 //! survives the socket boundary: outbox batches are encoded into pooled
-//! byte buffers and recycled immediately, and inbound frames decode into
-//! pooled `Vec<Msg>` buffers that circulate between the reader threads and
-//! the worker loop.
+//! byte buffers that the rings recycle once the kernel accepts the bytes,
+//! and inbound frames decode into pooled `Vec<Msg>` buffers — steady-state
+//! sends and receives allocate nothing.
 
 #![warn(missing_docs)]
 
@@ -33,8 +40,12 @@ pub mod client;
 pub mod fabric;
 pub mod link;
 pub mod node;
+pub mod ring;
+pub mod sys;
 
 pub use client::{RemoteSession, CLIENT_TIMEOUT};
-pub use fabric::{spawn_tcp_workers, NodeStopHandle, TcpHandle, TcpNet, TcpNetCfg, TcpWorkerIo};
+pub use fabric::{
+    spawn_tcp_workers, ClientSessions, NodeStopHandle, TcpNet, TcpNetCfg, TcpWorkerIo,
+};
 pub use link::{LinkPhase, LinkState, LinkTable};
 pub use node::{launch_local_cluster, NodeConfig, NodeRuntime, NodeWatchdog};

@@ -1,12 +1,13 @@
 //! Per-peer link state: what the watchdog sees when a connection dies.
 //!
-//! Every `(peer node, worker)` pair owns one [`LinkState`]: the writer
-//! thread flips it between connected and backoff as the TCP connection
-//! lives and dies, and both directions count frames. A peer connection
-//! dying mid-batch therefore *surfaces* — in [`LinkTable::describe`],
-//! printed by the node watchdog next to the workers' `Actor::describe`
-//! dumps — instead of silently stalling retransmissions until someone
-//! attaches strace.
+//! Every `(peer node, worker)` pair owns one [`LinkState`]: the worker's
+//! event loop flips it between connected and backoff as the TCP connection
+//! lives and dies, both directions count frames, and the bounded outbound
+//! ring publishes its occupancy and shed count here. A peer connection
+//! dying mid-batch (or stalling and forcing sheds) therefore *surfaces* —
+//! in [`LinkTable::describe`], printed by the node watchdog next to the
+//! workers' `Actor::describe` dumps — instead of silently stalling
+//! retransmissions until someone attaches strace.
 
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
@@ -34,7 +35,7 @@ impl LinkPhase {
 }
 
 /// State + counters of one `(peer, worker)` link, shared between the
-/// writer thread (outbound), reader threads (inbound) and diagnostics.
+/// worker's event loop (which owns the socket) and diagnostics.
 #[derive(Default)]
 pub struct LinkState {
     phase: AtomicU8,
@@ -50,6 +51,18 @@ pub struct LinkState {
     pub decode_errors: AtomicU64,
     /// Successful (re)connections.
     pub connects: AtomicU64,
+    /// Outbound frames shed because the bounded ring was full — the
+    /// backpressure signal of a peer that stopped reading. Retransmission
+    /// recovers these once the peer drains again.
+    pub shed_full: AtomicU64,
+    /// Gauge: frames currently queued in the outbound ring.
+    pub ring_frames: AtomicU64,
+    /// Gauge: bytes currently queued in the outbound ring.
+    pub ring_bytes: AtomicU64,
+    /// Wall-clock ns of the last inbound readiness on this link (0 = never).
+    pub last_rx_ns: AtomicU64,
+    /// Wall-clock ns of the last completed socket write (0 = never).
+    pub last_tx_ns: AtomicU64,
 }
 
 impl LinkState {
@@ -118,13 +131,19 @@ impl LinkTable {
             for (w, l) in per_node.iter().enumerate() {
                 let _ = writeln!(
                     out,
-                    "  peer n{n} w{w}: {:?} out={} in={} dropped={} decode_errs={} connects={}",
+                    "  peer n{n} w{w}: {:?} out={} in={} dropped={} shed={} ring={}f/{}B \
+                     decode_errs={} connects={} last_rx_ns={} last_tx_ns={}",
                     l.phase(),
                     l.frames_out.load(Ordering::Relaxed),
                     l.frames_in.load(Ordering::Relaxed),
                     l.dropped_out.load(Ordering::Relaxed),
+                    l.shed_full.load(Ordering::Relaxed),
+                    l.ring_frames.load(Ordering::Relaxed),
+                    l.ring_bytes.load(Ordering::Relaxed),
                     l.decode_errors.load(Ordering::Relaxed),
                     l.connects.load(Ordering::Relaxed),
+                    l.last_rx_ns.load(Ordering::Relaxed),
+                    l.last_tx_ns.load(Ordering::Relaxed),
                 );
             }
         }

@@ -9,9 +9,8 @@
 //! (`kite::wire`) and get completions matched by op sequence number,
 //! exactly like an in-process [`kite::SessionHandle`].
 
-use std::io::Write as _;
-use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -19,14 +18,15 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use kite::api::{Completion, Op};
 use kite::session::{Session, SessionDriver};
-use kite::wire::{self, ClientFrame};
 use kite::{NodeShared, ProtocolMode, SessionHandle, Worker};
 use kite_common::{ClusterConfig, KiteError, NodeId, Result, SessionId};
 use kite_kvs::DurabilitySink;
 use kite_wal::{RecoveryStats, Wal};
 use parking_lot::Mutex;
 
-use crate::fabric::{spawn_tcp_workers, NodeStopHandle, TcpNet, TcpNetCfg, TcpWorkerIo};
+use crate::fabric::{
+    spawn_tcp_workers, ClientSessions, NodeStopHandle, TcpNet, TcpNetCfg, TcpWorkerIo,
+};
 
 type SessionPlumbing = (Sender<Op>, Receiver<Completion>);
 
@@ -63,8 +63,6 @@ pub struct NodeRuntime {
     stop: Option<NodeStopHandle>,
     shared: Arc<NodeShared>,
     slots: Arc<Mutex<Vec<Option<SessionPlumbing>>>>,
-    client_stop: Arc<AtomicBool>,
-    client_threads: Vec<JoinHandle<()>>,
     wal: Option<Arc<Wal>>,
     recovery: Option<RecoveryStats>,
 }
@@ -85,10 +83,11 @@ impl NodeRuntime {
             return Err(KiteError::BadConfig(format!("node id {} out of range", cfg.me)));
         }
         let ccfg = cfg.cluster;
-        let (mut net, ios) = TcpNet::bind(TcpNetCfg {
+        let (net, ios) = TcpNet::bind(TcpNetCfg {
             me: cfg.me,
             peers: cfg.peers,
             workers: ccfg.workers_per_node,
+            sessions_per_worker: ccfg.sessions_per_worker,
             listener: cfg.fabric_listener,
         })
         .map_err(|e| KiteError::Net(format!("bind fabric: {e}")))?;
@@ -122,8 +121,10 @@ impl NodeRuntime {
         };
 
         // Session plumbing: identical wiring to `Cluster::launch`, one node.
-        let mut slots: Vec<Option<SessionPlumbing>> = Vec::new();
-        let mut rigs: Vec<(Worker, TcpWorkerIo)> = Vec::new();
+        // The slot table is shared with the worker event loops, which serve
+        // remote session claims directly (no bridge threads).
+        let mut slot_vec: Vec<Option<SessionPlumbing>> = Vec::new();
+        let mut workers: Vec<(Worker, TcpWorkerIo)> = Vec::new();
         for io in ios {
             let w = io.worker;
             let mut sessions = Vec::with_capacity(ccfg.sessions_per_worker);
@@ -135,29 +136,20 @@ impl NodeRuntime {
                 let mut sess = Session::new(sid);
                 sess.driver = SessionDriver::External { rx: op_rx, tx: done_tx };
                 sessions.push(sess);
-                slots.push(Some((op_tx, done_rx)));
+                slot_vec.push(Some((op_tx, done_rx)));
             }
             let worker = Worker::new(w, Arc::clone(&shared), cfg.mode, sessions, None);
-            rigs.push((worker, io));
+            workers.push((worker, io));
         }
+        let slots = Arc::new(Mutex::new(slot_vec));
+        let rigs = workers
+            .into_iter()
+            .map(|(worker, io)| {
+                let sessions = ClientSessions { me: cfg.me, slots: Arc::clone(&slots) };
+                (worker, io, Some(sessions))
+            })
+            .collect();
         let stop = spawn_tcp_workers(rigs, &net);
-
-        // Remote-session server: drain client connections accepted by the
-        // fabric listener.
-        let slots = Arc::new(Mutex::new(slots));
-        let client_stop = Arc::new(AtomicBool::new(false));
-        let mut client_threads = Vec::new();
-        if let Some(conns) = net.take_client_conns() {
-            let slots = Arc::clone(&slots);
-            let cstop = Arc::clone(&client_stop);
-            let me = cfg.me;
-            client_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("kite-clients-{me}"))
-                    .spawn(move || client_dispatch_loop(conns, me, slots, cstop))
-                    .expect("spawn client dispatcher"),
-            );
-        }
 
         Ok(NodeRuntime {
             cfg: ccfg,
@@ -167,8 +159,6 @@ impl NodeRuntime {
             stop: Some(stop),
             shared,
             slots,
-            client_stop,
-            client_threads,
             wal,
             recovery,
         })
@@ -273,11 +263,9 @@ impl NodeRuntime {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.client_stop.store(true, Ordering::SeqCst);
+        // Stop the acceptor first (no new connections), then the worker
+        // event loops — which close every socket they own on the way out.
         self.net.stop_flag().store(true, Ordering::SeqCst);
-        for h in self.client_threads.drain(..) {
-            let _ = h.join();
-        }
         if let Some(stop) = self.stop.take() {
             stop.stop_and_join();
         }
@@ -326,132 +314,6 @@ fn claim_slot(
     entry
         .take()
         .ok_or_else(|| KiteError::SessionUnavailable(format!("{me} slot {slot} taken")))
-}
-
-// ---------------------------------------------------------------------------
-// Remote-session serving
-// ---------------------------------------------------------------------------
-
-fn client_dispatch_loop(
-    conns: Receiver<(TcpStream, u32)>,
-    me: NodeId,
-    slots: Arc<Mutex<Vec<Option<SessionPlumbing>>>>,
-    stop: Arc<AtomicBool>,
-) {
-    let mut serving: Vec<JoinHandle<()>> = Vec::new();
-    while !stop.load(Ordering::Relaxed) {
-        serving.retain(|h| !h.is_finished());
-        match conns.recv_timeout(Duration::from_millis(100)) {
-            Ok((stream, slot)) => {
-                let stop = Arc::clone(&stop);
-                let claimed = claim_slot(&slots, me, slot);
-                serving.push(
-                    std::thread::Builder::new()
-                        .name(format!("kite-client-{me}-s{slot}"))
-                        .spawn(move || serve_client(stream, me, slot, claimed, stop))
-                        .expect("spawn client server"),
-                );
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-        }
-    }
-    for h in serving {
-        let _ = h.join();
-    }
-}
-
-/// Serve one remote client: answer the hello, then bridge submissions
-/// downstream (socket → session op channel) while a pump thread bridges
-/// completions upstream. A client disconnect simply stops the bridge; the
-/// slot stays claimed (sessions are claim-once, as in-process).
-fn serve_client(
-    mut stream: TcpStream,
-    me: NodeId,
-    slot: u32,
-    claimed: Result<SessionPlumbing>,
-    stop: Arc<AtomicBool>,
-) {
-    let mut wbuf = Vec::with_capacity(256);
-    let (op_tx, done_rx) = match claimed {
-        Ok(p) => p,
-        Err(e) => {
-            wire::encode_client_frame(&ClientFrame::HelloErr { reason: e.to_string() }, &mut wbuf);
-            let _ = stream.write_all(&wbuf);
-            return;
-        }
-    };
-    let session = SessionId::new(me, slot);
-    wire::encode_client_frame(&ClientFrame::HelloOk { session }, &mut wbuf);
-    if stream.write_all(&wbuf).is_err() {
-        return;
-    }
-
-    // Completion pump: session completions → socket, until the connection
-    // or the node dies.
-    let conn_dead = Arc::new(AtomicBool::new(false));
-    let pump = {
-        let mut wstream = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        let stop = Arc::clone(&stop);
-        let conn_dead = Arc::clone(&conn_dead);
-        std::thread::Builder::new()
-            .name(format!("kite-client-{me}-s{slot}-pump"))
-            .spawn(move || {
-                let mut buf = Vec::with_capacity(256);
-                while !stop.load(Ordering::Relaxed) && !conn_dead.load(Ordering::Relaxed) {
-                    match done_rx.recv_timeout(Duration::from_millis(100)) {
-                        Ok(c) => {
-                            buf.clear();
-                            wire::encode_client_frame(&ClientFrame::Completion(c), &mut buf);
-                            if wstream.write_all(&buf).is_err() {
-                                conn_dead.store(true, Ordering::Relaxed);
-                                return;
-                            }
-                        }
-                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
-                    }
-                }
-            })
-            .expect("spawn completion pump")
-    };
-
-    // Submission loop (this thread): socket frames → ops, in stream order
-    // (session order is the stream order).
-    let mut body = Vec::with_capacity(256);
-    loop {
-        if stop.load(Ordering::Relaxed) || conn_dead.load(Ordering::Relaxed) {
-            break;
-        }
-        let mut prefix = [0u8; 4];
-        match crate::fabric::read_exact_ticked(&mut stream, &mut prefix, &stop) {
-            Ok(true) => {}
-            _ => break,
-        }
-        let len = match wire::frame_body_len(prefix) {
-            Ok(l) => l,
-            Err(_) => break, // malformed client: drop the connection
-        };
-        body.resize(len, 0);
-        match crate::fabric::read_exact_ticked(&mut stream, &mut body, &stop) {
-            Ok(true) => {}
-            _ => break,
-        }
-        match wire::decode_client_frame(&body) {
-            Ok(ClientFrame::Submit(op)) => {
-                if op_tx.send(op).is_err() {
-                    break; // node shutting down
-                }
-            }
-            _ => break, // anything else from a client is malformed
-        }
-    }
-    conn_dead.store(true, Ordering::Relaxed);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-    let _ = pump.join();
 }
 
 // ---------------------------------------------------------------------------

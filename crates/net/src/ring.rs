@@ -1,0 +1,182 @@
+//! Bounded per-peer outbound rings and the buffer pool behind them.
+//!
+//! A ring holds fully-encoded wire frames waiting for socket writability.
+//! Capacity is bounded in both frames and bytes; a push that would exceed
+//! either cap is refused and the frame is shed — the link behaves like a
+//! lossy NIC under backpressure and protocol retransmission recovers, which
+//! keeps a stalled peer from growing sender memory without bound.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+/// Max frames queued per ring before new frames are shed.
+pub const RING_CAP_FRAMES: usize = 1024;
+/// Max bytes queued per ring before new frames are shed.
+pub const RING_CAP_BYTES: usize = 8 << 20;
+/// Max iovecs per `writev` call.
+const WRITEV_BATCH: usize = 32;
+
+/// Shared free-list of reusable buffers so steady-state encode/decode paths
+/// allocate nothing. Buffers above the per-buffer byte cap are dropped rather
+/// than cached.
+pub struct Pool<T> {
+    free: Mutex<Vec<Vec<T>>>,
+    cap: usize,
+}
+
+impl<T> Pool<T> {
+    /// Pool caching at most `cap` buffers.
+    pub fn new(cap: usize) -> Pool<T> {
+        Pool { free: Mutex::new(Vec::new()), cap }
+    }
+
+    /// Take a cleared buffer from the pool (or allocate a fresh one).
+    pub fn pop(&self) -> Vec<T> {
+        self.free.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool. Contents are cleared.
+    pub fn put(&self, mut buf: Vec<T>) {
+        buf.clear();
+        let mut free = self.free.lock().unwrap();
+        if free.len() < self.cap {
+            free.push(buf);
+        }
+    }
+}
+
+/// Outcome of a ring drain attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drain {
+    /// Every queued frame was written; EPOLLOUT interest can be dropped.
+    Emptied,
+    /// The socket would block with frames still queued; keep EPOLLOUT armed.
+    Blocked,
+}
+
+/// Bounded queue of encoded frames with partial-write tracking and vectored
+/// drain.
+pub struct OutRing {
+    q: VecDeque<Vec<u8>>,
+    /// Bytes of `q[0]` already written to the socket.
+    head_off: usize,
+    bytes: usize,
+    cap_frames: usize,
+    cap_bytes: usize,
+}
+
+impl OutRing {
+    /// Ring with the default caps.
+    pub fn new() -> OutRing {
+        OutRing::with_caps(RING_CAP_FRAMES, RING_CAP_BYTES)
+    }
+
+    /// Ring with explicit caps (tests shrink these to force sheds quickly).
+    pub fn with_caps(cap_frames: usize, cap_bytes: usize) -> OutRing {
+        OutRing { q: VecDeque::new(), head_off: 0, bytes: 0, cap_frames, cap_bytes }
+    }
+
+    /// Queued frame count.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Queued bytes (not yet handed to the kernel).
+    pub fn bytes(&self) -> usize {
+        self.bytes - self.head_off
+    }
+
+    /// Enqueue an encoded frame. `Err(buf)` hands the frame back when either
+    /// cap would be exceeded — the caller counts the shed and recycles.
+    pub fn push(&mut self, buf: Vec<u8>) -> Result<(), Vec<u8>> {
+        if self.q.len() >= self.cap_frames || self.bytes + buf.len() > self.cap_bytes {
+            return Err(buf);
+        }
+        self.bytes += buf.len();
+        self.q.push_back(buf);
+        Ok(())
+    }
+
+    /// Write as much as the socket accepts via `write_vectored`, recycling
+    /// fully-written frames into `pool`. Io errors other than `WouldBlock`
+    /// propagate (the caller tears the connection down).
+    pub fn drain_to(&mut self, stream: &mut TcpStream, pool: &Pool<u8>) -> io::Result<Drain> {
+        while !self.q.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(WRITEV_BATCH.min(self.q.len()));
+            for (i, buf) in self.q.iter().take(WRITEV_BATCH).enumerate() {
+                let start = if i == 0 { self.head_off } else { 0 };
+                slices.push(IoSlice::new(&buf[start..]));
+            }
+            let n = match stream.write_vectored(&slices) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(Drain::Blocked),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            self.advance(n, pool);
+        }
+        Ok(Drain::Emptied)
+    }
+
+    fn advance(&mut self, mut n: usize, pool: &Pool<u8>) {
+        while n > 0 {
+            let head_len = self.q[0].len() - self.head_off;
+            if n >= head_len {
+                n -= head_len;
+                self.bytes -= self.q[0].len();
+                self.head_off = 0;
+                let buf = self.q.pop_front().expect("ring head");
+                pool.put(buf);
+            } else {
+                self.head_off += n;
+                n = 0;
+            }
+        }
+    }
+
+    /// Drop everything queued (connection died); frames go back to the pool.
+    pub fn clear_into(&mut self, pool: &Pool<u8>) {
+        self.head_off = 0;
+        self.bytes = 0;
+        while let Some(buf) = self.q.pop_front() {
+            pool.put(buf);
+        }
+    }
+}
+
+impl Default for OutRing {
+    fn default() -> Self {
+        OutRing::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_refuses_past_frame_cap() {
+        let mut r = OutRing::with_caps(2, 1 << 20);
+        assert!(r.push(vec![1]).is_ok());
+        assert!(r.push(vec![2]).is_ok());
+        assert!(r.push(vec![3]).is_err());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn push_refuses_past_byte_cap() {
+        let mut r = OutRing::with_caps(64, 10);
+        assert!(r.push(vec![0; 6]).is_ok());
+        assert!(r.push(vec![0; 6]).is_err());
+        assert!(r.push(vec![0; 4]).is_ok());
+        assert_eq!(r.bytes(), 10);
+    }
+}

@@ -1,0 +1,280 @@
+//! Raw-libc epoll / eventfd / nonblocking-connect surface for the event loop.
+//!
+//! The workspace deliberately carries no `libc`/`mio`/`tokio` crates, so the
+//! fabric talks to the kernel through the same hand-declared `extern "C"`
+//! pattern already used for `SO_REUSEADDR` (`fabric::bind_reuseaddr`) and
+//! `signal(2)` (the `kite-node` daemon). Everything here is Linux-specific;
+//! the declarations match glibc's ABI on x86_64 (where `struct epoll_event`
+//! is packed) and the generic layout elsewhere.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+
+// epoll_ctl ops.
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readable readiness (also delivered with HUP/ERR so reads observe EOF).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (connect completion / ring drain).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (peer closed both directions).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write side.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+
+const AF_INET: i32 = 2;
+const SOCK_STREAM: i32 = 1;
+const SOCK_NONBLOCK: i32 = 0x800;
+const SOCK_CLOEXEC: i32 = 0x80000;
+const SOL_SOCKET: i32 = 1;
+const SO_ERROR: i32 = 4;
+const EINPROGRESS: i32 = 115;
+
+/// glibc packs `struct epoll_event` on x86_64 only.
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+#[repr(C)]
+struct SockaddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+/// `struct pollfd` (poll(2)) — identical layout on every Linux ABI.
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn connect(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+    fn getsockopt(fd: i32, level: i32, optname: i32, optval: *mut i32, optlen: *mut u32) -> i32;
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// `POLLIN` for [`wait_readable`]/[`wait_rw`].
+const POLL_IN: i16 = 0x001;
+/// `POLLOUT` for [`wait_rw`].
+const POLL_OUT: i16 = 0x004;
+
+/// Block the calling thread until `fd` is readable (or `timeout_ms`
+/// passes; `-1` = forever). Returns `Ok(true)` if readable/closed,
+/// `Ok(false)` on timeout. The single-connection client uses this instead
+/// of a spin/park loop — on a loaded (or single-core) box, a thread that
+/// sleeps in `poll(2)` leaves the CPU to the event loops it is waiting on.
+pub fn wait_readable(fd: RawFd, timeout_ms: i32) -> io::Result<bool> {
+    wait_fd(fd, POLL_IN, timeout_ms)
+}
+
+/// Block until `fd` is readable **or** writable (used while flushing a
+/// full outbound buffer without deadlocking against inbound completions).
+pub fn wait_rw(fd: RawFd, timeout_ms: i32) -> io::Result<bool> {
+    wait_fd(fd, POLL_IN | POLL_OUT, timeout_ms)
+}
+
+fn wait_fd(fd: RawFd, events: i16, timeout_ms: i32) -> io::Result<bool> {
+    let mut pfd = PollFd { fd, events, revents: 0 };
+    let rc = unsafe { poll(&mut pfd, 1, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(false);
+        }
+        return Err(err);
+    }
+    Ok(rc > 0)
+}
+
+const MAX_EVENTS: usize = 64;
+
+/// Thin level-triggered epoll wrapper. Tokens are opaque `u64`s chosen by the
+/// event loop; one `Poller` is owned by exactly one worker thread.
+pub struct Poller {
+    epfd: i32,
+    buf: [EpollEvent; MAX_EVENTS],
+}
+
+impl Poller {
+    /// Create a new epoll instance.
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd, buf: [EpollEvent { events: 0, data: 0 }; MAX_EVENTS] })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest, data: token };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` with the given token and interest mask.
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest | EPOLLRDHUP)
+    }
+
+    /// Change the interest mask of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest | EPOLLRDHUP)
+    }
+
+    /// Deregister an fd. Missing registrations are ignored (close already
+    /// removes fds from epoll sets).
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        match self.ctl(EPOLL_CTL_DEL, fd, 0, 0) {
+            Err(e) if e.raw_os_error() == Some(2) => Ok(()), // ENOENT
+            other => other,
+        }
+    }
+
+    /// Wait up to `timeout_ms` (`0` = poll, `-1` = forever) and append
+    /// `(token, events)` pairs to `out`. Returns the number of events.
+    pub fn wait(&mut self, out: &mut Vec<(u64, u32)>, timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe { epoll_wait(self.epfd, self.buf.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for i in 0..n as usize {
+            let ev = self.buf[i];
+            out.push((ev.data, ev.events));
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for an event loop parked in `epoll_wait`: an eventfd
+/// registered in the loop's poller. `wake()` is cheap and async-signal-safe.
+pub struct Waker {
+    fd: i32,
+}
+
+impl Waker {
+    /// Create a nonblocking eventfd.
+    pub fn new() -> io::Result<Waker> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// Raw fd for poller registration.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Make the owning loop's next `epoll_wait` return immediately.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, &one as *const u64 as *const u8, 8) };
+    }
+
+    /// Clear the pending wakeup count (called by the loop after readiness).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Start a nonblocking IPv4 connect. Returns the in-progress stream; the
+/// caller registers it for `EPOLLOUT` and checks [`take_socket_error`] once
+/// writable. Non-IPv4 addresses are refused (the fabric dials v4 loopback or
+/// datacenter addresses; the listener side falls back to std for v6).
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
+    let v4 = match addr {
+        SocketAddr::V4(v4) => v4,
+        SocketAddr::V6(_) => {
+            return Err(io::Error::new(io::ErrorKind::Unsupported, "event-loop dial is IPv4-only"))
+        }
+    };
+    let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let sa = SockaddrIn {
+        sin_family: AF_INET as u16,
+        sin_port: v4.port().to_be(),
+        sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+        sin_zero: [0; 8],
+    };
+    let rc = unsafe { connect(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() != Some(EINPROGRESS) {
+            unsafe { close(fd) };
+            return Err(err);
+        }
+    }
+    // Safety: fd is a freshly created, connected-or-connecting socket we own.
+    Ok(unsafe { TcpStream::from_raw_fd(fd) })
+}
+
+/// Fetch and clear `SO_ERROR` — `Ok(())` means the nonblocking connect (or the
+/// socket generally) is healthy.
+pub fn take_socket_error(stream: &TcpStream) -> io::Result<()> {
+    let mut err: i32 = 0;
+    let mut len: u32 = 4;
+    let rc = unsafe { getsockopt(stream.as_raw_fd(), SOL_SOCKET, SO_ERROR, &mut err, &mut len) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if err != 0 {
+        return Err(io::Error::from_raw_os_error(err));
+    }
+    Ok(())
+}

@@ -5,13 +5,20 @@
 #   1. launch 3 kite-node processes (fixed localhost ports);
 #   2. run a mixed read/write/release/acquire/RMW workload across all
 #      three and check it against the RC(Lin) axioms client-side;
-#   3. SIGKILL one node mid-deployment, prove the survivors keep serving
+#   3. open-loop latency probe: fixed-arrival-rate sessions against all
+#      three nodes, p50/p99/p999 printed and sanity-bounded client-side
+#      (a wedged fabric fails here in seconds instead of by timeout);
+#   4. SIGSTOP one node (a stalled-but-alive peer, the backpressure case
+#      a crash can't exercise): the majority must keep serving while the
+#      survivors' outbound rings to the frozen node shed at their caps,
+#      then SIGCONT and prove the frozen node heals via anti-entropy;
+#   5. SIGKILL one node mid-deployment, prove the survivors keep serving
 #      (release + workload against the majority), seed a sentinel;
-#   4. restart the killed node on the same port and prove it reconnects
+#   6. restart the killed node on the same port and prove it reconnects
 #      and anti-entropy (keepalive sweep) converges its store — a relaxed
 #      read on the restarted node is local, so seeing the sentinel value
 #      proves repair traffic flowed;
-#   5. SIGTERM everything and assert every node exits 0 (clean shutdown
+#   7. SIGTERM everything and assert every node exits 0 (clean shutdown
 #      through the stop-flag path).
 #
 # After the iteration loop, one WAL recovery phase (heavier, so run once):
@@ -69,7 +76,10 @@ for iter in $(seq 1 "$ITERS"); do
     PEERS="$P0,$P1,$P2"
     # Keepalive on: a replica restarted into an idle cluster must converge
     # at heal time (the anti_entropy_keepalive_ns deployment story).
-    NODE_ARGS=(--peers "$PEERS" --workers 1 --sessions-per-worker 6 --keys 4096 --keepalive-ns 50000000)
+    # Session slots are claim-once per process (like the in-process
+    # cluster), so every phase below gets a slot no earlier phase used on
+    # the same still-running node — 12 slots covers the whole iteration.
+    NODE_ARGS=(--peers "$PEERS" --workers 1 --sessions-per-worker 12 --keys 4096 --keepalive-ns 50000000)
     echo "== iteration $iter/$ITERS (ports $PORT_BASE..$((PORT_BASE + 2))) =="
     LOGDIR="$(mktemp -d)"
     start_node 0 "$LOGDIR/n0.log"
@@ -82,21 +92,36 @@ for iter in $(seq 1 "$ITERS"); do
     echo "-- phase 1: mixed workload across all 3 nodes + RC(Lin) check"
     "$CLIENT_BIN" mixed --servers "$P0,$P1,$P2" --slot 0 --ops 25
 
-    echo "-- phase 2: SIGKILL node 2; majority must keep serving"
+    echo "-- phase 2: open-loop latency at a fixed arrival rate (p50/p99/p999)"
+    # The sanity bounds live in the client binary.
+    "$CLIENT_BIN" openloop --servers "$P0,$P1,$P2" --slot 5 --rate 1000 --secs 2
+
+    echo "-- phase 3: SIGSTOP node 1; survivors shed to the frozen peer, then it heals"
+    kill -STOP "${PIDS[1]}"
+    # Majority (nodes 0+2) serves releases and consensus while node 1's
+    # inbound TCP stalls — the survivors' bounded rings to it fill and shed.
+    "$CLIENT_BIN" put   --servers "$P0" --slot 2 --key 901 --val 6666
+    "$CLIENT_BIN" mixed --servers "$P0,$P2" --slot 3 --ops 10 --key-base 3000
+    kill -CONT "${PIDS[1]}"
+    # A relaxed read on node 1 is local: seeing the sentinel written while
+    # it was frozen proves the link recovered and repair traffic flowed.
+    "$CLIENT_BIN" poll --servers "$P1" --slot 4 --key 901 --val 6666 --timeout-secs 30
+
+    echo "-- phase 4: SIGKILL node 2; majority must keep serving"
     kill -9 "${PIDS[2]}"
     wait "${PIDS[2]}" 2>/dev/null || true
-    "$CLIENT_BIN" put  --servers "$P0" --slot 2 --key 900 --val 7777
+    "$CLIENT_BIN" put  --servers "$P0" --slot 6 --key 900 --val 7777
     # Fresh key range: phase 1's counters/locks keep their final values.
-    "$CLIENT_BIN" mixed --servers "$P0,$P1" --slot 3 --ops 15 --key-base 1000
+    "$CLIENT_BIN" mixed --servers "$P0,$P1" --slot 7 --ops 15 --key-base 1000
 
-    echo "-- phase 3: restart node 2 on the same port; reconnect + anti-entropy catch-up"
+    echo "-- phase 5: restart node 2 on the same port; reconnect + anti-entropy catch-up"
     start_node 2 "$LOGDIR/n2-restart.log"
     wait_ready "$LOGDIR/n2-restart.log"
     # The sentinel was released while node 2 was dead; a *relaxed* read on
     # node 2 is local, so convergence proves the keepalive sweep repaired it.
     "$CLIENT_BIN" poll --servers "$P2" --slot 0 --key 900 --val 7777 --timeout-secs 30
 
-    echo "-- phase 4: SIGTERM all; every node must exit 0"
+    echo "-- phase 6: SIGTERM all; every node must exit 0"
     for n in 0 1 2; do
         kill -TERM "${PIDS[$n]}"
     done

@@ -15,6 +15,14 @@
 # liveness, the merkle_digests kill switch and crash durability stay
 # covered by the loop, not just by one-shot CI.
 #
+# The kite-net fabric fault tests ride along too: the stalled-reader
+# backpressure test (crates/net/tests/backpressure.rs — bounded outbound
+# rings must shed, never grow, and flow must resume on drain) and the
+# shuffled/duplicated-completion pipelining property test
+# (crates/net/tests/pipeline_props.rs). Both are timing-sensitive by
+# nature (real sockets, kernel buffers), which is exactly why they belong
+# in the soak loop.
+#
 # Usage: scripts/stress.sh [iterations] [test-filter]
 #   iterations   default 50
 #   test-filter  default threaded_mutex_exact_under_message_loss
@@ -26,6 +34,7 @@ FILTER="${2:-threaded_mutex_exact_under_message_loss}"
 
 echo "== building test binaries =="
 cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --test wal_faults --no-run
+cargo test --release -p kite-net --test backpressure --test pipeline_props --no-run
 
 run_logged() {
     # run_logged <iteration> <label> <cmd...>: run one test binary under a
@@ -57,6 +66,10 @@ for i in $(seq 1 "$N"); do
     run_logged "$i" merkle cargo test -q --release --test merkle_faults \
         -- --test-threads=1 || fails=$((fails + 1))
     run_logged "$i" wal cargo test -q --release --test wal_faults \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" backpressure cargo test -q --release -p kite-net --test backpressure \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" pipeline cargo test -q --release -p kite-net --test pipeline_props \
         -- --test-threads=1 || fails=$((fails + 1))
 done
 echo
