@@ -104,7 +104,7 @@ impl Val {
     pub fn as_bytes(&self) -> &[u8] {
         if self.tag == HEAP_TAG {
             let (ptr, len) = self.heap_parts();
-            // Safety: `(ptr, len)` are the raw parts of a live `Box<[u8]>`
+            // SAFETY: `(ptr, len)` are the raw parts of a live `Box<[u8]>`
             // exclusively owned by this Val (freed only by `drop`).
             unsafe { std::slice::from_raw_parts(ptr, len) }
         } else {
@@ -140,8 +140,9 @@ impl Drop for Val {
     fn drop(&mut self) {
         if self.tag == HEAP_TAG {
             let (ptr, len) = self.heap_parts();
-            // Safety: reconstructing the Box we leaked in `from_boxed`;
-            // the tag guarantees it has not been freed.
+            // SAFETY: reconstructing the Box we leaked in `from_boxed`;
+            // the tag guarantees it has not been freed (drop runs once and
+            // clone allocates a fresh box).
             unsafe { drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, len))) };
         }
     }

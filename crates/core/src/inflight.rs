@@ -461,6 +461,7 @@ impl InFlightTable {
 
     /// Resolve `rid` to its slot index iff its generation is current.
     #[inline]
+    // kite-lint: no-alloc
     fn slot_of(&self, rid: u64) -> Option<usize> {
         if rid & UNTRACKED_RID_BIT != 0 {
             return None;
@@ -482,18 +483,21 @@ impl InFlightTable {
     /// Shared access to the entry for `rid`. Stale rids (freed or recycled
     /// slots) resolve to `None`.
     #[inline]
+    // kite-lint: no-alloc
     pub fn get(&self, rid: u64) -> Option<&InFlight> {
         self.slot_of(rid).and_then(|s| self.slots[s].entry.as_ref())
     }
 
     /// In-place mutable access to the entry for `rid`.
     #[inline]
+    // kite-lint: no-alloc
     pub fn get_mut(&mut self, rid: u64) -> Option<&mut InFlight> {
         self.slot_of(rid).and_then(|s| self.slots[s].entry.as_mut())
     }
 
     /// Remove and return the entry for `rid`, bumping the slot's generation
     /// so the rid (and any copies of it still in the network) goes stale.
+    // kite-lint: no-alloc
     pub fn remove(&mut self, rid: u64) -> Option<InFlight> {
         let slot = self.slot_of(rid)?;
         let s = &mut self.slots[slot];

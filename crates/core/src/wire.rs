@@ -140,6 +140,7 @@ pub struct Cursor<'a> {
     off: usize,
 }
 
+// kite-lint: total-decode
 impl<'a> Cursor<'a> {
     /// Start reading `buf` from offset 0.
     pub fn new(buf: &'a [u8]) -> Self {
@@ -154,36 +155,44 @@ impl<'a> Cursor<'a> {
 
     #[inline]
     fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.off..self.off + n];
-        self.off += n;
+        // `checked_add` keeps this total even for adversarial `n` close to
+        // usize::MAX; `get` turns every short read into Truncated.
+        let end = self.off.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.off..end).ok_or(WireError::Truncated)?;
+        self.off = end;
         Ok(s)
+    }
+
+    /// Read exactly `N` bytes as a fixed array (the total-decode shape for
+    /// every fixed-width integer below: no slice indexing, no `expect`).
+    #[inline]
+    fn take_arr<const N: usize>(&mut self) -> WireResult<[u8; N]> {
+        <[u8; N]>::try_from(self.take(N)?).map_err(|_| WireError::Truncated)
     }
 
     /// Read one byte.
     #[inline]
     pub fn u8(&mut self) -> WireResult<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.take_arr::<1>()?;
+        Ok(b)
     }
 
     /// Read a little-endian `u16`.
     #[inline]
     pub fn u16(&mut self) -> WireResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_arr()?))
     }
 
     /// Read a little-endian `u32`.
     #[inline]
     pub fn u32(&mut self) -> WireResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_arr()?))
     }
 
     /// Read a little-endian `u64`.
     #[inline]
     pub fn u64(&mut self) -> WireResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_arr()?))
     }
 }
 
@@ -213,6 +222,7 @@ fn put_lc(out: &mut Vec<u8>, lc: Lc) {
     put_u64(out, (lc.version() << 8) | lc.mid() as u64);
 }
 
+// kite-lint: total-decode
 #[inline]
 fn get_lc(c: &mut Cursor) -> WireResult<Lc> {
     let raw = c.u64()?;
@@ -226,6 +236,7 @@ fn put_op_id(out: &mut Vec<u8>, op: OpId) {
     put_u64(out, op.seq);
 }
 
+// kite-lint: total-decode
 #[inline]
 fn get_op_id(c: &mut Cursor) -> WireResult<OpId> {
     let node = NodeId(c.u8()?);
@@ -247,6 +258,7 @@ fn put_val(out: &mut Vec<u8>, v: &Val) {
     out.extend_from_slice(b);
 }
 
+// kite-lint: total-decode
 #[inline]
 fn get_val(c: &mut Cursor) -> WireResult<Val> {
     let len = c.u32()? as usize;
@@ -256,6 +268,7 @@ fn get_val(c: &mut Cursor) -> WireResult<Val> {
     Ok(Val::from_bytes(c.take(len)?))
 }
 
+// kite-lint: total-decode
 fn get_seq_len(c: &mut Cursor, what: &'static str) -> WireResult<usize> {
     let len = c.u32()? as usize;
     if len > MAX_SEQ {
@@ -273,6 +286,7 @@ fn put_ring(out: &mut Vec<u8>, ring: &[RmwCommit]) {
     }
 }
 
+// kite-lint: total-decode
 fn get_ring(c: &mut Cursor) -> WireResult<Vec<RmwCommit>> {
     let n = get_seq_len(c, "ring")?;
     let mut ring = Vec::with_capacity(n.min(64));
@@ -536,6 +550,7 @@ pub fn encode_msg(m: &Msg, out: &mut Vec<u8>) {
     }
 }
 
+// kite-lint: total-decode
 /// Decode one message from the cursor. The inverse of [`encode_msg`].
 pub fn decode_msg(c: &mut Cursor) -> WireResult<Msg> {
     let tag = c.u8()?;
@@ -772,6 +787,7 @@ pub fn encode_frames(src: NodeId, msgs: &[Msg], out: &mut Vec<u8>) -> usize {
     frames
 }
 
+// kite-lint: total-decode
 /// Validate a frame length prefix. Returns the body length to read next.
 pub fn frame_body_len(prefix: [u8; 4]) -> WireResult<usize> {
     let len = u32::from_le_bytes(prefix) as usize;
@@ -785,6 +801,7 @@ pub fn frame_body_len(prefix: [u8; 4]) -> WireResult<usize> {
     Ok(len)
 }
 
+// kite-lint: total-decode
 /// Decode a peer frame body into `into` (appended; the caller hands in a
 /// pool-recycled buffer). Returns the sending node. The body must be
 /// consumed exactly.
@@ -977,6 +994,7 @@ pub fn encode_client_frame(f: &ClientFrame, out: &mut Vec<u8>) {
     out[len_at..len_at + 4].copy_from_slice(&body_len.to_le_bytes());
 }
 
+// kite-lint: total-decode
 /// Decode one client-protocol frame body (everything after the length
 /// prefix). The body must be consumed exactly.
 pub fn decode_client_frame(body: &[u8]) -> WireResult<ClientFrame> {
@@ -1053,18 +1071,15 @@ pub fn encode_hello(h: Hello) -> [u8; HELLO_LEN] {
 }
 
 /// Decode a [`HELLO_LEN`]-byte hello.
+// kite-lint: total-decode
 pub fn decode_hello(b: &[u8; HELLO_LEN]) -> WireResult<Hello> {
-    if u32::from_le_bytes(b[..4].try_into().expect("len 4")) != MAGIC || b[4] != VERSION {
+    let mut c = Cursor::new(b);
+    if c.u32()? != MAGIC || c.u8()? != VERSION {
         return Err(WireError::BadHandshake);
     }
-    match b[5] {
-        KIND_PEER => Ok(Hello::Peer {
-            node: NodeId(b[6]),
-            worker: u16::from_le_bytes(b[7..9].try_into().expect("len 2")),
-        }),
-        KIND_CLIENT => {
-            Ok(Hello::Client { slot: u32::from_le_bytes(b[6..10].try_into().expect("len 4")) })
-        }
+    match c.u8()? {
+        KIND_PEER => Ok(Hello::Peer { node: NodeId(c.u8()?), worker: c.u16()? }),
+        KIND_CLIENT => Ok(Hello::Client { slot: c.u32()? }),
         t => Err(WireError::BadTag { what: "hello kind", tag: t }),
     }
 }

@@ -74,9 +74,11 @@ pub(crate) struct Record {
     pub paxos: OnceLock<Box<Mutex<PaxosMeta>>>,
 }
 
-// Safety: all access to `data` goes through the record's seqlock protocol
+// SAFETY: all access to `data` goes through the record's seqlock protocol
 // (see `Store`); `paxos` is internally synchronized.
 unsafe impl Sync for Record {}
+// SAFETY: same argument as Sync — no thread-affine state; ownership moves
+// only the atomics, the UnsafeCell payload and the OnceLock box.
 unsafe impl Send for Record {}
 
 impl Record {
@@ -94,7 +96,7 @@ impl Record {
         let mut spins = 0u32;
         loop {
             let begin = self.lock.read_begin();
-            // Safety: we copy the (Copy) payload out; if a writer raced, the
+            // SAFETY: we copy the (Copy) payload out; if a writer raced, the
             // validation below fails and the copy is discarded without being
             // interpreted. Volatile forbids the compiler from caching fields
             // across the fence.
@@ -115,7 +117,8 @@ impl Record {
     #[inline]
     pub(crate) fn update<R>(&self, f: impl FnOnce(&mut RecordData) -> R) -> R {
         let _g = self.lock.write_lock();
-        // Safety: the seqlock write side is exclusive.
+        // SAFETY: the seqlock write side is exclusive: `_g` holds the odd
+        // counter, so no other writer exists and readers will re-validate.
         f(unsafe { &mut *self.data.get() })
     }
 

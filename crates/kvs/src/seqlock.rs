@@ -38,6 +38,9 @@ impl SeqLock {
     pub fn read_begin(&self) -> u64 {
         let mut spins = 0u32;
         loop {
+            // ordering: Acquire pairs with the WriteGuard's Release store —
+            // an even value here means every payload write of the previous
+            // writer is visible before the reader's copies start.
             let s = self.seq.load(Ordering::Acquire);
             if s & 1 == 0 {
                 return s;
@@ -53,6 +56,11 @@ impl SeqLock {
 
     /// Validate an optimistic read begun at `begin`: `true` iff no writer
     /// overlapped the read section.
+    ///
+    /// ordering: the Acquire fence orders the payload reads *before* the
+    /// re-load (classic seqlock validation, cf. Linux `read_seqretry`);
+    /// with the fence in place the re-load itself can stay Relaxed — it
+    /// only needs to observe a value, not publish anything.
     #[inline]
     pub fn read_validate(&self, begin: u64) -> bool {
         fence(Ordering::Acquire);
@@ -65,7 +73,13 @@ impl SeqLock {
     pub fn write_lock(&self) -> WriteGuard<'_> {
         let mut spins = 0u32;
         loop {
+            // ordering: the probe load is Relaxed because the CAS below is
+            // the real synchronization point; a stale probe just retries.
             let s = self.seq.load(Ordering::Relaxed);
+            // ordering: Acquire on CAS success pairs with the previous
+            // writer's Release so this writer sees its payload before
+            // mutating; the failure ordering is Relaxed — a lost race
+            // carries no data, we simply spin.
             if s & 1 == 0
                 && self
                     .seq
@@ -105,6 +119,7 @@ impl SeqLock {
     }
 
     /// Current raw sequence (test/diagnostic use).
+    // ordering: diagnostic peek; nothing is read on the strength of it.
     pub fn raw(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
     }
@@ -119,6 +134,10 @@ pub struct WriteGuard<'a> {
 impl Drop for WriteGuard<'_> {
     #[inline]
     fn drop(&mut self) {
+        // ordering: Release publishes every payload store of the write
+        // section before the counter returns to even — the other half of
+        // the Acquire in read_begin/write_lock. (The odd→even transition
+        // needs no Acquire: this thread did the odd CAS itself.)
         self.lock.seq.store(self.start + 2, Ordering::Release);
     }
 }

@@ -159,6 +159,8 @@ impl Store {
     }
 
     /// Number of keys present. O(1): maintained by the slot-claim CAS.
+    // ordering: a monotone population gauge — callers use it for sizing and
+    // diagnostics, never to infer that a particular key is visible.
     pub fn len(&self) -> usize {
         self.live.load(Ordering::Relaxed)
     }
@@ -180,6 +182,9 @@ impl Store {
     /// for why the out-of-lock XOR is still exact. With the lattice
     /// disabled (leaf span 0) this is one predictable branch — the write
     /// path pays nothing.
+    // ordering: leaf hashes are a commutative XOR fold; sweep readers
+    // tolerate transient skew by design (drill-down re-confirms on the next
+    // interval), so the fetch_xor needs atomicity, not ordering.
     #[inline]
     fn leaf_apply(&self, key: Key, old: Lc, new: Lc) {
         if self.leaves.is_empty() {
@@ -206,6 +211,11 @@ impl Store {
     /// Locate (or claim) the record for `key`. Lock-free linear probing;
     /// panics if the table is full (a configuration error: the key space is
     /// sized at construction).
+    // ordering: Acquire on the probe load pairs with the AcqRel slot-claim
+    // CAS so a hit happens-after the claim that published the key; the CAS
+    // failure load is Acquire for the same reason (a lost race must still
+    // observe the winner's slot as claimed). The live counter is Relaxed —
+    // see `len`.
     #[inline]
     fn record(&self, key: Key) -> &Record {
         debug_assert_ne!(key.0, EMPTY_KEY, "key u64::MAX is reserved");
@@ -479,6 +489,9 @@ impl Store {
     /// Slot indices are **local**: two replicas holding the same keys may
     /// place them in different slots (insertion-order-dependent probing),
     /// so digests diff by *key*, never by slot position.
+    // ordering: Acquire pairs with the slot-claim CAS — a non-empty key
+    // read here guarantees the record it names is initialized. The per-key
+    // clock itself is read under the record's seqlock, not this atomic.
     pub fn digest_range(&self, start: usize, slots: usize, out: &mut Vec<(Key, Lc)>) -> usize {
         let cap = self.slots.len();
         let start = start.min(cap);
@@ -505,6 +518,8 @@ impl Store {
     /// walk are only deleted once the dump is durable and replay is
     /// idempotent under LLC-max. `Lc::ZERO` entries (claimed, never
     /// written) are skipped: they hold no durable state.
+    // ordering: same Acquire-pairs-with-claim-CAS contract as
+    // `digest_range`; the dump is explicitly not a point-in-time cut.
     pub fn for_each_entry(&self, mut f: impl FnMut(Key, Lc, &Val)) {
         for slot in self.slots.iter() {
             let k = slot.key.load(Ordering::Acquire);
@@ -536,6 +551,8 @@ impl Store {
 
     /// The current hash of one leaf (diagnostics/tests; range comparisons
     /// go through [`Store::fold_leaves`]).
+    // ordering: diagnostics read of the XOR lattice; skew-tolerant like
+    // every sweep read (see `leaf_apply`).
     #[inline]
     pub fn leaf_hash(&self, leaf: usize) -> u64 {
         self.leaves[leaf].load(Ordering::Relaxed)
@@ -547,6 +564,9 @@ impl Store {
     /// leaves cannot cancel each other out of an interior hash. Both sides
     /// of a comparison fold the same range with the same function, so
     /// equality is exactly "same leaf hash sequence".
+    // ordering: sweep-side fold over the skew-tolerant lattice (see
+    // `leaf_apply`) — a transiently stale leaf costs one drill-down, never
+    // correctness.
     pub fn fold_leaves(&self, lo: usize, hi: usize) -> u64 {
         let hi = hi.min(self.leaves.len());
         let lo = lo.min(hi);
@@ -566,6 +586,8 @@ impl Store {
     /// home leaf. Lock-free, same read discipline as
     /// [`Store::digest_range`]; `Lc::ZERO` entries are included for
     /// consistency with it (receivers treat them as "holds nothing").
+    // ordering: Acquire pairs with the slot-claim CAS, as in
+    // `digest_range`.
     pub fn digest_leaf(&self, leaf: usize, out: &mut Vec<(Key, Lc)>) {
         let cap = self.slots.len();
         let span = 1usize << self.leaf_shift;
@@ -598,6 +620,8 @@ impl Store {
     /// touch). Anti-entropy digest diffs use this so a digest mentioning a
     /// key this replica has never touched does not claim a slot here; the
     /// slot is claimed only if a repair actually adopts the key.
+    // ordering: Acquire pairs with the slot-claim CAS, as in `record`; a
+    // miss is answered from the probe chain without claiming anything.
     pub fn probe_lc(&self, key: Key) -> Option<Lc> {
         debug_assert_ne!(key.0, EMPTY_KEY, "key u64::MAX is reserved");
         let mut idx = key.hash() & self.mask;

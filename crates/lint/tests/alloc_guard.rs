@@ -1,0 +1,188 @@
+//! The dynamic twin of the static `no-alloc` rule: a counting global
+//! allocator proves the three `kite-lint: no-alloc` steady-state paths —
+//! `Outbox` flush→recycle, `InFlightTable` resolve/reuse, and the fabric's
+//! pooled encode→ring→decode cycle — perform **zero** heap allocations
+//! once warmed up. The static rule catches allocation *constructs*; this
+//! test catches allocation *behavior* (a pool that silently stops pooling
+//! passes the lexical rule but fails here).
+//!
+//! The armed flag is thread-local: the libtest harness runs bookkeeping
+//! threads in this same process, and their incidental allocations must not
+//! bleed into the count (they did — the assertion flaked by 1-2 counts
+//! until only the measuring thread was counted).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kite::inflight::{EsWriteState, InFlight, InFlightTable, Meta};
+use kite::wire;
+use kite::{Msg, Op};
+use kite_common::{Key, Lc, NodeId, NodeSet, OpId, SessionId, Val};
+use kite_net::ring::{OutRing, Pool};
+use kite_simnet::Outbox;
+
+/// Counts allocator calls while [`ARMED`]; allocation itself is delegated
+/// untouched to [`System`].
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Armed on the measuring thread only. `const`-initialized `Cell<bool>`
+    /// carries no destructor, so reading it from inside the allocator can
+    /// never recurse into allocation or trip TLS-teardown panics.
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// GlobalAlloc contract; the only addition is a counter bump with no effect
+// on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout contract as `System::alloc` (delegated verbatim).
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    // SAFETY: same pointer/layout contract as `System::dealloc`. Frees are
+    // deliberately not counted: handing memory *back* is always legal on a
+    // no-alloc path.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: same contract as `System::realloc` (delegated verbatim).
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if armed() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` with this thread's counter armed; returns how many allocations
+/// it made.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    ARMED.with(|a| a.set(true));
+    f();
+    ARMED.with(|a| a.set(false));
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+fn sample_msg(i: u64) -> Msg {
+    Msg::EsWrite { rid: i, key: Key(i), val: Val::from_u64(i * 3), lc: Lc::new(i + 1, NodeId(1)) }
+}
+
+fn es_entry() -> InFlight {
+    InFlight::EsWrite(EsWriteState {
+        meta: Meta {
+            sess: 0,
+            op_id: OpId::new(SessionId::new(NodeId(0), 0), 1),
+            key: Key(7),
+            op: Op::Write { key: Key(7), val: Val::from_u64(9) },
+            invoked_at: 0,
+            last_sent: 0,
+        },
+        val: Val::from_u64(9),
+        lc: Lc::ZERO,
+        acked: NodeSet::EMPTY,
+    })
+}
+
+/// One broadcast→flush→recycle cycle; handed-out batches park in `handed`
+/// (pre-sized) until the flush borrow ends, then recycle.
+fn outbox_cycle(ob: &mut Outbox<Msg>, handed: &mut Vec<(NodeId, Vec<Msg>)>) {
+    for i in 0..8 {
+        ob.broadcast(NodeId(0), sample_msg(i));
+    }
+    ob.flush(|dst, batch| handed.push((dst, batch)));
+    for (_, batch) in handed.drain(..) {
+        ob.recycle(batch);
+    }
+}
+
+/// One fabric-shaped readiness cycle with no sockets: encode a batch into
+/// a pooled byte buffer, stage it on the ring, decode it back into a
+/// pooled message buffer (what `decode_conn_frames` does per readable
+/// connection), and return every buffer to its pool.
+fn fabric_cycle(byte_pool: &Pool<u8>, msg_pool: &Pool<Msg>, ring: &mut OutRing, batch: &[Msg]) {
+    let mut buf = byte_pool.pop();
+    let frames = wire::encode_frames(NodeId(0), batch, &mut buf);
+    assert_eq!(frames, 1);
+
+    let mut msgs = msg_pool.pop();
+    let prefix = [buf[0], buf[1], buf[2], buf[3]];
+    let blen = wire::frame_body_len(prefix).expect("own frame");
+    let src = wire::decode_frame_body(&buf[4..4 + blen], &mut msgs).expect("own frame");
+    assert_eq!(src, NodeId(0));
+    assert_eq!(msgs.len(), batch.len());
+    msg_pool.put(msgs);
+
+    ring.push(buf).expect("ring has room");
+    ring.clear_into(byte_pool);
+}
+
+#[test]
+fn steady_state_paths_do_not_allocate() {
+    // --- Path 1: Outbox flush→recycle (kite-lint: no-alloc on `flush`).
+    let mut ob: Outbox<Msg> = Outbox::new(4);
+    let mut handed: Vec<(NodeId, Vec<Msg>)> = Vec::with_capacity(4);
+    // Warm up: first flushes draw replacement buffers from the allocator
+    // until enough circulate through the pool.
+    for _ in 0..4 {
+        outbox_cycle(&mut ob, &mut handed);
+    }
+    let n = count_allocs(|| {
+        for _ in 0..100 {
+            outbox_cycle(&mut ob, &mut handed);
+        }
+    });
+    assert_eq!(n, 0, "Outbox steady state allocated {n} times over 100 cycles");
+
+    // --- Path 2: InFlightTable resolve/reuse (no-alloc on slot_of/get/
+    // get_mut/remove; remove→insert recycles the slot LIFO).
+    let mut table = InFlightTable::with_capacity(8);
+    let mut rid = table.insert(es_entry());
+    // Warm-up: one full cycle so the free list has been pushed to once.
+    let warm = table.remove(rid).expect("live rid");
+    rid = table.insert(warm);
+    let n = count_allocs(|| {
+        for _ in 0..1000 {
+            match table.get_mut(rid).expect("live rid") {
+                InFlight::EsWrite(s) => s.acked = NodeSet::EMPTY,
+                other => panic!("wrong entry kind: {}", other.tag()),
+            }
+            let entry = table.remove(rid).expect("live rid");
+            rid = table.insert(entry);
+        }
+    });
+    assert_eq!(n, 0, "InFlightTable steady state allocated {n} times over 1000 cycles");
+
+    // --- Path 3: the fabric readiness cycle (no-alloc on flush_outbox /
+    // decode_conn_frames), sockets mocked out by driving the same pools,
+    // codec and ring the event loop uses.
+    let byte_pool = Pool::new(8);
+    let msg_pool = Pool::new(8);
+    let mut ring = OutRing::new();
+    let batch: Vec<Msg> = (0..8).map(sample_msg).collect();
+    for _ in 0..4 {
+        fabric_cycle(&byte_pool, &msg_pool, &mut ring, &batch);
+    }
+    let n = count_allocs(|| {
+        for _ in 0..100 {
+            fabric_cycle(&byte_pool, &msg_pool, &mut ring, &batch);
+        }
+    });
+    assert_eq!(n, 0, "fabric steady state allocated {n} times over 100 cycles");
+}

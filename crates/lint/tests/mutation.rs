@@ -1,0 +1,108 @@
+//! Mutation tests for the linter itself: inject one violation of each rule
+//! into a scratch source tree and assert the workspace walk catches it.
+//! A linter change that silently stops detecting a rule fails here, not in
+//! code review six months later.
+
+use std::fs;
+use std::path::PathBuf;
+
+use kite_lint::{analyze_workspace, Rule};
+
+/// A scratch tree under the OS tempdir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("kite-lint-mut-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+
+    /// Write `src` at `rel` (creating parents) and lint the whole tree.
+    fn lint_with(&self, rel: &str, src: &str) -> Vec<(String, Rule)> {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, src).unwrap();
+        analyze_workspace(&self.0)
+            .unwrap()
+            .into_iter()
+            .map(|v| (v.file, v.rule))
+            .collect()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn injected_violations_are_caught_per_rule() {
+    let mutations: &[(&str, &str, Rule)] = &[
+        (
+            "crates/demo/src/alloc.rs",
+            "// kite-lint: no-alloc\nfn hot() {\n    let v = Vec::new();\n}\n",
+            Rule::NoAlloc,
+        ),
+        (
+            "crates/demo/src/unsafe_site.rs",
+            "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+            Rule::SafetyComment,
+        ),
+        (
+            "crates/demo/src/decode.rs",
+            "// kite-lint: total-decode\nfn d(b: &[u8]) -> u8 {\n    b[0]\n}\n",
+            Rule::TotalDecode,
+        ),
+        (
+            // Path-scoped rule: the injected file must live under a scoped crate.
+            "crates/kvs/src/atomics.rs",
+            "fn f(c: &AtomicU64) {\n    c.store(1, Ordering::Relaxed);\n}\n",
+            Rule::OrderingJustification,
+        ),
+        (
+            "crates/demo/src/evloop.rs",
+            "// kite-lint: event-loop\nfn run() {\n    loop {\n        std::thread::sleep(D);\n    }\n}\n",
+            Rule::NoBlockingInLoop,
+        ),
+        (
+            "crates/demo/src/lazy_allow.rs",
+            "// kite-lint: no-alloc\nfn hot() {\n    // kite-lint: allow(no-alloc)\n    let v = Vec::new();\n}\n",
+            Rule::AllowWithoutReason,
+        ),
+    ];
+    for (rel, src, rule) in mutations {
+        let scratch = Scratch::new(rule.name());
+        let found = scratch.lint_with(rel, src);
+        assert!(
+            found.iter().any(|(f, r)| f == rel && r == rule),
+            "injected {} violation in {rel} was not detected (got {found:?})",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn clean_tree_produces_no_violations() {
+    let scratch = Scratch::new("clean");
+    let found = scratch.lint_with(
+        "crates/demo/src/lib.rs",
+        "// SAFETY-free, allocation-free, annotation-free module.\nfn f() -> u8 {\n    7\n}\n",
+    );
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn walk_skips_target_and_fixture_directories() {
+    let scratch = Scratch::new("skips");
+    // Violating files in skipped directories must not surface.
+    for rel in ["target/debug/build/gen.rs", "crates/demo/fixtures/bad.rs"] {
+        let path = scratch.0.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, "// kite-lint: no-alloc\nfn f() {\n    let v = Vec::new();\n}\n").unwrap();
+    }
+    let found = scratch.lint_with("crates/demo/src/lib.rs", "fn ok() {}\n");
+    assert!(found.is_empty(), "{found:?}");
+}

@@ -1,0 +1,64 @@
+//! The lint pass as a workspace test: `cargo test -q` fails if anyone
+//! introduces a violation the committed baseline does not grandfather.
+//! This is the same check `scripts/lint.sh` (and the bench/stress
+//! preambles) run as a binary — wired into the test suite so it cannot be
+//! forgotten.
+
+use std::path::Path;
+
+use kite_lint::{analyze_workspace, parse_baseline, ratchet, ratchet_summary};
+
+fn workspace_root() -> &'static Path {
+    // crates/lint/ -> crates/ -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap()
+}
+
+#[test]
+fn workspace_has_no_new_lint_violations() {
+    let root = workspace_root();
+    let violations = analyze_workspace(root).expect("walk workspace sources");
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.txt")).unwrap_or_default();
+    let r = ratchet(&violations, &parse_baseline(&baseline_text));
+    if !r.new.is_empty() {
+        for v in &r.new {
+            eprintln!("{v}");
+        }
+        panic!(
+            "kite-lint: {} — fix the new violation(s), add a reasoned \
+             `// kite-lint: allow(<rule>) — <why>`, or (last resort) re-run \
+             `kite-lint --update-baseline`",
+            ratchet_summary(&r)
+        );
+    }
+}
+
+#[test]
+fn baseline_stays_burned_down() {
+    // The audit drove the baseline to empty; it must not silently regrow.
+    // Deleting entries is always fine — this only guards the size.
+    let root = workspace_root();
+    let baseline_text =
+        std::fs::read_to_string(root.join("lint-baseline.txt")).unwrap_or_default();
+    let entries = parse_baseline(&baseline_text);
+    assert!(
+        entries.is_empty(),
+        "lint-baseline.txt regrew to {} grandfathered entr{} — new code must \
+         pass clean or carry a reasoned allow, not hide in the baseline: {:?}",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" },
+        entries
+    );
+}
+
+#[test]
+fn stale_baseline_entries_are_reported_as_fixed() {
+    // A baseline key that no longer matches any violation must surface in
+    // `fixed` (so burn-down progress is visible), never in `new`.
+    let root = workspace_root();
+    let violations = analyze_workspace(root).expect("walk workspace sources");
+    let stale = vec!["no/such/file.rs|no-alloc|let v = Vec::new();".to_string()];
+    let r = ratchet(&violations, &stale);
+    assert_eq!(r.fixed, stale);
+    assert!(r.new.iter().all(|v| v.file != "no/such/file.rs"));
+}

@@ -46,6 +46,8 @@ fn install_signal_handlers() {
     }
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
+    // SAFETY: `on_signal` is an async-signal-safe extern "C" fn (it only
+    // stores to an atomic); signal(2) itself takes no pointers beyond it.
     unsafe {
         signal(SIGTERM, on_signal);
         signal(SIGINT, on_signal);

@@ -323,6 +323,8 @@ fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
     const SOCK_STREAM: i32 = 1;
     const SOL_SOCKET: i32 = 1;
     const SO_REUSEADDR: i32 = 2;
+    // SAFETY: plain-int syscalls plus one live stack sockaddr whose exact
+    // size is passed; the fd is closed on every error path before return.
     unsafe {
         let fd = socket(AF_INET, SOCK_STREAM, 0);
         if fd < 0 {
@@ -358,6 +360,7 @@ fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
 /// nonblocking) hello handshakes with a per-connection deadline, then
 /// routing to the owning worker's loop. No per-connection threads — a
 /// connection that trickles its hello costs a list entry, not a thread.
+// kite-lint: event-loop
 fn acceptor_loop(
     listener: TcpListener,
     nodes: usize,
@@ -374,6 +377,8 @@ fn acceptor_loop(
         deadline: Instant,
     }
     let mut pending: Vec<Pending> = Vec::new();
+    // ordering: shutdown flag poll — seeing the store one iteration late
+    // only delays teardown by one accept timeout; nothing is guarded by it.
     while !stop.load(Ordering::Relaxed) {
         let mut progress = false;
         match listener.accept() {
@@ -389,6 +394,8 @@ fn acceptor_loop(
                 progress = true;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            // kite-lint: allow(no-blocking-in-loop) — accept-error backoff on
+            // the dedicated acceptor thread; no data path waits on it.
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
         let now = Instant::now();
@@ -432,6 +439,8 @@ fn acceptor_loop(
             }
         }
         if !progress {
+            // kite-lint: allow(no-blocking-in-loop) — idle handshake poll on
+            // the dedicated acceptor thread; workers park in epoll instead.
             std::thread::sleep(Duration::from_millis(2));
         }
     }
@@ -679,6 +688,11 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         })
     }
 
+    // ordering: the loop polls three advisory flags (stop, net-stop, dump
+    // request); each is a standalone signal with no payload behind it, so a
+    // one-iteration-stale Relaxed read is harmless by construction.
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn run(&mut self) {
         let mut idle: u32 = 0;
         while !self.stop.load(Ordering::Relaxed) && !self.net_stop.load(Ordering::Relaxed) {
@@ -832,6 +846,8 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
     }
 
     /// Outbound link readiness: connect completion, EOF probe, ring drain.
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn service_peer_out(&mut self, dst: NodeId, ev: u32) {
         let d = dst.idx();
         if self.peer_out[d].stream.is_none() {
@@ -894,6 +910,9 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         self.drain_peer_ring(dst);
     }
 
+    // ordering: link-stat counters and ring gauges — monitoring state read
+    // by the watchdog and tests; the loop that mutates them is their only
+    // writer, so Relaxed publishes numbers, not invariants.
     /// Tear down an outbound link (dial failure or death) and schedule the
     /// redial. Ring contents are lost-and-counted, like frames on a downed
     /// link.
@@ -915,8 +934,13 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         self.schedule_redial(d);
     }
 
+    // ordering: link-stat counters and ring gauges — monitoring state read
+    // by the watchdog and tests; the loop that mutates them is their only
+    // writer, so Relaxed publishes numbers, not invariants.
     /// Push ring bytes into the socket; toggles EPOLLOUT to match what's
     /// left.
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn drain_peer_ring(&mut self, dst: NodeId) {
         let d = dst.idx();
         let link = self.links.link(dst, self.worker);
@@ -954,10 +978,15 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         }
     }
 
+    // ordering: link-stat counters and ring gauges — monitoring state read
+    // by the watchdog and tests; the loop that mutates them is their only
+    // writer, so Relaxed publishes numbers, not invariants.
     /// Encode-and-ship every outbox batch: remote batches into peer rings
     /// (shedding when a ring is full — bounded memory under backpressure),
     /// self batches onto the loopback queue. Batch buffers recycle into
     /// the outbox; steady-state flushes allocate nothing.
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn flush_outbox(&mut self) {
         let me = self.me;
         let worker = self.worker;
@@ -1074,6 +1103,8 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
     }
 
     /// Readiness on an inbound connection.
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn service_conn(&mut self, idx: usize, ev: u32) {
         if self.conns.get(idx).map_or(true, |c| c.is_none()) {
             return; // closed earlier in this event batch
@@ -1098,6 +1129,8 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
 
     /// Read-and-decode until `WouldBlock` (bounded by [`READ_QUANTUM`] for
     /// fairness). Returns `false` when the connection must close.
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn service_conn_readable(&mut self, idx: usize) -> bool {
         // Take the conn out of the slab so the actor (also `&mut self`)
         // can run against decoded frames without aliasing.
@@ -1143,8 +1176,13 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         alive
     }
 
+    // ordering: link-stat counters and ring gauges — monitoring state read
+    // by the watchdog and tests; the loop that mutates them is their only
+    // writer, so Relaxed publishes numbers, not invariants.
     /// Decode every complete frame buffered on `conn`. Returns `false` on
     /// a malformed frame (the connection is charged, never the worker).
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn decode_conn_frames(&mut self, conn: &mut Conn) -> bool {
         match conn {
             Conn::PeerIn { src, stream: _, rbuf } => {
@@ -1218,6 +1256,8 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         }
     }
 
+    // kite-lint: no-alloc
+    // kite-lint: event-loop
     fn service_conn_writable(&mut self, idx: usize) {
         let Some(Conn::Client { stream, ring, want_out, .. }) =
             self.conns.get_mut(idx).and_then(|c| c.as_mut())
@@ -1299,6 +1339,9 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
 
     // -- diagnostics / shutdown -------------------------------------------
 
+    // ordering: link-stat counters and ring gauges — monitoring state read
+    // by the watchdog and tests; the loop that mutates them is their only
+    // writer, so Relaxed publishes numbers, not invariants.
     /// Watchdog dump: the actor's protocol snapshot plus the loop's fabric
     /// state — registered fds, per-peer ring occupancy, last-readiness
     /// timestamps.

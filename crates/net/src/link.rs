@@ -67,21 +67,29 @@ pub struct LinkState {
 
 impl LinkState {
     /// Current phase.
+    // ordering: monitoring read of a standalone flag; no payload is
+    // published through it, so Relaxed cannot reorder anything that matters.
     pub fn phase(&self) -> LinkPhase {
         LinkPhase::from_u8(self.phase.load(Ordering::Relaxed))
     }
 
     /// Is the outbound connection currently up?
+    // ordering: advisory fast-path check — a stale read only means one more
+    // frame queued to a dying link, which the drop counters then record.
     #[inline]
     pub fn is_connected(&self) -> bool {
         self.phase.load(Ordering::Relaxed) == 1
     }
 
+    // ordering: the loop that flips the phase is the only writer and owns
+    // the socket; readers are diagnostics and the advisory enqueue check.
+    // Relaxed flips cannot race anything correctness-bearing.
     pub(crate) fn set_connected(&self) {
         self.phase.store(1, Ordering::Relaxed);
         self.connects.fetch_add(1, Ordering::Relaxed);
     }
 
+    // ordering: same single-writer advisory flag as set_connected.
     pub(crate) fn set_backoff(&self) {
         self.phase.store(2, Ordering::Relaxed);
     }
@@ -111,6 +119,8 @@ impl LinkTable {
     }
 
     /// Total inbound frames across all links (progress probe).
+    // ordering: monotone counters summed for a progress heuristic; the sum
+    // is racy by nature and Relaxed loses nothing.
     pub fn total_frames_in(&self) -> u64 {
         self.links
             .iter()
@@ -120,6 +130,8 @@ impl LinkTable {
     }
 
     /// Human-readable per-link dump for the watchdog / shutdown report.
+    // ordering: diagnostics snapshot — each counter is read independently;
+    // cross-counter consistency is not promised, so Relaxed is exact enough.
     pub fn describe(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();

@@ -108,6 +108,8 @@ pub fn wait_rw(fd: RawFd, timeout_ms: i32) -> io::Result<bool> {
 
 fn wait_fd(fd: RawFd, events: i16, timeout_ms: i32) -> io::Result<bool> {
     let mut pfd = PollFd { fd, events, revents: 0 };
+    // SAFETY: `pfd` is a live stack value matching the kernel's pollfd
+    // layout; nfds=1 bounds the kernel's access to exactly that one entry.
     let rc = unsafe { poll(&mut pfd, 1, timeout_ms) };
     if rc < 0 {
         let err = io::Error::last_os_error();
@@ -131,6 +133,8 @@ pub struct Poller {
 impl Poller {
     /// Create a new epoll instance.
     pub fn new() -> io::Result<Poller> {
+        // SAFETY: no pointers cross the boundary; the returned fd (or -1)
+        // is validated below before use.
         let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
@@ -140,6 +144,8 @@ impl Poller {
 
     fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
         let mut ev = EpollEvent { events: interest, data: token };
+        // SAFETY: `ev` is a live stack value with the ABI-matching layout
+        // declared above; the kernel reads it before the call returns.
         let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
         if rc < 0 {
             return Err(io::Error::last_os_error());
@@ -169,6 +175,8 @@ impl Poller {
     /// Wait up to `timeout_ms` (`0` = poll, `-1` = forever) and append
     /// `(token, events)` pairs to `out`. Returns the number of events.
     pub fn wait(&mut self, out: &mut Vec<(u64, u32)>, timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `self.buf` holds MAX_EVENTS initialized entries and we
+        // pass exactly that capacity, so the kernel cannot write past it.
         let n = unsafe { epoll_wait(self.epfd, self.buf.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms) };
         if n < 0 {
             let err = io::Error::last_os_error();
@@ -187,6 +195,8 @@ impl Poller {
 
 impl Drop for Poller {
     fn drop(&mut self) {
+        // SAFETY: `epfd` was returned by epoll_create1 and is owned solely
+        // by this Poller; nobody closes it before Drop.
         unsafe { close(self.epfd) };
     }
 }
@@ -200,6 +210,8 @@ pub struct Waker {
 impl Waker {
     /// Create a nonblocking eventfd.
     pub fn new() -> io::Result<Waker> {
+        // SAFETY: no pointers cross the boundary; the returned fd (or -1)
+        // is validated below before use.
         let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());
@@ -215,18 +227,23 @@ impl Waker {
     /// Make the owning loop's next `epoll_wait` return immediately.
     pub fn wake(&self) {
         let one: u64 = 1;
+        // SAFETY: the pointer covers exactly the 8 live bytes of `one`;
+        // eventfd writes consume a u64 counter increment.
         unsafe { write(self.fd, &one as *const u64 as *const u8, 8) };
     }
 
     /// Clear the pending wakeup count (called by the loop after readiness).
     pub fn drain(&self) {
         let mut buf = [0u8; 8];
+        // SAFETY: `buf` is 8 writable bytes and we ask for exactly 8; a
+        // short or failed read leaves it initialized either way.
         unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
     }
 }
 
 impl Drop for Waker {
     fn drop(&mut self) {
+        // SAFETY: `fd` came from eventfd and is owned solely by this Waker.
         unsafe { close(self.fd) };
     }
 }
@@ -242,6 +259,8 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
             return Err(io::Error::new(io::ErrorKind::Unsupported, "event-loop dial is IPv4-only"))
         }
     };
+    // SAFETY: no pointers cross the boundary; the returned fd (or -1) is
+    // validated below before use.
     let fd = unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
     if fd < 0 {
         return Err(io::Error::last_os_error());
@@ -252,15 +271,20 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
         sin_addr: u32::from_ne_bytes(v4.ip().octets()),
         sin_zero: [0; 8],
     };
+    // SAFETY: `sa` is a live stack value and the length passed is exactly
+    // its size, so the kernel reads only initialized memory.
     let rc = unsafe { connect(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) };
     if rc < 0 {
         let err = io::Error::last_os_error();
         if err.raw_os_error() != Some(EINPROGRESS) {
+            // SAFETY: `fd` was created above and is not yet owned by any
+            // wrapper; closing it here is the only cleanup path.
             unsafe { close(fd) };
             return Err(err);
         }
     }
-    // Safety: fd is a freshly created, connected-or-connecting socket we own.
+    // SAFETY: fd is a freshly created, connected-or-connecting socket owned
+    // by nobody else; from_raw_fd transfers that sole ownership.
     Ok(unsafe { TcpStream::from_raw_fd(fd) })
 }
 
@@ -269,6 +293,8 @@ pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<TcpStream> {
 pub fn take_socket_error(stream: &TcpStream) -> io::Result<()> {
     let mut err: i32 = 0;
     let mut len: u32 = 4;
+    // SAFETY: `err`/`len` are live stack values sized for SO_ERROR's i32
+    // result; the kernel writes at most `len` bytes.
     let rc = unsafe { getsockopt(stream.as_raw_fd(), SOL_SOCKET, SO_ERROR, &mut err, &mut len) };
     if rc < 0 {
         return Err(io::Error::last_os_error());

@@ -430,6 +430,7 @@ impl DurabilitySink for Wal {
     /// The hot path: one stack-buffer encode + one `extend_from_slice`
     /// into the recycled staging buffer. No syscalls, no waking, no
     /// allocation once the buffer reached its working-set capacity.
+    // kite-lint: no-alloc
     fn record(&self, key: Key, lc: Lc, val: &Val) {
         let mut frame_buf = [0u8; frame::MAX_FRAME];
         let n = frame::encode_into(&mut frame_buf, key, lc, val);

@@ -15,6 +15,12 @@ cd "$(dirname "$0")/.."
 
 SEED="${1:-42}"
 
+# Invariant gate: nothing perf-related is worth measuring if the no-alloc /
+# event-loop contracts regressed. Prints the ratchet diff (new / fixed /
+# grandfathered) and aborts on any new violation.
+echo "== kite-lint (invariant pass, ratcheted) =="
+scripts/lint.sh
+
 echo "== cargo bench --no-run (benches must compile) =="
 cargo bench --no-run --workspace
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Sanitizer pass over the concurrency-bearing crates (kvs, lockfree):
+# ThreadSanitizer first (the seqlock/CAS paths are where the bodies are
+# buried), then AddressSanitizer (the Val raw-parts and FFI paths).
+#
+# `-Zsanitizer=` needs a nightly toolchain plus the rust-src component
+# (-Zbuild-std). On the stable-only container this SKIPS LOUDLY and exits
+# 0 — the static linter and the alloc-guard test still run everywhere; the
+# sanitizers are the belt-and-braces layer for machines that have nightly.
+#
+# The seqlock's racy-read-then-validate protocol is a benign race by
+# construction (see scripts/tsan.supp for the argument); the suppression
+# file keeps TSan's signal clean without blessing any other race.
+#
+# Usage: scripts/sanitize.sh [thread|address|all]   (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WHICH="${1:-all}"
+case "${WHICH}" in
+thread | address | all) ;;
+*)
+    echo "usage: scripts/sanitize.sh [thread|address|all]" >&2
+    exit 2
+    ;;
+esac
+
+if ! rustc +nightly -V >/dev/null 2>&1; then
+    echo "==================================================================="
+    echo "SKIP: no nightly toolchain — -Zsanitizer is a nightly-only flag."
+    echo "      Install one (rustup toolchain install nightly && rustup"
+    echo "      component add rust-src --toolchain nightly) to run this."
+    echo "      The static lint pass and the allocation-guard test cover"
+    echo "      the enforced invariants on stable."
+    echo "==================================================================="
+    exit 0
+fi
+if [ ! -d "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library" ]; then
+    echo "==================================================================="
+    echo "SKIP: nightly present but rust-src is missing (-Zbuild-std needs"
+    echo "      it): rustup component add rust-src --toolchain nightly"
+    echo "==================================================================="
+    exit 0
+fi
+
+HOST="$(rustc +nightly -vV | sed -n 's/^host: //p')"
+
+run_san() {
+    local san="$1"
+    echo "== ${san} sanitizer: kite-kvs + kite-lockfree test suites =="
+    RUSTFLAGS="-Zsanitizer=${san}" \
+    TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+    cargo +nightly test -Zbuild-std --target "${HOST}" \
+        --target-dir "target/san-${san}" \
+        -p kite-kvs -p kite-lockfree
+}
+
+if [ "${WHICH}" = thread ] || [ "${WHICH}" = all ]; then
+    run_san thread
+fi
+if [ "${WHICH}" = address ] || [ "${WHICH}" = all ]; then
+    run_san address
+fi

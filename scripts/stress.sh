@@ -32,6 +32,12 @@ cd "$(dirname "$0")/.."
 N="${1:-50}"
 FILTER="${2:-threaded_mutex_exact_under_message_loss}"
 
+# Invariant gate: nothing perf-related is worth measuring if the no-alloc /
+# event-loop contracts regressed. Prints the ratchet diff (new / fixed /
+# grandfathered) and aborts on any new violation.
+echo "== kite-lint (invariant pass, ratcheted) =="
+scripts/lint.sh
+
 echo "== building test binaries =="
 cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --test wal_faults --no-run
 cargo test --release -p kite-net --test backpressure --test pipeline_props --no-run
