@@ -38,7 +38,7 @@ use kite::ProtocolMode;
 use kite_bench::{paper_cluster, paper_sim, RUN_NS, WARMUP_NS};
 use kite_common::{Key, Lc, NodeId, NodeSet, OpId, SessionId, Val};
 use kite_simnet::Outbox;
-use kite_workloads::{run_kite_mix, MixCfg};
+use kite_workloads::{run_kite_gen, run_kite_mix, FlashCrowdCfg, MixCfg, RunResult};
 
 fn arg_after(flag: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -207,6 +207,11 @@ struct Row {
     ae_bytes_per_op: f64,
     /// (p50, p99, p999) in µs.
     lat: Option<(f64, f64, f64)>,
+    /// Transport health on the socket rows: (frames shed to ring
+    /// backpressure, inbound decode errors) summed over every link of
+    /// every node. Print-only — sheds are load-dependent (expected under
+    /// saturation), decode errors must be zero.
+    net: Option<(u64, u64)>,
 }
 
 /// Exact percentiles from the full sample set (the shared `Histogram` is
@@ -339,6 +344,7 @@ fn threaded_row(ops_per_client: usize) -> Row {
         ae_per_op: 0.0,
         ae_bytes_per_op: 0.0,
         lat: percentiles_us(&mut lat_us),
+        net: None,
     }
 }
 
@@ -439,6 +445,7 @@ fn tcp_row(ops_per_client: usize, wal: bool) -> Row {
         lat_us.extend(lat);
     }
     let secs = wall.elapsed().as_secs_f64();
+    let net = link_totals(&nodes);
     for n in nodes {
         n.shutdown();
     }
@@ -453,7 +460,15 @@ fn tcp_row(ops_per_client: usize, wal: bool) -> Row {
         ae_per_op: 0.0,
         ae_bytes_per_op: 0.0,
         lat: percentiles_us(&mut lat_us),
+        net: Some(net),
     }
+}
+
+/// Sum (shed frames, decode errors) across every link of every node.
+fn link_totals(nodes: &[kite_net::NodeRuntime]) -> (u64, u64) {
+    nodes.iter().fold((0, 0), |(s, d), n| {
+        (s + n.links().total_shed_full(), d + n.links().total_decode_errors())
+    })
 }
 
 /// Open-loop clients over loopback TCP: each client submits on a fixed
@@ -534,6 +549,7 @@ fn tcp_openloop_row(rate_per_client: u64, run_secs: f64) -> Row {
         lat_us.extend(lat);
     }
     let secs = wall.elapsed().as_secs_f64();
+    let net = link_totals(&nodes);
     for n in nodes {
         n.shutdown();
     }
@@ -545,6 +561,7 @@ fn tcp_openloop_row(rate_per_client: u64, run_secs: f64) -> Row {
         ae_per_op: 0.0,
         ae_bytes_per_op: 0.0,
         lat: percentiles_us(&mut lat_us),
+        net: Some(net),
     }
 }
 
@@ -552,6 +569,45 @@ fn tcp_openloop_row(rate_per_client: u64, run_secs: f64) -> Row {
 /// written to the JSON, excluded from the regression table.
 fn is_noisy(name: &str) -> bool {
     name.starts_with("tcp_") || name.starts_with("threaded_")
+}
+
+/// Turn one sim `RunResult` into a printed line + e2e row (shared by the
+/// `MixCfg` rows and the hostile-skew generator rows).
+fn push_sim_row(name: &str, r: &RunResult, wall_ms: f64, e2e: &mut Vec<Row>) {
+    let per_op = |num: u64| {
+        if r.total_completed > 0 {
+            num as f64 / r.total_completed as f64
+        } else {
+            0.0
+        }
+    };
+    // Ack messages per completed op: the coalescing win. For the
+    // write-only runs this is acks-per-write; the seed paid N−1.
+    let apw = per_op(r.ack_msgs);
+    // Anti-entropy messages per op: the background-convergence
+    // subsystem's probe — steady-state digest traffic must stay
+    // negligible (< 0.01 msgs/op at 0% loss; also pinned by
+    // tests/antientropy.rs).
+    let ae = per_op(r.ae_msgs);
+    // Digest-plane bytes per op: the figure the Merkle-range mode
+    // shrinks from O(store) to O(log store) per sweep cycle (asserted
+    // at the 100k-key scale by tests/antientropy.rs).
+    let aeb = per_op(r.ae_digest_bytes);
+    println!(
+        "{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms, {apw:.2} ack-msgs/op, \
+         {} coalesced, {ae:.4} ae-msgs/op, {aeb:.2} ae-bytes/op)",
+        r.mreqs, r.acks_coalesced
+    );
+    e2e.push(Row {
+        name: name.to_string(),
+        mreqs: r.mreqs,
+        wall_ms,
+        acks_per_op: apw,
+        ae_per_op: ae,
+        ae_bytes_per_op: aeb,
+        lat: None,
+        net: None,
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -698,45 +754,7 @@ fn main() {
                        e2e: &mut Vec<Row>| {
         let wall = Instant::now();
         let r = run_kite_mix(cfg, mode, paper_sim(seed), mix, WARMUP_NS, RUN_NS);
-        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
-        // Ack messages per completed op: the coalescing win. For the
-        // write-only runs this is acks-per-write; the seed paid N−1.
-        let apw = if r.total_completed > 0 {
-            r.ack_msgs as f64 / r.total_completed as f64
-        } else {
-            0.0
-        };
-        // Anti-entropy messages per op: the background-convergence
-        // subsystem's probe — steady-state digest traffic must stay
-        // negligible (< 0.01 msgs/op at 0% loss; also pinned by
-        // tests/antientropy.rs).
-        let ae = if r.total_completed > 0 {
-            r.ae_msgs as f64 / r.total_completed as f64
-        } else {
-            0.0
-        };
-        // Digest-plane bytes per op: the figure the Merkle-range mode
-        // shrinks from O(store) to O(log store) per sweep cycle (asserted
-        // at the 100k-key scale by tests/antientropy.rs).
-        let aeb = if r.total_completed > 0 {
-            r.ae_digest_bytes as f64 / r.total_completed as f64
-        } else {
-            0.0
-        };
-        println!(
-            "{name:<28} {:8.3} mreqs   (wall {wall_ms:7.1} ms, {apw:.2} ack-msgs/op, \
-             {} coalesced, {ae:.4} ae-msgs/op, {aeb:.2} ae-bytes/op)",
-            r.mreqs, r.acks_coalesced
-        );
-        e2e.push(Row {
-            name: name.to_string(),
-            mreqs: r.mreqs,
-            wall_ms,
-            acks_per_op: apw,
-            ae_per_op: ae,
-            ae_bytes_per_op: aeb,
-            lat: None,
-        });
+        push_sim_row(name, &r, wall.elapsed().as_secs_f64() * 1e3, e2e);
     };
     for (name, mode, mix) in runs {
         run_one(name, cfg.clone(), mode, mix, &mut e2e);
@@ -770,6 +788,30 @@ fn main() {
             MixCfg::typical(0.2, big_keys),
             &mut e2e,
         );
+
+        // Hostile-workload family: extreme Zipf and the flash crowd. These
+        // rows stress the §6.3 batching/coalescing machinery — under a
+        // single hot key the coalescer's worth is maximal (every node's
+        // acks for that key pile onto the same links), so acks-per-op
+        // staying comparable to the uniform rows IS the invariant.
+        run_one(
+            "kite_skew_extreme",
+            cfg.clone(),
+            ProtocolMode::Kite,
+            MixCfg::typical(0.2, keys).skew(1.2),
+            &mut e2e,
+        );
+        let fc = FlashCrowdCfg::extreme(keys);
+        let wall = Instant::now();
+        let r = run_kite_gen(
+            cfg.clone(),
+            ProtocolMode::Kite,
+            paper_sim(seed),
+            move |s| fc.generator(s),
+            WARMUP_NS,
+            RUN_NS,
+        );
+        push_sim_row("kite_flash_crowd", &r, wall.elapsed().as_secs_f64() * 1e3, &mut e2e);
     }
 
     // Wall-clock transports: real threads / real sockets, noisy by nature.
@@ -780,8 +822,12 @@ fn main() {
                 format!(", p50 {p50:.0} µs, p99 {p99:.0} µs, p999 {p999:.0} µs")
             })
             .unwrap_or_default();
+        let net = row
+            .net
+            .map(|(shed, decode)| format!(", shed {shed}, decode-errs {decode}"))
+            .unwrap_or_default();
         println!(
-            "{:<28} {:8.3} mreqs   (wall {:7.1} ms{lat}, noisy: excluded from diff)",
+            "{:<28} {:8.3} mreqs   (wall {:7.1} ms{lat}{net}, noisy: excluded from diff)",
             row.name, row.mreqs, row.wall_ms
         );
     };
@@ -823,8 +869,16 @@ fn main() {
     }
     json.push_str("  },\n  \"e2e\": {\n");
     for (i, row) in e2e.iter().enumerate() {
-        let Row { name, mreqs, wall_ms, acks_per_op: apw, ae_per_op: ae, ae_bytes_per_op: aeb, lat } =
-            row;
+        let Row {
+            name,
+            mreqs,
+            wall_ms,
+            acks_per_op: apw,
+            ae_per_op: ae,
+            ae_bytes_per_op: aeb,
+            lat,
+            net: _,
+        } = row;
         let comma = if i + 1 < e2e.len() { "," } else { "" };
         let noisy = if is_noisy(name) { ", \"noisy\": true" } else { "" };
         let lat = lat

@@ -81,7 +81,7 @@ pub mod worker;
 pub use api::{Completion, CompletionHook, Op, OpOutput};
 pub use cluster::{Cluster, SessionHandle};
 pub use msg::Msg;
-pub use nodestate::NodeShared;
+pub use nodestate::{NodeShared, OpLatency};
 pub use session::{ClientSm, ProtocolMode, Session, SessionDriver};
 pub use simcluster::SimCluster;
 pub use worker::Worker;

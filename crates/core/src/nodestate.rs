@@ -5,9 +5,60 @@ use std::sync::Arc;
 
 use kite_common::stats::ProtoCounters;
 use kite_common::{ClusterConfig, Epoch, NodeId, NodeSet};
-use kite_kvs::Store;
+use kite_kvs::{Store, StoreProbe};
+use kite_metrics::Histogram;
 
+use crate::api::Op;
 use crate::delinquency::DelinquencyTable;
+
+/// Per-class end-to-end op latency, recorded at session retire (the moment
+/// `Worker::complete_in` hands a completion back): invoke-to-completion in
+/// scheduler-clock ns, one lock-free log2 histogram per op class. Snapshots
+/// merge across nodes/workers, so cluster-wide p50/p99/p999 per class come
+/// straight out of a scrape.
+#[derive(Default)]
+pub struct OpLatency {
+    /// Relaxed reads.
+    pub read: Histogram,
+    /// Relaxed writes.
+    pub write: Histogram,
+    /// Acquire-class ops (acquire reads).
+    pub acquire: Histogram,
+    /// Release-class ops (release writes).
+    pub release: Histogram,
+    /// Read-modify-writes (FAA, CAS weak/strong).
+    pub rmw: Histogram,
+}
+
+impl OpLatency {
+    /// The histogram an op retires into. RMWs classify first: a CAS is an
+    /// RMW even though `CasStrong` is also release-like.
+    #[inline]
+    pub fn for_op(&self, op: &Op) -> &Histogram {
+        if op.is_rmw() {
+            &self.rmw
+        } else if op.is_release_like() {
+            &self.release
+        } else if op.is_acquire_like() {
+            &self.acquire
+        } else if matches!(op, Op::Write { .. }) {
+            &self.write
+        } else {
+            &self.read
+        }
+    }
+
+    /// (name, histogram) pairs for registry/scrape wiring.
+    pub fn classes(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("read", &self.read),
+            ("write", &self.write),
+            ("acquire", &self.acquire),
+            ("release", &self.release),
+            ("rmw", &self.rmw),
+        ]
+    }
+}
 
 /// One Kite machine's shared state (Figure 2 of the paper): the KVS
 /// replica, the machine epoch-id, and the delinquency bit-vector.
@@ -39,11 +90,23 @@ pub struct NodeShared {
     suspects: Vec<AtomicBool>,
     /// Protocol/throughput counters (merged with the fabric's counts).
     pub counters: Arc<ProtoCounters>,
+    /// Per-class op latency, recorded at session retire.
+    pub op_latency: OpLatency,
+    /// Store observability probe (writes + distinct-keys sketch); the same
+    /// `Arc` is attached to [`NodeShared::store`], kept here so scrapers
+    /// can read it without going through the store.
+    pub store_probe: Arc<StoreProbe>,
 }
 
 impl NodeShared {
     /// Build the shared state for node `me` (preallocates the KVS).
     pub fn new(me: NodeId, cfg: ClusterConfig, counters: Arc<ProtoCounters>) -> Arc<Self> {
+        let store_probe = Arc::new(StoreProbe::default());
+        let store = Store::with_leaf_span(
+            cfg.keys,
+            if cfg.merkle_digests { cfg.merkle_leaf_span } else { 0 },
+        );
+        store.attach_probe(Arc::clone(&store_probe));
         Arc::new(NodeShared {
             me,
             // The Merkle leaf span rides the shared config so every
@@ -51,15 +114,14 @@ impl NodeShared {
             // what makes summary hashes meaningful). With Merkle digests
             // off, span 0 disables the lattice — the default deployment
             // pays no per-write hashing for summaries nobody reads.
-            store: Store::with_leaf_span(
-                cfg.keys,
-                if cfg.merkle_digests { cfg.merkle_leaf_span } else { 0 },
-            ),
+            store,
             epoch: AtomicU64::new(0),
             last_bump: AtomicU64::new(0),
             delinquency: DelinquencyTable::new(cfg.nodes),
             suspects: (0..cfg.nodes).map(|_| AtomicBool::new(false)).collect(),
             counters,
+            op_latency: OpLatency::default(),
+            store_probe,
             cfg,
         })
     }

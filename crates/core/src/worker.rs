@@ -210,6 +210,10 @@ impl Worker {
         now: u64,
     ) {
         shared.counters.completed.incr();
+        // Session retire is the one point every op funnels through exactly
+        // once, so per-class latency is recorded here: invoke-to-completion
+        // in scheduler ns. Lock-free, allocation-free (three fetch_adds).
+        shared.op_latency.for_op(&op).record(now.saturating_sub(invoked_at));
         let c = Completion { op_id, op, output, invoked_at, completed_at: now };
         if let Some(hook) = hook {
             hook(&c);

@@ -104,6 +104,23 @@ pub struct Store {
     /// recovery. Unset — the default, and every deployment with `wal`
     /// off — costs one predictable atomic load per write.
     sink: OnceLock<Arc<dyn DurabilitySink>>,
+    /// Optional observability probe (write counter + distinct-keys HLL),
+    /// attached at most once. Same cost model as the sink: one predictable
+    /// atomic load per write when unset.
+    probe: OnceLock<Arc<StoreProbe>>,
+}
+
+/// Live observability counters for the store, bumped at the same choke
+/// point as the durability sink ([`Store::sink_apply`]) so every mutator
+/// path — fast-path writes, lattice-max applies, RMW commits, recovery
+/// restores — is counted exactly once per applied write. Recording is
+/// lock-free and allocation-free (see `kite-metrics`).
+#[derive(Default)]
+pub struct StoreProbe {
+    /// Applied writes across all mutator paths.
+    pub writes: kite_metrics::Counter,
+    /// Distinct keys ever written (HyperLogLog estimate, ~1.6% std error).
+    pub distinct_keys: kite_metrics::Hll,
 }
 
 impl Store {
@@ -141,6 +158,7 @@ impl Store {
             leaves,
             leaf_shift,
             sink: OnceLock::new(),
+            probe: OnceLock::new(),
         }
     }
 
@@ -150,6 +168,16 @@ impl Store {
     pub fn attach_sink(&self, sink: Arc<dyn DurabilitySink>) {
         if self.sink.set(sink).is_err() {
             panic!("durability sink already attached");
+        }
+    }
+
+    /// Attach the observability probe (at most once). Unlike the sink there
+    /// is no replay hazard — double-counted recovery writes would only skew
+    /// monitoring — but the once-only discipline keeps the two attach paths
+    /// symmetric.
+    pub fn attach_probe(&self, probe: Arc<StoreProbe>) {
+        if self.probe.set(probe).is_err() {
+            panic!("store probe already attached");
         }
     }
 
@@ -203,6 +231,10 @@ impl Store {
     /// the WAL through the normal mutators" sound.
     #[inline]
     fn sink_apply(&self, key: Key, lc: Lc, val: &Val) {
+        if let Some(probe) = self.probe.get() {
+            probe.writes.incr();
+            probe.distinct_keys.observe(key.0);
+        }
         if let Some(sink) = self.sink.get() {
             sink.record(key, lc, val);
         }

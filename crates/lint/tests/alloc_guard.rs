@@ -186,3 +186,38 @@ fn steady_state_paths_do_not_allocate() {
     });
     assert_eq!(n, 0, "fabric steady state allocated {n} times over 100 cycles");
 }
+
+/// Path 4: the metrics recording hot paths (`kite-lint: no-alloc` on
+/// `Counter::incr`/`add`, `Gauge::set`, `Histogram::record`,
+/// `Hll::observe`). Construction allocates (registers, bucket arrays);
+/// recording must never — these run inside `sink_apply`, the session
+/// retire path and the WAL flusher.
+#[test]
+fn metric_recording_does_not_allocate() {
+    use kite_metrics::{Counter, Gauge, Histogram, Hll};
+
+    let c = Counter::new();
+    let g = Gauge::new();
+    let h = Histogram::new();
+    let sk = Hll::new();
+    // Warm up (recording has no lazy init, but keep the shape uniform
+    // with the other guard paths).
+    for i in 0..64u64 {
+        c.incr();
+        g.set(i);
+        h.record(i * 31);
+        sk.observe(i);
+    }
+    let n = count_allocs(|| {
+        for i in 0..10_000u64 {
+            c.incr();
+            c.add(3);
+            g.set(i);
+            h.record(i.wrapping_mul(0x9E3779B97F4A7C15));
+            sk.observe(i);
+        }
+    });
+    assert_eq!(n, 0, "metric recording allocated {n} times over 10k cycles");
+    assert_eq!(c.get(), 64 + 4 * 10_000);
+    assert!(sk.estimate() > 0);
+}

@@ -18,6 +18,15 @@
 //!   striped across one session per listed server (how the WAL e2e phase
 //!   builds a store big enough that "replay the tail" and "re-replicate
 //!   the world" are measurably different).
+//! * `hot` — flash-crowd writer: every session hammers ONE hot key with
+//!   half its writes (the other half spread over a small cold range),
+//!   from all listed servers at once. Pairs with `scrape` so the e2e
+//!   script can prove ack coalescing keeps ack msgs/op sub-linear in
+//!   node count even when a single key takes the whole cluster's write
+//!   traffic (§6.3 of the paper).
+//! * `scrape` — connect to a node's `--metrics-addr` endpoint, send one
+//!   request line (`scrape`, or `dump` with `--view dump`), print the
+//!   response, exit. No session, no protocol — plain TCP.
 //! * `openloop` — one pipelined session per listed server submits the
 //!   typical Kite mix on a **fixed arrival schedule** (`--rate` ops/s per
 //!   session for `--secs`), never waiting for completions; per-op latency
@@ -32,6 +41,8 @@
 //! kite-client poll     --servers c:p --slot 1 --key 900 --val 7777 --timeout-secs 20
 //! kite-client fill     --servers a:p,b:p,c:p --slot 2 --key-base 1000 --count 20000
 //! kite-client openloop --servers a:p,b:p,c:p --slot 5 --rate 1000 --secs 2
+//! kite-client hot      --servers a:p,b:p,c:p --slot 8 --ops 2000 --key-base 40000
+//! kite-client scrape   --servers 127.0.0.1:9100 [--view dump]
 //! ```
 
 use std::collections::HashMap;
@@ -340,6 +351,89 @@ fn phase_openloop(servers: &[String], slot: u32, rate: u64, secs: u64, key_base:
     );
 }
 
+/// Flash-crowd writer: 50% of each session's writes land on ONE hot key,
+/// the rest on a small cold range, with reads mixed in so the hot key is
+/// also read-shared. All listed servers run concurrently and each session
+/// keeps a deep pipeline in flight — the §6.3 regime where batching and
+/// ack coalescing must keep ack *messages* per op sub-linear in node
+/// count even though every hot-key write needs acks from every replica.
+fn phase_hot(servers: &[String], slot: u32, ops: u64, key_base: u64) {
+    use kite::api::Op;
+    const WINDOW: usize = 64;
+    let hot = Key(key_base);
+    let mut handles = Vec::new();
+    for (idx, addr) in servers.iter().enumerate() {
+        let addr = addr.clone();
+        handles.push(std::thread::spawn(move || -> Result<u64, String> {
+            let mut s = RemoteSession::connect(&addr, slot)
+                .map_err(|e| format!("connect {addr} slot {slot}: {e}"))?;
+            let e = |e: kite_common::KiteError| format!("hot session {idx}: {e}");
+            let (mut submitted, mut done) = (0u64, 0u64);
+            while done < ops {
+                while submitted < ops && s.outstanding() < WINDOW {
+                    let i = submitted;
+                    let v = ((idx as u64 + 1) << 40) | (i + 1);
+                    let op = if i % 8 == 7 {
+                        Op::Read { key: hot }
+                    } else if i % 2 == 0 {
+                        Op::Write { key: hot, val: kite_common::Val::from_u64(v) }
+                    } else {
+                        let cold =
+                            Key(key_base + 1 + (v.wrapping_mul(0x9E3779B97F4A7C15) >> 16) % 256);
+                        Op::Write { key: cold, val: kite_common::Val::from_u64(v) }
+                    };
+                    s.submit(op).map_err(e)?;
+                    submitted += 1;
+                }
+                s.flush().map_err(e)?;
+                s.next_completion_arrival().map_err(e)?;
+                done += 1;
+                while s.poll_completion().map_err(e)?.is_some() {
+                    done += 1;
+                }
+            }
+            Ok(ops)
+        }));
+    }
+    let mut total = 0;
+    for h in handles {
+        match h.join().expect("hot thread panicked") {
+            Ok(n) => total += n,
+            Err(msg) => fail(msg),
+        }
+    }
+    println!(
+        "kite-client: hot OK — {total} write-heavy ops across {} sessions, hot key {}",
+        servers.len(),
+        hot.0
+    );
+}
+
+/// Scrape a node's metrics endpoint: one request line out, whole response
+/// in, printed verbatim. `view` is `scrape` (key-value metrics) or `dump`
+/// (watchdog text).
+fn phase_scrape(servers: &[String], view: &str) {
+    use std::io::{Read as _, Write as _};
+    for addr in servers {
+        let mut stream = std::net::TcpStream::connect(addr)
+            .unwrap_or_else(|e| fail(format!("connect metrics {addr}: {e}")));
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("set_read_timeout");
+        stream
+            .write_all(format!("{view}\n").as_bytes())
+            .unwrap_or_else(|e| fail(format!("send request to {addr}: {e}")));
+        let mut body = String::new();
+        stream
+            .read_to_string(&mut body)
+            .unwrap_or_else(|e| fail(format!("read response from {addr}: {e}")));
+        if body.is_empty() {
+            fail(format!("empty {view} response from {addr}"));
+        }
+        print!("{body}");
+    }
+}
+
 fn phase_put(servers: &[String], slot: u32, key: u64, val: u64) {
     let mut s = RemoteSession::connect(&servers[0], slot)
         .unwrap_or_else(|e| fail(format!("connect: {e}")));
@@ -366,7 +460,7 @@ fn phase_poll(servers: &[String], slot: u32, key: u64, val: u64, timeout: Durati
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(phase) = args.first().cloned() else {
-        eprintln!("usage: kite-client <mixed|put|poll|fill|openloop> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T] [--key-base K] [--count N] [--rate R] [--secs S]");
+        eprintln!("usage: kite-client <mixed|put|poll|fill|openloop|hot|scrape> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T] [--key-base K] [--count N] [--rate R] [--secs S] [--view scrape|dump]");
         std::process::exit(2);
     };
     let mut opts: HashMap<String, String> = HashMap::new();
@@ -398,6 +492,8 @@ fn main() {
             num("secs", 2),
             num("key-base", 20_000),
         ),
+        "hot" => phase_hot(&servers, slot, num("ops", 2_000), num("key-base", 40_000)),
+        "scrape" => phase_scrape(&servers, opts.get("view").map_or("scrape", |v| v.as_str())),
         "put" => phase_put(&servers, slot, num("key", 900), num("val", 7777)),
         "poll" => phase_poll(
             &servers,

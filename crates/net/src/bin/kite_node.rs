@@ -6,8 +6,13 @@
 //!           [--mode kite|es|abd|paxos] [--anti-entropy on|off]
 //!           [--keepalive-ns N] [--config cluster.toml]
 //!           [--wal on|off] [--wal-dir DIR] [--wal-group-commit-ns N]
-//!           [--wal-snapshot-interval-ns N]
+//!           [--wal-snapshot-interval-ns N] [--metrics-addr HOST:PORT]
 //! ```
+//!
+//! `--metrics-addr` opens the plain-text scrape endpoint (`kite-client
+//! scrape` / `nc`): one `key value` line per metric, or the full watchdog
+//! dump when the request line is `dump`. The endpoint is served by worker
+//! 0's existing epoll loop — no extra threads.
 //!
 //! Topology can also come from a TOML-ish config file (`key = value` lines,
 //! `#` comments; command-line flags override it):
@@ -80,7 +85,7 @@ fn usage() -> ! {
          [--mode kite|es|abd|paxos] [--anti-entropy on|off] \
          [--keepalive-ns N] [--release-timeout-ns N] [--config FILE] \
          [--wal on|off] [--wal-dir DIR] [--wal-group-commit-ns N] \
-         [--wal-snapshot-interval-ns N]"
+         [--wal-snapshot-interval-ns N] [--metrics-addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -159,7 +164,9 @@ fn main() {
 
     install_signal_handlers();
 
-    let runtime = match NodeRuntime::launch(NodeConfig::new(cluster, mode, NodeId(node), peers)) {
+    let mut node_cfg = NodeConfig::new(cluster, mode, NodeId(node), peers);
+    node_cfg.metrics_addr = get("metrics_addr");
+    let runtime = match NodeRuntime::launch(node_cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("kite-node: launch failed: {e}");
@@ -181,12 +188,21 @@ fn main() {
     }
     // Machine-greppable readiness line (the e2e script waits for it —
     // extra detail goes after the `ready on <addr>` prefix it greps).
-    println!(
-        "kite-node: node {} ready on {} (mode {:?}, {workers} event-loop worker(s))",
-        runtime.node(),
-        runtime.addr(),
-        mode
-    );
+    match runtime.metrics_addr() {
+        Some(m) => println!(
+            "kite-node: node {} ready on {} (mode {:?}, {workers} event-loop worker(s), \
+             metrics on {m})",
+            runtime.node(),
+            runtime.addr(),
+            mode
+        ),
+        None => println!(
+            "kite-node: node {} ready on {} (mode {:?}, {workers} event-loop worker(s))",
+            runtime.node(),
+            runtime.addr(),
+            mode
+        ),
+    }
 
     while !STOP.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));

@@ -137,6 +137,19 @@ pub struct TcpWorkerIo {
     clock: Arc<WallClock>,
     nodes: usize,
     net_stop: Arc<AtomicBool>,
+    /// Optional metrics/dump endpoint served off this worker's epoll loop
+    /// (set on exactly one worker by [`crate::NodeRuntime`]; the scrape
+    /// plane adds connections to the loop, never threads to the node).
+    pub(crate) scrape: Option<ScrapeSource>,
+}
+
+/// A pre-bound scrape listener plus the hub that renders its responses.
+pub(crate) struct ScrapeSource {
+    /// The listener (nonblocking; bound via the same `SO_REUSEADDR` path as
+    /// the fabric listener).
+    pub(crate) listener: TcpListener,
+    /// Renders the `scrape` and `dump` views.
+    pub(crate) hub: Arc<crate::scrape::MetricsHub>,
 }
 
 /// The session-slot table a worker loop claims remote sessions from —
@@ -238,6 +251,7 @@ impl TcpNet {
                 clock: Arc::clone(&clock),
                 nodes,
                 net_stop: Arc::clone(&stop),
+                scrape: None,
             })
             .collect();
 
@@ -298,7 +312,7 @@ impl Drop for TcpNet {
 /// `TcpListener::bind` does not set the option, so IPv4 binds go through
 /// raw libc FFI (the workspace has no libc crate); other address families
 /// fall back to the std path.
-fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
+pub(crate) fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
     let sa = addr
         .to_socket_addrs()?
         .next()
@@ -540,13 +554,29 @@ enum Conn {
         done_rx: Receiver<Completion>,
         want_out: bool,
     },
+    /// The node's metrics/dump listener — accepted scrape connections join
+    /// this same slab, so the scrape plane costs epoll registrations, not
+    /// threads.
+    ScrapeListener { listener: TcpListener },
+    /// One scrape connection: reads a one-line request (`scrape` or
+    /// `dump`), writes the rendered text, closes. `done` flips once the
+    /// response is queued; the conn closes when the ring drains.
+    Scrape { stream: TcpStream, rbuf: Vec<u8>, ring: OutRing, want_out: bool, done: bool },
 }
 
 impl Conn {
-    fn stream(&self) -> &TcpStream {
+    fn raw_fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
         match self {
-            Conn::PeerIn { stream, .. } | Conn::Client { stream, .. } => stream,
+            Conn::PeerIn { stream, .. }
+            | Conn::Client { stream, .. }
+            | Conn::Scrape { stream, .. } => stream.as_raw_fd(),
+            Conn::ScrapeListener { listener } => listener.as_raw_fd(),
         }
+    }
+
+    fn is_scrape_plane(&self) -> bool {
+        matches!(self, Conn::ScrapeListener { .. } | Conn::Scrape { .. })
     }
 }
 
@@ -647,6 +677,9 @@ struct EventLoop<A: Actor<Msg = Msg>> {
     net_stop: Arc<AtomicBool>,
     dump: Arc<AtomicBool>,
     dumped: bool,
+    /// Renders scrape/dump responses when this worker hosts the metrics
+    /// endpoint (`None` on every other worker).
+    scrape_hub: Option<Arc<crate::scrape::MetricsHub>>,
 }
 
 impl<A: Actor<Msg = Msg>> EventLoop<A> {
@@ -657,9 +690,23 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         stop: Arc<AtomicBool>,
         dump: Arc<AtomicBool>,
     ) -> std::io::Result<EventLoop<A>> {
+        let mut io = io;
         let poller = Poller::new()?;
         poller.add(io.waker.fd(), TOK_WAKER, EPOLLIN)?;
         let peer_out = (0..io.nodes).map(|_| PeerOut::new()).collect();
+        // The scrape listener (if this worker hosts it) occupies a normal
+        // conn slab slot: readiness arrives through the same epoll_wait as
+        // fabric traffic — zero extra threads for the metrics plane.
+        let mut conns = Vec::new();
+        let mut scrape_hub = None;
+        if let Some(src) = io.scrape.take() {
+            use std::os::fd::AsRawFd;
+            src.listener.set_nonblocking(true)?;
+            let fd = src.listener.as_raw_fd();
+            poller.add(fd, conn_token_base(io.nodes), EPOLLIN)?;
+            conns.push(Some(Conn::ScrapeListener { listener: src.listener }));
+            scrape_hub = Some(src.hub);
+        }
         Ok(EventLoop {
             actor,
             me: io.node,
@@ -676,7 +723,7 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
             sessions,
             poller,
             peer_out,
-            conns: Vec::new(),
+            conns,
             selfq: VecDeque::new(),
             out: Outbox::new(io.nodes),
             scratch: Vec::with_capacity(io.nodes),
@@ -685,6 +732,7 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
             net_stop: io.net_stop,
             dump,
             dumped: false,
+            scrape_hub,
         })
     }
 
@@ -1078,8 +1126,7 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
                 self.conns.len() - 1
             }
         };
-        use std::os::fd::AsRawFd;
-        let fd = conn.stream().as_raw_fd();
+        let fd = conn.raw_fd();
         let tok = conn_token_base(self.nodes) + idx as u64;
         if self.poller.add(fd, tok, EPOLLIN).is_err() {
             return; // conn dropped
@@ -1108,6 +1155,12 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
     fn service_conn(&mut self, idx: usize, ev: u32) {
         if self.conns.get(idx).map_or(true, |c| c.is_none()) {
             return; // closed earlier in this event batch
+        }
+        if self.conns[idx].as_ref().is_some_and(|c| c.is_scrape_plane()) {
+            // Scrape-plane traffic is cold by definition; it is serviced off
+            // the annotated hot path (rendering a response allocates).
+            self.service_scrape(idx, ev);
+            return;
         }
         if ev & (EPOLLERR | EPOLLHUP) != 0 {
             self.close_conn(idx);
@@ -1141,6 +1194,11 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
             let (stream, rbuf) = match &mut conn {
                 Conn::PeerIn { stream, rbuf, .. } => (stream, rbuf),
                 Conn::Client { stream, rbuf, .. } => (stream, rbuf),
+                // Scrape-plane conns never reach this path (routed to
+                // `service_scrape` by `service_conn`).
+                Conn::ScrapeListener { .. } | Conn::Scrape { .. } => {
+                    break 'read;
+                }
             };
             let old = rbuf.len();
             rbuf.resize(old + READ_CHUNK, 0);
@@ -1253,6 +1311,8 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
                 compact(rbuf, pos);
                 ok
             }
+            // Scrape-plane conns carry no fabric frames.
+            Conn::ScrapeListener { .. } | Conn::Scrape { .. } => true,
         }
     }
 
@@ -1326,11 +1386,202 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         any
     }
 
+    // -- scrape plane ------------------------------------------------------
+
+    /// Readiness on the metrics listener or a scrape connection. Cold path:
+    /// not `no-alloc` annotated on purpose — rendering a response builds a
+    /// string — but it still runs to completion on this worker's loop, so
+    /// the endpoint consumes epoll budget, never a thread.
+    fn service_scrape(&mut self, idx: usize, ev: u32) {
+        if matches!(self.conns[idx], Some(Conn::ScrapeListener { .. })) {
+            if ev & EPOLLIN == 0 {
+                return;
+            }
+            // Take the listener out so accepted conns can be slab-inserted
+            // (an insert scans for the first free slot — including `idx`).
+            let Some(Conn::ScrapeListener { listener }) = self.conns[idx].take() else {
+                return;
+            };
+            let mut accepted = Vec::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(true);
+                        accepted.push(stream);
+                    }
+                    Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+            self.conns[idx] = Some(Conn::ScrapeListener { listener });
+            for stream in accepted {
+                self.register_scrape_conn(stream);
+            }
+            return;
+        }
+        if ev & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close_conn(idx);
+            return;
+        }
+        if ev & EPOLLIN != 0 && !self.scrape_readable(idx) {
+            self.close_conn(idx);
+            return;
+        }
+        // EPOLLRDHUP is deliberately tolerated: a client may half-close
+        // after sending its one-line request and still expects the
+        // response; the conn closes itself once the ring drains.
+        if ev & EPOLLOUT != 0 {
+            self.scrape_writable(idx);
+        }
+    }
+
+    fn register_scrape_conn(&mut self, stream: TcpStream) {
+        let conn = Conn::Scrape {
+            stream,
+            rbuf: Vec::with_capacity(256),
+            ring: OutRing::new(),
+            want_out: false,
+            done: false,
+        };
+        let idx = match self.conns.iter().position(|c| c.is_none()) {
+            Some(i) => i,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let fd = conn.raw_fd();
+        let tok = conn_token_base(self.nodes) + idx as u64;
+        if self.poller.add(fd, tok, EPOLLIN).is_err() {
+            return; // conn dropped
+        }
+        self.conns[idx] = Some(conn);
+    }
+
+    /// Read until `WouldBlock`; once a full request line is buffered,
+    /// render the response and queue it. Returns `false` to close.
+    fn scrape_readable(&mut self, idx: usize) -> bool {
+        let Some(mut conn) = self.conns[idx].take() else { return true };
+        let mut alive = true;
+        let mut respond = false;
+        {
+            let Conn::Scrape { stream, rbuf, done, .. } = &mut conn else {
+                self.conns[idx] = Some(conn);
+                return true;
+            };
+            loop {
+                let old = rbuf.len();
+                if old > 1024 {
+                    // A "request" that long is not one of ours.
+                    alive = false;
+                    break;
+                }
+                rbuf.resize(old + 256, 0);
+                match stream.read(&mut rbuf[old..]) {
+                    Ok(0) => {
+                        rbuf.truncate(old);
+                        // EOF with the response already queued is the
+                        // normal half-close; before a full request, close.
+                        if !*done {
+                            alive = false;
+                        }
+                        break;
+                    }
+                    Ok(n) => rbuf.truncate(old + n),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        rbuf.truncate(old);
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                        rbuf.truncate(old);
+                    }
+                    Err(_) => {
+                        rbuf.truncate(old);
+                        alive = false;
+                        break;
+                    }
+                }
+            }
+            if alive && !*done && rbuf.contains(&b'\n') {
+                respond = true;
+                *done = true;
+            }
+        }
+        if respond {
+            let text = {
+                let Conn::Scrape { rbuf, .. } = &conn else { unreachable!() };
+                let line = rbuf.split(|&b| b == b'\n').next().unwrap_or(&[]);
+                self.render_scrape_response(line)
+            };
+            let Conn::Scrape { ring, .. } = &mut conn else { unreachable!() };
+            let mut buf = self.byte_pool.pop();
+            buf.extend_from_slice(text.as_bytes());
+            if ring.push(buf).is_err() {
+                alive = false;
+            }
+        }
+        self.conns[idx] = Some(conn);
+        if respond {
+            self.scrape_writable(idx);
+            // The conn may have closed itself once the ring drained.
+            return self.conns[idx].is_some();
+        }
+        alive
+    }
+
+    /// Render the response for one request line: `dump` returns this
+    /// worker's watchdog text plus the node describe lines; anything else
+    /// (conventionally `scrape`) returns the `key value` metrics view.
+    fn render_scrape_response(&mut self, line: &[u8]) -> String {
+        let word = std::str::from_utf8(line).unwrap_or("").trim();
+        let mut out = String::new();
+        match &self.scrape_hub {
+            None => out.push_str("err no metrics hub on this worker\n"),
+            Some(hub) => {
+                if word.trim_start_matches('/') == "dump" {
+                    let hub = Arc::clone(hub);
+                    out = self.dump_text();
+                    hub.render_dump_extra(&mut out);
+                } else {
+                    hub.render_metrics(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn scrape_writable(&mut self, idx: usize) {
+        let Some(Conn::Scrape { stream, ring, want_out, done, .. }) =
+            self.conns.get_mut(idx).and_then(|c| c.as_mut())
+        else {
+            return;
+        };
+        use std::os::fd::AsRawFd;
+        let tok = conn_token_base(self.nodes) + idx as u64;
+        match ring.drain_to(stream, &self.byte_pool) {
+            Ok(Drain::Emptied) => {
+                if *done {
+                    // One-shot protocol: response flushed, we close.
+                    self.close_conn(idx);
+                } else if *want_out {
+                    *want_out = false;
+                    let _ = self.poller.modify(stream.as_raw_fd(), tok, EPOLLIN);
+                }
+            }
+            Ok(Drain::Blocked) => {
+                if !*want_out {
+                    *want_out = true;
+                    let _ = self.poller.modify(stream.as_raw_fd(), tok, EPOLLIN | EPOLLOUT);
+                }
+            }
+            Err(_) => self.close_conn(idx),
+        }
+    }
+
     fn close_conn(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].take() else { return };
-        use std::os::fd::AsRawFd;
-        let _ = self.poller.del(conn.stream().as_raw_fd());
-        if let Conn::Client { mut ring, .. } = conn {
+        let _ = self.poller.del(conn.raw_fd());
+        if let Conn::Client { mut ring, .. } | Conn::Scrape { mut ring, .. } = conn {
             ring.clear_into(&self.byte_pool);
         }
         // The slot of a disconnected client stays claimed — sessions are
@@ -1342,10 +1593,17 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
     // ordering: link-stat counters and ring gauges — monitoring state read
     // by the watchdog and tests; the loop that mutates them is their only
     // writer, so Relaxed publishes numbers, not invariants.
-    /// Watchdog dump: the actor's protocol snapshot plus the loop's fabric
-    /// state — registered fds, per-peer ring occupancy, last-readiness
-    /// timestamps.
+    /// Watchdog dump to stderr (the flag-raised path).
     fn dump_state(&mut self) {
+        let s = self.dump_text();
+        eprintln!("{s}");
+    }
+
+    /// The per-worker diagnostic text: the actor's protocol snapshot plus
+    /// the loop's fabric state — registered fds, per-peer ring occupancy,
+    /// last-readiness timestamps. Serves both the stderr watchdog dump and
+    /// the scrape endpoint's on-demand `dump` view.
+    fn dump_text(&mut self) -> String {
         let now = self.clock.now();
         let mut s = format!("==== watchdog dump {} w{} (t={now}ns) ====\n", self.me, self.worker);
         self.actor.describe(&mut s);
@@ -1372,6 +1630,8 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
                 DialState::Connecting => "Connecting",
                 DialState::Connected => "Connected",
             };
+            // ordering: Relaxed — diagnostic reads of the link's activity
+            // timestamps; a stale value only ages the dump line.
             let _ = writeln!(
                 s,
                 "  out n{d}: {state} ring={}f/{}B want_out={} last_rx_ns={} last_tx_ns={}",
@@ -1382,7 +1642,7 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
                 link.last_tx_ns.load(Ordering::Relaxed),
             );
         }
-        eprintln!("{s}");
+        s
     }
 
     fn teardown(&mut self) {

@@ -41,6 +41,7 @@ pub mod fabric;
 pub mod link;
 pub mod node;
 pub mod ring;
+pub mod scrape;
 pub mod sys;
 
 pub use client::{RemoteSession, CLIENT_TIMEOUT};

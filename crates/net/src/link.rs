@@ -129,6 +129,29 @@ impl LinkTable {
             .sum()
     }
 
+    /// Total outbound frames shed to ring backpressure across all links —
+    /// the transport-health number the bench bins print per row.
+    // ordering: monotone counters summed for reporting; Relaxed is exact
+    // enough for a snapshot that is racy by nature.
+    pub fn total_shed_full(&self) -> u64 {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.shed_full.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total inbound frames that failed to decode across all links (any
+    /// nonzero value means wire corruption or a framing bug).
+    // ordering: same monotone-snapshot argument as `total_shed_full`.
+    pub fn total_decode_errors(&self) -> u64 {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.decode_errors.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Human-readable per-link dump for the watchdog / shutdown report.
     // ordering: diagnostics snapshot — each counter is read independently;
     // cross-counter consistency is not promised, so Relaxed is exact enough.

@@ -45,12 +45,27 @@ pub struct NodeConfig {
     /// Pre-bound fabric listener (overrides `peers[me]` — lets tests bind
     /// `127.0.0.1:0` first and distribute real addresses).
     pub fabric_listener: Option<std::net::TcpListener>,
+    /// Metrics/dump scrape endpoint address (e.g. `127.0.0.1:9100`). The
+    /// listener is registered on worker 0's epoll loop — live observability
+    /// costs zero extra threads. `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Pre-bound scrape listener (overrides `metrics_addr`; lets tests
+    /// bind `127.0.0.1:0`).
+    pub metrics_listener: Option<std::net::TcpListener>,
 }
 
 impl NodeConfig {
-    /// A node config with no listener override.
+    /// A node config with no listener override and no metrics endpoint.
     pub fn new(cluster: ClusterConfig, mode: ProtocolMode, me: NodeId, peers: Vec<String>) -> Self {
-        NodeConfig { cluster, mode, me, peers, fabric_listener: None }
+        NodeConfig {
+            cluster,
+            mode,
+            me,
+            peers,
+            fabric_listener: None,
+            metrics_addr: None,
+            metrics_listener: None,
+        }
     }
 }
 
@@ -65,6 +80,7 @@ pub struct NodeRuntime {
     slots: Arc<Mutex<Vec<Option<SessionPlumbing>>>>,
     wal: Option<Arc<Wal>>,
     recovery: Option<RecoveryStats>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl NodeRuntime {
@@ -120,6 +136,34 @@ impl NodeRuntime {
             (None, None)
         };
 
+        // Metrics endpoint: bind (or adopt) the scrape listener and hand it
+        // to worker 0's event loop. The whole observability plane — hub,
+        // listener, scrape conns — rides the existing epoll budget; the
+        // node's thread count is identical with metrics on or off.
+        let metrics_listener = match (cfg.metrics_listener, &cfg.metrics_addr) {
+            (Some(l), _) => Some(l),
+            (None, Some(addr)) => Some(
+                crate::fabric::bind_reuseaddr(addr)
+                    .map_err(|e| KiteError::Net(format!("bind metrics {addr}: {e}")))?,
+            ),
+            (None, None) => None,
+        };
+        let mut metrics_addr = None;
+        let mut ios = ios;
+        if let Some(listener) = metrics_listener {
+            metrics_addr = listener.local_addr().ok();
+            let hub = crate::scrape::node_metrics_hub(
+                cfg.me,
+                format!("{:?}", cfg.mode),
+                &shared,
+                &net.counters,
+                net.links(),
+                wal.as_ref(),
+                ccfg.workers_per_node,
+            );
+            ios[0].scrape = Some(crate::fabric::ScrapeSource { listener, hub });
+        }
+
         // Session plumbing: identical wiring to `Cluster::launch`, one node.
         // The slot table is shared with the worker event loops, which serve
         // remote session claims directly (no bridge threads).
@@ -161,6 +205,7 @@ impl NodeRuntime {
             slots,
             wal,
             recovery,
+            metrics_addr,
         })
     }
 
@@ -206,6 +251,18 @@ impl NodeRuntime {
     /// The node's write-ahead log, when durability is on.
     pub fn wal(&self) -> Option<&Arc<Wal>> {
         self.wal.as_ref()
+    }
+
+    /// The address the metrics scrape endpoint bound (resolves `:0`), when
+    /// the endpoint is enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The per-peer link table (frames/sheds/decode errors per link) — the
+    /// transport-side stats the bench bins report per row.
+    pub fn links(&self) -> &Arc<crate::link::LinkTable> {
+        self.net.links()
     }
 
     /// What boot-time recovery found, when durability is on.
@@ -338,12 +395,19 @@ pub fn launch_local_cluster(cfg: ClusterConfig, mode: ProtocolMode) -> Result<Ve
         .into_iter()
         .enumerate()
         .map(|(n, listener)| {
+            // Metrics on by default: every in-process node gets a loopback
+            // scrape endpoint on an ephemeral port (one extra fd on worker
+            // 0's epoll loop; zero extra threads).
+            let metrics_listener = std::net::TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| KiteError::Net(format!("bind metrics loopback: {e}")))?;
             NodeRuntime::launch(NodeConfig {
                 cluster: cfg.clone(),
                 mode,
                 me: NodeId(n as u8),
                 peers: peers.clone(),
                 fabric_listener: Some(listener),
+                metrics_addr: None,
+                metrics_listener: Some(metrics_listener),
             })
         })
         .collect()

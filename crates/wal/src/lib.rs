@@ -118,6 +118,9 @@ pub struct Wal {
     snap_req: AtomicBool,
     skip_final_snapshot: AtomicBool,
     counters: Counters,
+    /// Group-commit latency (write + fsync wall time per non-empty batch),
+    /// scraped live via [`Wal::commit_latency`].
+    commit_latency: kite_metrics::Histogram,
     flusher: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -167,6 +170,7 @@ impl Wal {
             snap_req: AtomicBool::new(false),
             skip_final_snapshot: AtomicBool::new(false),
             counters: Counters::default(),
+            commit_latency: kite_metrics::Histogram::new(),
             flusher: Mutex::new(None),
         });
         let handle = {
@@ -195,6 +199,11 @@ impl Wal {
             snapshots: self.counters.snapshots.load(Ordering::Relaxed),
             snapshot_entries: self.counters.snapshot_entries.load(Ordering::Relaxed),
         }
+    }
+
+    /// Group-commit latency histogram (write + fsync wall time per batch).
+    pub fn commit_latency(&self) -> &kite_metrics::Histogram {
+        &self.commit_latency
     }
 
     /// One-line health summary for the watchdog dump.
@@ -330,10 +339,14 @@ impl Wal {
             inner.appended
         };
         if !spare.is_empty() {
+            let started = Instant::now();
             seg.write_all(spare)?;
             seg.sync_data()?;
             self.counters.flush_batches.fetch_add(1, Ordering::Relaxed);
             self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            // Group-commit latency = write + fsync wall time of the batch
+            // (the disk-side cost every staged record in it waited on).
+            self.commit_latency.record(started.elapsed().as_nanos() as u64);
             spare.clear();
         }
         let mut inner = self.inner.lock().unwrap();

@@ -63,6 +63,26 @@ pub fn run_kite_mix(
     run_ns: u64,
 ) -> RunResult {
     mix.validate().expect("invalid mix");
+    run_kite_gen(cfg, mode, sim_cfg, move |seed| mix.generator(seed), warmup_ns, run_ns)
+}
+
+/// Run an arbitrary per-session op generator on a Kite deployment — the
+/// generalized harness behind [`run_kite_mix`]. `make_gen` receives a
+/// per-session deterministic seed and returns that session's op stream;
+/// this is how non-`MixCfg` shapes (e.g. [`crate::FlashCrowdCfg`]) drive
+/// the same measured windows and counter collection as the standard mixes.
+pub fn run_kite_gen<G, F>(
+    cfg: ClusterConfig,
+    mode: ProtocolMode,
+    sim_cfg: SimCfg,
+    make_gen: F,
+    warmup_ns: u64,
+    run_ns: u64,
+) -> RunResult
+where
+    G: FnMut(u64) -> Option<kite::api::Op> + Send + 'static,
+    F: Fn(u64) -> G,
+{
     let seed0 = sim_cfg.seed;
     let mut sc = SimCluster::build(
         cfg.clone(),
@@ -70,7 +90,7 @@ pub fn run_kite_mix(
         sim_cfg,
         |sid| {
             let seed = seed0 ^ ((sid.global_idx(cfg.sessions_per_node()) as u64 + 1) * 0x9E37);
-            SessionDriver::Script(Box::new(mix.generator(seed)))
+            SessionDriver::Script(Box::new(make_gen(seed)))
         },
         None,
     );

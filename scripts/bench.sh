@@ -27,7 +27,11 @@ cargo bench --no-run --workspace
 echo "== closed-loop throughput (seed ${SEED}) + regression diff =="
 # --transport all adds the threaded and tcp-loopback wall-clock rows;
 # those are marked noisy in the JSON and excluded from the ±10% table
-# (they measure the machine, not the protocol).
+# (they measure the machine, not the protocol). The hostile-workload
+# rows (kite_skew_extreme: θ=1.2 Zipf, kite_flash_crowd: one key takes
+# half of all writes cluster-wide) are deterministic sim rows and DO
+# participate in the regression diff — they pin the §6.3 ack-coalescing
+# win where it matters most.
 cargo run --release -p kite-bench --bin throughput -- --out BENCH_micro.json --seed "${SEED}" --transport all
 
 echo "== BENCH_micro.json =="

@@ -8,6 +8,11 @@
 #   3. open-loop latency probe: fixed-arrival-rate sessions against all
 #      three nodes, p50/p99/p999 printed and sanity-bounded client-side
 #      (a wedged fabric fails here in seconds instead of by timeout);
+#      then a flash-crowd hot-key phase with mid-run scrapes: every node's
+#      `--metrics-addr` endpoint must serve the key-value view while the
+#      cluster is under a one-key write storm, and the scrape deltas must
+#      show ack *messages* per op staying sub-linear in node count (the
+#      §6.3 ack-coalescing invariant, measured from the live counters);
 #   4. SIGSTOP one node (a stalled-but-alive peer, the backpressure case
 #      a crash can't exercise): the majority must keep serving while the
 #      survivors' outbound rings to the frozen node shed at their caps,
@@ -49,9 +54,15 @@ PORT_BASE=$(( 20000 + (RANDOM % 20000) ))
 
 declare -a PIDS=()
 
-start_node() { # start_node <id> <logfile>
-    "$NODE_BIN" --node "$1" "${NODE_ARGS[@]}" >"$2" 2>&1 &
-    PIDS[$1]=$!
+start_node() { # start_node <id> <logfile> [extra-args...]
+    local id="$1" log="$2"
+    shift 2
+    "$NODE_BIN" --node "$id" "${NODE_ARGS[@]}" "$@" >"$log" 2>&1 &
+    PIDS[$id]=$!
+}
+
+scrape_metric() { # scrape_metric <metrics-addr> <metric-name>
+    "$CLIENT_BIN" scrape --servers "$1" | awk -v k="$2" '$1==k{print $2}'
 }
 
 wait_ready() { # wait_ready <logfile>
@@ -80,11 +91,15 @@ for iter in $(seq 1 "$ITERS"); do
     # cluster), so every phase below gets a slot no earlier phase used on
     # the same still-running node — 12 slots covers the whole iteration.
     NODE_ARGS=(--peers "$PEERS" --workers 1 --sessions-per-worker 12 --keys 4096 --keepalive-ns 50000000)
-    echo "== iteration $iter/$ITERS (ports $PORT_BASE..$((PORT_BASE + 2))) =="
+    # Metrics endpoints on the next three ports (scraped in phase 2b).
+    M0="127.0.0.1:$((PORT_BASE + 3))"
+    M1="127.0.0.1:$((PORT_BASE + 4))"
+    M2="127.0.0.1:$((PORT_BASE + 5))"
+    echo "== iteration $iter/$ITERS (ports $PORT_BASE..$((PORT_BASE + 5))) =="
     LOGDIR="$(mktemp -d)"
-    start_node 0 "$LOGDIR/n0.log"
-    start_node 1 "$LOGDIR/n1.log"
-    start_node 2 "$LOGDIR/n2.log"
+    start_node 0 "$LOGDIR/n0.log" --metrics-addr "$M0"
+    start_node 1 "$LOGDIR/n1.log" --metrics-addr "$M1"
+    start_node 2 "$LOGDIR/n2.log" --metrics-addr "$M2"
     wait_ready "$LOGDIR/n0.log"
     wait_ready "$LOGDIR/n1.log"
     wait_ready "$LOGDIR/n2.log"
@@ -95,6 +110,49 @@ for iter in $(seq 1 "$ITERS"); do
     echo "-- phase 2: open-loop latency at a fixed arrival rate (p50/p99/p999)"
     # The sanity bounds live in the client binary.
     "$CLIENT_BIN" openloop --servers "$P0,$P1,$P2" --slot 5 --rate 1000 --secs 2
+
+    echo "-- phase 2b: flash-crowd hot key + mid-run scrapes (§6.3 ack-coalescing invariant)"
+    # Baseline counters from the live endpoints.
+    acks0=0; done0=0
+    for m in "$M0" "$M1" "$M2"; do
+        acks0=$((acks0 + $(scrape_metric "$m" proto_acks_sent)))
+        done0=$((done0 + $(scrape_metric "$m" proto_completed)))
+    done
+    # One key takes half of every session's pipelined writes, from all
+    # three nodes at once.
+    "$CLIENT_BIN" hot --servers "$P0,$P1,$P2" --slot 9 --ops 1200 --key-base 2600 &
+    HOT_PID=$!
+    sleep 0.3
+    # Mid-run: every node's endpoint must serve the full view while the
+    # write storm is in flight.
+    for n in 0 1 2; do
+        mvar="M$n"
+        nid="$(scrape_metric "${!mvar}" node_id)"
+        [ "$nid" = "$n" ] || { echo "!! node $n scrape returned node_id '$nid'"; exit 1; }
+        p99="$(scrape_metric "${!mvar}" op_write_latency_ns_p99)"
+        [ -n "$p99" ] || { echo "!! node $n scrape missing write-latency histogram"; exit 1; }
+    done
+    wait "$HOT_PID" || { echo "!! hot phase failed"; exit 1; }
+    acks1=0; done1=0
+    for m in "$M0" "$M1" "$M2"; do
+        acks1=$((acks1 + $(scrape_metric "$m" proto_acks_sent)))
+        done1=$((done1 + $(scrape_metric "$m" proto_completed)))
+    done
+    # 3 nodes → 2 acks/op if every ack were its own message. Coalescing
+    # under the pipelined hot-key storm must keep ack *messages* per op
+    # clearly sub-linear (< 1.5), or §6.3 regressed.
+    awk -v a="$((acks1 - acks0))" -v c="$((done1 - done0))" 'BEGIN {
+        if (c <= 0) { print "!! scrape deltas saw no completed ops"; exit 1 }
+        apo = a / c
+        printf "   ack-msgs/op under flash crowd: %.3f (linear would be 2.0)\n", apo
+        if (apo >= 1.5) { print "!! ack coalescing regressed: " apo " >= 1.5"; exit 1 }
+    }'
+    # The dump view serves the promoted watchdog text, and the distinct-keys
+    # sketch is live (hot phase touched ~257 keys + earlier phases).
+    "$CLIENT_BIN" scrape --servers "$M0" --view dump | grep -q "links of" \
+        || { echo "!! dump view missing link table"; exit 1; }
+    est="$(scrape_metric "$M0" store_distinct_keys_est)"
+    [ "$est" -gt 0 ] || { echo "!! distinct-keys estimate is zero"; exit 1; }
 
     echo "-- phase 3: SIGSTOP node 1; survivors shed to the frozen peer, then it heals"
     kill -STOP "${PIDS[1]}"
@@ -115,7 +173,7 @@ for iter in $(seq 1 "$ITERS"); do
     "$CLIENT_BIN" mixed --servers "$P0,$P1" --slot 7 --ops 15 --key-base 1000
 
     echo "-- phase 5: restart node 2 on the same port; reconnect + anti-entropy catch-up"
-    start_node 2 "$LOGDIR/n2-restart.log"
+    start_node 2 "$LOGDIR/n2-restart.log" --metrics-addr "$M2"
     wait_ready "$LOGDIR/n2-restart.log"
     # The sentinel was released while node 2 was dead; a *relaxed* read on
     # node 2 is local, so convergence proves the keepalive sweep repaired it.
@@ -143,7 +201,7 @@ for iter in $(seq 1 "$ITERS"); do
     fi
     grep -q "clean exit" "$LOGDIR/n2-restart.log" || { echo "!! node 2 restart missing clean exit"; exit 1; }
     rm -rf "$LOGDIR"
-    PORT_BASE=$((PORT_BASE + 3))
+    PORT_BASE=$((PORT_BASE + 6))
 done
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,13 @@
 # nature (real sockets, kernel buffers), which is exactly why they belong
 # in the soak loop.
 #
+# The observability plane soaks here as well: the mid-run scrape suite
+# (crates/net/tests/scrape.rs — a flash-crowd cluster scraped while
+# serving, concurrent + half-open scrape clients multiplexed on worker
+# 0's epoll loop) and the kite-metrics sketch property tests
+# (crates/metrics/tests/sketch_props.rs — HLL error bounds, histogram
+# merge, quantile monotonicity under random streams).
+#
 # Usage: scripts/stress.sh [iterations] [test-filter]
 #   iterations   default 50
 #   test-filter  default threaded_mutex_exact_under_message_loss
@@ -40,7 +47,8 @@ scripts/lint.sh
 
 echo "== building test binaries =="
 cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --test wal_faults --no-run
-cargo test --release -p kite-net --test backpressure --test pipeline_props --no-run
+cargo test --release -p kite-net --test backpressure --test pipeline_props --test scrape --no-run
+cargo test --release -p kite-metrics --test sketch_props --no-run
 
 run_logged() {
     # run_logged <iteration> <label> <cmd...>: run one test binary under a
@@ -76,6 +84,10 @@ for i in $(seq 1 "$N"); do
     run_logged "$i" backpressure cargo test -q --release -p kite-net --test backpressure \
         -- --test-threads=1 || fails=$((fails + 1))
     run_logged "$i" pipeline cargo test -q --release -p kite-net --test pipeline_props \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" scrape cargo test -q --release -p kite-net --test scrape \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" sketch cargo test -q --release -p kite-metrics --test sketch_props \
         -- --test-threads=1 || fails=$((fails + 1))
 done
 echo
