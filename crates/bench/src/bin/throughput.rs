@@ -565,6 +565,89 @@ fn tcp_openloop_row(rate_per_client: u64, run_secs: f64) -> Row {
     }
 }
 
+/// Learner-join catch-up cost over loopback TCP: node 2 dies for good, an
+/// add-learner config change demotes its slot, the survivors absorb a
+/// `fill`-key store, and a **fresh, empty** node 2 relaunches on the same
+/// address. The row measures wall-clock from relaunch to full value
+/// convergence and the bulk-sync wire bytes the survivors sent
+/// (`ae_repair_bytes` + `ae_digest_bytes` deltas) — `ae_bytes_per_op` here
+/// is bytes per synced key, the join-time figure `scripts/bench.sh`
+/// tracks.
+fn tcp_join_row(fill: u64) -> Row {
+    use kite_common::{Membership, MEMBERSHIP_KEY};
+    let cfg = loopback_cfg()
+        .keys(1 << 15)
+        .anti_entropy_interval_ns(2_000_000)
+        .anti_entropy_chunk(1024)
+        .anti_entropy_keepalive_ns(5_000_000);
+    let nodes = kite_net::launch_local_cluster(cfg.clone(), ProtocolMode::Kite).expect("launch tcp");
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+    let mut nodes: Vec<Option<kite_net::NodeRuntime>> = nodes.into_iter().map(Some).collect();
+    nodes[2].take().expect("node 2 running").shutdown();
+
+    // The same add-learner CAS `kite-node --join` commits, through a
+    // survivor; the fill then runs on the {0, 1} voter majority.
+    let mut s = kite_net::RemoteSession::connect(&addrs[0], 0).expect("connect");
+    let cur = s.acquire(MEMBERSHIP_KEY).expect("read membership");
+    let m0 = Membership { epoch: 0, voters: NodeSet::all(cfg.nodes), learners: NodeSet::EMPTY };
+    let (ok, _) =
+        s.cas_strong(MEMBERSHIP_KEY, cur, m0.with_learner(NodeId(2)).to_val()).expect("cas");
+    assert!(ok, "add-learner CAS on the surviving majority");
+    for i in 0..fill {
+        while s.outstanding() >= PIPE_WINDOW {
+            s.next_completion_arrival().expect("fill completion");
+        }
+        s.submit(Op::Write { key: Key(1000 + i), val: Val::from_u64(i + 1) }).expect("fill");
+    }
+    s.flush().expect("flush");
+    while s.outstanding() > 0 {
+        s.next_completion_arrival().expect("fill drain");
+    }
+
+    // Snapshot the survivors' sync-plane counters, then bring up the
+    // replacement and wait for full value convergence.
+    let survivors: Vec<_> = nodes.iter().flatten().collect();
+    let bytes_before: u64 = survivors
+        .iter()
+        .map(|n| n.counters().ae_repair_bytes.get() + n.counters().ae_digest_bytes.get())
+        .sum();
+    let target = survivors[0].shared().store.values();
+    let wall = Instant::now();
+    let reborn = kite_net::NodeRuntime::launch(kite_net::NodeConfig::new(
+        cfg,
+        ProtocolMode::Kite,
+        NodeId(2),
+        addrs,
+    ))
+    .expect("relaunch node 2");
+    while reborn.shared().store.values() < target {
+        assert!(wall.elapsed().as_secs() < 120, "learner bulk-sync stalled");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let secs = wall.elapsed().as_secs_f64();
+    let bulk_bytes: u64 = nodes
+        .iter()
+        .flatten()
+        .map(|n| n.counters().ae_repair_bytes.get() + n.counters().ae_digest_bytes.get())
+        .sum::<u64>()
+        - bytes_before;
+    drop(s);
+    reborn.shutdown();
+    for n in nodes.into_iter().flatten() {
+        n.shutdown();
+    }
+    Row {
+        name: format!("tcp_join_bulk_sync_{}k", fill / 1_000),
+        mreqs: fill as f64 / secs / 1e6,
+        wall_ms: secs * 1e3,
+        acks_per_op: 0.0,
+        ae_per_op: 0.0,
+        ae_bytes_per_op: bulk_bytes as f64 / fill as f64,
+        lat: None,
+        net: None,
+    }
+}
+
 /// Wall-clock transport rows measure this machine, not the protocol:
 /// written to the JSON, excluded from the regression table.
 fn is_noisy(name: &str) -> bool {
@@ -853,6 +936,17 @@ fn main() {
         // than a saturated (unbounded-queue) collapse.
         let row = tcp_openloop_row(3_000, 2.0);
         print_wall_row(&row);
+        e2e.push(row);
+        eprintln!("[throughput] tcp learner-join bulk-sync run (wall clock, noisy) …");
+        // The join-time row: wall-clock + bytes for a fresh learner to
+        // catch up a 20k-key store through anti-entropy alone.
+        let row = tcp_join_row(20_000);
+        println!(
+            "{:<28} {:8.1} ms catch-up, {:.1} sync bytes/key",
+            row.name,
+            row.wall_ms,
+            row.ae_bytes_per_op
+        );
         e2e.push(row);
     }
 

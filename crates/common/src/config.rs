@@ -116,6 +116,17 @@ pub struct ClusterConfig {
     /// to a fresh segment and deletes all older segments, so the replay
     /// tail — and restart time — is bounded by one interval of writes.
     pub wal_snapshot_interval_ns: u64,
+    /// Bootstrap (membership-epoch-0) voter set. Empty — the default —
+    /// means "every configured slot except `initial_learners`". Configs
+    /// that pre-provision spare slots for future joiners list the actual
+    /// founding voters here; the live voter set thereafter evolves through
+    /// `ConfigChange` CASes on the reserved membership key, not through
+    /// this field (see `kite_common::membership`).
+    pub initial_voters: NodeSet,
+    /// Bootstrap non-voting learner set: slots that start in bulk-sync
+    /// (anti-entropy traffic only, no protocol rounds, no quorum weight)
+    /// until a `ConfigChange` promotes them.
+    pub initial_learners: NodeSet,
     /// Low-frequency keepalive sweep interval (ns), `0` = off. Ordinary
     /// anti-entropy sweeps are activity-driven: they wind down one full
     /// store cycle after the node goes idle, so a replica that diverges
@@ -162,6 +173,8 @@ impl Default for ClusterConfig {
             wal_dir: String::new(),
             wal_group_commit_ns: 100_000,
             wal_snapshot_interval_ns: 1_000_000_000,
+            initial_voters: NodeSet::EMPTY,
+            initial_learners: NodeSet::EMPTY,
             anti_entropy_keepalive_ns: 0,
         }
     }
@@ -318,6 +331,18 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder: bootstrap voter set (empty = all non-learner slots).
+    pub fn initial_voters(mut self, v: NodeSet) -> Self {
+        self.initial_voters = v;
+        self
+    }
+
+    /// Builder: bootstrap learner set.
+    pub fn initial_learners(mut self, l: NodeSet) -> Self {
+        self.initial_learners = l;
+        self
+    }
+
     /// Builder: idle-time keepalive sweep interval (`0` = off, the
     /// default — see the field docs for why quiesced sims need it off).
     pub fn anti_entropy_keepalive_ns(mut self, t: u64) -> Self {
@@ -390,6 +415,26 @@ impl ClusterConfig {
                     self.merkle_leaf_span
                 ));
             }
+        }
+        let slots = self.all_nodes();
+        if !self.initial_voters.minus(slots).is_empty()
+            || !self.initial_learners.minus(slots).is_empty()
+        {
+            return Err(format!(
+                "initial voters/learners must be within the {} configured slots",
+                self.nodes
+            ));
+        }
+        if !self.initial_voters.intersect(self.initial_learners).is_empty() {
+            return Err("a node cannot be both an initial voter and an initial learner".into());
+        }
+        let voters = if self.initial_voters.is_empty() {
+            slots.minus(self.initial_learners)
+        } else {
+            self.initial_voters
+        };
+        if voters.len() < 3 {
+            return Err(format!("need ≥3 bootstrap voters, got {}", voters.len()));
         }
         if self.wal {
             if self.wal_dir.is_empty() {

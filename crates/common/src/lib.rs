@@ -27,6 +27,7 @@ pub mod clock;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod membership;
 pub mod nodeset;
 pub mod rng;
 pub mod stats;
@@ -36,5 +37,6 @@ pub use clock::{Epoch, Lc};
 pub use config::ClusterConfig;
 pub use error::{KiteError, Result};
 pub use ids::{Key, NodeId, OpId, SessionId, WorkerId};
+pub use membership::{Membership, MembershipCell, MEMBERSHIP_KEY};
 pub use nodeset::NodeSet;
 pub use value::Val;

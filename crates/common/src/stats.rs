@@ -22,8 +22,10 @@ impl Counter {
         Counter(AtomicU64::new(0))
     }
 
-    #[inline]
     /// Add `n`.
+    // ordering: Relaxed — a statistics counter orders nothing; readers want
+    // an eventually-accurate total, never a happens-before edge.
+    #[inline]
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
     }
@@ -34,8 +36,9 @@ impl Counter {
         self.add(1);
     }
 
-    #[inline]
     /// Current value.
+    // ordering: Relaxed — see `add`.
+    #[inline]
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
@@ -102,6 +105,24 @@ pub struct ProtoCounters {
     /// Repair values whose `apply_max` actually advanced the local store —
     /// real divergence healed, as opposed to already-converged traffic.
     pub ae_repairs_applied: Counter,
+    /// Estimated wire bytes of repair *values* sent (the complement of
+    /// `ae_digest_bytes`: divergence-proportional payload, not sweep
+    /// overhead). Summed across a learner's peers this is the bulk-sync
+    /// transfer cost of a catch-up — the figure `scripts/bench.sh`
+    /// reports per join.
+    pub ae_repair_bytes: Counter,
+    /// Memberships installed into the live cell (commit applies, WAL
+    /// replay, and anti-entropy repairs of the membership key that carried
+    /// a strictly newer epoch).
+    pub membership_installs: Counter,
+    /// Envelopes dropped at the receive gate because the sender stamped a
+    /// membership epoch older than ours (each drop is answered with a
+    /// membership repair push).
+    pub stale_epoch_dropped: Counter,
+    /// Membership pulls sent after seeing a sender stamp a *newer* epoch
+    /// than ours (we process the batch but ask for the config we're
+    /// missing).
+    pub membership_pulls: Counter,
 }
 
 impl ProtoCounters {
@@ -141,18 +162,23 @@ impl Histogram {
         (64 - v.max(1).leading_zeros() as usize - 1).min(Self::BUCKETS - 1)
     }
 
-    #[inline]
     /// Record one sample.
+    // ordering: Relaxed — same statistics-only contract as `Counter::add`:
+    // bucket totals are read for reporting, never for synchronization, and
+    // a racing snapshot that misses in-flight increments is acceptable.
+    #[inline]
     pub fn record(&self, v: u64) {
         self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total recorded samples.
+    // ordering: Relaxed — see `record`.
     pub fn count(&self) -> u64 {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
     /// Approximate quantile (upper bound of the containing bucket).
+    // ordering: Relaxed — see `record`.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -170,6 +196,8 @@ impl Histogram {
     }
 
     /// Fold another histogram's buckets into this one.
+    // ordering: Relaxed — see `record`; merging tolerates a concurrent
+    // writer to `other` the same way a snapshot read does.
     pub fn merge_from(&self, other: &Histogram) {
         for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
             a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);

@@ -102,6 +102,16 @@ fn req_wire_bytes(buckets: usize) -> u64 {
     6 + 4 * buckets as u64
 }
 
+/// Encoded wire bytes of one [`Msg::RepairVal`] (tag + key + len-prefixed
+/// value + Lc + slot + ring of `(op-id, slot, len-prefixed result)`
+/// entries) — mirrors `kite::wire` like [`digest_wire_bytes`] so the
+/// `ae_repair_bytes` counter means the same thing on every transport.
+#[inline]
+pub(crate) fn repair_wire_bytes(r: &Repair) -> u64 {
+    33 + r.val.as_bytes().len() as u64
+        + r.ring.iter().map(|c| 25 + c.result.as_bytes().len() as u64).sum::<u64>()
+}
+
 /// Drill-down geometry: an implicit `fanout`-ary tree over the store's
 /// `leaves` leaf hashes. Level 0 buckets are single leaves; a level-`l`
 /// bucket covers `fanout^l` consecutive leaves. Derived identically on
@@ -363,13 +373,20 @@ impl Worker {
         // cycle at me". Their digests then carry every key this replica
         // may be missing, including keys it has no slot for — which its
         // own data digests could never advertise.
-        let peers = self.nodes as u64 - 1;
+        // Anti-entropy reaches *members* — voters and learners alike: the
+        // sweep is exactly how a learner catches up, so it must not be
+        // restricted to the voter set the protocol rounds use.
+        let members = self.members().minus(kite_common::NodeSet::singleton(self.me));
+        let peers = members.len() as u64;
+        if peers == 0 {
+            return;
+        }
         if self.ae.pings > 0 {
             self.ae.pings -= 1;
             let c = &self.shared.counters;
             c.ae_digests_sent.add(peers);
             c.ae_digest_bytes.add(digest_wire_bytes(0) * peers);
-            out.broadcast(self.me, Msg::Digest { d: Arc::new(DigestChunk { entries: Vec::new() }) });
+            out.multicast(self.me, members, Msg::Digest { d: Arc::new(DigestChunk { entries: Vec::new() }) });
         }
         if self.ae.merkle {
             // Merkle mode: one top-level lattice summary covers the whole
@@ -389,7 +406,7 @@ impl Worker {
             c.ae_summaries_sent.add(peers);
             c.ae_digest_bytes.add(summary_wire_bytes(hashes.len()) * peers);
             let s = Arc::new(MerkleSummary { level: top, start: 0, hashes });
-            out.broadcast(self.me, Msg::MerkleSummary { s });
+            out.multicast(self.me, members, Msg::MerkleSummary { s });
             return;
         }
         let mut entries = Vec::new();
@@ -404,9 +421,9 @@ impl Worker {
         // unicasts refcount bumps.
         let c = &self.shared.counters;
         c.ae_digests_sent.add(peers);
-        c.ae_digest_keys.add((entries.len() * (self.nodes - 1)) as u64);
+        c.ae_digest_keys.add(entries.len() as u64 * peers);
         c.ae_digest_bytes.add(digest_wire_bytes(entries.len()) * peers);
-        out.broadcast(self.me, Msg::Digest { d: Arc::new(DigestChunk { entries }) });
+        out.multicast(self.me, members, Msg::Digest { d: Arc::new(DigestChunk { entries }) });
     }
 
     /// A peer's Merkle summary arrived: fold the same lattice ranges
@@ -606,14 +623,13 @@ impl Worker {
     /// `(slot, ring)` evidence pair read under one lock — evidence before
     /// value, so a racing commit can only make the value *fresher* than
     /// the slot implies, never staler.
-    fn ae_send_repair(&mut self, dst: NodeId, key: Key, out: &mut Outbox<Msg>) {
+    pub(crate) fn ae_send_repair(&mut self, dst: NodeId, key: Key, out: &mut Outbox<Msg>) {
         let (slot, ring) = self.shared.store.paxos_evidence(key);
         let view = self.shared.store.view(key);
         self.shared.counters.ae_repair_vals.incr();
-        out.send(
-            dst,
-            Msg::RepairVal { r: Box::new(Repair { key, val: view.val, lc: view.lc, slot, ring }) },
-        );
+        let r = Box::new(Repair { key, val: view.val, lc: view.lc, slot, ring });
+        self.shared.counters.ae_repair_bytes.add(repair_wire_bytes(&r));
+        out.send(dst, Msg::RepairVal { r });
     }
 
     /// A repaired value: merge the dedup evidence and advance the slot
@@ -667,11 +683,9 @@ impl Worker {
             if next_slot > 0 { self.shared.store.paxos_evidence(key) } else { (0, Vec::new()) };
         let slot = slot.max(next_slot);
         self.shared.counters.ae_repair_vals.add(targets.len() as u64);
-        out.multicast(
-            self.me,
-            targets,
-            Msg::RepairVal { r: Box::new(Repair { key, val, lc, slot, ring }) },
-        );
+        let r = Box::new(Repair { key, val, lc, slot, ring });
+        self.shared.counters.ae_repair_bytes.add(targets.len() as u64 * repair_wire_bytes(&r));
+        out.multicast(self.me, targets, Msg::RepairVal { r });
     }
 
     /// The completion-fill gate, associated over the individual fields so a

@@ -155,7 +155,7 @@ impl Worker {
             w2: None,
         };
         let rid = self.inflight.insert(InFlight::SlowRead(state));
-        out.broadcast(self.me, Msg::ReadReq { rid, key, acq: None });
+        out.multicast(self.me, self.voters(), Msg::ReadReq { rid, key, acq: None });
         StartResult::Blocked(rid)
     }
 
@@ -192,7 +192,7 @@ impl Worker {
                 } else {
                     self.untracked_rid()
                 };
-                out.broadcast(self.me, Msg::EsWrite { rid, key, val, lc });
+                out.multicast(self.me, self.voters(), Msg::EsWrite { rid, key, val, lc });
                 self.complete(si, op_id, op, OpOutput::Done, now, now);
                 StartResult::Inline
             }
@@ -209,7 +209,7 @@ impl Worker {
                     w2: None,
                 };
                 let rid = self.inflight.insert(InFlight::SlowWrite(state));
-                out.broadcast(self.me, Msg::RtsReq { rid, key });
+                out.multicast(self.me, self.voters(), Msg::RtsReq { rid, key });
                 StartResult::Blocked(rid)
             }
         }
@@ -250,7 +250,7 @@ impl Worker {
             self.barrier_waiters.push(rid);
         }
         if rts_sent {
-            out.broadcast(self.me, Msg::RtsReq { rid, key });
+            out.multicast(self.me, self.voters(), Msg::RtsReq { rid, key });
         }
         StartResult::Blocked(rid)
     }
@@ -282,7 +282,7 @@ impl Worker {
             decided: false,
         };
         let rid = self.inflight.insert(InFlight::Acquire(state));
-        out.broadcast(self.me, Msg::ReadReq { rid, key, acq: sync.then_some(op_id) });
+        out.multicast(self.me, self.voters(), Msg::ReadReq { rid, key, acq: sync.then_some(op_id) });
         StartResult::Blocked(rid)
     }
 
@@ -419,7 +419,7 @@ impl Worker {
         state.commit_bcast = None;
         state.pending_output = None;
         state.retry_at = 0;
-        out.broadcast(me, Msg::Propose { rid, key, slot, ballot, op: state.meta.op_id });
+        out.multicast(me, shared.voters(), Msg::Propose { rid, key, slot, ballot, op: state.meta.op_id });
         None
     }
 
@@ -430,9 +430,10 @@ impl Worker {
     /// Ack for a tracked relaxed write: when *all* machines acked, the write
     /// stops being a barrier obligation (§4.2 fast path).
     pub(crate) fn on_es_ack(&mut self, src: kite_common::NodeId, rid: u64, _now: u64) {
+        let voters = self.voters();
         let Some(InFlight::EsWrite(state)) = self.inflight.get_mut(rid) else { return };
         state.acked.insert(src);
-        if state.acked.is_all(self.nodes) {
+        if voters.minus(state.acked).is_empty() {
             let si = state.meta.sess;
             self.inflight.remove(rid);
             self.remove_from_window(si, rid);
@@ -447,11 +448,13 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
+        let quorum = self.quorum();
+        let voters = self.voters();
         match self.inflight.get_mut(rid) {
             Some(InFlight::Release(state)) => {
                 state.rts_reps.insert(src);
                 state.rts_max = state.rts_max.max(lc);
-                Self::try_advance_release(self.me, self.quorum, &self.shared, rid, state, out);
+                Self::try_advance_release(self.me, quorum, &self.shared, rid, state, out);
             }
             Some(InFlight::SlowWrite(state)) => {
                 if state.w2.is_some() {
@@ -461,7 +464,7 @@ impl Worker {
                 }
                 state.reps.insert(src);
                 state.max_lc = state.max_lc.max(lc);
-                if state.reps.len() < self.quorum {
+                if state.reps.len() < quorum {
                     return;
                 }
                 // Quorum of stamps: the write now dominates anything this
@@ -482,8 +485,9 @@ impl Worker {
                     // quorum-acked before the write completes.
                     state.w2 = Some((wlc, NodeSet::singleton(self.me)));
                     state.meta.last_sent = now;
-                    out.broadcast(
+                    out.multicast(
                         self.me,
+                        voters,
                         Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc: wlc },
                     );
                     return;
@@ -511,7 +515,7 @@ impl Worker {
                 } else {
                     self.untracked_rid()
                 };
-                out.broadcast(self.me, Msg::EsWrite { rid: wrid, key, val, lc: wlc });
+                out.multicast(self.me, voters, Msg::EsWrite { rid: wrid, key, val, lc: wlc });
                 self.complete(si, op_id, op, OpOutput::Done, invoked_at, now);
             }
             _ => {}
@@ -528,6 +532,8 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
+        let quorum = self.quorum();
+        let voters = self.voters();
         match self.inflight.get_mut(rid) {
             Some(InFlight::SlowRead(state)) => {
                 if state.w2.is_some() {
@@ -543,7 +549,7 @@ impl Worker {
                 } else if lc == state.best_lc {
                     state.holders.insert(src);
                 }
-                if state.reps.len() < self.quorum {
+                if state.reps.len() < quorum {
                     return;
                 }
                 // Freshest of a quorum; restore the key in-epoch at the
@@ -555,14 +561,15 @@ impl Worker {
                     state.snapshot,
                 );
                 state.holders.insert(self.me);
-                if !self.stripped_slow && state.holders.len() < self.quorum {
+                if !self.stripped_slow && state.holders.len() < quorum {
                     // Full-ABD ablation: make the value quorum-visible
                     // before returning it (the §4.3 default skips this —
                     // RC only needs the read to observe missed writes).
                     state.w2 = Some(NodeSet::singleton(self.me));
                     state.meta.last_sent = now;
-                    out.broadcast(
+                    out.multicast(
                         self.me,
+                        voters,
                         Msg::WriteMsg {
                             rid,
                             key: state.meta.key,
@@ -599,13 +606,13 @@ impl Worker {
                 } else if lc == state.best_lc {
                     state.holders.insert(src);
                 }
-                if state.reps.len() < self.quorum {
+                if state.reps.len() < quorum {
                     return;
                 }
                 state.decided = true;
                 // Apply the freshest value locally either way.
                 self.shared.store.apply_max(state.meta.key, &state.best_val, state.best_lc);
-                if state.holders.len() >= self.quorum {
+                if state.holders.len() >= quorum {
                     Self::finish_acquire_in(
                         &self.shared, &self.hook, &mut self.sessions, self.mode, self.me, state,
                         now, out,
@@ -624,11 +631,12 @@ impl Worker {
                 state.w2 = Some(NodeSet::singleton(self.me));
                 let (key, val, lc) = (state.meta.key, state.best_val.clone(), state.best_lc);
                 match acq_tag {
-                    Some(acq) => out.broadcast(
+                    Some(acq) => out.multicast(
                         self.me,
+                        voters,
                         Msg::WriteAcq { rid, wb: Arc::new(WriteBack { key, val, lc, acq }) },
                     ),
-                    None => out.broadcast(self.me, Msg::WriteMsg { rid, key, val, lc }),
+                    None => out.multicast(self.me, voters, Msg::WriteMsg { rid, key, val, lc }),
                 }
             }
             _ => {}
@@ -643,12 +651,14 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
+        let quorum = self.quorum();
+        let voters = self.voters();
         let Some(entry) = self.inflight.get_mut(rid) else { return };
         match entry {
             InFlight::Release(state) => {
                 let finished = if let Some((_, acked)) = &mut state.w2 {
                     acked.insert(src);
-                    acked.len() >= self.quorum
+                    acked.len() >= quorum
                 } else {
                     false
                 };
@@ -681,7 +691,7 @@ impl Worker {
                         unreachable!("entry matched above")
                     };
                     let (lc, acked) = s.w2.expect("finished implies w2");
-                    let missing = NodeSet::all(self.nodes).minus(acked);
+                    let missing = self.voters().minus(acked);
                     self.ae_completion_fill(missing, s.meta.key, s.val, lc, 0, out);
                 }
             }
@@ -689,7 +699,7 @@ impl Worker {
                 state.delinquent |= delinquent;
                 let finished = if let Some(acked) = &mut state.w2 {
                     acked.insert(src);
-                    acked.len() >= self.quorum
+                    acked.len() >= quorum
                 } else {
                     false
                 };
@@ -705,7 +715,7 @@ impl Worker {
                         unreachable!("entry matched above")
                     };
                     let acked = s.w2.expect("finished implies w2");
-                    let missing = NodeSet::all(self.nodes).minus(acked);
+                    let missing = self.voters().minus(acked);
                     self.ae_completion_fill(missing, s.meta.key, s.best_val, s.best_lc, 0, out);
                 }
             }
@@ -713,7 +723,7 @@ impl Worker {
                 // Write-back round of the full-ABD ablation.
                 let finished = if let Some(acked) = &mut state.w2 {
                     acked.insert(src);
-                    acked.len() >= self.quorum
+                    acked.len() >= quorum
                 } else {
                     false
                 };
@@ -738,7 +748,7 @@ impl Worker {
                 // write so later release barriers see its remaining acks.
                 let finished = if let Some((_, acked)) = &mut state.w2 {
                     acked.insert(src);
-                    acked.len() >= self.quorum
+                    acked.len() >= quorum
                 } else {
                     false
                 };
@@ -756,7 +766,7 @@ impl Worker {
                         state.meta.invoked_at,
                         now,
                     );
-                    if self.mode.has_barriers() && !acked.is_all(self.nodes) {
+                    if self.mode.has_barriers() && !voters.minus(acked).is_empty() {
                         // Convert the entry in place (same rid, same slot):
                         // late replica acks to the original WriteMsg keep
                         // counting toward the relaxed write's ack set.
@@ -809,7 +819,7 @@ impl Worker {
             // acquire already bumped after this one began.
             shared.bump_epoch_once(state.meta.invoked_at, now);
             shared.delinquency.reset(me, state.meta.op_id);
-            out.broadcast(me, Msg::ResetBit { acq: state.meta.op_id });
+            out.multicast(me, shared.voters(), Msg::ResetBit { acq: state.meta.op_id });
         }
         Self::complete_in(
             shared,
@@ -846,7 +856,7 @@ impl Worker {
                 }
                 InFlight::WindowRelief(s) => {
                     s.acked.insert(src);
-                    relief_done = s.acked.len() >= self.quorum;
+                    relief_done = s.acked.len() >= self.quorum();
                 }
                 _ => {}
             }
@@ -884,7 +894,7 @@ impl Worker {
         // can collide on one `(version, mid)` with different values.
         let lc = shared.store.stamp_apply(state.meta.key, &state.val, state.rts_max, me, None);
         state.w2 = Some((lc, NodeSet::singleton(me)));
-        out.broadcast(me, Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc });
+        out.multicast(me, shared.voters(), Msg::WriteMsg { rid, key: state.meta.key, val: state.val.clone(), lc });
         true
     }
 
@@ -946,6 +956,8 @@ impl Worker {
             }
             // Put the resolved barrier back and run the deferred rounds.
             let mut consumed = false;
+            let quorum = self.quorum();
+            let voters = self.voters();
             match self.inflight.get_mut(rid) {
                 Some(InFlight::Release(state)) => {
                     state.barrier = barrier;
@@ -953,9 +965,9 @@ impl Worker {
                         // Deferred LLC-read round (overlap ablation).
                         state.rts_sent = true;
                         state.meta.last_sent = now;
-                        out.broadcast(self.me, Msg::RtsReq { rid, key: state.meta.key });
+                        out.multicast(self.me, voters, Msg::RtsReq { rid, key: state.meta.key });
                     }
-                    Self::try_advance_release(self.me, self.quorum, &self.shared, rid, state, out);
+                    Self::try_advance_release(self.me, quorum, &self.shared, rid, state, out);
                 }
                 Some(InFlight::Rmw(state)) => {
                     state.barrier = barrier;
@@ -1046,7 +1058,7 @@ impl Worker {
                 barrier.slow =
                     Some(SlowReleaseSub { dm: dm_due, acked: NodeSet::singleton(self.me) });
                 self.shared.counters.slow_releases.incr();
-                out.broadcast(self.me, Msg::SlowRelease { rid, dm: dm_due });
+                out.multicast(self.me, self.voters(), Msg::SlowRelease { rid, dm: dm_due });
                 false
             }
             Some(sub) => {
@@ -1058,20 +1070,20 @@ impl Worker {
                     sub.dm = sub.dm.union(extra);
                     sub.acked = NodeSet::singleton(self.me);
                     self.shared.delinquency.mark_delinquent(extra);
-                    out.broadcast(self.me, Msg::SlowRelease { rid, dm: sub.dm });
+                    out.multicast(self.me, self.voters(), Msg::SlowRelease { rid, dm: sub.dm });
                     return false;
                 }
                 // Slow path resolves when the DM broadcast is quorum-acked
                 // and every prior write is quorum-acked with its remaining
                 // non-ackers covered by the published DM (invariants 1+2 of
                 // §4.2).
-                let dm_ok = sub.acked.len() >= self.quorum;
+                let dm_ok = sub.acked.len() >= self.quorum();
                 let dm = sub.dm;
-                let all = NodeSet::all(self.nodes);
+                let all = self.voters();
                 let writes_ok = barrier.writes.iter().all(|w| match self.inflight.get(*w) {
                     None => true,
                     Some(InFlight::EsWrite(es)) => {
-                        es.acked.len() >= self.quorum
+                        es.acked.len() >= self.quorum()
                             && all.minus(es.acked).minus(dm).is_empty()
                     }
                     Some(_) => true,
@@ -1090,7 +1102,7 @@ impl Worker {
     /// (or the barrier itself) aged beyond the release timeout, or everyone
     /// the write is missing is already suspected.
     fn barrier_overdue_missing(&self, writes: &[u64], now: u64, barrier_invoked: u64) -> NodeSet {
-        let all = NodeSet::all(self.nodes);
+        let all = self.voters();
         let suspected = self.shared.suspected();
         let barrier_overdue = now.saturating_sub(barrier_invoked) >= self.release_timeout;
         let mut dm = NodeSet::EMPTY;
@@ -1147,7 +1159,7 @@ impl Worker {
             writes,
         }));
         self.sessions[si].relief = Some(rid);
-        out.broadcast(self.me, Msg::SlowRelease { rid, dm });
+        out.multicast(self.me, self.voters(), Msg::SlowRelease { rid, dm });
     }
 
     /// Relief's DM broadcast is quorum-acked: retire every covered write
@@ -1156,8 +1168,8 @@ impl Worker {
         for w in &state.writes {
             let retire = match self.inflight.get(*w) {
                 Some(InFlight::EsWrite(es)) => {
-                    es.acked.len() >= self.quorum
-                        && NodeSet::all(self.nodes).minus(es.acked).minus(state.dm).is_empty()
+                    es.acked.len() >= self.quorum()
+                        && self.voters().minus(es.acked).minus(state.dm).is_empty()
                 }
                 _ => false,
             };
@@ -1173,10 +1185,10 @@ impl Worker {
 
     fn retransmit_es_write(&mut self, rid: u64, now: u64, out: &mut Outbox<Msg>) {
         let me = self.me;
-        let nodes = self.nodes;
+        let voters = self.voters();
         if let Some(InFlight::EsWrite(es)) = self.inflight.get_mut(rid) {
             es.meta.last_sent = now;
-            let missing = NodeSet::all(nodes).minus(es.acked);
+            let missing = voters.minus(es.acked);
             let msg = Msg::EsWrite { rid, key: es.meta.key, val: es.val.clone(), lc: es.lc };
             out.multicast(me, missing, msg);
         }
@@ -1196,6 +1208,7 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
+        let quorum = self.quorum();
         let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { return };
         state.delinquent |= delinquent;
         if state.phase != RmwPhase::Propose || ballot != state.ballot {
@@ -1210,7 +1223,7 @@ impl Worker {
                         state.best_accepted = Some((b, cmd));
                     }
                 }
-                if state.promises.len() < self.quorum {
+                if state.promises.len() < quorum {
                     return;
                 }
                 // Phase-1 quorum reached: pick the command (adopt the
@@ -1319,12 +1332,9 @@ impl Worker {
                 let slot = slot.max(state.slot);
                 let view = self.shared.store.view(key);
                 self.shared.counters.ae_repair_vals.incr();
-                out.send(
-                    src,
-                    Msg::RepairVal {
-                        r: Box::new(Repair { key, val: view.val, lc: view.lc, slot, ring }),
-                    },
-                );
+                let r = Box::new(Repair { key, val: view.val, lc: view.lc, slot, ring });
+                self.shared.counters.ae_repair_bytes.add(crate::antientropy::repair_wire_bytes(&r));
+                out.send(src, Msg::RepairVal { r });
             }
         }
     }
@@ -1482,8 +1492,9 @@ impl Worker {
         state.retry_at = 0;
         state.backoff_exp = 0;
         state.accepts = NodeSet::singleton(me);
-        out.broadcast(
+        out.multicast(
             me,
+            shared.voters(),
             Msg::Accept { rid, key: state.meta.key, slot: state.slot, ballot: state.ballot, cmd },
         );
         None
@@ -1500,6 +1511,7 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
+        let quorum = self.quorum();
         let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { return };
         state.delinquent |= delinquent;
         if state.phase != RmwPhase::Accept || ballot != state.ballot {
@@ -1507,7 +1519,7 @@ impl Worker {
         }
         if ok {
             state.accepts.insert(src);
-            if state.accepts.len() >= self.quorum {
+            if state.accepts.len() >= quorum {
                 Self::rmw_commit_in(&self.shared, self.me, rid, state, out);
             }
         } else {
@@ -1576,7 +1588,7 @@ impl Worker {
         // this Arc.
         let payload = Arc::new(CommitPayload { slot, val, lc, meta });
         state.commit_bcast = Some(Arc::clone(&payload));
-        out.broadcast(me, Msg::Commit { rid, key: state.meta.key, c: payload });
+        out.multicast(me, shared.voters(), Msg::Commit { rid, key: state.meta.key, c: payload });
     }
 
     /// Commit visibility acks: when a quorum holds the committed value, the
@@ -1588,12 +1600,14 @@ impl Worker {
         now: u64,
         out: &mut Outbox<Msg>,
     ) {
+        let quorum = self.quorum();
+        let voters = self.voters();
         let Some(InFlight::Rmw(state)) = self.inflight.get_mut(rid) else { return };
         if state.phase != RmwPhase::Commit {
             return;
         }
         state.commits.insert(src);
-        if state.commits.len() < self.quorum {
+        if state.commits.len() < quorum {
             return;
         }
         // The round ends here (the entry is removed or restarted below), so
@@ -1602,14 +1616,14 @@ impl Worker {
         // anti-entropy subsystem as a targeted repair push — the periodic
         // sweep would heal them anyway (tests prove sufficiency), the push
         // merely does it within one RTT instead of one sweep interval.
-        if !state.commits.is_all(self.nodes) {
+        if !voters.minus(state.commits).is_empty() {
             if let Some(cb) = &state.commit_bcast {
                 // Pre-gate before touching the payload: the common case
                 // (fills on, nobody suspected) must not clone the value.
                 let targets = Self::fill_targets_in(
                     self.commit_fill,
                     &self.shared,
-                    NodeSet::all(self.nodes).minus(state.commits),
+                    voters.minus(state.commits),
                 );
                 if !targets.is_empty() {
                     let (key, val, lc, next_slot) =
@@ -1675,7 +1689,7 @@ impl Worker {
         if state.delinquent && mode.has_barriers() {
             shared.bump_epoch_once(state.meta.invoked_at, now);
             shared.delinquency.reset(me, state.meta.op_id);
-            out.broadcast(me, Msg::ResetBit { acq: state.meta.op_id });
+            out.multicast(me, shared.voters(), Msg::ResetBit { acq: state.meta.op_id });
         }
         Self::complete_in(
             shared,
@@ -1699,9 +1713,8 @@ impl Worker {
     /// collection, no sorting, no hashing.
     pub(crate) fn scan_retransmits(&mut self, now: u64, out: &mut Outbox<Msg>) {
         let me = self.me;
-        let nodes = self.nodes;
-        let quorum = self.quorum;
-        let all = NodeSet::all(nodes);
+        let quorum = self.quorum();
+        let all = self.voters();
         let retransmit = self.retransmit;
         let barriers = self.mode.has_barriers();
         let suspected = self.shared.suspected();
@@ -1716,7 +1729,7 @@ impl Worker {
                     // replicas once a quorum holds the write: recovery for
                     // those is the delinquency mechanism's job, and blind
                     // retransmission toward a dead node is a traffic storm.
-                    if !es.acked.is_all(nodes) {
+                    if !all.minus(es.acked).is_empty() {
                         let missing = all.minus(es.acked);
                         let targets = if es.acked.len() < quorum {
                             missing

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use kite_common::stats::ProtoCounters;
-use kite_common::{ClusterConfig, Epoch, NodeId, NodeSet};
+use kite_common::{ClusterConfig, Epoch, Membership, MembershipCell, NodeId, NodeSet, MEMBERSHIP_KEY};
 use kite_kvs::{Store, StoreProbe};
 use kite_metrics::Histogram;
 
@@ -96,6 +96,13 @@ pub struct NodeShared {
     /// `Arc` is attached to [`NodeShared::store`], kept here so scrapers
     /// can read it without going through the store.
     pub store_probe: Arc<StoreProbe>,
+    /// Live cluster membership (voters/learners + epoch). Seeded from the
+    /// static config's bootstrap sets and thereafter installed through the
+    /// store's watch on [`MEMBERSHIP_KEY`] — every path that applies that
+    /// key (RMW commit, anti-entropy repair, WAL replay) lands here, which
+    /// is exactly the set of paths that can legitimately learn a newer
+    /// configuration.
+    pub membership: Arc<MembershipCell>,
 }
 
 impl NodeShared {
@@ -107,6 +114,25 @@ impl NodeShared {
             if cfg.merkle_digests { cfg.merkle_leaf_span } else { 0 },
         );
         store.attach_probe(Arc::clone(&store_probe));
+        let membership = Arc::new(MembershipCell::new(Membership::bootstrap(&cfg)));
+        {
+            // Config changes install at the store-apply choke point: any
+            // mutator touching the membership key — commit, repair, replay —
+            // feeds the cell. Decode failures (a foreign value under the
+            // reserved key) are ignored; the cell only moves forward.
+            let cell = Arc::clone(&membership);
+            let installs = Arc::clone(&counters);
+            store.attach_watch(
+                MEMBERSHIP_KEY,
+                Arc::new(move |_lc, val| {
+                    if let Some(m) = Membership::from_val(val) {
+                        if cell.install(m) {
+                            installs.membership_installs.incr();
+                        }
+                    }
+                }),
+            );
+        }
         Arc::new(NodeShared {
             me,
             // The Merkle leaf span rides the shared config so every
@@ -122,6 +148,7 @@ impl NodeShared {
             counters,
             op_latency: OpLatency::default(),
             store_probe,
+            membership,
             cfg,
         })
     }
@@ -187,13 +214,35 @@ impl NodeShared {
         true
     }
 
-    /// Quorum size of the deployment.
+    /// Majority-quorum size over the **live voter set** — not the static
+    /// config. A round that caches this across a reconfiguration would
+    /// count replies against the wrong majority, which is exactly the bug
+    /// the live cell exists to kill.
     #[inline]
     pub fn quorum(&self) -> usize {
-        self.cfg.quorum()
+        self.membership.load().quorum()
     }
 
-    /// Number of nodes.
+    /// The live voter set (protocol rounds target these replicas).
+    #[inline]
+    pub fn voters(&self) -> NodeSet {
+        self.membership.load().voters
+    }
+
+    /// Voters ∪ learners (anti-entropy targets all of them).
+    #[inline]
+    pub fn members(&self) -> NodeSet {
+        self.membership.load().members()
+    }
+
+    /// Current membership epoch (stamped on every outgoing envelope).
+    #[inline]
+    pub fn mepoch(&self) -> u32 {
+        self.membership.epoch()
+    }
+
+    /// Number of configured node *slots* (sizes tables and rings; the live
+    /// member set is a subset — see [`NodeShared::members`]).
     #[inline]
     pub fn nodes(&self) -> usize {
         self.cfg.nodes

@@ -14,8 +14,13 @@
 //! step (§6.3 opportunistic batching survives the socket boundary):
 //!
 //! ```text
-//! [u32 body_len][u8 src_node][u32 msg_count][msg_count × Msg]
+//! [u32 body_len][u8 src_node][u32 mepoch][u32 msg_count][msg_count × Msg]
 //! ```
+//!
+//! `mepoch` is the sender's membership epoch at flush time (see
+//! `kite_common::membership`): the receiver's worker gates whole frames on
+//! it, so a replica still speaking a retired configuration is corrected at
+//! the transport boundary instead of corrupting quorum accounting.
 //!
 //! `body_len` counts everything after the length prefix and is bounded by
 //! [`MAX_FRAME`]; a peer announcing more is treated as malformed. Each
@@ -71,8 +76,9 @@ pub const MAX_SEQ: usize = 1 << 16;
 /// Handshake magic: "KITE".
 pub const MAGIC: u32 = 0x4B49_5445;
 
-/// Wire-format version, bumped on any incompatible layout change.
-pub const VERSION: u8 = 1;
+/// Wire-format version, bumped on any incompatible layout change (v2:
+/// peer frames carry the sender's membership epoch).
+pub const VERSION: u8 = 2;
 
 /// Handshake kind byte: a peer fabric connection (node-to-node).
 pub const KIND_PEER: u8 = 0;
@@ -733,12 +739,14 @@ pub fn decode_msg(c: &mut Cursor) -> WireResult<Msg> {
 // ---------------------------------------------------------------------------
 
 /// Append one peer frame (length prefix included) carrying `msgs` from
-/// `src` onto `out`. The caller guarantees the batch fits one frame; the
-/// transport uses [`encode_frames`], which splits.
-pub fn encode_frame(src: NodeId, msgs: &[Msg], out: &mut Vec<u8>) {
+/// `src` at membership epoch `mepoch` onto `out`. The caller guarantees
+/// the batch fits one frame; the transport uses [`encode_frames`], which
+/// splits.
+pub fn encode_frame(src: NodeId, mepoch: u32, msgs: &[Msg], out: &mut Vec<u8>) {
     let len_at = out.len();
     put_u32(out, 0); // patched below
     out.push(src.0);
+    put_u32(out, mepoch);
     put_u32(out, msgs.len() as u32);
     for m in msgs {
         encode_msg(m, out);
@@ -758,13 +766,14 @@ pub fn encode_frame(src: NodeId, msgs: &[Msg], out: &mut Vec<u8>) {
 /// would flap forever. A single message that cannot fit a frame by itself
 /// is a codec-bound violation and panics (same rationale as the value
 /// bound in `put_val`: failing fast locally beats a distributed livelock).
-pub fn encode_frames(src: NodeId, msgs: &[Msg], out: &mut Vec<u8>) -> usize {
+pub fn encode_frames(src: NodeId, mepoch: u32, msgs: &[Msg], out: &mut Vec<u8>) -> usize {
     let mut frames = 0;
     let mut i = 0;
     while i < msgs.len() || frames == 0 {
         let len_at = out.len();
         put_u32(out, 0); // length, patched below
         out.push(src.0);
+        put_u32(out, mepoch);
         let count_at = out.len();
         put_u32(out, 0); // count, patched below
         let mut n: usize = 0;
@@ -795,7 +804,9 @@ pub fn frame_body_len(prefix: [u8; 4]) -> WireResult<usize> {
         return Err(WireError::Oversized { what: "frame", len });
     }
     if len < 5 {
-        // src byte + count word are mandatory.
+        // The shortest legal body either direction (client `HelloErr` with
+        // an empty reason) is 5 bytes; a peer frame needs 9 (src + mepoch
+        // + count), which the body cursor enforces as `Truncated`.
         return Err(WireError::Truncated);
     }
     Ok(len)
@@ -803,11 +814,12 @@ pub fn frame_body_len(prefix: [u8; 4]) -> WireResult<usize> {
 
 // kite-lint: total-decode
 /// Decode a peer frame body into `into` (appended; the caller hands in a
-/// pool-recycled buffer). Returns the sending node. The body must be
-/// consumed exactly.
-pub fn decode_frame_body(body: &[u8], into: &mut Vec<Msg>) -> WireResult<NodeId> {
+/// pool-recycled buffer). Returns the sending node and its membership
+/// epoch stamp. The body must be consumed exactly.
+pub fn decode_frame_body(body: &[u8], into: &mut Vec<Msg>) -> WireResult<(NodeId, u32)> {
     let mut c = Cursor::new(body);
     let src = NodeId(c.u8()?);
+    let mepoch = c.u32()?;
     let count = c.u32()? as usize;
     if count > MAX_SEQ {
         return Err(WireError::Oversized { what: "frame msg count", len: count });
@@ -827,7 +839,7 @@ pub fn decode_frame_body(body: &[u8], into: &mut Vec<Msg>) -> WireResult<NodeId>
         into.truncate(base);
         return Err(WireError::Trailing { left });
     }
-    Ok(src)
+    Ok((src, mepoch))
 }
 
 // ---------------------------------------------------------------------------
@@ -1113,12 +1125,13 @@ mod tests {
     fn frame_round_trips() {
         let msgs = sample_msgs();
         let mut buf = Vec::new();
-        encode_frame(NodeId(4), &msgs, &mut buf);
+        encode_frame(NodeId(4), 7, &msgs, &mut buf);
         let body_len = frame_body_len(buf[..4].try_into().unwrap()).unwrap();
         assert_eq!(body_len, buf.len() - 4);
         let mut got = Vec::new();
-        let src = decode_frame_body(&buf[4..], &mut got).unwrap();
+        let (src, mepoch) = decode_frame_body(&buf[4..], &mut got).unwrap();
         assert_eq!(src, NodeId(4));
+        assert_eq!(mepoch, 7);
         assert_eq!(format!("{msgs:?}"), format!("{got:?}"));
     }
 
@@ -1126,7 +1139,7 @@ mod tests {
     fn truncated_and_trailing_frames_are_errors() {
         let msgs = sample_msgs();
         let mut buf = Vec::new();
-        encode_frame(NodeId(0), &msgs, &mut buf);
+        encode_frame(NodeId(0), 0, &msgs, &mut buf);
         // Truncated at every prefix length: must error, never panic.
         for cut in 4..buf.len() - 1 {
             let mut got = Vec::new();

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use kite_common::{NodeId, OpId};
+use kite_common::{NodeId, NodeSet, OpId, MEMBERSHIP_KEY};
 use kite_simnet::{Actor, Outbox};
 
 use crate::antientropy::AeState;
@@ -79,12 +79,11 @@ pub struct Worker {
     /// Anti-entropy sweep/repair state (see `crate::antientropy`).
     pub(crate) ae: AeState,
     pub(crate) hook: Option<CompletionHook>,
-    // cached config
-    pub(crate) nodes: usize,
+    // cached config (membership-independent only — quorum/voters/members are
+    // *methods* reading the live cell; see the stale-quorum note on them)
     /// Cached `cfg.commit_fill`: push completion-time repairs to replicas a
     /// finished round left behind.
     pub(crate) commit_fill: bool,
-    pub(crate) quorum: usize,
     pub(crate) release_timeout: u64,
     pub(crate) retransmit: u64,
     pub(crate) ops_per_tick: usize,
@@ -128,9 +127,7 @@ impl Worker {
             ack_src: None,
             ae: AeState::new(cfg, wid, &shared.store),
             hook,
-            nodes: cfg.nodes,
             commit_fill: cfg.commit_fill,
-            quorum: cfg.quorum(),
             release_timeout: cfg.release_timeout_ns,
             retransmit: cfg.retransmit_ns,
             ops_per_tick: cfg.ops_per_tick,
@@ -162,6 +159,29 @@ impl Worker {
     /// The node-shared state (store, epoch, delinquency, counters).
     pub fn shared(&self) -> &Arc<NodeShared> {
         &self.shared
+    }
+
+    /// Majority-quorum size over the **live** voter set. Never cached in a
+    /// field: a round started before a reconfiguration must count its
+    /// replies against the membership in force when each reply is judged,
+    /// or an epoch bump strands it against the old majority.
+    #[inline]
+    pub(crate) fn quorum(&self) -> usize {
+        self.shared.quorum()
+    }
+
+    /// The live voter set: protocol rounds (ES writes, ABD, Paxos phases,
+    /// barriers) target voters only — learners' acks are never awaited, so
+    /// reply-set arithmetic stays sound while a learner bulk-syncs.
+    #[inline]
+    pub(crate) fn voters(&self) -> NodeSet {
+        self.shared.voters()
+    }
+
+    /// Voters ∪ learners (anti-entropy sweeps reach everyone).
+    #[inline]
+    pub(crate) fn members(&self) -> NodeSet {
+        self.shared.members()
     }
 
     /// Number of operations currently in flight (diagnostics).
@@ -421,6 +441,42 @@ impl Actor for Worker {
         // One ack message per envelope, not per request: everything the
         // drain above staged goes back to `src` as a single batch.
         self.flush_acks(src, out);
+        out.set_stamp(self.shared.mepoch());
+    }
+
+    /// The membership-epoch gate (the reconfiguration analogue of the
+    /// committed-ring "evidence travels with advancement" rule): a batch
+    /// stamped with an *older* epoch was composed against a membership we
+    /// know to be superseded, so it is dropped whole and answered with a
+    /// push-repair of the membership key — the stale sender converges in
+    /// one round trip and retransmission re-drives whatever the drop cost.
+    /// A *newer* stamp is processed normally (the sender's protocol state
+    /// is fine; we are the stale one) while we pull the configuration we
+    /// are missing.
+    fn on_envelope_stamped(
+        &mut self,
+        src: NodeId,
+        mepoch: u32,
+        msgs: &mut Vec<Msg>,
+        now: u64,
+        out: &mut Outbox<Msg>,
+    ) {
+        let mine = self.shared.mepoch();
+        if src != self.me && mepoch != mine {
+            if mepoch < mine {
+                self.shared.counters.stale_epoch_dropped.incr();
+                msgs.clear();
+                // Our epoch exceeds a valid stamp, so it is > 0, which
+                // means it was installed from an applied store value — the
+                // membership key is present and repairable.
+                self.ae_send_repair(src, MEMBERSHIP_KEY, out);
+                out.set_stamp(mine);
+                return;
+            }
+            self.shared.counters.membership_pulls.incr();
+            out.send(src, Msg::RepairReq { keys: Box::new([MEMBERSHIP_KEY]) });
+        }
+        self.on_envelope(src, msgs, now, out);
     }
 
     fn on_tick(&mut self, now: u64, out: &mut Outbox<Msg>) -> bool {
@@ -436,6 +492,10 @@ impl Actor for Worker {
             self.scan_retransmits(now, out);
         }
         self.ae_on_tick(now, out);
+        // Refresh the outbox's membership-epoch stamp after the step's
+        // sends were composed: the runtimes copy it into every flushed
+        // envelope/frame.
+        out.set_stamp(self.shared.mepoch());
         progress
     }
 
@@ -559,10 +619,13 @@ impl Actor for Worker {
         let sh = &self.shared;
         let _ = writeln!(
             out,
-            "  node: epoch={} suspected={:?} store_len={} completed={} ae_repairs_applied={}",
+            "  node: epoch={} membership=[{}] suspected={:?} store_len={} store_vals={} \
+             completed={} ae_repairs_applied={}",
             sh.epoch(),
+            sh.membership.load(),
             sh.suspected(),
             sh.store.len(),
+            sh.store.values(),
             sh.counters.completed.get(),
             sh.counters.ae_repairs_applied.get(),
         );

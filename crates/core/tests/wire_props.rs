@@ -208,14 +208,15 @@ proptest! {
     /// encode → frame → decode is the identity on every variant, and the
     /// decode lands in a recycled buffer without disturbing prior content.
     #[test]
-    fn frame_round_trips_every_variant(msgs in MsgBatch, src in 0u8..16) {
+    fn frame_round_trips_every_variant(msgs in MsgBatch, src in 0u8..16, mepoch in any::<u32>()) {
         let mut buf = Vec::new();
-        wire::encode_frame(NodeId(src), &msgs, &mut buf);
+        wire::encode_frame(NodeId(src), mepoch, &msgs, &mut buf);
         let body_len = wire::frame_body_len(buf[..4].try_into().unwrap()).unwrap();
         prop_assert_eq!(body_len, buf.len() - 4);
         let mut out = Vec::new();
-        let got_src = wire::decode_frame_body(&buf[4..], &mut out).unwrap();
+        let (got_src, got_mepoch) = wire::decode_frame_body(&buf[4..], &mut out).unwrap();
         prop_assert_eq!(got_src, NodeId(src));
+        prop_assert_eq!(got_mepoch, mepoch);
         prop_assert_eq!(out.len(), msgs.len());
         for (a, b) in msgs.iter().zip(&out) {
             prop_assert!(same(a, b), "mismatch: {:?} vs {:?}", a, b);
@@ -227,7 +228,7 @@ proptest! {
     #[test]
     fn truncated_frames_error_cleanly(msgs in MsgBatch, cut_at in any::<proptest::sample::Index>()) {
         let mut buf = Vec::new();
-        wire::encode_frame(NodeId(1), &msgs, &mut buf);
+        wire::encode_frame(NodeId(1), 0, &msgs, &mut buf);
         let body = &buf[4..];
         let cut = cut_at.index(body.len().max(1));
         let mut out = Vec::new();
@@ -241,7 +242,7 @@ proptest! {
     #[test]
     fn bit_flips_never_panic(msgs in MsgBatch, at in any::<proptest::sample::Index>(), flip in 1u8..=255) {
         let mut buf = Vec::new();
-        wire::encode_frame(NodeId(0), &msgs, &mut buf);
+        wire::encode_frame(NodeId(0), 0, &msgs, &mut buf);
         let i = 4 + at.index(buf.len() - 4);
         buf[i] ^= flip;
         let mut out = Vec::new();
@@ -250,7 +251,7 @@ proptest! {
 
     /// Pure garbage bodies decode to an error.
     #[test]
-    fn garbage_bodies_error(len in 5usize..64, seed in any::<u64>()) {
+    fn garbage_bodies_error(len in 9usize..64, seed in any::<u64>()) {
         let mut rng = TestRng::from_seed(seed);
         // Every byte is forced ≥ 0x80, far past the last valid msg tag
         // (22), so at least the first message is guaranteed invalid.
@@ -271,6 +272,7 @@ fn oversized_collections_are_rejected_not_allocated() {
     // gate before any allocation happens.
     let mut body = Vec::new();
     body.push(0); // src
+    body.extend_from_slice(&0u32.to_le_bytes()); // mepoch
     body.extend_from_slice(&1u32.to_le_bytes()); // one message
     body.push(2); // T_ACK_BATCH
     body.extend_from_slice(&(u32::MAX).to_le_bytes()); // ludicrous count
@@ -288,6 +290,7 @@ fn oversized_merkle_collections_are_rejected_not_allocated() {
     for (tag, extra) in [(21u8, 5u32), (22, 0)] {
         let mut body = Vec::new();
         body.push(0); // src
+        body.extend_from_slice(&0u32.to_le_bytes()); // mepoch
         body.extend_from_slice(&1u32.to_le_bytes()); // one message
         body.push(tag);
         body.push(3); // level
@@ -318,15 +321,16 @@ fn summary_batch_splits_at_max_frame() {
         })
         .collect();
     let mut buf = Vec::new();
-    let frames = wire::encode_frames(NodeId(2), &msgs, &mut buf);
+    let frames = wire::encode_frames(NodeId(2), 3, &msgs, &mut buf);
     assert!(frames > 1, "6 MiB of summaries cannot fit one {}-byte frame", wire::MAX_FRAME);
     let mut out = Vec::new();
     let mut off = 0;
     for _ in 0..frames {
         let len = wire::frame_body_len(buf[off..off + 4].try_into().unwrap()).unwrap();
         assert!(len <= wire::MAX_FRAME, "every emitted frame must satisfy the receive gate");
-        let src = wire::decode_frame_body(&buf[off + 4..off + 4 + len], &mut out).unwrap();
+        let (src, mepoch) = wire::decode_frame_body(&buf[off + 4..off + 4 + len], &mut out).unwrap();
         assert_eq!(src, NodeId(2));
+        assert_eq!(mepoch, 3, "every split frame carries the same stamp");
         off += 4 + len;
     }
     assert_eq!(off, buf.len(), "no trailing bytes between frames");
@@ -342,7 +346,7 @@ fn decode_reuses_the_provided_buffer() {
     // reused, not reallocated, when it suffices.
     let msgs = vec![Msg::Ack { rid: 7 }, Msg::Ack { rid: 8 }];
     let mut buf = Vec::new();
-    wire::encode_frame(NodeId(0), &msgs, &mut buf);
+    wire::encode_frame(NodeId(0), 0, &msgs, &mut buf);
     let mut out: Vec<Msg> = Vec::with_capacity(64);
     let cap = out.capacity();
     let ptr = out.as_ptr();
@@ -363,14 +367,14 @@ fn oversized_batches_split_across_frames() {
         .map(|i| Msg::WriteMsg { rid: i, key: Key(i), val: big.clone(), lc: Lc::ZERO })
         .collect();
     let mut buf = Vec::new();
-    let frames = wire::encode_frames(NodeId(3), &msgs, &mut buf);
+    let frames = wire::encode_frames(NodeId(3), 0, &msgs, &mut buf);
     assert!(frames > 1, "6 MB of messages cannot fit one {}-byte frame", wire::MAX_FRAME);
     // Walk the concatenated frames exactly as a reader thread would.
     let mut out = Vec::new();
     let mut off = 0;
     for _ in 0..frames {
         let len = wire::frame_body_len(buf[off..off + 4].try_into().unwrap()).unwrap();
-        let src = wire::decode_frame_body(&buf[off + 4..off + 4 + len], &mut out).unwrap();
+        let (src, _) = wire::decode_frame_body(&buf[off + 4..off + 4 + len], &mut out).unwrap();
         assert_eq!(src, NodeId(3));
         off += 4 + len;
     }
@@ -384,7 +388,7 @@ fn oversized_batches_split_across_frames() {
 #[test]
 fn empty_batch_still_produces_one_frame() {
     let mut buf = Vec::new();
-    assert_eq!(wire::encode_frames(NodeId(0), &[], &mut buf), 1);
+    assert_eq!(wire::encode_frames(NodeId(0), 0, &[], &mut buf), 1);
     let len = wire::frame_body_len(buf[..4].try_into().unwrap()).unwrap();
     let mut out = Vec::new();
     wire::decode_frame_body(&buf[4..4 + len], &mut out).unwrap();

@@ -84,8 +84,39 @@ struct Slot {
 /// is by construction (replay re-applies under the LLC-max rule).
 pub trait DurabilitySink: Send + Sync {
     /// Record that `key` now holds `val` at clock `lc`.
-    fn record(&self, key: Key, lc: Lc, val: &Val);
+    ///
+    /// Sinks with a framing limit (the WAL caps values at its `vlen u8`
+    /// budget) must refuse an unframeable record with a typed
+    /// [`SinkError`] rather than truncating or silently skipping it: a
+    /// write the application believes durable but the sink never framed
+    /// would survive right up until the crash that needed it.
+    fn record(&self, key: Key, lc: Lc, val: &Val) -> Result<(), SinkError>;
 }
+
+/// Typed refusal from a [`DurabilitySink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkError {
+    /// The value exceeds the sink's frame cap (`len` bytes against a
+    /// `cap`-byte budget) and cannot be made durable.
+    Oversize {
+        /// Offered value length in bytes.
+        len: usize,
+        /// The sink's maximum framable value length.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkError::Oversize { len, cap } => {
+                write!(f, "value of {len} bytes exceeds the sink's {cap}-byte frame cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SinkError {}
 
 /// A node-local replica of the KVS.
 pub struct Store {
@@ -94,6 +125,13 @@ pub struct Store {
     /// Population count, bumped once per claimed slot — keeps
     /// [`Store::len`] O(1) instead of an O(capacity) slot scan.
     live: AtomicUsize,
+    /// Value count: slots whose clock has left `Lc::ZERO`. A read probing
+    /// a fresh key claims a slot (counted in `live`) but writes nothing —
+    /// this gauge counts only slots holding a real value, so two replicas
+    /// that diverge in what they were *asked* about but agree on what was
+    /// *written* report the same number (the learner-sync convergence
+    /// check in `scripts/e2e_tcp.sh` depends on exactly that).
+    written: AtomicUsize,
     /// Merkle leaf lattice: `leaves[i]` = XOR of [`merkle_mix`] over every
     /// written entry whose *home* slot lies in `[i << leaf_shift,
     /// (i + 1) << leaf_shift)`. See the module docs for the update rule.
@@ -108,6 +146,14 @@ pub struct Store {
     /// attached at most once. Same cost model as the sink: one predictable
     /// atomic load per write when unset.
     probe: OnceLock<Arc<StoreProbe>>,
+    /// Optional single-key watch, attached at most once: a callback fired
+    /// at the [`Store::sink_apply`] choke point whenever *that key* is
+    /// applied. This is how dynamic membership rides the store: the node
+    /// watches the reserved membership key, so commits, WAL replay and
+    /// anti-entropy repairs all install configuration through one door.
+    /// Same cost model as the sink: one predictable atomic load plus one
+    /// key compare per write when unset.
+    watch: OnceLock<(u64, Arc<dyn Fn(Lc, &Val) + Send + Sync>)>,
 }
 
 /// Live observability counters for the store, bumped at the same choke
@@ -155,10 +201,12 @@ impl Store {
             slots,
             mask: (cap - 1) as u64,
             live: AtomicUsize::new(0),
+            written: AtomicUsize::new(0),
             leaves,
             leaf_shift,
             sink: OnceLock::new(),
             probe: OnceLock::new(),
+            watch: OnceLock::new(),
         }
     }
 
@@ -181,6 +229,17 @@ impl Store {
         }
     }
 
+    /// Attach a single-key watch (at most once): `f(lc, val)` runs inside
+    /// every mutator that applies `key`, including recovery replay — a
+    /// watcher *wants* to see replayed state (that is how a restarted node
+    /// relearns its membership), unlike the sink, which must not re-record
+    /// its own replay.
+    pub fn attach_watch(&self, key: Key, f: Arc<dyn Fn(Lc, &Val) + Send + Sync>) {
+        if self.watch.set((key.0, f)).is_err() {
+            panic!("store watch already attached");
+        }
+    }
+
     /// Number of slots (diagnostics).
     pub fn capacity(&self) -> usize {
         self.slots.len()
@@ -196,6 +255,15 @@ impl Store {
     /// Whether the store holds no keys.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of keys holding a **written value** — claimed-but-unwritten
+    /// slots (a read probing a fresh key) excluded. Unlike [`Store::len`],
+    /// this is comparable across replicas: anti-entropy converges values,
+    /// not read probes.
+    // ordering: same monotone-gauge contract as `len`.
+    pub fn values(&self) -> usize {
+        self.written.load(Ordering::Relaxed)
     }
 
     /// The leaf index of `key`'s home slot — a pure function of the key
@@ -215,6 +283,12 @@ impl Store {
     // interval), so the fetch_xor needs atomicity, not ordering.
     #[inline]
     fn leaf_apply(&self, key: Key, old: Lc, new: Lc) {
+        // The ZERO → nonzero clock transition happens exactly once per key
+        // (clocks are LLC-monotone and `old` was read inside the write
+        // section), so this counts each first value exactly once.
+        if old == Lc::ZERO && new > Lc::ZERO {
+            self.written.fetch_add(1, Ordering::Relaxed);
+        }
         if self.leaves.is_empty() {
             return;
         }
@@ -235,8 +309,20 @@ impl Store {
             probe.writes.incr();
             probe.distinct_keys.observe(key.0);
         }
+        if let Some((watched, f)) = self.watch.get() {
+            if key.0 == *watched {
+                f(lc, val);
+            }
+        }
         if let Some(sink) = self.sink.get() {
-            sink.record(key, lc, val);
+            if let Err(e) = sink.record(key, lc, val) {
+                // Fail fast: the write is already applied in memory, so
+                // limping on would hand the application an acknowledged
+                // update that no recovery can reproduce. Admission should
+                // have rejected the value (the engines cap values at the
+                // sink's frame budget); reaching here is a logic error.
+                panic!("durability sink refused an applied write for {key:?}: {e}");
+            }
         }
     }
 
@@ -1054,8 +1140,9 @@ mod tests {
         use std::sync::Mutex as StdMutex;
         struct Tape(StdMutex<Vec<(Key, Lc, u64)>>);
         impl DurabilitySink for Tape {
-            fn record(&self, key: Key, lc: Lc, val: &Val) {
+            fn record(&self, key: Key, lc: Lc, val: &Val) -> Result<(), SinkError> {
                 self.0.lock().unwrap().push((key, lc, val.as_u64()));
+                Ok(())
             }
         }
         let s = store();

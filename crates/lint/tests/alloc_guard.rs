@@ -118,13 +118,13 @@ fn outbox_cycle(ob: &mut Outbox<Msg>, handed: &mut Vec<(NodeId, Vec<Msg>)>) {
 /// connection), and return every buffer to its pool.
 fn fabric_cycle(byte_pool: &Pool<u8>, msg_pool: &Pool<Msg>, ring: &mut OutRing, batch: &[Msg]) {
     let mut buf = byte_pool.pop();
-    let frames = wire::encode_frames(NodeId(0), batch, &mut buf);
+    let frames = wire::encode_frames(NodeId(0), 0, batch, &mut buf);
     assert_eq!(frames, 1);
 
     let mut msgs = msg_pool.pop();
     let prefix = [buf[0], buf[1], buf[2], buf[3]];
     let blen = wire::frame_body_len(prefix).expect("own frame");
-    let src = wire::decode_frame_body(&buf[4..4 + blen], &mut msgs).expect("own frame");
+    let (src, _) = wire::decode_frame_body(&buf[4..4 + blen], &mut msgs).expect("own frame");
     assert_eq!(src, NodeId(0));
     assert_eq!(msgs.len(), batch.len());
     msg_pool.put(msgs);

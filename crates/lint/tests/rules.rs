@@ -315,6 +315,22 @@ fn f(c: &AtomicU64) {
     assert!(plain(bare, Rule::OrderingJustification).is_empty());
 }
 
+#[test]
+fn kite_common_is_inside_the_ordering_scope() {
+    // The packed membership cell (quorum/voter reads on every round) lives
+    // in kite-common, so its atomics carry justifications too.
+    let bare = r#"
+fn epoch(cell: &AtomicU64) -> u32 {
+    (cell.load(Ordering::Relaxed) >> 32) as u32
+}
+"#;
+    let v: Vec<Violation> = analyze_source("crates/common/src/fixture.rs", bare)
+        .into_iter()
+        .filter(|v| v.rule == Rule::OrderingJustification)
+        .collect();
+    assert_eq!(v.len(), 1, "{v:?}");
+}
+
 // ---------------------------------------------------------------------------
 // no-blocking-in-loop
 // ---------------------------------------------------------------------------

@@ -27,6 +27,12 @@
 //! * `scrape` — connect to a node's `--metrics-addr` endpoint, send one
 //!   request line (`scrape`, or `dump` with `--view dump`), print the
 //!   response, exit. No session, no protocol — plain TCP.
+//! * `reconfig` — operator-facing membership changes: `--action
+//!   show|add-learner|promote|retire` (with `--target N` for the
+//!   mutators). Reads the current membership from the reserved key
+//!   through an ordinary client session, derives the successor config,
+//!   and strong-CASes it in — the change rides the same per-key Paxos as
+//!   any workload RMW, retrying if a concurrent change wins the race.
 //! * `openloop` — one pipelined session per listed server submits the
 //!   typical Kite mix on a **fixed arrival schedule** (`--rate` ops/s per
 //!   session for `--secs`), never waiting for completions; per-op latency
@@ -43,6 +49,7 @@
 //! kite-client openloop --servers a:p,b:p,c:p --slot 5 --rate 1000 --secs 2
 //! kite-client hot      --servers a:p,b:p,c:p --slot 8 --ops 2000 --key-base 40000
 //! kite-client scrape   --servers 127.0.0.1:9100 [--view dump]
+//! kite-client reconfig --servers a:p --slot 6 --action add-learner --target 3
 //! ```
 
 use std::collections::HashMap;
@@ -434,6 +441,71 @@ fn phase_scrape(servers: &[String], view: &str) {
     }
 }
 
+/// Membership changes through the front door: read the reserved key,
+/// derive the successor [`Membership`], strong-CAS it in. The CAS-retry
+/// loop makes concurrent operator actions safe — whoever loses the race
+/// re-reads and re-derives against the winner's config, so epochs stay
+/// gapless and no change is silently dropped. `cluster_nodes` is only
+/// consulted before the *first* committed change, when the key is still
+/// empty and the bootstrap membership (all slots voting) must be derived
+/// locally — mutating actions then require it explicitly, because
+/// guessing the slot count (e.g. from however many servers happen to be
+/// listed) would install a wrong voter set cluster-wide.
+fn phase_reconfig(
+    servers: &[String],
+    slot: u32,
+    action: &str,
+    target: Option<u8>,
+    cluster_nodes: Option<usize>,
+) {
+    use kite_common::{Membership, NodeId, NodeSet, Val, MEMBERSHIP_KEY};
+    let mut s = RemoteSession::connect(&servers[0], slot)
+        .unwrap_or_else(|e| fail(format!("connect {}: {e}", servers[0])));
+    loop {
+        let cur_val: Val =
+            s.acquire(MEMBERSHIP_KEY).unwrap_or_else(|e| fail(format!("read membership: {e}")));
+        let stored = Membership::from_val(&cur_val);
+        if action == "show" {
+            match stored {
+                Some(cur) => println!("kite-client: membership {cur}"),
+                None => println!(
+                    "kite-client: membership e0 (bootstrap — no config change committed yet)"
+                ),
+            }
+            return;
+        }
+        let cur = stored.unwrap_or_else(|| Membership {
+            epoch: 0,
+            voters: NodeSet::all(cluster_nodes.unwrap_or_else(|| {
+                fail(format!(
+                    "reconfig {action}: membership key is empty (cluster still on bootstrap); \
+                     pass --cluster-nodes N so the bootstrap voter set can be derived"
+                ))
+            })),
+            learners: NodeSet::EMPTY,
+        });
+        let node =
+            NodeId(target.unwrap_or_else(|| fail(format!("reconfig {action} needs --target N"))));
+        let next = match action {
+            "add-learner" => cur.with_learner(node),
+            "promote" => cur.with_promoted(node),
+            "retire" => cur.with_retired(node),
+            a => fail(format!("unknown reconfig action {a} (show|add-learner|promote|retire)")),
+        };
+        if next.voters.is_empty() {
+            fail(format!("refusing {action} {node}: successor config has no voters"));
+        }
+        let (ok, _) = s
+            .cas_strong(MEMBERSHIP_KEY, cur_val, next.to_val())
+            .unwrap_or_else(|e| fail(format!("config-change CAS: {e}")));
+        if ok {
+            println!("kite-client: reconfig {action} {node} OK — membership {next}");
+            return;
+        }
+        // Lost the race with a concurrent config change: retry against it.
+    }
+}
+
 fn phase_put(servers: &[String], slot: u32, key: u64, val: u64) {
     let mut s = RemoteSession::connect(&servers[0], slot)
         .unwrap_or_else(|e| fail(format!("connect: {e}")));
@@ -460,7 +532,7 @@ fn phase_poll(servers: &[String], slot: u32, key: u64, val: u64, timeout: Durati
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(phase) = args.first().cloned() else {
-        eprintln!("usage: kite-client <mixed|put|poll|fill|openloop|hot|scrape> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T] [--key-base K] [--count N] [--rate R] [--secs S] [--view scrape|dump]");
+        eprintln!("usage: kite-client <mixed|put|poll|fill|openloop|hot|scrape|reconfig> --servers a,b,c [--slot N] [--ops N] [--key K] [--val V] [--timeout-secs T] [--key-base K] [--count N] [--rate R] [--secs S] [--view scrape|dump] [--action show|add-learner|promote|retire] [--target N] [--cluster-nodes K]");
         std::process::exit(2);
     };
     let mut opts: HashMap<String, String> = HashMap::new();
@@ -494,6 +566,13 @@ fn main() {
         ),
         "hot" => phase_hot(&servers, slot, num("ops", 2_000), num("key-base", 40_000)),
         "scrape" => phase_scrape(&servers, opts.get("view").map_or("scrape", |v| v.as_str())),
+        "reconfig" => phase_reconfig(
+            &servers,
+            slot,
+            opts.get("action").map_or("show", |v| v.as_str()),
+            opts.get("target").map(|v| v.parse().expect("target")),
+            opts.get("cluster-nodes").map(|v| v.parse().expect("cluster-nodes")),
+        ),
         "put" => phase_put(&servers, slot, num("key", 900), num("val", 7777)),
         "poll" => phase_poll(
             &servers,

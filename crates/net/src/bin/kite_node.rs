@@ -4,10 +4,22 @@
 //! kite-node --node 0 --peers 127.0.0.1:7100,127.0.0.1:7101,127.0.0.1:7102 \
 //!           [--workers 2] [--sessions-per-worker 4] [--keys 65536]
 //!           [--mode kite|es|abd|paxos] [--anti-entropy on|off]
+//!           [--anti-entropy-interval-ns N] [--anti-entropy-chunk SLOTS]
 //!           [--keepalive-ns N] [--config cluster.toml]
 //!           [--wal on|off] [--wal-dir DIR] [--wal-group-commit-ns N]
 //!           [--wal-snapshot-interval-ns N] [--metrics-addr HOST:PORT]
+//!           [--voters 0,1,2] [--learners 3] [--join HOST:PORT [--join-slot S]]
 //! ```
+//!
+//! `--voters`/`--learners` pin the bootstrap (membership-epoch-0) sets;
+//! by default every configured slot votes. `--join <seed-addr>` admits
+//! this node into a **running** cluster before it starts serving: it
+//! claims a client session on the seed, reads the current membership from
+//! the reserved key and strong-CASes the add-learner successor config in
+//! — the config change rides the same per-key Paxos as any workload RMW.
+//! The node then launches normally and bulk-syncs as a non-voting
+//! learner; `kite-client reconfig promote` makes it a voter once its
+//! anti-entropy catch-up converges.
 //!
 //! `--metrics-addr` opens the plain-text scrape endpoint (`kite-client
 //! scrape` / `nc`): one `key value` line per metric, or the full watchdog
@@ -34,8 +46,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 use kite::ProtocolMode;
-use kite_common::{ClusterConfig, NodeId};
-use kite_net::{NodeConfig, NodeRuntime};
+use kite_common::{ClusterConfig, Membership, NodeId, NodeSet, MEMBERSHIP_KEY};
+use kite_net::{NodeConfig, NodeRuntime, RemoteSession};
 
 static STOP: AtomicBool = AtomicBool::new(false);
 
@@ -83,11 +95,67 @@ fn usage() -> ! {
         "usage: kite-node --node N --peers addr0,addr1,... \
          [--workers W] [--sessions-per-worker S] [--keys K] \
          [--mode kite|es|abd|paxos] [--anti-entropy on|off] \
+         [--anti-entropy-interval-ns N] [--anti-entropy-chunk SLOTS] \
          [--keepalive-ns N] [--release-timeout-ns N] [--config FILE] \
          [--wal on|off] [--wal-dir DIR] [--wal-group-commit-ns N] \
-         [--wal-snapshot-interval-ns N] [--metrics-addr HOST:PORT]"
+         [--wal-snapshot-interval-ns N] [--metrics-addr HOST:PORT] \
+         [--voters 0,1,2] [--learners 3] [--join HOST:PORT [--join-slot S]]"
     );
     std::process::exit(2);
+}
+
+/// Parse a comma-separated node-id list (`"0,1,2"`) into a [`NodeSet`].
+fn parse_node_set(flag: &str, raw: &str) -> NodeSet {
+    let mut set = NodeSet::EMPTY;
+    for part in raw.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        match part.parse::<u8>() {
+            Ok(id) if (id as usize) < kite_common::NodeId::MAX_NODES => set.insert(NodeId(id)),
+            _ => {
+                eprintln!("kite-node: bad --{flag} entry {part:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    set
+}
+
+/// Admit `me` into a running cluster as a non-voting learner, through a
+/// client session on `seed`. The add-learner successor config is
+/// installed with a strong CAS on [`MEMBERSHIP_KEY`] — an ordinary
+/// per-key Paxos RMW — and retried on CAS failure (losing the race just
+/// means another config change landed first; re-read and re-derive).
+/// Returns the membership epoch this node was admitted at.
+fn join_as_learner(
+    seed: &str,
+    slot: u32,
+    me: NodeId,
+    cluster: &ClusterConfig,
+) -> Result<u32, String> {
+    let mut s = RemoteSession::connect(seed, slot)
+        .map_err(|e| format!("connect seed {seed} slot {slot}: {e}"))?;
+    loop {
+        let cur_val =
+            s.acquire(MEMBERSHIP_KEY).map_err(|e| format!("read membership: {e}"))?;
+        // An empty value means no config change has ever committed: the
+        // cluster is still on its bootstrap membership, which this node
+        // can derive from the shared deployment config. Only a *stored*
+        // membership counts as "already admitted" — the bootstrap
+        // fallback lists every slot as a voter, so taking the early
+        // return on it would skip the add-learner CAS entirely.
+        let stored = Membership::from_val(&cur_val);
+        let cur = stored.unwrap_or_else(|| Membership::bootstrap(cluster));
+        if stored.is_some() && (cur.learners.contains(me) || cur.voters.contains(me)) {
+            // A previous (interrupted) join attempt already landed.
+            return Ok(cur.epoch);
+        }
+        let next = cur.with_learner(me);
+        let (ok, _) = s
+            .cas_strong(MEMBERSHIP_KEY, cur_val, next.to_val())
+            .map_err(|e| format!("config-change CAS: {e}"))?;
+        if ok {
+            return Ok(next.epoch);
+        }
+    }
 }
 
 fn main() {
@@ -148,6 +216,10 @@ fn main() {
         .keys(parse_u64("keys", 1 << 16) as usize)
         .release_timeout_ns(parse_u64("release_timeout_ns", 1_000_000))
         .anti_entropy_keepalive_ns(parse_u64("keepalive_ns", 0));
+    let (ae_interval, ae_chunk) = (cluster.anti_entropy_interval_ns, cluster.anti_entropy_chunk);
+    cluster = cluster
+        .anti_entropy_interval_ns(parse_u64("anti_entropy_interval_ns", ae_interval))
+        .anti_entropy_chunk(parse_u64("anti_entropy_chunk", ae_chunk as u64) as usize);
     if let Some(ae) = get("anti_entropy") {
         cluster = cluster.anti_entropy(ae == "on" || ae == "true");
     }
@@ -161,8 +233,34 @@ fn main() {
     cluster = cluster
         .wal_group_commit_ns(parse_u64("wal_group_commit_ns", gc_default))
         .wal_snapshot_interval_ns(parse_u64("wal_snapshot_interval_ns", snap_default));
+    if let Some(v) = get("voters") {
+        cluster = cluster.initial_voters(parse_node_set("voters", &v));
+    }
+    if let Some(l) = get("learners") {
+        cluster = cluster.initial_learners(parse_node_set("learners", &l));
+    }
 
     install_signal_handlers();
+
+    // `--join`: commit the add-learner config change through the seed
+    // BEFORE launching. The node then boots on its (now stale) bootstrap
+    // membership and converges in one round trip: its first epoch-0
+    // frames are dropped as stale by every peer, which answers with a
+    // repair of the membership key — installing the real config, learner
+    // bit included. Anti-entropy bulk-sync does the rest.
+    if let Some(seed) = get("join") {
+        let slot_default = (workers * cluster.sessions_per_worker) as u64 - 1;
+        let join_slot = parse_u64("join_slot", slot_default) as u32;
+        match join_as_learner(&seed, join_slot, NodeId(node), &cluster) {
+            Ok(epoch) => println!(
+                "kite-node: node {node} joined via {seed} as learner at membership epoch {epoch}"
+            ),
+            Err(e) => {
+                eprintln!("kite-node: join via {seed} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let mut node_cfg = NodeConfig::new(cluster, mode, NodeId(node), peers);
     node_cfg.metrics_addr = get("metrics_addr");

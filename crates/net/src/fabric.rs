@@ -83,6 +83,64 @@ const IDLE_SPIN: u32 = 4;
 /// retransmit/keepalive cadence) and stop-flag responsiveness.
 const IDLE_WAIT_MS: i32 = 1;
 
+/// The cluster's dial targets, mutable at runtime: one `(address,
+/// generation)` slot per node id. The generation bumps on every address
+/// change, which is what lets a worker stuck deep in the redial backoff
+/// ladder notice that the operator moved the peer and start over at the
+/// backoff floor — without it, a node whose address was fixed after a
+/// botched deploy keeps being dialed at the *old* address until the
+/// process restarts (the dead-address bug this table replaces).
+///
+/// An empty address retires the slot: the loops stop dialing it and mark
+/// its [`LinkTable`] rows [`crate::link::LinkPhase::Retired`]. Setting a
+/// real address later revives it through the normal dial path.
+pub struct PeerTable {
+    slots: Mutex<Vec<(String, u64)>>,
+}
+
+impl PeerTable {
+    /// A table seeded with the boot-time address list.
+    pub fn new(addrs: Vec<String>) -> PeerTable {
+        PeerTable { slots: Mutex::new(addrs.into_iter().map(|a| (a, 0)).collect()) }
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.slots.lock().len()
+    }
+
+    /// True if the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.lock().is_empty()
+    }
+
+    /// The current `(address, generation)` of `node`'s slot.
+    pub fn get(&self, node: usize) -> (String, u64) {
+        self.slots.lock()[node].clone()
+    }
+
+    /// The current generation of `node`'s slot (cheap staleness probe for
+    /// the dial loop's hot path).
+    pub fn generation(&self, node: usize) -> u64 {
+        self.slots.lock()[node].1
+    }
+
+    /// Replace `node`'s dial address. Returns `true` if the address
+    /// actually changed (and thus the generation bumped). An empty string
+    /// retires the slot.
+    pub fn set(&self, node: usize, addr: impl Into<String>) -> bool {
+        let addr = addr.into();
+        let mut slots = self.slots.lock();
+        let slot = &mut slots[node];
+        if slot.0 == addr {
+            return false;
+        }
+        slot.0 = addr;
+        slot.1 += 1;
+        true
+    }
+}
+
 /// Configuration of one node's fabric endpoint.
 pub struct TcpNetCfg {
     /// This node's id.
@@ -129,7 +187,7 @@ pub struct TcpWorkerIo {
     pub worker: usize,
     conn_rx: Receiver<NewConn>,
     waker: Arc<Waker>,
-    peers: Arc<Vec<String>>,
+    peers: Arc<PeerTable>,
     links: Arc<LinkTable>,
     byte_pool: Arc<Pool<u8>>,
     msg_pool: Arc<Pool<Msg>>,
@@ -178,6 +236,7 @@ pub struct TcpNet {
     /// This node's protocol counters.
     pub counters: Arc<ProtoCounters>,
     links: Arc<LinkTable>,
+    peers: Arc<PeerTable>,
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     wakers: Vec<Arc<Waker>>,
@@ -209,7 +268,7 @@ impl TcpNet {
         let stop = Arc::new(AtomicBool::new(false));
         let byte_pool = Arc::new(Pool::<u8>::new(POOL_CAP));
         let msg_pool = Arc::new(Pool::<Msg>::new(POOL_CAP));
-        let peers = Arc::new(cfg.peers);
+        let peers = Arc::new(PeerTable::new(cfg.peers));
 
         // Conn intake: one channel + waker per worker loop.
         let mut conn_txs = Vec::with_capacity(cfg.workers);
@@ -263,6 +322,7 @@ impl TcpNet {
                 clock,
                 counters,
                 links,
+                peers,
                 local_addr,
                 stop,
                 wakers,
@@ -280,6 +340,25 @@ impl TcpNet {
     /// The per-peer link table (diagnostics; see [`LinkTable::describe`]).
     pub fn links(&self) -> &Arc<LinkTable> {
         &self.links
+    }
+
+    /// The mutable dial-target table shared with every worker loop.
+    pub fn peers(&self) -> &Arc<PeerTable> {
+        &self.peers
+    }
+
+    /// Point `node`'s slot at a new fabric address (empty retires it) and
+    /// wake every worker loop so stuck backoff ladders reset immediately
+    /// instead of on their next natural wakeup. Returns `true` if the
+    /// address changed.
+    pub fn set_peer_addr(&self, node: NodeId, addr: impl Into<String>) -> bool {
+        let changed = self.peers.set(node.idx(), addr);
+        if changed {
+            for w in &self.wakers {
+                w.wake();
+            }
+        }
+        changed
     }
 
     /// The shared stop flag (the acceptor and the worker loops watch it).
@@ -312,7 +391,7 @@ impl Drop for TcpNet {
 /// `TcpListener::bind` does not set the option, so IPv4 binds go through
 /// raw libc FFI (the workspace has no libc crate); other address families
 /// fall back to the std path.
-pub(crate) fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
+pub fn bind_reuseaddr(addr: &str) -> std::io::Result<TcpListener> {
     let sa = addr
         .to_socket_addrs()?
         .next()
@@ -524,6 +603,9 @@ struct PeerOut {
     dial_deadline: Instant,
     /// EPOLLOUT currently registered?
     want_out: bool,
+    /// [`PeerTable`] generation the current dial target was read at; a
+    /// mismatch in `dial_pass` means the address moved under us.
+    addr_gen: u64,
 }
 
 impl PeerOut {
@@ -536,6 +618,7 @@ impl PeerOut {
             next_dial: Instant::now(),
             dial_deadline: Instant::now(),
             want_out: false,
+            addr_gen: 0,
         }
     }
 }
@@ -661,7 +744,7 @@ struct EventLoop<A: Actor<Msg = Msg>> {
     links: Arc<LinkTable>,
     byte_pool: Arc<Pool<u8>>,
     msg_pool: Arc<Pool<Msg>>,
-    peers: Arc<Vec<String>>,
+    peers: Arc<PeerTable>,
     conn_rx: Receiver<NewConn>,
     waker: Arc<Waker>,
     sessions: Option<ClientSessions>,
@@ -832,6 +915,20 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
             if dst == self.me.idx() {
                 continue;
             }
+            // Address-change probe: if the operator repointed this slot
+            // (see `TcpNet::set_peer_addr`), abandon whatever we were doing
+            // against the old address and restart the backoff ladder at the
+            // floor — a worker deep in backoff against a dead address must
+            // not serve the *new* address its accumulated 500ms penalty.
+            if self.peers.generation(dst) != self.peer_out[dst].addr_gen {
+                if !matches!(self.peer_out[dst].state, DialState::Idle) {
+                    self.peer_fail(NodeId(dst as u8));
+                }
+                let po = &mut self.peer_out[dst];
+                po.addr_gen = self.peers.generation(dst);
+                po.backoff = BACKOFF_MIN;
+                po.next_dial = now;
+            }
             match self.peer_out[dst].state {
                 DialState::Idle if now >= self.peer_out[dst].next_dial => self.dial(dst, now),
                 DialState::Connecting if now >= self.peer_out[dst].dial_deadline => {
@@ -843,7 +940,23 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
     }
 
     fn dial(&mut self, dst: usize, now: Instant) {
-        let addr = match self.peers[dst].to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        // Re-read the table on *every* attempt — the redial cycle is the
+        // recovery path for a peer that moved, so it must pick up the new
+        // address (and re-resolve a hostname) rather than cache the one it
+        // first booted with.
+        let (target, gen) = self.peers.get(dst);
+        self.peer_out[dst].addr_gen = gen;
+        if target.is_empty() {
+            // Retired slot: no dialing, no backoff escalation. The
+            // generation probe in `dial_pass` revives it instantly when an
+            // address is set again; until then, recheck at the ceiling.
+            let po = &mut self.peer_out[dst];
+            po.backoff = BACKOFF_MIN;
+            po.next_dial = now + BACKOFF_MAX;
+            self.links.link(NodeId(dst as u8), self.worker).set_retired();
+            return;
+        }
+        let addr = match target.to_socket_addrs().ok().and_then(|mut a| a.next()) {
             Some(a) => a,
             None => {
                 self.schedule_redial(dst);
@@ -1039,6 +1152,9 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
         let me = self.me;
         let worker = self.worker;
         let Self { out, peer_out, selfq, byte_pool, links, counters, scratch, .. } = self;
+        // The stamp the actor set at the end of its last step: every frame
+        // this flush emits was composed under that membership view.
+        let stamp = out.stamp();
         let mut dirty = 0u64; // bitmask of peers with newly ringed frames
         out.flush(|dst, batch| {
             counters.msgs_sent.add(batch.len() as u64);
@@ -1051,7 +1167,7 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
             let po = &mut peer_out[dst.idx()];
             if let DialState::Connected = po.state {
                 let mut buf = byte_pool.pop();
-                wire::encode_frames(me, &batch, &mut buf);
+                wire::encode_frames(me, stamp, &batch, &mut buf);
                 match po.ring.push(buf) {
                     Ok(()) => {
                         dirty |= 1 << dst.idx();
@@ -1265,11 +1381,11 @@ impl<A: Actor<Msg = Msg>> EventLoop<A> {
                     }
                     let mut msgs = self.msg_pool.pop();
                     match wire::decode_frame_body(&rbuf[pos + 4..pos + 4 + blen], &mut msgs) {
-                        Ok(frame_src) if frame_src == src => {
+                        Ok((frame_src, mepoch)) if frame_src == src => {
                             link.frames_in.fetch_add(1, Ordering::Relaxed);
                             pos += 4 + blen;
                             let now = self.clock.now();
-                            self.actor.on_envelope(src, &mut msgs, now, &mut self.out);
+                            self.actor.on_envelope_stamped(src, mepoch, &mut msgs, now, &mut self.out);
                             self.msg_pool.put(msgs);
                         }
                         _ => {

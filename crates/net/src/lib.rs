@@ -46,7 +46,8 @@ pub mod sys;
 
 pub use client::{RemoteSession, CLIENT_TIMEOUT};
 pub use fabric::{
-    spawn_tcp_workers, ClientSessions, NodeStopHandle, TcpNet, TcpNetCfg, TcpWorkerIo,
+    bind_reuseaddr, spawn_tcp_workers, ClientSessions, NodeStopHandle, PeerTable, TcpNet,
+    TcpNetCfg, TcpWorkerIo,
 };
 pub use link::{LinkPhase, LinkState, LinkTable};
 pub use node::{launch_local_cluster, NodeConfig, NodeRuntime, NodeWatchdog};

@@ -22,6 +22,10 @@ pub enum LinkPhase {
     Connected,
     /// Lost the connection; redialing with backoff.
     Backoff,
+    /// Administratively retired: the peer left the membership (or its
+    /// address slot was emptied), so the loop stopped dialing it. A later
+    /// address set revives the row through the normal dial path.
+    Retired,
 }
 
 impl LinkPhase {
@@ -29,6 +33,7 @@ impl LinkPhase {
         match v {
             1 => LinkPhase::Connected,
             2 => LinkPhase::Backoff,
+            3 => LinkPhase::Retired,
             _ => LinkPhase::Connecting,
         }
     }
@@ -92,6 +97,11 @@ impl LinkState {
     // ordering: same single-writer advisory flag as set_connected.
     pub(crate) fn set_backoff(&self) {
         self.phase.store(2, Ordering::Relaxed);
+    }
+
+    // ordering: same single-writer advisory flag as set_connected.
+    pub(crate) fn set_retired(&self) {
+        self.phase.store(3, Ordering::Relaxed);
     }
 }
 
@@ -200,9 +210,11 @@ mod tests {
         assert!(l.is_connected());
         l.set_backoff();
         assert_eq!(l.phase(), LinkPhase::Backoff);
+        l.set_retired();
+        assert_eq!(l.phase(), LinkPhase::Retired);
         l.frames_in.fetch_add(3, Ordering::Relaxed);
         let d = t.describe();
-        assert!(d.contains("Backoff"), "{d}");
+        assert!(d.contains("Retired"), "{d}");
         assert!(d.contains("in=3"), "{d}");
         assert_eq!(t.total_frames_in(), 3);
     }

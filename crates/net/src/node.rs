@@ -265,6 +265,16 @@ impl NodeRuntime {
         self.net.links()
     }
 
+    /// Repoint peer `node`'s fabric address at runtime (empty string
+    /// retires the slot). Returns whether the address actually changed;
+    /// on a change the dial loops tear down any link to the old address
+    /// and redial the new one from a fresh backoff ladder. This is the
+    /// ops hook behind node replacement: when a slot's replacement comes
+    /// up elsewhere, survivors repoint instead of restarting.
+    pub fn set_peer_addr(&self, node: NodeId, addr: impl Into<String>) -> bool {
+        self.net.set_peer_addr(node, addr)
+    }
+
     /// What boot-time recovery found, when durability is on.
     pub fn recovery(&self) -> Option<&RecoveryStats> {
         self.recovery.as_ref()

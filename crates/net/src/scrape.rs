@@ -100,11 +100,39 @@ pub fn node_metrics_hub(
     bridge(&reg, "proto_ae_repair_reqs", counters, |c| &c.ae_repair_reqs);
     bridge(&reg, "proto_ae_repair_vals", counters, |c| &c.ae_repair_vals);
     bridge(&reg, "proto_ae_repairs_applied", counters, |c| &c.ae_repairs_applied);
+    bridge(&reg, "proto_ae_repair_bytes", counters, |c| &c.ae_repair_bytes);
+
+    // -- live membership (epoch-based reconfiguration) --------------------
+    // The packed cell decomposes into three gauges so a scrape delta shows
+    // a config change landing (epoch bumps) and a learner promoting
+    // (voters gains a bit, learners loses it) without parsing the dump.
+    reg.poll_fn("membership_epoch", {
+        let s = Arc::clone(shared);
+        move || s.membership.epoch() as u64
+    });
+    reg.poll_fn("membership_voters", {
+        let s = Arc::clone(shared);
+        move || s.voters().0 as u64
+    });
+    reg.poll_fn("membership_learners", {
+        let s = Arc::clone(shared);
+        move || s.membership.load().learners.0 as u64
+    });
+    bridge(&reg, "proto_membership_installs", counters, |c| &c.membership_installs);
+    bridge(&reg, "proto_stale_epoch_dropped", counters, |c| &c.stale_epoch_dropped);
+    bridge(&reg, "proto_membership_pulls", counters, |c| &c.membership_pulls);
 
     // -- kvs store: op counts + distinct-keys sketch ----------------------
     reg.poll_fn("store_len", {
         let s = Arc::clone(shared);
         move || s.store.len() as u64
+    });
+    // `store_len` counts claimed slots (reads probing fresh keys claim
+    // too); `store_vals` counts only value-bearing keys, which is the
+    // number anti-entropy actually converges across replicas.
+    reg.poll_fn("store_vals", {
+        let s = Arc::clone(shared);
+        move || s.store.values() as u64
     });
     reg.poll_fn("store_writes", {
         let s = Arc::clone(shared);
@@ -191,6 +219,14 @@ pub fn node_metrics_hub(
                 mode,
                 shared.counters.completed.get(),
                 shared.counters.ae_repairs_applied.get(),
+            );
+            let _ = writeln!(
+                out,
+                "membership {} installs={} stale_dropped={} pulls={}",
+                shared.membership.load(),
+                shared.counters.membership_installs.get(),
+                shared.counters.stale_epoch_dropped.get(),
+                shared.counters.membership_pulls.get(),
             );
             let _ = writeln!(out, "{}", links.describe());
             if let Some(wal) = &wal {

@@ -31,6 +31,24 @@ pub trait Actor: Send {
         out: &mut Outbox<Self::Msg>,
     );
 
+    /// [`Actor::on_envelope`] plus the sender's membership-epoch stamp
+    /// (`Envelope::mepoch` / the wire frame's `mepoch` field). Runtimes
+    /// call *this* entry point; the default discards the stamp and
+    /// delegates, so membership-oblivious actors (the ZAB and Derecho
+    /// baselines, unit-test actors) need no changes. Kite's worker
+    /// overrides it to gate stale-epoch traffic.
+    fn on_envelope_stamped(
+        &mut self,
+        src: NodeId,
+        mepoch: u32,
+        msgs: &mut Vec<Self::Msg>,
+        now: u64,
+        out: &mut Outbox<Self::Msg>,
+    ) {
+        let _ = mepoch;
+        self.on_envelope(src, msgs, now, out);
+    }
+
     /// Periodic invocation: pump sessions, check protocol timeouts, issue
     /// retransmissions. Called at the scheduler's tick cadence and after
     /// every envelope delivery in the threaded runtime. Returns `true` if

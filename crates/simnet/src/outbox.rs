@@ -33,6 +33,10 @@ use kite_common::NodeId;
 pub struct Envelope<P> {
     /// Sending node.
     pub src: NodeId,
+    /// The sender's membership epoch when the batch was flushed (see
+    /// `kite_common::membership`). Actors that never reconfigure leave
+    /// their outbox stamp at 0 and ignore it on receive.
+    pub mepoch: u32,
     /// The batched protocol messages.
     pub msgs: Vec<P>,
 }
@@ -55,6 +59,12 @@ pub struct Outbox<P> {
     dirty: Vec<u8>,
     /// Spare buffers returned by consumers, handed back out on flush.
     pool: Vec<Vec<P>>,
+    /// The sender's current membership epoch, copied into every
+    /// [`Envelope`]/frame at flush time by the driving runtime. The actor
+    /// refreshes it at the end of each step (after any batch it produced
+    /// was composed under that epoch's membership view). Defaults to 0 —
+    /// correct forever for actors that never reconfigure.
+    stamp: u32,
 }
 
 impl<P> Outbox<P> {
@@ -64,7 +74,20 @@ impl<P> Outbox<P> {
             bufs: (0..nodes).map(|_| Vec::with_capacity(BUF_CAP)).collect(),
             dirty: Vec::new(),
             pool: Vec::new(),
+            stamp: 0,
         }
+    }
+
+    /// Set the membership-epoch stamp runtimes copy into flushed batches.
+    #[inline]
+    pub fn set_stamp(&mut self, mepoch: u32) {
+        self.stamp = mepoch;
+    }
+
+    /// The current membership-epoch stamp.
+    #[inline]
+    pub fn stamp(&self) -> u32 {
+        self.stamp
     }
 
     /// Number of destinations this outbox can address.

@@ -75,7 +75,7 @@ impl Default for SimCfg {
 }
 
 enum EventKind<P> {
-    Deliver { dst: NodeId, worker: usize, src: NodeId, msgs: Vec<P> },
+    Deliver { dst: NodeId, worker: usize, src: NodeId, mepoch: u32, msgs: Vec<P> },
     Tick { node: NodeId, worker: usize },
     /// Pop one envelope from the worker's receive FIFO (scheduled whenever
     /// envelopes arrive while the worker's virtual CPU is busy).
@@ -132,7 +132,7 @@ pub struct Sim<A: Actor> {
     /// Per-worker receive FIFO: envelopes that arrived while busy. One
     /// `Drain` event at a time serves each FIFO (O(1) events per envelope —
     /// re-enqueueing every waiter would be quadratic under load).
-    waiting: Vec<std::collections::VecDeque<(NodeId, Vec<A::Msg>)>>,
+    waiting: Vec<std::collections::VecDeque<(NodeId, u32, Vec<A::Msg>)>>,
     drain_scheduled: Vec<bool>,
     workers: usize,
     nodes: usize,
@@ -239,7 +239,14 @@ impl<A: Actor> Sim<A> {
     /// Deliver one envelope to an actor: charge receive cost, run the
     /// handlers, route the output (charging send cost). The drained
     /// envelope buffer is recycled into the scratch outbox's pool.
-    fn process_envelope(&mut self, dst: NodeId, worker: usize, src: NodeId, mut msgs: Vec<A::Msg>) {
+    fn process_envelope(
+        &mut self,
+        dst: NodeId,
+        worker: usize,
+        src: NodeId,
+        mepoch: u32,
+        mut msgs: Vec<A::Msg>,
+    ) {
         self.deliveries_pending -= 1;
         let slot = dst.idx() * self.workers + worker;
         let cost =
@@ -248,7 +255,7 @@ impl<A: Actor> Sim<A> {
         self.delivered += 1;
         let mut out = std::mem::replace(&mut self.scratch, Outbox::new(0));
         let a = &mut self.actors[dst.idx()][worker];
-        a.on_envelope(src, &mut msgs, self.now, &mut out);
+        a.on_envelope_stamped(src, mepoch, &mut msgs, self.now, &mut out);
         // Pump immediately after delivery (protocol progress should not
         // wait for the next tick).
         a.on_tick(self.now, &mut out);
@@ -275,7 +282,7 @@ impl<A: Actor> Sim<A> {
         debug_assert!(ev.time >= self.now, "time went backwards");
         self.now = ev.time;
         match ev.kind {
-            EventKind::Deliver { dst, worker, src, msgs } => {
+            EventKind::Deliver { dst, worker, src, mepoch, msgs } => {
                 if self.crashed[dst.idx()] {
                     self.deliveries_pending -= 1; // dropped at a dead NIC
                     return true;
@@ -284,7 +291,7 @@ impl<A: Actor> Sim<A> {
                 if wake > self.now {
                     // Sleeping node: buffer (redeliver at wake time).
                     self.deliveries_pending -= 1; // push() re-increments
-                    self.push(wake, EventKind::Deliver { dst, worker, src, msgs });
+                    self.push(wake, EventKind::Deliver { dst, worker, src, mepoch, msgs });
                     return true;
                 }
                 // Queueing model: a busy worker's envelopes wait in FIFO
@@ -297,11 +304,11 @@ impl<A: Actor> Sim<A> {
                         self.dropped += 1;
                         return true;
                     }
-                    self.waiting[slot].push_back((src, msgs));
+                    self.waiting[slot].push_back((src, mepoch, msgs));
                     self.ensure_drain(dst, worker);
                     return true;
                 }
-                self.process_envelope(dst, worker, src, msgs);
+                self.process_envelope(dst, worker, src, mepoch, msgs);
             }
             EventKind::Drain { node, worker } => {
                 let slot = node.idx() * self.workers + worker;
@@ -324,8 +331,8 @@ impl<A: Actor> Sim<A> {
                     self.push(self.busy_until[slot], EventKind::Drain { node, worker });
                     return true;
                 }
-                if let Some((src, msgs)) = self.waiting[slot].pop_front() {
-                    self.process_envelope(node, worker, src, msgs);
+                if let Some((src, mepoch, msgs)) = self.waiting[slot].pop_front() {
+                    self.process_envelope(node, worker, src, mepoch, msgs);
                 }
                 self.ensure_drain(node, worker);
             }
@@ -359,6 +366,7 @@ impl<A: Actor> Sim<A> {
             return;
         }
         let max_batch = self.cfg.max_batch;
+        let stamp = out.stamp();
         // Each batch is posted to the fabric straight out of the flush —
         // no intermediate collection.
         out.flush(|dst, batch| {
@@ -369,13 +377,13 @@ impl<A: Actor> Sim<A> {
                 let mut batch = batch;
                 while batch.len() > max_batch {
                     let rest = batch.split_off(max_batch);
-                    self.post(src, worker, dst, std::mem::replace(&mut batch, rest));
+                    self.post(src, worker, dst, stamp, std::mem::replace(&mut batch, rest));
                 }
                 if !batch.is_empty() {
-                    self.post(src, worker, dst, batch);
+                    self.post(src, worker, dst, stamp, batch);
                 }
             } else {
-                self.post(src, worker, dst, batch);
+                self.post(src, worker, dst, stamp, batch);
             }
         });
     }
@@ -383,7 +391,7 @@ impl<A: Actor> Sim<A> {
     /// Post one envelope from `(src, worker)` to the fabric: charge the
     /// sender-side cost, roll the fault/jitter dice, schedule delivery (to
     /// the peered worker at `dst` — §6.3 worker peering).
-    fn post(&mut self, src: NodeId, worker: usize, dst: NodeId, msgs: Vec<A::Msg>) {
+    fn post(&mut self, src: NodeId, worker: usize, dst: NodeId, mepoch: u32, msgs: Vec<A::Msg>) {
         let slot = src.idx() * self.workers + worker;
         // Sender-side cost (NIC posting): charged whether or not the
         // fault plane then drops the envelope.
@@ -403,7 +411,7 @@ impl<A: Actor> Sim<A> {
             self.cfg.base_latency_ns + jitter + link.extra_delay_ns
         };
         let t = self.now + latency;
-        self.push(t, EventKind::Deliver { dst, worker, src, msgs });
+        self.push(t, EventKind::Deliver { dst, worker, src, mepoch, msgs });
     }
 
     /// Run until virtual time passes `deadline_ns`.

@@ -46,6 +46,12 @@ impl<P: Send + 'static> NetHandle<P> {
     /// Subject to the fault plane: may be dropped or delayed. Returns `true`
     /// if the envelope was handed to the fabric (not necessarily delivered).
     pub fn send(&mut self, dst: NodeId, msgs: Vec<P>) -> bool {
+        self.send_stamped(dst, 0, msgs)
+    }
+
+    /// [`NetHandle::send`] with an explicit membership-epoch stamp (what
+    /// [`NetHandle::flush`] uses, copying the outbox's stamp).
+    pub fn send_stamped(&mut self, dst: NodeId, mepoch: u32, msgs: Vec<P>) -> bool {
         debug_assert!(!msgs.is_empty());
         self.counters.msgs_sent.add(msgs.len() as u64);
         self.counters.envelopes_sent.incr();
@@ -53,7 +59,7 @@ impl<P: Send + 'static> NetHandle<P> {
         if self.faults.should_drop(self.me, dst, coin) {
             return false;
         }
-        let env = Envelope { src: self.me, msgs };
+        let env = Envelope { src: self.me, mepoch, msgs };
         let delay = self.faults.extra_delay(self.me, dst);
         if delay == 0 {
             // Receiver may have been dropped during shutdown — not an error.
@@ -72,8 +78,9 @@ impl<P: Send + 'static> NetHandle<P> {
     /// Flush a whole outbox through this handle, routing each batch
     /// directly to the fabric — no intermediate collection.
     pub fn flush(&mut self, out: &mut Outbox<P>) {
+        let stamp = out.stamp();
         out.flush(|dst, batch| {
-            self.send(dst, batch);
+            self.send_stamped(dst, stamp, batch);
         });
     }
 
@@ -396,7 +403,7 @@ fn worker_loop<A: Actor>(
         let mut progress = false;
         let mut budget = MAX_ENVELOPES_PER_ITER;
         if let Some(mut env) = carry.take() {
-            actor.on_envelope(env.src, &mut env.msgs, clock.now(), &mut out);
+            actor.on_envelope_stamped(env.src, env.mepoch, &mut env.msgs, clock.now(), &mut out);
             out.recycle(env.msgs);
             progress = true;
             budget -= 1;
@@ -404,7 +411,7 @@ fn worker_loop<A: Actor>(
         for _ in 0..budget {
             match rx.try_recv() {
                 Ok(mut env) => {
-                    actor.on_envelope(env.src, &mut env.msgs, clock.now(), &mut out);
+                    actor.on_envelope_stamped(env.src, env.mepoch, &mut env.msgs, clock.now(), &mut out);
                     // The drained buffer feeds this worker's own send pool:
                     // buffers circulate around the cluster instead of being
                     // freed and reallocated per envelope.

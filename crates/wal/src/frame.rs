@@ -50,8 +50,13 @@ pub const FILE_HEADER_LEN: usize = 16;
 pub const FRAME_HEADER_LEN: usize = 8;
 /// Fixed payload bytes before the value: key + packed clock + vlen.
 pub const PAYLOAD_FIXED: usize = 17;
-/// Largest legal payload (the store caps values at 64 bytes).
-pub const MAX_PAYLOAD: usize = PAYLOAD_FIXED + 64;
+/// Largest framable value: the `vlen` field is one byte and the segment
+/// scanner rejects longer payloads by construction, so a value past this
+/// cap is *unrecoverable* — [`crate::Wal`] refuses it with a typed error
+/// instead of letting it slip through undurable.
+pub const MAX_VALUE: usize = 64;
+/// Largest legal payload (the store caps values at [`MAX_VALUE`] bytes).
+pub const MAX_PAYLOAD: usize = PAYLOAD_FIXED + MAX_VALUE;
 /// Largest framed record.
 pub const MAX_FRAME: usize = FRAME_HEADER_LEN + MAX_PAYLOAD;
 

@@ -44,7 +44,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kite_common::{Key, Lc, Val};
-use kite_kvs::DurabilitySink;
+use kite_kvs::{DurabilitySink, SinkError};
 
 pub use recover::{recover_into, segment_path, snapshot_path, RecoveryStats};
 
@@ -444,7 +444,14 @@ impl DurabilitySink for Wal {
     /// into the recycled staging buffer. No syscalls, no waking, no
     /// allocation once the buffer reached its working-set capacity.
     // kite-lint: no-alloc
-    fn record(&self, key: Key, lc: Lc, val: &Val) {
+    fn record(&self, key: Key, lc: Lc, val: &Val) -> Result<(), SinkError> {
+        let len = val.as_bytes().len();
+        if len > frame::MAX_VALUE {
+            // The 1-byte `vlen` and the scanner's payload bound make an
+            // oversize frame unreadable on recovery — refuse it here,
+            // loudly, rather than append bytes replay will throw away.
+            return Err(SinkError::Oversize { len, cap: frame::MAX_VALUE });
+        }
         let mut frame_buf = [0u8; frame::MAX_FRAME];
         let n = frame::encode_into(&mut frame_buf, key, lc, val);
         let mut inner = self.inner.lock().unwrap();
@@ -452,6 +459,7 @@ impl DurabilitySink for Wal {
         inner.appended += n as u64;
         drop(inner);
         self.counters.records.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -477,7 +485,7 @@ mod tests {
         let dir = tempdir("roundtrip");
         let wal = open_plain(&dir);
         for i in 0..100u64 {
-            wal.record(Key(i), Lc::new(i + 1, NodeId(1)), &Val::from_u64(i * 3));
+            wal.record(Key(i), Lc::new(i + 1, NodeId(1)), &Val::from_u64(i * 3)).unwrap();
         }
         wal.flush();
         let s = wal.stats();
@@ -564,12 +572,12 @@ mod tests {
     fn reopen_never_appends_to_an_old_segment() {
         let dir = tempdir("reopen");
         let wal = open_plain(&dir);
-        wal.record(Key(1), Lc::new(1, NodeId(0)), &Val::from_u64(1));
+        wal.record(Key(1), Lc::new(1, NodeId(0)), &Val::from_u64(1)).unwrap();
         wal.flush();
         wal.close();
         let first = recover::list_files(&dir, "wal-", ".log").unwrap();
         let wal = open_plain(&dir);
-        wal.record(Key(2), Lc::new(1, NodeId(0)), &Val::from_u64(2));
+        wal.record(Key(2), Lc::new(1, NodeId(0)), &Val::from_u64(2)).unwrap();
         wal.flush();
         wal.close();
         let second = recover::list_files(&dir, "wal-", ".log").unwrap();
@@ -590,7 +598,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..500u64 {
                     let k = t * 1000 + i;
-                    wal.record(Key(k), Lc::new(i + 1, NodeId(t as u8)), &Val::from_u64(k));
+                    wal.record(Key(k), Lc::new(i + 1, NodeId(t as u8)), &Val::from_u64(k)).unwrap();
                 }
             }));
         }

@@ -1,98 +1,130 @@
-//! Versioned configuration rollout — the paper's producer-consumer pattern
-//! (§1) at the scale where it pays off.
+//! Cluster configuration rollout — dynamic membership driven through the
+//! front door, under live traffic.
 //!
-//! A coordinator publishes successive versions of a many-field service
-//! configuration. Each field is written with a cheap *relaxed* write;
-//! exactly one *release* publishes the version stamp. Replicated watchers
-//! poll the stamp with *acquires* and, on a version change, read the whole
-//! configuration with *relaxed* (usually local) reads.
+//! A 4-slot deployment boots with three founding voters and one cold
+//! spare. While a writer keeps publishing versioned payloads, an operator
+//! session performs a full node-replacement rollout with nothing but
+//! strong-CAS RMWs on the reserved membership key:
 //!
-//! The RC barrier invariant (§4.1) guarantees a watcher that observes
-//! version `v` sees every field of version `v` — no torn configurations —
-//! even though only 1 of `FIELDS + 1` coordinator operations per rollout is
-//! strongly consistent. With an MCL API, all of them would have to be.
+//! 1. **learner-join** — slot 3 is admitted as a non-voting learner
+//!    (epoch 1). It receives only anti-entropy traffic and bulk-syncs the
+//!    store while quorums stay majorities of the three founders.
+//! 2. **promote** — once the learner has caught up, epoch 2 makes it a
+//!    voter: releases now wait for its ack too.
+//! 3. **retire** — epoch 3 removes founding voter 0; the live cluster is
+//!    {1, 2, 3} and keeps serving without a blip.
+//!
+//! Each change is an ordinary per-key Paxos commit: every replica installs
+//! it at its store-apply choke point, and every envelope carries its
+//! sender's membership epoch so laggards are caught (and repaired) in one
+//! round trip.
 //!
 //! Run: `cargo run --release --example config_rollout`
 
-use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use kite::{Cluster, ProtocolMode};
-use kite_common::{ClusterConfig, Key, NodeId};
+use kite_common::{ClusterConfig, Key, Membership, NodeId, NodeSet, Val, MEMBERSHIP_KEY};
 
-const FIELDS: u64 = 48;
-const VERSIONS: u64 = 12;
-const STAMP: Key = Key(0);
+const PAYLOAD_KEYS: u64 = 64;
 
-fn field_key(f: u64) -> Key {
-    Key(1 + f)
-}
-
-/// Field values encode `(version, field)` so watchers can detect tearing.
-fn field_val(version: u64, f: u64) -> u64 {
-    (version << 16) | f
+/// Poll until every listed node's membership epoch reaches `epoch`,
+/// keeping traffic flowing so anti-entropy sweeps stay active.
+fn wait_for_epoch(
+    cluster: &Cluster,
+    nodes: &[u8],
+    epoch: u32,
+    writer: &mut kite::SessionHandle,
+) -> kite_common::Result<()> {
+    let t0 = Instant::now();
+    let mut i = 0u64;
+    while !nodes.iter().all(|&n| cluster.shared(NodeId(n)).mepoch() >= epoch) {
+        assert!(t0.elapsed() < Duration::from_secs(30), "epoch {epoch} never propagated");
+        writer.write(Key(900 + i % 8), Val::from_u64(i + 1))?;
+        i += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    Ok(())
 }
 
 fn main() -> kite_common::Result<()> {
-    let cfg = ClusterConfig::small().keys(256);
-    let cluster = Arc::new(Cluster::launch(cfg, ProtocolMode::Kite)?);
+    // Four slots, three founding voters; slot 3 is the standby that will
+    // join. (Slot capacity is static — membership within it is not.)
+    let cfg = ClusterConfig::small()
+        .nodes(4)
+        .keys(1 << 10)
+        .initial_voters(NodeSet(0b0111));
+    let cluster = Cluster::launch(cfg, ProtocolMode::Kite)?;
+    let mut writer = cluster.session(NodeId(1), 0)?;
+    let mut operator = cluster.session(NodeId(2), 0)?;
 
-    // Watchers on the other two replicas.
-    let mut watchers = Vec::new();
-    for node in [1u8, 2] {
-        let cluster = Arc::clone(&cluster);
-        watchers.push(std::thread::spawn(move || -> kite_common::Result<u64> {
-            let mut sess = cluster.session(NodeId(node), 0)?;
-            let mut seen = 0u64;
-            let mut reconfigs = 0u64;
-            while seen < VERSIONS {
-                let v = sess.acquire(STAMP)?.as_u64();
-                if v == seen {
-                    std::thread::yield_now();
-                    continue;
-                }
-                // New version: read the full config with relaxed reads.
-                // Fields may already belong to an even newer version (the
-                // coordinator keeps rolling) but never to an older one —
-                // that would be a torn read through the barrier.
-                for f in 0..FIELDS {
-                    let fv = sess.read(field_key(f))?.as_u64();
-                    let (fversion, field) = (fv >> 16, fv & 0xFFFF);
-                    assert!(
-                        fversion >= v,
-                        "node {node}: torn config — field {f} at version {fversion} < stamp {v}"
-                    );
-                    assert_eq!(field, f, "node {node}: field {f} holds another field's value");
-                }
-                seen = v;
-                reconfigs += 1;
-            }
-            Ok(reconfigs)
-        }));
+    // Live traffic the whole way through: versioned payload + release.
+    for k in 0..PAYLOAD_KEYS {
+        writer.write(Key(k), Val::from_u64(1 << 32 | k))?;
     }
+    writer.release(Key(100), Val::from_u64(1))?;
+    println!("boot: membership {}", cluster.shared(NodeId(1)).membership.load());
 
-    // The coordinator rolls out versions 1..=VERSIONS.
-    let mut coord = cluster.session(NodeId(0), 0)?;
-    for version in 1..=VERSIONS {
-        for f in 0..FIELDS {
-            coord.write(field_key(f), field_val(version, f))?;
-        }
-        coord.release(STAMP, version)?;
-    }
-    println!(
-        "coordinator: rolled out {VERSIONS} versions × {FIELDS} fields \
-         ({} relaxed writes, {VERSIONS} releases)",
-        VERSIONS * FIELDS
-    );
+    // -- 1. learner-join ---------------------------------------------------
+    // The add-learner config change is a strong CAS against the current
+    // value (empty before the first change → derive the bootstrap).
+    let cur = operator.acquire(MEMBERSHIP_KEY)?;
+    let m0 = Membership::from_val(&cur).unwrap_or(Membership {
+        epoch: 0,
+        voters: NodeSet(0b0111),
+        learners: NodeSet::EMPTY,
+    });
+    let m1 = m0.with_learner(NodeId(3));
+    let (ok, _) = operator.cas_strong(MEMBERSHIP_KEY, cur, m1.to_val())?;
+    assert!(ok, "join CAS");
+    wait_for_epoch(&cluster, &[0, 1, 2, 3], 1, &mut writer)?;
+    println!("join: membership {}", cluster.shared(NodeId(3)).membership.load());
 
-    for w in watchers {
-        let reconfigs = w.join().expect("watcher panicked")?;
-        println!("watcher applied {reconfigs} reconfigurations, none torn");
+    // Learner bulk-sync: poll the learner's local store until the whole
+    // payload arrived via anti-entropy (it gets no protocol rounds).
+    let learner = cluster.shared(NodeId(3));
+    let t0 = Instant::now();
+    let mut i = 0u64;
+    while !(0..PAYLOAD_KEYS).all(|k| learner.store.view(Key(k)).val.as_u64() == 1 << 32 | k) {
+        assert!(t0.elapsed() < Duration::from_secs(30), "bulk-sync stalled");
+        writer.write(Key(500), Val::from_u64(i + 1))?;
+        i += 1;
+        std::thread::sleep(Duration::from_millis(2));
     }
+    println!("sync: learner caught up ({PAYLOAD_KEYS} payload keys) — promoting");
 
-    match Arc::try_unwrap(cluster) {
-        Ok(c) => c.shutdown(),
-        Err(_) => unreachable!("all sessions returned"),
+    // -- 2. promote --------------------------------------------------------
+    let cur = operator.acquire(MEMBERSHIP_KEY)?;
+    let m2 = Membership::from_val(&cur).expect("epoch-1 value").with_promoted(NodeId(3));
+    let (ok, _) = operator.cas_strong(MEMBERSHIP_KEY, cur, m2.to_val())?;
+    assert!(ok, "promote CAS");
+    wait_for_epoch(&cluster, &[0, 1, 2, 3], 2, &mut writer)?;
+    assert_eq!(cluster.shared(NodeId(1)).quorum(), 3, "majority of FOUR voters");
+    // Releases wait for all four voters now — including the new one.
+    writer.release(Key(101), Val::from_u64(2))?;
+    println!("promote: membership {}", cluster.shared(NodeId(1)).membership.load());
+
+    // -- 3. retire the old node -------------------------------------------
+    let cur = operator.acquire(MEMBERSHIP_KEY)?;
+    let m3 = Membership::from_val(&cur).expect("epoch-2 value").with_retired(NodeId(0));
+    let (ok, _) = operator.cas_strong(MEMBERSHIP_KEY, cur, m3.to_val())?;
+    assert!(ok, "retire CAS");
+    // Node 0 was a voter when the change committed, so it learns of its
+    // own retirement through the commit itself.
+    wait_for_epoch(&cluster, &[0, 1, 2, 3], 3, &mut writer)?;
+    let live = cluster.shared(NodeId(1)).membership.load();
+    assert_eq!(live.voters, NodeSet(0b1110));
+    assert_eq!(cluster.shared(NodeId(1)).quorum(), 2, "majority of the three live voters");
+    // The cluster serves on without the retiree in any barrier.
+    for k in 0..PAYLOAD_KEYS {
+        writer.write(Key(k), Val::from_u64(2 << 32 | k))?;
     }
+    writer.release(Key(102), Val::from_u64(3))?;
+    println!("retire: membership {live} — rollout complete, node 0 out of every quorum");
+
+    drop(writer);
+    drop(operator);
+    cluster.shutdown();
     println!("done.");
     Ok(())
 }

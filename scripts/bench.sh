@@ -27,7 +27,10 @@ cargo bench --no-run --workspace
 echo "== closed-loop throughput (seed ${SEED}) + regression diff =="
 # --transport all adds the threaded and tcp-loopback wall-clock rows;
 # those are marked noisy in the JSON and excluded from the ±10% table
-# (they measure the machine, not the protocol). The hostile-workload
+# (they measure the machine, not the protocol). That set includes the
+# join-time row (tcp_join_bulk_sync_20k): wall-clock and sync bytes/key
+# for a fresh learner to catch up a 20k-key store through anti-entropy
+# alone after an add-learner config change. The hostile-workload
 # rows (kite_skew_extreme: θ=1.2 Zipf, kite_flash_crowd: one key takes
 # half of all writes cluster-wide) are deterministic sim rows and DO
 # participate in the regression diff — they pin the §6.3 ack-coalescing

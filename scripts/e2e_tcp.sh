@@ -23,6 +23,11 @@
 #      and anti-entropy (keepalive sweep) converges its store — a relaxed
 #      read on the restarted node is local, so seeing the sentinel value
 #      proves repair traffic flowed;
+#   6b. node replacement: SIGKILL node 2 again and start a *fresh* one
+#      (empty store) with `--join`: it commits the add-learner config
+#      change through the seed, bulk-syncs as a non-voting learner (scrape
+#      deltas prove the epoch install and the store refill), then
+#      `kite-client reconfig` promotes it back to voter;
 #   7. SIGTERM everything and assert every node exits 0 (clean shutdown
 #      through the stop-flag path).
 #
@@ -89,8 +94,13 @@ for iter in $(seq 1 "$ITERS"); do
     # at heal time (the anti_entropy_keepalive_ns deployment story).
     # Session slots are claim-once per process (like the in-process
     # cluster), so every phase below gets a slot no earlier phase used on
-    # the same still-running node — 12 slots covers the whole iteration.
-    NODE_ARGS=(--peers "$PEERS" --workers 1 --sessions-per-worker 12 --keys 4096 --keepalive-ns 50000000)
+    # the same still-running node — 16 slots covers the whole iteration,
+    # replacement phase (join session + reconfig CLI) included.
+    # AE tuned up (2ms sweeps, 5ms idle keepalive, 512-slot chunks) so the
+    # phase-5b learner bulk-sync of the full store fits the poll windows
+    # below — idle-time sweeps run at the keepalive cadence.
+    NODE_ARGS=(--peers "$PEERS" --workers 1 --sessions-per-worker 16 --keys 4096 --keepalive-ns 5000000
+               --anti-entropy-interval-ns 2000000 --anti-entropy-chunk 512)
     # Metrics endpoints on the next three ports (scraped in phase 2b).
     M0="127.0.0.1:$((PORT_BASE + 3))"
     M1="127.0.0.1:$((PORT_BASE + 4))"
@@ -179,6 +189,65 @@ for iter in $(seq 1 "$ITERS"); do
     # node 2 is local, so convergence proves the keepalive sweep repaired it.
     "$CLIENT_BIN" poll --servers "$P2" --slot 0 --key 900 --val 7777 --timeout-secs 30
 
+    echo "-- phase 5b: replace node 2 — SIGKILL, rejoin as learner, bulk-sync, promote"
+    # Fresh identity, empty store: the replacement knows nothing but the
+    # seed's address. `--join` commits the add-learner config change
+    # through node 0 BEFORE serving; convergence is then learner-sync only
+    # (a learner receives no protocol rounds, so the sentinel below can
+    # only arrive via anti-entropy).
+    kill -9 "${PIDS[2]}"
+    wait "${PIDS[2]}" 2>/dev/null || true
+    epoch0="$(scrape_metric "$M0" membership_epoch)"
+    # Baseline = value-bearing keys, not claimed slots: reads probing
+    # fresh keys claim slots too, and those never transfer (anti-entropy
+    # converges values) — `store_len` parity would be unreachable.
+    len0="$(scrape_metric "$M0" store_vals)"
+    "$CLIENT_BIN" put --servers "$P0" --slot 10 --key 902 --val 5555
+    start_node 2 "$LOGDIR/n2-replace.log" --metrics-addr "$M2" --join "$P0" --join-slot 12
+    wait_ready "$LOGDIR/n2-replace.log"
+    grep -q "joined via" "$LOGDIR/n2-replace.log" \
+        || { echo "!! replacement printed no join line"; cat "$LOGDIR/n2-replace.log"; exit 1; }
+    # The join CAS bumped the membership epoch on the survivors…
+    epoch1="$(scrape_metric "$M0" membership_epoch)"
+    [ "$epoch1" -gt "$epoch0" ] \
+        || { echo "!! join did not advance membership epoch ($epoch0 -> $epoch1)"; exit 1; }
+    # …and the learner's own scrape must converge to the same epoch with
+    # itself in the learner set (bit 2 = mask 4) — it learns the config it
+    # is part of by syncing.
+    for _ in $(seq 1 100); do
+        [ "$(scrape_metric "$M2" membership_epoch)" = "$epoch1" ] && break
+        sleep 0.1
+    done
+    [ "$(scrape_metric "$M2" membership_epoch)" = "$epoch1" ] \
+        || { echo "!! learner never installed epoch $epoch1"; exit 1; }
+    learners="$(scrape_metric "$M2" membership_learners)"
+    [ "$((learners & 4))" -ne 0 ] \
+        || { echo "!! learner mask $learners missing node 2"; exit 1; }
+    # Bulk-sync: the sentinel released while slot 2 was dark appears via
+    # repair traffic alone, and the store refills to the survivors' size.
+    "$CLIENT_BIN" poll --servers "$P2" --slot 0 --key 902 --val 5555 --timeout-secs 30
+    for _ in $(seq 1 100); do
+        len2="$(scrape_metric "$M2" store_vals)"
+        [ "$len2" -ge "$len0" ] && break
+        sleep 0.1
+    done
+    [ "$len2" -ge "$len0" ] \
+        || { echo "!! learner store_vals $len2 never reached survivor baseline $len0"; exit 1; }
+    # The membership line is in the watchdog dump view too.
+    "$CLIENT_BIN" scrape --servers "$M2" --view dump | grep -q "membership e" \
+        || { echo "!! dump view missing membership line"; exit 1; }
+    # Promote the caught-up learner back to voter through the client CLI.
+    "$CLIENT_BIN" reconfig --servers "$P0" --slot 13 --action promote --target 2
+    for _ in $(seq 1 100); do
+        voters="$(scrape_metric "$M2" membership_voters)"
+        [ "$((voters & 4))" -ne 0 ] && break
+        sleep 0.1
+    done
+    [ "$((voters & 4))" -ne 0 ] \
+        || { echo "!! promoted node never saw itself as a voter (mask $voters)"; exit 1; }
+    # Releases wait for all three voters again: prove it end to end.
+    "$CLIENT_BIN" put --servers "$P0" --slot 14 --key 903 --val 4444
+
     echo "-- phase 6: SIGTERM all; every node must exit 0"
     for n in 0 1 2; do
         kill -TERM "${PIDS[$n]}"
@@ -199,7 +268,9 @@ for iter in $(seq 1 "$ITERS"); do
         echo "!! iteration $iter FAILED (logs in $LOGDIR)"
         exit 1
     fi
-    grep -q "clean exit" "$LOGDIR/n2-restart.log" || { echo "!! node 2 restart missing clean exit"; exit 1; }
+    # The phase-5 restart incarnation was SIGKILLed by phase 5b; its clean
+    # exit comes from the phase-5b replacement incarnation instead.
+    grep -q "clean exit" "$LOGDIR/n2-replace.log" || { echo "!! node 2 replacement missing clean exit"; exit 1; }
     rm -rf "$LOGDIR"
     PORT_BASE=$((PORT_BASE + 6))
 done

@@ -23,6 +23,15 @@
 # nature (real sockets, kernel buffers), which is exactly why they belong
 # in the soak loop.
 #
+# The dynamic-membership fault family soaks too: the in-process
+# reconfiguration suite (tests/membership.rs — mid-reconfig quorum
+# liveness, config changes riding per-key Paxos to every replica,
+# learner-only anti-entropy convergence) and the over-TCP suite
+# (crates/net/tests/membership_tcp.rs — rolling restarts under RC-checked
+# load, node replacement by learner bulk-sync, dead-address reconnect).
+# Reconfiguration races a live workload by construction, so rare
+# interleavings are the whole point of looping these.
+#
 # The observability plane soaks here as well: the mid-run scrape suite
 # (crates/net/tests/scrape.rs — a flash-crowd cluster scraped while
 # serving, concurrent + half-open scrape clients multiplexed on worker
@@ -46,8 +55,8 @@ echo "== kite-lint (invariant pass, ratcheted) =="
 scripts/lint.sh
 
 echo "== building test binaries =="
-cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --test wal_faults --no-run
-cargo test --release -p kite-net --test backpressure --test pipeline_props --test scrape --no-run
+cargo test --release --test cluster_threaded --test antientropy --test merkle_faults --test wal_faults --test membership --no-run
+cargo test --release -p kite-net --test backpressure --test pipeline_props --test scrape --test membership_tcp --no-run
 cargo test --release -p kite-metrics --test sketch_props --no-run
 
 run_logged() {
@@ -80,6 +89,10 @@ for i in $(seq 1 "$N"); do
     run_logged "$i" merkle cargo test -q --release --test merkle_faults \
         -- --test-threads=1 || fails=$((fails + 1))
     run_logged "$i" wal cargo test -q --release --test wal_faults \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" membership cargo test -q --release --test membership \
+        -- --test-threads=1 || fails=$((fails + 1))
+    run_logged "$i" membership-tcp cargo test -q --release -p kite-net --test membership_tcp \
         -- --test-threads=1 || fails=$((fails + 1))
     run_logged "$i" backpressure cargo test -q --release -p kite-net --test backpressure \
         -- --test-threads=1 || fails=$((fails + 1))

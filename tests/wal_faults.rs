@@ -250,3 +250,39 @@ fn wal_off_is_a_provable_no_op() {
     assert_eq!(check_rc(&hist_off, RcMode::Lin), Ok(()));
     assert!(!dir.exists(), "wal(false) must not create {}", dir.display());
 }
+
+/// The oversize-value contract at the frame cap, byte-exact: a 64-byte
+/// value (the largest the `vlen: u8` frame field can carry alongside the
+/// store's own cap) is recorded and survives recovery; a 65-byte value is
+/// refused with the typed [`kite_kvs::SinkError::Oversize`] *before*
+/// touching the log — failing fast beats writing a frame that replay
+/// would misparse, and the error names both the offending length and the
+/// cap so the caller's panic message is actionable.
+#[test]
+fn oversize_value_fails_fast_at_the_frame_cap() {
+    use kite_kvs::{DurabilitySink, SinkError};
+    let dir = tempdir("oversize");
+    let wal = Wal::open(&dir, 100_000, u64::MAX / 4, Box::new(|_| {})).expect("open wal");
+
+    // 64 bytes: exactly at the cap — accepted.
+    let at_cap = Val::from_bytes(&[0xAB; frame::MAX_VALUE]);
+    wal.record(Key(1), Lc::new(1, NodeId(0)), &at_cap).expect("value at the cap must record");
+
+    // 65 bytes: one past the cap — typed refusal, log untouched.
+    let over = Val::from_bytes(&[0xCD; frame::MAX_VALUE + 1]);
+    match wal.record(Key(2), Lc::new(2, NodeId(0)), &over) {
+        Err(SinkError::Oversize { len, cap }) => {
+            assert_eq!((len, cap), (frame::MAX_VALUE + 1, frame::MAX_VALUE));
+        }
+        other => panic!("oversize record must fail with SinkError::Oversize, got {other:?}"),
+    }
+    wal.close();
+
+    // Recovery sees exactly the in-cap record: the refused write left no
+    // partial frame behind for replay to trip on.
+    let (recovered, stats) = recover(&dir);
+    assert_eq!(stats.replayed_records, 1);
+    assert_eq!(recovered.view(Key(1)).val.as_bytes(), at_cap.as_bytes());
+    assert_eq!(recovered.probe_lc(Key(2)), None, "refused value must not resurrect");
+    let _ = std::fs::remove_dir_all(&dir);
+}
